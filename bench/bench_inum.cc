@@ -1,0 +1,219 @@
+// E3 — "Using INUM, ILP estimates the costs of millions of physical designs
+// in the order of minutes instead of days" (paper §3.4).
+//
+// Sweeps the number of configurations to cost, comparing INUM's cached
+// recomposition against repeated direct optimizer invocations, and reports
+// the extrapolated time for one million configurations. Also runs the
+// ablation: INUM without the nested-loop plan pair (the what-if join
+// component disabled).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "inum/inum.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "whatif/whatif_index.h"
+
+namespace parinda {
+namespace {
+
+/// A join query with enough candidate indexes to enumerate configurations.
+constexpr const char* kJoinSql =
+    "SELECT p.objid, s.z, f.run FROM photoobj p, specobj s, field f "
+    "WHERE p.objid = s.bestobjid AND p.field_id = f.field_id "
+    "AND s.class = 3 AND s.z BETWEEN 1 AND 2 AND f.quality = 3";
+
+std::vector<const IndexInfo*> MakeCandidates(const Database& db,
+                                             WhatIfIndexSet* whatif) {
+  const TableId photoobj = db.catalog().FindTable("photoobj")->id;
+  const TableId specobj = db.catalog().FindTable("specobj")->id;
+  const TableId field = db.catalog().FindTable("field")->id;
+  const std::vector<WhatIfIndexDef> defs = {
+      {"c1", photoobj, {0}, false},     // objid
+      {"c2", photoobj, {0, 9}, false},  // objid, r
+      {"c3", photoobj, {3}, false},     // type
+      {"c4", specobj, {1}, false},      // bestobjid
+      {"c5", specobj, {4, 2}, false},   // class, z
+      {"c6", specobj, {2}, false},      // z
+      {"c7", field, {0}, false},        // field_id
+      {"c8", field, {8}, false},        // quality
+  };
+  std::vector<const IndexInfo*> out;
+  for (const WhatIfIndexDef& def : defs) {
+    auto id = whatif->AddIndex(def);
+    PARINDA_CHECK(id.ok());
+    out.push_back(whatif->Get(*id));
+  }
+  return out;
+}
+
+/// Enumerates the k-th subset of the candidate pool.
+std::vector<const IndexInfo*> Subset(
+    const std::vector<const IndexInfo*>& pool, unsigned mask) {
+  std::vector<const IndexInfo*> out;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if ((mask >> i) & 1) out.push_back(pool[i]);
+  }
+  return out;
+}
+
+void RunSweep() {
+  Database* db = bench_util::SharedSdss(20000);
+  auto stmt = ParseSelect(kJoinSql);
+  PARINDA_CHECK(stmt.ok());
+  PARINDA_CHECK(BindStatement(db->catalog(), &*stmt).ok());
+  WhatIfIndexSet whatif(db->catalog());
+  const std::vector<const IndexInfo*> pool = MakeCandidates(*db, &whatif);
+  const unsigned num_subsets = 1u << pool.size();
+
+  bench_util::PrintHeader(
+      "E3: cost estimations/second — INUM cache vs direct optimizer calls");
+  std::printf("%-10s %14s %14s %10s %12s\n", "configs", "INUM (s)",
+              "direct (s)", "speedup", "INUM calls");
+  for (const int configs : {1000, 10000, 100000}) {
+    InumCostModel inum(db->catalog(), *stmt, CostParams{});
+    PARINDA_CHECK(inum.Init().ok());
+    const auto inum_start = std::chrono::steady_clock::now();
+    double checksum = 0.0;
+    for (int k = 0; k < configs; ++k) {
+      auto cost = inum.EstimateCost(
+          Subset(pool, static_cast<unsigned>(k) % num_subsets));
+      PARINDA_CHECK(cost.ok());
+      checksum += *cost;
+    }
+    const double inum_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      inum_start)
+            .count();
+
+    // Direct: measure a sample and extrapolate (running 100k real optimizer
+    // calls is exactly the "days" problem).
+    InumCostModel direct(db->catalog(), *stmt, CostParams{});
+    PARINDA_CHECK(direct.Init().ok());
+    const int sample = 200;
+    const auto direct_start = std::chrono::steady_clock::now();
+    for (int k = 0; k < sample; ++k) {
+      auto cost = direct.DirectOptimizerCost(
+          Subset(pool, static_cast<unsigned>(k) % num_subsets));
+      PARINDA_CHECK(cost.ok());
+      checksum += *cost;
+    }
+    const double direct_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      direct_start)
+            .count() *
+        configs / sample;
+    std::printf("%-10d %14.3f %14.3f %9.1fx %12d\n", configs, inum_seconds,
+                direct_seconds, direct_seconds / inum_seconds,
+                inum.optimizer_calls());
+    benchmark::DoNotOptimize(checksum);
+  }
+
+  // The headline claim, extrapolated.
+  {
+    InumCostModel inum(db->catalog(), *stmt, CostParams{});
+    PARINDA_CHECK(inum.Init().ok());
+    auto warm = inum.EstimateCost(Subset(pool, num_subsets - 1));
+    PARINDA_CHECK(warm.ok());
+    const int probes = 20000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int k = 0; k < probes; ++k) {
+      benchmark::DoNotOptimize(
+          inum.EstimateCost(Subset(pool, static_cast<unsigned>(k) %
+                                             num_subsets)));
+    }
+    const double per_estimate =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count() /
+        probes;
+    // Direct per-call time from a fresh sample.
+    InumCostModel direct(db->catalog(), *stmt, CostParams{});
+    PARINDA_CHECK(direct.Init().ok());
+    const int direct_probes = 200;
+    const auto direct_start = std::chrono::steady_clock::now();
+    for (int k = 0; k < direct_probes; ++k) {
+      benchmark::DoNotOptimize(direct.DirectOptimizerCost(
+          Subset(pool, static_cast<unsigned>(k) % num_subsets)));
+    }
+    const double per_direct =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      direct_start)
+            .count() /
+        direct_probes;
+    std::printf(
+        "\n1M-configuration extrapolation: INUM %.2f min vs direct "
+        "optimizer %.2f hours (%.0fx)\n",
+        per_estimate * 1e6 / 60.0, per_direct * 1e6 / 3600.0,
+        per_direct / per_estimate);
+  }
+
+  // --- Ablation: without the NL plan pair ---
+  bench_util::PrintHeader("E3 ablation: what-if join component (NL pair)");
+  InumCostModel with_pair(db->catalog(), *stmt, CostParams{});
+  PARINDA_CHECK(with_pair.Init().ok());
+  InumCostModel no_pair(db->catalog(), *stmt, CostParams{});
+  no_pair.set_cache_nestloop_pair(false);
+  PARINDA_CHECK(no_pair.Init().ok());
+  double max_gap = 0.0;
+  for (unsigned mask = 0; mask < num_subsets; ++mask) {
+    auto a = with_pair.EstimateCost(Subset(pool, mask));
+    auto b = no_pair.EstimateCost(Subset(pool, mask));
+    PARINDA_CHECK(a.ok());
+    PARINDA_CHECK(b.ok());
+    max_gap = std::max(max_gap, (*b - *a) / *a);
+  }
+  std::printf("optimizer calls: %d (pair) vs %d (no pair); "
+              "max cost overestimate without pair: %.1f%%\n",
+              with_pair.optimizer_calls(), no_pair.optimizer_calls(),
+              100.0 * max_gap);
+}
+
+void BM_InumEstimate(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(20000);
+  auto stmt = ParseSelect(kJoinSql);
+  PARINDA_CHECK(stmt.ok());
+  PARINDA_CHECK(BindStatement(db->catalog(), &*stmt).ok());
+  WhatIfIndexSet whatif(db->catalog());
+  const std::vector<const IndexInfo*> pool = MakeCandidates(*db, &whatif);
+  InumCostModel inum(db->catalog(), *stmt, CostParams{});
+  PARINDA_CHECK(inum.Init().ok());
+  unsigned mask = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inum.EstimateCost(Subset(pool, mask++ % (1u << pool.size()))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InumEstimate);
+
+void BM_DirectOptimizerCall(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(20000);
+  auto stmt = ParseSelect(kJoinSql);
+  PARINDA_CHECK(stmt.ok());
+  PARINDA_CHECK(BindStatement(db->catalog(), &*stmt).ok());
+  WhatIfIndexSet whatif(db->catalog());
+  const std::vector<const IndexInfo*> pool = MakeCandidates(*db, &whatif);
+  InumCostModel inum(db->catalog(), *stmt, CostParams{});
+  PARINDA_CHECK(inum.Init().ok());
+  unsigned mask = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inum.DirectOptimizerCost(
+        Subset(pool, mask++ % (1u << pool.size()))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectOptimizerCall);
+
+}  // namespace
+}  // namespace parinda
+
+int main(int argc, char** argv) {
+  parinda::RunSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

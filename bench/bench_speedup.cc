@@ -1,0 +1,159 @@
+// E5 — the headline claim: "Using these techniques on analytical queries, we
+// achieve speedups ranging from 2x to 10x" (paper §1).
+//
+// Runs the full 30-query SDSS workload under three automatic designs —
+// AutoPart partitions, ILP indexes, and both — reporting estimated
+// (optimizer cost) and measured (executed page/CPU accounting) workload
+// speedups plus the per-query speedup distribution.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "optimizer/planner.h"
+#include "parinda/parinda.h"
+#include "rewriter/rewriter.h"
+
+namespace parinda {
+namespace {
+
+/// Per-query measured costs for a workload against `db`.
+std::vector<double> MeasuredPerQuery(const Database& db,
+                                     const Workload& workload) {
+  CostParams params;
+  std::vector<double> out;
+  for (const WorkloadQuery& query : workload.queries) {
+    auto result = ExecuteSql(db, query.sql);
+    PARINDA_CHECK(result.ok());
+    out.push_back(result->stats.MeasuredCost(params));
+  }
+  return out;
+}
+
+void Run() {
+  bench_util::PrintHeader(
+      "E5: workload speedups on the 30-query SDSS workload (paper: 2x-10x)");
+
+  // --- Baseline ---
+  Database base_db;
+  SdssConfig config;
+  config.photoobj_rows = 20000;
+  PARINDA_CHECK(BuildSdssDatabase(&base_db, config).ok());
+  auto workload = MakeSdssWorkload(base_db.catalog());
+  PARINDA_CHECK(workload.ok());
+  const std::vector<double> base_measured =
+      MeasuredPerQuery(base_db, *workload);
+  double base_total = 0.0;
+  for (double c : base_measured) base_total += c;
+
+  std::printf("%-22s %14s %14s %12s %12s\n", "design", "est. speedup",
+              "meas. speedup", "best query", "median query");
+
+  auto report = [&](const char* label, double est_speedup,
+                    const std::vector<double>& measured) {
+    std::vector<double> ratios;
+    double total = 0.0;
+    for (size_t q = 0; q < measured.size(); ++q) {
+      total += measured[q];
+      ratios.push_back(measured[q] > 0 ? base_measured[q] / measured[q] : 1.0);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    std::printf("%-22s %13.2fx %13.2fx %11.1fx %11.2fx\n", label, est_speedup,
+                total > 0 ? base_total / total : 1.0, ratios.back(),
+                ratios[ratios.size() / 2]);
+  };
+
+  // --- Indexes only (scenario 3) ---
+  {
+    Database db;
+    PARINDA_CHECK(BuildSdssDatabase(&db, config).ok());
+    auto wl = MakeSdssWorkload(db.catalog());
+    PARINDA_CHECK(wl.ok());
+    Parinda tool(&db);
+    IndexAdvisorOptions options;
+    options.storage_budget_bytes = 16.0 * 1024 * 1024;
+    auto advice = tool.SuggestIndexes(*wl, options);
+    PARINDA_CHECK(advice.ok());
+    PARINDA_CHECK(tool.MaterializeIndexes(*advice).ok());
+    report("ILP indexes", advice->Speedup(), MeasuredPerQuery(db, *wl));
+  }
+
+  // --- Partitions only (scenario 2) ---
+  std::vector<double> partition_measured;
+  double partition_est = 1.0;
+  {
+    Database db;
+    PARINDA_CHECK(BuildSdssDatabase(&db, config).ok());
+    auto wl = MakeSdssWorkload(db.catalog());
+    PARINDA_CHECK(wl.ok());
+    Parinda tool(&db);
+    AutoPartOptions options;
+    options.max_iterations = 12;
+    auto advice = tool.SuggestPartitions(*wl, options);
+    PARINDA_CHECK(advice.ok());
+    partition_est = advice->Speedup();
+    PARINDA_CHECK(tool.MaterializePartitions(*advice).ok());
+    // Execute the *rewritten* workload against the materialized partitions.
+    CostParams params;
+    for (const std::string& sql : advice->rewritten_sql) {
+      auto result = ExecuteSql(db, sql);
+      PARINDA_CHECK(result.ok());
+      partition_measured.push_back(result->stats.MeasuredCost(params));
+    }
+    report("AutoPart partitions", partition_est, partition_measured);
+  }
+
+  // --- Partitions + indexes ---
+  {
+    Database db;
+    PARINDA_CHECK(BuildSdssDatabase(&db, config).ok());
+    auto wl = MakeSdssWorkload(db.catalog());
+    PARINDA_CHECK(wl.ok());
+    Parinda tool(&db);
+    AutoPartOptions part_options;
+    part_options.max_iterations = 12;
+    auto partitions = tool.SuggestPartitions(*wl, part_options);
+    PARINDA_CHECK(partitions.ok());
+    PARINDA_CHECK(tool.MaterializePartitions(*partitions).ok());
+    // Index the rewritten workload on the new physical schema.
+    auto rewritten = MakeWorkload(db.catalog(), partitions->rewritten_sql);
+    PARINDA_CHECK(rewritten.ok());
+    IndexAdvisorOptions idx_options;
+    idx_options.storage_budget_bytes = 16.0 * 1024 * 1024;
+    auto indexes = tool.SuggestIndexes(*rewritten, idx_options);
+    PARINDA_CHECK(indexes.ok());
+    PARINDA_CHECK(tool.MaterializeIndexes(*indexes).ok());
+    CostParams params;
+    std::vector<double> measured;
+    for (const std::string& sql : partitions->rewritten_sql) {
+      auto result = ExecuteSql(db, sql);
+      PARINDA_CHECK(result.ok());
+      measured.push_back(result->stats.MeasuredCost(params));
+    }
+    report("partitions + indexes", partitions->Speedup() * indexes->Speedup(),
+           measured);
+  }
+}
+
+void BM_WorkloadExecutionBaseline(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(20000);
+  auto workload = MakeSdssWorkload(db->catalog());
+  PARINDA_CHECK(workload.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench_util::MeasuredWorkloadCost(*db, *workload));
+  }
+}
+BENCHMARK(BM_WorkloadExecutionBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace parinda
+
+int main(int argc, char** argv) {
+  parinda::Run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

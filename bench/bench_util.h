@@ -1,0 +1,51 @@
+#ifndef PARINDA_BENCH_BENCH_UTIL_H_
+#define PARINDA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.h"
+#include "executor/executor.h"
+#include "workload/sdss.h"
+
+namespace parinda {
+namespace bench_util {
+
+/// Lazily-built shared SDSS database for one bench binary.
+inline Database* SharedSdss(int64_t photoobj_rows = 20000) {
+  static Database* db = nullptr;
+  static int64_t rows = 0;
+  if (db == nullptr || rows != photoobj_rows) {
+    delete db;
+    db = new Database();
+    rows = photoobj_rows;
+    SdssConfig config;
+    config.photoobj_rows = photoobj_rows;
+    auto dataset = BuildSdssDatabase(db, config);
+    PARINDA_CHECK(dataset.ok());
+  }
+  return db;
+}
+
+/// Executes every workload query and sums measured cost-unit work.
+inline double MeasuredWorkloadCost(const Database& db,
+                                   const Workload& workload) {
+  CostParams params;
+  double total = 0.0;
+  for (const WorkloadQuery& query : workload.queries) {
+    auto result = ExecuteSql(db, query.sql);
+    PARINDA_CHECK(result.ok());
+    total += result->stats.MeasuredCost(params) * query.weight;
+  }
+  return total;
+}
+
+/// Prints a markdown table separator-aware header.
+inline void PrintHeader(const char* title) {
+  std::printf("\n== %s ==\n", title);
+}
+
+}  // namespace bench_util
+}  // namespace parinda
+
+#endif  // PARINDA_BENCH_BENCH_UTIL_H_

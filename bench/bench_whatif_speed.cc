@@ -1,0 +1,78 @@
+// E1 — "Simulating the structures makes the operations orders of magnitude
+// faster and allows the DBA to explore a larger solution space
+// interactively" (paper §1).
+//
+// Benchmarks what-if index simulation (Equation 1 arithmetic) against
+// physically building the same B-tree, and what-if partition simulation
+// against materializing the partition, across table sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "storage/btree_index.h"
+#include "whatif/whatif_index.h"
+#include "whatif/whatif_table.h"
+
+namespace parinda {
+namespace {
+
+void BM_WhatIfIndexSimulation(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(state.range(0));
+  const TableId photoobj = db->catalog().FindTable("photoobj")->id;
+  for (auto _ : state) {
+    WhatIfIndexSet whatif(db->catalog());
+    auto id = whatif.AddIndex({"bm_whatif", photoobj, {9, 3}, false});
+    PARINDA_CHECK(id.ok());
+    benchmark::DoNotOptimize(whatif.Get(*id)->leaf_pages);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhatIfIndexSimulation)->Arg(20000)->Arg(50000);
+
+void BM_RealIndexBuild(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(state.range(0));
+  const TableId photoobj = db->catalog().FindTable("photoobj")->id;
+  const HeapTable* heap = db->GetHeapTable(photoobj);
+  for (auto _ : state) {
+    auto index = BTreeIndex::Build(*heap, {9, 3});
+    PARINDA_CHECK(index.ok());
+    benchmark::DoNotOptimize(index->leaf_pages());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RealIndexBuild)->Arg(20000)->Arg(50000);
+
+void BM_WhatIfPartitionSimulation(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(state.range(0));
+  const TableId photoobj = db->catalog().FindTable("photoobj")->id;
+  int counter = 0;
+  for (auto _ : state) {
+    WhatIfTableCatalog overlay(db->catalog());
+    auto id = overlay.AddPartition(
+        {"bm_frag" + std::to_string(counter++), photoobj, {1, 2, 3}});
+    PARINDA_CHECK(id.ok());
+    benchmark::DoNotOptimize(overlay.GetTable(*id)->pages);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhatIfPartitionSimulation)->Arg(20000)->Arg(50000);
+
+void BM_RealPartitionMaterialization(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(state.range(0));
+  const TableId photoobj = db->catalog().FindTable("photoobj")->id;
+  int counter = 0;
+  for (auto _ : state) {
+    auto id = db->MaterializeVerticalPartition(
+        photoobj, "bm_real_frag" + std::to_string(counter++), {1, 2, 3});
+    PARINDA_CHECK(id.ok());
+    state.PauseTiming();
+    PARINDA_CHECK(db->catalog().DropTable(*id).ok());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RealPartitionMaterialization)->Arg(20000)->Arg(50000);
+
+}  // namespace
+}  // namespace parinda
+
+BENCHMARK_MAIN();

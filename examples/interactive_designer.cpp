@@ -1,0 +1,345 @@
+// The PARINDA interactive designer as a command-line tool — the CLI analogue
+// of the demo's GUI (Figures 2 & 3). Reads commands from stdin:
+//
+//   workload add <SQL>           add a query to the workload
+//   workload load <path>         load a semicolon-separated workload file
+//   workload clear               drop all queries
+//   whatif index <table> <col>[,<col>...]      add a what-if index
+//   whatif partition <table> <col>[,<col>...]  add a what-if partition
+//   whatif range <table> <col> <k>             what-if range-partition into k
+//   whatif clear                 drop the design
+//   evaluate                     report per-query + average benefit
+//   explain <SQL>                show the optimizer plan (with what-ifs)
+//   verify <table> <col>[,...]   what-if vs materialized accuracy check
+//   suggest indexes [budget_mb]  run the ILP index advisor
+//   suggest partitions           run AutoPart
+//   stats dump <path>            write a catalog statistics dump
+//   tables                       list catalog tables
+//   quit
+//
+// Example: printf 'tables\nquit\n' | ./interactive_designer
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/stats_io.h"
+
+#include "common/strings.h"
+#include "optimizer/planner.h"
+#include "parinda/parinda.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "whatif/whatif_index.h"
+#include "whatif/whatif_table.h"
+#include "workload/sdss.h"
+
+using namespace parinda;  // NOLINT: example brevity
+
+namespace {
+
+Result<std::vector<ColumnId>> ParseColumns(const TableInfo& table,
+                                           const std::string& list) {
+  std::vector<ColumnId> out;
+  for (const std::string& name : Split(list, ',')) {
+    const ColumnId col = table.schema.FindColumn(name);
+    if (col == kInvalidColumnId) {
+      return Status::NotFound("no column '" + name + "' in " + table.name);
+    }
+    out.push_back(col);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 10000;
+  auto dataset = BuildSdssDatabase(&db, config);
+  if (!dataset.ok()) return 1;
+  Parinda tool(&db);
+
+  std::vector<std::string> workload_sql;
+  InteractiveDesign design;
+  int partition_counter = 0;
+
+  std::printf("PARINDA interactive designer. SDSS sample loaded. "
+              "Type commands; 'quit' exits.\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "tables") {
+      for (const TableInfo* table : db.catalog().AllTables()) {
+        std::printf("  %-16s %10.0f rows %8.0f pages %3d columns\n",
+                    table->name.c_str(), table->row_count, table->pages,
+                    table->schema.num_columns());
+      }
+      continue;
+    }
+    if (cmd == "workload") {
+      std::string sub;
+      in >> sub;
+      if (sub == "clear") {
+        workload_sql.clear();
+        std::printf("workload cleared\n");
+      } else if (sub == "load") {
+        std::string path;
+        in >> path;
+        std::ifstream file(path);
+        if (!file) {
+          std::printf("error: cannot open '%s'\n", path.c_str());
+          continue;
+        }
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        auto loaded = LoadWorkloadText(db.catalog(), buffer.str());
+        if (!loaded.ok()) {
+          std::printf("error: %s\n", loaded.status().ToString().c_str());
+          continue;
+        }
+        for (const WorkloadQuery& query : loaded->queries) {
+          workload_sql.push_back(query.sql);
+        }
+        std::printf("loaded %d queries (%zu total)\n", loaded->size(),
+                    workload_sql.size());
+      } else if (sub == "add") {
+        std::string sql;
+        std::getline(in, sql);
+        auto parsed = ParseSelect(sql);
+        if (!parsed.ok()) {
+          std::printf("error: %s\n", parsed.status().ToString().c_str());
+          continue;
+        }
+        if (auto bound = BindStatement(db.catalog(), &*parsed); !bound.ok()) {
+          std::printf("error: %s\n", bound.ToString().c_str());
+          continue;
+        }
+        workload_sql.push_back(std::string(StripWhitespace(sql)));
+        std::printf("Q%zu added\n", workload_sql.size());
+      }
+      continue;
+    }
+    if (cmd == "whatif") {
+      std::string sub;
+      in >> sub;
+      if (sub == "clear") {
+        design = InteractiveDesign{};
+        std::printf("design cleared\n");
+        continue;
+      }
+      std::string table_name;
+      std::string columns;
+      in >> table_name >> columns;
+      const TableInfo* table = db.catalog().FindTable(table_name);
+      if (table == nullptr) {
+        std::printf("error: unknown table '%s'\n", table_name.c_str());
+        continue;
+      }
+      if (sub == "range") {
+        const ColumnId col = table->schema.FindColumn(columns);
+        int k = 4;
+        in >> k;
+        if (col == kInvalidColumnId) {
+          std::printf("error: no column '%s'\n", columns.c_str());
+          continue;
+        }
+        auto bounds = SuggestEqualMassBounds(db.catalog(), table->id, col, k);
+        if (!bounds.ok()) {
+          std::printf("error: %s\n", bounds.status().ToString().c_str());
+          continue;
+        }
+        RangePartitionDef def;
+        def.parent = table->id;
+        def.column = col;
+        def.bounds = *bounds;
+        design.range_partitions.push_back(def);
+        std::printf("what-if range partitioning of %s on %s into %zu ranges\n",
+                    table_name.c_str(), columns.c_str(), bounds->size() + 1);
+        continue;
+      }
+      auto cols = ParseColumns(*table, columns);
+      if (!cols.ok()) {
+        std::printf("error: %s\n", cols.status().ToString().c_str());
+        continue;
+      }
+      if (sub == "index") {
+        WhatIfIndexDef def;
+        def.table = table->id;
+        def.columns = *cols;
+        def.name = "wif_idx_" + std::to_string(design.indexes.size());
+        auto pages = WhatIfIndexSet::EstimatePages(db.catalog(), def);
+        design.indexes.push_back(def);
+        std::printf("what-if index on %s(%s): %.0f leaf pages (Equation 1)\n",
+                    table_name.c_str(), columns.c_str(), pages.value_or(0.0));
+      } else if (sub == "partition") {
+        WhatIfPartitionDef def;
+        def.parent = table->id;
+        def.columns = *cols;
+        def.name = table->name + "_wifp" + std::to_string(partition_counter++);
+        design.partitions.push_back(def);
+        std::printf("what-if partition %s { %s } (+ primary key)\n",
+                    def.name.c_str(), columns.c_str());
+      }
+      continue;
+    }
+    if (cmd == "evaluate") {
+      auto workload = MakeWorkload(db.catalog(), workload_sql);
+      if (!workload.ok() || workload->size() == 0) {
+        std::printf("error: empty or unbindable workload\n");
+        continue;
+      }
+      auto report = tool.EvaluateDesign(*workload, design);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      for (size_t q = 0; q < report->per_query_base.size(); ++q) {
+        std::printf("  Q%zu: %.1f -> %.1f (%.1f%%)\n", q + 1,
+                    report->per_query_base[q], report->per_query_whatif[q],
+                    report->per_query_benefit_pct[q]);
+      }
+      std::printf("  average benefit: %.1f%%\n", report->average_benefit_pct);
+      continue;
+    }
+    if (cmd == "explain") {
+      std::string sql;
+      std::getline(in, sql);
+      WhatIfTableCatalog overlay(db.catalog());
+      for (const WhatIfPartitionDef& p : design.partitions) {
+        (void)overlay.AddPartition(p);
+      }
+      for (const RangePartitionDef& r : design.range_partitions) {
+        (void)overlay.AddRangePartitioning(r);
+      }
+      WhatIfIndexSet indexes(overlay);
+      for (const WhatIfIndexDef& d : design.indexes) {
+        (void)indexes.AddIndex(d);
+      }
+      HookRegistry hooks;
+      hooks.set_relation_info_hook(indexes.MakeHook());
+      auto parsed = ParseSelect(sql);
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      if (auto bound = BindStatement(overlay, &*parsed); !bound.ok()) {
+        std::printf("error: %s\n", bound.ToString().c_str());
+        continue;
+      }
+      PlannerOptions options;
+      options.hooks = &hooks;
+      auto plan = PlanQuery(overlay, *parsed, options);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", plan->ToString(overlay).c_str());
+      continue;
+    }
+    if (cmd == "verify") {
+      std::string table_name;
+      std::string columns;
+      in >> table_name >> columns;
+      const TableInfo* table = db.catalog().FindTable(table_name);
+      if (table == nullptr || workload_sql.empty()) {
+        std::printf("error: need a table and at least one workload query\n");
+        continue;
+      }
+      auto cols = ParseColumns(*table, columns);
+      if (!cols.ok()) {
+        std::printf("error: %s\n", cols.status().ToString().c_str());
+        continue;
+      }
+      auto report = tool.VerifyIndexSimulation(
+          workload_sql.front(), {"verify", table->id, *cols, false});
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  size: %.0f what-if vs %.0f real pages (%.1f%% error)\n",
+                  report->whatif_pages, report->materialized_pages,
+                  100.0 * report->size_error_fraction);
+      std::printf("  cost: %.1f what-if vs %.1f real (%.1f%% error)\n",
+                  report->whatif_cost, report->materialized_cost,
+                  100.0 * report->cost_error_fraction);
+      continue;
+    }
+    if (cmd == "stats") {
+      std::string sub;
+      std::string path;
+      in >> sub >> path;
+      if (sub == "dump") {
+        std::ofstream file(path);
+        if (!file) {
+          std::printf("error: cannot open '%s'\n", path.c_str());
+          continue;
+        }
+        file << DumpCatalogStats(db.catalog());
+        std::printf("statistics written to %s\n", path.c_str());
+      } else {
+        std::printf("usage: stats dump <path>\n");
+      }
+      continue;
+    }
+    if (cmd == "suggest") {
+      std::string sub;
+      in >> sub;
+      auto workload = MakeWorkload(db.catalog(), workload_sql);
+      if (!workload.ok() || workload->size() == 0) {
+        std::printf("error: empty or unbindable workload\n");
+        continue;
+      }
+      if (sub == "indexes") {
+        double budget_mb = 1e9;
+        in >> budget_mb;
+        IndexAdvisorOptions options;
+        options.storage_budget_bytes = budget_mb * 1024 * 1024;
+        auto advice = tool.SuggestIndexes(*workload, options);
+        if (!advice.ok()) {
+          std::printf("error: %s\n", advice.status().ToString().c_str());
+          continue;
+        }
+        for (const SuggestedIndex& s : advice->indexes) {
+          const TableInfo* t = db.catalog().GetTable(s.def.table);
+          std::string cols;
+          for (size_t i = 0; i < s.def.columns.size(); ++i) {
+            if (i > 0) cols += ",";
+            cols += t->schema.column(s.def.columns[i]).name;
+          }
+          std::printf("  CREATE INDEX ON %s(%s)  -- %.2f MB\n",
+                      t->name.c_str(), cols.c_str(),
+                      s.size_bytes / 1024.0 / 1024.0);
+        }
+        std::printf("  estimated speedup: %.2fx\n", advice->Speedup());
+      } else if (sub == "partitions") {
+        auto advice = tool.SuggestPartitions(*workload);
+        if (!advice.ok()) {
+          std::printf("error: %s\n", advice.status().ToString().c_str());
+          continue;
+        }
+        for (const FragmentDef& frag : advice->fragments) {
+          const TableInfo* t = db.catalog().GetTable(frag.table);
+          std::string cols;
+          for (size_t i = 0; i < frag.columns.size(); ++i) {
+            if (i > 0) cols += ",";
+            cols += t->schema.column(frag.columns[i]).name;
+          }
+          std::printf("  PARTITION %s { %s }\n", t->name.c_str(), cols.c_str());
+        }
+        std::printf("  estimated speedup: %.2fx\n", advice->Speedup());
+      }
+      continue;
+    }
+    std::printf("unknown command '%s'\n", cmd.c_str());
+  }
+  return 0;
+}

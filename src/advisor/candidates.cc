@@ -1,0 +1,106 @@
+#include "advisor/candidates.h"
+
+#include <algorithm>
+#include <set>
+
+#include "optimizer/query_analysis.h"
+#include "optimizer/selectivity.h"
+
+namespace parinda {
+
+namespace {
+
+/// Indexable columns of one query range, split by the clause kind that
+/// makes them indexable.
+struct RangeColumns {
+  std::vector<ColumnId> equality;
+  std::vector<ColumnId> range;
+  std::vector<ColumnId> order;  // join / ORDER BY / GROUP BY columns
+};
+
+void AddUnique(std::vector<ColumnId>* list, ColumnId col) {
+  if (std::find(list->begin(), list->end(), col) == list->end()) {
+    list->push_back(col);
+  }
+}
+
+RangeColumns ClassifyRange(const AnalyzedQuery& analyzed, int range) {
+  RangeColumns out;
+  for (const Expr* clause : analyzed.restrictions[range]) {
+    auto simple = ExtractSimpleClause(*clause);
+    if (simple) {
+      if (simple->op == BinaryOp::kEq) {
+        AddUnique(&out.equality, simple->column);
+      } else if (simple->op != BinaryOp::kNe) {
+        AddUnique(&out.range, simple->column);
+      }
+      continue;
+    }
+    if (clause->kind == ExprKind::kBetween &&
+        clause->children[0]->kind == ExprKind::kColumnRef) {
+      AddUnique(&out.range, clause->children[0]->bound_column);
+    }
+    if (clause->kind == ExprKind::kInList &&
+        clause->children[0]->kind == ExprKind::kColumnRef) {
+      AddUnique(&out.equality, clause->children[0]->bound_column);
+    }
+  }
+  for (ColumnId col : analyzed.interesting_orders[range]) {
+    AddUnique(&out.order, col);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<WhatIfIndexDef>> GenerateCandidateIndexes(
+    const CatalogReader& catalog, const Workload& workload,
+    const CandidateOptions& options) {
+  std::set<std::pair<TableId, std::vector<ColumnId>>> seen;
+  std::vector<WhatIfIndexDef> out;
+  auto add = [&](TableId table, std::vector<ColumnId> columns) {
+    if (columns.empty() ||
+        static_cast<int>(columns.size()) > options.max_width) {
+      return;
+    }
+    if (static_cast<int>(out.size()) >= options.max_candidates) return;
+    if (!seen.insert({table, columns}).second) return;
+    WhatIfIndexDef def;
+    def.table = table;
+    def.columns = std::move(columns);
+    def.name = "cand_t" + std::to_string(table);
+    for (ColumnId col : def.columns) {
+      def.name += "_c" + std::to_string(col);
+    }
+    out.push_back(std::move(def));
+  };
+
+  for (const WorkloadQuery& query : workload.queries) {
+    PARINDA_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                             AnalyzeQuery(catalog, query.stmt));
+    for (size_t r = 0; r < analyzed.tables.size(); ++r) {
+      const TableId table = analyzed.tables[r]->id;
+      const RangeColumns cols = ClassifyRange(analyzed, static_cast<int>(r));
+      // Singles: every indexable column.
+      for (ColumnId col : cols.equality) add(table, {col});
+      for (ColumnId col : cols.range) add(table, {col});
+      for (ColumnId col : cols.order) add(table, {col});
+      if (options.max_width < 2) continue;
+      // Pairs: an equality or join column first (it pins a key prefix),
+      // followed by any other indexable column of the same query.
+      std::vector<ColumnId> leads = cols.equality;
+      for (ColumnId col : cols.order) AddUnique(&leads, col);
+      std::vector<ColumnId> follows = cols.equality;
+      for (ColumnId col : cols.range) AddUnique(&follows, col);
+      for (ColumnId col : cols.order) AddUnique(&follows, col);
+      for (ColumnId lead : leads) {
+        for (ColumnId follow : follows) {
+          if (lead != follow) add(table, {lead, follow});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace parinda

@@ -1,0 +1,33 @@
+#ifndef PARINDA_ADVISOR_CANDIDATES_H_
+#define PARINDA_ADVISOR_CANDIDATES_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "whatif/whatif_index.h"
+#include "workload/workload.h"
+
+namespace parinda {
+
+/// Candidate generation knobs.
+struct CandidateOptions {
+  /// Maximum key columns per candidate (PARINDA "can suggest multicolumn
+  /// indexes" — the capability the paper contrasts with COLT).
+  int max_width = 2;
+  /// Hard cap on the candidate set size.
+  int max_candidates = 256;
+};
+
+/// Determines "a large set of candidate indexes by analyzing the workload"
+/// (paper §3.4): single-column candidates for every equality, range, join,
+/// ORDER BY and GROUP BY column, plus multicolumn candidates pairing
+/// equality/join columns with further indexable columns. Candidates are
+/// deduplicated by (table, key columns).
+Result<std::vector<WhatIfIndexDef>> GenerateCandidateIndexes(
+    const CatalogReader& catalog, const Workload& workload,
+    const CandidateOptions& options = {});
+
+}  // namespace parinda
+
+#endif  // PARINDA_ADVISOR_CANDIDATES_H_

@@ -1,0 +1,318 @@
+#include "advisor/index_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "solver/lp.h"
+
+namespace parinda {
+
+namespace {
+
+constexpr double kBenefitEps = 1e-6;
+
+}  // namespace
+
+IndexAdvisor::IndexAdvisor(const CatalogReader& catalog,
+                           const Workload& workload,
+                           IndexAdvisorOptions options)
+    : catalog_(catalog), workload_(workload), options_(options) {}
+
+IndexAdvisor::~IndexAdvisor() = default;
+
+Status IndexAdvisor::Prepare() {
+  if (prepared_) return Status::OK();
+  PARINDA_ASSIGN_OR_RETURN(
+      std::vector<WhatIfIndexDef> defs,
+      GenerateCandidateIndexes(catalog_, workload_, options_.candidates));
+  candidate_set_ = std::make_unique<WhatIfIndexSet>(catalog_);
+  for (const WhatIfIndexDef& def : defs) {
+    PARINDA_ASSIGN_OR_RETURN(IndexId id, candidate_set_->AddIndex(def));
+    if (options_.simulate_zero_size_indexes) {
+      IndexInfo* info = candidate_set_->GetMutable(id);
+      info->leaf_pages = 0.0;
+      info->tree_height = 0;
+    }
+    candidates_.push_back(candidate_set_->Get(id));
+  }
+
+  const int nq = workload_.size();
+  const int nc = static_cast<int>(candidates_.size());
+  models_.reserve(static_cast<size_t>(nq));
+  base_cost_.assign(static_cast<size_t>(nq), 0.0);
+  benefit_.assign(static_cast<size_t>(nq),
+                  std::vector<double>(static_cast<size_t>(nc), 0.0));
+  for (int q = 0; q < nq; ++q) {
+    models_.push_back(std::make_unique<InumCostModel>(
+        catalog_, workload_.queries[q].stmt, options_.params));
+    PARINDA_RETURN_IF_ERROR(models_[q]->Init());
+    PARINDA_ASSIGN_OR_RETURN(base_cost_[q], models_[q]->EstimateCost({}));
+    // Tables of this query, to skip irrelevant candidates fast.
+    std::set<TableId> tables;
+    for (const TableRef& ref : workload_.queries[q].stmt.from) {
+      tables.insert(ref.bound_table);
+    }
+    for (int j = 0; j < nc; ++j) {
+      if (tables.count(candidates_[j]->table_id) == 0) continue;
+      PARINDA_ASSIGN_OR_RETURN(double cost,
+                               models_[q]->EstimateCost({candidates_[j]}));
+      const double gain = base_cost_[q] - cost;
+      if (gain > kBenefitEps) {
+        benefit_[q][j] = gain * workload_.queries[q].weight;
+      }
+    }
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+double IndexAdvisor::MaintenanceCost(int j) const {
+  auto it = options_.update_rows.find(candidates_[j]->table_id);
+  if (it == options_.update_rows.end() || it->second <= 0.0) return 0.0;
+  const double rows = it->second;
+  // Each updated row inserts/moves one index entry (CPU) and dirties leaf
+  // pages — at most one page write per update, capped by the index size.
+  return rows * options_.params.cpu_index_tuple_cost +
+         std::min(rows, candidates_[j]->leaf_pages) *
+             options_.params.random_page_cost;
+}
+
+Result<std::vector<const IndexInfo*>> IndexAdvisor::Candidates() {
+  PARINDA_RETURN_IF_ERROR(Prepare());
+  return candidates_;
+}
+
+Result<double> IndexAdvisor::QueryCost(
+    int q, const std::vector<const IndexInfo*>& config) {
+  return models_[q]->EstimateCost(config);
+}
+
+Result<IndexAdvice> IndexAdvisor::FinishAdvice(
+    const std::vector<const IndexInfo*>& selected,
+    const std::vector<double>& model_benefit, bool proved_optimal) {
+  IndexAdvice advice;
+  advice.proved_optimal = proved_optimal;
+  const int nq = workload_.size();
+  advice.per_query_base = base_cost_;
+  advice.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
+  std::map<const IndexInfo*, std::vector<int>> used_by;
+  for (int q = 0; q < nq; ++q) {
+    PARINDA_ASSIGN_OR_RETURN(double cost, QueryCost(q, selected));
+    advice.per_query_optimized[q] = cost;
+    advice.base_cost += base_cost_[q] * workload_.queries[q].weight;
+    advice.optimized_cost += cost * workload_.queries[q].weight;
+    // An index is "used by q" when dropping it makes q more expensive.
+    for (const IndexInfo* index : selected) {
+      std::vector<const IndexInfo*> without;
+      for (const IndexInfo* other : selected) {
+        if (other != index) without.push_back(other);
+      }
+      PARINDA_ASSIGN_OR_RETURN(double cost_without, QueryCost(q, without));
+      if (cost_without > cost + kBenefitEps) {
+        used_by[index].push_back(q);
+      }
+    }
+  }
+  for (size_t s = 0; s < selected.size(); ++s) {
+    SuggestedIndex suggestion;
+    suggestion.def.name = selected[s]->name;
+    suggestion.def.table = selected[s]->table_id;
+    suggestion.def.columns = selected[s]->columns;
+    suggestion.def.unique = selected[s]->unique;
+    suggestion.size_bytes = selected[s]->SizeBytes();
+    suggestion.benefit = s < model_benefit.size() ? model_benefit[s] : 0.0;
+    suggestion.used_by = used_by[selected[s]];
+    for (size_t j = 0; j < candidates_.size(); ++j) {
+      if (candidates_[j] == selected[s]) {
+        suggestion.maintenance_cost = MaintenanceCost(static_cast<int>(j));
+        break;
+      }
+    }
+    advice.total_size_bytes += suggestion.size_bytes;
+    advice.total_maintenance_cost += suggestion.maintenance_cost;
+    advice.indexes.push_back(std::move(suggestion));
+  }
+  for (const auto& model : models_) {
+    advice.optimizer_calls += model->optimizer_calls();
+    advice.inum_estimates += model->estimates_served();
+  }
+  return advice;
+}
+
+Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
+  PARINDA_RETURN_IF_ERROR(Prepare());
+  const int nq = workload_.size();
+  const int nc = static_cast<int>(candidates_.size());
+
+  // Variables: x_j (build index j) for j in [0, nc); then y_{q,j} for every
+  // positive-benefit pair.
+  LinearProgram lp;
+  lp.objective.assign(static_cast<size_t>(nc), 0.0);
+  // Building an index costs maintenance whether or not a query uses it.
+  for (int j = 0; j < nc; ++j) lp.objective[j] = -MaintenanceCost(j);
+  struct PairVar {
+    int q;
+    int j;
+    int var;
+  };
+  std::vector<PairVar> pairs;
+  for (int q = 0; q < nq; ++q) {
+    for (int j = 0; j < nc; ++j) {
+      if (benefit_[q][j] > kBenefitEps) {
+        const int var = static_cast<int>(lp.objective.size());
+        lp.objective.push_back(benefit_[q][j]);
+        pairs.push_back({q, j, var});
+      }
+    }
+  }
+  // y_{q,j} <= x_j.
+  for (const PairVar& pair : pairs) {
+    lp.AddConstraint({{{pair.var, 1.0}, {pair.j, -1.0}}, 0.0});
+  }
+  // Accuracy constraints: one access path per table per query (paper §3.4).
+  std::map<std::pair<int, TableId>, std::vector<int>> per_table;
+  for (const PairVar& pair : pairs) {
+    per_table[{pair.q, candidates_[pair.j]->table_id}].push_back(pair.var);
+  }
+  for (const auto& [key, vars] : per_table) {
+    if (vars.size() < 2) continue;
+    LinearProgram::Constraint row;
+    for (int var : vars) row.terms.push_back({var, 1.0});
+    row.rhs = 1.0;
+    lp.AddConstraint(std::move(row));
+  }
+  // Storage budget over the x_j.
+  if (std::isfinite(options_.storage_budget_bytes)) {
+    LinearProgram::Constraint row;
+    for (int j = 0; j < nc; ++j) {
+      row.terms.push_back({j, candidates_[j]->SizeBytes()});
+    }
+    row.rhs = options_.storage_budget_bytes;
+    lp.AddConstraint(std::move(row));
+  }
+
+  BinaryMip mip;
+  mip.lp = std::move(lp);
+  PARINDA_ASSIGN_OR_RETURN(MipSolution solution,
+                           SolveBinaryMip(mip, options_.mip));
+  if (!solution.feasible) {
+    return Status::SolverError("index-selection ILP is infeasible");
+  }
+  std::vector<const IndexInfo*> selected;
+  std::vector<double> model_benefit;
+  for (int j = 0; j < nc; ++j) {
+    if (solution.values[j] == 1) {
+      selected.push_back(candidates_[j]);
+      double b = 0.0;
+      for (const PairVar& pair : pairs) {
+        if (pair.j == j && solution.values[pair.var] == 1) {
+          b += benefit_[pair.q][pair.j];
+        }
+      }
+      model_benefit.push_back(b);
+    }
+  }
+  // Drop zero-contribution indexes the solver may have set freely.
+  std::vector<const IndexInfo*> pruned;
+  std::vector<double> pruned_benefit;
+  for (size_t s = 0; s < selected.size(); ++s) {
+    if (model_benefit[s] > kBenefitEps) {
+      pruned.push_back(selected[s]);
+      pruned_benefit.push_back(model_benefit[s]);
+    }
+  }
+  return FinishAdvice(pruned, pruned_benefit, solution.proved_optimal);
+}
+
+Result<IndexAdvice> IndexAdvisor::SuggestWithStaticGreedy() {
+  PARINDA_RETURN_IF_ERROR(Prepare());
+  const int nq = workload_.size();
+  const int nc = static_cast<int>(candidates_.size());
+  // Stand-alone benefit of each candidate, computed once.
+  std::vector<double> score(static_cast<size_t>(nc), 0.0);
+  for (int q = 0; q < nq; ++q) {
+    for (int j = 0; j < nc; ++j) score[j] += benefit_[q][j];
+  }
+  for (int j = 0; j < nc; ++j) score[j] -= MaintenanceCost(j);
+  std::vector<int> order;
+  for (int j = 0; j < nc; ++j) {
+    if (score[j] > kBenefitEps) order.push_back(j);
+  }
+  const bool budgeted = std::isfinite(options_.storage_budget_bytes);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double da =
+        budgeted ? score[a] / std::max(1.0, candidates_[a]->SizeBytes())
+                 : score[a];
+    const double db =
+        budgeted ? score[b] / std::max(1.0, candidates_[b]->SizeBytes())
+                 : score[b];
+    return da > db;
+  });
+  std::vector<const IndexInfo*> selected;
+  std::vector<double> selected_benefit;
+  double used_bytes = 0.0;
+  for (int j : order) {
+    const double size = candidates_[j]->SizeBytes();
+    if (budgeted && used_bytes + size > options_.storage_budget_bytes) {
+      continue;
+    }
+    selected.push_back(candidates_[j]);
+    selected_benefit.push_back(score[j]);
+    used_bytes += size;
+  }
+  return FinishAdvice(selected, selected_benefit, /*proved_optimal=*/false);
+}
+
+Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
+  PARINDA_RETURN_IF_ERROR(Prepare());
+  const int nq = workload_.size();
+  const int nc = static_cast<int>(candidates_.size());
+  std::vector<const IndexInfo*> selected;
+  std::vector<double> selected_benefit;
+  std::vector<bool> in_set(static_cast<size_t>(nc), false);
+  std::vector<double> current_cost = base_cost_;
+  double used_bytes = 0.0;
+  const bool budgeted = std::isfinite(options_.storage_budget_bytes);
+
+  while (true) {
+    int best = -1;
+    double best_score = 0.0;
+    double best_gain = 0.0;
+    std::vector<double> best_costs;
+    for (int j = 0; j < nc; ++j) {
+      if (in_set[j]) continue;
+      const double size = candidates_[j]->SizeBytes();
+      if (budgeted && used_bytes + size > options_.storage_budget_bytes) {
+        continue;
+      }
+      std::vector<const IndexInfo*> trial = selected;
+      trial.push_back(candidates_[j]);
+      double gain = -MaintenanceCost(j);
+      std::vector<double> costs(static_cast<size_t>(nq), 0.0);
+      for (int q = 0; q < nq; ++q) {
+        PARINDA_ASSIGN_OR_RETURN(double cost, QueryCost(q, trial));
+        costs[q] = cost;
+        gain += (current_cost[q] - cost) * workload_.queries[q].weight;
+      }
+      if (gain <= kBenefitEps) continue;
+      const double score = budgeted ? gain / std::max(1.0, size) : gain;
+      if (score > best_score) {
+        best = j;
+        best_score = score;
+        best_gain = gain;
+        best_costs = std::move(costs);
+      }
+    }
+    if (best < 0) break;
+    in_set[best] = true;
+    selected.push_back(candidates_[best]);
+    selected_benefit.push_back(best_gain);
+    used_bytes += candidates_[best]->SizeBytes();
+    current_cost = std::move(best_costs);
+  }
+  return FinishAdvice(selected, selected_benefit, /*proved_optimal=*/false);
+}
+
+}  // namespace parinda

@@ -1,0 +1,344 @@
+#include "autopart/autopart.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "optimizer/planner.h"
+#include "optimizer/query_analysis.h"
+#include "rewriter/rewriter.h"
+#include "whatif/whatif_table.h"
+
+namespace parinda {
+
+namespace {
+
+/// Sorted, deduplicated column set union.
+std::vector<ColumnId> UnionColumns(const std::vector<ColumnId>& a,
+                                   const std::vector<ColumnId>& b) {
+  std::set<ColumnId> merged(a.begin(), a.end());
+  merged.insert(b.begin(), b.end());
+  return {merged.begin(), merged.end()};
+}
+
+double ColumnBytes(const TableInfo& table, ColumnId col) {
+  const ColumnStats* stats = table.StatsFor(col);
+  const double width =
+      stats != nullptr
+          ? stats->avg_width
+          : (TypeFixedSize(table.schema.column(col).type) > 0
+                 ? TypeFixedSize(table.schema.column(col).type)
+                 : table.schema.column(col).declared_avg_width);
+  return width * std::max(0.0, table.row_count);
+}
+
+}  // namespace
+
+AutoPartAdvisor::AutoPartAdvisor(const CatalogReader& catalog,
+                                 const Workload& workload,
+                                 AutoPartOptions options)
+    : catalog_(catalog), workload_(workload), options_(options) {}
+
+Result<std::vector<FragmentDef>> AutoPartAdvisor::AtomicFragments(
+    TableId table) const {
+  const TableInfo* info = catalog_.GetTable(table);
+  if (info == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(table));
+  }
+  // Column usage signature: the set of queries reading the column.
+  std::map<ColumnId, std::vector<int>> signature;
+  for (ColumnId c = 0; c < info->schema.num_columns(); ++c) {
+    signature[c] = {};
+  }
+  for (int q = 0; q < workload_.size(); ++q) {
+    PARINDA_ASSIGN_OR_RETURN(
+        AnalyzedQuery analyzed,
+        AnalyzeQuery(catalog_, workload_.queries[q].stmt));
+    for (size_t r = 0; r < analyzed.tables.size(); ++r) {
+      if (analyzed.tables[r]->id != table) continue;
+      for (ColumnId c : analyzed.referenced_columns[r]) {
+        signature[c].push_back(q);
+      }
+    }
+  }
+  // Primary-key columns ride along with every fragment; exclude them from
+  // the partitioning domain.
+  const std::set<ColumnId> pk(info->primary_key.begin(),
+                              info->primary_key.end());
+  std::map<std::vector<int>, std::vector<ColumnId>> groups;
+  for (auto& [col, sig] : signature) {
+    if (pk.count(col) > 0) continue;
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+    groups[sig].push_back(col);
+  }
+  std::vector<FragmentDef> out;
+  for (auto& [sig, cols] : groups) {
+    FragmentDef def;
+    def.table = table;
+    def.columns = cols;
+    out.push_back(std::move(def));
+  }
+  return out;
+}
+
+Result<double> AutoPartAdvisor::EvaluateState(
+    const std::vector<TableState>& state, std::vector<double>* per_query,
+    std::vector<std::string>* rewritten_sql) {
+  ++evaluations_;
+  // Materialize the state as what-if tables. The final (reporting) pass uses
+  // the stable `<table>_part<k>` names MaterializePartitions will create, so
+  // the saved rewritten workload runs against the materialized design as-is.
+  const bool stable_names = rewritten_sql != nullptr;
+  WhatIfTableCatalog overlay(catalog_);
+  std::vector<const TableInfo*> fragments;
+  int global_index = 0;
+  for (const TableState& ts : state) {
+    const TableInfo* parent = catalog_.GetTable(ts.table);
+    for (size_t k = 0; k < ts.fragments.size(); ++k) {
+      WhatIfPartitionDef def;
+      def.parent = ts.table;
+      def.columns = ts.fragments[k];
+      def.name = stable_names
+                     ? parent->name + "_part" + std::to_string(global_index)
+                     : "wif_" + std::to_string(ts.table) + "_f" +
+                           std::to_string(k) + "_" +
+                           std::to_string(evaluations_);
+      ++global_index;
+      PARINDA_ASSIGN_OR_RETURN(TableId id, overlay.AddPartition(def));
+      fragments.push_back(overlay.GetTable(id));
+    }
+  }
+  PlannerOptions planner_options;
+  planner_options.params = options_.params;
+  double total = 0.0;
+  for (int q = 0; q < workload_.size(); ++q) {
+    const WorkloadQuery& query = workload_.queries[q];
+    PARINDA_ASSIGN_OR_RETURN(
+        RewriteResult rewritten,
+        RewriteForPartitions(overlay, query.stmt, fragments));
+    PARINDA_ASSIGN_OR_RETURN(
+        Plan plan, PlanQuery(overlay, rewritten.stmt, planner_options));
+    const double cost = plan.total_cost() * query.weight;
+    total += cost;
+    if (per_query != nullptr) (*per_query)[q] = plan.total_cost();
+    if (rewritten_sql != nullptr) {
+      (*rewritten_sql)[q] = rewritten.stmt.ToSql();
+    }
+  }
+  return total;
+}
+
+double AutoPartAdvisor::ReplicatedBytes(
+    const std::vector<TableState>& state) const {
+  double replicated = 0.0;
+  for (const TableState& ts : state) {
+    const TableInfo* table = catalog_.GetTable(ts.table);
+    if (table == nullptr) continue;
+    double pk_bytes = 0.0;
+    for (ColumnId pk : table->primary_key) {
+      pk_bytes += ColumnBytes(*table, pk);
+    }
+    // One PK copy is the table's own; each extra fragment replicates it.
+    if (!ts.fragments.empty()) {
+      replicated += pk_bytes * static_cast<double>(ts.fragments.size() - 1);
+    }
+    std::map<ColumnId, int> copies;
+    for (const auto& frag : ts.fragments) {
+      for (ColumnId col : frag) copies[col] += 1;
+    }
+    for (const auto& [col, count] : copies) {
+      if (count > 1) {
+        replicated += ColumnBytes(*table, col) * static_cast<double>(count - 1);
+      }
+    }
+  }
+  return replicated;
+}
+
+Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
+  PartitionAdvice advice;
+  advice.per_query_base.assign(static_cast<size_t>(workload_.size()), 0.0);
+  advice.per_query_optimized.assign(static_cast<size_t>(workload_.size()), 0.0);
+  advice.rewritten_sql.assign(static_cast<size_t>(workload_.size()), "");
+
+  // Base cost: the un-partitioned design.
+  {
+    PlannerOptions planner_options;
+    planner_options.params = options_.params;
+    double total = 0.0;
+    for (int q = 0; q < workload_.size(); ++q) {
+      PARINDA_ASSIGN_OR_RETURN(
+          Plan plan,
+          PlanQuery(catalog_, workload_.queries[q].stmt, planner_options));
+      advice.per_query_base[q] = plan.total_cost();
+      total += plan.total_cost() * workload_.queries[q].weight;
+    }
+    advice.base_cost = total;
+  }
+
+  // Tables referenced by the workload.
+  std::set<TableId> tables;
+  for (const WorkloadQuery& query : workload_.queries) {
+    for (const TableRef& ref : query.stmt.from) {
+      tables.insert(ref.bound_table);
+    }
+  }
+
+  // Initial state: atomic fragments per table.
+  std::vector<TableState> state;
+  for (TableId table : tables) {
+    PARINDA_ASSIGN_OR_RETURN(std::vector<FragmentDef> atomics,
+                             AtomicFragments(table));
+    TableState ts;
+    ts.table = table;
+    for (FragmentDef& def : atomics) {
+      ts.fragments.push_back(std::move(def.columns));
+    }
+    if (!ts.fragments.empty()) state.push_back(std::move(ts));
+  }
+
+  PARINDA_ASSIGN_OR_RETURN(double current_cost,
+                           EvaluateState(state, nullptr, nullptr));
+  // Keep the un-partitioned design when atomic partitioning already loses.
+  // (The search below can only improve on `state`, not return to base.)
+  const bool base_wins_initially = advice.base_cost < current_cost;
+
+  // Composite-candidate pool per table: atomic fragments plus the per-query
+  // usage sets (the column group each query reads as a whole) — AutoPart's
+  // composite fragments correspond to query access patterns, not just
+  // pairwise atomic unions.
+  std::map<TableId, std::vector<std::vector<ColumnId>>> composites_of;
+  for (const TableState& ts : state) {
+    composites_of[ts.table] = ts.fragments;  // atomics
+  }
+  for (const WorkloadQuery& query : workload_.queries) {
+    PARINDA_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                             AnalyzeQuery(catalog_, query.stmt));
+    for (size_t r = 0; r < analyzed.tables.size(); ++r) {
+      auto it = composites_of.find(analyzed.tables[r]->id);
+      if (it == composites_of.end()) continue;
+      const TableInfo* table = analyzed.tables[r];
+      const std::set<ColumnId> pk(table->primary_key.begin(),
+                                  table->primary_key.end());
+      std::vector<ColumnId> usage;
+      for (ColumnId col : analyzed.referenced_columns[r]) {
+        if (pk.count(col) == 0) usage.push_back(col);
+      }
+      std::sort(usage.begin(), usage.end());
+      if (!usage.empty() &&
+          std::find(it->second.begin(), it->second.end(), usage) ==
+              it->second.end()) {
+        it->second.push_back(usage);
+      }
+    }
+  }
+
+  // Applies a composite candidate to one table's state, either replicating
+  // (add, keep existing) or merging (drop fragments the union covers).
+  auto apply_candidate = [](std::vector<TableState>* target, size_t si,
+                            const std::vector<ColumnId>& merged,
+                            bool replicate) {
+    TableState& ts = (*target)[si];
+    if (replicate) {
+      ts.fragments.push_back(merged);
+      return;
+    }
+    std::vector<std::vector<ColumnId>> kept;
+    for (const auto& frag : ts.fragments) {
+      const bool covered = std::includes(merged.begin(), merged.end(),
+                                         frag.begin(), frag.end());
+      if (!covered) kept.push_back(frag);
+    }
+    kept.push_back(merged);
+    ts.fragments = std::move(kept);
+  };
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    advice.iterations_run = iter + 1;
+    struct Move {
+      size_t state_index = 0;
+      std::vector<ColumnId> merged;
+      bool replicate = false;
+    };
+    Move best_move;
+    double best_cost = current_cost;
+    bool found = false;
+    int candidates = 0;
+    for (size_t si = 0; si < state.size() &&
+                        candidates < options_.max_candidates_per_iteration;
+         ++si) {
+      TableState& ts = state[si];
+      const auto& pool = composites_of[ts.table];
+      // Candidate unions: each selected fragment extended by each pool
+      // entry, plus each pool entry on its own.
+      std::vector<std::vector<ColumnId>> unions = pool;
+      for (const auto& frag : ts.fragments) {
+        for (const auto& composite : pool) {
+          unions.push_back(UnionColumns(frag, composite));
+        }
+      }
+      std::sort(unions.begin(), unions.end());
+      unions.erase(std::unique(unions.begin(), unions.end()), unions.end());
+      for (const auto& merged : unions) {
+        if (candidates >= options_.max_candidates_per_iteration) break;
+        // Skip no-ops: the union already exists as a fragment.
+        if (std::find(ts.fragments.begin(), ts.fragments.end(), merged) !=
+            ts.fragments.end()) {
+          continue;
+        }
+        ++candidates;
+        for (const bool replicate : {false, true}) {
+          std::vector<TableState> trial = state;
+          apply_candidate(&trial, si, merged, replicate);
+          if (ReplicatedBytes(trial) > options_.replication_limit_bytes) {
+            continue;
+          }
+          PARINDA_ASSIGN_OR_RETURN(double cost,
+                                   EvaluateState(trial, nullptr, nullptr));
+          if (cost < best_cost * (1.0 - options_.min_improvement)) {
+            best_cost = cost;
+            best_move = Move{si, merged, replicate};
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) break;
+    apply_candidate(&state, best_move.state_index, best_move.merged,
+                    best_move.replicate);
+    current_cost = best_cost;
+  }
+
+  // Final evaluation with per-query outputs.
+  PARINDA_ASSIGN_OR_RETURN(
+      double final_cost,
+      EvaluateState(state, &advice.per_query_optimized,
+                    &advice.rewritten_sql));
+  if (base_wins_initially && advice.base_cost < final_cost) {
+    // Partitioning never caught up with the original design: suggest nothing.
+    advice.optimized_cost = advice.base_cost;
+    advice.per_query_optimized = advice.per_query_base;
+    for (int q = 0; q < workload_.size(); ++q) {
+      advice.rewritten_sql[q] = workload_.queries[q].sql;
+    }
+    advice.fragments.clear();
+    advice.replicated_bytes = 0.0;
+    advice.evaluations = evaluations_;
+    return advice;
+  }
+  advice.optimized_cost = final_cost;
+  advice.replicated_bytes = ReplicatedBytes(state);
+  for (const TableState& ts : state) {
+    for (const auto& frag : ts.fragments) {
+      FragmentDef def;
+      def.table = ts.table;
+      def.columns = frag;
+      advice.fragments.push_back(std::move(def));
+    }
+  }
+  advice.evaluations = evaluations_;
+  return advice;
+}
+
+}  // namespace parinda

@@ -1,0 +1,112 @@
+#ifndef PARINDA_AUTOPART_AUTOPART_H_
+#define PARINDA_AUTOPART_AUTOPART_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cost_params.h"
+#include "workload/workload.h"
+
+namespace parinda {
+
+/// One suggested vertical fragment: `columns` of `table` (the parent's
+/// primary key is always carried implicitly, as in the what-if table
+/// component).
+struct FragmentDef {
+  TableId table = kInvalidTableId;
+  std::vector<ColumnId> columns;
+};
+
+/// Configuration for the AutoPart search.
+struct AutoPartOptions {
+  /// The DBA's replication constraint (paper §3: "the maximum space taken by
+  /// replicated columns in the partitions"). Replicated bytes are the extra
+  /// copies beyond one copy of each column plus one primary key.
+  double replication_limit_bytes = std::numeric_limits<double>::infinity();
+  /// Maximum composite-generation iterations (the algorithm also stops when
+  /// no move improves the workload).
+  int max_iterations = 12;
+  /// Candidate pair cap per iteration, to bound evaluation work.
+  int max_candidates_per_iteration = 128;
+  /// Minimum relative improvement for a move to be applied.
+  double min_improvement = 1e-4;
+  CostParams params;
+};
+
+/// Output of the automatic partition suggestion scenario (Figure 2): the
+/// fragments, the workload benefit, per-query benefits, and the rewritten
+/// queries.
+struct PartitionAdvice {
+  std::vector<FragmentDef> fragments;
+  double base_cost = 0.0;
+  double optimized_cost = 0.0;
+  std::vector<double> per_query_base;
+  std::vector<double> per_query_optimized;
+  /// Rewritten workload for the suggested partitions (ready to save).
+  std::vector<std::string> rewritten_sql;
+  /// Replicated bytes of the final design.
+  double replicated_bytes = 0.0;
+  /// Workload cost evaluations performed (each evaluates every query).
+  int evaluations = 0;
+  int iterations_run = 0;
+
+  double Speedup() const {
+    return optimized_cost > 0.0 ? base_cost / optimized_cost : 1.0;
+  }
+};
+
+/// The AutoPart algorithm of Papadomanolakis & Ailamaki (SSDBM 2004), as
+/// integrated in PARINDA §3.3:
+///  1. *Atomic fragments*: the finest column groups such that every workload
+///     query reads each group entirely or not at all.
+///  2. *Composite fragment generation*: unions of selected fragments with
+///     atomic fragments (and atomic with atomic in the first iteration).
+///  3. *Fragment selection*: candidates are evaluated through the what-if
+///     table component + query rewriter; the best improving move is applied
+///     (a merge, or a replicated addition if the replication constraint
+///     allows) and the loop repeats until no improvement is found.
+class AutoPartAdvisor {
+ public:
+  /// The workload must be bound against `catalog`; both must outlive this.
+  AutoPartAdvisor(const CatalogReader& catalog, const Workload& workload,
+                  AutoPartOptions options = {});
+
+  AutoPartAdvisor(const AutoPartAdvisor&) = delete;
+  AutoPartAdvisor& operator=(const AutoPartAdvisor&) = delete;
+
+  /// Runs the search and returns the suggested partitions.
+  Result<PartitionAdvice> Suggest();
+
+  /// Atomic fragments of `table` under this workload (exposed for tests and
+  /// the ablation bench).
+  Result<std::vector<FragmentDef>> AtomicFragments(TableId table) const;
+
+ private:
+  /// One table's in-progress partitioning state.
+  struct TableState {
+    TableId table = kInvalidTableId;
+    std::vector<std::vector<ColumnId>> fragments;
+  };
+
+  /// Evaluates the workload cost of a candidate state (what-if tables +
+  /// rewrite + plan). Returns the weighted total; per-query costs go to
+  /// `per_query` when non-null.
+  Result<double> EvaluateState(const std::vector<TableState>& state,
+                               std::vector<double>* per_query,
+                               std::vector<std::string>* rewritten_sql);
+
+  /// Replicated bytes of a state.
+  double ReplicatedBytes(const std::vector<TableState>& state) const;
+
+  const CatalogReader& catalog_;
+  const Workload& workload_;
+  AutoPartOptions options_;
+  int evaluations_ = 0;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_AUTOPART_AUTOPART_H_

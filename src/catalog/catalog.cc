@@ -1,0 +1,163 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "catalog/size_model.h"
+#include "common/strings.h"
+
+namespace parinda {
+
+double IndexInfo::SizeBytes() const { return leaf_pages * kPageSize; }
+
+Result<TableId> Catalog::CreateTable(TableSchema schema,
+                                     std::vector<ColumnId> primary_key) {
+  const std::string key = ToLower(schema.name());
+  if (key.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (table_names_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + schema.name() + "' exists");
+  }
+  for (ColumnId col : primary_key) {
+    if (col < 0 || col >= schema.num_columns()) {
+      return Status::InvalidArgument("primary key column out of range");
+    }
+  }
+  const TableId id = next_table_id_++;
+  auto info = std::make_unique<TableInfo>();
+  info->id = id;
+  info->name = schema.name();
+  info->schema = std::move(schema);
+  info->primary_key = std::move(primary_key);
+  tables_[id] = std::move(info);
+  table_names_[key] = id;
+  return id;
+}
+
+Result<IndexId> Catalog::CreateIndex(const std::string& index_name,
+                                     TableId table,
+                                     std::vector<ColumnId> columns,
+                                     bool unique) {
+  const TableInfo* t = GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(table));
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  for (ColumnId col : columns) {
+    if (col < 0 || col >= t->schema.num_columns()) {
+      return Status::InvalidArgument("index column out of range for table '" +
+                                     t->name + "'");
+    }
+  }
+  for (const auto& [id, idx] : indexes_) {
+    if (EqualsIgnoreCase(idx->name, index_name)) {
+      return Status::AlreadyExists("index '" + index_name + "' exists");
+    }
+  }
+  const IndexId id = next_index_id_++;
+  auto info = std::make_unique<IndexInfo>();
+  info->id = id;
+  info->name = index_name;
+  info->table_id = table;
+  info->columns = std::move(columns);
+  info->unique = unique;
+  indexes_[id] = std::move(info);
+  return id;
+}
+
+Status Catalog::DropTable(TableId id) {
+  auto it = tables_.find(id);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  // Drop dependent indexes first.
+  for (auto iit = indexes_.begin(); iit != indexes_.end();) {
+    if (iit->second->table_id == id) {
+      iit = indexes_.erase(iit);
+    } else {
+      ++iit;
+    }
+  }
+  table_names_.erase(ToLower(it->second->name));
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(IndexId id) {
+  if (indexes_.erase(id) == 0) {
+    return Status::NotFound("no index with id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status Catalog::UpdateTableStats(TableId id, double row_count, double pages,
+                                 std::vector<ColumnStats> stats) {
+  TableInfo* t = GetMutableTable(id);
+  if (t == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  if (!stats.empty() &&
+      stats.size() != static_cast<size_t>(t->schema.num_columns())) {
+    return Status::InvalidArgument("column stats arity mismatch");
+  }
+  t->row_count = row_count;
+  t->pages = pages;
+  t->column_stats = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::UpdateIndexStats(IndexId id, double leaf_pages,
+                                 int tree_height, double entries) {
+  IndexInfo* idx = GetMutableIndex(id);
+  if (idx == nullptr) {
+    return Status::NotFound("no index with id " + std::to_string(id));
+  }
+  idx->leaf_pages = leaf_pages;
+  idx->tree_height = tree_height;
+  idx->entries = entries;
+  return Status::OK();
+}
+
+TableInfo* Catalog::GetMutableTable(TableId id) {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+IndexInfo* Catalog::GetMutableIndex(IndexId id) {
+  auto it = indexes_.find(id);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+const TableInfo* Catalog::FindTable(const std::string& name) const {
+  auto it = table_names_.find(ToLower(name));
+  return it == table_names_.end() ? nullptr : GetTable(it->second);
+}
+
+const TableInfo* Catalog::GetTable(TableId id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const IndexInfo* Catalog::GetIndex(IndexId id) const {
+  auto it = indexes_.find(id);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const IndexInfo*> Catalog::TableIndexes(TableId table) const {
+  std::vector<const IndexInfo*> out;
+  for (const auto& [id, idx] : indexes_) {
+    if (idx->table_id == table) out.push_back(idx.get());
+  }
+  return out;
+}
+
+std::vector<const TableInfo*> Catalog::AllTables() const {
+  std::vector<const TableInfo*> out;
+  out.reserve(tables_.size());
+  for (const auto& [id, t] : tables_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace parinda

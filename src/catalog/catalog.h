@@ -1,0 +1,144 @@
+#ifndef PARINDA_CATALOG_CATALOG_H_
+#define PARINDA_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "catalog/schema.h"
+#include "catalog/types.h"
+#include "common/status.h"
+
+namespace parinda {
+
+/// Metadata for one (real or hypothetical) B-tree index.
+struct IndexInfo {
+  IndexId id = kInvalidIndexId;
+  std::string name;
+  TableId table_id = kInvalidTableId;
+  /// Key columns, by table ordinal, in key order.
+  std::vector<ColumnId> columns;
+  bool unique = false;
+  /// True for what-if indexes that exist only as injected statistics.
+  bool hypothetical = false;
+  /// Leaf pages (Equation 1 for hypothetical, measured for real indexes).
+  double leaf_pages = 0.0;
+  /// B-tree height above the leaf level.
+  int tree_height = 0;
+  /// Number of index entries (== table rows for non-partial indexes).
+  double entries = 0.0;
+
+  /// Size in bytes (leaf pages * page size), the quantity the storage-budget
+  /// constraint of the ILP is expressed in.
+  double SizeBytes() const;
+};
+
+/// Metadata for one (real or hypothetical) table.
+struct TableInfo {
+  TableId id = kInvalidTableId;
+  std::string name;
+  TableSchema schema;
+  double row_count = 0.0;
+  double pages = 0.0;
+  /// Primary key column ordinals (may be empty).
+  std::vector<ColumnId> primary_key;
+  /// Per-column statistics, parallel to schema.columns(). Empty before
+  /// ANALYZE.
+  std::vector<ColumnStats> column_stats;
+  /// True for what-if partition tables simulated by the what-if layer.
+  bool hypothetical = false;
+  /// For vertical partitions: the table this fragment was cut from, and the
+  /// parent ordinal of each fragment column. Invalid/-empty for base tables.
+  TableId parent_table = kInvalidTableId;
+  std::vector<ColumnId> parent_columns;
+
+  /// For horizontally range-partitioned tables: the child table per range
+  /// and the split points. Child k covers [bounds[k-1], bounds[k]) with
+  /// open ends (children.size() == bounds.size() + 1). The planner scans
+  /// such a table as an Append over the children that survive pruning.
+  std::vector<TableId> horizontal_children;
+  ColumnId partition_column = kInvalidColumnId;
+  std::vector<Value> partition_bounds;
+
+  bool IsHorizontallyPartitioned() const {
+    return !horizontal_children.empty();
+  }
+
+  bool HasStats() const { return !column_stats.empty(); }
+  const ColumnStats* StatsFor(ColumnId col) const {
+    if (col < 0 || static_cast<size_t>(col) >= column_stats.size()) {
+      return nullptr;
+    }
+    return &column_stats[col];
+  }
+};
+
+/// Read interface the optimizer plans against. The what-if layer substitutes
+/// a hypothetical overlay implementing this same interface, which is how
+/// simulated design features become indistinguishable from real ones.
+class CatalogReader {
+ public:
+  virtual ~CatalogReader() = default;
+
+  /// Case-insensitive lookup by table name; nullptr when absent.
+  virtual const TableInfo* FindTable(const std::string& name) const = 0;
+  virtual const TableInfo* GetTable(TableId id) const = 0;
+  virtual const IndexInfo* GetIndex(IndexId id) const = 0;
+  /// All indexes (real and hypothetical) on `table`.
+  virtual std::vector<const IndexInfo*> TableIndexes(TableId table) const = 0;
+  virtual std::vector<const TableInfo*> AllTables() const = 0;
+};
+
+/// The system catalog: owns table and index metadata plus statistics.
+/// Thread-compatible (external synchronization if shared).
+class Catalog : public CatalogReader {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a new table; fails with AlreadyExists on duplicate name.
+  Result<TableId> CreateTable(TableSchema schema,
+                              std::vector<ColumnId> primary_key = {});
+
+  /// Registers a new index over existing columns of an existing table.
+  Result<IndexId> CreateIndex(const std::string& index_name, TableId table,
+                              std::vector<ColumnId> columns,
+                              bool unique = false);
+
+  Status DropTable(TableId id);
+  Status DropIndex(IndexId id);
+
+  /// Replaces the statistics of a table (row count, pages, column stats).
+  Status UpdateTableStats(TableId id, double row_count, double pages,
+                          std::vector<ColumnStats> stats);
+
+  /// Replaces sizing data of an index after it is built.
+  Status UpdateIndexStats(IndexId id, double leaf_pages, int tree_height,
+                          double entries);
+
+  /// Mutable access for the ANALYZE pass and the what-if layer.
+  TableInfo* GetMutableTable(TableId id);
+  IndexInfo* GetMutableIndex(IndexId id);
+
+  // CatalogReader:
+  const TableInfo* FindTable(const std::string& name) const override;
+  const TableInfo* GetTable(TableId id) const override;
+  const IndexInfo* GetIndex(IndexId id) const override;
+  std::vector<const IndexInfo*> TableIndexes(TableId table) const override;
+  std::vector<const TableInfo*> AllTables() const override;
+
+ private:
+  TableId next_table_id_ = 0;
+  IndexId next_index_id_ = 0;
+  std::map<TableId, std::unique_ptr<TableInfo>> tables_;
+  std::map<IndexId, std::unique_ptr<IndexInfo>> indexes_;
+  /// Lower-cased name -> id.
+  std::map<std::string, TableId> table_names_;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_CATALOG_CATALOG_H_

@@ -1,0 +1,15 @@
+#include "catalog/column_stats.h"
+
+#include "common/strings.h"
+
+namespace parinda {
+
+std::string ColumnStats::ToString() const {
+  return StringPrintf(
+      "null_frac=%.3f avg_width=%.1f n_distinct=%.1f mcvs=%zu hist=%zu "
+      "corr=%.3f",
+      null_frac, avg_width, n_distinct, mcv_values.size(),
+      histogram_bounds.size(), correlation);
+}
+
+}  // namespace parinda

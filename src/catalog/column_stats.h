@@ -1,0 +1,69 @@
+#ifndef PARINDA_CATALOG_COLUMN_STATS_H_
+#define PARINDA_CATALOG_COLUMN_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace parinda {
+
+/// Per-column statistics, mirroring PostgreSQL's `pg_statistic` entries that
+/// the planner consumes: null fraction, average width, distinct count,
+/// most-common values, equi-depth histogram, and physical/logical order
+/// correlation.
+///
+/// The what-if layer (see `src/whatif`) copies and re-derives these for
+/// hypothetical indexes and partitions — "the query optimizer primarily deals
+/// with statistics, it cannot differentiate between the real design features
+/// and the what-if ones" (paper, §1).
+struct ColumnStats {
+  /// Fraction of rows that are NULL in this column, in [0, 1].
+  double null_frac = 0.0;
+
+  /// Average on-disk width in bytes (varlena header included for strings).
+  double avg_width = 8.0;
+
+  /// PostgreSQL convention: > 0 is an absolute distinct count; < 0 is the
+  /// negated fraction of rows that are distinct (scales with table growth);
+  /// 0 means unknown.
+  double n_distinct = 0.0;
+
+  /// Most-common values and their frequencies (parallel arrays, sorted by
+  /// descending frequency). Frequencies are fractions of all rows.
+  std::vector<Value> mcv_values;
+  std::vector<double> mcv_freqs;
+
+  /// Equi-depth histogram bounds over the non-MCV values (ascending).
+  /// `histogram_bounds.size() - 1` buckets of equal row mass.
+  std::vector<Value> histogram_bounds;
+
+  /// Correlation between physical row order and this column's order, in
+  /// [-1, 1]. Drives the Mackert–Lohman interpolation in index scan costing.
+  double correlation = 0.0;
+
+  /// Observed min/max (may be NULL Values if the column is all-NULL).
+  Value min_value;
+  Value max_value;
+
+  /// Resolves n_distinct against a concrete row count.
+  double DistinctCount(double row_count) const {
+    if (n_distinct > 0.0) return n_distinct;
+    if (n_distinct < 0.0) return -n_distinct * row_count;
+    return row_count > 0 ? row_count : 1.0;  // unknown: assume all-distinct
+  }
+
+  /// Total frequency mass held by the MCV list.
+  double McvTotalFrequency() const {
+    double sum = 0.0;
+    for (double f : mcv_freqs) sum += f;
+    return sum;
+  }
+
+  /// Debug rendering.
+  std::string ToString() const;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_CATALOG_COLUMN_STATS_H_

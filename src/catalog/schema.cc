@@ -1,0 +1,16 @@
+#include "catalog/schema.h"
+
+#include "common/strings.h"
+
+namespace parinda {
+
+ColumnId TableSchema::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, column_name)) {
+      return static_cast<ColumnId>(i);
+    }
+  }
+  return kInvalidColumnId;
+}
+
+}  // namespace parinda

@@ -1,0 +1,49 @@
+#ifndef PARINDA_CATALOG_SCHEMA_H_
+#define PARINDA_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace parinda {
+
+/// Definition of one table column.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  /// Declared average width hint in bytes for variable-length types; ignored
+  /// for fixed-size types. ANALYZE replaces it with the measured width.
+  int declared_avg_width = 16;
+  bool nullable = true;
+};
+
+/// Ordered list of columns making up a table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<ColumnDef> columns)
+      : name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(ColumnId id) const { return columns_[id]; }
+
+  /// Case-insensitive lookup; returns kInvalidColumnId when absent.
+  ColumnId FindColumn(const std::string& column_name) const;
+
+  /// Appends a column and returns its ordinal.
+  ColumnId AddColumn(ColumnDef def) {
+    columns_.push_back(std::move(def));
+    return static_cast<ColumnId>(columns_.size()) - 1;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_CATALOG_SCHEMA_H_

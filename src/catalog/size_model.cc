@@ -1,0 +1,54 @@
+#include "catalog/size_model.h"
+
+#include <cmath>
+
+namespace parinda {
+
+double AlignUp(double offset, int alignment) {
+  if (alignment <= 1) return offset;
+  const double a = static_cast<double>(alignment);
+  return std::ceil(offset / a) * a;
+}
+
+double AlignedRowWidth(const std::vector<SizedColumn>& columns) {
+  double offset = 0.0;
+  for (const SizedColumn& col : columns) {
+    offset = AlignUp(offset, TypeAlignment(col.type));
+    offset += col.avg_width;
+  }
+  return offset;
+}
+
+double Equation1IndexPages(double row_count,
+                           const std::vector<SizedColumn>& columns) {
+  const double entry = kIndexRowOverhead + AlignedRowWidth(columns);
+  return std::ceil(entry * row_count / kPageSize);
+}
+
+double EstimateIndexLeafPages(double row_count,
+                              const std::vector<SizedColumn>& columns) {
+  const double entry = kIndexRowOverhead + AlignedRowWidth(columns);
+  const double usable = (kPageSize - kPageHeaderSize) * kBTreeFillFactor;
+  const double per_page = std::max(1.0, std::floor(usable / entry));
+  return std::ceil(row_count / per_page);
+}
+
+double EstimateHeapPages(double row_count,
+                         const std::vector<SizedColumn>& columns) {
+  const double tuple = kHeapTupleOverhead + AlignUp(AlignedRowWidth(columns), 8);
+  const double usable = kPageSize - kPageHeaderSize;
+  const double per_page = std::max(1.0, std::floor(usable / tuple));
+  return std::max(1.0, std::ceil(row_count / per_page));
+}
+
+int EstimateBTreeHeight(double leaf_pages, double fanout) {
+  int height = 0;
+  double pages = std::max(1.0, leaf_pages);
+  while (pages > 1.0) {
+    pages = std::ceil(pages / fanout);
+    ++height;
+  }
+  return height;
+}
+
+}  // namespace parinda

@@ -1,0 +1,61 @@
+#ifndef PARINDA_CATALOG_SIZE_MODEL_H_
+#define PARINDA_CATALOG_SIZE_MODEL_H_
+
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace parinda {
+
+/// PostgreSQL 8.3 storage constants used by both the ANALYZE pass (for real
+/// structures) and the what-if layer (for hypothetical ones). Keeping a
+/// single model guarantees that simulated and materialized features get the
+/// same page counts, which is exactly the property demo scenario 1 verifies.
+inline constexpr int kPageSize = 8192;          // paper's B
+inline constexpr int kIndexRowOverhead = 24;    // paper's o (IndexTuple + ItemId)
+inline constexpr int kHeapTupleOverhead = 28;   // 23-byte header + pad + ItemId
+inline constexpr int kPageHeaderSize = 24;
+inline constexpr double kBTreeFillFactor = 0.90;
+
+/// (type, average width) pair describing one column for sizing purposes.
+struct SizedColumn {
+  ValueType type = ValueType::kInt64;
+  /// Average stored bytes (varlena header included for strings).
+  double avg_width = 8.0;
+};
+
+/// Rounds `offset` up to the next multiple of `alignment`.
+double AlignUp(double offset, int alignment);
+
+/// Width in bytes of a row holding `columns`, with each column padded to its
+/// type alignment based on the columns before it — the paper's
+/// `sum(size(c) + align(c))` term.
+double AlignedRowWidth(const std::vector<SizedColumn>& columns);
+
+/// Equation 1 of the paper, verbatim: leaf pages of a B-tree index over
+/// `columns` on a table with `row_count` rows:
+///   Pages = ceil( (o + sum(size(c) + align(c))) * R / B )
+/// Only leaf pages are counted; internal pages are ignored (paper, §3.2).
+/// This is what the what-if index component uses.
+double Equation1IndexPages(double row_count,
+                           const std::vector<SizedColumn>& columns);
+
+/// Leaf pages of a *materialized* B-tree, computed by packing whole entries
+/// into pages under the default fill factor. Slightly larger than Equation 1
+/// (page headers, fill factor, no entry splitting); the accuracy benchmark
+/// (E2) quantifies the gap.
+double EstimateIndexLeafPages(double row_count,
+                              const std::vector<SizedColumn>& columns);
+
+/// Heap pages of a table with `row_count` rows of the given columns,
+/// accounting for the tuple header and page header.
+double EstimateHeapPages(double row_count,
+                         const std::vector<SizedColumn>& columns);
+
+/// B-tree height (root at level h, leaves at level 0) for a given number of
+/// leaf pages, assuming ~`fanout` children per internal page.
+int EstimateBTreeHeight(double leaf_pages, double fanout = 256.0);
+
+}  // namespace parinda
+
+#endif  // PARINDA_CATALOG_SIZE_MODEL_H_

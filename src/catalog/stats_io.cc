@@ -1,0 +1,317 @@
+#include "catalog/stats_io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace parinda {
+
+namespace {
+
+/// Round-trip-safe literal rendering (doubles with full precision, strings
+/// single-quoted with '' escaping).
+std::string FormatValue(const Value& v) {
+  if (v.is_null()) return "NULL";
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return std::to_string(v.AsInt64());
+    case ValueType::kDouble:
+      return StringPrintf("%.17g", v.AsDouble());
+    case ValueType::kBool:
+      return v.AsBool() ? "true" : "false";
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');
+      }
+      out.push_back('\'');
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+/// Splits one line into tokens; quoted strings stay single tokens (quotes
+/// kept so the value parser can recognize them).
+std::vector<std::string> TokenizeLine(const std::string& line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '\'') {
+      std::string token = "'";
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\'') {
+          if (i + 1 < line.size() && line[i + 1] == '\'') {
+            token += "''";
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        token.push_back(line[i++]);
+      }
+      token.push_back('\'');
+      ++i;  // closing quote
+      out.push_back(std::move(token));
+      continue;
+    }
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+Result<Value> ParseValue(const std::string& token, ValueType type) {
+  if (token == "NULL") return Value::Null();
+  if (token.size() >= 2 && token.front() == '\'') {
+    std::string payload;
+    for (size_t i = 1; i + 1 < token.size(); ++i) {
+      payload.push_back(token[i]);
+      if (token[i] == '\'' && i + 2 < token.size() && token[i + 1] == '\'') {
+        ++i;  // collapse the '' escape
+      }
+    }
+    return Value::String(std::move(payload));
+  }
+  switch (type) {
+    case ValueType::kInt64:
+      return Value::Int64(std::strtoll(token.c_str(), nullptr, 10));
+    case ValueType::kDouble:
+      return Value::Double(std::strtod(token.c_str(), nullptr));
+    case ValueType::kBool:
+      return Value::Bool(token == "true");
+    case ValueType::kString:
+      return Status::ParseError("expected quoted string literal, got '" +
+                                token + "'");
+  }
+  return Status::ParseError("unknown value type");
+}
+
+Result<ValueType> ParseType(const std::string& name) {
+  if (name == "bigint") return ValueType::kInt64;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "varchar") return ValueType::kString;
+  if (name == "bool") return ValueType::kBool;
+  return Status::ParseError("unknown type '" + name + "'");
+}
+
+Result<std::vector<ColumnId>> ParseColumnList(const std::string& csv) {
+  std::vector<ColumnId> out;
+  if (csv.empty() || csv == "-") return out;
+  for (const std::string& part : Split(csv, ',')) {
+    out.push_back(static_cast<ColumnId>(std::strtol(part.c_str(), nullptr, 10)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DumpCatalogStats(const CatalogReader& catalog) {
+  std::string out;
+  out += "# PARINDA catalog statistics dump v1\n";
+  for (const TableInfo* table : catalog.AllTables()) {
+    std::vector<std::string> pk;
+    for (ColumnId col : table->primary_key) pk.push_back(std::to_string(col));
+    out += StringPrintf("table %s rows %.17g pages %.17g pk %s\n",
+                        table->name.c_str(), table->row_count, table->pages,
+                        pk.empty() ? "-" : Join(pk, ",").c_str());
+    for (ColumnId c = 0; c < table->schema.num_columns(); ++c) {
+      const ColumnDef& def = table->schema.column(c);
+      const ColumnStats* stats = table->StatsFor(c);
+      ColumnStats empty;
+      const ColumnStats& st = stats != nullptr ? *stats : empty;
+      out += StringPrintf(
+          "column %s %s null_frac %.17g avg_width %.17g n_distinct %.17g "
+          "correlation %.17g",
+          def.name.c_str(), ValueTypeName(def.type), st.null_frac,
+          st.avg_width, st.n_distinct, st.correlation);
+      if (!st.min_value.is_null()) {
+        out += " min " + FormatValue(st.min_value);
+      }
+      if (!st.max_value.is_null()) {
+        out += " max " + FormatValue(st.max_value);
+      }
+      out += "\n";
+      for (size_t i = 0; i < st.mcv_values.size(); ++i) {
+        out += StringPrintf("mcv %s %.17g\n",
+                            FormatValue(st.mcv_values[i]).c_str(),
+                            st.mcv_freqs[i]);
+      }
+      for (const Value& bound : st.histogram_bounds) {
+        out += "hist " + FormatValue(bound) + "\n";
+      }
+    }
+  }
+  for (const TableInfo* table : catalog.AllTables()) {
+    for (const IndexInfo* index : catalog.TableIndexes(table->id)) {
+      std::vector<std::string> cols;
+      for (ColumnId col : index->columns) cols.push_back(std::to_string(col));
+      out += StringPrintf(
+          "index %s on %s (%s)%s leaf_pages %.17g height %d entries %.17g\n",
+          index->name.c_str(), table->name.c_str(), Join(cols, ",").c_str(),
+          index->unique ? " unique" : "", index->leaf_pages,
+          index->tree_height, index->entries);
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
+  auto catalog = std::make_unique<Catalog>();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+
+  // Accumulated state for the current table, flushed on the next stanza.
+  struct PendingTable {
+    TableSchema schema;
+    std::vector<ColumnId> pk;
+    double rows = 0.0;
+    double pages = 0.0;
+    std::vector<ColumnStats> stats;
+  };
+  std::unique_ptr<PendingTable> pending;
+
+  auto flush = [&]() -> Status {
+    if (pending == nullptr) return Status::OK();
+    PARINDA_ASSIGN_OR_RETURN(TableId id,
+                             catalog->CreateTable(pending->schema, pending->pk));
+    PARINDA_RETURN_IF_ERROR(catalog->UpdateTableStats(
+        id, pending->rows, pending->pages, std::move(pending->stats)));
+    pending.reset();
+    return Status::OK();
+  };
+
+  auto err = [&lineno](const std::string& message) {
+    return Status::ParseError(StringPrintf("line %d: %s", lineno,
+                                           message.c_str()));
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = TokenizeLine(line);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "table") {
+      PARINDA_RETURN_IF_ERROR(flush());
+      if (tokens.size() < 8 || tokens[2] != "rows" || tokens[4] != "pages" ||
+          tokens[6] != "pk") {
+        return err("malformed table stanza");
+      }
+      pending = std::make_unique<PendingTable>();
+      pending->schema = TableSchema(tokens[1], {});
+      pending->rows = std::strtod(tokens[3].c_str(), nullptr);
+      pending->pages = std::strtod(tokens[5].c_str(), nullptr);
+      PARINDA_ASSIGN_OR_RETURN(pending->pk, ParseColumnList(tokens[7]));
+      continue;
+    }
+    if (kind == "column") {
+      if (pending == nullptr) return err("column before table");
+      if (tokens.size() < 11) return err("malformed column stanza");
+      PARINDA_ASSIGN_OR_RETURN(ValueType type, ParseType(tokens[2]));
+      ColumnStats stats;
+      stats.null_frac = std::strtod(tokens[4].c_str(), nullptr);
+      stats.avg_width = std::strtod(tokens[6].c_str(), nullptr);
+      stats.n_distinct = std::strtod(tokens[8].c_str(), nullptr);
+      stats.correlation = std::strtod(tokens[10].c_str(), nullptr);
+      for (size_t i = 11; i + 1 < tokens.size(); i += 2) {
+        if (tokens[i] == "min") {
+          PARINDA_ASSIGN_OR_RETURN(stats.min_value,
+                                   ParseValue(tokens[i + 1], type));
+        } else if (tokens[i] == "max") {
+          PARINDA_ASSIGN_OR_RETURN(stats.max_value,
+                                   ParseValue(tokens[i + 1], type));
+        } else {
+          return err("unknown column attribute '" + tokens[i] + "'");
+        }
+      }
+      ColumnDef def;
+      def.name = tokens[1];
+      def.type = type;
+      def.declared_avg_width = static_cast<int>(stats.avg_width);
+      pending->schema.AddColumn(def);
+      pending->stats.push_back(std::move(stats));
+      continue;
+    }
+    if (kind == "mcv") {
+      if (pending == nullptr || pending->stats.empty()) {
+        return err("mcv before column");
+      }
+      if (tokens.size() != 3) return err("malformed mcv line");
+      ColumnStats& stats = pending->stats.back();
+      const ValueType type =
+          pending->schema.column(pending->schema.num_columns() - 1).type;
+      PARINDA_ASSIGN_OR_RETURN(Value v, ParseValue(tokens[1], type));
+      stats.mcv_values.push_back(std::move(v));
+      stats.mcv_freqs.push_back(std::strtod(tokens[2].c_str(), nullptr));
+      continue;
+    }
+    if (kind == "hist") {
+      if (pending == nullptr || pending->stats.empty()) {
+        return err("hist before column");
+      }
+      if (tokens.size() != 2) return err("malformed hist line");
+      ColumnStats& stats = pending->stats.back();
+      const ValueType type =
+          pending->schema.column(pending->schema.num_columns() - 1).type;
+      PARINDA_ASSIGN_OR_RETURN(Value v, ParseValue(tokens[1], type));
+      stats.histogram_bounds.push_back(std::move(v));
+      continue;
+    }
+    if (kind == "index") {
+      PARINDA_RETURN_IF_ERROR(flush());
+      // index <name> on <table> (<cols>) [unique] leaf_pages <f> height <n>
+      // entries <f>
+      if (tokens.size() < 10 || tokens[2] != "on") {
+        return err("malformed index stanza");
+      }
+      const TableInfo* table = catalog->FindTable(tokens[3]);
+      if (table == nullptr) return err("index on unknown table " + tokens[3]);
+      std::string cols = tokens[4];
+      if (cols.size() < 2 || cols.front() != '(' || cols.back() != ')') {
+        return err("malformed index column list");
+      }
+      PARINDA_ASSIGN_OR_RETURN(
+          std::vector<ColumnId> columns,
+          ParseColumnList(cols.substr(1, cols.size() - 2)));
+      size_t i = 5;
+      bool unique = false;
+      if (tokens[i] == "unique") {
+        unique = true;
+        ++i;
+      }
+      if (i + 5 >= tokens.size() || tokens[i] != "leaf_pages" ||
+          tokens[i + 2] != "height" || tokens[i + 4] != "entries") {
+        return err("malformed index attributes");
+      }
+      PARINDA_ASSIGN_OR_RETURN(
+          IndexId id, catalog->CreateIndex(tokens[1], table->id, columns,
+                                           unique));
+      PARINDA_RETURN_IF_ERROR(catalog->UpdateIndexStats(
+          id, std::strtod(tokens[i + 1].c_str(), nullptr),
+          static_cast<int>(std::strtol(tokens[i + 3].c_str(), nullptr, 10)),
+          std::strtod(tokens[i + 5].c_str(), nullptr)));
+      continue;
+    }
+    return err("unknown stanza '" + kind + "'");
+  }
+  PARINDA_RETURN_IF_ERROR(flush());
+  return catalog;
+}
+
+}  // namespace parinda

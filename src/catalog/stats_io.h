@@ -1,0 +1,44 @@
+#ifndef PARINDA_CATALOG_STATS_IO_H_
+#define PARINDA_CATALOG_STATS_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace parinda {
+
+/// Catalog/statistics serialization.
+///
+/// Everything the designer consumes — schemas, row/page counts, per-column
+/// statistics, index metadata — fits in a small text file. Dumping a
+/// production catalog and loading it elsewhere lets a DBA run every PARINDA
+/// scenario *without the data*: what-if features, INUM, the ILP advisor and
+/// AutoPart all operate purely on statistics (plans cannot be executed, but
+/// the demo's advisory workflows never execute).
+///
+/// Format: a line-oriented text format, one object per stanza:
+///
+///   table <name> rows <n> pages <n> pk <col,...>
+///   column <name> <type> null_frac <f> avg_width <f> n_distinct <f>
+///       correlation <f> [min <literal>] [max <literal>]
+///   mcv <literal> <freq>          (repeated, under the current column)
+///   hist <literal>                (repeated, under the current column)
+///   index <name> on <table> (<col,...>) [unique] leaf_pages <f>
+///       height <n> entries <f>
+///
+/// String literals are single-quoted with '' escaping; NULL bounds omitted.
+
+/// Serializes every table (with statistics) and index of `catalog`.
+std::string DumpCatalogStats(const CatalogReader& catalog);
+
+/// Parses a dump into a fresh catalog. Fails with ParseError on malformed
+/// input; the returned catalog is fully usable by the binder, planner, and
+/// all advisors.
+Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text);
+
+}  // namespace parinda
+
+#endif  // PARINDA_CATALOG_STATS_IO_H_

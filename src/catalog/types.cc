@@ -1,0 +1,45 @@
+#include "catalog/types.h"
+
+namespace parinda {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "bigint";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "varchar";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+int TypeAlignment(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 4;
+    case ValueType::kBool:
+      return 1;
+  }
+  return 1;
+}
+
+int TypeFixedSize(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return -1;
+    case ValueType::kBool:
+      return 1;
+  }
+  return -1;
+}
+
+}  // namespace parinda

@@ -1,0 +1,47 @@
+#ifndef PARINDA_CATALOG_TYPES_H_
+#define PARINDA_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace parinda {
+
+/// Column data types. The subset PostgreSQL's SDSS schema actually needs:
+/// bigint, double precision, varchar, boolean.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+/// "bigint", "double", "varchar", "bool".
+const char* ValueTypeName(ValueType type);
+
+/// On-disk alignment requirement in bytes, mirroring PostgreSQL typalign
+/// ('d' = 8 for bigint/double, 'i' = 4 for varlena, 'c' = 1 for bool).
+int TypeAlignment(ValueType type);
+
+/// Fixed on-disk size in bytes, or -1 for variable-length types (varchar).
+int TypeFixedSize(ValueType type);
+
+/// True for types with a total order usable in range predicates & histograms.
+inline bool TypeIsOrdered(ValueType type) { return type != ValueType::kBool; }
+
+/// True for numeric types where histogram interpolation is meaningful.
+inline bool TypeIsNumeric(ValueType type) {
+  return type == ValueType::kInt64 || type == ValueType::kDouble;
+}
+
+using TableId = int32_t;
+using IndexId = int32_t;
+/// Column ordinal within its table (0-based).
+using ColumnId = int32_t;
+
+inline constexpr TableId kInvalidTableId = -1;
+inline constexpr IndexId kInvalidIndexId = -1;
+inline constexpr ColumnId kInvalidColumnId = -1;
+
+}  // namespace parinda
+
+#endif  // PARINDA_CATALOG_TYPES_H_

@@ -1,0 +1,104 @@
+#include "catalog/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace parinda {
+
+ValueType Value::type() const {
+  PARINDA_DCHECK(!is_null());
+  if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt64;
+  if (std::holds_alternative<double>(data_)) return ValueType::kDouble;
+  if (std::holds_alternative<std::string>(data_)) return ValueType::kString;
+  return ValueType::kBool;
+}
+
+double Value::ToNumeric() const {
+  if (std::holds_alternative<int64_t>(data_)) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  if (std::holds_alternative<double>(data_)) return std::get<double>(data_);
+  if (std::holds_alternative<bool>(data_)) {
+    return std::get<bool>(data_) ? 1.0 : 0.0;
+  }
+  PARINDA_LOG(Fatal) << "ToNumeric on non-numeric value";
+  return 0.0;
+}
+
+int Value::Compare(const Value& other) const {
+  const bool ln = is_null();
+  const bool rn = other.is_null();
+  if (ln && rn) return 0;
+  if (ln) return 1;   // NULLS LAST
+  if (rn) return -1;
+  const ValueType lt = type();
+  const ValueType rt = other.type();
+  if (lt == ValueType::kString && rt == ValueType::kString) {
+    return AsString().compare(other.AsString()) < 0
+               ? -1
+               : (AsString() == other.AsString() ? 0 : 1);
+  }
+  if (lt == ValueType::kBool && rt == ValueType::kBool) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  // Numeric cross-type comparison (int64 vs double).
+  PARINDA_CHECK(TypeIsNumeric(lt) || lt == ValueType::kBool);
+  PARINDA_CHECK(TypeIsNumeric(rt) || rt == ValueType::kBool);
+  const double l = ToNumeric();
+  const double r = other.ToNumeric();
+  if (l < r) return -1;
+  if (l > r) return 1;
+  return 0;
+}
+
+int Value::StorageSize() const {
+  if (is_null()) return 0;
+  switch (type()) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      // 4-byte varlena header + payload, as in PostgreSQL 8.3.
+      return 4 + static_cast<int>(AsString().size());
+    case ValueType::kBool:
+      return 1;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return StringPrintf("%g", AsDouble());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b9u;
+  switch (type()) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+    case ValueType::kBool: {
+      // Hash on the numeric view so 1::int64 == 1.0::double hash equal.
+      double d = ToNumeric();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+}  // namespace parinda

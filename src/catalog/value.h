@@ -1,0 +1,72 @@
+#ifndef PARINDA_CATALOG_VALUE_H_
+#define PARINDA_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "catalog/types.h"
+
+namespace parinda {
+
+/// A runtime value of one of the catalog types, plus SQL NULL.
+///
+/// Values are small, copyable, and totally ordered within a type (NULLs sort
+/// last, as in PostgreSQL's default NULLS LAST).
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// Type of a non-null value. Precondition: !is_null().
+  ValueType type() const;
+
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Numeric view of the value: int64/double as-is, bool as 0/1.
+  /// Precondition: !is_null() and type() != kString.
+  double ToNumeric() const;
+
+  /// Three-way comparison. NULLs compare equal to each other and greater than
+  /// any non-null (NULLS LAST). Int64 and Double compare numerically across
+  /// types; otherwise types must match.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// On-disk byte size of this value (varlena header included for strings).
+  int StorageSize() const;
+
+  /// SQL-literal rendering ("42", "3.14", "'sky'", "true", "NULL").
+  std::string ToString() const;
+
+  /// Hash usable by hash joins / grouping. Equal values hash equal, including
+  /// the int64/double numeric cross-type equality.
+  size_t Hash() const;
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Repr r) : data_(std::move(r)) {}
+
+  Repr data_;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_CATALOG_VALUE_H_

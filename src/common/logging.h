@@ -1,0 +1,58 @@
+#ifndef PARINDA_COMMON_LOGGING_H_
+#define PARINDA_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace parinda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink; writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace parinda
+
+#define PARINDA_LOG(level)                                      \
+  ::parinda::internal_logging::LogMessage(                      \
+      ::parinda::LogLevel::k##level, __FILE__, __LINE__)
+
+/// CHECK-style invariant assertion, active in all build types.
+#define PARINDA_CHECK(cond)                                          \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      PARINDA_LOG(Fatal) << "Check failed: " #cond;                  \
+    }                                                                \
+  } while (0)
+
+#define PARINDA_DCHECK(cond) assert(cond)
+
+#endif  // PARINDA_COMMON_LOGGING_H_

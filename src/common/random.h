@@ -1,0 +1,108 @@
+#ifndef PARINDA_COMMON_RANDOM_H_
+#define PARINDA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace parinda {
+
+/// Deterministic, seedable pseudo-random generator (xorshift128+).
+///
+/// Data generation, workload sampling and benchmarks all use this so that
+/// every experiment is exactly reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding avoids correlated low-entropy states.
+    state_[0] = SplitMix64(&seed);
+    state_[1] = SplitMix64(&seed);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return NextUint64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+  }
+
+  /// Zipfian rank in [0, n) with skew `theta` in (0, 1). Uses the classic
+  /// Gray et al. rejection-free generator.
+  uint64_t NextZipf(uint64_t n, double theta) {
+    // Recompute constants only when (n, theta) changes.
+    if (n != zipf_n_ || theta != zipf_theta_) {
+      zipf_n_ = n;
+      zipf_theta_ = theta;
+      zipf_zetan_ = Zeta(n, theta);
+      zipf_alpha_ = 1.0 / (1.0 - theta);
+      zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                  (1.0 - Zeta(2, theta) / zipf_zetan_);
+    }
+    double u = NextDouble();
+    double uz = u * zipf_zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n) *
+        std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t state_[2];
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = 0.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_RANDOM_H_

@@ -1,0 +1,161 @@
+#ifndef PARINDA_COMMON_STATUS_H_
+#define PARINDA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace parinda {
+
+/// Error categories used across the library. Mirrors the small set of
+/// failure modes a physical-design tool encounters: bad user input (SQL,
+/// constraints), missing catalog objects, solver/search failures, and
+/// internal invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kUnsupported,
+  kSolverError,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Exception-free error propagation (the library never throws).
+///
+/// A `Status` is either OK or carries a code plus message. Functions that can
+/// fail return `Status` (or `Result<T>` when they also produce a value) and
+/// callers propagate with `PARINDA_RETURN_IF_ERROR` / `PARINDA_ASSIGN_OR_RETURN`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status SolverError(std::string msg) {
+    return Status(StatusCode::kSolverError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Analogous to
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps `return value;` ergonomic.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace parinda
+
+/// Propagates a non-OK Status to the caller.
+#define PARINDA_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::parinda::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define PARINDA_CONCAT_IMPL(a, b) a##b
+#define PARINDA_CONCAT(a, b) PARINDA_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define PARINDA_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  PARINDA_ASSIGN_OR_RETURN_IMPL(                                    \
+      PARINDA_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define PARINDA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#endif  // PARINDA_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef PARINDA_EXECUTOR_EXEC_STATS_H_
+#define PARINDA_EXECUTOR_EXEC_STATS_H_
+
+#include <cstdint>
+
+#include "optimizer/cost_params.h"
+
+namespace parinda {
+
+/// Deterministic execution accounting. The in-memory executor charges page
+/// touches and per-tuple CPU exactly like a disk-resident PostgreSQL would
+/// issue them; `MeasuredCost` converts the tally into the optimizer's cost
+/// units so estimated and "measured" costs are directly comparable —
+/// the workload-speedup numbers (paper's 2x–10x) are ratios of this measure.
+struct ExecStats {
+  int64_t seq_pages_read = 0;
+  int64_t random_pages_read = 0;
+  int64_t tuples_processed = 0;
+  int64_t operator_evals = 0;
+
+  ExecStats& operator+=(const ExecStats& other) {
+    seq_pages_read += other.seq_pages_read;
+    random_pages_read += other.random_pages_read;
+    tuples_processed += other.tuples_processed;
+    operator_evals += other.operator_evals;
+    return *this;
+  }
+
+  /// Cost-unit equivalent of the observed work.
+  double MeasuredCost(const CostParams& params) const {
+    return params.seq_page_cost * static_cast<double>(seq_pages_read) +
+           params.random_page_cost * static_cast<double>(random_pages_read) +
+           params.cpu_tuple_cost * static_cast<double>(tuples_processed) +
+           params.cpu_operator_cost * static_cast<double>(operator_evals);
+  }
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_EXECUTOR_EXEC_STATS_H_

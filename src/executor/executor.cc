@@ -1,0 +1,725 @@
+#include "executor/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "optimizer/planner.h"
+#include "optimizer/selectivity.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+
+namespace parinda {
+
+namespace {
+
+/// Hash/equality for grouping keys.
+struct RowHash {
+  size_t operator()(const Row& row) const { return HashRow(row); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    return a.size() == b.size() && CompareRows(a, b) == 0;
+  }
+};
+
+class ExecutorImpl {
+ public:
+  ExecutorImpl(const Database& db, const SelectStatement& stmt)
+      : db_(db), stmt_(stmt), num_ranges_(static_cast<int>(stmt.from.size())) {}
+
+  Result<ExecResult> Run(const Plan& plan);
+
+ private:
+  Result<std::vector<CompositeRow>> ExecRel(const PlanNode& node,
+                                            ExecStats* stats);
+  Result<std::vector<CompositeRow>> ExecRelImpl(const PlanNode& node,
+                                                ExecStats* stats);
+  Result<std::vector<CompositeRow>> ExecSeqScan(const PlanNode& node,
+                                                ExecStats* stats);
+  Result<std::vector<CompositeRow>> ExecIndexScan(const PlanNode& node,
+                                                  ExecStats* stats);
+  Result<std::vector<CompositeRow>> ExecBitmapHeapScan(const PlanNode& node,
+                                                       ExecStats* stats);
+  /// Evaluates a scan node's index conditions against its B-tree, returning
+  /// matching row ids (key order) and leaf pages touched.
+  Result<BTreeIndex::ScanResult> ProbeIndex(const PlanNode& node) const;
+  Result<std::vector<CompositeRow>> ExecNestLoop(const PlanNode& node,
+                                                 ExecStats* stats);
+  Result<std::vector<CompositeRow>> ExecHashJoin(const PlanNode& node,
+                                                 ExecStats* stats);
+  Result<std::vector<CompositeRow>> ExecMergeJoin(const PlanNode& node,
+                                                  ExecStats* stats);
+  Result<std::vector<CompositeRow>> ExecSort(const PlanNode& node,
+                                             ExecStats* stats);
+
+  /// Applies node.filters and (for joins) node.join_conds.
+  Result<bool> PassesQuals(const PlanNode& node, const CompositeRow& row,
+                           ExecStats* stats);
+
+  /// Builds a composite row with `heap_row` placed at `range`.
+  CompositeRow MakeComposite(int range, const Row& heap_row) const;
+
+  /// Merges two composites (disjoint ranges).
+  static CompositeRow MergeComposites(const CompositeRow& a,
+                                      const CompositeRow& b);
+
+  /// Fetches heap rows for index scan results, charging page I/O.
+  Result<std::vector<CompositeRow>> FetchHeapRows(
+      const PlanNode& node, const std::vector<RowId>& row_ids,
+      int64_t leaf_pages_touched, ExecStats* stats);
+
+  const Database& db_;
+  const SelectStatement& stmt_;
+  int num_ranges_;
+  std::map<const PlanNode*, int64_t> node_rows_;
+};
+
+CompositeRow ExecutorImpl::MakeComposite(int range, const Row& heap_row) const {
+  CompositeRow composite(static_cast<size_t>(num_ranges_));
+  composite[range] = heap_row;
+  return composite;
+}
+
+CompositeRow ExecutorImpl::MergeComposites(const CompositeRow& a,
+                                           const CompositeRow& b) {
+  CompositeRow out = a;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (!b[i].empty()) out[i] = b[i];
+  }
+  return out;
+}
+
+Result<bool> ExecutorImpl::PassesQuals(const PlanNode& node,
+                                       const CompositeRow& row,
+                                       ExecStats* stats) {
+  for (const Expr* qual : node.join_conds) {
+    stats->operator_evals += 1;
+    PARINDA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qual, row));
+    if (!pass) return false;
+  }
+  for (const Expr* qual : node.filters) {
+    stats->operator_evals += 1;
+    PARINDA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qual, row));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecSeqScan(
+    const PlanNode& node, ExecStats* stats) {
+  const HeapTable* heap = db_.GetHeapTable(node.table_id);
+  if (heap == nullptr) {
+    return Status::NotFound("no heap table for plan scan node");
+  }
+  stats->seq_pages_read += heap->num_pages();
+  std::vector<CompositeRow> out;
+  for (RowId id = 0; id < heap->num_rows(); ++id) {
+    stats->tuples_processed += 1;
+    CompositeRow composite = MakeComposite(node.range_index, heap->row(id));
+    bool pass = true;
+    for (const Expr* qual : node.filters) {
+      stats->operator_evals += 1;
+      PARINDA_ASSIGN_OR_RETURN(pass, EvalPredicate(*qual, composite));
+      if (!pass) break;
+    }
+    if (pass) out.push_back(std::move(composite));
+  }
+  return out;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::FetchHeapRows(
+    const PlanNode& node, const std::vector<RowId>& row_ids,
+    int64_t leaf_pages_touched, ExecStats* stats) {
+  const HeapTable* heap = db_.GetHeapTable(node.table_id);
+  if (heap == nullptr) {
+    return Status::NotFound("no heap table for plan scan node");
+  }
+  stats->random_pages_read += leaf_pages_touched;
+  std::unordered_set<int64_t> pages;
+  std::vector<CompositeRow> out;
+  for (RowId id : row_ids) {
+    stats->tuples_processed += 1;
+    pages.insert(heap->PageOf(id));
+    CompositeRow composite = MakeComposite(node.range_index, heap->row(id));
+    bool pass = true;
+    for (const Expr* qual : node.filters) {
+      stats->operator_evals += 1;
+      PARINDA_ASSIGN_OR_RETURN(pass, EvalPredicate(*qual, composite));
+      if (!pass) break;
+    }
+    if (pass) out.push_back(std::move(composite));
+  }
+  stats->random_pages_read += static_cast<int64_t>(pages.size());
+  return out;
+}
+
+Result<BTreeIndex::ScanResult> ExecutorImpl::ProbeIndex(
+    const PlanNode& node) const {
+  const BTreeIndex* btree = db_.GetBTree(node.index_id);
+  if (btree == nullptr) {
+    return Status::InvalidArgument(
+        "plan uses a hypothetical index; what-if plans cannot be executed "
+        "until the index is materialized");
+  }
+  // IN-list probe (bitmap scans only): union of one equality probe per
+  // list element.
+  for (const Expr* cond : node.index_conds) {
+    if (cond->kind != ExprKind::kInList) continue;
+    const Expr& arg = *cond->children[0];
+    if (arg.kind == ExprKind::kColumnRef &&
+        arg.bound_range == node.range_index &&
+        arg.bound_column == btree->key_columns()[0]) {
+      BTreeIndex::ScanResult merged;
+      for (size_t i = 1; i < cond->children.size(); ++i) {
+        auto item = EvalConstExpr(*cond->children[i]);
+        if (!item || item->is_null()) continue;
+        BTreeIndex::ScanResult probe = btree->EqualScan({*item});
+        merged.leaf_pages_touched += probe.leaf_pages_touched;
+        merged.row_ids.insert(merged.row_ids.end(), probe.row_ids.begin(),
+                              probe.row_ids.end());
+      }
+      return merged;
+    }
+  }
+  // Decompose index conditions into an equality prefix plus an optional
+  // range on the next key column.
+  Row eq_prefix;
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  for (size_t k = 0; k < btree->key_columns().size(); ++k) {
+    const ColumnId col = btree->key_columns()[k];
+    bool advanced = false;
+    for (const Expr* cond : node.index_conds) {
+      auto simple = ExtractSimpleClause(*cond);
+      if (simple && simple->column == col &&
+          simple->range == node.range_index) {
+        if (simple->op == BinaryOp::kEq &&
+            eq_prefix.size() == k) {  // extend prefix
+          eq_prefix.push_back(simple->constant);
+          advanced = true;
+          break;
+        }
+        if (k == eq_prefix.size()) {  // range on next column
+          switch (simple->op) {
+            case BinaryOp::kGt:
+              lo = simple->constant;
+              lo_inclusive = false;
+              break;
+            case BinaryOp::kGe:
+              lo = simple->constant;
+              lo_inclusive = true;
+              break;
+            case BinaryOp::kLt:
+              hi = simple->constant;
+              hi_inclusive = false;
+              break;
+            case BinaryOp::kLe:
+              hi = simple->constant;
+              hi_inclusive = true;
+              break;
+            default:
+              break;
+          }
+        }
+      } else if (cond->kind == ExprKind::kBetween) {
+        const Expr& arg = *cond->children[0];
+        if (arg.kind == ExprKind::kColumnRef && arg.bound_column == col &&
+            arg.bound_range == node.range_index && k == eq_prefix.size()) {
+          auto lo_v = EvalConstExpr(*cond->children[1]);
+          auto hi_v = EvalConstExpr(*cond->children[2]);
+          if (lo_v && hi_v) {
+            lo = *lo_v;
+            hi = *hi_v;
+            lo_inclusive = hi_inclusive = true;
+          }
+        }
+      }
+    }
+    if (!advanced) break;
+  }
+  if (!eq_prefix.empty()) {
+    // Residual range bounds on later columns are re-checked by the caller
+    // (the conditions stay in node.index_conds).
+    return btree->EqualScan(eq_prefix);
+  }
+  return btree->RangeScan(lo, lo_inclusive, hi, hi_inclusive);
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecIndexScan(
+    const PlanNode& node, ExecStats* stats) {
+  PARINDA_ASSIGN_OR_RETURN(BTreeIndex::ScanResult scan, ProbeIndex(node));
+  // Re-check every index condition (harmless for enforced ones, necessary
+  // for bounds the one-dimensional probe could not apply).
+  PlanNode recheck = node;  // shallow copy: reuse filters + index_conds
+  recheck.filters.insert(recheck.filters.end(), node.index_conds.begin(),
+                         node.index_conds.end());
+  return FetchHeapRows(recheck, scan.row_ids, scan.leaf_pages_touched, stats);
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecBitmapHeapScan(
+    const PlanNode& node, ExecStats* stats) {
+  // The executor side of cost_bitmap_heap_scan: probe the index like a
+  // plain scan, but sort the matching row ids into physical order so heap
+  // pages are each touched once, sequentially.
+  const HeapTable* heap = db_.GetHeapTable(node.table_id);
+  if (heap == nullptr) {
+    return Status::NotFound("no heap table for plan scan node");
+  }
+  PARINDA_ASSIGN_OR_RETURN(BTreeIndex::ScanResult scan, ProbeIndex(node));
+  std::sort(scan.row_ids.begin(), scan.row_ids.end());
+  stats->random_pages_read += scan.leaf_pages_touched;
+
+  std::vector<CompositeRow> out;
+  int64_t last_page = -1;
+  for (RowId id : scan.row_ids) {
+    stats->tuples_processed += 1;
+    const int64_t page = heap->PageOf(id);
+    if (page != last_page) {
+      stats->seq_pages_read += 1;  // physical order: one pass over pages
+      last_page = page;
+    }
+    CompositeRow composite = MakeComposite(node.range_index, heap->row(id));
+    bool pass = true;
+    // Recheck index conditions plus residual filters.
+    for (const Expr* qual : node.index_conds) {
+      stats->operator_evals += 1;
+      PARINDA_ASSIGN_OR_RETURN(pass, EvalPredicate(*qual, composite));
+      if (!pass) break;
+    }
+    if (pass) {
+      for (const Expr* qual : node.filters) {
+        stats->operator_evals += 1;
+        PARINDA_ASSIGN_OR_RETURN(pass, EvalPredicate(*qual, composite));
+        if (!pass) break;
+      }
+    }
+    if (pass) out.push_back(std::move(composite));
+  }
+  return out;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecNestLoop(
+    const PlanNode& node, ExecStats* stats) {
+  const PlanNode& outer_node = *node.children[0];
+  const PlanNode& inner_node = *node.children[1];
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> outer,
+                           ExecRel(outer_node, stats));
+  std::vector<CompositeRow> out;
+
+  // Parameterized inner index scan: re-probe the index per outer row.
+  if (!node.param_outer_exprs.empty() &&
+      inner_node.type == PlanNodeType::kIndexScan) {
+    const BTreeIndex* btree = db_.GetBTree(inner_node.index_id);
+    if (btree == nullptr) {
+      return Status::InvalidArgument(
+          "plan uses a hypothetical index; cannot execute");
+    }
+    for (const CompositeRow& outer_row : outer) {
+      PARINDA_ASSIGN_OR_RETURN(
+          Value key, EvalScalar(*node.param_outer_exprs[0], outer_row));
+      if (key.is_null()) continue;
+      BTreeIndex::ScanResult scan = btree->EqualScan({key});
+      PARINDA_ASSIGN_OR_RETURN(
+          std::vector<CompositeRow> inner_rows,
+          FetchHeapRows(inner_node, scan.row_ids, scan.leaf_pages_touched,
+                        stats));
+      for (const CompositeRow& inner_row : inner_rows) {
+        CompositeRow joined = MergeComposites(outer_row, inner_row);
+        stats->tuples_processed += 1;
+        PARINDA_ASSIGN_OR_RETURN(bool pass, PassesQuals(node, joined, stats));
+        if (pass) out.push_back(std::move(joined));
+      }
+    }
+    return out;
+  }
+
+  // Plain / materialized rescan: execute inner once, charge rescans.
+  ExecStats inner_stats;
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> inner,
+                           ExecRel(inner_node, &inner_stats));
+  const bool materialized = inner_node.type == PlanNodeType::kMaterialize;
+  const int64_t loops = std::max<int64_t>(1, static_cast<int64_t>(outer.size()));
+  if (materialized) {
+    // One real execution; rescans only cost tuple CPU (charged below).
+    *stats += inner_stats;
+  } else {
+    // A real nested loop re-reads the inner relation every iteration.
+    ExecStats scaled = inner_stats;
+    scaled.seq_pages_read *= loops;
+    scaled.random_pages_read *= loops;
+    scaled.tuples_processed *= loops;
+    scaled.operator_evals *= loops;
+    *stats += scaled;
+  }
+  for (const CompositeRow& outer_row : outer) {
+    for (const CompositeRow& inner_row : inner) {
+      stats->tuples_processed += 1;
+      CompositeRow joined = MergeComposites(outer_row, inner_row);
+      PARINDA_ASSIGN_OR_RETURN(bool pass, PassesQuals(node, joined, stats));
+      if (pass) out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecHashJoin(
+    const PlanNode& node, ExecStats* stats) {
+  const PlanNode& outer_node = *node.children[0];
+  const PlanNode& inner_node = *node.children[1];
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> outer,
+                           ExecRel(outer_node, stats));
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> inner,
+                           ExecRel(inner_node, stats));
+
+  // Split each equi-join condition into (outer side, inner side) using which
+  // composite slot is populated.
+  auto side_of = [&](const Expr& column_ref,
+                     const std::vector<CompositeRow>& rows) -> bool {
+    if (rows.empty()) return false;
+    return !rows.front()[column_ref.bound_range].empty();
+  };
+  std::vector<const Expr*> outer_keys;
+  std::vector<const Expr*> inner_keys;
+  for (const Expr* cond : node.join_conds) {
+    if (cond->kind != ExprKind::kComparison || cond->op != BinaryOp::kEq ||
+        cond->children[0]->kind != ExprKind::kColumnRef ||
+        cond->children[1]->kind != ExprKind::kColumnRef) {
+      continue;  // evaluated as a residual qual below
+    }
+    const Expr* a = cond->children[0].get();
+    const Expr* b = cond->children[1].get();
+    if (side_of(*a, outer)) {
+      outer_keys.push_back(a);
+      inner_keys.push_back(b);
+    } else {
+      outer_keys.push_back(b);
+      inner_keys.push_back(a);
+    }
+  }
+  if (outer_keys.empty()) {
+    return Status::Internal("hash join without hashable clause");
+  }
+  std::unordered_multimap<size_t, const CompositeRow*> table;
+  table.reserve(inner.size());
+  for (const CompositeRow& row : inner) {
+    Row key;
+    for (const Expr* e : inner_keys) {
+      PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, row));
+      key.push_back(std::move(v));
+    }
+    stats->operator_evals += 1;
+    table.emplace(HashRow(key), &row);
+  }
+  std::vector<CompositeRow> out;
+  for (const CompositeRow& outer_row : outer) {
+    Row key;
+    for (const Expr* e : outer_keys) {
+      PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, outer_row));
+      key.push_back(std::move(v));
+    }
+    stats->operator_evals += 1;
+    auto [begin, end] = table.equal_range(HashRow(key));
+    for (auto it = begin; it != end; ++it) {
+      CompositeRow joined = MergeComposites(outer_row, *it->second);
+      stats->tuples_processed += 1;
+      PARINDA_ASSIGN_OR_RETURN(bool pass, PassesQuals(node, joined, stats));
+      if (pass) out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecMergeJoin(
+    const PlanNode& node, ExecStats* stats) {
+  // Inputs are already ordered (by Sort children or index order); run a
+  // standard merge with equal-key group cross products.
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> outer,
+                           ExecRel(*node.children[0], stats));
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> inner,
+                           ExecRel(*node.children[1], stats));
+  // Merge keys: the pathkeys the planner sorted each side on.
+  const std::vector<PathKey>& outer_keys = node.children[0]->pathkeys;
+  const std::vector<PathKey>& inner_keys = node.children[1]->pathkeys;
+  const size_t nkeys = std::min(outer_keys.size(), inner_keys.size());
+  if (nkeys == 0) return Status::Internal("merge join without sort keys");
+
+  auto key_of = [](const CompositeRow& row, const std::vector<PathKey>& keys,
+                   size_t n) {
+    Row out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(row[keys[i].range][keys[i].column]);
+    }
+    return out;
+  };
+  std::vector<CompositeRow> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < outer.size() && j < inner.size()) {
+    Row ko = key_of(outer[i], outer_keys, nkeys);
+    Row kj = key_of(inner[j], inner_keys, nkeys);
+    stats->operator_evals += 1;
+    const int c = CompareRows(ko, kj);
+    if (c < 0) {
+      ++i;
+      continue;
+    }
+    if (c > 0) {
+      ++j;
+      continue;
+    }
+    // Equal group: find extents on both sides.
+    size_t i_end = i + 1;
+    while (i_end < outer.size() &&
+           CompareRows(key_of(outer[i_end], outer_keys, nkeys), ko) == 0) {
+      ++i_end;
+    }
+    size_t j_end = j + 1;
+    while (j_end < inner.size() &&
+           CompareRows(key_of(inner[j_end], inner_keys, nkeys), kj) == 0) {
+      ++j_end;
+    }
+    for (size_t a = i; a < i_end; ++a) {
+      for (size_t b = j; b < j_end; ++b) {
+        CompositeRow joined = MergeComposites(outer[a], inner[b]);
+        stats->tuples_processed += 1;
+        PARINDA_ASSIGN_OR_RETURN(bool pass, PassesQuals(node, joined, stats));
+        if (pass) out.push_back(std::move(joined));
+      }
+    }
+    i = i_end;
+    j = j_end;
+  }
+  return out;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecSort(const PlanNode& node,
+                                                         ExecStats* stats) {
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> rows,
+                           ExecRel(*node.children[0], stats));
+  const std::vector<PathKey>& keys = node.sort_keys;
+  stats->operator_evals += static_cast<int64_t>(
+      rows.size() > 1 ? static_cast<double>(rows.size()) *
+                            std::log2(static_cast<double>(rows.size()))
+                      : 1);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](const CompositeRow& a, const CompositeRow& b) {
+                     for (const PathKey& key : keys) {
+                       const Value& va = a[key.range][key.column];
+                       const Value& vb = b[key.range][key.column];
+                       const int c = va.Compare(vb);
+                       if (c != 0) return key.descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  return rows;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecRel(const PlanNode& node,
+                                                        ExecStats* stats) {
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> rows,
+                           ExecRelImpl(node, stats));
+  node_rows_[&node] = static_cast<int64_t>(rows.size());
+  return rows;
+}
+
+Result<std::vector<CompositeRow>> ExecutorImpl::ExecRelImpl(
+    const PlanNode& node, ExecStats* stats) {
+  switch (node.type) {
+    case PlanNodeType::kSeqScan:
+      return ExecSeqScan(node, stats);
+    case PlanNodeType::kIndexScan:
+      return ExecIndexScan(node, stats);
+    case PlanNodeType::kBitmapHeapScan:
+      return ExecBitmapHeapScan(node, stats);
+    case PlanNodeType::kAppend: {
+      std::vector<CompositeRow> out;
+      for (const PlanNodePtr& child : node.children) {
+        PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> rows,
+                                 ExecRel(*child, stats));
+        for (CompositeRow& row : rows) out.push_back(std::move(row));
+      }
+      return out;
+    }
+    case PlanNodeType::kNestLoopJoin:
+      return ExecNestLoop(node, stats);
+    case PlanNodeType::kHashJoin:
+      return ExecHashJoin(node, stats);
+    case PlanNodeType::kMergeJoin:
+      return ExecMergeJoin(node, stats);
+    case PlanNodeType::kMaterialize:
+      return ExecRel(*node.children[0], stats);
+    case PlanNodeType::kSort:
+      return ExecSort(node, stats);
+    default:
+      return Status::Internal(
+          "presentation node reached relational executor");
+  }
+}
+
+Result<ExecResult> ExecutorImpl::Run(const Plan& plan) {
+  // Peel presentation nodes (Limit / Aggregate / the ORDER BY Sort) off the
+  // top of the plan; the semantic pass below reproduces their effect. Sorts
+  // feeding merge joins sit inside the join tree and are not affected.
+  const PlanNode* node = plan.root.get();
+  while (node != nullptr && (node->type == PlanNodeType::kLimit ||
+                             node->type == PlanNodeType::kAggregate ||
+                             (node->type == PlanNodeType::kSort &&
+                              !stmt_.order_by.empty()))) {
+    node = node->children[0].get();
+  }
+  if (node == nullptr) return Status::Internal("empty plan");
+
+  ExecResult result;
+  PARINDA_ASSIGN_OR_RETURN(std::vector<CompositeRow> rows,
+                           ExecRel(*node, &result.stats));
+
+  const bool has_aggs = StatementHasAggregates(stmt_);
+  std::vector<Row> projected;
+  std::vector<Row> order_keys;  // parallel to projected
+
+  if (has_aggs) {
+    // Group.
+    std::unordered_map<Row, std::vector<const CompositeRow*>, RowHash, RowEq>
+        groups;
+    for (const CompositeRow& row : rows) {
+      Row key;
+      for (const auto& g : stmt_.group_by) {
+        PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*g, row));
+        key.push_back(std::move(v));
+      }
+      result.stats.operator_evals += 1;
+      groups[key].push_back(&row);
+    }
+    if (groups.empty() && stmt_.group_by.empty()) {
+      groups[Row{}] = {};  // global aggregate over empty input
+    }
+    for (const auto& [key, group] : groups) {
+      Row out_row;
+      for (const SelectItem& item : stmt_.select_list) {
+        if (item.star) {
+          return Status::Unsupported("SELECT * with aggregation");
+        }
+        PARINDA_ASSIGN_OR_RETURN(Value v, EvalAggregate(*item.expr, group));
+        out_row.push_back(std::move(v));
+      }
+      Row okey;
+      for (const OrderItem& item : stmt_.order_by) {
+        PARINDA_ASSIGN_OR_RETURN(Value v, EvalAggregate(*item.expr, group));
+        okey.push_back(std::move(v));
+      }
+      projected.push_back(std::move(out_row));
+      order_keys.push_back(std::move(okey));
+    }
+  } else {
+    for (const CompositeRow& row : rows) {
+      Row out_row;
+      for (const SelectItem& item : stmt_.select_list) {
+        if (item.star) {
+          for (size_t r = 0; r < row.size(); ++r) {
+            for (const Value& v : row[r]) out_row.push_back(v);
+          }
+        } else {
+          PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*item.expr, row));
+          out_row.push_back(std::move(v));
+        }
+      }
+      Row okey;
+      for (const OrderItem& item : stmt_.order_by) {
+        PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*item.expr, row));
+        okey.push_back(std::move(v));
+      }
+      projected.push_back(std::move(out_row));
+      order_keys.push_back(std::move(okey));
+    }
+  }
+
+  if (!stmt_.order_by.empty()) {
+    std::vector<size_t> perm(projected.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < stmt_.order_by.size(); ++k) {
+        const int c = order_keys[a][k].Compare(order_keys[b][k]);
+        if (c != 0) return stmt_.order_by[k].descending ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    std::vector<Row> sorted;
+    sorted.reserve(projected.size());
+    for (size_t i : perm) sorted.push_back(std::move(projected[i]));
+    projected = std::move(sorted);
+  }
+
+  if (stmt_.limit >= 0 &&
+      projected.size() > static_cast<size_t>(stmt_.limit)) {
+    projected.resize(static_cast<size_t>(stmt_.limit));
+  }
+  result.rows = std::move(projected);
+  result.node_output_rows = std::move(node_rows_);
+  return result;
+}
+
+}  // namespace
+
+Result<ExecResult> ExecutePlan(const Database& db, const SelectStatement& stmt,
+                               const Plan& plan) {
+  ExecutorImpl impl(db, stmt);
+  return impl.Run(plan);
+}
+
+namespace {
+
+void ExplainAnalyzeNode(const PlanNode& node, int depth,
+                        const CatalogReader& catalog,
+                        const std::map<const PlanNode*, int64_t>& actuals,
+                        std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (depth > 0) out->append("-> ");
+  out->append(PlanNodeTypeName(node.type));
+  if (node.range_index >= 0) {
+    const TableInfo* table = catalog.GetTable(node.table_id);
+    if (table != nullptr) {
+      out->append(" on ");
+      out->append(table->name);
+    }
+  }
+  auto it = actuals.find(&node);
+  if (it != actuals.end()) {
+    out->append(StringPrintf("  (cost=%.2f rows=%.0f) (actual rows=%lld)",
+                             node.total_cost, node.rows,
+                             static_cast<long long>(it->second)));
+  } else {
+    out->append(StringPrintf("  (cost=%.2f rows=%.0f)", node.total_cost,
+                             node.rows));
+  }
+  out->push_back('\n');
+  for (const PlanNodePtr& child : node.children) {
+    ExplainAnalyzeNode(*child, depth + 1, catalog, actuals, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatExplainAnalyze(const Plan& plan, const ExecResult& result,
+                                 const CatalogReader& catalog) {
+  std::string out;
+  if (plan.root != nullptr) {
+    ExplainAnalyzeNode(*plan.root, 0, catalog, result.node_output_rows, &out);
+  }
+  return out;
+}
+
+Result<ExecResult> ExecuteSql(const Database& db, const std::string& sql) {
+  PARINDA_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  PARINDA_RETURN_IF_ERROR(BindStatement(db.catalog(), &stmt));
+  PARINDA_ASSIGN_OR_RETURN(Plan plan, PlanQuery(db.catalog(), stmt));
+  return ExecutePlan(db, stmt, plan);
+}
+
+}  // namespace parinda

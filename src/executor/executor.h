@@ -1,0 +1,48 @@
+#ifndef PARINDA_EXECUTOR_EXECUTOR_H_
+#define PARINDA_EXECUTOR_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "executor/exec_stats.h"
+#include "executor/expr_eval.h"
+#include "optimizer/plan.h"
+#include "storage/database.h"
+
+namespace parinda {
+
+/// Result of executing one statement.
+struct ExecResult {
+  /// Final projected rows (after aggregation / ORDER BY / LIMIT).
+  std::vector<Row> rows;
+  ExecStats stats;
+  /// Rows each relational plan node actually produced (scans, joins, sorts;
+  /// presentation nodes are reproduced semantically and not tracked).
+  /// Keys alias the executed plan's nodes.
+  std::map<const PlanNode*, int64_t> node_output_rows;
+};
+
+/// Executes `plan` (produced by PlanQuery for `stmt` against db.catalog())
+/// over the database's heap tables and indexes.
+///
+/// The relational core (scans and joins) follows the plan exactly — join
+/// order, join methods, index choices — and charges page/CPU accounting
+/// accordingly; aggregation, final sort, and LIMIT are applied semantically
+/// from the statement (they do not affect page I/O). The statement must be
+/// the one the plan was built from.
+Result<ExecResult> ExecutePlan(const Database& db, const SelectStatement& stmt,
+                               const Plan& plan);
+
+/// Convenience: bind (against db.catalog()), plan with `options`, execute.
+Result<ExecResult> ExecuteSql(const Database& db, const std::string& sql);
+
+/// EXPLAIN ANALYZE rendering: the plan tree with estimated vs actual row
+/// counts per relational node (actuals from `result.node_output_rows`).
+std::string FormatExplainAnalyze(const Plan& plan, const ExecResult& result,
+                                 const CatalogReader& catalog);
+
+}  // namespace parinda
+
+#endif  // PARINDA_EXECUTOR_EXECUTOR_H_

@@ -1,0 +1,257 @@
+#include "executor/expr_eval.h"
+
+#include <cmath>
+
+namespace parinda {
+
+namespace {
+
+bool IsAggName(const std::string& f) {
+  return f == "count" || f == "sum" || f == "avg" || f == "min" || f == "max";
+}
+
+Result<Value> EvalArith(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (!TypeIsNumeric(lhs.type()) || !TypeIsNumeric(rhs.type())) {
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  const bool both_int = lhs.type() == ValueType::kInt64 &&
+                        rhs.type() == ValueType::kInt64 &&
+                        op != BinaryOp::kDiv;
+  const double l = lhs.ToNumeric();
+  const double r = rhs.ToNumeric();
+  double out = 0.0;
+  switch (op) {
+    case BinaryOp::kAdd:
+      out = l + r;
+      break;
+    case BinaryOp::kSub:
+      out = l - r;
+      break;
+    case BinaryOp::kMul:
+      out = l * r;
+      break;
+    case BinaryOp::kDiv:
+      if (r == 0.0) return Value::Null();  // SQL would error; NULL keeps flow
+      out = l / r;
+      break;
+    default:
+      return Status::InvalidArgument("not an arithmetic operator");
+  }
+  return both_int ? Value::Int64(static_cast<int64_t>(out)) : Value::Double(out);
+}
+
+Result<Value> EvalScalarFunc(const std::string& f, const Value& arg) {
+  if (arg.is_null()) return Value::Null();
+  const double x = arg.ToNumeric();
+  if (f == "abs") {
+    return arg.type() == ValueType::kInt64 ? Value::Int64(std::llabs(arg.AsInt64()))
+                                           : Value::Double(std::fabs(x));
+  }
+  if (f == "sqrt") return Value::Double(std::sqrt(x));
+  if (f == "floor") return Value::Double(std::floor(x));
+  if (f == "ceil") return Value::Double(std::ceil(x));
+  return Status::InvalidArgument("unknown scalar function '" + f + "'");
+}
+
+}  // namespace
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFuncCall && IsAggName(expr.func_name)) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+Result<Value> EvalScalar(const Expr& expr, const CompositeRow& row) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      if (expr.bound_range < 0 ||
+          static_cast<size_t>(expr.bound_range) >= row.size() ||
+          row[expr.bound_range].empty()) {
+        return Status::Internal("column reference outside composite row");
+      }
+      return row[expr.bound_range][expr.bound_column];
+    }
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kArith: {
+      PARINDA_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.children[0], row));
+      PARINDA_ASSIGN_OR_RETURN(Value rhs, EvalScalar(*expr.children[1], row));
+      return EvalArith(expr.op, lhs, rhs);
+    }
+    case ExprKind::kComparison: {
+      PARINDA_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.children[0], row));
+      PARINDA_ASSIGN_OR_RETURN(Value rhs, EvalScalar(*expr.children[1], row));
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      const int c = lhs.Compare(rhs);
+      bool result = false;
+      switch (expr.op) {
+        case BinaryOp::kEq:
+          result = c == 0;
+          break;
+        case BinaryOp::kNe:
+          result = c != 0;
+          break;
+        case BinaryOp::kLt:
+          result = c < 0;
+          break;
+        case BinaryOp::kLe:
+          result = c <= 0;
+          break;
+        case BinaryOp::kGt:
+          result = c > 0;
+          break;
+        case BinaryOp::kGe:
+          result = c >= 0;
+          break;
+        default:
+          return Status::InvalidArgument("not a comparison operator");
+      }
+      return Value::Bool(result);
+    }
+    case ExprKind::kAnd: {
+      PARINDA_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.children[0], row));
+      if (!lhs.is_null() && !lhs.AsBool()) return Value::Bool(false);
+      PARINDA_ASSIGN_OR_RETURN(Value rhs, EvalScalar(*expr.children[1], row));
+      if (!rhs.is_null() && !rhs.AsBool()) return Value::Bool(false);
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      return Value::Bool(true);
+    }
+    case ExprKind::kOr: {
+      PARINDA_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.children[0], row));
+      if (!lhs.is_null() && lhs.AsBool()) return Value::Bool(true);
+      PARINDA_ASSIGN_OR_RETURN(Value rhs, EvalScalar(*expr.children[1], row));
+      if (!rhs.is_null() && rhs.AsBool()) return Value::Bool(true);
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      return Value::Bool(false);
+    }
+    case ExprKind::kNot: {
+      PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.AsBool());
+    }
+    case ExprKind::kBetween: {
+      PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], row));
+      PARINDA_ASSIGN_OR_RETURN(Value lo, EvalScalar(*expr.children[1], row));
+      PARINDA_ASSIGN_OR_RETURN(Value hi, EvalScalar(*expr.children[2], row));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      return Value::Bool(v.Compare(lo) >= 0 && v.Compare(hi) <= 0);
+    }
+    case ExprKind::kInList: {
+      PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        PARINDA_ASSIGN_OR_RETURN(Value item, EvalScalar(*expr.children[i], row));
+        if (!item.is_null() && v.Compare(item) == 0) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    }
+    case ExprKind::kIsNull: {
+      PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], row));
+      return Value::Bool(expr.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kFuncCall: {
+      if (IsAggName(expr.func_name)) {
+        return Status::InvalidArgument("aggregate '" + expr.func_name +
+                                       "' in scalar context");
+      }
+      if (expr.children.size() != 1) {
+        return Status::InvalidArgument("scalar function arity");
+      }
+      PARINDA_ASSIGN_OR_RETURN(Value arg, EvalScalar(*expr.children[0], row));
+      return EvalScalarFunc(expr.func_name, arg);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const CompositeRow& row) {
+  PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(expr, row));
+  if (v.is_null()) return false;
+  if (v.type() != ValueType::kBool) {
+    return Status::InvalidArgument("predicate did not evaluate to boolean");
+  }
+  return v.AsBool();
+}
+
+Result<Value> EvalAggregate(const Expr& expr,
+                            const std::vector<const CompositeRow*>& group) {
+  if (expr.kind == ExprKind::kFuncCall && IsAggName(expr.func_name)) {
+    const std::string& f = expr.func_name;
+    if (f == "count" && expr.star) {
+      return Value::Int64(static_cast<int64_t>(group.size()));
+    }
+    if (expr.children.size() != 1) {
+      return Status::InvalidArgument("aggregate arity");
+    }
+    int64_t count = 0;
+    double sum = 0.0;
+    Value min_v;
+    Value max_v;
+    for (const CompositeRow* row : group) {
+      PARINDA_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], *row));
+      if (v.is_null()) continue;
+      ++count;
+      if (TypeIsNumeric(v.type())) sum += v.ToNumeric();
+      if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+      if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+    }
+    if (f == "count") return Value::Int64(count);
+    if (count == 0) return Value::Null();
+    if (f == "sum") return Value::Double(sum);
+    if (f == "avg") return Value::Double(sum / static_cast<double>(count));
+    if (f == "min") return min_v;
+    return max_v;  // "max"
+  }
+  // Non-aggregate node: recurse, rebuilding the value from aggregated
+  // children where needed.
+  if (!ContainsAggregate(expr)) {
+    if (group.empty()) return Value::Null();
+    return EvalScalar(expr, *group.front());
+  }
+  // Mixed node (e.g. sum(a) / count(*)): evaluate children under aggregate
+  // rules, then apply this node's operator.
+  switch (expr.kind) {
+    case ExprKind::kArith: {
+      PARINDA_ASSIGN_OR_RETURN(Value lhs, EvalAggregate(*expr.children[0], group));
+      PARINDA_ASSIGN_OR_RETURN(Value rhs, EvalAggregate(*expr.children[1], group));
+      return EvalArith(expr.op, lhs, rhs);
+    }
+    case ExprKind::kComparison: {
+      PARINDA_ASSIGN_OR_RETURN(Value lhs, EvalAggregate(*expr.children[0], group));
+      PARINDA_ASSIGN_OR_RETURN(Value rhs, EvalAggregate(*expr.children[1], group));
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      const int c = lhs.Compare(rhs);
+      switch (expr.op) {
+        case BinaryOp::kEq:
+          return Value::Bool(c == 0);
+        case BinaryOp::kNe:
+          return Value::Bool(c != 0);
+        case BinaryOp::kLt:
+          return Value::Bool(c < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(c > 0);
+        case BinaryOp::kGe:
+          return Value::Bool(c >= 0);
+        default:
+          break;
+      }
+      return Status::InvalidArgument("not a comparison operator");
+    }
+    case ExprKind::kFuncCall: {
+      PARINDA_ASSIGN_OR_RETURN(Value arg, EvalAggregate(*expr.children[0], group));
+      return EvalScalarFunc(expr.func_name, arg);
+    }
+    default:
+      return Status::Unsupported(
+          "aggregate nested under unsupported expression kind");
+  }
+}
+
+}  // namespace parinda

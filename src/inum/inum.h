@@ -1,0 +1,123 @@
+#ifndef PARINDA_INUM_INUM_H_
+#define PARINDA_INUM_INUM_H_
+
+#include <map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cost_params.h"
+#include "optimizer/query_analysis.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// INUM — the cache-based cost model of Papadomanolakis, Dash & Ailamaki
+/// ("Efficient Use of the Query Optimizer for Automated Physical Design",
+/// VLDB 2007) that PARINDA's ILP advisor uses: "Since this process requires
+/// millions of query cost estimations, ILP uses a cache-based cost model
+/// (INUM) to speed up the cost estimation process" (paper §3.4).
+///
+/// Key idea: for a fixed assignment of *interesting orders* to the query's
+/// tables, the optimal plan above the scans (join order, join methods) does
+/// not depend on which physical index supplies each order. So the optimizer
+/// is invoked once per order assignment — with hypothetical order-providing
+/// indexes injected through the what-if hook — and the plan's *internal
+/// cost* (total minus scan costs) is cached. The cost of any concrete index
+/// configuration is then recomposed as `internal + Σ access costs` with pure
+/// arithmetic, no optimizer call.
+///
+/// Faithful to §3.2, each order assignment caches two plans: one with
+/// nested loops enabled, one disabled (the what-if join component's flags).
+class InumCostModel {
+ public:
+  /// The statement must be bound against `catalog`; both must outlive this.
+  InumCostModel(const CatalogReader& catalog, const SelectStatement& stmt,
+                CostParams params);
+
+  InumCostModel(const InumCostModel&) = delete;
+  InumCostModel& operator=(const InumCostModel&) = delete;
+
+  /// Analyzes the query; must be called before EstimateCost.
+  Status Init();
+
+  /// Estimated cost of the query when exactly the indexes in `config` exist
+  /// (hypothetical or real; each entry must carry table_id/columns/sizes).
+  /// First use of a new interesting-order key invokes the optimizer; later
+  /// estimates are cache hits.
+  Result<double> EstimateCost(const std::vector<const IndexInfo*>& config);
+
+  /// Reference path: one full optimizer call with `config` injected via the
+  /// what-if hook. Used to validate INUM accuracy and to measure its speedup.
+  Result<double> DirectOptimizerCost(
+      const std::vector<const IndexInfo*>& config);
+
+  /// Cost with no indexes at all (the "original design" baseline).
+  Result<double> BaseCost() { return EstimateCost({}); }
+
+  int optimizer_calls() const { return optimizer_calls_; }
+  int cache_entries() const { return static_cast<int>(cache_.size()); }
+  int estimates_served() const { return estimates_served_; }
+
+  /// When false (ablation: INUM without the what-if join component), only
+  /// the nested-loop-enabled plan is cached per order assignment.
+  void set_cache_nestloop_pair(bool pair) { cache_nestloop_pair_ = pair; }
+
+ private:
+  /// Per-range access slot of a cached plan.
+  struct AccessSlot {
+    enum class Kind { kSeq, kIndexPlain, kIndexParam };
+    Kind kind = Kind::kSeq;
+    /// Leading key column whose order/lookup the plan relied on (index
+    /// kinds only).
+    ColumnId order_column = kInvalidColumnId;
+    /// For parameterized inner scans: rescans and per-loop selectivity.
+    double loops = 1.0;
+    double eq_sel = 1.0;
+    /// This slot's cost inside the cached plan (already subtracted from
+    /// internal_cost).
+    double cached_contribution = 0.0;
+  };
+
+  struct CacheEntry {
+    double internal_cost = 0.0;
+    double total_cost = 0.0;
+    std::vector<AccessSlot> slots;  // one per FROM range
+  };
+
+  /// Key: per-range interesting-order column (kInvalidColumnId = unordered)
+  /// plus the nested-loop flag.
+  struct CacheKey {
+    std::vector<ColumnId> orders;
+    bool nestloop = true;
+    bool operator<(const CacheKey& other) const {
+      if (orders != other.orders) return orders < other.orders;
+      return nestloop < other.nestloop;
+    }
+  };
+
+  Result<const CacheEntry*> GetEntry(const CacheKey& key);
+  Result<CacheEntry> BuildEntry(const CacheKey& key);
+
+  /// Access cost of serving `slot` for range `r` with the given config
+  /// indexes on that range's table; nullopt when the config cannot supply
+  /// the required order.
+  std::optional<double> SlotAccessCost(
+      int range, const AccessSlot& slot,
+      const std::vector<const IndexInfo*>& table_indexes) const;
+
+  const CatalogReader& catalog_;
+  const SelectStatement& stmt_;
+  CostParams params_;
+  AnalyzedQuery analyzed_;
+  bool initialized_ = false;
+  bool cache_nestloop_pair_ = true;
+
+  std::map<CacheKey, CacheEntry> cache_;
+  int optimizer_calls_ = 0;
+  int estimates_served_ = 0;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_INUM_INUM_H_

@@ -1,0 +1,35 @@
+#ifndef PARINDA_OPTIMIZER_COST_PARAMS_H_
+#define PARINDA_OPTIMIZER_COST_PARAMS_H_
+
+namespace parinda {
+
+/// Planner cost parameters, mirroring PostgreSQL 8.3's GUCs (same names,
+/// same defaults). The `enable_*` flags are the knobs the paper's *what-if
+/// join component* flips: "INUM caches two plans for each scenario — one
+/// with nested-loop enabled and one with nested-loop disabled" (§3.2).
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+  /// In pages (PostgreSQL default 128MB / 8KB).
+  double effective_cache_size = 16384.0;
+  double work_mem_bytes = 4.0 * 1024 * 1024;
+
+  // Plan-method switches (the what-if join component).
+  bool enable_seqscan = true;
+  bool enable_indexscan = true;
+  bool enable_nestloop = true;
+  bool enable_mergejoin = true;
+  bool enable_hashjoin = true;
+  bool enable_sort = true;
+
+  /// Cost penalty applied to disabled paths instead of pruning them outright
+  /// (PostgreSQL's disable_cost), so a plan always exists.
+  static constexpr double kDisableCost = 1.0e10;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_OPTIMIZER_COST_PARAMS_H_

@@ -1,0 +1,51 @@
+#ifndef PARINDA_OPTIMIZER_HOOKS_H_
+#define PARINDA_OPTIMIZER_HOOKS_H_
+
+#include <functional>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace parinda {
+
+/// Per-relation planning information, assembled by the planner from the
+/// catalog and then offered to the relation-info hook for modification —
+/// the analogue of PostgreSQL's `RelOptInfo` + `get_relation_info_hook`,
+/// which is the extension point PARINDA uses to inject what-if features
+/// (paper §3.1: "the hooks can be replaced at runtime with functions that
+/// insert new statistics information into the list of physical design
+/// features").
+struct RelOptInfo {
+  const TableInfo* table = nullptr;
+  /// Effective statistics the planner will use. Initialized from `table`;
+  /// hooks may override.
+  double row_count = 0.0;
+  double pages = 0.0;
+  /// Indexes visible to the planner. Hooks append hypothetical entries here;
+  /// the pointed-to IndexInfo objects must outlive planning.
+  std::vector<const IndexInfo*> indexes;
+};
+
+/// Called once per base relation during planning, after the catalog lookup
+/// and before path generation.
+using RelationInfoHook = std::function<void(const CatalogReader&, RelOptInfo*)>;
+
+/// Runtime-replaceable planner hooks. A default-constructed registry has no
+/// hooks installed; planning then uses catalog data verbatim.
+class HookRegistry {
+ public:
+  void set_relation_info_hook(RelationInfoHook hook) {
+    relation_info_hook_ = std::move(hook);
+  }
+  void clear_relation_info_hook() { relation_info_hook_ = nullptr; }
+  const RelationInfoHook& relation_info_hook() const {
+    return relation_info_hook_;
+  }
+
+ private:
+  RelationInfoHook relation_info_hook_;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_OPTIMIZER_HOOKS_H_

@@ -1,0 +1,50 @@
+#ifndef PARINDA_OPTIMIZER_INDEX_MATCH_H_
+#define PARINDA_OPTIMIZER_INDEX_MATCH_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/cost_params.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// Result of matching a query's restriction clauses against a B-tree index:
+/// the usable condition prefix (equalities on leading keys plus one range on
+/// the next key) and its selectivity.
+struct IndexMatch {
+  std::vector<const Expr*> matched_conds;
+  /// Selectivity of matched_conds (1.0 when none matched).
+  double index_sel = 1.0;
+  /// Leading key columns pinned by equality conditions.
+  int num_eq_columns = 0;
+  /// True when an IN-list was matched (bitmap-only execution).
+  bool has_in_list = false;
+  bool HasConds() const { return !matched_conds.empty(); }
+};
+
+/// Matches `restrictions` (single-range conjuncts of `range`) against the
+/// leading columns of `index`. Shared by the planner's path generation and
+/// INUM's access-cost recomposition so both price index usability
+/// identically.
+/// `allow_in_list` admits IN-list predicates on the leading key column —
+/// legal for bitmap scans (multi-probe union) but not plain index scans.
+IndexMatch MatchIndexConditions(const std::vector<const TableInfo*>& tables,
+                                const std::vector<const Expr*>& restrictions,
+                                int range, const IndexInfo& index,
+                                bool allow_in_list = false);
+
+/// Cost of accessing `table` through `index` for a query whose restrictions
+/// on this range are `restrictions` (with combined selectivity
+/// `restriction_sel`): matches conditions, then prices the scan. This is the
+/// "index access cost" term of INUM's cost recomposition.
+ScanCost IndexAccessCost(const CostParams& params,
+                         const std::vector<const TableInfo*>& tables,
+                         const std::vector<const Expr*>& restrictions,
+                         double restriction_sel, int range,
+                         const TableInfo& table, const IndexInfo& index);
+
+}  // namespace parinda
+
+#endif  // PARINDA_OPTIMIZER_INDEX_MATCH_H_

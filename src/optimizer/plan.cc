@@ -1,0 +1,134 @@
+#include "optimizer/plan.h"
+
+#include "common/strings.h"
+
+namespace parinda {
+
+const char* PlanNodeTypeName(PlanNodeType type) {
+  switch (type) {
+    case PlanNodeType::kSeqScan:
+      return "Seq Scan";
+    case PlanNodeType::kIndexScan:
+      return "Index Scan";
+    case PlanNodeType::kBitmapHeapScan:
+      return "Bitmap Heap Scan";
+    case PlanNodeType::kAppend:
+      return "Append";
+    case PlanNodeType::kNestLoopJoin:
+      return "Nested Loop";
+    case PlanNodeType::kMergeJoin:
+      return "Merge Join";
+    case PlanNodeType::kHashJoin:
+      return "Hash Join";
+    case PlanNodeType::kMaterialize:
+      return "Materialize";
+    case PlanNodeType::kSort:
+      return "Sort";
+    case PlanNodeType::kAggregate:
+      return "Aggregate";
+    case PlanNodeType::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+namespace {
+
+void CollectScansImpl(const PlanNode* node,
+                      std::vector<const PlanNode*>* out) {
+  if (node == nullptr) return;
+  if (node->type == PlanNodeType::kSeqScan ||
+      node->type == PlanNodeType::kIndexScan ||
+      node->type == PlanNodeType::kBitmapHeapScan) {
+    out->push_back(node);
+  }
+  for (const PlanNodePtr& child : node->children) {
+    CollectScansImpl(child.get(), out);
+  }
+}
+
+std::string QualsToString(const std::vector<const Expr*>& quals) {
+  std::vector<std::string> parts;
+  parts.reserve(quals.size());
+  for (const Expr* q : quals) parts.push_back(q->ToSql());
+  return Join(parts, " AND ");
+}
+
+}  // namespace
+
+std::vector<const PlanNode*> Plan::CollectScans() const {
+  std::vector<const PlanNode*> out;
+  CollectScansImpl(root.get(), &out);
+  return out;
+}
+
+void ExplainNode(const PlanNode& node, int depth, const CatalogReader* catalog,
+                 std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (depth > 0) out->append("-> ");
+  out->append(PlanNodeTypeName(node.type));
+  if (node.type == PlanNodeType::kIndexScan ||
+      node.type == PlanNodeType::kBitmapHeapScan) {
+    const IndexInfo* index =
+        catalog != nullptr ? catalog->GetIndex(node.index_id) : nullptr;
+    if (index != nullptr) {
+      out->append(" using ");
+      out->append(index->name);
+    } else {
+      out->append(StringPrintf(" using index #%d", node.index_id));
+    }
+  }
+  if (node.range_index >= 0) {
+    const TableInfo* table =
+        catalog != nullptr ? catalog->GetTable(node.table_id) : nullptr;
+    if (table != nullptr) {
+      out->append(" on ");
+      out->append(table->name);
+    } else {
+      out->append(StringPrintf(" on range %d (table #%d)", node.range_index,
+                               node.table_id));
+    }
+  }
+  out->append(StringPrintf("  (cost=%.2f..%.2f rows=%.0f width=%.0f)",
+                           node.startup_cost, node.total_cost, node.rows,
+                           node.width));
+  out->push_back('\n');
+  auto detail = [&](const char* label, const std::string& text) {
+    if (text.empty()) return;
+    out->append(static_cast<size_t>(depth) * 2 + 5, ' ');
+    out->append(label);
+    out->append(text);
+    out->push_back('\n');
+  };
+  detail("Index Cond: ", QualsToString(node.index_conds));
+  detail("Filter: ", QualsToString(node.filters));
+  detail("Join Cond: ", QualsToString(node.join_conds));
+  if (!node.sort_keys.empty()) {
+    std::vector<std::string> keys;
+    for (const PathKey& key : node.sort_keys) {
+      keys.push_back(StringPrintf("r%d.c%d%s", key.range, key.column,
+                                  key.descending ? " DESC" : ""));
+    }
+    detail("Sort Key: ", Join(keys, ", "));
+  }
+  if (node.type == PlanNodeType::kLimit && node.limit_count >= 0) {
+    detail("Limit: ", std::to_string(node.limit_count));
+  }
+  for (const PlanNodePtr& child : node.children) {
+    ExplainNode(*child, depth + 1, catalog, out);
+  }
+}
+
+std::string Plan::ToString() const {
+  std::string out;
+  if (root != nullptr) ExplainNode(*root, 0, nullptr, &out);
+  return out;
+}
+
+std::string Plan::ToString(const CatalogReader& catalog) const {
+  std::string out;
+  if (root != nullptr) ExplainNode(*root, 0, &catalog, &out);
+  return out;
+}
+
+}  // namespace parinda

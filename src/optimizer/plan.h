@@ -1,0 +1,127 @@
+#ifndef PARINDA_OPTIMIZER_PLAN_H_
+#define PARINDA_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// Physical plan node kinds (PostgreSQL's executor node vocabulary, minus
+/// index-only scans which 8.3 did not have).
+enum class PlanNodeType : uint8_t {
+  kSeqScan,
+  kIndexScan,
+  /// Bitmap index + heap scan collapsed into one node (PostgreSQL splits
+  /// them into BitmapIndexScan/BitmapHeapScan; costs are identical).
+  kBitmapHeapScan,
+  /// Concatenation of child scans (horizontal partition access).
+  kAppend,
+  kNestLoopJoin,
+  kMergeJoin,
+  kHashJoin,
+  kMaterialize,
+  kSort,
+  kAggregate,
+  kLimit,
+};
+
+const char* PlanNodeTypeName(PlanNodeType type);
+
+/// One component of a path's sort order: (FROM range index, column ordinal,
+/// direction).
+struct PathKey {
+  int range = -1;
+  ColumnId column = kInvalidColumnId;
+  bool descending = false;
+
+  bool operator==(const PathKey& other) const {
+    return range == other.range && column == other.column &&
+           descending == other.descending;
+  }
+};
+
+struct PlanNode;
+/// Plans are immutable DAG nodes shared between candidate paths during
+/// dynamic-programming join search.
+using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+/// A physical plan node with PostgreSQL-style costing. Expression pointers
+/// alias the (bound) SelectStatement that produced the plan, which must
+/// outlive it.
+struct PlanNode {
+  PlanNodeType type = PlanNodeType::kSeqScan;
+
+  /// Cost to produce the first tuple / all tuples, in PostgreSQL cost units.
+  double startup_cost = 0.0;
+  double total_cost = 0.0;
+  /// Estimated output rows and average output row width (bytes).
+  double rows = 0.0;
+  double width = 0.0;
+
+  /// Sort order of the output (empty = unordered).
+  std::vector<PathKey> pathkeys;
+
+  std::vector<PlanNodePtr> children;
+
+  // --- Scan nodes ---
+  /// Index into the statement's FROM list.
+  int range_index = -1;
+  TableId table_id = kInvalidTableId;
+  /// kIndexScan only.
+  IndexId index_id = kInvalidIndexId;
+  /// Conjuncts evaluated through the index (kIndexScan).
+  std::vector<const Expr*> index_conds;
+  /// Residual conjuncts evaluated at this node (any node type).
+  std::vector<const Expr*> filters;
+
+  // --- Join nodes ---
+  /// Equi-join conjuncts evaluated by the join itself.
+  std::vector<const Expr*> join_conds;
+  /// kNestLoopJoin with a parameterized inner index scan: the outer side of
+  /// each inner index condition (parallel to the inner child's index_conds).
+  std::vector<const Expr*> param_outer_exprs;
+
+  // --- Sort nodes ---
+  std::vector<PathKey> sort_keys;
+
+  // --- Aggregate nodes ---
+  /// Grouping keys (empty = plain aggregation over all input rows).
+  std::vector<const Expr*> group_by;
+  /// Aggregate output expressions (the bound SELECT list).
+  std::vector<const Expr*> aggregates;
+  bool hashed_aggregation = true;
+
+  // --- Limit nodes ---
+  int64_t limit_count = -1;
+};
+
+/// A complete plan for one statement.
+struct Plan {
+  PlanNodePtr root;
+
+  double total_cost() const { return root != nullptr ? root->total_cost : 0.0; }
+
+  /// All scan nodes in the tree (INUM decomposes plans into scan costs +
+  /// internal cost through this).
+  std::vector<const PlanNode*> CollectScans() const;
+
+  /// EXPLAIN-style rendering (ids only).
+  std::string ToString() const;
+
+  /// EXPLAIN-style rendering with table and index names resolved through
+  /// `catalog` — what the interactive tool shows the DBA.
+  std::string ToString(const CatalogReader& catalog) const;
+};
+
+/// Pretty-prints a plan subtree at the given indent depth. `catalog` may be
+/// null (ids are printed instead of names).
+void ExplainNode(const PlanNode& node, int depth, const CatalogReader* catalog,
+                 std::string* out);
+
+}  // namespace parinda
+
+#endif  // PARINDA_OPTIMIZER_PLAN_H_

@@ -1,0 +1,133 @@
+#include "optimizer/query_analysis.h"
+
+#include <algorithm>
+
+#include "optimizer/selectivity.h"
+
+namespace parinda {
+
+namespace {
+
+void AddUnique(std::vector<ColumnId>* list, ColumnId col) {
+  if (std::find(list->begin(), list->end(), col) == list->end()) {
+    list->push_back(col);
+  }
+}
+
+void CollectReferenced(const Expr& expr,
+                       std::vector<std::vector<ColumnId>>* referenced) {
+  std::vector<std::pair<int, ColumnId>> refs;
+  expr.CollectColumnRefs(&refs);
+  for (const auto& [range, col] : refs) {
+    if (range >= 0 && static_cast<size_t>(range) < referenced->size()) {
+      AddUnique(&(*referenced)[range], col);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ColumnId> AnalyzedQuery::JoinColumnsOf(int range) const {
+  std::vector<ColumnId> out;
+  for (const EquiJoin& join : equi_joins) {
+    if (join.left_range == range) AddUnique(&out, join.left_column);
+    if (join.right_range == range) AddUnique(&out, join.right_column);
+  }
+  return out;
+}
+
+Result<AnalyzedQuery> AnalyzeQuery(const CatalogReader& catalog,
+                                   const SelectStatement& stmt) {
+  AnalyzedQuery out;
+  const int num_rels = static_cast<int>(stmt.from.size());
+  if (num_rels == 0) return Status::InvalidArgument("empty FROM list");
+  if (num_rels > 63) return Status::Unsupported("too many relations");
+  out.tables.resize(static_cast<size_t>(num_rels));
+  out.restrictions.resize(static_cast<size_t>(num_rels));
+  out.referenced_columns.resize(static_cast<size_t>(num_rels));
+  out.interesting_orders.resize(static_cast<size_t>(num_rels));
+  for (int r = 0; r < num_rels; ++r) {
+    const TableInfo* table = catalog.GetTable(stmt.from[r].bound_table);
+    if (table == nullptr) {
+      return Status::BindError("statement is not bound to this catalog");
+    }
+    out.tables[r] = table;
+  }
+
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(stmt.where.get(), &conjuncts);
+  for (const Expr* conjunct : conjuncts) {
+    std::vector<std::pair<int, ColumnId>> refs;
+    conjunct->CollectColumnRefs(&refs);
+    uint64_t mask = 0;
+    for (const auto& [range, col] : refs) {
+      if (range < 0) return Status::BindError("unbound column in WHERE");
+      mask |= uint64_t{1} << range;
+    }
+    const int popcount = __builtin_popcountll(mask);
+    if (popcount <= 1) {
+      const int r = popcount == 0 ? 0 : __builtin_ctzll(mask);
+      out.restrictions[r].push_back(conjunct);
+    } else if (popcount == 2 && conjunct->kind == ExprKind::kComparison &&
+               conjunct->op == BinaryOp::kEq &&
+               conjunct->children[0]->kind == ExprKind::kColumnRef &&
+               conjunct->children[1]->kind == ExprKind::kColumnRef) {
+      AnalyzedQuery::EquiJoin join;
+      join.expr = conjunct;
+      join.left_range = conjunct->children[0]->bound_range;
+      join.left_column = conjunct->children[0]->bound_column;
+      join.right_range = conjunct->children[1]->bound_range;
+      join.right_column = conjunct->children[1]->bound_column;
+      out.equi_joins.push_back(join);
+    } else {
+      out.complex_clauses.emplace_back(mask, conjunct);
+    }
+  }
+
+  out.restriction_sel.resize(static_cast<size_t>(num_rels));
+  for (int r = 0; r < num_rels; ++r) {
+    out.restriction_sel[r] =
+        ConjunctionSelectivity(out.tables, out.restrictions[r]);
+  }
+
+  // Referenced columns: every expression in the statement.
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.star) {
+      for (int r = 0; r < num_rels; ++r) {
+        for (ColumnId c = 0; c < out.tables[r]->schema.num_columns(); ++c) {
+          AddUnique(&out.referenced_columns[r], c);
+        }
+      }
+    } else if (item.expr != nullptr) {
+      CollectReferenced(*item.expr, &out.referenced_columns);
+    }
+  }
+  if (stmt.where != nullptr) {
+    CollectReferenced(*stmt.where, &out.referenced_columns);
+  }
+  for (const auto& g : stmt.group_by) {
+    CollectReferenced(*g, &out.referenced_columns);
+  }
+  for (const OrderItem& item : stmt.order_by) {
+    CollectReferenced(*item.expr, &out.referenced_columns);
+  }
+
+  // Interesting orders: join columns + simple ORDER BY / GROUP BY columns.
+  for (int r = 0; r < num_rels; ++r) {
+    out.interesting_orders[r] = out.JoinColumnsOf(r);
+  }
+  for (const OrderItem& item : stmt.order_by) {
+    const Expr* e = item.expr.get();
+    if (e->kind == ExprKind::kColumnRef && e->bound_range >= 0) {
+      AddUnique(&out.interesting_orders[e->bound_range], e->bound_column);
+    }
+  }
+  for (const auto& g : stmt.group_by) {
+    if (g->kind == ExprKind::kColumnRef && g->bound_range >= 0) {
+      AddUnique(&out.interesting_orders[g->bound_range], g->bound_column);
+    }
+  }
+  return out;
+}
+
+}  // namespace parinda

@@ -1,0 +1,57 @@
+#ifndef PARINDA_OPTIMIZER_QUERY_ANALYSIS_H_
+#define PARINDA_OPTIMIZER_QUERY_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// Structural decomposition of a bound SELECT statement, shared by the
+/// planner, the INUM cached cost model, the index-candidate generator and
+/// AutoPart's attribute-usage analysis.
+struct AnalyzedQuery {
+  /// Per FROM-range table metadata.
+  std::vector<const TableInfo*> tables;
+
+  /// Single-relation WHERE conjuncts, grouped by range.
+  std::vector<std::vector<const Expr*>> restrictions;
+  /// Combined selectivity of each range's restrictions.
+  std::vector<double> restriction_sel;
+
+  struct EquiJoin {
+    const Expr* expr = nullptr;
+    int left_range = -1;
+    ColumnId left_column = kInvalidColumnId;
+    int right_range = -1;
+    ColumnId right_column = kInvalidColumnId;
+  };
+  std::vector<EquiJoin> equi_joins;
+
+  /// Conjuncts spanning several ranges that are not simple equi-joins;
+  /// `first` is the bitmask of ranges referenced.
+  std::vector<std::pair<uint64_t, const Expr*>> complex_clauses;
+
+  /// All columns each range touches anywhere in the query (SELECT list,
+  /// WHERE, GROUP BY, ORDER BY) — AutoPart's "attribute usage" sets.
+  std::vector<std::vector<ColumnId>> referenced_columns;
+
+  /// Columns of each range usable as interesting orders (join columns plus
+  /// simple ORDER BY / GROUP BY columns).
+  std::vector<std::vector<ColumnId>> interesting_orders;
+
+  /// Join columns of `range` (subset of interesting_orders).
+  std::vector<ColumnId> JoinColumnsOf(int range) const;
+};
+
+/// Decomposes a bound statement. Fails with BindError when the statement was
+/// not bound against (a superset of) `catalog`.
+Result<AnalyzedQuery> AnalyzeQuery(const CatalogReader& catalog,
+                                   const SelectStatement& stmt);
+
+}  // namespace parinda
+
+#endif  // PARINDA_OPTIMIZER_QUERY_ANALYSIS_H_

@@ -1,0 +1,440 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace parinda {
+
+std::optional<Value> EvalConstExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kArith: {
+      auto lhs = EvalConstExpr(*expr.children[0]);
+      auto rhs = EvalConstExpr(*expr.children[1]);
+      if (!lhs || !rhs || lhs->is_null() || rhs->is_null()) return std::nullopt;
+      if (!TypeIsNumeric(lhs->type()) || !TypeIsNumeric(rhs->type())) {
+        return std::nullopt;
+      }
+      const bool both_int = lhs->type() == ValueType::kInt64 &&
+                            rhs->type() == ValueType::kInt64 &&
+                            expr.op != BinaryOp::kDiv;
+      const double l = lhs->ToNumeric();
+      const double r = rhs->ToNumeric();
+      double out = 0.0;
+      switch (expr.op) {
+        case BinaryOp::kAdd:
+          out = l + r;
+          break;
+        case BinaryOp::kSub:
+          out = l - r;
+          break;
+        case BinaryOp::kMul:
+          out = l * r;
+          break;
+        case BinaryOp::kDiv:
+          if (r == 0.0) return std::nullopt;
+          out = l / r;
+          break;
+        default:
+          return std::nullopt;
+      }
+      return both_int ? Value::Int64(static_cast<int64_t>(out))
+                      : Value::Double(out);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+BinaryOp FlipOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+}  // namespace
+
+std::optional<SimpleClause> ExtractSimpleClause(const Expr& expr) {
+  if (expr.kind != ExprKind::kComparison) return std::nullopt;
+  const Expr* lhs = expr.children[0].get();
+  const Expr* rhs = expr.children[1].get();
+  BinaryOp op = expr.op;
+  if (lhs->kind != ExprKind::kColumnRef && rhs->kind == ExprKind::kColumnRef) {
+    std::swap(lhs, rhs);
+    op = FlipOp(op);
+  }
+  if (lhs->kind != ExprKind::kColumnRef) return std::nullopt;
+  auto constant = EvalConstExpr(*rhs);
+  if (!constant || constant->is_null()) return std::nullopt;
+  SimpleClause out;
+  out.expr = &expr;
+  out.range = lhs->bound_range;
+  out.column = lhs->bound_column;
+  out.op = op;
+  out.constant = *constant;
+  return out;
+}
+
+namespace {
+
+/// Fraction of the histogram strictly below `v` (PostgreSQL's
+/// ineq_histogram_selectivity).
+double HistogramFractionBelow(const ColumnStats& stats, const Value& v) {
+  const auto& bounds = stats.histogram_bounds;
+  if (bounds.size() < 2) return kDefaultIneqSel;
+  if (v.Compare(bounds.front()) <= 0) return 0.0;
+  if (v.Compare(bounds.back()) > 0) return 1.0;
+  // Binary search for the bucket containing v.
+  size_t lo = 0;
+  size_t hi = bounds.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (v.Compare(bounds[mid]) > 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double buckets = static_cast<double>(bounds.size() - 1);
+  double partial = 0.5;
+  if (!v.is_null() && TypeIsNumeric(v.type()) &&
+      TypeIsNumeric(bounds[lo].type())) {
+    const double b_lo = bounds[lo].ToNumeric();
+    const double b_hi = bounds[hi].ToNumeric();
+    partial = (b_hi > b_lo) ? (v.ToNumeric() - b_lo) / (b_hi - b_lo) : 0.5;
+    partial = std::clamp(partial, 0.0, 1.0);
+  }
+  return (static_cast<double>(lo) + partial) / buckets;
+}
+
+}  // namespace
+
+double ClampSelectivity(double sel) { return std::clamp(sel, 0.0, 1.0); }
+
+double EqSelectivity(const TableInfo& table, ColumnId column,
+                     const Value& constant) {
+  const ColumnStats* stats = table.StatsFor(column);
+  if (stats == nullptr) return kDefaultEqSel;
+  // MCV exact match.
+  for (size_t i = 0; i < stats->mcv_values.size(); ++i) {
+    if (stats->mcv_values[i].Compare(constant) == 0) {
+      return ClampSelectivity(stats->mcv_freqs[i]);
+    }
+  }
+  // Out-of-range constants match nothing.
+  if (!stats->min_value.is_null() &&
+      (constant.Compare(stats->min_value) < 0 ||
+       constant.Compare(stats->max_value) > 0)) {
+    return 0.0;
+  }
+  const double distinct = stats->DistinctCount(table.row_count);
+  const double mcv_mass = stats->McvTotalFrequency();
+  const double remaining_distinct =
+      std::max(1.0, distinct - static_cast<double>(stats->mcv_values.size()));
+  const double remaining_mass =
+      std::max(0.0, 1.0 - stats->null_frac - mcv_mass);
+  return ClampSelectivity(remaining_mass / remaining_distinct);
+}
+
+double RangeSelectivity(const TableInfo& table, ColumnId column, BinaryOp op,
+                        const Value& constant) {
+  const ColumnStats* stats = table.StatsFor(column);
+  if (stats == nullptr) return kDefaultIneqSel;
+  // "<" selectivity, from MCVs + histogram; other ops derive from it.
+  // Inclusivity only matters for the MCV mass: within the histogram a single
+  // value carries negligible probability (PostgreSQL makes the same
+  // approximation in ineq_histogram_selectivity).
+  auto less_sel = [&](bool inclusive) {
+    double mcv_below = 0.0;
+    for (size_t i = 0; i < stats->mcv_values.size(); ++i) {
+      const int c = stats->mcv_values[i].Compare(constant);
+      if (c < 0 || (inclusive && c == 0)) mcv_below += stats->mcv_freqs[i];
+    }
+    const double hist_mass =
+        std::max(0.0, 1.0 - stats->null_frac - stats->McvTotalFrequency());
+    const double hist_frac = HistogramFractionBelow(*stats, constant);
+    return mcv_below + hist_frac * hist_mass;
+  };
+  double sel;
+  switch (op) {
+    case BinaryOp::kLt:
+      sel = less_sel(false);
+      break;
+    case BinaryOp::kLe:
+      sel = less_sel(true);
+      break;
+    case BinaryOp::kGt:
+      sel = 1.0 - stats->null_frac - less_sel(true);
+      break;
+    case BinaryOp::kGe:
+      sel = 1.0 - stats->null_frac - less_sel(false);
+      break;
+    default:
+      PARINDA_LOG(Fatal) << "RangeSelectivity on non-range op";
+      return kDefaultIneqSel;
+  }
+  return ClampSelectivity(sel);
+}
+
+double ClauseSelectivity(const std::vector<const TableInfo*>& tables,
+                         const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kAnd: {
+      std::vector<const Expr*> conjuncts;
+      FlattenConjuncts(&expr, &conjuncts);
+      return ConjunctionSelectivity(tables, conjuncts);
+    }
+    case ExprKind::kOr: {
+      const double s1 = ClauseSelectivity(tables, *expr.children[0]);
+      const double s2 = ClauseSelectivity(tables, *expr.children[1]);
+      return ClampSelectivity(s1 + s2 - s1 * s2);
+    }
+    case ExprKind::kNot:
+      return ClampSelectivity(1.0 -
+                              ClauseSelectivity(tables, *expr.children[0]));
+    case ExprKind::kComparison: {
+      auto simple = ExtractSimpleClause(expr);
+      if (simple && simple->range >= 0 &&
+          static_cast<size_t>(simple->range) < tables.size()) {
+        const TableInfo& table = *tables[simple->range];
+        switch (simple->op) {
+          case BinaryOp::kEq:
+            return EqSelectivity(table, simple->column, simple->constant);
+          case BinaryOp::kNe:
+            return ClampSelectivity(
+                1.0 - EqSelectivity(table, simple->column, simple->constant));
+          default:
+            return RangeSelectivity(table, simple->column, simple->op,
+                                    simple->constant);
+        }
+      }
+      // Column-to-column within one relation, or unfoldable expressions.
+      if (expr.op == BinaryOp::kEq) return kDefaultEqSel;
+      if (expr.op == BinaryOp::kNe) return 1.0 - kDefaultEqSel;
+      return kDefaultIneqSel;
+    }
+    case ExprKind::kBetween: {
+      const Expr& arg = *expr.children[0];
+      auto lo = EvalConstExpr(*expr.children[1]);
+      auto hi = EvalConstExpr(*expr.children[2]);
+      if (arg.kind == ExprKind::kColumnRef && lo && hi && arg.bound_range >= 0 &&
+          static_cast<size_t>(arg.bound_range) < tables.size()) {
+        const TableInfo& table = *tables[arg.bound_range];
+        const double s_hi =
+            RangeSelectivity(table, arg.bound_column, BinaryOp::kLe, *hi);
+        const double s_lo =
+            RangeSelectivity(table, arg.bound_column, BinaryOp::kGe, *lo);
+        double s = s_hi + s_lo - 1.0;
+        if (s <= 0.0) s = kDefaultRangeSel;
+        return ClampSelectivity(s);
+      }
+      return kDefaultRangeSel;
+    }
+    case ExprKind::kInList: {
+      const Expr& arg = *expr.children[0];
+      double sel = 0.0;
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        auto constant = EvalConstExpr(*expr.children[i]);
+        if (arg.kind == ExprKind::kColumnRef && constant &&
+            arg.bound_range >= 0 &&
+            static_cast<size_t>(arg.bound_range) < tables.size()) {
+          sel += EqSelectivity(*tables[arg.bound_range], arg.bound_column,
+                               *constant);
+        } else {
+          sel += kDefaultEqSel;
+        }
+      }
+      return ClampSelectivity(sel);
+    }
+    case ExprKind::kIsNull: {
+      const Expr& arg = *expr.children[0];
+      if (arg.kind == ExprKind::kColumnRef && arg.bound_range >= 0 &&
+          static_cast<size_t>(arg.bound_range) < tables.size()) {
+        const ColumnStats* stats =
+            tables[arg.bound_range]->StatsFor(arg.bound_column);
+        if (stats != nullptr) {
+          return expr.negated ? ClampSelectivity(1.0 - stats->null_frac)
+                              : ClampSelectivity(stats->null_frac);
+        }
+      }
+      return expr.negated ? 1.0 - kDefaultEqSel : kDefaultEqSel;
+    }
+    case ExprKind::kLiteral:
+      if (!expr.literal.is_null() && expr.literal.type() == ValueType::kBool) {
+        return expr.literal.AsBool() ? 1.0 : 0.0;
+      }
+      return kDefaultUnknownSel;
+    default:
+      return kDefaultUnknownSel;
+  }
+}
+
+double EquiJoinSelectivity(const TableInfo& left, ColumnId left_col,
+                           const TableInfo& right, ColumnId right_col) {
+  const ColumnStats* ls = left.StatsFor(left_col);
+  const ColumnStats* rs = right.StatsFor(right_col);
+  const double nd_left =
+      ls != nullptr ? ls->DistinctCount(left.row_count) : left.row_count;
+  const double nd_right =
+      rs != nullptr ? rs->DistinctCount(right.row_count) : right.row_count;
+  const double null_left = ls != nullptr ? ls->null_frac : 0.0;
+  const double null_right = rs != nullptr ? rs->null_frac : 0.0;
+  const double nd = std::max({nd_left, nd_right, 1.0});
+  return ClampSelectivity((1.0 - null_left) * (1.0 - null_right) / nd);
+}
+
+double DistinctAfterFilter(const TableInfo& table, ColumnId column,
+                           double rows) {
+  const ColumnStats* stats = table.StatsFor(column);
+  const double distinct =
+      stats != nullptr ? stats->DistinctCount(table.row_count) : rows;
+  if (table.row_count <= 0 || rows >= table.row_count) {
+    return std::max(1.0, distinct);
+  }
+  // Yao's approximation of distinct values in a sample of `rows`.
+  const double ratio = rows / table.row_count;
+  const double est = distinct * (1.0 - std::pow(1.0 - ratio, table.row_count /
+                                                                std::max(1.0, distinct)));
+  return std::max(1.0, std::min(est, rows));
+}
+
+double ConjunctionSelectivity(const std::vector<const TableInfo*>& tables,
+                              const std::vector<const Expr*>& conjuncts) {
+  double sel = 1.0;
+  // (range, column) -> accumulated lower/upper bound selectivities, so that
+  // paired range bounds (col > a AND col < b) combine additively instead of
+  // multiplying (PostgreSQL's rqlist logic in clauselist_selectivity).
+  struct RangePair {
+    std::optional<double> lower;  // sel of "col > / >= c"
+    std::optional<double> upper;  // sel of "col < / <= c"
+  };
+  std::map<std::pair<int, ColumnId>, RangePair> ranges;
+  for (const Expr* conjunct : conjuncts) {
+    auto simple = ExtractSimpleClause(*conjunct);
+    if (simple && simple->range >= 0 &&
+        static_cast<size_t>(simple->range) < tables.size() &&
+        (simple->op == BinaryOp::kLt || simple->op == BinaryOp::kLe ||
+         simple->op == BinaryOp::kGt || simple->op == BinaryOp::kGe)) {
+      const double s = RangeSelectivity(*tables[simple->range], simple->column,
+                                        simple->op, simple->constant);
+      RangePair& pair = ranges[{simple->range, simple->column}];
+      if (simple->op == BinaryOp::kLt || simple->op == BinaryOp::kLe) {
+        pair.upper = pair.upper ? std::min(*pair.upper, s) : s;
+      } else {
+        pair.lower = pair.lower ? std::min(*pair.lower, s) : s;
+      }
+      continue;
+    }
+    sel *= ClauseSelectivity(tables, *conjunct);
+  }
+  for (const auto& [key, pair] : ranges) {
+    if (pair.lower && pair.upper) {
+      double s = *pair.lower + *pair.upper - 1.0;
+      if (s <= 0.0) s = kDefaultRangeSel;
+      sel *= s;
+    } else if (pair.lower) {
+      sel *= *pair.lower;
+    } else if (pair.upper) {
+      sel *= *pair.upper;
+    }
+  }
+  return ClampSelectivity(sel);
+}
+
+ClauseMatchKind MatchClauseToColumn(const Expr& expr, int range,
+                                    ColumnId column) {
+  if (expr.kind == ExprKind::kComparison) {
+    auto simple = ExtractSimpleClause(expr);
+    if (!simple || simple->range != range || simple->column != column) {
+      return ClauseMatchKind::kNone;
+    }
+    if (simple->op == BinaryOp::kEq) return ClauseMatchKind::kEquality;
+    if (simple->op == BinaryOp::kLt || simple->op == BinaryOp::kLe ||
+        simple->op == BinaryOp::kGt || simple->op == BinaryOp::kGe) {
+      return ClauseMatchKind::kRange;
+    }
+    return ClauseMatchKind::kNone;
+  }
+  if (expr.kind == ExprKind::kBetween) {
+    const Expr& arg = *expr.children[0];
+    if (arg.kind == ExprKind::kColumnRef && arg.bound_range == range &&
+        arg.bound_column == column && EvalConstExpr(*expr.children[1]) &&
+        EvalConstExpr(*expr.children[2])) {
+      return ClauseMatchKind::kRange;
+    }
+  }
+  if (expr.kind == ExprKind::kInList) {
+    const Expr& arg = *expr.children[0];
+    if (arg.kind == ExprKind::kColumnRef && arg.bound_range == range &&
+        arg.bound_column == column) {
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        if (!EvalConstExpr(*expr.children[i])) return ClauseMatchKind::kNone;
+      }
+      return ClauseMatchKind::kInList;
+    }
+  }
+  return ClauseMatchKind::kNone;
+}
+
+bool RangeMayMatch(const Value& lo, const Value& hi,
+                   const std::vector<const Expr*>& restrictions,
+                   int range_index, ColumnId column) {
+  for (const Expr* clause : restrictions) {
+    // BETWEEN lo' AND hi' on the partition column.
+    if (clause->kind == ExprKind::kBetween) {
+      const Expr& arg = *clause->children[0];
+      if (arg.kind != ExprKind::kColumnRef || arg.bound_range != range_index ||
+          arg.bound_column != column) {
+        continue;
+      }
+      auto c_lo = EvalConstExpr(*clause->children[1]);
+      auto c_hi = EvalConstExpr(*clause->children[2]);
+      if (c_lo && !hi.is_null() && c_lo->Compare(hi) >= 0) return false;
+      if (c_hi && !lo.is_null() && c_hi->Compare(lo) < 0) return false;
+      continue;
+    }
+    auto simple = ExtractSimpleClause(*clause);
+    if (!simple || simple->range != range_index || simple->column != column) {
+      continue;
+    }
+    const Value& v = simple->constant;
+    switch (simple->op) {
+      case BinaryOp::kEq:
+        if (!lo.is_null() && v.Compare(lo) < 0) return false;
+        if (!hi.is_null() && v.Compare(hi) >= 0) return false;
+        break;
+      case BinaryOp::kLt:
+        if (!lo.is_null() && v.Compare(lo) <= 0) return false;
+        break;
+      case BinaryOp::kLe:
+        if (!lo.is_null() && v.Compare(lo) < 0) return false;
+        break;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (!hi.is_null() && v.Compare(hi) >= 0) return false;
+        break;
+      default:
+        break;  // <> and friends never prune
+    }
+  }
+  return true;
+}
+
+}  // namespace parinda
+

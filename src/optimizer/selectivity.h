@@ -1,0 +1,92 @@
+#ifndef PARINDA_OPTIMIZER_SELECTIVITY_H_
+#define PARINDA_OPTIMIZER_SELECTIVITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// PostgreSQL's default selectivities for predicates the statistics cannot
+/// resolve (src/include/utils/selfuncs.h).
+inline constexpr double kDefaultEqSel = 0.005;
+inline constexpr double kDefaultIneqSel = 0.3333333333333333;
+inline constexpr double kDefaultRangeSel = 0.005;
+inline constexpr double kDefaultUnknownSel = 0.5;
+
+/// Clamps a selectivity into [0, 1].
+double ClampSelectivity(double sel);
+
+/// A predicate normalized to `column <op> constant` form.
+struct SimpleClause {
+  const Expr* expr = nullptr;
+  int range = -1;
+  ColumnId column = kInvalidColumnId;
+  BinaryOp op = BinaryOp::kEq;
+  Value constant;
+};
+
+/// Extracts `col <op> const` (either operand order, constants folded) from a
+/// comparison; nullopt when the clause is not of that shape.
+std::optional<SimpleClause> ExtractSimpleClause(const Expr& expr);
+
+/// Folds an expression of literals (possibly with arithmetic) to a Value;
+/// nullopt when the expression references columns or cannot be evaluated.
+std::optional<Value> EvalConstExpr(const Expr& expr);
+
+/// How a clause can be used against a specific column by a B-tree index.
+/// kInList only suits bitmap scans (multiple probes, unioned); plain index
+/// scans cannot serve it (PostgreSQL 8.3 behaves the same way).
+enum class ClauseMatchKind { kNone, kEquality, kRange, kInList };
+
+/// Classifies whether `expr` is an index-usable predicate on
+/// (range, column): equality, range (including BETWEEN), or not usable.
+ClauseMatchKind MatchClauseToColumn(const Expr& expr, int range,
+                                    ColumnId column);
+
+/// Combined selectivity of a conjunct list with PostgreSQL's range-pair
+/// handling (upper and lower bounds on the same column combine additively,
+/// not multiplicatively).
+double ConjunctionSelectivity(const std::vector<const TableInfo*>& tables,
+                              const std::vector<const Expr*>& conjuncts);
+
+/// Selectivity of `column = constant` on `table`, using MCVs then the
+/// distinct count (PostgreSQL's eqsel / var_eq_const).
+double EqSelectivity(const TableInfo& table, ColumnId column,
+                     const Value& constant);
+
+/// Selectivity of `column <op> constant` for <, <=, >, >= using the MCV list
+/// plus histogram interpolation (PostgreSQL's scalarltsel family).
+double RangeSelectivity(const TableInfo& table, ColumnId column, BinaryOp op,
+                        const Value& constant);
+
+/// Selectivity of an arbitrary (bound) predicate over the single relation at
+/// range index `range`, where `tables[r]` resolves range index r to its
+/// TableInfo. Conjuncts multiply, disjuncts add-with-overlap, NOT inverts.
+double ClauseSelectivity(const std::vector<const TableInfo*>& tables,
+                         const Expr& expr);
+
+/// Selectivity of an equi-join clause `t1.a = t2.b` (PostgreSQL's eqjoinsel:
+/// (1-nullfrac1)(1-nullfrac2) / max(nd1, nd2)).
+double EquiJoinSelectivity(const TableInfo& left, ColumnId left_col,
+                           const TableInfo& right, ColumnId right_col);
+
+/// True when the half-open range [lo, hi) (NULL bound = open end) can
+/// contain rows satisfying all of the query's simple restrictions on
+/// (range_index, column). Drives horizontal-partition pruning in the
+/// planner (PostgreSQL's constraint exclusion).
+bool RangeMayMatch(const Value& lo, const Value& hi,
+                   const std::vector<const Expr*>& restrictions,
+                   int range_index, ColumnId column);
+
+/// Number of distinct values of `column` after filtering to `rows` rows
+/// (scales n_distinct down for small row counts; used for GROUP BY
+/// estimation).
+double DistinctAfterFilter(const TableInfo& table, ColumnId column,
+                           double rows);
+
+}  // namespace parinda
+
+#endif  // PARINDA_OPTIMIZER_SELECTIVITY_H_

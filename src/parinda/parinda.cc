@@ -1,0 +1,178 @@
+#include "parinda/parinda.h"
+
+#include <cmath>
+
+#include "optimizer/planner.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "rewriter/rewriter.h"
+
+namespace parinda {
+
+Result<InteractiveReport> Parinda::EvaluateDesign(
+    const Workload& workload, const InteractiveDesign& design,
+    const CostParams& params) {
+  InteractiveReport report;
+  const int nq = workload.size();
+  report.per_query_base.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_whatif.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_benefit_pct.assign(static_cast<size_t>(nq), 0.0);
+  report.rewritten_sql.assign(static_cast<size_t>(nq), "");
+
+  PlannerOptions base_options;
+  base_options.params = params;
+  for (int q = 0; q < nq; ++q) {
+    PARINDA_ASSIGN_OR_RETURN(
+        Plan plan,
+        PlanQuery(db_->catalog(), workload.queries[q].stmt, base_options));
+    report.per_query_base[q] = plan.total_cost();
+    report.base_cost += plan.total_cost() * workload.queries[q].weight;
+  }
+
+  // Simulate: partitions through the catalog overlay, indexes through the
+  // optimizer hook — exactly the two what-if mechanisms of §3.2.
+  WhatIfTableCatalog overlay(db_->catalog());
+  std::vector<const TableInfo*> fragments;
+  for (const WhatIfPartitionDef& partition : design.partitions) {
+    PARINDA_ASSIGN_OR_RETURN(TableId id, overlay.AddPartition(partition));
+    fragments.push_back(overlay.GetTable(id));
+  }
+  for (const RangePartitionDef& ranges : design.range_partitions) {
+    PARINDA_ASSIGN_OR_RETURN(std::vector<TableId> unused,
+                             overlay.AddRangePartitioning(ranges));
+    (void)unused;
+  }
+  WhatIfIndexSet indexes(overlay);
+  for (const WhatIfIndexDef& def : design.indexes) {
+    PARINDA_ASSIGN_OR_RETURN(IndexId unused, indexes.AddIndex(def));
+    (void)unused;
+  }
+  HookRegistry hooks;
+  hooks.set_relation_info_hook(indexes.MakeHook());
+  PlannerOptions whatif_options;
+  whatif_options.params = params;
+  whatif_options.hooks = &hooks;
+
+  for (int q = 0; q < nq; ++q) {
+    PARINDA_ASSIGN_OR_RETURN(
+        RewriteResult rewritten,
+        RewriteForPartitions(overlay, workload.queries[q].stmt, fragments));
+    PARINDA_ASSIGN_OR_RETURN(
+        Plan plan, PlanQuery(overlay, rewritten.stmt, whatif_options));
+    report.per_query_whatif[q] = plan.total_cost();
+    report.whatif_cost += plan.total_cost() * workload.queries[q].weight;
+    report.rewritten_sql[q] =
+        rewritten.changed ? rewritten.stmt.ToSql() : workload.queries[q].sql;
+    if (report.per_query_base[q] > 0.0) {
+      report.per_query_benefit_pct[q] =
+          100.0 * (report.per_query_base[q] - report.per_query_whatif[q]) /
+          report.per_query_base[q];
+    }
+    report.average_benefit_pct += report.per_query_benefit_pct[q];
+  }
+  if (nq > 0) report.average_benefit_pct /= nq;
+  return report;
+}
+
+Result<SimulationAccuracyReport> Parinda::VerifyIndexSimulation(
+    const std::string& sql, const WhatIfIndexDef& def,
+    const CostParams& params) {
+  SimulationAccuracyReport report;
+  PARINDA_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  PARINDA_RETURN_IF_ERROR(BindStatement(db_->catalog(), &stmt));
+
+  // What-if side.
+  WhatIfIndexSet whatif(db_->catalog());
+  PARINDA_ASSIGN_OR_RETURN(IndexId whatif_id, whatif.AddIndex(def));
+  report.whatif_pages = whatif.Get(whatif_id)->leaf_pages;
+  HookRegistry hooks;
+  hooks.set_relation_info_hook(whatif.MakeHook());
+  PlannerOptions whatif_options;
+  whatif_options.params = params;
+  whatif_options.hooks = &hooks;
+  {
+    PARINDA_ASSIGN_OR_RETURN(Plan plan,
+                             PlanQuery(db_->catalog(), stmt, whatif_options));
+    report.whatif_cost = plan.total_cost();
+    report.whatif_plan = plan.ToString();
+  }
+
+  // Materialized side: build, plan, drop.
+  const std::string real_name =
+      (def.name.empty() ? "verify_index" : def.name) + "_materialized";
+  PARINDA_ASSIGN_OR_RETURN(
+      IndexId real_id, db_->BuildIndex(real_name, def.table, def.columns,
+                                       def.unique));
+  report.materialized_pages = db_->catalog().GetIndex(real_id)->leaf_pages;
+  PlannerOptions real_options;
+  real_options.params = params;
+  {
+    auto plan = PlanQuery(db_->catalog(), stmt, real_options);
+    if (!plan.ok()) {
+      (void)db_->DropIndex(real_id);
+      return plan.status();
+    }
+    report.materialized_cost = plan->total_cost();
+    report.materialized_plan = plan->ToString();
+  }
+  PARINDA_RETURN_IF_ERROR(db_->DropIndex(real_id));
+
+  if (report.materialized_cost > 0.0) {
+    report.cost_error_fraction =
+        std::fabs(report.whatif_cost - report.materialized_cost) /
+        report.materialized_cost;
+  }
+  if (report.materialized_pages > 0.0) {
+    report.size_error_fraction =
+        std::fabs(report.whatif_pages - report.materialized_pages) /
+        report.materialized_pages;
+  }
+  return report;
+}
+
+Result<PartitionAdvice> Parinda::SuggestPartitions(const Workload& workload,
+                                                   AutoPartOptions options) {
+  AutoPartAdvisor advisor(db_->catalog(), workload, options);
+  return advisor.Suggest();
+}
+
+Result<std::vector<TableId>> Parinda::MaterializePartitions(
+    const PartitionAdvice& advice) {
+  std::vector<TableId> out;
+  int counter = 0;
+  for (const FragmentDef& fragment : advice.fragments) {
+    const TableInfo* parent = db_->catalog().GetTable(fragment.table);
+    if (parent == nullptr) {
+      return Status::NotFound("fragment parent table missing");
+    }
+    const std::string name =
+        parent->name + "_part" + std::to_string(counter++);
+    PARINDA_ASSIGN_OR_RETURN(
+        TableId id,
+        db_->MaterializeVerticalPartition(fragment.table, name,
+                                          fragment.columns));
+    out.push_back(id);
+  }
+  return out;
+}
+
+Result<IndexAdvice> Parinda::SuggestIndexes(const Workload& workload,
+                                            IndexAdvisorOptions options) {
+  IndexAdvisor advisor(db_->catalog(), workload, options);
+  return advisor.SuggestWithIlp();
+}
+
+Result<std::vector<IndexId>> Parinda::MaterializeIndexes(
+    const IndexAdvice& advice) {
+  std::vector<IndexId> out;
+  for (const SuggestedIndex& suggestion : advice.indexes) {
+    PARINDA_ASSIGN_OR_RETURN(
+        IndexId id,
+        db_->BuildIndex(suggestion.def.name + "_real", suggestion.def.table,
+                        suggestion.def.columns, suggestion.def.unique));
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace parinda

@@ -1,0 +1,110 @@
+#ifndef PARINDA_PARINDA_PARINDA_H_
+#define PARINDA_PARINDA_PARINDA_H_
+
+#include <string>
+#include <vector>
+
+#include "advisor/index_advisor.h"
+#include "autopart/autopart.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "whatif/whatif_horizontal.h"
+#include "whatif/whatif_index.h"
+#include "whatif/whatif_table.h"
+#include "workload/workload.h"
+
+namespace parinda {
+
+/// A manually chosen physical design to simulate (scenario 1's inputs: "she
+/// creates several what-if table partitions and several what-if indexes").
+struct InteractiveDesign {
+  std::vector<WhatIfIndexDef> indexes;
+  std::vector<WhatIfPartitionDef> partitions;
+  /// Horizontal range partitionings to simulate (extension beyond the demo;
+  /// see src/whatif/whatif_horizontal.h).
+  std::vector<RangePartitionDef> range_partitions;
+};
+
+/// Scenario 1 output: "the average workload benefit and the individual
+/// queries benefits are displayed"; rewritten queries can be saved.
+struct InteractiveReport {
+  double base_cost = 0.0;
+  double whatif_cost = 0.0;
+  std::vector<double> per_query_base;
+  std::vector<double> per_query_whatif;
+  /// Per-query benefit in percent ((base - whatif) / base * 100).
+  std::vector<double> per_query_benefit_pct;
+  double average_benefit_pct = 0.0;
+  /// Queries rewritten for the what-if partitions.
+  std::vector<std::string> rewritten_sql;
+};
+
+/// Scenario 1's verification step: "compare the execution plan of the
+/// what-if design with the execution plan of the same materialized physical
+/// design. This way the accuracy of the physical design simulation is
+/// verified."
+struct SimulationAccuracyReport {
+  double whatif_cost = 0.0;
+  double materialized_cost = 0.0;
+  double whatif_pages = 0.0;
+  double materialized_pages = 0.0;
+  std::string whatif_plan;
+  std::string materialized_plan;
+  /// Relative cost estimation error of the simulation.
+  double cost_error_fraction = 0.0;
+  /// Relative index-size (Equation 1) error.
+  double size_error_fraction = 0.0;
+};
+
+/// PARINDA — the interactive physical designer facade. Wraps the three demo
+/// scenarios over one database instance.
+class Parinda {
+ public:
+  /// `db` must outlive this object. Non-owning.
+  explicit Parinda(Database* db) : db_(db) {}
+
+  Parinda(const Parinda&) = delete;
+  Parinda& operator=(const Parinda&) = delete;
+
+  const CatalogReader& catalog() const { return db_->catalog(); }
+
+  // --- Scenario 1: interactive partition/index selection ---
+
+  /// Simulates `design` and reports the workload benefit. Pure what-if: no
+  /// data is touched, which is why this is interactive-speed.
+  Result<InteractiveReport> EvaluateDesign(const Workload& workload,
+                                           const InteractiveDesign& design,
+                                           const CostParams& params = {});
+
+  /// Builds the real index for `def`, plans `sql` both ways, and reports
+  /// simulation accuracy. The real index is dropped afterwards.
+  Result<SimulationAccuracyReport> VerifyIndexSimulation(
+      const std::string& sql, const WhatIfIndexDef& def,
+      const CostParams& params = {});
+
+  // --- Scenario 2: automatic partition suggestion ---
+
+  Result<PartitionAdvice> SuggestPartitions(const Workload& workload,
+                                            AutoPartOptions options = {});
+
+  /// "The user has the option to physically create on disk the suggested
+  /// partitions." Returns the new table ids.
+  Result<std::vector<TableId>> MaterializePartitions(
+      const PartitionAdvice& advice);
+
+  // --- Scenario 3: automatic index suggestion ---
+
+  Result<IndexAdvice> SuggestIndexes(const Workload& workload,
+                                     IndexAdvisorOptions options = {});
+
+  /// "The user has the option to physically create the suggested set of
+  /// indexes on disk." Returns the new index ids.
+  Result<std::vector<IndexId>> MaterializeIndexes(const IndexAdvice& advice);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_PARINDA_PARINDA_H_

@@ -1,0 +1,127 @@
+#include "parinda/report.h"
+
+#include "common/strings.h"
+
+namespace parinda {
+
+namespace {
+
+std::string ColumnList(const CatalogReader& catalog, TableId table_id,
+                       const std::vector<ColumnId>& columns,
+                       const char* separator) {
+  const TableInfo* table = catalog.GetTable(table_id);
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (ColumnId col : columns) {
+    if (table != nullptr && col >= 0 && col < table->schema.num_columns()) {
+      names.push_back(table->schema.column(col).name);
+    } else {
+      names.push_back("c" + std::to_string(col));
+    }
+  }
+  return Join(names, separator);
+}
+
+std::string TableName(const CatalogReader& catalog, TableId table_id) {
+  const TableInfo* table = catalog.GetTable(table_id);
+  return table != nullptr ? table->name : "#" + std::to_string(table_id);
+}
+
+}  // namespace
+
+std::string FormatIndexDef(const CatalogReader& catalog,
+                           const WhatIfIndexDef& def) {
+  return TableName(catalog, def.table) + "(" +
+         ColumnList(catalog, def.table, def.columns, ", ") + ")";
+}
+
+std::string FormatFragment(const CatalogReader& catalog,
+                           const FragmentDef& fragment) {
+  return TableName(catalog, fragment.table) + " { " +
+         ColumnList(catalog, fragment.table, fragment.columns, ", ") +
+         " } (+ primary key)";
+}
+
+std::string FormatInteractiveReport(const CatalogReader& catalog,
+                                    const Workload& workload,
+                                    const InteractiveReport& report) {
+  (void)catalog;
+  std::string out = StringPrintf("%-5s %12s %12s %9s\n", "query", "base cost",
+                                 "what-if", "benefit");
+  for (size_t q = 0; q < report.per_query_base.size(); ++q) {
+    out += StringPrintf("Q%-4zu %12.1f %12.1f %8.1f%%\n", q + 1,
+                        report.per_query_base[q], report.per_query_whatif[q],
+                        report.per_query_benefit_pct[q]);
+  }
+  out += StringPrintf("average workload benefit: %.1f%%\n",
+                      report.average_benefit_pct);
+  for (size_t q = 0; q < report.rewritten_sql.size(); ++q) {
+    if (q < workload.queries.size() &&
+        report.rewritten_sql[q] != workload.queries[q].sql) {
+      out += StringPrintf("rewritten Q%zu: %s\n", q + 1,
+                          report.rewritten_sql[q].c_str());
+    }
+  }
+  return out;
+}
+
+std::string FormatPartitionAdvice(const CatalogReader& catalog,
+                                  const PartitionAdvice& advice) {
+  std::string out =
+      StringPrintf("suggested fragments (%zu, %.2f MB replicated):\n",
+                   advice.fragments.size(),
+                   advice.replicated_bytes / 1024.0 / 1024.0);
+  for (const FragmentDef& fragment : advice.fragments) {
+    out += "  " + FormatFragment(catalog, fragment) + "\n";
+  }
+  out += StringPrintf("%-5s %12s %12s %9s\n", "query", "base cost",
+                      "partitioned", "benefit");
+  for (size_t q = 0; q < advice.per_query_base.size(); ++q) {
+    const double benefit =
+        advice.per_query_base[q] > 0.0
+            ? 100.0 *
+                  (advice.per_query_base[q] - advice.per_query_optimized[q]) /
+                  advice.per_query_base[q]
+            : 0.0;
+    out += StringPrintf("Q%-4zu %12.1f %12.1f %8.1f%%\n", q + 1,
+                        advice.per_query_base[q],
+                        advice.per_query_optimized[q], benefit);
+  }
+  out += StringPrintf("workload: %.0f -> %.0f (%.2fx)\n", advice.base_cost,
+                      advice.optimized_cost, advice.Speedup());
+  return out;
+}
+
+std::string FormatIndexAdvice(const CatalogReader& catalog,
+                              const IndexAdvice& advice) {
+  std::string out = StringPrintf(
+      "suggested indexes (%zu, %.2f MB total%s):\n", advice.indexes.size(),
+      advice.total_size_bytes / 1024.0 / 1024.0,
+      advice.proved_optimal ? ", ILP optimum proved" : "");
+  for (const SuggestedIndex& s : advice.indexes) {
+    std::vector<std::string> used;
+    for (int q : s.used_by) used.push_back("Q" + std::to_string(q + 1));
+    out += StringPrintf("  %-40s %8.2f MB  used by: %s\n",
+                        FormatIndexDef(catalog, s.def).c_str(),
+                        s.size_bytes / 1024.0 / 1024.0,
+                        Join(used, ",").c_str());
+  }
+  out += StringPrintf("%-5s %12s %12s %9s\n", "query", "base cost",
+                      "with indexes", "benefit");
+  for (size_t q = 0; q < advice.per_query_base.size(); ++q) {
+    const double benefit =
+        advice.per_query_base[q] > 0.0
+            ? 100.0 *
+                  (advice.per_query_base[q] - advice.per_query_optimized[q]) /
+                  advice.per_query_base[q]
+            : 0.0;
+    out += StringPrintf("Q%-4zu %12.1f %12.1f %8.1f%%\n", q + 1,
+                        advice.per_query_base[q],
+                        advice.per_query_optimized[q], benefit);
+  }
+  out += StringPrintf("workload: %.0f -> %.0f (%.2fx)\n", advice.base_cost,
+                      advice.optimized_cost, advice.Speedup());
+  return out;
+}
+
+}  // namespace parinda

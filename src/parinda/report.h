@@ -1,0 +1,43 @@
+#ifndef PARINDA_PARINDA_REPORT_H_
+#define PARINDA_PARINDA_REPORT_H_
+
+#include <string>
+
+#include "advisor/index_advisor.h"
+#include "autopart/autopart.h"
+#include "catalog/catalog.h"
+#include "parinda/parinda.h"
+
+namespace parinda {
+
+/// Text renderings of the designer's outputs — the tabular content of the
+/// demo GUIs (Figures 2 & 3) for terminal front-ends. All functions resolve
+/// table/column names through `catalog`.
+
+/// Scenario 1 report: per-query base vs what-if costs and benefits, average
+/// benefit, rewritten queries for partitioned tables.
+std::string FormatInteractiveReport(const CatalogReader& catalog,
+                                    const Workload& workload,
+                                    const InteractiveReport& report);
+
+/// Scenario 2 report: suggested fragments (with column names), per-query
+/// benefit table, workload speedup, replication usage.
+std::string FormatPartitionAdvice(const CatalogReader& catalog,
+                                  const PartitionAdvice& advice);
+
+/// Scenario 3 report: suggested indexes (sizes, benefits, used-by lists),
+/// per-query benefit table, budget usage.
+std::string FormatIndexAdvice(const CatalogReader& catalog,
+                              const IndexAdvice& advice);
+
+/// "table(col1, col2)" rendering of an index definition.
+std::string FormatIndexDef(const CatalogReader& catalog,
+                           const WhatIfIndexDef& def);
+
+/// "table { col1, col2 } (+ primary key)" rendering of a fragment.
+std::string FormatFragment(const CatalogReader& catalog,
+                           const FragmentDef& fragment);
+
+}  // namespace parinda
+
+#endif  // PARINDA_PARINDA_REPORT_H_

@@ -1,0 +1,229 @@
+#include "parser/ast.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace parinda {
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->table_name = table_name;
+  out->column_name = column_name;
+  out->bound_range = bound_range;
+  out->bound_column = bound_column;
+  out->literal = literal;
+  out->op = op;
+  out->func_name = func_name;
+  out->star = star;
+  out->negated = negated;
+  out->children.reserve(children.size());
+  for (const auto& child : children) out->children.push_back(child->Clone());
+  return out;
+}
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return table_name.empty() ? column_name : table_name + "." + column_name;
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kComparison:
+    case ExprKind::kArith:
+      return "(" + children[0]->ToSql() + " " + BinaryOpSymbol(op) + " " +
+             children[1]->ToSql() + ")";
+    case ExprKind::kAnd:
+      return "(" + children[0]->ToSql() + " AND " + children[1]->ToSql() + ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->ToSql() + " OR " + children[1]->ToSql() + ")";
+    case ExprKind::kNot:
+      return "(NOT " + children[0]->ToSql() + ")";
+    case ExprKind::kFuncCall: {
+      if (star) return func_name + "(*)";
+      std::vector<std::string> args;
+      for (const auto& child : children) args.push_back(child->ToSql());
+      return func_name + "(" + Join(args, ", ") + ")";
+    }
+    case ExprKind::kBetween:
+      return "(" + children[0]->ToSql() + " BETWEEN " + children[1]->ToSql() +
+             " AND " + children[2]->ToSql() + ")";
+    case ExprKind::kInList: {
+      std::vector<std::string> items;
+      for (size_t i = 1; i < children.size(); ++i) {
+        items.push_back(children[i]->ToSql());
+      }
+      return "(" + children[0]->ToSql() + " IN (" + Join(items, ", ") + "))";
+    }
+    case ExprKind::kIsNull:
+      return "(" + children[0]->ToSql() + (negated ? " IS NOT NULL" : " IS NULL") +
+             ")";
+  }
+  return "?";
+}
+
+bool Expr::IsConstant() const {
+  if (kind == ExprKind::kColumnRef) return false;
+  for (const auto& child : children) {
+    if (!child->IsConstant()) return false;
+  }
+  return true;
+}
+
+void Expr::CollectColumnRefs(
+    std::vector<std::pair<int, ColumnId>>* refs) const {
+  if (kind == ExprKind::kColumnRef) {
+    refs->emplace_back(bound_range, bound_column);
+  }
+  for (const auto& child : children) child->CollectColumnRefs(refs);
+}
+
+std::unique_ptr<Expr> Expr::MakeColumnRef(std::string table,
+                                          std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table_name = std::move(table);
+  e->column_name = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(ExprKind kind, BinaryOp op,
+                                       std::unique_ptr<Expr> lhs,
+                                       std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeAnd(std::unique_ptr<Expr> lhs,
+                                    std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+SelectStatement SelectStatement::Clone() const {
+  SelectStatement out;
+  out.select_list.reserve(select_list.size());
+  for (const SelectItem& item : select_list) {
+    SelectItem copy;
+    copy.star = item.star;
+    copy.alias = item.alias;
+    if (item.expr != nullptr) copy.expr = item.expr->Clone();
+    out.select_list.push_back(std::move(copy));
+  }
+  out.from = from;
+  if (where != nullptr) out.where = where->Clone();
+  out.group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out.group_by.push_back(g->Clone());
+  out.order_by.reserve(order_by.size());
+  for (const OrderItem& o : order_by) {
+    OrderItem copy;
+    copy.descending = o.descending;
+    copy.expr = o.expr->Clone();
+    out.order_by.push_back(std::move(copy));
+  }
+  out.limit = limit;
+  return out;
+}
+
+std::string SelectStatement::ToSql() const {
+  std::string sql = "SELECT ";
+  std::vector<std::string> items;
+  for (const SelectItem& item : select_list) {
+    if (item.star) {
+      items.push_back("*");
+    } else {
+      std::string s = item.expr->ToSql();
+      if (!item.alias.empty()) s += " AS " + item.alias;
+      items.push_back(std::move(s));
+    }
+  }
+  sql += Join(items, ", ");
+  sql += " FROM ";
+  std::vector<std::string> tables;
+  for (const TableRef& ref : from) {
+    std::string s = ref.table_name;
+    if (!ref.alias.empty()) s += " " + ref.alias;
+    tables.push_back(std::move(s));
+  }
+  sql += Join(tables, ", ");
+  if (where != nullptr) sql += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    std::vector<std::string> keys;
+    for (const auto& g : group_by) keys.push_back(g->ToSql());
+    sql += " GROUP BY " + Join(keys, ", ");
+  }
+  if (!order_by.empty()) {
+    std::vector<std::string> keys;
+    for (const OrderItem& o : order_by) {
+      keys.push_back(o.expr->ToSql() + (o.descending ? " DESC" : ""));
+    }
+    sql += " ORDER BY " + Join(keys, ", ");
+  }
+  if (limit >= 0) sql += " LIMIT " + std::to_string(limit);
+  return sql;
+}
+
+void FlattenConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kAnd) {
+    FlattenConjuncts(expr->children[0].get(), out);
+    FlattenConjuncts(expr->children[1].get(), out);
+  } else {
+    out->push_back(expr);
+  }
+}
+
+}  // namespace parinda

@@ -1,0 +1,156 @@
+#ifndef PARINDA_PARSER_AST_H_
+#define PARINDA_PARSER_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "catalog/value.h"
+
+namespace parinda {
+
+/// Expression node kinds for the SQL subset PARINDA understands.
+enum class ExprKind : uint8_t {
+  kColumnRef,   // [table.]column
+  kLiteral,     // constant
+  kComparison,  // = <> < <= > >=
+  kAnd,
+  kOr,
+  kNot,
+  kArith,       // + - * /
+  kFuncCall,    // count/sum/avg/min/max(expr) or count(*)
+  kBetween,     // child0 BETWEEN child1 AND child2
+  kInList,      // child0 IN (child1, ..., childN)
+  kIsNull,      // child0 IS [NOT] NULL (negated flag)
+};
+
+/// Binary operators (comparison and arithmetic share the enum).
+enum class BinaryOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+const char* BinaryOpSymbol(BinaryOp op);
+/// True for =, <>, <, <=, >, >=.
+bool IsComparisonOp(BinaryOp op);
+
+/// One expression tree node. A single tagged struct (rather than a class
+/// hierarchy) keeps clone/print/walk logic in one place for this small
+/// grammar.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kColumnRef: source text names...
+  std::string table_name;   // optional qualifier (may be an alias)
+  std::string column_name;
+  // ...and binder results: index into the statement's FROM list + ordinal.
+  int bound_range = -1;
+  ColumnId bound_column = kInvalidColumnId;
+
+  // kLiteral.
+  Value literal;
+
+  // kComparison / kArith.
+  BinaryOp op = BinaryOp::kEq;
+
+  // kFuncCall.
+  std::string func_name;
+  bool star = false;  // count(*)
+
+  // kIsNull.
+  bool negated = false;  // IS NOT NULL
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// SQL rendering (parenthesized where needed).
+  std::string ToSql() const;
+
+  /// True when the tree references no column (constant-foldable).
+  bool IsConstant() const;
+
+  /// Collects the bound (range, column) pairs referenced in this subtree.
+  void CollectColumnRefs(
+      std::vector<std::pair<int, ColumnId>>* refs) const;
+
+  // Factory helpers.
+  static std::unique_ptr<Expr> MakeColumnRef(std::string table,
+                                             std::string column);
+  static std::unique_ptr<Expr> MakeLiteral(Value v);
+  static std::unique_ptr<Expr> MakeBinary(ExprKind kind, BinaryOp op,
+                                          std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> MakeAnd(std::unique_ptr<Expr> lhs,
+                                       std::unique_ptr<Expr> rhs);
+};
+
+/// One entry in the FROM list.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // empty when none
+  /// Binder result.
+  TableId bound_table = kInvalidTableId;
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// One entry in the SELECT list.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;  // null when star
+  std::string alias;
+  bool star = false;  // SELECT *
+};
+
+/// One ORDER BY key.
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+/// A parsed (and optionally bound) SELECT statement.
+struct SelectStatement {
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;  // null when absent
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  SelectStatement() = default;
+  SelectStatement(const SelectStatement&) = delete;
+  SelectStatement& operator=(const SelectStatement&) = delete;
+  SelectStatement(SelectStatement&&) = default;
+  SelectStatement& operator=(SelectStatement&&) = default;
+
+  /// Deep copy (used by the rewriter, which edits a clone).
+  SelectStatement Clone() const;
+
+  /// SQL rendering usable as parser input again.
+  std::string ToSql() const;
+};
+
+/// Splits a predicate tree into top-level AND conjuncts (does not take
+/// ownership; returned pointers alias into `expr`).
+void FlattenConjuncts(const Expr* expr, std::vector<const Expr*>* out);
+
+}  // namespace parinda
+
+#endif  // PARINDA_PARSER_AST_H_

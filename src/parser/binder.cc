@@ -1,0 +1,145 @@
+#include "parser/binder.h"
+
+#include "common/strings.h"
+
+namespace parinda {
+
+namespace {
+
+Status BindExpr(const CatalogReader& catalog, SelectStatement* stmt,
+                Expr* expr) {
+  if (expr->kind == ExprKind::kColumnRef) {
+    if (!expr->table_name.empty()) {
+      // Qualified: find the FROM entry whose alias or name matches.
+      for (size_t i = 0; i < stmt->from.size(); ++i) {
+        const TableRef& ref = stmt->from[i];
+        if (!EqualsIgnoreCase(ref.EffectiveName(), expr->table_name) &&
+            !EqualsIgnoreCase(ref.table_name, expr->table_name)) {
+          continue;
+        }
+        const TableInfo* table = catalog.GetTable(ref.bound_table);
+        const ColumnId col = table->schema.FindColumn(expr->column_name);
+        if (col == kInvalidColumnId) {
+          return Status::BindError("column '" + expr->column_name +
+                                   "' not found in table '" + ref.table_name +
+                                   "'");
+        }
+        expr->bound_range = static_cast<int>(i);
+        expr->bound_column = col;
+        return Status::OK();
+      }
+      return Status::BindError("unknown table or alias '" + expr->table_name +
+                               "'");
+    }
+    // Unqualified: search all FROM entries.
+    int found_range = -1;
+    ColumnId found_col = kInvalidColumnId;
+    for (size_t i = 0; i < stmt->from.size(); ++i) {
+      const TableInfo* table = catalog.GetTable(stmt->from[i].bound_table);
+      const ColumnId col = table->schema.FindColumn(expr->column_name);
+      if (col == kInvalidColumnId) continue;
+      if (found_range >= 0) {
+        return Status::BindError("ambiguous column '" + expr->column_name +
+                                 "'");
+      }
+      found_range = static_cast<int>(i);
+      found_col = col;
+    }
+    if (found_range < 0) {
+      return Status::BindError("unknown column '" + expr->column_name + "'");
+    }
+    expr->bound_range = found_range;
+    expr->bound_column = found_col;
+    return Status::OK();
+  }
+  if (expr->kind == ExprKind::kFuncCall && !expr->star) {
+    const std::string& f = expr->func_name;
+    if (f != "count" && f != "sum" && f != "avg" && f != "min" && f != "max" &&
+        f != "abs" && f != "sqrt" && f != "floor" && f != "ceil") {
+      return Status::BindError("unknown function '" + f + "'");
+    }
+  }
+  for (auto& child : expr->children) {
+    PARINDA_RETURN_IF_ERROR(BindExpr(catalog, stmt, child.get()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BindStatement(const CatalogReader& catalog, SelectStatement* stmt) {
+  if (stmt->from.empty()) {
+    return Status::BindError("statement has no FROM clause");
+  }
+  // Resolve tables first (column binding depends on them).
+  for (TableRef& ref : stmt->from) {
+    const TableInfo* table = catalog.FindTable(ref.table_name);
+    if (table == nullptr) {
+      return Status::BindError("unknown table '" + ref.table_name + "'");
+    }
+    ref.bound_table = table->id;
+  }
+  for (SelectItem& item : stmt->select_list) {
+    if (item.star) continue;
+    PARINDA_RETURN_IF_ERROR(BindExpr(catalog, stmt, item.expr.get()));
+  }
+  if (stmt->where != nullptr) {
+    PARINDA_RETURN_IF_ERROR(BindExpr(catalog, stmt, stmt->where.get()));
+  }
+  for (auto& key : stmt->group_by) {
+    PARINDA_RETURN_IF_ERROR(BindExpr(catalog, stmt, key.get()));
+  }
+  for (OrderItem& item : stmt->order_by) {
+    PARINDA_RETURN_IF_ERROR(BindExpr(catalog, stmt, item.expr.get()));
+  }
+  return Status::OK();
+}
+
+Result<ValueType> InferExprType(const CatalogReader& catalog,
+                                const SelectStatement& stmt,
+                                const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      if (expr.bound_range < 0) {
+        return Status::BindError("expression is not bound");
+      }
+      const TableInfo* table =
+          catalog.GetTable(stmt.from[expr.bound_range].bound_table);
+      return table->schema.column(expr.bound_column).type;
+    }
+    case ExprKind::kLiteral:
+      if (expr.literal.is_null()) return ValueType::kInt64;  // typeless NULL
+      return expr.literal.type();
+    case ExprKind::kComparison:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+    case ExprKind::kIsNull:
+      return ValueType::kBool;
+    case ExprKind::kArith: {
+      PARINDA_ASSIGN_OR_RETURN(
+          ValueType lhs, InferExprType(catalog, stmt, *expr.children[0]));
+      PARINDA_ASSIGN_OR_RETURN(
+          ValueType rhs, InferExprType(catalog, stmt, *expr.children[1]));
+      if (lhs == ValueType::kDouble || rhs == ValueType::kDouble ||
+          expr.op == BinaryOp::kDiv) {
+        return ValueType::kDouble;
+      }
+      return ValueType::kInt64;
+    }
+    case ExprKind::kFuncCall: {
+      const std::string& f = expr.func_name;
+      if (f == "count") return ValueType::kInt64;
+      if (f == "avg" || f == "sqrt") return ValueType::kDouble;
+      if (expr.children.empty()) {
+        return Status::BindError("function '" + f + "' needs an argument");
+      }
+      return InferExprType(catalog, stmt, *expr.children[0]);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace parinda

@@ -1,0 +1,26 @@
+#ifndef PARINDA_PARSER_BINDER_H_
+#define PARINDA_PARSER_BINDER_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// Resolves names in a parsed statement against a catalog, in place:
+/// - each TableRef gets `bound_table`
+/// - each column reference gets `bound_range` (index into stmt->from) and
+///   `bound_column` (table ordinal)
+///
+/// Unqualified column names are searched across all FROM entries; ambiguous
+/// or unknown names fail with BindError.
+Status BindStatement(const CatalogReader& catalog, SelectStatement* stmt);
+
+/// Result type of an expression after binding; used for sanity checks and by
+/// the executor.
+Result<ValueType> InferExprType(const CatalogReader& catalog,
+                                const SelectStatement& stmt, const Expr& expr);
+
+}  // namespace parinda
+
+#endif  // PARINDA_PARSER_BINDER_H_

@@ -1,0 +1,159 @@
+#include "parser/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace parinda {
+
+namespace {
+
+constexpr std::array<const char*, 26> kKeywords = {
+    "SELECT", "FROM",  "WHERE",   "GROUP", "BY",   "ORDER", "LIMIT",
+    "AND",    "OR",    "NOT",     "AS",    "JOIN", "INNER", "ON",
+    "BETWEEN", "IN",   "IS",      "NULL",  "ASC",  "DESC",  "TRUE",
+    "FALSE",  "LIKE",  "DISTINCT", "HAVING", "CROSS",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper_word) {
+  for (const char* kw : kKeywords) {
+    if (upper_word == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tokens.push_back(Token{TokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back(Token{TokenType::kIdentifier, std::move(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          return Status::ParseError("malformed exponent at offset " +
+                                    std::to_string(start));
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tokens.push_back(Token{
+          is_double ? TokenType::kDoubleLiteral : TokenType::kIntLiteral,
+          std::string(sql.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back(Token{TokenType::kStringLiteral, std::move(text), start});
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      const size_t id_start = i;
+      while (i < n && sql[i] != '"') ++i;
+      if (i >= n) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back(Token{TokenType::kIdentifier,
+                             std::string(sql.substr(id_start, i - id_start)),
+                             start});
+      ++i;
+      continue;
+    }
+    // Two-character symbols first.
+    if (i + 1 < n) {
+      const std::string two(sql.substr(i, 2));
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+        tokens.push_back(
+            Token{TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case ';':
+        tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), start});
+        ++i;
+        break;
+      default:
+        return Status::ParseError(StringPrintf(
+            "unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace parinda

@@ -1,0 +1,39 @@
+#ifndef PARINDA_PARSER_LEXER_H_
+#define PARINDA_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace parinda {
+
+enum class TokenType : uint8_t {
+  kIdentifier,   // foo, "Foo"
+  kKeyword,      // SELECT, FROM, ... (upper-cased in `text`)
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 3.14, 1e-3
+  kStringLiteral,  // 'abc' (unquoted in `text`)
+  kSymbol,       // ( ) , . = <> < <= > >= + - * /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Keyword/symbol spelling, identifier name, or literal payload.
+  std::string text;
+  /// Byte offset in the source, for error messages.
+  size_t offset = 0;
+};
+
+/// Tokenizes SQL text. Keywords are recognized case-insensitively and
+/// returned upper-cased; identifiers keep their spelling.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+/// True when `word` (upper-case) is a reserved keyword of our dialect.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace parinda
+
+#endif  // PARINDA_PARSER_LEXER_H_

@@ -1,0 +1,402 @@
+#include "parser/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace parinda {
+
+namespace internal_parser {
+
+bool Parser::Check(TokenType type, std::string_view text) const {
+  const Token& t = Peek();
+  return t.type == type && (text.empty() || t.text == text);
+}
+
+bool Parser::Match(TokenType type, std::string_view text) {
+  if (Check(type, text)) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType type, std::string_view text) {
+  if (Match(type, text)) return Status::OK();
+  return Status::ParseError(StringPrintf(
+      "expected '%.*s' at offset %zu, got '%s'", static_cast<int>(text.size()),
+      text.data(), Peek().offset, Peek().text.c_str()));
+}
+
+bool Parser::AtEnd() {
+  while (Match(TokenType::kSymbol, ";")) {
+  }
+  return Peek().type == TokenType::kEnd;
+}
+
+Result<SelectStatement> Parser::ParseSelectStatement() {
+  PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "SELECT"));
+  SelectStatement stmt;
+  Match(TokenType::kKeyword, "DISTINCT");  // accepted, treated as no-op
+  // Select list.
+  do {
+    SelectItem item;
+    if (Match(TokenType::kSymbol, "*")) {
+      item.star = true;
+    } else {
+      PARINDA_ASSIGN_OR_RETURN(item.expr, ParseOr());
+      if (Match(TokenType::kKeyword, "AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::ParseError("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+    }
+    stmt.select_list.push_back(std::move(item));
+  } while (Match(TokenType::kSymbol, ","));
+
+  PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "FROM"));
+  PARINDA_RETURN_IF_ERROR(ParseFromClause(&stmt));
+
+  if (Match(TokenType::kKeyword, "WHERE")) {
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> where, ParseOr());
+    if (stmt.where == nullptr) {
+      stmt.where = std::move(where);
+    } else {
+      // JOIN ... ON conditions were already collected into stmt.where.
+      stmt.where = Expr::MakeAnd(std::move(stmt.where), std::move(where));
+    }
+  }
+  if (Match(TokenType::kKeyword, "GROUP")) {
+    PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "BY"));
+    do {
+      PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> key, ParseOr());
+      stmt.group_by.push_back(std::move(key));
+    } while (Match(TokenType::kSymbol, ","));
+  }
+  if (Match(TokenType::kKeyword, "HAVING")) {
+    // Parsed and discarded from planning predicates is unsound; reject
+    // instead so callers know the dialect boundary.
+    return Status::Unsupported("HAVING is not supported");
+  }
+  if (Match(TokenType::kKeyword, "ORDER")) {
+    PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "BY"));
+    do {
+      OrderItem item;
+      PARINDA_ASSIGN_OR_RETURN(item.expr, ParseOr());
+      if (Match(TokenType::kKeyword, "DESC")) {
+        item.descending = true;
+      } else {
+        Match(TokenType::kKeyword, "ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+    } while (Match(TokenType::kSymbol, ","));
+  }
+  if (Match(TokenType::kKeyword, "LIMIT")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return Status::ParseError("expected integer after LIMIT");
+    }
+    stmt.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+  Match(TokenType::kSymbol, ";");
+  return stmt;
+}
+
+Status Parser::ParseFromClause(SelectStatement* stmt) {
+  auto parse_table_ref = [&]() -> Status {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError(StringPrintf(
+          "expected table name at offset %zu", Peek().offset));
+    }
+    TableRef ref;
+    ref.table_name = Advance().text;
+    if (Match(TokenType::kKeyword, "AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::ParseError("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    stmt->from.push_back(std::move(ref));
+    return Status::OK();
+  };
+  PARINDA_RETURN_IF_ERROR(parse_table_ref());
+  while (true) {
+    if (Match(TokenType::kSymbol, ",")) {
+      PARINDA_RETURN_IF_ERROR(parse_table_ref());
+      continue;
+    }
+    const bool cross = Check(TokenType::kKeyword, "CROSS");
+    if (Match(TokenType::kKeyword, "CROSS") ||
+        Match(TokenType::kKeyword, "INNER")) {
+      PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "JOIN"));
+    } else if (!Match(TokenType::kKeyword, "JOIN")) {
+      break;
+    }
+    PARINDA_RETURN_IF_ERROR(parse_table_ref());
+    if (!cross) {
+      PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "ON"));
+      PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> cond, ParseOr());
+      // Desugar JOIN ... ON into a WHERE conjunct.
+      if (stmt->where == nullptr) {
+        stmt->where = std::move(cond);
+      } else {
+        stmt->where = Expr::MakeAnd(std::move(stmt->where), std::move(cond));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseOr() {
+  PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+  while (Match(TokenType::kKeyword, "OR")) {
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kOr;
+    node->children.push_back(std::move(lhs));
+    node->children.push_back(std::move(rhs));
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseNot());
+  while (Match(TokenType::kKeyword, "AND")) {
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseNot());
+    lhs = Expr::MakeAnd(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseNot() {
+  if (Match(TokenType::kKeyword, "NOT")) {
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseNot());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kNot;
+    node->children.push_back(std::move(child));
+    return node;
+  }
+  return ParsePredicate();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePredicate() {
+  PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+  // Comparison?
+  static constexpr struct {
+    const char* sym;
+    BinaryOp op;
+  } kCmps[] = {{"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe},
+               {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+               {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+  for (const auto& cmp : kCmps) {
+    if (Match(TokenType::kSymbol, cmp.sym)) {
+      PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+      return Expr::MakeBinary(ExprKind::kComparison, cmp.op, std::move(lhs),
+                              std::move(rhs));
+    }
+  }
+  const bool negated_in = Check(TokenType::kKeyword, "NOT");
+  if (negated_in) {
+    // Lookahead: NOT IN / NOT BETWEEN.
+    if (pos_ + 1 < tokens_.size() &&
+        tokens_[pos_ + 1].type == TokenType::kKeyword &&
+        (tokens_[pos_ + 1].text == "IN" || tokens_[pos_ + 1].text == "BETWEEN")) {
+      Advance();  // consume NOT; wrap result below
+    } else {
+      return lhs;
+    }
+  }
+  if (Match(TokenType::kKeyword, "BETWEEN")) {
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lo, ParseAdditive());
+    PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "AND"));
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> hi, ParseAdditive());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kBetween;
+    node->children.push_back(std::move(lhs));
+    node->children.push_back(std::move(lo));
+    node->children.push_back(std::move(hi));
+    if (!negated_in) return node;
+    auto neg = std::make_unique<Expr>();
+    neg->kind = ExprKind::kNot;
+    neg->children.push_back(std::move(node));
+    return neg;
+  }
+  if (Match(TokenType::kKeyword, "IN")) {
+    PARINDA_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kInList;
+    node->children.push_back(std::move(lhs));
+    do {
+      PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> item, ParseAdditive());
+      node->children.push_back(std::move(item));
+    } while (Match(TokenType::kSymbol, ","));
+    PARINDA_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+    if (!negated_in) return node;
+    auto neg = std::make_unique<Expr>();
+    neg->kind = ExprKind::kNot;
+    neg->children.push_back(std::move(node));
+    return neg;
+  }
+  if (Match(TokenType::kKeyword, "IS")) {
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kIsNull;
+    node->negated = Match(TokenType::kKeyword, "NOT");
+    PARINDA_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "NULL"));
+    node->children.push_back(std::move(lhs));
+    return node;
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAdditive() {
+  PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Match(TokenType::kSymbol, "+")) {
+      op = BinaryOp::kAdd;
+    } else if (Match(TokenType::kSymbol, "-")) {
+      op = BinaryOp::kSub;
+    } else {
+      break;
+    }
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseMultiplicative());
+    lhs = Expr::MakeBinary(ExprKind::kArith, op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
+  PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParsePrimary());
+  while (true) {
+    BinaryOp op;
+    if (Match(TokenType::kSymbol, "*")) {
+      op = BinaryOp::kMul;
+    } else if (Match(TokenType::kSymbol, "/")) {
+      op = BinaryOp::kDiv;
+    } else {
+      break;
+    }
+    PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParsePrimary());
+    lhs = Expr::MakeBinary(ExprKind::kArith, op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral: {
+      Advance();
+      return Expr::MakeLiteral(
+          Value::Int64(std::strtoll(t.text.c_str(), nullptr, 10)));
+    }
+    case TokenType::kDoubleLiteral: {
+      Advance();
+      return Expr::MakeLiteral(Value::Double(std::strtod(t.text.c_str(), nullptr)));
+    }
+    case TokenType::kStringLiteral: {
+      Advance();
+      return Expr::MakeLiteral(Value::String(t.text));
+    }
+    case TokenType::kKeyword: {
+      if (Match(TokenType::kKeyword, "TRUE")) {
+        return Expr::MakeLiteral(Value::Bool(true));
+      }
+      if (Match(TokenType::kKeyword, "FALSE")) {
+        return Expr::MakeLiteral(Value::Bool(false));
+      }
+      if (Match(TokenType::kKeyword, "NULL")) {
+        return Expr::MakeLiteral(Value::Null());
+      }
+      return Status::ParseError(StringPrintf(
+          "unexpected keyword '%s' at offset %zu", t.text.c_str(), t.offset));
+    }
+    case TokenType::kSymbol: {
+      if (Match(TokenType::kSymbol, "(")) {
+        PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+        PARINDA_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+        return inner;
+      }
+      if (Match(TokenType::kSymbol, "-")) {
+        PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParsePrimary());
+        // Fold negation into numeric literals; otherwise 0 - expr.
+        if (inner->kind == ExprKind::kLiteral && !inner->literal.is_null() &&
+            TypeIsNumeric(inner->literal.type())) {
+          const Value v = inner->literal;
+          inner->literal = v.type() == ValueType::kInt64
+                               ? Value::Int64(-v.AsInt64())
+                               : Value::Double(-v.AsDouble());
+          return inner;
+        }
+        return Expr::MakeBinary(ExprKind::kArith, BinaryOp::kSub,
+                                Expr::MakeLiteral(Value::Int64(0)),
+                                std::move(inner));
+      }
+      return Status::ParseError(StringPrintf(
+          "unexpected symbol '%s' at offset %zu", t.text.c_str(), t.offset));
+    }
+    case TokenType::kIdentifier: {
+      Advance();
+      // Function call?
+      if (Match(TokenType::kSymbol, "(")) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kFuncCall;
+        node->func_name = ToLower(t.text);
+        if (Match(TokenType::kSymbol, "*")) {
+          node->star = true;
+        } else if (!Check(TokenType::kSymbol, ")")) {
+          Match(TokenType::kKeyword, "DISTINCT");  // count(distinct x)
+          do {
+            PARINDA_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseOr());
+            node->children.push_back(std::move(arg));
+          } while (Match(TokenType::kSymbol, ","));
+        }
+        PARINDA_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+        return node;
+      }
+      // Qualified column?
+      if (Match(TokenType::kSymbol, ".")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::ParseError("expected column name after '.'");
+        }
+        const std::string column = Advance().text;
+        return Expr::MakeColumnRef(t.text, column);
+      }
+      return Expr::MakeColumnRef("", t.text);
+    }
+    case TokenType::kEnd:
+      return Status::ParseError("unexpected end of input");
+  }
+  return Status::ParseError("unreachable");
+}
+
+}  // namespace internal_parser
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  PARINDA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  internal_parser::Parser parser(std::move(tokens));
+  PARINDA_ASSIGN_OR_RETURN(SelectStatement stmt, parser.ParseSelectStatement());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<SelectStatement>> ParseWorkload(std::string_view text) {
+  PARINDA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  internal_parser::Parser parser(std::move(tokens));
+  std::vector<SelectStatement> out;
+  while (!parser.AtEnd()) {
+    PARINDA_ASSIGN_OR_RETURN(SelectStatement stmt,
+                             parser.ParseSelectStatement());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+}  // namespace parinda

@@ -1,0 +1,56 @@
+#ifndef PARINDA_PARSER_PARSER_H_
+#define PARINDA_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/lexer.h"
+
+namespace parinda {
+
+/// Parses one SELECT statement of our SQL dialect.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+/// Parses a workload file: one or more SELECT statements separated by
+/// semicolons; `--` comments and blank lines are ignored.
+Result<std::vector<SelectStatement>> ParseWorkload(std::string_view text);
+
+namespace internal_parser {
+
+/// Recursive-descent parser over a token stream. Exposed for tests.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelectStatement();
+
+  /// True when all that remains is kEnd (after optional ';').
+  bool AtEnd();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type, std::string_view text) const;
+  bool Match(TokenType type, std::string_view text);
+  Status Expect(TokenType type, std::string_view text);
+
+  Result<std::unique_ptr<Expr>> ParseOr();
+  Result<std::unique_ptr<Expr>> ParseAnd();
+  Result<std::unique_ptr<Expr>> ParseNot();
+  Result<std::unique_ptr<Expr>> ParsePredicate();
+  Result<std::unique_ptr<Expr>> ParseAdditive();
+  Result<std::unique_ptr<Expr>> ParseMultiplicative();
+  Result<std::unique_ptr<Expr>> ParsePrimary();
+
+  Status ParseFromClause(SelectStatement* stmt);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace internal_parser
+}  // namespace parinda
+
+#endif  // PARINDA_PARSER_PARSER_H_

@@ -1,0 +1,227 @@
+#include "rewriter/rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "parser/binder.h"
+
+namespace parinda {
+
+namespace {
+
+/// Per-range rewrite decision: the fragments covering the query's columns
+/// and, for each used parent column, which fragment serves it.
+struct RangePlan {
+  bool rewrite = false;
+  std::vector<const TableInfo*> fragments_used;
+  /// parent column ordinal -> index into fragments_used.
+  std::map<ColumnId, int> column_home;
+};
+
+/// Greedy set cover of `needed` parent columns by the parent's fragments.
+RangePlan PlanRange(const std::set<ColumnId>& needed,
+                    const std::vector<const TableInfo*>& fragments) {
+  RangePlan plan;
+  std::set<ColumnId> uncovered = needed;
+  while (!uncovered.empty()) {
+    const TableInfo* best = nullptr;
+    int best_cover = 0;
+    for (const TableInfo* frag : fragments) {
+      // Already chosen?
+      if (std::find(plan.fragments_used.begin(), plan.fragments_used.end(),
+                    frag) != plan.fragments_used.end()) {
+        continue;
+      }
+      int cover = 0;
+      for (ColumnId col : frag->parent_columns) {
+        if (uncovered.count(col) > 0) ++cover;
+      }
+      if (cover > best_cover ||
+          (cover == best_cover && cover > 0 && best != nullptr &&
+           frag->pages < best->pages)) {
+        best = frag;
+        best_cover = cover;
+      }
+    }
+    if (best == nullptr || best_cover == 0) {
+      // Not coverable by fragments: keep the base table.
+      plan.rewrite = false;
+      return plan;
+    }
+    const int frag_index = static_cast<int>(plan.fragments_used.size());
+    plan.fragments_used.push_back(best);
+    for (ColumnId col : best->parent_columns) {
+      if (uncovered.erase(col) > 0) {
+        plan.column_home[col] = frag_index;
+      }
+    }
+  }
+  plan.rewrite = !plan.fragments_used.empty();
+  return plan;
+}
+
+/// Rewrites every bound column reference of `expr` in place: refs to range r
+/// are re-qualified onto the alias of the fragment (or base table) serving
+/// that column. `alias_of` maps (range, parent column) to the new qualifier;
+/// fragment column names equal parent column names, so only the qualifier
+/// changes.
+void RequalifyExpr(
+    Expr* expr,
+    const std::vector<std::map<ColumnId, std::string>>& alias_of) {
+  if (expr->kind == ExprKind::kColumnRef && expr->bound_range >= 0) {
+    const auto& mapping = alias_of[expr->bound_range];
+    auto it = mapping.find(expr->bound_column);
+    if (it != mapping.end()) {
+      expr->table_name = it->second;
+    }
+    expr->bound_range = -1;
+    expr->bound_column = kInvalidColumnId;
+  }
+  for (auto& child : expr->children) RequalifyExpr(child.get(), alias_of);
+}
+
+}  // namespace
+
+Result<RewriteResult> RewriteForPartitions(
+    const CatalogReader& catalog, const SelectStatement& bound_stmt,
+    const std::vector<const TableInfo*>& fragments) {
+  const int num_rels = static_cast<int>(bound_stmt.from.size());
+
+  // Group fragments by parent table.
+  std::map<TableId, std::vector<const TableInfo*>> by_parent;
+  for (const TableInfo* frag : fragments) {
+    if (frag->parent_table != kInvalidTableId) {
+      by_parent[frag->parent_table].push_back(frag);
+    }
+  }
+
+  // Columns used per range.
+  std::vector<std::set<ColumnId>> used(static_cast<size_t>(num_rels));
+  auto collect = [&](const Expr* expr) {
+    if (expr == nullptr) return;
+    std::vector<std::pair<int, ColumnId>> refs;
+    expr->CollectColumnRefs(&refs);
+    for (const auto& [range, col] : refs) {
+      if (range >= 0) used[range].insert(col);
+    }
+  };
+  bool has_star = false;
+  for (const SelectItem& item : bound_stmt.select_list) {
+    if (item.star) {
+      has_star = true;
+    } else {
+      collect(item.expr.get());
+    }
+  }
+  collect(bound_stmt.where.get());
+  for (const auto& g : bound_stmt.group_by) collect(g.get());
+  for (const OrderItem& item : bound_stmt.order_by) collect(item.expr.get());
+
+  // Decide per range.
+  std::vector<RangePlan> plans(static_cast<size_t>(num_rels));
+  bool any = false;
+  for (int r = 0; r < num_rels; ++r) {
+    const TableInfo* table = catalog.GetTable(bound_stmt.from[r].bound_table);
+    if (table == nullptr) {
+      return Status::BindError("statement not bound to this catalog");
+    }
+    auto it = by_parent.find(table->id);
+    if (it == by_parent.end()) continue;
+    std::set<ColumnId> needed = used[r];
+    if (has_star) {
+      for (ColumnId c = 0; c < table->schema.num_columns(); ++c) {
+        needed.insert(c);
+      }
+    }
+    if (needed.empty()) {
+      // Query counts rows only; the narrowest fragment serves it.
+      needed.insert(table->primary_key.empty() ? 0 : table->primary_key[0]);
+    }
+    plans[r] = PlanRange(needed, it->second);
+    // A multi-fragment rewrite reconstructs rows by joining on the parent
+    // primary key; without one the fragments cannot be recombined.
+    if (plans[r].rewrite && plans[r].fragments_used.size() > 1 &&
+        table->primary_key.empty()) {
+      plans[r] = RangePlan{};
+    }
+    any = any || plans[r].rewrite;
+  }
+
+  RewriteResult result;
+  result.stmt = bound_stmt.Clone();
+  if (!any) {
+    result.changed = false;
+    PARINDA_RETURN_IF_ERROR(BindStatement(catalog, &result.stmt));
+    return result;
+  }
+
+  // Build the new FROM list and the (range, column) -> alias map.
+  std::vector<std::map<ColumnId, std::string>> alias_of(
+      static_cast<size_t>(num_rels));
+  std::vector<TableRef> new_from;
+  std::vector<std::unique_ptr<Expr>> pk_join_conds;
+  for (int r = 0; r < num_rels; ++r) {
+    const TableRef& original = bound_stmt.from[r];
+    const TableInfo* table = catalog.GetTable(original.bound_table);
+    if (!plans[r].rewrite) {
+      TableRef keep = original;
+      keep.bound_table = kInvalidTableId;
+      // Qualify this range's columns with its effective name so added
+      // fragment tables cannot make them ambiguous.
+      for (ColumnId c = 0; c < table->schema.num_columns(); ++c) {
+        alias_of[r][c] = keep.EffectiveName();
+      }
+      new_from.push_back(std::move(keep));
+      continue;
+    }
+    const RangePlan& plan = plans[r];
+    std::vector<std::string> frag_aliases;
+    for (size_t k = 0; k < plan.fragments_used.size(); ++k) {
+      TableRef ref;
+      ref.table_name = plan.fragments_used[k]->name;
+      ref.alias = original.EffectiveName() + "_p" + std::to_string(k);
+      frag_aliases.push_back(ref.alias);
+      new_from.push_back(std::move(ref));
+    }
+    for (const auto& [col, frag_index] : plan.column_home) {
+      alias_of[r][col] = frag_aliases[static_cast<size_t>(frag_index)];
+    }
+    // Join the fragments on the parent primary key.
+    for (size_t k = 1; k < plan.fragments_used.size(); ++k) {
+      for (ColumnId pk : table->primary_key) {
+        const std::string& pk_name = table->schema.column(pk).name;
+        pk_join_conds.push_back(Expr::MakeBinary(
+            ExprKind::kComparison, BinaryOp::kEq,
+            Expr::MakeColumnRef(frag_aliases[0], pk_name),
+            Expr::MakeColumnRef(frag_aliases[k], pk_name)));
+      }
+    }
+  }
+
+  // Re-qualify all column references, then install the new FROM list.
+  for (SelectItem& item : result.stmt.select_list) {
+    if (!item.star) RequalifyExpr(item.expr.get(), alias_of);
+  }
+  if (result.stmt.where != nullptr) {
+    RequalifyExpr(result.stmt.where.get(), alias_of);
+  }
+  for (auto& g : result.stmt.group_by) RequalifyExpr(g.get(), alias_of);
+  for (OrderItem& item : result.stmt.order_by) {
+    RequalifyExpr(item.expr.get(), alias_of);
+  }
+  result.stmt.from = std::move(new_from);
+  for (auto& cond : pk_join_conds) {
+    if (result.stmt.where == nullptr) {
+      result.stmt.where = std::move(cond);
+    } else {
+      result.stmt.where =
+          Expr::MakeAnd(std::move(result.stmt.where), std::move(cond));
+    }
+  }
+  PARINDA_RETURN_IF_ERROR(BindStatement(catalog, &result.stmt));
+  result.changed = true;
+  return result;
+}
+
+}  // namespace parinda

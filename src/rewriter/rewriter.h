@@ -1,0 +1,40 @@
+#ifndef PARINDA_REWRITER_REWRITER_H_
+#define PARINDA_REWRITER_REWRITER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// Result of rewriting one query onto vertical partitions.
+struct RewriteResult {
+  /// The rewritten statement, bound against the catalog passed in.
+  SelectStatement stmt;
+  /// False when no referenced table had a usable fragment set (stmt is then
+  /// a bound clone of the input).
+  bool changed = false;
+};
+
+/// PARINDA's automatic query rewriter (paper §3.3: "an automatic query
+/// rewriter is used to rewrite the original workload for the composite
+/// fragments").
+///
+/// For every FROM entry whose table has fragments in `fragments`, the
+/// columns the query uses are covered by a minimal set of fragments (greedy
+/// set cover, smallest-pages tie-break). A single covering fragment simply
+/// replaces the table; multiple fragments are joined on the parent's
+/// primary key (which every fragment carries — that is why what-if tables
+/// include it). Column references are re-qualified onto the fragment that
+/// holds them; the result is re-bound against `catalog`, which must resolve
+/// the fragment tables (a WhatIfTableCatalog overlay or the real catalog
+/// after materialization).
+Result<RewriteResult> RewriteForPartitions(
+    const CatalogReader& catalog, const SelectStatement& bound_stmt,
+    const std::vector<const TableInfo*>& fragments);
+
+}  // namespace parinda
+
+#endif  // PARINDA_REWRITER_REWRITER_H_

@@ -1,0 +1,118 @@
+#include "solver/bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace parinda {
+
+namespace {
+
+constexpr double kIntEps = 1e-6;
+
+/// A branch-and-bound node: variables fixed so far (-1 = free).
+struct Node {
+  std::vector<int8_t> fixed;
+};
+
+/// Applies the node's fixings as extra constraints:
+/// x_i <= 0 (fix to 0) and -x_i <= -1 (fix to 1; the Big-M phase of the LP
+/// solver handles the negative rhs).
+LinearProgram WithFixings(const LinearProgram& lp,
+                          const std::vector<int8_t>& fixed) {
+  LinearProgram out = lp;
+  for (int i = 0; i < lp.num_vars(); ++i) {
+    if (fixed[i] == 0) {
+      out.AddConstraint({{{i, 1.0}}, 0.0});
+    } else if (fixed[i] == 1) {
+      out.AddConstraint({{{i, -1.0}}, -1.0});
+    }
+  }
+  return out;
+}
+
+bool IsIntegral(const std::vector<double>& values, int* most_fractional) {
+  *most_fractional = -1;
+  double best_dist = kIntEps;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double frac = values[i] - std::floor(values[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      *most_fractional = static_cast<int>(i);
+    }
+  }
+  return *most_fractional < 0;
+}
+
+}  // namespace
+
+Result<MipSolution> SolveBinaryMip(const BinaryMip& mip,
+                                   const MipOptions& options) {
+  const int n = mip.lp.num_vars();
+  MipSolution best;
+  best.values.assign(static_cast<size_t>(n), 0);
+
+  // The all-zero assignment is feasible for PARINDA's ILPs (selecting
+  // nothing always satisfies <=-constraints with nonnegative rhs); seed the
+  // incumbent with it when it is.
+  bool zero_feasible = true;
+  for (const auto& row : mip.lp.constraints) {
+    if (row.rhs < 0.0) {
+      zero_feasible = false;
+      break;
+    }
+  }
+  if (zero_feasible) {
+    best.feasible = true;
+    best.objective = 0.0;
+  }
+
+  std::vector<Node> stack;
+  stack.push_back(Node{std::vector<int8_t>(static_cast<size_t>(n), -1)});
+  bool exhausted_cleanly = true;
+
+  while (!stack.empty()) {
+    if (best.nodes_explored >= options.max_nodes) {
+      exhausted_cleanly = false;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++best.nodes_explored;
+
+    PARINDA_ASSIGN_OR_RETURN(LpSolution relax,
+                             SolveLp(WithFixings(mip.lp, node.fixed)));
+    if (!relax.feasible) continue;
+    // Bound: the relaxation is an upper bound for this subtree.
+    if (best.feasible &&
+        relax.objective <=
+            best.objective + std::fabs(best.objective) * options.relative_gap +
+                kIntEps) {
+      continue;
+    }
+    int branch_var = -1;
+    if (IsIntegral(relax.values, &branch_var)) {
+      // Integral solution improves the incumbent (bound check passed above).
+      best.feasible = true;
+      best.objective = relax.objective;
+      for (int i = 0; i < n; ++i) {
+        best.values[i] = relax.values[i] > 0.5 ? 1 : 0;
+      }
+      continue;
+    }
+    // Branch: explore the "round up" child first (DFS finds good incumbents
+    // quickly on selection problems).
+    Node down = node;
+    down.fixed[branch_var] = 0;
+    stack.push_back(std::move(down));
+    Node up = std::move(node);
+    up.fixed[branch_var] = 1;
+    stack.push_back(std::move(up));
+  }
+
+  best.proved_optimal = best.feasible && exhausted_cleanly;
+  return best;
+}
+
+}  // namespace parinda

@@ -1,0 +1,43 @@
+#ifndef PARINDA_SOLVER_BNB_H_
+#define PARINDA_SOLVER_BNB_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "solver/lp.h"
+
+namespace parinda {
+
+/// A 0/1 integer program: the LP with every variable restricted to {0, 1}.
+/// This is exactly the shape of Papadomanolakis & Ailamaki's index-selection
+/// ILP (SMDB'07) that PARINDA solves "using a standard off-the-shelf
+/// combinatorial solver" — this module is our off-the-shelf solver.
+struct BinaryMip {
+  LinearProgram lp;
+};
+
+struct MipOptions {
+  /// Branch-and-bound node cap; exceeding it returns the incumbent with
+  /// `proved_optimal = false`.
+  int max_nodes = 200000;
+  /// Accept the incumbent once the relative gap to the best bound is below
+  /// this (0 = prove optimality).
+  double relative_gap = 1e-6;
+};
+
+struct MipSolution {
+  bool feasible = false;
+  bool proved_optimal = false;
+  double objective = 0.0;
+  std::vector<int> values;  // 0/1 per variable
+  int nodes_explored = 0;
+};
+
+/// Depth-first branch and bound with LP-relaxation bounds and
+/// most-fractional branching. Exact on the advisor's instance sizes.
+Result<MipSolution> SolveBinaryMip(const BinaryMip& mip,
+                                   const MipOptions& options = {});
+
+}  // namespace parinda
+
+#endif  // PARINDA_SOLVER_BNB_H_

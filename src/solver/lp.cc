@@ -1,0 +1,165 @@
+#include "solver/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace parinda {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kFeasEps = 1e-7;
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LinearProgram& lp, int max_iterations) {
+  const int n = lp.num_vars();
+  // Upper bounds become explicit rows (x_i <= u_i); simple and adequate at
+  // the problem sizes the advisor produces.
+  std::vector<LinearProgram::Constraint> rows = lp.constraints;
+  for (int i = 0; i < n; ++i) {
+    const double ub = lp.UpperOf(i);
+    if (ub < 0.0) {
+      return Status::InvalidArgument("negative upper bound");
+    }
+    rows.push_back({{{i, 1.0}}, ub});
+  }
+  const int m = static_cast<int>(rows.size());
+
+  // Dense row coefficients; rows with negative rhs are negated into >=
+  // constraints which get a surplus column and a Big-M artificial.
+  std::vector<std::vector<double>> a(
+      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n), 0.0));
+  std::vector<double> b(static_cast<size_t>(m), 0.0);
+  std::vector<bool> negated(static_cast<size_t>(m), false);
+  int num_artificials = 0;
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [var, coeff] : rows[r].terms) {
+      if (var < 0 || var >= n) {
+        return Status::InvalidArgument("constraint references unknown var");
+      }
+      a[r][var] += coeff;
+    }
+    b[r] = rows[r].rhs;
+    if (b[r] < 0.0) {
+      for (double& c : a[r]) c = -c;
+      b[r] = -b[r];
+      negated[r] = true;
+      ++num_artificials;
+    }
+  }
+
+  // Tableau layout: [x (n) | slack/surplus (m) | artificials | rhs].
+  const int art_base = n + m;
+  const int width = n + m + num_artificials + 1;
+  std::vector<std::vector<double>> tab(
+      static_cast<size_t>(m + 1),
+      std::vector<double>(static_cast<size_t>(width), 0.0));
+  std::vector<int> basis(static_cast<size_t>(m));
+  double big_m = 1.0;
+  for (double c : lp.objective) big_m = std::max(big_m, std::fabs(c));
+  big_m *= 1e7;
+
+  int art = 0;
+  for (int r = 0; r < m; ++r) {
+    for (int j = 0; j < n; ++j) tab[r][j] = a[r][j];
+    tab[r][width - 1] = b[r];
+    if (negated[r]) {
+      tab[r][n + r] = -1.0;  // surplus
+      tab[r][art_base + art] = 1.0;
+      basis[r] = art_base + art;
+      ++art;
+    } else {
+      tab[r][n + r] = 1.0;  // slack
+      basis[r] = n + r;
+    }
+  }
+  // Objective row (maximize c.x - M * artificials): standard tableau keeps
+  // -c; make the reduced costs of the initial basis zero.
+  for (int j = 0; j < n; ++j) tab[m][j] = -lp.objective[j];
+  for (int k = 0; k < num_artificials; ++k) tab[m][art_base + k] = big_m;
+  for (int r = 0; r < m; ++r) {
+    if (basis[r] >= art_base) {
+      for (int j = 0; j < width; ++j) tab[m][j] -= big_m * tab[r][j];
+    }
+  }
+
+  LpSolution solution;
+  int degenerate_streak = 0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Entering variable: most negative reduced cost (Dantzig); Bland after a
+    // degeneracy streak to avoid cycling.
+    int pivot_col = -1;
+    const bool bland = degenerate_streak > 64;
+    double best = -kEps;
+    for (int j = 0; j < width - 1; ++j) {
+      if (tab[m][j] < -kEps) {
+        if (bland) {
+          pivot_col = j;
+          break;
+        }
+        if (tab[m][j] < best) {
+          best = tab[m][j];
+          pivot_col = j;
+        }
+      }
+    }
+    if (pivot_col < 0) break;  // optimal
+    // Ratio test.
+    int pivot_row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m; ++r) {
+      if (tab[r][pivot_col] > kEps) {
+        const double ratio = tab[r][width - 1] / tab[r][pivot_col];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && pivot_row >= 0 &&
+             basis[r] < basis[pivot_row])) {
+          best_ratio = ratio;
+          pivot_row = r;
+        }
+      }
+    }
+    if (pivot_row < 0) {
+      return Status::SolverError("LP is unbounded");
+    }
+    degenerate_streak = best_ratio < kEps ? degenerate_streak + 1 : 0;
+    // Pivot.
+    const double pivot = tab[pivot_row][pivot_col];
+    for (int j = 0; j < width; ++j) tab[pivot_row][j] /= pivot;
+    for (int r = 0; r <= m; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = tab[r][pivot_col];
+      if (std::fabs(factor) < kEps) continue;
+      for (int j = 0; j < width; ++j) {
+        tab[r][j] -= factor * tab[pivot_row][j];
+      }
+    }
+    basis[pivot_row] = pivot_col;
+    if (iter == max_iterations - 1) solution.iteration_limited = true;
+  }
+
+  // Any artificial still in the basis at a positive level means the original
+  // constraints are inconsistent.
+  for (int r = 0; r < m; ++r) {
+    if (basis[r] >= art_base && tab[r][width - 1] > kFeasEps) {
+      solution.feasible = false;
+      return solution;
+    }
+  }
+
+  solution.feasible = true;
+  solution.values.assign(static_cast<size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    if (basis[r] < n) {
+      solution.values[basis[r]] = tab[r][width - 1];
+    }
+  }
+  solution.objective = 0.0;
+  for (int j = 0; j < n; ++j) {
+    solution.objective += lp.objective[j] * solution.values[j];
+  }
+  return solution;
+}
+
+}  // namespace parinda

@@ -1,0 +1,59 @@
+#ifndef PARINDA_SOLVER_LP_H_
+#define PARINDA_SOLVER_LP_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace parinda {
+
+/// A linear program in the form PARINDA's index-selection ILP uses:
+///
+///   maximize    c . x
+///   subject to  A x <= b     (every row is a <= constraint, b >= 0)
+///               0 <= x_i <= upper_i
+///
+/// Rows are sparse; the paper's ILP instances are mostly 0/1 coefficients
+/// over a few hundred variables.
+struct LinearProgram {
+  /// One <= constraint: sum(terms) <= rhs.
+  struct Constraint {
+    std::vector<std::pair<int, double>> terms;  // (variable, coefficient)
+    double rhs = 0.0;
+  };
+
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+  /// Per-variable upper bound; defaults to 1.0 (binary relaxation) when the
+  /// vector is empty.
+  std::vector<double> upper;
+
+  int num_vars() const { return static_cast<int>(objective.size()); }
+  double UpperOf(int var) const {
+    return upper.empty() ? 1.0 : upper[static_cast<size_t>(var)];
+  }
+
+  /// Adds a constraint and returns its row index.
+  int AddConstraint(Constraint c) {
+    constraints.push_back(std::move(c));
+    return static_cast<int>(constraints.size()) - 1;
+  }
+};
+
+struct LpSolution {
+  bool feasible = false;
+  /// True when the solver hit its iteration cap before converging.
+  bool iteration_limited = false;
+  double objective = 0.0;
+  std::vector<double> values;
+};
+
+/// Primal simplex over the standard-form tableau (slack basis start; Bland's
+/// rule after a degeneracy streak to guarantee termination). Suitable for
+/// the dense small/medium LPs the advisor produces.
+Result<LpSolution> SolveLp(const LinearProgram& lp, int max_iterations = 20000);
+
+}  // namespace parinda
+
+#endif  // PARINDA_SOLVER_LP_H_

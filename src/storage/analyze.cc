@@ -1,0 +1,229 @@
+#include "storage/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "catalog/types.h"
+#include "common/random.h"
+
+namespace parinda {
+
+namespace {
+
+/// Pearson correlation between physical row position and value rank — the
+/// statistic PostgreSQL stores as pg_stats.correlation and the cost model
+/// uses to interpolate between best-case and worst-case index scan I/O.
+double ComputeCorrelation(const std::vector<std::pair<Value, int64_t>>& sorted) {
+  const size_t n = sorted.size();
+  if (n < 2) return 0.0;
+  // sorted[i].second is the physical position of the i-th smallest value;
+  // correlate rank i against position.
+  double mean = (static_cast<double>(n) - 1.0) / 2.0;
+  double num = 0.0;
+  double den_rank = 0.0;
+  double den_pos = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dr = static_cast<double>(i) - mean;
+    const double dp = static_cast<double>(sorted[i].second) - mean;
+    num += dr * dp;
+    den_rank += dr * dr;
+    den_pos += dp * dp;
+  }
+  if (den_rank <= 0.0 || den_pos <= 0.0) return 0.0;
+  return num / std::sqrt(den_rank * den_pos);
+}
+
+/// Deterministic sample of row ids in physical order (Floyd's algorithm
+/// over a seeded RNG); empty when no sampling is requested.
+std::vector<RowId> SampleRowIds(int64_t total_rows,
+                                const AnalyzeOptions& options) {
+  if (options.sample_rows <= 0 || options.sample_rows >= total_rows) {
+    return {};
+  }
+  Random rng(options.sample_seed);
+  std::vector<RowId> ids;
+  ids.reserve(static_cast<size_t>(options.sample_rows));
+  // Simple distinct-sampling: draw until enough unique ids (sample sizes are
+  // far below the table size in practice).
+  std::vector<bool> taken(static_cast<size_t>(total_rows), false);
+  while (static_cast<int64_t>(ids.size()) < options.sample_rows) {
+    const RowId id = static_cast<RowId>(
+        rng.Uniform(static_cast<uint64_t>(total_rows)));
+    if (!taken[static_cast<size_t>(id)]) {
+      taken[static_cast<size_t>(id)] = true;
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+ColumnStats AnalyzeColumn(const HeapTable& table, ColumnId column,
+                          const AnalyzeOptions& options) {
+  ColumnStats stats;
+  const int64_t total_rows = table.num_rows();
+  const ValueType type = table.schema().column(column).type;
+  if (total_rows == 0) {
+    stats.avg_width = TypeFixedSize(type) > 0 ? TypeFixedSize(type) : 16;
+    return stats;
+  }
+  const std::vector<RowId> sample = SampleRowIds(total_rows, options);
+  const bool sampled = !sample.empty();
+  const int64_t considered =
+      sampled ? static_cast<int64_t>(sample.size()) : total_rows;
+
+  // Gather non-null values with their physical positions.
+  std::vector<std::pair<Value, int64_t>> values;
+  values.reserve(static_cast<size_t>(considered));
+  int64_t nulls = 0;
+  double width_sum = 0.0;
+  for (int64_t k = 0; k < considered; ++k) {
+    const RowId id = sampled ? sample[static_cast<size_t>(k)] : k;
+    const Value& v = table.row(id)[column];
+    if (v.is_null()) {
+      ++nulls;
+      continue;
+    }
+    width_sum += v.StorageSize();
+    values.emplace_back(v, id);
+  }
+  stats.null_frac = static_cast<double>(nulls) / static_cast<double>(considered);
+  if (values.empty()) {
+    stats.avg_width = TypeFixedSize(type) > 0 ? TypeFixedSize(type) : 16;
+    return stats;
+  }
+  stats.avg_width = width_sum / static_cast<double>(values.size());
+
+  std::stable_sort(values.begin(), values.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.Compare(b.first) < 0;
+                   });
+  stats.min_value = values.front().first;
+  stats.max_value = values.back().first;
+  if (TypeIsOrdered(type)) {
+    stats.correlation = ComputeCorrelation(values);
+  }
+
+  // Runs of equal values -> (value, count), already in value order.
+  struct Group {
+    Value value;
+    int64_t count;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < values.size();) {
+    size_t j = i + 1;
+    while (j < values.size() &&
+           values[j].first.Compare(values[i].first) == 0) {
+      ++j;
+    }
+    groups.push_back(Group{values[i].first, static_cast<int64_t>(j - i)});
+    i = j;
+  }
+  double distinct = static_cast<double>(groups.size());
+  const double nonnull = static_cast<double>(values.size());
+
+  if (sampled) {
+    // Extrapolate distinct counts from the sample with the Duj1 estimator
+    // (Haas & Stokes), exactly like PostgreSQL's ANALYZE: f1 is the number
+    // of values seen exactly once.
+    double f1 = 0.0;
+    for (const Group& g : groups) {
+      if (g.count == 1) f1 += 1.0;
+    }
+    const double n = nonnull;
+    const double big_n = static_cast<double>(total_rows);
+    if (f1 >= n) {
+      // Every sampled value unique: assume the column scales with the table.
+      distinct = big_n;
+    } else if (n > 0.0) {
+      const double denom = n - f1 + f1 * n / big_n;
+      if (denom > 0.0) {
+        distinct = std::min(big_n, n * distinct / denom);
+      }
+    }
+  }
+
+  // PostgreSQL convention: if the distinct count appears to scale with the
+  // table (> 10% of rows), store it as a negative fraction.
+  const double effective_rows =
+      sampled ? static_cast<double>(total_rows) : nonnull;
+  if (distinct > 0.1 * effective_rows) {
+    stats.n_distinct = -distinct / static_cast<double>(total_rows);
+  } else {
+    stats.n_distinct = distinct;
+  }
+
+  // MCVs: values noticeably more frequent than average, capped at
+  // stats_target. Skip when every value is unique.
+  std::vector<size_t> by_freq(groups.size());
+  std::iota(by_freq.begin(), by_freq.end(), 0);
+  std::stable_sort(by_freq.begin(), by_freq.end(), [&](size_t a, size_t b) {
+    return groups[a].count > groups[b].count;
+  });
+  const double avg_count = nonnull / std::max(1.0, static_cast<double>(groups.size()));
+  std::vector<bool> is_mcv(groups.size(), false);
+  if (distinct < nonnull) {
+    for (size_t k = 0;
+         k < by_freq.size() && stats.mcv_values.size() <
+                                   static_cast<size_t>(options.stats_target);
+         ++k) {
+      const Group& g = groups[by_freq[k]];
+      if (g.count <= 1) break;
+      if (static_cast<double>(g.count) < 1.25 * avg_count &&
+          static_cast<double>(groups.size()) >
+              static_cast<double>(options.stats_target)) {
+        break;
+      }
+      is_mcv[by_freq[k]] = true;
+      stats.mcv_values.push_back(g.value);
+      stats.mcv_freqs.push_back(static_cast<double>(g.count) /
+                                static_cast<double>(considered));
+    }
+  }
+
+  // Equi-depth histogram over the non-MCV values.
+  if (TypeIsOrdered(type)) {
+    std::vector<Value> rest;
+    rest.reserve(values.size());
+    size_t gi = 0;
+    int64_t consumed = 0;
+    for (const auto& [v, pos] : values) {
+      // Advance the group cursor to the group containing v.
+      while (consumed >= groups[gi].count) {
+        consumed = 0;
+        ++gi;
+      }
+      if (!is_mcv[gi]) rest.push_back(v);
+      ++consumed;
+    }
+    // Need at least two distinct values to form a bucket.
+    if (rest.size() >= 2 && rest.front().Compare(rest.back()) != 0) {
+      const int buckets =
+          std::min<int>(options.stats_target,
+                        static_cast<int>(rest.size()) - 1);
+      stats.histogram_bounds.reserve(static_cast<size_t>(buckets) + 1);
+      for (int b = 0; b <= buckets; ++b) {
+        const size_t pos = static_cast<size_t>(
+            std::llround(static_cast<double>(b) *
+                         static_cast<double>(rest.size() - 1) / buckets));
+        stats.histogram_bounds.push_back(rest[pos]);
+      }
+    }
+  }
+  return stats;
+}
+
+Result<std::vector<ColumnStats>> AnalyzeTable(const HeapTable& table,
+                                              const AnalyzeOptions& options) {
+  std::vector<ColumnStats> out;
+  out.reserve(static_cast<size_t>(table.schema().num_columns()));
+  for (ColumnId col = 0; col < table.schema().num_columns(); ++col) {
+    out.push_back(AnalyzeColumn(table, col, options));
+  }
+  return out;
+}
+
+}  // namespace parinda

@@ -1,0 +1,38 @@
+#ifndef PARINDA_STORAGE_ANALYZE_H_
+#define PARINDA_STORAGE_ANALYZE_H_
+
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "common/status.h"
+#include "storage/heap_table.h"
+
+namespace parinda {
+
+/// Knobs for the statistics pass, modelled on PostgreSQL ANALYZE.
+struct AnalyzeOptions {
+  /// Max MCV entries and histogram buckets per column
+  /// (PostgreSQL's default_statistics_target).
+  int stats_target = 100;
+  /// Rows to sample; 0 analyzes the whole table. PostgreSQL samples
+  /// 300 * stats_target rows; sampled runs extrapolate distinct counts with
+  /// the Duj1 estimator, as ANALYZE does.
+  int64_t sample_rows = 0;
+  /// Seed for the deterministic sampling permutation.
+  uint64_t sample_seed = 0x5eed;
+};
+
+/// Computes statistics for every column of `table` — over the whole table
+/// by default, or over a deterministic seeded sample when
+/// `options.sample_rows` is set. Returns one ColumnStats per schema column.
+Result<std::vector<ColumnStats>> AnalyzeTable(
+    const HeapTable& table, const AnalyzeOptions& options = {});
+
+/// Statistics for a single column, exposed for targeted re-analysis and
+/// tests.
+ColumnStats AnalyzeColumn(const HeapTable& table, ColumnId column,
+                          const AnalyzeOptions& options = {});
+
+}  // namespace parinda
+
+#endif  // PARINDA_STORAGE_ANALYZE_H_

@@ -1,0 +1,140 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+
+#include "catalog/size_model.h"
+
+namespace parinda {
+
+namespace {
+
+/// On-page bytes of one index entry (paper's o + aligned key width).
+int64_t EntryBytes(const Row& key, const std::vector<ColumnId>& key_columns,
+                   const TableSchema& schema) {
+  double offset = 0.0;
+  for (size_t i = 0; i < key.size(); ++i) {
+    const ValueType type = schema.column(key_columns[i]).type;
+    if (!key[i].is_null()) {
+      offset = AlignUp(offset, TypeAlignment(type));
+      offset += key[i].StorageSize();
+    }
+  }
+  return kIndexRowOverhead + static_cast<int64_t>(offset);
+}
+
+}  // namespace
+
+Result<BTreeIndex> BTreeIndex::Build(const HeapTable& table,
+                                     std::vector<ColumnId> key_columns) {
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("index needs at least one key column");
+  }
+  for (ColumnId col : key_columns) {
+    if (col < 0 || col >= table.schema().num_columns()) {
+      return Status::InvalidArgument("index key column out of range");
+    }
+  }
+  BTreeIndex index;
+  index.key_columns_ = key_columns;
+  index.entries_.reserve(static_cast<size_t>(table.num_rows()));
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    const Row& row = table.row(id);
+    Row key;
+    key.reserve(key_columns.size());
+    for (ColumnId col : key_columns) key.push_back(row[col]);
+    index.entries_.push_back(Entry{std::move(key), id});
+  }
+  std::stable_sort(index.entries_.begin(), index.entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return CompareRows(a.key, b.key) < 0;
+                   });
+  // Pack entries into leaf pages under the B-tree fill factor.
+  const int64_t usable = static_cast<int64_t>(
+      (kPageSize - kPageHeaderSize) * kBTreeFillFactor);
+  int64_t page_bytes = 0;
+  for (size_t i = 0; i < index.entries_.size(); ++i) {
+    const int64_t bytes =
+        EntryBytes(index.entries_[i].key, key_columns, table.schema());
+    if (index.leaf_first_entry_.empty() || page_bytes + bytes > usable) {
+      index.leaf_first_entry_.push_back(static_cast<int64_t>(i));
+      page_bytes = 0;
+    }
+    page_bytes += bytes;
+  }
+  index.leaf_pages_ =
+      std::max<int64_t>(1, static_cast<int64_t>(index.leaf_first_entry_.size()));
+  index.height_ =
+      EstimateBTreeHeight(static_cast<double>(index.leaf_pages_));
+  return index;
+}
+
+BTreeIndex::ScanResult BTreeIndex::RangeScan(
+    const std::optional<Value>& lo, bool lo_inclusive,
+    const std::optional<Value>& hi, bool hi_inclusive) const {
+  ScanResult result;
+  auto first_key_less = [](const Entry& e, const Value& v) {
+    return e.key[0].Compare(v) < 0;
+  };
+  auto value_less = [](const Value& v, const Entry& e) {
+    return v.Compare(e.key[0]) < 0;
+  };
+  auto begin = entries_.begin();
+  auto end = entries_.end();
+  if (lo.has_value()) {
+    begin = lo_inclusive
+                ? std::lower_bound(entries_.begin(), entries_.end(), *lo,
+                                   first_key_less)
+                : std::upper_bound(entries_.begin(), entries_.end(), *lo,
+                                   value_less);
+  }
+  if (hi.has_value()) {
+    end = hi_inclusive
+              ? std::upper_bound(entries_.begin(), entries_.end(), *hi,
+                                 value_less)
+              : std::lower_bound(entries_.begin(), entries_.end(), *hi,
+                                 first_key_less);
+  }
+  if (begin < end) {
+    result.row_ids.reserve(static_cast<size_t>(end - begin));
+    for (auto it = begin; it != end; ++it) result.row_ids.push_back(it->row_id);
+    const int64_t first = begin - entries_.begin();
+    const int64_t last = (end - entries_.begin()) - 1;
+    result.leaf_pages_touched = LeafPageOf(last) - LeafPageOf(first) + 1;
+  }
+  return result;
+}
+
+BTreeIndex::ScanResult BTreeIndex::EqualScan(const Row& key_prefix) const {
+  ScanResult result;
+  const size_t k = key_prefix.size();
+  auto prefix_less = [k](const Row& a, const Row& b) {
+    for (size_t i = 0; i < k; ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), key_prefix,
+      [&](const Entry& e, const Row& key) { return prefix_less(e.key, key); });
+  auto end = std::upper_bound(
+      entries_.begin(), entries_.end(), key_prefix,
+      [&](const Row& key, const Entry& e) { return prefix_less(key, e.key); });
+  if (begin < end) {
+    result.row_ids.reserve(static_cast<size_t>(end - begin));
+    for (auto it = begin; it != end; ++it) result.row_ids.push_back(it->row_id);
+    const int64_t first = begin - entries_.begin();
+    const int64_t last = (end - entries_.begin()) - 1;
+    result.leaf_pages_touched = LeafPageOf(last) - LeafPageOf(first) + 1;
+  }
+  return result;
+}
+
+int64_t BTreeIndex::LeafPageOf(int64_t entry_index) const {
+  if (leaf_first_entry_.empty()) return 0;
+  auto it = std::upper_bound(leaf_first_entry_.begin(),
+                             leaf_first_entry_.end(), entry_index);
+  return static_cast<int64_t>(it - leaf_first_entry_.begin()) - 1;
+}
+
+}  // namespace parinda

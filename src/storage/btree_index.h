@@ -1,0 +1,71 @@
+#ifndef PARINDA_STORAGE_BTREE_INDEX_H_
+#define PARINDA_STORAGE_BTREE_INDEX_H_
+
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/heap_table.h"
+
+namespace parinda {
+
+/// A materialized B-tree index: sorted (key, RowId) entries with exact leaf
+/// page accounting, so what-if size estimates (Equation 1) can be validated
+/// against real builds — the comparison demo scenario 1 performs.
+class BTreeIndex {
+ public:
+  /// Builds the index over `table` on `key_columns` (table ordinals).
+  /// O(n log n); the build cost is what benchmark E1 contrasts with what-if
+  /// simulation.
+  static Result<BTreeIndex> Build(const HeapTable& table,
+                                  std::vector<ColumnId> key_columns);
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+  BTreeIndex(BTreeIndex&&) = default;
+  BTreeIndex& operator=(BTreeIndex&&) = default;
+
+  const std::vector<ColumnId>& key_columns() const { return key_columns_; }
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// Exact leaf pages from entry packing.
+  int64_t leaf_pages() const { return leaf_pages_; }
+  /// Tree height above the leaf level.
+  int height() const { return height_; }
+
+  /// Row ids whose key satisfies lo <= key <= hi on the *first* key column
+  /// (prefix range scan; lo/hi may be empty for open bounds). Results are in
+  /// key order. Also reports how many leaf pages the scan touched.
+  struct ScanResult {
+    std::vector<RowId> row_ids;
+    int64_t leaf_pages_touched = 0;
+  };
+  ScanResult RangeScan(const std::optional<Value>& lo, bool lo_inclusive,
+                       const std::optional<Value>& hi, bool hi_inclusive) const;
+
+  /// Row ids whose full key equals `key` (may be a key prefix).
+  ScanResult EqualScan(const Row& key_prefix) const;
+
+ private:
+  struct Entry {
+    Row key;
+    RowId row_id;
+  };
+
+  BTreeIndex() = default;
+
+  /// Leaf page holding the entry at `entry_index`.
+  int64_t LeafPageOf(int64_t entry_index) const;
+
+  std::vector<ColumnId> key_columns_;
+  std::vector<Entry> entries_;
+  /// entries-per-leaf-page boundaries: first entry index of each leaf page.
+  std::vector<int64_t> leaf_first_entry_;
+  int64_t leaf_pages_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_STORAGE_BTREE_INDEX_H_

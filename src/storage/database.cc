@@ -1,0 +1,212 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace parinda {
+
+Result<TableId> Database::CreateTable(TableSchema schema,
+                                      std::vector<ColumnId> primary_key) {
+  auto heap = std::make_unique<HeapTable>(schema);
+  PARINDA_ASSIGN_OR_RETURN(
+      TableId id, catalog_.CreateTable(std::move(schema), std::move(primary_key)));
+  heaps_[id] = std::move(heap);
+  return id;
+}
+
+Status Database::Insert(TableId table, Row row) {
+  HeapTable* heap = GetMutableHeapTable(table);
+  if (heap == nullptr) {
+    return Status::NotFound("no heap for table id " + std::to_string(table));
+  }
+  PARINDA_ASSIGN_OR_RETURN(RowId unused, heap->Append(std::move(row)));
+  (void)unused;
+  return Status::OK();
+}
+
+Status Database::InsertMany(TableId table, std::vector<Row> rows) {
+  HeapTable* heap = GetMutableHeapTable(table);
+  if (heap == nullptr) {
+    return Status::NotFound("no heap for table id " + std::to_string(table));
+  }
+  heap->Reserve(heap->num_rows() + static_cast<int64_t>(rows.size()));
+  for (Row& row : rows) {
+    PARINDA_ASSIGN_OR_RETURN(RowId unused, heap->Append(std::move(row)));
+    (void)unused;
+  }
+  return Status::OK();
+}
+
+Status Database::Analyze(TableId table, const AnalyzeOptions& options) {
+  const HeapTable* heap = GetHeapTable(table);
+  if (heap == nullptr) {
+    return Status::NotFound("no heap for table id " + std::to_string(table));
+  }
+  PARINDA_ASSIGN_OR_RETURN(std::vector<ColumnStats> stats,
+                           AnalyzeTable(*heap, options));
+  return catalog_.UpdateTableStats(table,
+                                   static_cast<double>(heap->num_rows()),
+                                   static_cast<double>(heap->num_pages()),
+                                   std::move(stats));
+}
+
+Result<IndexId> Database::BuildIndex(const std::string& name, TableId table,
+                                     std::vector<ColumnId> columns,
+                                     bool unique) {
+  const HeapTable* heap = GetHeapTable(table);
+  if (heap == nullptr) {
+    return Status::NotFound("no heap for table id " + std::to_string(table));
+  }
+  PARINDA_ASSIGN_OR_RETURN(IndexId id,
+                           catalog_.CreateIndex(name, table, columns, unique));
+  auto built = BTreeIndex::Build(*heap, columns);
+  if (!built.ok()) {
+    // Roll back the catalog entry so a failed build leaves no trace.
+    (void)catalog_.DropIndex(id);
+    return built.status();
+  }
+  auto btree = std::make_unique<BTreeIndex>(std::move(built).value());
+  PARINDA_RETURN_IF_ERROR(catalog_.UpdateIndexStats(
+      id, static_cast<double>(btree->leaf_pages()), btree->height(),
+      static_cast<double>(btree->num_entries())));
+  btrees_[id] = std::move(btree);
+  return id;
+}
+
+Status Database::DropIndex(IndexId id) {
+  PARINDA_RETURN_IF_ERROR(catalog_.DropIndex(id));
+  btrees_.erase(id);
+  return Status::OK();
+}
+
+Status Database::DropTable(TableId id) {
+  // Indexes on the table go away with the catalog entry; drop their trees.
+  for (const IndexInfo* index : catalog_.TableIndexes(id)) {
+    btrees_.erase(index->id);
+  }
+  // Unlink from any parent whose horizontal partitioning references it.
+  for (const TableInfo* table : catalog_.AllTables()) {
+    if (std::find(table->horizontal_children.begin(),
+                  table->horizontal_children.end(),
+                  id) != table->horizontal_children.end()) {
+      TableInfo* parent = catalog_.GetMutableTable(table->id);
+      parent->horizontal_children.clear();
+      parent->partition_column = kInvalidColumnId;
+      parent->partition_bounds.clear();
+    }
+  }
+  PARINDA_RETURN_IF_ERROR(catalog_.DropTable(id));
+  heaps_.erase(id);
+  return Status::OK();
+}
+
+Result<std::vector<TableId>> Database::MaterializeRangePartitions(
+    TableId parent, ColumnId column, const std::vector<Value>& bounds) {
+  const TableInfo* parent_info = catalog_.GetTable(parent);
+  const HeapTable* parent_heap = GetHeapTable(parent);
+  if (parent_info == nullptr || parent_heap == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(parent));
+  }
+  if (column < 0 || column >= parent_info->schema.num_columns()) {
+    return Status::InvalidArgument("partition column out of range");
+  }
+  if (bounds.empty()) {
+    return Status::InvalidArgument("range partitioning needs split points");
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i - 1].Compare(bounds[i]) >= 0) {
+      return Status::InvalidArgument("split points must be ascending");
+    }
+  }
+  std::vector<TableId> children;
+  for (size_t k = 0; k <= bounds.size(); ++k) {
+    TableSchema schema(parent_info->name + "_hp" + std::to_string(k),
+                       parent_info->schema.columns());
+    PARINDA_ASSIGN_OR_RETURN(
+        TableId id, CreateTable(std::move(schema), parent_info->primary_key));
+    catalog_.GetMutableTable(id)->parent_table = parent;
+    children.push_back(id);
+  }
+  // Route each row to its range (NULL partition keys go to the first child,
+  // matching NULLS-in-default-partition behaviour).
+  for (RowId rid = 0; rid < parent_heap->num_rows(); ++rid) {
+    const Row& row = parent_heap->row(rid);
+    const Value& key = row[column];
+    size_t k = 0;
+    if (!key.is_null()) {
+      while (k < bounds.size() && key.Compare(bounds[k]) >= 0) ++k;
+    }
+    PARINDA_RETURN_IF_ERROR(Insert(children[k], row));
+  }
+  for (TableId child : children) {
+    PARINDA_RETURN_IF_ERROR(Analyze(child));
+  }
+  TableInfo* info = catalog_.GetMutableTable(parent);
+  info->horizontal_children = children;
+  info->partition_column = column;
+  info->partition_bounds = bounds;
+  return children;
+}
+
+Result<TableId> Database::MaterializeVerticalPartition(
+    TableId parent, const std::string& name, std::vector<ColumnId> columns) {
+  const TableInfo* parent_info = catalog_.GetTable(parent);
+  const HeapTable* parent_heap = GetHeapTable(parent);
+  if (parent_info == nullptr || parent_heap == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(parent));
+  }
+  // Fragment columns = parent primary key + requested columns (deduped,
+  // preserving parent order for the PK prefix).
+  std::vector<ColumnId> frag_columns = parent_info->primary_key;
+  for (ColumnId col : columns) {
+    if (col < 0 || col >= parent_info->schema.num_columns()) {
+      return Status::InvalidArgument("partition column out of range");
+    }
+    if (std::find(frag_columns.begin(), frag_columns.end(), col) ==
+        frag_columns.end()) {
+      frag_columns.push_back(col);
+    }
+  }
+  TableSchema schema(name, {});
+  for (ColumnId col : frag_columns) {
+    schema.AddColumn(parent_info->schema.column(col));
+  }
+  // PK of the fragment = the copied parent PK columns (always the prefix).
+  std::vector<ColumnId> frag_pk;
+  for (size_t i = 0; i < parent_info->primary_key.size(); ++i) {
+    frag_pk.push_back(static_cast<ColumnId>(i));
+  }
+  PARINDA_ASSIGN_OR_RETURN(TableId id,
+                           CreateTable(std::move(schema), std::move(frag_pk)));
+  HeapTable* heap = GetMutableHeapTable(id);
+  heap->Reserve(parent_heap->num_rows());
+  for (RowId rid = 0; rid < parent_heap->num_rows(); ++rid) {
+    const Row& src = parent_heap->row(rid);
+    Row dst;
+    dst.reserve(frag_columns.size());
+    for (ColumnId col : frag_columns) dst.push_back(src[col]);
+    PARINDA_ASSIGN_OR_RETURN(RowId unused, heap->Append(std::move(dst)));
+    (void)unused;
+  }
+  TableInfo* info = catalog_.GetMutableTable(id);
+  info->parent_table = parent;
+  info->parent_columns = frag_columns;
+  PARINDA_RETURN_IF_ERROR(Analyze(id));
+  return id;
+}
+
+const HeapTable* Database::GetHeapTable(TableId id) const {
+  auto it = heaps_.find(id);
+  return it == heaps_.end() ? nullptr : it->second.get();
+}
+
+HeapTable* Database::GetMutableHeapTable(TableId id) {
+  auto it = heaps_.find(id);
+  return it == heaps_.end() ? nullptr : it->second.get();
+}
+
+const BTreeIndex* Database::GetBTree(IndexId id) const {
+  auto it = btrees_.find(id);
+  return it == btrees_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace parinda

@@ -1,0 +1,48 @@
+#include "storage/heap_table.h"
+
+#include <algorithm>
+
+#include "catalog/size_model.h"
+
+namespace parinda {
+
+Result<RowId> HeapTable::Append(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch for table '" +
+                                   schema_.name() + "'");
+  }
+  const int64_t bytes = RowBytes(row, schema_);
+  const int64_t usable = kPageSize - kPageHeaderSize;
+  const RowId id = static_cast<RowId>(rows_.size());
+  if (page_first_row_.empty() || current_page_bytes_ + bytes > usable) {
+    page_first_row_.push_back(id);
+    current_page_bytes_ = 0;
+  }
+  current_page_bytes_ += bytes;
+  rows_.push_back(std::move(row));
+  return id;
+}
+
+int64_t HeapTable::num_pages() const {
+  return std::max<int64_t>(1, static_cast<int64_t>(page_first_row_.size()));
+}
+
+int64_t HeapTable::PageOf(RowId id) const {
+  if (page_first_row_.empty()) return 0;
+  auto it = std::upper_bound(page_first_row_.begin(), page_first_row_.end(), id);
+  return static_cast<int64_t>(it - page_first_row_.begin()) - 1;
+}
+
+int64_t HeapTable::RowBytes(const Row& row, const TableSchema& schema) {
+  double offset = 0.0;
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ValueType type = schema.column(static_cast<ColumnId>(i)).type;
+    if (!row[i].is_null()) {
+      offset = AlignUp(offset, TypeAlignment(type));
+      offset += row[i].StorageSize();
+    }
+  }
+  return kHeapTupleOverhead + static_cast<int64_t>(AlignUp(offset, 8));
+}
+
+}  // namespace parinda

@@ -1,0 +1,57 @@
+#ifndef PARINDA_STORAGE_HEAP_TABLE_H_
+#define PARINDA_STORAGE_HEAP_TABLE_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/row.h"
+
+namespace parinda {
+
+/// In-memory heap table with PostgreSQL-style page accounting.
+///
+/// Rows live in insertion order (that order *is* the physical order the
+/// correlation statistic is computed against). Page boundaries are tracked so
+/// sequential and index scans can charge realistic page I/O.
+class HeapTable {
+ public:
+  explicit HeapTable(TableSchema schema) : schema_(std::move(schema)) {}
+
+  HeapTable(const HeapTable&) = delete;
+  HeapTable& operator=(const HeapTable&) = delete;
+  HeapTable(HeapTable&&) = default;
+  HeapTable& operator=(HeapTable&&) = default;
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Appends a row; fails on arity mismatch. Returns the new RowId.
+  Result<RowId> Append(Row row);
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const Row& row(RowId id) const { return rows_[static_cast<size_t>(id)]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Heap pages occupied, from exact per-row byte packing.
+  int64_t num_pages() const;
+
+  /// Page number holding `id` (for index-scan page-touch accounting).
+  int64_t PageOf(RowId id) const;
+
+  /// Reserves capacity ahead of bulk loads.
+  void Reserve(int64_t rows) { rows_.reserve(static_cast<size_t>(rows)); }
+
+ private:
+  /// Bytes a row occupies on a page, header + aligned data.
+  static int64_t RowBytes(const Row& row, const TableSchema& schema);
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  /// First row id of each page; pages_[p] <= id < pages_[p+1].
+  std::vector<RowId> page_first_row_;
+  int64_t current_page_bytes_ = 0;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_STORAGE_HEAP_TABLE_H_

@@ -1,0 +1,24 @@
+#include "storage/row.h"
+
+#include "common/logging.h"
+
+namespace parinda {
+
+int CompareRows(const Row& a, const Row& b) {
+  PARINDA_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x345678u;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace parinda

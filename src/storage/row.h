@@ -1,0 +1,26 @@
+#ifndef PARINDA_STORAGE_ROW_H_
+#define PARINDA_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace parinda {
+
+/// One tuple: a vector of Values, parallel to a schema's columns.
+using Row = std::vector<Value>;
+
+/// Row identifier within a heap table (insertion order position).
+using RowId = int64_t;
+
+/// Lexicographic three-way comparison of two rows (used by sort nodes and
+/// B-tree keys). Rows must have equal arity.
+int CompareRows(const Row& a, const Row& b);
+
+/// Combined hash of all values in the row.
+size_t HashRow(const Row& row);
+
+}  // namespace parinda
+
+#endif  // PARINDA_STORAGE_ROW_H_

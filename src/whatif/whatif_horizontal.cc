@@ -1,0 +1,134 @@
+#include "whatif/whatif_horizontal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "catalog/size_model.h"
+#include "optimizer/selectivity.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+namespace {
+
+/// Fraction of the parent's rows falling in [lo, hi).
+double RangeFraction(const TableInfo& parent, ColumnId column,
+                     const Value& lo, const Value& hi) {
+  double sel = 1.0;
+  if (!lo.is_null() && !hi.is_null()) {
+    const double s_lo = RangeSelectivity(parent, column, BinaryOp::kGe, lo);
+    const double s_hi = RangeSelectivity(parent, column, BinaryOp::kLt, hi);
+    sel = std::max(0.0, s_lo + s_hi - 1.0);
+  } else if (!lo.is_null()) {
+    sel = RangeSelectivity(parent, column, BinaryOp::kGe, lo);
+  } else if (!hi.is_null()) {
+    sel = RangeSelectivity(parent, column, BinaryOp::kLt, hi);
+  }
+  return ClampSelectivity(sel);
+}
+
+}  // namespace
+
+TableInfo SliceTableForRange(const TableInfo& parent, ColumnId column,
+                             const Value& lo, const Value& hi,
+                             const std::string& name, TableId child_id) {
+  TableInfo child;
+  child.id = child_id;
+  child.name = name;
+  child.schema = TableSchema(name, parent.schema.columns());
+  child.primary_key = parent.primary_key;
+  child.hypothetical = true;
+  child.parent_table = parent.id;
+
+  const double frac = RangeFraction(parent, column, lo, hi);
+  child.row_count = std::max(0.0, parent.row_count * frac);
+
+  std::vector<SizedColumn> sized;
+  for (ColumnId c = 0; c < parent.schema.num_columns(); ++c) {
+    SizedColumn sc;
+    sc.type = parent.schema.column(c).type;
+    const ColumnStats* stats = parent.StatsFor(c);
+    sc.avg_width = stats != nullptr
+                       ? stats->avg_width
+                       : (TypeFixedSize(sc.type) > 0
+                              ? TypeFixedSize(sc.type)
+                              : parent.schema.column(c).declared_avg_width);
+    sized.push_back(sc);
+  }
+  child.pages = EstimateHeapPages(child.row_count, sized);
+
+  if (!parent.HasStats()) return child;
+  child.column_stats = parent.column_stats;
+  for (ColumnId c = 0; c < parent.schema.num_columns(); ++c) {
+    ColumnStats& stats = child.column_stats[c];
+    // Distinct counts shrink with the row sample (Yao's approximation).
+    stats.n_distinct = DistinctAfterFilter(parent, c, child.row_count);
+    if (c != column) continue;
+    // The partition column itself: clip min/max, slice histogram and MCVs,
+    // renormalize MCV mass to the child population.
+    if (!lo.is_null() &&
+        (stats.min_value.is_null() || stats.min_value.Compare(lo) < 0)) {
+      stats.min_value = lo;
+    }
+    if (!hi.is_null() &&
+        (stats.max_value.is_null() || stats.max_value.Compare(hi) >= 0)) {
+      stats.max_value = hi;
+    }
+    std::vector<Value> bounds;
+    for (const Value& b : stats.histogram_bounds) {
+      const bool above = lo.is_null() || b.Compare(lo) >= 0;
+      const bool below = hi.is_null() || b.Compare(hi) < 0;
+      if (above && below) bounds.push_back(b);
+    }
+    stats.histogram_bounds = bounds.size() >= 2 ? bounds : std::vector<Value>{};
+    std::vector<Value> mcvs;
+    std::vector<double> freqs;
+    for (size_t i = 0; i < stats.mcv_values.size(); ++i) {
+      const Value& v = stats.mcv_values[i];
+      const bool above = lo.is_null() || v.Compare(lo) >= 0;
+      const bool below = hi.is_null() || v.Compare(hi) < 0;
+      if (above && below && frac > 1e-9) {
+        mcvs.push_back(v);
+        freqs.push_back(std::min(1.0, stats.mcv_freqs[i] / frac));
+      }
+    }
+    stats.mcv_values = std::move(mcvs);
+    stats.mcv_freqs = std::move(freqs);
+  }
+  return child;
+}
+
+Result<std::vector<Value>> SuggestEqualMassBounds(const CatalogReader& catalog,
+                                                  TableId table,
+                                                  ColumnId column,
+                                                  int partitions) {
+  const TableInfo* info = catalog.GetTable(table);
+  if (info == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(table));
+  }
+  if (partitions < 2) {
+    return Status::InvalidArgument("need at least 2 partitions");
+  }
+  const ColumnStats* stats = info->StatsFor(column);
+  if (stats == nullptr || stats->histogram_bounds.size() < 2) {
+    return Status::InvalidArgument(
+        "column has no histogram; run ANALYZE first");
+  }
+  const auto& hist = stats->histogram_bounds;
+  std::vector<Value> bounds;
+  for (int k = 1; k < partitions; ++k) {
+    const size_t pos = static_cast<size_t>(
+        std::llround(static_cast<double>(k) *
+                     static_cast<double>(hist.size() - 1) / partitions));
+    const Value& candidate = hist[pos];
+    if (bounds.empty() || bounds.back().Compare(candidate) < 0) {
+      bounds.push_back(candidate);
+    }
+  }
+  if (bounds.empty()) {
+    return Status::InvalidArgument("column has too few distinct values");
+  }
+  return bounds;
+}
+
+}  // namespace parinda

@@ -1,0 +1,53 @@
+#ifndef PARINDA_WHATIF_WHATIF_HORIZONTAL_H_
+#define PARINDA_WHATIF_WHATIF_HORIZONTAL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// Horizontal (range) partitioning — the other partition family PARINDA's
+/// introduction names ("design features, such as horizontal and vertical
+/// partitions, indexes"); the EDBT demo exercises vertical partitioning,
+/// this module implements the horizontal side as the natural extension.
+///
+/// A range partitioning of `parent` on `column` with split points `bounds`
+/// (ascending) produces bounds.size() + 1 children; child k covers
+/// [bounds[k-1], bounds[k]) with open ends. Unlike vertical fragments,
+/// children keep the full schema, so queries need no rewriting: the planner
+/// scans the parent as an Append over the children that survive pruning
+/// against the query's predicates on the partition column (PostgreSQL's
+/// constraint-exclusion behaviour).
+struct RangePartitionDef {
+  TableId parent = kInvalidTableId;
+  ColumnId column = kInvalidColumnId;
+  /// Ascending split points; must be non-empty.
+  std::vector<Value> bounds;
+  /// Child names are `<prefix><k>`; defaults to "<parent>_hp".
+  std::string name_prefix;
+};
+
+/// Derives a child TableInfo from the parent's statistics for the range
+/// [lo, hi) (either bound may be NULL for an open end): row count and pages
+/// scale by the range's selectivity; the partition column's min/max,
+/// histogram and MCVs are sliced and renormalized; other columns keep their
+/// distributions with distinct counts scaled by Yao's formula.
+TableInfo SliceTableForRange(const TableInfo& parent, ColumnId column,
+                             const Value& lo, const Value& hi,
+                             const std::string& name, TableId child_id);
+
+/// Equal-mass split points for partitioning `table` on `column` into
+/// `partitions` ranges, taken from the column's equi-depth histogram — a
+/// simple range-partition advisor.
+Result<std::vector<Value>> SuggestEqualMassBounds(const CatalogReader& catalog,
+                                                  TableId table,
+                                                  ColumnId column,
+                                                  int partitions);
+
+}  // namespace parinda
+
+#endif  // PARINDA_WHATIF_WHATIF_HORIZONTAL_H_

@@ -1,0 +1,35 @@
+#ifndef PARINDA_WHATIF_WHATIF_JOIN_H_
+#define PARINDA_WHATIF_WHATIF_JOIN_H_
+
+#include "optimizer/cost_params.h"
+
+namespace parinda {
+
+/// The paper's *What-If Join Component* (§3.2): "This is used to control the
+/// join methods to be used in the execution plan of the query... We enable
+/// and disable the nested-loop join method using the flags offered by the
+/// optimizer."
+///
+/// INUM caches two plans per scenario — one with nested loops enabled and
+/// one with them disabled — and these helpers produce the two parameter sets.
+struct WhatIfJoin {
+  /// Returns `params` with the nested-loop method toggled.
+  static CostParams WithNestLoop(CostParams params, bool enabled) {
+    params.enable_nestloop = enabled;
+    return params;
+  }
+
+  /// Returns `params` restricted to exactly one join method (the others are
+  /// penalized with disable_cost, mirroring PostgreSQL's enable_* GUCs).
+  enum class Method { kNestLoop, kMergeJoin, kHashJoin };
+  static CostParams OnlyMethod(CostParams params, Method method) {
+    params.enable_nestloop = method == Method::kNestLoop;
+    params.enable_mergejoin = method == Method::kMergeJoin;
+    params.enable_hashjoin = method == Method::kHashJoin;
+    return params;
+  }
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_WHATIF_WHATIF_JOIN_H_

@@ -1,0 +1,353 @@
+#include "workload/sdss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace parinda {
+
+namespace {
+
+TableSchema PhotoObjSchema() {
+  return TableSchema(
+      "photoobj",
+      {
+          {"objid", ValueType::kInt64, 8, false},        // 0
+          {"ra", ValueType::kDouble, 8, false},          // 1
+          {"dec", ValueType::kDouble, 8, false},         // 2
+          {"type", ValueType::kInt64, 8, false},         // 3
+          {"mode", ValueType::kInt64, 8, false},         // 4
+          {"flags", ValueType::kInt64, 8, false},        // 5
+          {"status", ValueType::kInt64, 8, false},       // 6
+          {"u", ValueType::kDouble, 8, false},           // 7
+          {"g", ValueType::kDouble, 8, false},           // 8
+          {"r", ValueType::kDouble, 8, false},           // 9
+          {"i", ValueType::kDouble, 8, false},           // 10
+          {"z", ValueType::kDouble, 8, false},           // 11
+          {"err_u", ValueType::kDouble, 8, false},       // 12
+          {"err_g", ValueType::kDouble, 8, false},       // 13
+          {"err_r", ValueType::kDouble, 8, false},       // 14
+          {"err_i", ValueType::kDouble, 8, false},       // 15
+          {"err_z", ValueType::kDouble, 8, false},       // 16
+          {"petrorad_r", ValueType::kDouble, 8, false},  // 17
+          {"petror50_r", ValueType::kDouble, 8, false},  // 18
+          {"petror90_r", ValueType::kDouble, 8, false},  // 19
+          {"extinction_r", ValueType::kDouble, 8, false},  // 20
+          {"rowc", ValueType::kDouble, 8, false},        // 21
+          {"colc", ValueType::kDouble, 8, false},        // 22
+          {"field_id", ValueType::kInt64, 8, false},     // 23
+          {"nchild", ValueType::kInt64, 8, false},       // 24
+      });
+}
+
+TableSchema SpecObjSchema() {
+  return TableSchema("specobj",
+                     {
+                         {"specobjid", ValueType::kInt64, 8, false},  // 0
+                         {"bestobjid", ValueType::kInt64, 8, false},  // 1
+                         {"z", ValueType::kDouble, 8, false},         // 2
+                         {"z_err", ValueType::kDouble, 8, false},     // 3
+                         {"class", ValueType::kInt64, 8, false},      // 4
+                         {"sn_median", ValueType::kDouble, 8, false}, // 5
+                         {"plate", ValueType::kInt64, 8, false},      // 6
+                         {"mjd", ValueType::kInt64, 8, false},        // 7
+                         {"fiberid", ValueType::kInt64, 8, false},    // 8
+                         {"z_warning", ValueType::kInt64, 8, false},  // 9
+                     });
+}
+
+TableSchema FieldSchema() {
+  return TableSchema("field",
+                     {
+                         {"field_id", ValueType::kInt64, 8, false},  // 0
+                         {"run", ValueType::kInt64, 8, false},       // 1
+                         {"camcol", ValueType::kInt64, 8, false},    // 2
+                         {"field_num", ValueType::kInt64, 8, false}, // 3
+                         {"ra_min", ValueType::kDouble, 8, false},   // 4
+                         {"ra_max", ValueType::kDouble, 8, false},   // 5
+                         {"dec_min", ValueType::kDouble, 8, false},  // 6
+                         {"dec_max", ValueType::kDouble, 8, false},  // 7
+                         {"quality", ValueType::kInt64, 8, false},   // 8
+                         {"mjd", ValueType::kInt64, 8, false},       // 9
+                     });
+}
+
+TableSchema NeighborsSchema() {
+  return TableSchema("neighbors",
+                     {
+                         {"objid", ValueType::kInt64, 8, false},
+                         {"neighbor_objid", ValueType::kInt64, 8, false},
+                         {"distance", ValueType::kDouble, 8, false},
+                         {"neighbor_type", ValueType::kInt64, 8, false},
+                     });
+}
+
+TableSchema PhotoProfileSchema() {
+  return TableSchema("photoprofile",
+                     {
+                         {"objid", ValueType::kInt64, 8, false},
+                         {"bin", ValueType::kInt64, 8, false},
+                         {"profmean", ValueType::kDouble, 8, false},
+                         {"proferr", ValueType::kDouble, 8, false},
+                     });
+}
+
+/// Magnitude ~ N(19, 2) clamped to the SDSS-plausible [12, 28].
+double Magnitude(Random* rng) {
+  return std::clamp(19.0 + 2.0 * rng->NextGaussian(), 12.0, 28.0);
+}
+
+}  // namespace
+
+Result<SdssDataset> BuildSdssDatabase(Database* db, const SdssConfig& config) {
+  SdssDataset out;
+  Random rng(config.seed);
+  const int64_t n_photo = std::max<int64_t>(100, config.photoobj_rows);
+  const int64_t n_spec = std::max<int64_t>(10, n_photo / 10);
+  const int64_t n_field = std::max<int64_t>(4, n_photo / 100);
+  const int64_t n_neighbors = std::max<int64_t>(10, n_photo / 2);
+  const int64_t n_profile = std::max<int64_t>(10, n_photo * 3 / 4);
+
+  PARINDA_ASSIGN_OR_RETURN(out.field, db->CreateTable(FieldSchema(), {0}));
+  PARINDA_ASSIGN_OR_RETURN(out.photoobj,
+                           db->CreateTable(PhotoObjSchema(), {0}));
+  PARINDA_ASSIGN_OR_RETURN(out.specobj, db->CreateTable(SpecObjSchema(), {0}));
+  PARINDA_ASSIGN_OR_RETURN(out.neighbors,
+                           db->CreateTable(NeighborsSchema(), {}));
+  PARINDA_ASSIGN_OR_RETURN(out.photoprofile,
+                           db->CreateTable(PhotoProfileSchema(), {}));
+
+  // --- field: sky stripes with runs/camcols ---
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_field));
+    for (int64_t f = 0; f < n_field; ++f) {
+      const int64_t run = 700 + (f % 60);
+      const double ra0 = rng.UniformDouble(0.0, 350.0);
+      const double dec0 = rng.UniformDouble(-80.0, 75.0);
+      rows.push_back(Row{
+          Value::Int64(f),
+          Value::Int64(run),
+          Value::Int64(1 + static_cast<int64_t>(rng.Uniform(6))),
+          Value::Int64(f % 1000),
+          Value::Double(ra0),
+          Value::Double(ra0 + 10.0),
+          Value::Double(dec0),
+          Value::Double(dec0 + 5.0),
+          Value::Int64(1 + static_cast<int64_t>(rng.NextZipf(3, 0.5))),
+          Value::Int64(51000 + static_cast<int64_t>(rng.Uniform(2000))),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.field, std::move(rows)));
+  }
+
+  // --- photoobj: the wide fact table ---
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_photo));
+    for (int64_t id = 0; id < n_photo; ++id) {
+      // objid ascending -> physical/logical correlation 1 on the PK, as a
+      // clustered load would produce.
+      const double r_mag = Magnitude(&rng);
+      const double g_mag =
+          std::clamp(r_mag + 0.4 + 0.5 * rng.NextGaussian(), 12.0, 28.0);
+      const int64_t type =
+          rng.Bernoulli(0.6) ? 3 : (rng.Bernoulli(0.875) ? 6 : 0);
+      rows.push_back(Row{
+          Value::Int64(id),
+          Value::Double(rng.UniformDouble(0.0, 360.0)),
+          Value::Double(std::asin(rng.UniformDouble(-1.0, 1.0)) * 57.29578),
+          Value::Int64(type),
+          Value::Int64(rng.Bernoulli(0.9) ? 1 : 2),
+          Value::Int64(static_cast<int64_t>(rng.Uniform(1u << 22))),
+          Value::Int64(static_cast<int64_t>(rng.Uniform(8))),
+          Value::Double(std::clamp(g_mag + 1.2 + 0.6 * rng.NextGaussian(),
+                                   12.0, 28.0)),
+          Value::Double(g_mag),
+          Value::Double(r_mag),
+          Value::Double(std::clamp(r_mag - 0.3 + 0.4 * rng.NextGaussian(),
+                                   12.0, 28.0)),
+          Value::Double(std::clamp(r_mag - 0.5 + 0.5 * rng.NextGaussian(),
+                                   12.0, 28.0)),
+          Value::Double(rng.UniformDouble(0.01, 0.5)),
+          Value::Double(rng.UniformDouble(0.01, 0.4)),
+          Value::Double(rng.UniformDouble(0.01, 0.3)),
+          Value::Double(rng.UniformDouble(0.01, 0.3)),
+          Value::Double(rng.UniformDouble(0.01, 0.6)),
+          Value::Double(rng.UniformDouble(0.5, 30.0)),
+          Value::Double(rng.UniformDouble(0.2, 15.0)),
+          Value::Double(rng.UniformDouble(0.5, 40.0)),
+          Value::Double(rng.UniformDouble(0.0, 0.6)),
+          Value::Double(rng.UniformDouble(0.0, 1489.0)),
+          Value::Double(rng.UniformDouble(0.0, 2048.0)),
+          Value::Int64(static_cast<int64_t>(rng.Uniform(
+              static_cast<uint64_t>(n_field)))),
+          Value::Int64(static_cast<int64_t>(rng.NextZipf(8, 0.8))),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.photoobj, std::move(rows)));
+  }
+
+  // --- specobj: spectra for ~10% of photo objects ---
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_spec));
+    for (int64_t s = 0; s < n_spec; ++s) {
+      const int64_t cls =
+          rng.Bernoulli(0.7) ? 2 : (rng.Bernoulli(0.6) ? 1 : 3);
+      // QSOs (class 3) reach high redshift; galaxies stay low.
+      double redshift = cls == 3 ? rng.UniformDouble(0.3, 5.0)
+                                 : std::fabs(0.15 * rng.NextGaussian()) +
+                                       rng.UniformDouble(0.0, 0.25);
+      rows.push_back(Row{
+          Value::Int64(s),
+          Value::Int64(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(n_photo)))),
+          Value::Double(redshift),
+          Value::Double(rng.UniformDouble(1e-5, 1e-3)),
+          Value::Int64(cls),
+          Value::Double(rng.UniformDouble(0.5, 60.0)),
+          Value::Int64(266 + static_cast<int64_t>(rng.Uniform(2000))),
+          Value::Int64(51600 + static_cast<int64_t>(rng.Uniform(1500))),
+          Value::Int64(1 + static_cast<int64_t>(rng.Uniform(640))),
+          Value::Int64(rng.Bernoulli(0.93) ? 0 : 4),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.specobj, std::move(rows)));
+  }
+
+  // --- neighbors: close pairs ---
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_neighbors));
+    for (int64_t k = 0; k < n_neighbors; ++k) {
+      rows.push_back(Row{
+          Value::Int64(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(n_photo)))),
+          Value::Int64(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(n_photo)))),
+          Value::Double(rng.UniformDouble(0.05, 30.0)),
+          Value::Int64(rng.Bernoulli(0.6) ? 3 : 6),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.neighbors, std::move(rows)));
+  }
+
+  // --- photoprofile: radial profile bins ---
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_profile));
+    for (int64_t k = 0; k < n_profile; ++k) {
+      const int64_t bin = static_cast<int64_t>(rng.Uniform(15));
+      rows.push_back(Row{
+          Value::Int64(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(n_photo)))),
+          Value::Int64(bin),
+          Value::Double(rng.UniformDouble(0.1, 500.0) /
+                        static_cast<double>(bin + 1)),
+          Value::Double(rng.UniformDouble(0.01, 5.0)),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.photoprofile, std::move(rows)));
+  }
+
+  AnalyzeOptions analyze;
+  analyze.stats_target = config.stats_target;
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.field, analyze));
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.photoobj, analyze));
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.specobj, analyze));
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.neighbors, analyze));
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.photoprofile, analyze));
+  return out;
+}
+
+const std::vector<std::string>& SdssPrototypicalQueries() {
+  static const std::vector<std::string>& queries =
+      *new std::vector<std::string>{
+          // Q1: coordinate box selection.
+          "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 180 AND 195 "
+          "AND dec BETWEEN 0 AND 12",
+          // Q2: class count.
+          "SELECT count(*) FROM photoobj WHERE type = 3",
+          // Q3: bright galaxies.
+          "SELECT objid, g, r FROM photoobj WHERE g < 16.5 AND type = 3",
+          // Q4: narrow magnitude band.
+          "SELECT objid FROM photoobj WHERE r BETWEEN 14.5 AND 15.5",
+          // Q5: large galaxies.
+          "SELECT count(*), avg(petrorad_r) FROM photoobj WHERE type = 3 "
+          "AND petrorad_r > 25",
+          // Q6: point lookup.
+          "SELECT objid, u, g, r, i, z FROM photoobj WHERE objid = 12345",
+          // Q7: class histogram.
+          "SELECT type, count(*) FROM photoobj GROUP BY type",
+          // Q8: brightest stars.
+          "SELECT objid, r FROM photoobj WHERE type = 6 AND r < 14.5 "
+          "ORDER BY r LIMIT 100",
+          // Q9: red objects (color cut).
+          "SELECT objid FROM photoobj WHERE g - r > 1.4 AND r < 16",
+          // Q10: high-redshift matches.
+          "SELECT p.objid, s.z FROM photoobj p, specobj s "
+          "WHERE p.objid = s.bestobjid AND s.z > 3.5",
+          // Q11: spectral class histogram.
+          "SELECT class, count(*) FROM specobj GROUP BY class",
+          // Q12: QSOs in a redshift band with positions.
+          "SELECT p.objid, p.ra, p.dec, s.z FROM photoobj p, specobj s "
+          "WHERE p.objid = s.bestobjid AND s.class = 3 "
+          "AND s.z BETWEEN 1 AND 2",
+          // Q13: per-plate signal-to-noise.
+          "SELECT avg(sn_median) FROM specobj WHERE plate = 266",
+          // Q14: good-quality galaxy fields.
+          "SELECT p.objid FROM photoobj p, field f "
+          "WHERE p.field_id = f.field_id AND f.quality = 3 AND p.type = 3",
+          // Q15: objects per run.
+          "SELECT f.run, count(*) FROM photoobj p, field f "
+          "WHERE p.field_id = f.field_id GROUP BY f.run",
+          // Q16: neighbors of one object.
+          "SELECT neighbor_objid FROM neighbors WHERE objid = 777 "
+          "AND distance < 5.0",
+          // Q17: very close pairs.
+          "SELECT count(*) FROM neighbors WHERE distance < 0.25",
+          // Q18: star close pairs.
+          "SELECT p.objid, n.distance FROM photoobj p, neighbors n "
+          "WHERE p.objid = n.objid AND p.type = 6 AND n.distance < 1.0",
+          // Q19: radial profile of one object.
+          "SELECT bin, avg(profmean) FROM photoprofile WHERE objid = 4242 "
+          "GROUP BY bin ORDER BY bin",
+          // Q20: bright profile bins.
+          "SELECT count(*) FROM photoprofile WHERE profmean > 200",
+          // Q21: flag + magnitude band.
+          "SELECT objid, r FROM photoobj WHERE flags > 4000000 "
+          "AND r BETWEEN 14 AND 18",
+          // Q22: polar cap.
+          "SELECT objid, ra, dec FROM photoobj WHERE dec > 80",
+          // Q23: mode/status audit.
+          "SELECT count(*) FROM photoobj WHERE mode = 2 AND status = 3",
+          // Q24: plate/mjd coverage.
+          "SELECT plate, mjd, count(*) FROM specobj WHERE z_warning = 0 "
+          "GROUP BY plate, mjd",
+          // Q25: photometry of bright stars with spectra.
+          "SELECT p.u, p.g, p.r, p.i, p.z FROM photoobj p, specobj s "
+          "WHERE p.objid = s.bestobjid AND s.class = 1 AND p.r < 15",
+          // Q26: QSO redshift stats.
+          "SELECT max(z), min(z), avg(z) FROM specobj WHERE class = 3",
+          // Q27: high-extinction galaxies.
+          "SELECT objid FROM photoobj WHERE extinction_r > 0.55 AND type = 3",
+          // Q28: one run's bright objects.
+          "SELECT p.objid, f.run, f.camcol FROM photoobj p, field f "
+          "WHERE p.field_id = f.field_id AND f.run = 710 AND p.g < 16",
+          // Q29: Petrosian radii in a magnitude band.
+          "SELECT avg(petror50_r), avg(petror90_r) FROM photoobj "
+          "WHERE type = 3 AND r BETWEEN 16 AND 17",
+          // Q30: best spectra by redshift.
+          "SELECT specobjid, z FROM specobj WHERE sn_median > 45 "
+          "ORDER BY z DESC LIMIT 50",
+      };
+  return queries;
+}
+
+Result<Workload> MakeSdssWorkload(const CatalogReader& catalog) {
+  return MakeWorkload(catalog, SdssPrototypicalQueries());
+}
+
+}  // namespace parinda

@@ -1,0 +1,51 @@
+#ifndef PARINDA_WORKLOAD_SDSS_H_
+#define PARINDA_WORKLOAD_SDSS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace parinda {
+
+/// Synthetic stand-in for the paper's demo dataset — a 5% sample of SDSS DR4
+/// (~150 GB) — scaled to in-memory sizes. The schema keeps the properties
+/// the demo exploits: one very wide fact table (PhotoObjAll) whose queries
+/// touch small column subsets (vertical partitioning pays off), selective
+/// predicates on magnitudes/coordinates (indexes pay off), and joins to
+/// SpecObjAll / Field / Neighbors / PhotoProfile.
+struct SdssConfig {
+  /// Rows in photoobj; the other tables scale from it
+  /// (specobj = 1/10, field = 1/100, neighbors = 1/2, photoprofile = 3/4).
+  int64_t photoobj_rows = 20000;
+  uint64_t seed = 1234;
+  /// ANALYZE statistics target used after loading.
+  int stats_target = 100;
+};
+
+/// Table ids of a generated SDSS database.
+struct SdssDataset {
+  TableId photoobj = kInvalidTableId;
+  TableId specobj = kInvalidTableId;
+  TableId field = kInvalidTableId;
+  TableId neighbors = kInvalidTableId;
+  TableId photoprofile = kInvalidTableId;
+};
+
+/// Creates the five tables in `db`, generates deterministic data from
+/// `config.seed`, and ANALYZEs everything.
+Result<SdssDataset> BuildSdssDatabase(Database* db, const SdssConfig& config);
+
+/// The 30 prototypical astronomy queries of the demo workload (paper §4:
+/// "for the query workload we use a set of 30 prototypical queries").
+const std::vector<std::string>& SdssPrototypicalQueries();
+
+/// Parses and binds the 30-query workload against `catalog`.
+Result<Workload> MakeSdssWorkload(const CatalogReader& catalog);
+
+}  // namespace parinda
+
+#endif  // PARINDA_WORKLOAD_SDSS_H_

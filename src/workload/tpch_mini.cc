@@ -1,0 +1,214 @@
+#include "workload/tpch_mini.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace parinda {
+
+namespace {
+
+constexpr int64_t kDateLo = 8766;   // ~1994-01-01 in days-since-epoch
+constexpr int64_t kDateHi = 10957;  // ~2000-01-01
+
+TableSchema CustomerSchema() {
+  return TableSchema("customer",
+                     {
+                         {"c_custkey", ValueType::kInt64, 8, false},   // 0
+                         {"c_nationkey", ValueType::kInt64, 8, false}, // 1
+                         {"c_acctbal", ValueType::kDouble, 8, false},  // 2
+                         {"c_mktsegment", ValueType::kString, 10, false},  // 3
+                     });
+}
+
+TableSchema OrdersSchema() {
+  return TableSchema(
+      "orders", {
+                    {"o_orderkey", ValueType::kInt64, 8, false},      // 0
+                    {"o_custkey", ValueType::kInt64, 8, false},       // 1
+                    {"o_totalprice", ValueType::kDouble, 8, false},   // 2
+                    {"o_orderdate", ValueType::kInt64, 8, false},     // 3
+                    {"o_orderpriority", ValueType::kString, 8, false},  // 4
+                });
+}
+
+TableSchema LineitemSchema() {
+  return TableSchema(
+      "lineitem",
+      {
+          {"l_orderkey", ValueType::kInt64, 8, false},       // 0
+          {"l_linenumber", ValueType::kInt64, 8, false},     // 1
+          {"l_partkey", ValueType::kInt64, 8, false},        // 2
+          {"l_quantity", ValueType::kDouble, 8, false},      // 3
+          {"l_extendedprice", ValueType::kDouble, 8, false}, // 4
+          {"l_discount", ValueType::kDouble, 8, false},      // 5
+          {"l_shipdate", ValueType::kInt64, 8, false},       // 6
+          {"l_returnflag", ValueType::kString, 5, false},    // 7
+      });
+}
+
+TableSchema PartSchema() {
+  return TableSchema("part",
+                     {
+                         {"p_partkey", ValueType::kInt64, 8, false},     // 0
+                         {"p_brand", ValueType::kString, 9, false},      // 1
+                         {"p_size", ValueType::kInt64, 8, false},        // 2
+                         {"p_retailprice", ValueType::kDouble, 8, false},  // 3
+                     });
+}
+
+}  // namespace
+
+Result<TpchMiniDataset> BuildTpchMiniDatabase(Database* db,
+                                              const TpchMiniConfig& config) {
+  TpchMiniDataset out;
+  Random rng(config.seed);
+  const int64_t n_lineitem = std::max<int64_t>(100, config.lineitem_rows);
+  const int64_t n_orders = std::max<int64_t>(25, n_lineitem / 4);
+  const int64_t n_customer = std::max<int64_t>(10, n_lineitem / 40);
+  const int64_t n_part = std::max<int64_t>(10, n_lineitem / 20);
+
+  PARINDA_ASSIGN_OR_RETURN(out.customer,
+                           db->CreateTable(CustomerSchema(), {0}));
+  PARINDA_ASSIGN_OR_RETURN(out.orders, db->CreateTable(OrdersSchema(), {0}));
+  PARINDA_ASSIGN_OR_RETURN(out.lineitem,
+                           db->CreateTable(LineitemSchema(), {0, 1}));
+  PARINDA_ASSIGN_OR_RETURN(out.part, db->CreateTable(PartSchema(), {0}));
+
+  const char* kSegments[] = {"BUILDING", "AUTOMOBILE", "MACHINERY",
+                             "HOUSEHOLD", "FURNITURE"};
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_customer));
+    for (int64_t c = 0; c < n_customer; ++c) {
+      rows.push_back(Row{
+          Value::Int64(c),
+          Value::Int64(static_cast<int64_t>(rng.Uniform(25))),
+          Value::Double(rng.UniformDouble(-999.0, 9999.0)),
+          Value::String(kSegments[rng.Uniform(5)]),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.customer, std::move(rows)));
+  }
+
+  const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW",
+                               "5-NONE"};
+  std::vector<int64_t> order_dates(static_cast<size_t>(n_orders));
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_orders));
+    for (int64_t o = 0; o < n_orders; ++o) {
+      const int64_t date = rng.UniformInt(kDateLo, kDateHi);
+      order_dates[static_cast<size_t>(o)] = date;
+      rows.push_back(Row{
+          Value::Int64(o),
+          Value::Int64(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(n_customer)))),
+          Value::Double(rng.UniformDouble(900.0, 400000.0)),
+          Value::Int64(date),
+          Value::String(kPriorities[rng.Uniform(5)]),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.orders, std::move(rows)));
+  }
+
+  const char* kFlags[] = {"N", "R", "A"};
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_lineitem));
+    for (int64_t l = 0; l < n_lineitem; ++l) {
+      const int64_t orderkey = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(n_orders)));
+      rows.push_back(Row{
+          Value::Int64(orderkey),
+          Value::Int64(static_cast<int64_t>(rng.Uniform(7)) + 1),
+          Value::Int64(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(n_part)))),
+          Value::Double(1.0 + static_cast<double>(rng.Uniform(50))),
+          Value::Double(rng.UniformDouble(900.0, 105000.0)),
+          Value::Double(static_cast<double>(rng.Uniform(11)) / 100.0),
+          Value::Int64(order_dates[static_cast<size_t>(orderkey)] +
+                       rng.UniformInt(1, 121)),
+          Value::String(kFlags[rng.Uniform(3)]),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.lineitem, std::move(rows)));
+  }
+
+  const char* kBrands[] = {"Brand#11", "Brand#12", "Brand#21", "Brand#22",
+                           "Brand#31", "Brand#32", "Brand#41", "Brand#51"};
+  {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n_part));
+    for (int64_t p = 0; p < n_part; ++p) {
+      rows.push_back(Row{
+          Value::Int64(p),
+          Value::String(kBrands[rng.NextZipf(8, 0.7)]),
+          Value::Int64(1 + static_cast<int64_t>(rng.Uniform(50))),
+          Value::Double(rng.UniformDouble(900.0, 2100.0)),
+      });
+    }
+    PARINDA_RETURN_IF_ERROR(db->InsertMany(out.part, std::move(rows)));
+  }
+
+  AnalyzeOptions analyze;
+  analyze.stats_target = config.stats_target;
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.customer, analyze));
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.orders, analyze));
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.lineitem, analyze));
+  PARINDA_RETURN_IF_ERROR(db->Analyze(out.part, analyze));
+  return out;
+}
+
+const std::vector<std::string>& TpchMiniQueries() {
+  static const std::vector<std::string>& queries =
+      *new std::vector<std::string>{
+          // Q1-style pricing summary.
+          "SELECT l_returnflag, count(*), sum(l_extendedprice), "
+          "avg(l_discount) FROM lineitem WHERE l_shipdate <= 10800 "
+          "GROUP BY l_returnflag ORDER BY l_returnflag",
+          // Q6-style forecast revenue (tight range + band predicates).
+          "SELECT sum(l_extendedprice * l_discount) FROM lineitem "
+          "WHERE l_shipdate BETWEEN 9131 AND 9496 "
+          "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+          // Q3-style shipping priority (3-way join).
+          "SELECT o.o_orderkey, sum(l.l_extendedprice), o.o_orderdate "
+          "FROM customer c, orders o, lineitem l "
+          "WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey "
+          "AND c.c_mktsegment = 'BUILDING' AND o.o_orderdate < 9200 "
+          "GROUP BY o.o_orderkey, o.o_orderdate",
+          // Point lookups.
+          "SELECT o_totalprice, o_orderdate FROM orders WHERE o_orderkey = 42",
+          "SELECT p_brand, p_retailprice FROM part WHERE p_partkey = 99",
+          // Customer account screening.
+          "SELECT c_custkey, c_acctbal FROM customer WHERE c_acctbal > 9000",
+          // Order-date window with priority filter.
+          "SELECT count(*) FROM orders WHERE o_orderdate BETWEEN 9496 AND "
+          "9861 AND o_orderpriority = '1-URGENT'",
+          // Lineitems of one order.
+          "SELECT l_linenumber, l_quantity, l_extendedprice FROM lineitem "
+          "WHERE l_orderkey = 777 ORDER BY l_linenumber",
+          // Part/brand analysis (join + group).
+          "SELECT p.p_brand, count(*), avg(l.l_extendedprice) "
+          "FROM lineitem l, part p WHERE l.l_partkey = p.p_partkey "
+          "AND p.p_size > 40 GROUP BY p.p_brand",
+          // Customer order history (selective join).
+          "SELECT o.o_orderkey, o.o_totalprice FROM customer c, orders o "
+          "WHERE c.c_custkey = o.o_custkey AND c.c_custkey = 13",
+          // Top expensive orders.
+          "SELECT o_orderkey, o_totalprice FROM orders "
+          "ORDER BY o_totalprice DESC LIMIT 10",
+          // Returned-item share per segment (3-way join, filters).
+          "SELECT c.c_mktsegment, count(*) FROM customer c, orders o, "
+          "lineitem l WHERE c.c_custkey = o.o_custkey "
+          "AND l.l_orderkey = o.o_orderkey AND l.l_returnflag = 'R' "
+          "GROUP BY c.c_mktsegment",
+      };
+  return queries;
+}
+
+Result<Workload> MakeTpchMiniWorkload(const CatalogReader& catalog) {
+  return MakeWorkload(catalog, TpchMiniQueries());
+}
+
+}  // namespace parinda

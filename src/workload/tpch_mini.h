@@ -1,0 +1,45 @@
+#ifndef PARINDA_WORKLOAD_TPCH_MINI_H_
+#define PARINDA_WORKLOAD_TPCH_MINI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace parinda {
+
+/// A TPC-H-flavoured decision-support schema, scaled to memory: customer,
+/// orders, lineitem, part. Secondary workload demonstrating that the
+/// designer is not SDSS-specific — narrower tables, deeper join chains,
+/// date-range predicates.
+struct TpchMiniConfig {
+  /// lineitem rows; orders = /4, customer = /40, part = /20.
+  int64_t lineitem_rows = 30000;
+  uint64_t seed = 77;
+  int stats_target = 100;
+};
+
+struct TpchMiniDataset {
+  TableId customer = kInvalidTableId;
+  TableId orders = kInvalidTableId;
+  TableId lineitem = kInvalidTableId;
+  TableId part = kInvalidTableId;
+};
+
+/// Creates and loads the four tables, then ANALYZEs them.
+Result<TpchMiniDataset> BuildTpchMiniDatabase(Database* db,
+                                              const TpchMiniConfig& config);
+
+/// Twelve decision-support queries over the schema (TPC-H Q1/Q3/Q6-style
+/// shapes adapted to the dialect: no subqueries or outer joins).
+const std::vector<std::string>& TpchMiniQueries();
+
+/// Parses and binds the 12-query workload against `catalog`.
+Result<Workload> MakeTpchMiniWorkload(const CatalogReader& catalog);
+
+}  // namespace parinda
+
+#endif  // PARINDA_WORKLOAD_TPCH_MINI_H_

@@ -1,0 +1,52 @@
+#include "workload/workload.h"
+
+#include "parser/binder.h"
+#include "parser/parser.h"
+
+namespace parinda {
+
+Workload Workload::Prefix(int n) const {
+  Workload out;
+  const int count = std::min<int>(n, size());
+  out.queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    WorkloadQuery q;
+    q.sql = queries[i].sql;
+    q.stmt = queries[i].stmt.Clone();
+    q.weight = queries[i].weight;
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<Workload> MakeWorkload(const CatalogReader& catalog,
+                              const std::vector<std::string>& sqls) {
+  Workload out;
+  out.queries.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    WorkloadQuery q;
+    q.sql = sql;
+    PARINDA_ASSIGN_OR_RETURN(q.stmt, ParseSelect(sql));
+    PARINDA_RETURN_IF_ERROR(BindStatement(catalog, &q.stmt));
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<Workload> LoadWorkloadText(const CatalogReader& catalog,
+                                  std::string_view text) {
+  PARINDA_ASSIGN_OR_RETURN(std::vector<SelectStatement> stmts,
+                           ParseWorkload(text));
+  Workload out;
+  out.queries.reserve(stmts.size());
+  for (SelectStatement& stmt : stmts) {
+    WorkloadQuery q;
+    q.sql = stmt.ToSql();
+    q.stmt = std::move(stmt);
+    PARINDA_RETURN_IF_ERROR(BindStatement(catalog, &q.stmt));
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace parinda

@@ -1,0 +1,45 @@
+#ifndef PARINDA_WORKLOAD_WORKLOAD_H_
+#define PARINDA_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace parinda {
+
+/// One workload query: source text, bound statement, and a weight (relative
+/// execution frequency).
+struct WorkloadQuery {
+  std::string sql;
+  SelectStatement stmt;
+  double weight = 1.0;
+};
+
+/// A set of queries the physical designer tunes for — the "workload file"
+/// input of all three demo scenarios.
+struct Workload {
+  std::vector<WorkloadQuery> queries;
+
+  int size() const { return static_cast<int>(queries.size()); }
+
+  /// Sub-workload with the first `n` queries (used by the ILP-vs-greedy
+  /// scaling experiment).
+  Workload Prefix(int n) const;
+};
+
+/// Parses and binds each SQL string against `catalog`.
+Result<Workload> MakeWorkload(const CatalogReader& catalog,
+                              const std::vector<std::string>& sqls);
+
+/// Parses a semicolon-separated workload file (the GUI's "workload file"
+/// input format; `--` comments allowed).
+Result<Workload> LoadWorkloadText(const CatalogReader& catalog,
+                                  std::string_view text);
+
+}  // namespace parinda
+
+#endif  // PARINDA_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "advisor/candidates.h"
+#include "catalog/size_model.h"
+#include "advisor/index_advisor.h"
+#include "optimizer/query_analysis.h"
+#include "tests/test_util.h"
+#include "workload/sdss.h"
+
+namespace parinda {
+namespace {
+
+class CandidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = testing_util::MakeOrdersTable(&db_, 3000);
+    customers_ = testing_util::MakeCustomersTable(&db_, 300);
+  }
+  Database db_;
+  TableId orders_ = kInvalidTableId;
+  TableId customers_ = kInvalidTableId;
+};
+
+TEST_F(CandidateTest, GeneratesSinglesForPredicateColumns) {
+  auto workload = MakeWorkload(
+      db_.catalog(),
+      {"SELECT amount FROM orders WHERE id = 5",
+       "SELECT id FROM orders WHERE amount > 900"});
+  ASSERT_TRUE(workload.ok());
+  auto candidates = GenerateCandidateIndexes(db_.catalog(), *workload);
+  ASSERT_TRUE(candidates.ok());
+  bool has_id = false;
+  bool has_amount = false;
+  for (const WhatIfIndexDef& def : *candidates) {
+    if (def.table == orders_ && def.columns == std::vector<ColumnId>{0}) {
+      has_id = true;
+    }
+    if (def.table == orders_ && def.columns == std::vector<ColumnId>{2}) {
+      has_amount = true;
+    }
+  }
+  EXPECT_TRUE(has_id);
+  EXPECT_TRUE(has_amount);
+}
+
+TEST_F(CandidateTest, GeneratesMulticolumnCandidates) {
+  auto workload = MakeWorkload(
+      db_.catalog(),
+      {"SELECT id FROM orders WHERE region = 'north' AND amount > 900"});
+  ASSERT_TRUE(workload.ok());
+  auto candidates = GenerateCandidateIndexes(db_.catalog(), *workload);
+  ASSERT_TRUE(candidates.ok());
+  bool has_pair = false;
+  for (const WhatIfIndexDef& def : *candidates) {
+    if (def.table == orders_ &&
+        def.columns == std::vector<ColumnId>{3, 2}) {  // (region, amount)
+      has_pair = true;
+    }
+  }
+  EXPECT_TRUE(has_pair);
+}
+
+TEST_F(CandidateTest, GeneratesJoinColumnCandidates) {
+  auto workload = MakeWorkload(
+      db_.catalog(),
+      {"SELECT o.amount FROM orders o, customers c "
+       "WHERE o.customer_id = c.cid"});
+  ASSERT_TRUE(workload.ok());
+  auto candidates = GenerateCandidateIndexes(db_.catalog(), *workload);
+  ASSERT_TRUE(candidates.ok());
+  bool join_col = false;
+  for (const WhatIfIndexDef& def : *candidates) {
+    if (def.table == orders_ && def.columns == std::vector<ColumnId>{1}) {
+      join_col = true;
+    }
+  }
+  EXPECT_TRUE(join_col);
+}
+
+TEST_F(CandidateTest, RespectsWidthAndCountCaps) {
+  auto workload = MakeSdssWorkload(db_.catalog());
+  // SDSS tables are absent in this db; build a dedicated one instead.
+  ASSERT_FALSE(workload.ok());
+  auto small = MakeWorkload(
+      db_.catalog(),
+      {"SELECT id FROM orders WHERE region = 'x' AND amount > 1 AND "
+       "customer_id = 2 AND flag = true"});
+  ASSERT_TRUE(small.ok());
+  CandidateOptions options;
+  options.max_width = 1;
+  auto singles = GenerateCandidateIndexes(db_.catalog(), *small, options);
+  ASSERT_TRUE(singles.ok());
+  for (const WhatIfIndexDef& def : *singles) {
+    EXPECT_EQ(def.columns.size(), 1u);
+  }
+  options.max_width = 2;
+  options.max_candidates = 3;
+  auto capped = GenerateCandidateIndexes(db_.catalog(), *small, options);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_LE(capped->size(), 3u);
+}
+
+TEST_F(CandidateTest, DedupesAcrossQueries) {
+  auto workload = MakeWorkload(
+      db_.catalog(), {"SELECT id FROM orders WHERE amount > 1",
+                      "SELECT region FROM orders WHERE amount < 5"});
+  ASSERT_TRUE(workload.ok());
+  auto candidates = GenerateCandidateIndexes(db_.catalog(), *workload);
+  ASSERT_TRUE(candidates.ok());
+  int amount_singles = 0;
+  for (const WhatIfIndexDef& def : *candidates) {
+    if (def.table == orders_ && def.columns == std::vector<ColumnId>{2}) {
+      ++amount_singles;
+    }
+  }
+  EXPECT_EQ(amount_singles, 1);
+}
+
+class IndexAdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = testing_util::MakeOrdersTable(&db_, 20000);
+    customers_ = testing_util::MakeCustomersTable(&db_, 2000);
+    auto workload = MakeWorkload(
+        db_.catalog(),
+        {
+            "SELECT amount FROM orders WHERE id = 123",
+            "SELECT id FROM orders WHERE id BETWEEN 100 AND 120",
+            "SELECT o.amount FROM orders o, customers c "
+            "WHERE o.customer_id = c.cid AND c.cid = 5",
+            "SELECT count(*) FROM customers WHERE score > 99",
+            "SELECT region, count(*) FROM orders GROUP BY region",
+        });
+    PARINDA_CHECK(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  Database db_;
+  TableId orders_ = kInvalidTableId;
+  TableId customers_ = kInvalidTableId;
+  Workload workload_;
+};
+
+TEST_F(IndexAdvisorTest, IlpFindsBeneficialIndexes) {
+  IndexAdvisor advisor(db_.catalog(), workload_);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_FALSE(advice->indexes.empty());
+  EXPECT_LT(advice->optimized_cost, advice->base_cost);
+  EXPECT_TRUE(advice->proved_optimal);
+  EXPECT_GT(advice->Speedup(), 1.0);
+  // The point-lookup index on orders.id must be in the suggestion.
+  bool has_id_index = false;
+  for (const SuggestedIndex& s : advice->indexes) {
+    if (s.def.table == orders_ && !s.def.columns.empty() &&
+        s.def.columns[0] == 0) {
+      has_id_index = true;
+      EXPECT_FALSE(s.used_by.empty());
+    }
+  }
+  EXPECT_TRUE(has_id_index);
+}
+
+TEST_F(IndexAdvisorTest, PerQueryBenefitsReported) {
+  IndexAdvisor advisor(db_.catalog(), workload_);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok());
+  ASSERT_EQ(advice->per_query_base.size(), 5u);
+  ASSERT_EQ(advice->per_query_optimized.size(), 5u);
+  for (size_t q = 0; q < 5; ++q) {
+    EXPECT_LE(advice->per_query_optimized[q],
+              advice->per_query_base[q] + 1e-6);
+  }
+  // The point query (q0) must improve dramatically.
+  EXPECT_LT(advice->per_query_optimized[0], advice->per_query_base[0] * 0.2);
+}
+
+TEST_F(IndexAdvisorTest, StorageBudgetRespected) {
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 400.0 * kPageSize;  // tight budget
+  IndexAdvisor advisor(db_.catalog(), workload_, options);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok());
+  EXPECT_LE(advice->total_size_bytes, options.storage_budget_bytes + 1.0);
+}
+
+TEST_F(IndexAdvisorTest, ZeroBudgetSuggestsNothing) {
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 0.0;
+  IndexAdvisor advisor(db_.catalog(), workload_, options);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok());
+  EXPECT_TRUE(advice->indexes.empty());
+  EXPECT_DOUBLE_EQ(advice->optimized_cost, advice->base_cost);
+}
+
+TEST_F(IndexAdvisorTest, GreedyAlsoImproves) {
+  IndexAdvisor advisor(db_.catalog(), workload_);
+  auto advice = advisor.SuggestWithGreedy();
+  ASSERT_TRUE(advice.ok());
+  EXPECT_FALSE(advice->indexes.empty());
+  EXPECT_LT(advice->optimized_cost, advice->base_cost);
+}
+
+TEST_F(IndexAdvisorTest, IlpAtLeastMatchesGreedyUnderBudget) {
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 600.0 * kPageSize;
+  IndexAdvisor ilp_advisor(db_.catalog(), workload_, options);
+  auto ilp = ilp_advisor.SuggestWithIlp();
+  ASSERT_TRUE(ilp.ok());
+  IndexAdvisor greedy_advisor(db_.catalog(), workload_, options);
+  auto greedy = greedy_advisor.SuggestWithGreedy();
+  ASSERT_TRUE(greedy.ok());
+  // The exact solver should never lose to greedy on the same model by more
+  // than rounding noise.
+  EXPECT_LE(ilp->optimized_cost, greedy->optimized_cost * 1.02);
+}
+
+TEST_F(IndexAdvisorTest, UsesInumCache) {
+  IndexAdvisor advisor(db_.catalog(), workload_);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok());
+  // Far fewer optimizer calls than cost estimates — the INUM effect.
+  EXPECT_GT(advice->inum_estimates, advice->optimizer_calls);
+}
+
+}  // namespace
+}  // namespace parinda
+
+namespace parinda {
+namespace {
+
+TEST_F(IndexAdvisorTest, UpdateCostsDiscourageMarginalIndexes) {
+  IndexAdvisor cheap(db_.catalog(), workload_);
+  auto no_updates = cheap.SuggestWithIlp();
+  ASSERT_TRUE(no_updates.ok());
+  ASSERT_FALSE(no_updates->indexes.empty());
+  EXPECT_DOUBLE_EQ(no_updates->total_maintenance_cost, 0.0);
+
+  IndexAdvisorOptions options;
+  options.update_rows[orders_] = 1e7;  // orders is update-hot
+  IndexAdvisor expensive(db_.catalog(), workload_, options);
+  auto with_updates = expensive.SuggestWithIlp();
+  ASSERT_TRUE(with_updates.ok());
+  // Every orders index now costs more to maintain than it saves.
+  for (const SuggestedIndex& s : with_updates->indexes) {
+    EXPECT_NE(s.def.table, orders_) << s.def.name;
+  }
+  EXPECT_LT(with_updates->indexes.size(), no_updates->indexes.size());
+}
+
+TEST_F(IndexAdvisorTest, ModerateUpdateRateReportsMaintenance) {
+  IndexAdvisorOptions options;
+  options.update_rows[orders_] = 10.0;  // mild
+  IndexAdvisor advisor(db_.catalog(), workload_, options);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok());
+  ASSERT_FALSE(advice->indexes.empty());
+  bool any_maintenance = false;
+  for (const SuggestedIndex& s : advice->indexes) {
+    if (s.def.table == orders_) {
+      EXPECT_GT(s.maintenance_cost, 0.0);
+      any_maintenance = true;
+    }
+  }
+  EXPECT_TRUE(any_maintenance);
+  EXPECT_GT(advice->total_maintenance_cost, 0.0);
+}
+
+TEST_F(IndexAdvisorTest, GreedyAlsoRespectsUpdateCosts) {
+  IndexAdvisorOptions options;
+  options.update_rows[orders_] = 1e7;
+  options.update_rows[customers_] = 1e7;
+  IndexAdvisor advisor(db_.catalog(), workload_, options);
+  auto advice = advisor.SuggestWithGreedy();
+  ASSERT_TRUE(advice.ok());
+  EXPECT_TRUE(advice->indexes.empty());
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "catalog/size_model.h"
+#include "catalog/value.h"
+
+namespace parinda {
+namespace {
+
+TEST(ValueTest, NullOrderingAndEquality) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  // NULLS LAST.
+  EXPECT_GT(Value::Null().Compare(Value::Int64(1)), 0);
+  EXPECT_LT(Value::Int64(1).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int64(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(10.1).Compare(Value::Int64(10)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, StorageSizes) {
+  EXPECT_EQ(Value::Int64(1).StorageSize(), 8);
+  EXPECT_EQ(Value::Double(1.5).StorageSize(), 8);
+  EXPECT_EQ(Value::Bool(true).StorageSize(), 1);
+  // varlena header (4) + payload.
+  EXPECT_EQ(Value::String("abcd").StorageSize(), 8);
+  EXPECT_EQ(Value::Null().StorageSize(), 0);
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::String("sky").ToString(), "'sky'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("a").Hash(), Value::String("a").Hash());
+}
+
+TEST(SizeModelTest, AlignUp) {
+  EXPECT_DOUBLE_EQ(AlignUp(0, 8), 0);
+  EXPECT_DOUBLE_EQ(AlignUp(1, 8), 8);
+  EXPECT_DOUBLE_EQ(AlignUp(8, 8), 8);
+  EXPECT_DOUBLE_EQ(AlignUp(9, 4), 12);
+}
+
+TEST(SizeModelTest, AlignedRowWidthPadsBetweenColumns) {
+  // bool (1 byte) followed by int64 pads to 8 before the int.
+  const double w = AlignedRowWidth({{ValueType::kBool, 1.0},
+                                    {ValueType::kInt64, 8.0}});
+  EXPECT_DOUBLE_EQ(w, 16.0);
+}
+
+TEST(SizeModelTest, Equation1MatchesPaperFormula) {
+  // Pages = ceil((o + width) * R / B); one bigint column: o=24, width=8.
+  const double pages = Equation1IndexPages(1000000, {{ValueType::kInt64, 8.0}});
+  EXPECT_DOUBLE_EQ(pages, std::ceil((24.0 + 8.0) * 1000000 / 8192.0));
+}
+
+TEST(SizeModelTest, Equation1GrowsWithColumns) {
+  const double one = Equation1IndexPages(100000, {{ValueType::kInt64, 8.0}});
+  const double two = Equation1IndexPages(
+      100000, {{ValueType::kInt64, 8.0}, {ValueType::kDouble, 8.0}});
+  EXPECT_GT(two, one);
+}
+
+TEST(SizeModelTest, PackingEstimateCloseToEquation1) {
+  const std::vector<SizedColumn> cols = {{ValueType::kInt64, 8.0}};
+  const double eq1 = Equation1IndexPages(500000, cols);
+  const double packed = EstimateIndexLeafPages(500000, cols);
+  // Fill factor + page header push the packed estimate above Equation 1,
+  // but within ~25%.
+  EXPECT_GE(packed, eq1);
+  EXPECT_LT(packed, eq1 * 1.25);
+}
+
+TEST(SizeModelTest, BTreeHeight) {
+  EXPECT_EQ(EstimateBTreeHeight(1), 0);
+  EXPECT_EQ(EstimateBTreeHeight(2), 1);
+  EXPECT_EQ(EstimateBTreeHeight(256), 1);
+  EXPECT_EQ(EstimateBTreeHeight(257), 2);
+}
+
+TEST(CatalogTest, CreateAndFindTable) {
+  Catalog catalog;
+  TableSchema schema("T", {{"a", ValueType::kInt64, 8, false}});
+  auto id = catalog.CreateTable(schema, {0});
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(catalog.FindTable("t"), nullptr);       // case-insensitive
+  EXPECT_NE(catalog.FindTable("T"), nullptr);
+  EXPECT_EQ(catalog.FindTable("missing"), nullptr);
+  EXPECT_EQ(catalog.GetTable(*id)->primary_key.size(), 1u);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog;
+  TableSchema schema("t", {{"a", ValueType::kInt64, 8, false}});
+  ASSERT_TRUE(catalog.CreateTable(schema).ok());
+  auto dup = catalog.CreateTable(schema);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, CreateIndexValidatesColumns) {
+  Catalog catalog;
+  TableSchema schema("t", {{"a", ValueType::kInt64, 8, false}});
+  auto tid = catalog.CreateTable(schema);
+  ASSERT_TRUE(tid.ok());
+  EXPECT_FALSE(catalog.CreateIndex("i1", *tid, {}).ok());
+  EXPECT_FALSE(catalog.CreateIndex("i1", *tid, {5}).ok());
+  auto iid = catalog.CreateIndex("i1", *tid, {0});
+  ASSERT_TRUE(iid.ok());
+  auto dup = catalog.CreateIndex("i1", *tid, {0});
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DropTableDropsIndexes) {
+  Catalog catalog;
+  TableSchema schema("t", {{"a", ValueType::kInt64, 8, false}});
+  auto tid = catalog.CreateTable(schema);
+  auto iid = catalog.CreateIndex("i1", *tid, {0});
+  ASSERT_TRUE(iid.ok());
+  ASSERT_TRUE(catalog.DropTable(*tid).ok());
+  EXPECT_EQ(catalog.GetIndex(*iid), nullptr);
+  EXPECT_TRUE(catalog.TableIndexes(*tid).empty());
+}
+
+TEST(CatalogTest, UpdateStats) {
+  Catalog catalog;
+  TableSchema schema("t", {{"a", ValueType::kInt64, 8, false}});
+  auto tid = catalog.CreateTable(schema);
+  std::vector<ColumnStats> stats(1);
+  stats[0].n_distinct = 10;
+  ASSERT_TRUE(catalog.UpdateTableStats(*tid, 100, 5, stats).ok());
+  const TableInfo* t = catalog.GetTable(*tid);
+  EXPECT_DOUBLE_EQ(t->row_count, 100);
+  EXPECT_DOUBLE_EQ(t->pages, 5);
+  ASSERT_TRUE(t->HasStats());
+  EXPECT_DOUBLE_EQ(t->StatsFor(0)->n_distinct, 10);
+  EXPECT_EQ(t->StatsFor(3), nullptr);
+}
+
+TEST(CatalogTest, StatsArityMismatchRejected) {
+  Catalog catalog;
+  TableSchema schema("t", {{"a", ValueType::kInt64, 8, false},
+                           {"b", ValueType::kDouble, 8, true}});
+  auto tid = catalog.CreateTable(schema);
+  std::vector<ColumnStats> stats(1);
+  EXPECT_FALSE(catalog.UpdateTableStats(*tid, 1, 1, stats).ok());
+}
+
+TEST(ColumnStatsTest, DistinctCountConventions) {
+  ColumnStats stats;
+  stats.n_distinct = 50;
+  EXPECT_DOUBLE_EQ(stats.DistinctCount(1000), 50);
+  stats.n_distinct = -0.5;
+  EXPECT_DOUBLE_EQ(stats.DistinctCount(1000), 500);
+  stats.n_distinct = 0;
+  EXPECT_DOUBLE_EQ(stats.DistinctCount(1000), 1000);
+}
+
+TEST(IndexInfoTest, SizeBytes) {
+  IndexInfo info;
+  info.leaf_pages = 10;
+  EXPECT_DOUBLE_EQ(info.SizeBytes(), 10.0 * kPageSize);
+}
+
+}  // namespace
+}  // namespace parinda

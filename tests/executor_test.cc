@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "advisor/index_advisor.h"
+#include "executor/executor.h"
+#include "optimizer/planner.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace parinda {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = testing_util::MakeOrdersTable(&db_, 5000);
+    customers_ = testing_util::MakeCustomersTable(&db_, 500);
+  }
+
+  ExecResult MustExec(const std::string& sql) {
+    auto result = ExecuteSql(db_, sql);
+    PARINDA_CHECK(result.ok());
+    return std::move(*result);
+  }
+
+  Database db_;
+  TableId orders_ = kInvalidTableId;
+  TableId customers_ = kInvalidTableId;
+};
+
+TEST_F(ExecutorTest, PointQuery) {
+  ExecResult r = MustExec("SELECT id, amount FROM orders WHERE id = 17");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 17);
+}
+
+TEST_F(ExecutorTest, RangeCount) {
+  ExecResult r = MustExec("SELECT count(*) FROM orders WHERE id < 100");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 100);
+}
+
+TEST_F(ExecutorTest, BetweenFilter) {
+  ExecResult r =
+      MustExec("SELECT count(*) FROM orders WHERE id BETWEEN 10 AND 19");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 10);
+}
+
+TEST_F(ExecutorTest, IndexAndSeqScanAgree) {
+  const std::string sql =
+      "SELECT count(*), min(id), max(id) FROM orders WHERE id BETWEEN "
+      "1000 AND 1999";
+  ExecResult seq = MustExec(sql);
+  ASSERT_TRUE(db_.BuildIndex("orders_id", orders_, {0}).ok());
+  ExecResult idx = MustExec(sql);
+  ASSERT_EQ(seq.rows.size(), 1u);
+  ASSERT_EQ(idx.rows.size(), 1u);
+  EXPECT_EQ(seq.rows[0][0].AsInt64(), idx.rows[0][0].AsInt64());
+  EXPECT_EQ(seq.rows[0][1].AsInt64(), idx.rows[0][1].AsInt64());
+  EXPECT_EQ(seq.rows[0][2].AsInt64(), idx.rows[0][2].AsInt64());
+  // The index scan should touch far fewer pages.
+  EXPECT_LT(idx.stats.seq_pages_read + idx.stats.random_pages_read,
+            seq.stats.seq_pages_read);
+}
+
+TEST_F(ExecutorTest, JoinMethodsAgree) {
+  const std::string sql =
+      "SELECT count(*) FROM orders o, customers c "
+      "WHERE o.customer_id = c.cid AND c.score > 50";
+  // Parse/bind once per run; execute under different method flags.
+  auto run = [&](bool hash, bool merge, bool nl) {
+    auto stmt = ParseSelect(sql);
+    PARINDA_CHECK(stmt.ok());
+    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    PlannerOptions options;
+    options.params.enable_hashjoin = hash;
+    options.params.enable_mergejoin = merge;
+    options.params.enable_nestloop = nl;
+    auto plan = PlanQuery(db_.catalog(), *stmt, options);
+    PARINDA_CHECK(plan.ok());
+    auto result = ExecutePlan(db_, *stmt, *plan);
+    PARINDA_CHECK(result.ok());
+    return result->rows[0][0].AsInt64();
+  };
+  const int64_t hash_count = run(true, false, false);
+  const int64_t merge_count = run(false, true, false);
+  const int64_t nl_count = run(false, false, true);
+  EXPECT_EQ(hash_count, merge_count);
+  EXPECT_EQ(hash_count, nl_count);
+  EXPECT_GT(hash_count, 0);
+}
+
+TEST_F(ExecutorTest, ParameterizedNestLoopAgreesWithHash) {
+  ASSERT_TRUE(db_.BuildIndex("orders_cid", orders_, {1}).ok());
+  const std::string sql =
+      "SELECT count(*) FROM customers c, orders o "
+      "WHERE c.cid = o.customer_id AND c.cid IN (1, 2, 3)";
+  ExecResult r = MustExec(sql);
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+  PlannerOptions options;
+  options.params.enable_nestloop = false;
+  options.params.enable_indexscan = false;
+  auto plan = PlanQuery(db_.catalog(), *stmt, options);
+  ASSERT_TRUE(plan.ok());
+  auto hash_result = ExecutePlan(db_, *stmt, *plan);
+  ASSERT_TRUE(hash_result.ok());
+  EXPECT_EQ(r.rows[0][0].AsInt64(), hash_result->rows[0][0].AsInt64());
+}
+
+TEST_F(ExecutorTest, GroupByAggregates) {
+  ExecResult r = MustExec(
+      "SELECT region, count(*), avg(amount) FROM orders "
+      "GROUP BY region ORDER BY region");
+  EXPECT_EQ(r.rows.size(), 8u);
+  int64_t total = 0;
+  std::string prev;
+  for (const Row& row : r.rows) {
+    EXPECT_GE(row[0].AsString(), prev);
+    prev = row[0].AsString();
+    total += row[1].AsInt64();
+    EXPECT_GT(row[2].AsDouble(), 0.0);
+    EXPECT_LT(row[2].AsDouble(), 1000.0);
+  }
+  EXPECT_EQ(total, 5000);
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOnEmptyResult) {
+  ExecResult r = MustExec("SELECT count(*) FROM orders WHERE id = -1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 0);
+}
+
+TEST_F(ExecutorTest, OrderByDescAndLimit) {
+  ExecResult r = MustExec("SELECT id FROM orders ORDER BY id DESC LIMIT 5");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 4999);
+  EXPECT_EQ(r.rows[4][0].AsInt64(), 4995);
+}
+
+TEST_F(ExecutorTest, OrderByAggregate) {
+  ExecResult r = MustExec(
+      "SELECT region, count(*) AS n FROM orders GROUP BY region "
+      "ORDER BY count(*) DESC LIMIT 3");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_GE(r.rows[0][1].AsInt64(), r.rows[1][1].AsInt64());
+  EXPECT_GE(r.rows[1][1].AsInt64(), r.rows[2][1].AsInt64());
+}
+
+TEST_F(ExecutorTest, ArithmeticAndScalarFunctions) {
+  ExecResult r = MustExec(
+      "SELECT id * 2 + 1, abs(0 - id), sqrt(id) FROM orders WHERE id = 9");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 19);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 9);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 3.0);
+}
+
+TEST_F(ExecutorTest, IsNullSemantics) {
+  ExecResult withnull = MustExec("SELECT count(*) FROM orders WHERE flag IS NULL");
+  ExecResult notnull =
+      MustExec("SELECT count(*) FROM orders WHERE flag IS NOT NULL");
+  EXPECT_EQ(withnull.rows[0][0].AsInt64() + notnull.rows[0][0].AsInt64(), 5000);
+  EXPECT_GT(withnull.rows[0][0].AsInt64(), 100);  // ~5%
+}
+
+TEST_F(ExecutorTest, NullComparisonsAreFalse) {
+  // flag = true excludes NULL flags.
+  ExecResult t = MustExec("SELECT count(*) FROM orders WHERE flag = true");
+  ExecResult f = MustExec("SELECT count(*) FROM orders WHERE flag = false");
+  ExecResult n = MustExec("SELECT count(*) FROM orders WHERE flag IS NULL");
+  EXPECT_EQ(t.rows[0][0].AsInt64() + f.rows[0][0].AsInt64() +
+                n.rows[0][0].AsInt64(),
+            5000);
+}
+
+TEST_F(ExecutorTest, InListFilter) {
+  ExecResult r =
+      MustExec("SELECT count(*) FROM orders WHERE id IN (1, 2, 3, 9999999)");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 3);
+}
+
+TEST_F(ExecutorTest, SelectStar) {
+  ExecResult r = MustExec("SELECT * FROM customers WHERE cid = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].size(), 3u);
+}
+
+TEST_F(ExecutorTest, StatsAccumulate) {
+  ExecResult r = MustExec("SELECT count(*) FROM orders");
+  EXPECT_GT(r.stats.seq_pages_read, 0);
+  EXPECT_GE(r.stats.tuples_processed, 5000);
+  CostParams params;
+  EXPECT_GT(r.stats.MeasuredCost(params), 0.0);
+}
+
+TEST_F(ExecutorTest, MeasuredCostTracksEstimateDirection) {
+  // A selective indexed query must be measured cheaper than a full scan.
+  ASSERT_TRUE(db_.BuildIndex("orders_id2", orders_, {0}).ok());
+  ExecResult cheap = MustExec("SELECT amount FROM orders WHERE id = 3");
+  ExecResult expensive = MustExec("SELECT count(*) FROM orders");
+  CostParams params;
+  EXPECT_LT(cheap.stats.MeasuredCost(params),
+            expensive.stats.MeasuredCost(params));
+}
+
+}  // namespace
+}  // namespace parinda
+
+namespace parinda {
+namespace {
+
+TEST_F(ExecutorTest, BitmapScanAgreesWithSeqScan) {
+  const std::string sql =
+      "SELECT count(*), min(amount), max(amount) FROM orders "
+      "WHERE amount BETWEEN 300 AND 340";
+  ExecResult seq = MustExec(sql);
+  ASSERT_TRUE(db_.BuildIndex("orders_amt_exec", orders_, {2}).ok());
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+  auto plan = PlanQuery(db_.catalog(), *stmt);
+  ASSERT_TRUE(plan.ok());
+  auto scans = plan->CollectScans();
+  ASSERT_EQ(scans.size(), 1u);
+  ASSERT_EQ(scans[0]->type, PlanNodeType::kBitmapHeapScan)
+      << plan->ToString();
+  auto bitmap = ExecutePlan(db_, *stmt, *plan);
+  ASSERT_TRUE(bitmap.ok());
+  ASSERT_EQ(bitmap->rows.size(), 1u);
+  EXPECT_EQ(seq.rows[0][0].AsInt64(), bitmap->rows[0][0].AsInt64());
+  EXPECT_EQ(seq.rows[0][1].Compare(bitmap->rows[0][1]), 0);
+  EXPECT_EQ(seq.rows[0][2].Compare(bitmap->rows[0][2]), 0);
+  // Bitmap reads the heap sequentially (each page at most once), so its
+  // page touches are bounded by the full scan plus the index leaf pages,
+  // and almost none of them are random.
+  EXPECT_GT(bitmap->stats.seq_pages_read, 0);
+  EXPECT_LE(bitmap->stats.seq_pages_read, seq.stats.seq_pages_read);
+  EXPECT_LE(bitmap->stats.random_pages_read, 8);  // leaf pages only
+  // And it processes far fewer tuples than the full scan.
+  EXPECT_LT(bitmap->stats.tuples_processed,
+            seq.stats.tuples_processed / 4);
+}
+
+}  // namespace
+}  // namespace parinda
+
+namespace parinda {
+namespace {
+
+TEST_F(ExecutorTest, ExplainAnalyzeShowsActualRows) {
+  const std::string sql =
+      "SELECT count(*) FROM orders o, customers c "
+      "WHERE o.customer_id = c.cid AND c.score > 50";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+  auto plan = PlanQuery(db_.catalog(), *stmt);
+  ASSERT_TRUE(plan.ok());
+  auto result = ExecutePlan(db_, *stmt, *plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->node_output_rows.empty());
+  const std::string text =
+      FormatExplainAnalyze(*plan, *result, db_.catalog());
+  EXPECT_NE(text.find("actual rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("on orders"), std::string::npos) << text;
+  // Scan cardinality estimates are within 2x of actuals on this data.
+  for (const PlanNode* scan : plan->CollectScans()) {
+    auto it = result->node_output_rows.find(scan);
+    ASSERT_NE(it, result->node_output_rows.end());
+    const double actual = static_cast<double>(std::max<int64_t>(1, it->second));
+    EXPECT_LT(scan->rows, actual * 2.5 + 50) << text;
+    EXPECT_GT(scan->rows, actual / 2.5 - 50) << text;
+  }
+}
+
+TEST_F(ExecutorTest, GreedyJoinOrderForManyRelations) {
+  // Thirteen-way self-join exceeds the DP budget (max_dp_rels = 10) and
+  // exercises the greedy left-deep fallback; results must stay correct.
+  std::string sql = "SELECT count(*) FROM customers c0";
+  for (int i = 1; i < 13; ++i) {
+    sql += ", customers c" + std::to_string(i);
+  }
+  sql += " WHERE c0.cid = 7";
+  for (int i = 1; i < 13; ++i) {
+    sql += " AND c" + std::to_string(i - 1) + ".cid = c" +
+           std::to_string(i) + ".cid";
+  }
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+  auto plan = PlanQuery(db_.catalog(), *stmt);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->CollectScans().size(), 13u);
+  auto result = ExecutePlan(db_, *stmt, *plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 1);
+}
+
+TEST_F(ExecutorTest, WeightedWorkloadScalesCosts) {
+  auto workload = MakeWorkload(
+      db_.catalog(), {"SELECT count(*) FROM orders WHERE amount < 10"});
+  ASSERT_TRUE(workload.ok());
+  workload->queries[0].weight = 3.0;
+  IndexAdvisor advisor(db_.catalog(), *workload);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok());
+  // Weighted base cost is 3x the per-query cost.
+  EXPECT_NEAR(advice->base_cost, advice->per_query_base[0] * 3.0,
+              advice->per_query_base[0] * 1e-6);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "optimizer/planner.h"
+#include "optimizer/selectivity.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "whatif/whatif_horizontal.h"
+#include "whatif/whatif_table.h"
+
+namespace parinda {
+namespace {
+
+class HorizontalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = testing_util::MakeOrdersTable(&db_, 10000);
+  }
+  SelectStatement Bind(const CatalogReader& catalog, const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    PARINDA_CHECK(stmt.ok());
+    PARINDA_CHECK(BindStatement(catalog, &*stmt).ok());
+    return std::move(*stmt);
+  }
+  Database db_;
+  TableId orders_ = kInvalidTableId;
+};
+
+TEST_F(HorizontalTest, RangeMayMatchPrunes) {
+  SelectStatement stmt =
+      Bind(db_.catalog(), "SELECT id FROM orders WHERE amount < 100");
+  std::vector<const Expr*> restrictions;
+  FlattenConjuncts(stmt.where.get(), &restrictions);
+  // amount column is ordinal 2.
+  EXPECT_TRUE(RangeMayMatch(Value::Null(), Value::Double(250), restrictions,
+                            0, 2));
+  EXPECT_FALSE(RangeMayMatch(Value::Double(250), Value::Double(500),
+                             restrictions, 0, 2));
+  EXPECT_FALSE(RangeMayMatch(Value::Double(100), Value::Null(), restrictions,
+                             0, 2));
+  // Unrelated column never prunes.
+  EXPECT_TRUE(RangeMayMatch(Value::Double(250), Value::Double(500),
+                            restrictions, 0, 0));
+}
+
+TEST_F(HorizontalTest, RangeMayMatchEqualityAndBetween) {
+  SelectStatement eq =
+      Bind(db_.catalog(), "SELECT id FROM orders WHERE amount = 300");
+  std::vector<const Expr*> eq_restrictions;
+  FlattenConjuncts(eq.where.get(), &eq_restrictions);
+  EXPECT_TRUE(RangeMayMatch(Value::Double(250), Value::Double(500),
+                            eq_restrictions, 0, 2));
+  EXPECT_FALSE(RangeMayMatch(Value::Double(500), Value::Double(750),
+                             eq_restrictions, 0, 2));
+  SelectStatement between = Bind(
+      db_.catalog(), "SELECT id FROM orders WHERE amount BETWEEN 600 AND 700");
+  std::vector<const Expr*> bt_restrictions;
+  FlattenConjuncts(between.where.get(), &bt_restrictions);
+  EXPECT_FALSE(RangeMayMatch(Value::Double(0), Value::Double(250),
+                             bt_restrictions, 0, 2));
+  EXPECT_TRUE(RangeMayMatch(Value::Double(500), Value::Double(750),
+                            bt_restrictions, 0, 2));
+}
+
+TEST_F(HorizontalTest, SliceStatsScaleWithRange) {
+  const TableInfo* parent = db_.catalog().GetTable(orders_);
+  TableInfo child = SliceTableForRange(*parent, 2, Value::Double(0),
+                                       Value::Double(250), "child", 777);
+  // ~25% of a uniform [0, 1000) column.
+  EXPECT_NEAR(child.row_count, parent->row_count * 0.25,
+              parent->row_count * 0.05);
+  EXPECT_LT(child.pages, parent->pages);
+  ASSERT_TRUE(child.HasStats());
+  // Partition column's max clipped to the range.
+  EXPECT_LE(child.StatsFor(2)->max_value.ToNumeric(), 250.0);
+}
+
+TEST_F(HorizontalTest, SuggestEqualMassBounds) {
+  auto bounds = SuggestEqualMassBounds(db_.catalog(), orders_, 2, 4);
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_EQ(bounds->size(), 3u);
+  // Roughly the quartiles of uniform [0, 1000).
+  EXPECT_NEAR((*bounds)[0].ToNumeric(), 250.0, 60.0);
+  EXPECT_NEAR((*bounds)[1].ToNumeric(), 500.0, 60.0);
+  EXPECT_NEAR((*bounds)[2].ToNumeric(), 750.0, 60.0);
+  EXPECT_FALSE(SuggestEqualMassBounds(db_.catalog(), orders_, 2, 1).ok());
+}
+
+TEST_F(HorizontalTest, WhatIfRangePartitioningPlansAppendWithPruning) {
+  WhatIfTableCatalog overlay(db_.catalog());
+  RangePartitionDef def;
+  def.parent = orders_;
+  def.column = 2;  // amount
+  def.bounds = {Value::Double(250), Value::Double(500), Value::Double(750)};
+  auto children = overlay.AddRangePartitioning(def);
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 4u);
+  // The shadowed parent carries the metadata.
+  const TableInfo* parent = overlay.GetTable(orders_);
+  ASSERT_TRUE(parent->IsHorizontallyPartitioned());
+
+  // A query confined to one range scans one child.
+  SelectStatement stmt =
+      Bind(overlay, "SELECT id FROM orders WHERE amount BETWEEN 300 AND 400");
+  auto plan = PlanQuery(overlay, stmt);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->root->type, PlanNodeType::kAppend) << plan->ToString();
+  EXPECT_EQ(plan->root->children.size(), 1u) << plan->ToString();
+
+  // An unconstrained query scans all four children but stays cheaper than
+  // nothing... (equal cost modulo Append overhead); a constrained one wins.
+  SelectStatement all = Bind(overlay, "SELECT count(*) FROM orders");
+  auto all_plan = PlanQuery(overlay, all);
+  ASSERT_TRUE(all_plan.ok());
+  auto base_plan = PlanQuery(db_.catalog(), Bind(db_.catalog(),
+      "SELECT id FROM orders WHERE amount BETWEEN 300 AND 400"));
+  ASSERT_TRUE(base_plan.ok());
+  EXPECT_LT(plan->total_cost(), base_plan->total_cost() * 0.6)
+      << "pruned scan should read ~1/4 of the pages";
+}
+
+TEST_F(HorizontalTest, MaterializedPartitionsExecuteCorrectly) {
+  std::vector<Value> bounds = {Value::Double(250), Value::Double(500),
+                               Value::Double(750)};
+  auto children = db_.MaterializeRangePartitions(orders_, 2, bounds);
+  ASSERT_TRUE(children.ok()) << children.status().ToString();
+  ASSERT_EQ(children->size(), 4u);
+  // Children partition the rows exactly.
+  int64_t total = 0;
+  for (TableId child : *children) {
+    total += db_.GetHeapTable(child)->num_rows();
+  }
+  EXPECT_EQ(total, 10000);
+
+  // Execute a pruned query through the Append plan and compare to ground
+  // truth computed via the (still present) parent heap.
+  const std::string sql =
+      "SELECT count(*), min(amount), max(amount) FROM orders "
+      "WHERE amount BETWEEN 300 AND 400";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+  auto plan = PlanQuery(db_.catalog(), *stmt);
+  ASSERT_TRUE(plan.ok());
+  auto scans = plan->CollectScans();
+  // Pruning must confine the scan to child table(s), not the parent.
+  for (const PlanNode* scan : scans) {
+    EXPECT_NE(scan->table_id, orders_) << plan->ToString();
+  }
+  auto result = ExecutePlan(db_, *stmt, *plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Ground truth from a straight count over the parent data.
+  int64_t expected = 0;
+  const HeapTable* heap = db_.GetHeapTable(orders_);
+  for (RowId id = 0; id < heap->num_rows(); ++id) {
+    const double v = heap->row(id)[2].ToNumeric();
+    if (v >= 300.0 && v <= 400.0) ++expected;
+  }
+  EXPECT_EQ(result->rows[0][0].AsInt64(), expected);
+  EXPECT_GE(result->rows[0][1].AsDouble(), 300.0);
+  EXPECT_LE(result->rows[0][2].AsDouble(), 400.0);
+}
+
+TEST_F(HorizontalTest, WhatIfMatchesMaterializedCosts) {
+  // Simulate first, materialize second: the Append plan costs should agree.
+  std::vector<Value> bounds = {Value::Double(500)};
+  WhatIfTableCatalog overlay(db_.catalog());
+  RangePartitionDef def;
+  def.parent = orders_;
+  def.column = 2;
+  def.bounds = bounds;
+  ASSERT_TRUE(overlay.AddRangePartitioning(def).ok());
+  const std::string sql = "SELECT id FROM orders WHERE amount < 100";
+  SelectStatement whatif_stmt = Bind(overlay, sql);
+  auto whatif_plan = PlanQuery(overlay, whatif_stmt);
+  ASSERT_TRUE(whatif_plan.ok());
+
+  auto children = db_.MaterializeRangePartitions(orders_, 2, bounds);
+  ASSERT_TRUE(children.ok());
+  SelectStatement real_stmt = Bind(db_.catalog(), sql);
+  auto real_plan = PlanQuery(db_.catalog(), real_stmt);
+  ASSERT_TRUE(real_plan.ok());
+  EXPECT_EQ(whatif_plan->root->type, PlanNodeType::kAppend);
+  EXPECT_EQ(real_plan->root->type, PlanNodeType::kAppend);
+  EXPECT_NEAR(whatif_plan->total_cost(), real_plan->total_cost(),
+              real_plan->total_cost() * 0.2);
+}
+
+TEST_F(HorizontalTest, InvalidDefinitionsRejected) {
+  WhatIfTableCatalog overlay(db_.catalog());
+  RangePartitionDef def;
+  def.parent = orders_;
+  def.column = 2;
+  EXPECT_FALSE(overlay.AddRangePartitioning(def).ok());  // no bounds
+  def.bounds = {Value::Double(500), Value::Double(100)};  // descending
+  EXPECT_FALSE(overlay.AddRangePartitioning(def).ok());
+  def.bounds = {Value::Double(100)};
+  def.column = 99;
+  EXPECT_FALSE(overlay.AddRangePartitioning(def).ok());
+  EXPECT_FALSE(
+      db_.MaterializeRangePartitions(orders_, 2, {}).ok());
+}
+
+}  // namespace
+}  // namespace parinda
+
+namespace parinda {
+namespace {
+
+TEST_F(HorizontalTest, StringPartitionColumn) {
+  // Range-partition on the zipf-distributed region column.
+  WhatIfTableCatalog overlay(db_.catalog());
+  RangePartitionDef def;
+  def.parent = orders_;
+  def.column = 3;  // region (varchar)
+  def.bounds = {Value::String("m")};
+  auto children = overlay.AddRangePartitioning(def);
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 2u);
+  const TableInfo* low = overlay.GetTable((*children)[0]);
+  const TableInfo* high = overlay.GetTable((*children)[1]);
+  // Rows split between the children, roughly summing to the parent.
+  const double parent_rows = db_.catalog().GetTable(orders_)->row_count;
+  EXPECT_GT(low->row_count, 0.0);
+  EXPECT_GT(high->row_count, 0.0);
+  EXPECT_NEAR(low->row_count + high->row_count, parent_rows,
+              parent_rows * 0.15);
+  // MCVs sliced: 'east' stays below the bound, 'north' above.
+  bool low_has_east = false;
+  bool high_has_north = false;
+  for (const Value& v : low->StatsFor(3)->mcv_values) {
+    if (v.AsString() == "east") low_has_east = true;
+    EXPECT_LT(v.AsString(), "m");
+  }
+  for (const Value& v : high->StatsFor(3)->mcv_values) {
+    if (v.AsString() == "north") high_has_north = true;
+    EXPECT_GE(v.AsString(), "m");
+  }
+  EXPECT_TRUE(low_has_east);
+  EXPECT_TRUE(high_has_north);
+  // Child MCV frequencies were renormalized to the child population, so
+  // the head value's share grows.
+  const ColumnStats* parent_stats = db_.catalog().GetTable(orders_)->StatsFor(3);
+  double parent_north = 0.0;
+  for (size_t i = 0; i < parent_stats->mcv_values.size(); ++i) {
+    if (parent_stats->mcv_values[i].AsString() == "north") {
+      parent_north = parent_stats->mcv_freqs[i];
+    }
+  }
+  for (size_t i = 0; i < high->StatsFor(3)->mcv_values.size(); ++i) {
+    if (high->StatsFor(3)->mcv_values[i].AsString() == "north") {
+      EXPECT_GT(high->StatsFor(3)->mcv_freqs[i], parent_north);
+    }
+  }
+}
+
+TEST_F(HorizontalTest, EmptyRangeChildHasNearZeroRows) {
+  const TableInfo* parent = db_.catalog().GetTable(orders_);
+  // amount lives in [0, 1000): a slice far above it is empty.
+  TableInfo child = SliceTableForRange(*parent, 2, Value::Double(5000),
+                                       Value::Double(6000), "empty", 901);
+  EXPECT_LT(child.row_count, parent->row_count * 0.01);
+}
+
+TEST_F(HorizontalTest, AppendSurvivesDominatedPruning) {
+  // When the whole table is needed the Append must still produce correct
+  // plans (all children, no pruning).
+  std::vector<Value> bounds = {Value::Double(500)};
+  auto children = db_.MaterializeRangePartitions(orders_, 2, bounds);
+  ASSERT_TRUE(children.ok());
+  auto result = ExecuteSql(db_, "SELECT count(*) FROM orders");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 10000);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "inum/inum.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "whatif/whatif_index.h"
+
+namespace parinda {
+namespace {
+
+class InumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = testing_util::MakeOrdersTable(&db_, 10000);
+    customers_ = testing_util::MakeCustomersTable(&db_, 1000);
+    whatif_ = std::make_unique<WhatIfIndexSet>(db_.catalog());
+    idx_orders_id_ = Add({"w_oid", orders_, {0}, false});
+    idx_orders_cid_ = Add({"w_ocid", orders_, {1}, false});
+    idx_orders_amount_ = Add({"w_oamt", orders_, {2}, false});
+    idx_customers_cid_ = Add({"w_ccid", customers_, {0}, false});
+  }
+
+  const IndexInfo* Add(const WhatIfIndexDef& def) {
+    auto id = whatif_->AddIndex(def);
+    PARINDA_CHECK(id.ok());
+    return whatif_->Get(*id);
+  }
+
+  SelectStatement Bind(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    PARINDA_CHECK(stmt.ok());
+    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    return std::move(*stmt);
+  }
+
+  Database db_;
+  TableId orders_ = kInvalidTableId;
+  TableId customers_ = kInvalidTableId;
+  std::unique_ptr<WhatIfIndexSet> whatif_;
+  const IndexInfo* idx_orders_id_ = nullptr;
+  const IndexInfo* idx_orders_cid_ = nullptr;
+  const IndexInfo* idx_orders_amount_ = nullptr;
+  const IndexInfo* idx_customers_cid_ = nullptr;
+};
+
+TEST_F(InumTest, BaseCostMatchesOptimizer) {
+  SelectStatement stmt = Bind("SELECT count(*) FROM orders WHERE amount > 900");
+  InumCostModel inum(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(inum.Init().ok());
+  auto inum_cost = inum.EstimateCost({});
+  auto direct = inum.DirectOptimizerCost({});
+  ASSERT_TRUE(inum_cost.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR(*inum_cost, *direct, *direct * 0.05);
+}
+
+TEST_F(InumTest, IndexConfigurationReducesCost) {
+  SelectStatement stmt = Bind("SELECT amount FROM orders WHERE id = 42");
+  InumCostModel inum(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(inum.Init().ok());
+  auto base = inum.EstimateCost({});
+  auto with_index = inum.EstimateCost({idx_orders_id_});
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(with_index.ok());
+  EXPECT_LT(*with_index, *base * 0.2);
+}
+
+TEST_F(InumTest, TracksDirectOptimizerAcrossConfigs) {
+  SelectStatement stmt = Bind(
+      "SELECT o.amount FROM orders o, customers c "
+      "WHERE o.customer_id = c.cid AND c.cid = 7");
+  InumCostModel inum(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(inum.Init().ok());
+  const std::vector<std::vector<const IndexInfo*>> configs = {
+      {},
+      {idx_orders_cid_},
+      {idx_customers_cid_},
+      {idx_orders_cid_, idx_customers_cid_},
+      {idx_orders_id_, idx_orders_amount_},
+  };
+  for (const auto& config : configs) {
+    auto estimated = inum.EstimateCost(config);
+    auto direct = inum.DirectOptimizerCost(config);
+    ASSERT_TRUE(estimated.ok());
+    ASSERT_TRUE(direct.ok());
+    // INUM's recomposition should stay close to the real optimizer — the
+    // VLDB'07 paper reports single-digit percent errors.
+    EXPECT_NEAR(*estimated, *direct, *direct * 0.25)
+        << "config size " << config.size();
+    // And it must never be better than the best possible plan.
+    EXPECT_GE(*estimated, *direct * 0.8);
+  }
+}
+
+TEST_F(InumTest, CacheIsReused) {
+  SelectStatement stmt = Bind("SELECT amount FROM orders WHERE id = 42");
+  InumCostModel inum(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(inum.Init().ok());
+  ASSERT_TRUE(inum.EstimateCost({idx_orders_id_}).ok());
+  const int calls_after_first = inum.optimizer_calls();
+  EXPECT_GT(calls_after_first, 0);
+  // Re-estimating many configurations over the same orders: no new calls.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(inum.EstimateCost({idx_orders_id_}).ok());
+  }
+  EXPECT_EQ(inum.optimizer_calls(), calls_after_first);
+  EXPECT_EQ(inum.estimates_served(), 51);
+}
+
+TEST_F(InumTest, CachesNestLoopPair) {
+  SelectStatement stmt = Bind(
+      "SELECT o.amount FROM orders o, customers c "
+      "WHERE o.customer_id = c.cid");
+  InumCostModel inum(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(inum.Init().ok());
+  ASSERT_TRUE(inum.EstimateCost({}).ok());
+  // Two plans (NL on/off) per order key: entry count must be even and >= 2.
+  EXPECT_GE(inum.cache_entries(), 2);
+  EXPECT_EQ(inum.cache_entries() % 2, 0);
+}
+
+TEST_F(InumTest, AblationWithoutNlPairUsesFewerCalls) {
+  SelectStatement stmt = Bind(
+      "SELECT o.amount FROM orders o, customers c "
+      "WHERE o.customer_id = c.cid");
+  InumCostModel with_pair(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(with_pair.Init().ok());
+  ASSERT_TRUE(with_pair.EstimateCost({idx_orders_cid_}).ok());
+
+  InumCostModel without_pair(db_.catalog(), stmt, CostParams{});
+  without_pair.set_cache_nestloop_pair(false);
+  ASSERT_TRUE(without_pair.Init().ok());
+  ASSERT_TRUE(without_pair.EstimateCost({idx_orders_cid_}).ok());
+  EXPECT_LT(without_pair.optimizer_calls(), with_pair.optimizer_calls());
+}
+
+TEST_F(InumTest, MonotoneInConfigurations) {
+  // Adding indexes can only reduce (or keep) the estimated cost.
+  SelectStatement stmt = Bind(
+      "SELECT o.amount FROM orders o, customers c "
+      "WHERE o.customer_id = c.cid AND o.amount < 50");
+  InumCostModel inum(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(inum.Init().ok());
+  auto none = inum.EstimateCost({});
+  auto one = inum.EstimateCost({idx_orders_cid_});
+  auto two = inum.EstimateCost({idx_orders_cid_, idx_customers_cid_});
+  ASSERT_TRUE(none.ok());
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_LE(*one, *none + 1e-6);
+  EXPECT_LE(*two, *one + 1e-6);
+}
+
+TEST_F(InumTest, IrrelevantIndexHasNoEffect) {
+  SelectStatement stmt = Bind("SELECT count(*) FROM customers WHERE score > 99");
+  InumCostModel inum(db_.catalog(), stmt, CostParams{});
+  ASSERT_TRUE(inum.Init().ok());
+  auto base = inum.EstimateCost({});
+  auto with_orders_index = inum.EstimateCost({idx_orders_id_});
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(with_orders_index.ok());
+  EXPECT_DOUBLE_EQ(*base, *with_orders_index);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "executor/executor.h"
+#include "optimizer/planner.h"
+#include "parinda/parinda.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "workload/sdss.h"
+
+namespace parinda {
+namespace {
+
+/// End-to-end tests of the three demo scenarios over a small SDSS instance.
+class ParindaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    SdssConfig config;
+    config.photoobj_rows = 3000;
+    auto dataset = BuildSdssDatabase(db_, config);
+    PARINDA_CHECK(dataset.ok());
+    dataset_ = new SdssDataset(*dataset);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete db_;
+    db_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Database* db_;
+  static SdssDataset* dataset_;
+};
+
+Database* ParindaTest::db_ = nullptr;
+SdssDataset* ParindaTest::dataset_ = nullptr;
+
+TEST_F(ParindaTest, Scenario1InteractiveDesignEvaluation) {
+  Parinda tool(db_);
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT objid, u, g, r, i, z FROM photoobj WHERE objid = 123",
+       "SELECT avg(petrorad_r) FROM photoobj WHERE type = 3"});
+  ASSERT_TRUE(workload.ok());
+  InteractiveDesign design;
+  design.indexes.push_back({"whatif_objid", dataset_->photoobj, {0}, true});
+  design.partitions.push_back(
+      {"photoobj_shape", dataset_->photoobj, {3, 17}});  // type, petrorad_r
+  auto report = tool.EvaluateDesign(*workload, design);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_LT(report->whatif_cost, report->base_cost);
+  EXPECT_GT(report->average_benefit_pct, 0.0);
+  ASSERT_EQ(report->per_query_benefit_pct.size(), 2u);
+  // Query 1 benefits from the index; query 2 from the partition.
+  EXPECT_GT(report->per_query_benefit_pct[0], 50.0);
+  EXPECT_GT(report->per_query_benefit_pct[1], 20.0);
+  // The rewritten query for the partitioned table was produced.
+  EXPECT_NE(report->rewritten_sql[1].find("photoobj_shape"),
+            std::string::npos);
+}
+
+TEST_F(ParindaTest, Scenario1SimulationAccuracy) {
+  Parinda tool(db_);
+  auto report = tool.VerifyIndexSimulation(
+      "SELECT u, g FROM photoobj WHERE objid BETWEEN 100 AND 140",
+      {"verify_objid", dataset_->photoobj, {0}, false});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Equation 1 sizing within 25% of the real build.
+  EXPECT_LT(report->size_error_fraction, 0.25)
+      << report->whatif_pages << " vs " << report->materialized_pages;
+  // Simulated plan cost within 30% of the materialized plan cost.
+  EXPECT_LT(report->cost_error_fraction, 0.30)
+      << report->whatif_plan << "\nvs\n"
+      << report->materialized_plan;
+  // Both plans chose an index scan.
+  EXPECT_NE(report->whatif_plan.find("Index Scan"), std::string::npos);
+  EXPECT_NE(report->materialized_plan.find("Index Scan"), std::string::npos);
+  // The temporary real index was dropped again.
+  EXPECT_TRUE(db_->catalog().TableIndexes(dataset_->photoobj).empty());
+}
+
+TEST_F(ParindaTest, Scenario2AutomaticPartitionSuggestion) {
+  Parinda tool(db_);
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT avg(petrorad_r) FROM photoobj WHERE type = 3",
+       "SELECT ra, dec FROM photoobj WHERE dec > 75",
+       "SELECT count(*) FROM photoobj WHERE r BETWEEN 15 AND 16"});
+  ASSERT_TRUE(workload.ok());
+  AutoPartOptions options;
+  options.max_iterations = 2;
+  auto advice = tool.SuggestPartitions(*workload, options);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  ASSERT_FALSE(advice->fragments.empty());
+  EXPECT_LT(advice->optimized_cost, advice->base_cost);
+
+  // "Physically create on disk the suggested partitions".
+  auto created = tool.MaterializePartitions(*advice);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->size(), advice->fragments.size());
+  for (TableId id : *created) {
+    const TableInfo* info = db_->catalog().GetTable(id);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->parent_table, dataset_->photoobj);
+    EXPECT_FALSE(info->hypothetical);
+    // Clean up for other tests.
+    ASSERT_TRUE(db_->DropTable(id).ok());
+  }
+}
+
+TEST_F(ParindaTest, Scenario3AutomaticIndexSuggestion) {
+  Parinda tool(db_);
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT u, g FROM photoobj WHERE objid = 55",
+       "SELECT p.objid, s.z FROM photoobj p, specobj s "
+       "WHERE p.objid = s.bestobjid AND s.z > 3.5"});
+  ASSERT_TRUE(workload.ok());
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 1e9;
+  auto advice = tool.SuggestIndexes(*workload, options);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  ASSERT_FALSE(advice->indexes.empty());
+  EXPECT_LT(advice->optimized_cost, advice->base_cost);
+
+  // "Physically create the suggested set of indexes on disk".
+  auto created = tool.MaterializeIndexes(*advice);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->size(), advice->indexes.size());
+  // The materialized indexes genuinely speed up execution.
+  auto point = ExecuteSql(*db_, "SELECT u, g FROM photoobj WHERE objid = 55");
+  ASSERT_TRUE(point.ok());
+  const int64_t photoobj_pages =
+      db_->GetHeapTable(dataset_->photoobj)->num_pages();
+  EXPECT_LT(point->stats.seq_pages_read + point->stats.random_pages_read,
+            photoobj_pages / 4);
+  for (IndexId id : *created) {
+    ASSERT_TRUE(db_->DropIndex(id).ok());
+  }
+}
+
+TEST_F(ParindaTest, FullSdssWorkloadEndToEnd) {
+  // The headline demo: 30 prototypical queries, automatic indexes, 2x+.
+  Parinda tool(db_);
+  auto workload = MakeSdssWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok());
+  IndexAdvisorOptions options;
+  options.candidates.max_candidates = 96;
+  auto advice = tool.SuggestIndexes(*workload, options);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_FALSE(advice->indexes.empty());
+  EXPECT_GT(advice->Speedup(), 1.2) << "speedup " << advice->Speedup();
+}
+
+}  // namespace
+}  // namespace parinda
+
+namespace parinda {
+namespace {
+
+TEST_F(ParindaTest, InteractiveDesignWithRangePartitions) {
+  Parinda tool(db_);
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 180 AND 195"});
+  ASSERT_TRUE(workload.ok());
+  InteractiveDesign design;
+  // Range-partition photoobj on ra into quarters of the sky.
+  RangePartitionDef ranges;
+  ranges.parent = dataset_->photoobj;
+  ranges.column = 1;  // ra
+  ranges.bounds = {Value::Double(90), Value::Double(180), Value::Double(270)};
+  design.range_partitions.push_back(ranges);
+  auto report = tool.EvaluateDesign(*workload, design);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The 15-degree box falls in one quarter: ~4x fewer pages scanned.
+  EXPECT_LT(report->whatif_cost, report->base_cost * 0.5);
+}
+
+}  // namespace
+}  // namespace parinda
+
+#include "parinda/report.h"
+
+namespace parinda {
+namespace {
+
+TEST_F(ParindaTest, ReportFormattingResolvesNames) {
+  Parinda tool(db_);
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT u, g FROM photoobj WHERE objid = 55",
+       "SELECT count(*) FROM photoobj WHERE type = 3"});
+  ASSERT_TRUE(workload.ok());
+  IndexAdvisorOptions options;
+  auto advice = tool.SuggestIndexes(*workload, options);
+  ASSERT_TRUE(advice.ok());
+  const std::string text = FormatIndexAdvice(db_->catalog(), *advice);
+  EXPECT_NE(text.find("photoobj(objid)"), std::string::npos) << text;
+  EXPECT_NE(text.find("used by: Q1"), std::string::npos) << text;
+  EXPECT_NE(text.find("workload:"), std::string::npos);
+
+  InteractiveDesign design;
+  design.indexes.push_back({"r_idx", dataset_->photoobj, {0}, false});
+  auto report = tool.EvaluateDesign(*workload, design);
+  ASSERT_TRUE(report.ok());
+  const std::string interactive =
+      FormatInteractiveReport(db_->catalog(), *workload, *report);
+  EXPECT_NE(interactive.find("average workload benefit"), std::string::npos);
+}
+
+TEST_F(ParindaTest, FragmentFormatting) {
+  FragmentDef fragment;
+  fragment.table = dataset_->photoobj;
+  fragment.columns = {1, 2};
+  EXPECT_EQ(FormatFragment(db_->catalog(), fragment),
+            "photoobj { ra, dec } (+ primary key)");
+}
+
+TEST_F(ParindaTest, NamedExplainUsesCatalogNames) {
+  auto stmt = ParseSelect("SELECT objid FROM photoobj WHERE type = 3");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_->catalog(), &*stmt).ok());
+  auto plan = PlanQuery(db_->catalog(), *stmt);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = plan->ToString(db_->catalog());
+  EXPECT_NE(text.find("on photoobj"), std::string::npos) << text;
+  EXPECT_EQ(text.find("table #"), std::string::npos) << text;
+}
+
+TEST_F(ParindaTest, DatabaseDropTableClearsEverything) {
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 500;
+  auto dataset = BuildSdssDatabase(&db, config);
+  ASSERT_TRUE(dataset.ok());
+  auto idx = db.BuildIndex("tmp_idx", dataset->specobj, {0});
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(db.DropTable(dataset->specobj).ok());
+  EXPECT_EQ(db.catalog().GetTable(dataset->specobj), nullptr);
+  EXPECT_EQ(db.GetHeapTable(dataset->specobj), nullptr);
+  EXPECT_EQ(db.GetBTree(*idx), nullptr);
+  EXPECT_FALSE(db.DropTable(dataset->specobj).ok());
+}
+
+TEST_F(ParindaTest, JoinAgainstRangePartitionedTable) {
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 2000;
+  auto dataset = BuildSdssDatabase(&db, config);
+  ASSERT_TRUE(dataset.ok());
+  const std::string sql =
+      "SELECT count(*) FROM photoobj p, specobj s "
+      "WHERE p.objid = s.bestobjid AND p.ra < 90";
+  auto before = ExecuteSql(db, sql);
+  ASSERT_TRUE(before.ok());
+  auto children = db.MaterializeRangePartitions(
+      dataset->photoobj, 1, {Value::Double(90), Value::Double(180),
+                             Value::Double(270)});
+  ASSERT_TRUE(children.ok());
+  auto after = ExecuteSql(db, sql);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(before->rows[0][0].AsInt64(), after->rows[0][0].AsInt64());
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "parser/binder.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace parinda {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, 42 FROM t WHERE b >= 3.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringsAndEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Tokenize("SELECT -- comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Tokenize("a <> b <= c >= d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<=");
+  EXPECT_EQ((*tokens)[5].text, ">=");
+  EXPECT_EQ((*tokens)[7].text, "<>");  // != normalizes
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("1e+").ok());
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto tokens = Tokenize("1.5e-3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kDoubleLiteral);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseSelect("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_list.size(), 2u);
+  EXPECT_EQ(stmt->from.size(), 1u);
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kComparison);
+}
+
+TEST(ParserTest, StarAndAliases) {
+  auto stmt = ParseSelect("SELECT * FROM t x");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select_list[0].star);
+  EXPECT_EQ(stmt->from[0].alias, "x");
+  auto stmt2 = ParseSelect("SELECT a AS alpha FROM t AS tee");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_EQ(stmt2->select_list[0].alias, "alpha");
+  EXPECT_EQ(stmt2->from[0].alias, "tee");
+}
+
+TEST(ParserTest, JoinOnDesugarsToWhere) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t1 JOIN t2 ON t1.x = t2.y WHERE t1.z > 0");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->from.size(), 2u);
+  // where = (join cond) AND (z > 0)
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kAnd);
+}
+
+TEST(ParserTest, GroupOrderLimit) {
+  auto stmt = ParseSelect(
+      "SELECT region, count(*) FROM t GROUP BY region "
+      "ORDER BY region DESC LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, BetweenAndInList) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(stmt->where.get(), &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->kind, ExprKind::kBetween);
+  EXPECT_EQ(conjuncts[1]->kind, ExprKind::kInList);
+  EXPECT_EQ(conjuncts[1]->children.size(), 4u);
+}
+
+TEST(ParserTest, NotInAndIsNull) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE a NOT IN (1) AND b IS NOT NULL AND c IS NULL");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(stmt->where.get(), &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->kind, ExprKind::kNot);
+  EXPECT_EQ(conjuncts[1]->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(conjuncts[1]->negated);
+  EXPECT_FALSE(conjuncts[2]->negated);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = ParseSelect("SELECT a + b * 2 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt->select_list[0].expr;
+  ASSERT_EQ(e.kind, ExprKind::kArith);
+  EXPECT_EQ(e.op, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, NegativeNumbersFold) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE a > -5");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& cmp = *stmt->where;
+  EXPECT_EQ(cmp.children[1]->kind, ExprKind::kLiteral);
+  EXPECT_EQ(cmp.children[1]->literal.AsInt64(), -5);
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto stmt = ParseSelect("SELECT count(*), sum(a), avg(b + 1) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select_list[0].expr->star);
+  EXPECT_EQ(stmt->select_list[1].expr->func_name, "sum");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t HAVING a > 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t; SELECT b FROM t").ok());
+}
+
+TEST(ParserTest, WorkloadSplitsStatements) {
+  auto stmts = ParseWorkload(
+      "SELECT a FROM t;\n-- second query\nSELECT b FROM t WHERE b > 1;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 2u);
+}
+
+TEST(ParserTest, ToSqlRoundTrip) {
+  const std::string sql =
+      "SELECT a, count(*) FROM t WHERE a BETWEEN 1 AND 5 AND s = 'x' "
+      "GROUP BY a ORDER BY a LIMIT 3";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  // Round-trip: rendering must reparse to an equivalent statement.
+  auto again = ParseSelect(stmt->ToSql());
+  ASSERT_TRUE(again.ok()) << stmt->ToSql();
+  EXPECT_EQ(again->ToSql(), stmt->ToSql());
+}
+
+TEST(ParserTest, CloneIsDeep) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE a = 1 ORDER BY a");
+  ASSERT_TRUE(stmt.ok());
+  SelectStatement copy = stmt->Clone();
+  EXPECT_EQ(copy.ToSql(), stmt->ToSql());
+  EXPECT_NE(copy.where.get(), stmt->where.get());
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = testing_util::MakeOrdersTable(&db_, 100);
+    customers_ = testing_util::MakeCustomersTable(&db_, 10);
+  }
+  Database db_;
+  TableId orders_ = kInvalidTableId;
+  TableId customers_ = kInvalidTableId;
+};
+
+TEST_F(BinderTest, BindsQualifiedAndUnqualified) {
+  auto stmt = ParseSelect(
+      "SELECT orders.amount, cid FROM orders, customers "
+      "WHERE orders.customer_id = customers.cid");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+  EXPECT_EQ(stmt->from[0].bound_table, orders_);
+  EXPECT_EQ(stmt->from[1].bound_table, customers_);
+  const Expr& amount = *stmt->select_list[0].expr;
+  EXPECT_EQ(amount.bound_range, 0);
+  EXPECT_EQ(amount.bound_column, 2);
+  const Expr& cid = *stmt->select_list[1].expr;
+  EXPECT_EQ(cid.bound_range, 1);
+}
+
+TEST_F(BinderTest, AliasResolution) {
+  auto stmt = ParseSelect("SELECT o.amount FROM orders o");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+}
+
+TEST_F(BinderTest, UnknownTable) {
+  auto stmt = ParseSelect("SELECT a FROM nope");
+  ASSERT_TRUE(stmt.ok());
+  auto st = BindStatement(db_.catalog(), &*stmt);
+  EXPECT_EQ(st.code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownColumn) {
+  auto stmt = ParseSelect("SELECT wat FROM orders");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(BindStatement(db_.catalog(), &*stmt).code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, AmbiguousColumnNotPresentHere) {
+  // "amount" exists only in orders: unqualified use across two tables binds.
+  auto stmt = ParseSelect("SELECT amount FROM orders, customers");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+}
+
+TEST_F(BinderTest, InferTypes) {
+  auto stmt = ParseSelect(
+      "SELECT amount + 1, count(*), region, flag FROM orders WHERE flag");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(BindStatement(db_.catalog(), &*stmt).ok());
+  auto t0 = InferExprType(db_.catalog(), *stmt, *stmt->select_list[0].expr);
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ(*t0, ValueType::kDouble);
+  auto t1 = InferExprType(db_.catalog(), *stmt, *stmt->select_list[1].expr);
+  EXPECT_EQ(*t1, ValueType::kInt64);
+  auto t2 = InferExprType(db_.catalog(), *stmt, *stmt->select_list[2].expr);
+  EXPECT_EQ(*t2, ValueType::kString);
+  auto t3 = InferExprType(db_.catalog(), *stmt, *stmt->select_list[3].expr);
+  EXPECT_EQ(*t3, ValueType::kBool);
+}
+
+TEST_F(BinderTest, UnknownFunctionRejected) {
+  auto stmt = ParseSelect("SELECT frobnicate(amount) FROM orders");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(BindStatement(db_.catalog(), &*stmt).code(),
+            StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace parinda

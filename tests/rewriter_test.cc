@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "optimizer/planner.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "rewriter/rewriter.h"
+#include "tests/test_util.h"
+#include "whatif/whatif_table.h"
+
+namespace parinda {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = testing_util::MakeOrdersTable(&db_, 2000);
+    customers_ = testing_util::MakeCustomersTable(&db_, 200);
+    overlay_ = std::make_unique<WhatIfTableCatalog>(db_.catalog());
+    // Two fragments of orders: (id, customer_id, amount) and (id, region,
+    // flag).
+    auto f1 = overlay_->AddPartition({"orders_f1", orders_, {1, 2}});
+    auto f2 = overlay_->AddPartition({"orders_f2", orders_, {3, 4}});
+    PARINDA_CHECK(f1.ok());
+    PARINDA_CHECK(f2.ok());
+    fragments_ = {overlay_->GetTable(*f1), overlay_->GetTable(*f2)};
+  }
+
+  SelectStatement Bind(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    PARINDA_CHECK(stmt.ok());
+    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    return std::move(*stmt);
+  }
+
+  Database db_;
+  TableId orders_ = kInvalidTableId;
+  TableId customers_ = kInvalidTableId;
+  std::unique_ptr<WhatIfTableCatalog> overlay_;
+  std::vector<const TableInfo*> fragments_;
+};
+
+TEST_F(RewriterTest, SingleFragmentCover) {
+  SelectStatement stmt = Bind("SELECT amount FROM orders WHERE amount > 500");
+  auto result = RewriteForPartitions(*overlay_, stmt, fragments_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->changed);
+  ASSERT_EQ(result->stmt.from.size(), 1u);
+  EXPECT_EQ(result->stmt.from[0].table_name, "orders_f1");
+}
+
+TEST_F(RewriterTest, TwoFragmentsJoinOnPk) {
+  SelectStatement stmt =
+      Bind("SELECT amount, region FROM orders WHERE flag = true");
+  auto result = RewriteForPartitions(*overlay_, stmt, fragments_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->changed);
+  ASSERT_EQ(result->stmt.from.size(), 2u);
+  // The PK join condition appears in WHERE.
+  const std::string sql = result->stmt.ToSql();
+  EXPECT_NE(sql.find("orders_f1"), std::string::npos);
+  EXPECT_NE(sql.find("orders_f2"), std::string::npos);
+  EXPECT_NE(sql.find(".id = "), std::string::npos) << sql;
+}
+
+TEST_F(RewriterTest, UntouchedTableStaysPut) {
+  SelectStatement stmt = Bind("SELECT name FROM customers WHERE cid = 3");
+  auto result = RewriteForPartitions(*overlay_, stmt, fragments_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->changed);
+  EXPECT_EQ(result->stmt.from[0].table_name, "customers");
+}
+
+TEST_F(RewriterTest, JoinQueryOnlyRewritesPartitionedSide) {
+  SelectStatement stmt = Bind(
+      "SELECT c.name, o.amount FROM orders o, customers c "
+      "WHERE o.customer_id = c.cid AND o.amount > 900");
+  auto result = RewriteForPartitions(*overlay_, stmt, fragments_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->changed);
+  ASSERT_EQ(result->stmt.from.size(), 2u);
+  EXPECT_EQ(result->stmt.from[0].table_name, "orders_f1");
+  EXPECT_EQ(result->stmt.from[1].table_name, "customers");
+}
+
+TEST_F(RewriterTest, PkOnlyQueryUsesNarrowestFragment) {
+  SelectStatement stmt = Bind("SELECT count(*) FROM orders");
+  auto result = RewriteForPartitions(*overlay_, stmt, fragments_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->changed);
+  ASSERT_EQ(result->stmt.from.size(), 1u);
+}
+
+TEST_F(RewriterTest, RewrittenSqlReparsesAndBinds) {
+  SelectStatement stmt = Bind(
+      "SELECT region, count(*), avg(amount) FROM orders "
+      "WHERE amount BETWEEN 100 AND 500 GROUP BY region ORDER BY region");
+  auto result = RewriteForPartitions(*overlay_, stmt, fragments_);
+  ASSERT_TRUE(result.ok());
+  auto reparsed = ParseSelect(result->stmt.ToSql());
+  ASSERT_TRUE(reparsed.ok()) << result->stmt.ToSql();
+  EXPECT_TRUE(BindStatement(*overlay_, &*reparsed).ok());
+}
+
+TEST_F(RewriterTest, RewrittenPlanIsCheaperForNarrowQueries) {
+  SelectStatement stmt = Bind("SELECT avg(amount) FROM orders");
+  auto result = RewriteForPartitions(*overlay_, stmt, fragments_);
+  ASSERT_TRUE(result.ok());
+  auto base_plan = PlanQuery(db_.catalog(), stmt);
+  auto frag_plan = PlanQuery(*overlay_, result->stmt);
+  ASSERT_TRUE(base_plan.ok());
+  ASSERT_TRUE(frag_plan.ok());
+  EXPECT_LT(frag_plan->total_cost(), base_plan->total_cost());
+}
+
+TEST_F(RewriterTest, MaterializedRewriteGivesSameAnswers) {
+  // Materialize the same fragments for real, rewrite, execute both, compare.
+  auto real1 = db_.MaterializeVerticalPartition(orders_, "orders_f1", {1, 2});
+  auto real2 = db_.MaterializeVerticalPartition(orders_, "orders_f2", {3, 4});
+  ASSERT_TRUE(real1.ok());
+  ASSERT_TRUE(real2.ok());
+  std::vector<const TableInfo*> real_frags = {
+      db_.catalog().GetTable(*real1), db_.catalog().GetTable(*real2)};
+
+  const std::string sql =
+      "SELECT region, count(*) FROM orders WHERE amount > 250 "
+      "GROUP BY region ORDER BY region";
+  SelectStatement stmt = Bind(sql);
+  auto rewritten = RewriteForPartitions(db_.catalog(), stmt, real_frags);
+  ASSERT_TRUE(rewritten.ok());
+  ASSERT_TRUE(rewritten->changed);
+
+  auto base_result = ExecuteSql(db_, sql);
+  ASSERT_TRUE(base_result.ok());
+  auto plan = PlanQuery(db_.catalog(), rewritten->stmt);
+  ASSERT_TRUE(plan.ok());
+  auto frag_result = ExecutePlan(db_, rewritten->stmt, *plan);
+  ASSERT_TRUE(frag_result.ok()) << frag_result.status().ToString();
+  ASSERT_EQ(base_result->rows.size(), frag_result->rows.size());
+  for (size_t i = 0; i < base_result->rows.size(); ++i) {
+    EXPECT_EQ(CompareRows(base_result->rows[i], frag_result->rows[i]), 0);
+  }
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "solver/bnb.h"
+#include "solver/lp.h"
+
+namespace parinda {
+namespace {
+
+TEST(LpTest, SimpleTwoVarMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y in [0, 10].
+  LinearProgram lp;
+  lp.objective = {3.0, 2.0};
+  lp.upper = {10.0, 10.0};
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, 4.0});
+  lp.AddConstraint({{{0, 1.0}, {1, 3.0}}, 6.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->feasible);
+  // Optimum at x=4, y=0 -> 12? Check: x=3,y=1 -> 11; x=4,y=0 -> 12. OK.
+  EXPECT_NEAR(sol->objective, 12.0, 1e-6);
+  EXPECT_NEAR(sol->values[0], 4.0, 1e-6);
+}
+
+TEST(LpTest, UpperBoundsRespected) {
+  // max x with x <= 0.5 via upper bound only.
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.upper = {0.5};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 0.5, 1e-9);
+}
+
+TEST(LpTest, FractionalRelaxationOfKnapsack) {
+  // max 10a + 6b + 4c s.t. 5a + 4b + 3c <= 7, vars in [0,1].
+  LinearProgram lp;
+  lp.objective = {10.0, 6.0, 4.0};
+  lp.AddConstraint({{{0, 5.0}, {1, 4.0}, {2, 3.0}}, 7.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  // LP relaxation: a=1, then 2 left: b=0.5 -> 13.0 (or c=2/3 -> 12.67).
+  EXPECT_NEAR(sol->objective, 13.0, 1e-6);
+}
+
+TEST(LpTest, NegativeRhsHandledViaBigM) {
+  // max x + y s.t. -x <= -1 (x >= 1), x + y <= 3.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.upper = {5.0, 5.0};
+  lp.AddConstraint({{{0, -1.0}}, -1.0});
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, 3.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->feasible);
+  EXPECT_NEAR(sol->objective, 3.0, 1e-6);
+  EXPECT_GE(sol->values[0], 1.0 - 1e-6);
+}
+
+TEST(LpTest, InfeasibleDetected) {
+  // x >= 2 but x <= 1.
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.upper = {1.0};
+  lp.AddConstraint({{{0, -1.0}}, -2.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->feasible);
+}
+
+TEST(LpTest, UnboundedDetected) {
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.upper = {1e30};
+  auto sol = SolveLp(lp);
+  // Effectively unbounded: either SolverError or a huge value.
+  if (sol.ok()) {
+    EXPECT_GT(sol->objective, 1e20);
+  } else {
+    EXPECT_EQ(sol.status().code(), StatusCode::kSolverError);
+  }
+}
+
+TEST(BnbTest, SolvesKnapsackExactly) {
+  // max 10a + 6b + 4c s.t. 5a + 4b + 3c <= 7; binary. Optimum: b + c = 10.
+  BinaryMip mip;
+  mip.lp.objective = {10.0, 6.0, 4.0};
+  mip.lp.AddConstraint({{{0, 5.0}, {1, 4.0}, {2, 3.0}}, 7.0});
+  auto sol = SolveBinaryMip(mip);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->feasible);
+  EXPECT_TRUE(sol->proved_optimal);
+  EXPECT_NEAR(sol->objective, 10.0, 1e-6);
+  // Both {a} and {b,c} reach 10; either is accepted.
+  const int picked = sol->values[0] * 10 + sol->values[1] * 6 + sol->values[2] * 4;
+  EXPECT_EQ(picked, 10);
+}
+
+TEST(BnbTest, BeatsGreedyOnClassicInstance) {
+  // Greedy by density picks a (density 3) then nothing fits; optimal is b+c.
+  // max 9a + 8b + 8c s.t. 3a + 2b + 2c <= 4.
+  BinaryMip mip;
+  mip.lp.objective = {9.0, 8.0, 8.0};
+  mip.lp.AddConstraint({{{0, 3.0}, {1, 2.0}, {2, 2.0}}, 4.0});
+  auto sol = SolveBinaryMip(mip);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 16.0, 1e-6);
+  EXPECT_EQ(sol->values[0], 0);
+  EXPECT_EQ(sol->values[1], 1);
+  EXPECT_EQ(sol->values[2], 1);
+}
+
+TEST(BnbTest, LinkingConstraints) {
+  // y1, y2 usable only when x is built; x costs 5 of budget 5.
+  // max 3y1 + 2y2 - 0x ; y_i <= x ; 5x <= 5.
+  BinaryMip mip;
+  mip.lp.objective = {0.0, 3.0, 2.0};  // x, y1, y2
+  mip.lp.AddConstraint({{{1, 1.0}, {0, -1.0}}, 0.0});
+  mip.lp.AddConstraint({{{2, 1.0}, {0, -1.0}}, 0.0});
+  mip.lp.AddConstraint({{{0, 5.0}}, 5.0});
+  auto sol = SolveBinaryMip(mip);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 5.0, 1e-6);
+  EXPECT_EQ(sol->values[0], 1);
+}
+
+TEST(BnbTest, OneAccessPathConstraint) {
+  // Two mutually exclusive options for the same slot.
+  // max 4y1 + 3y2, y1 + y2 <= 1.
+  BinaryMip mip;
+  mip.lp.objective = {4.0, 3.0};
+  mip.lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, 1.0});
+  auto sol = SolveBinaryMip(mip);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 4.0, 1e-6);
+  EXPECT_EQ(sol->values[0], 1);
+  EXPECT_EQ(sol->values[1], 0);
+}
+
+TEST(BnbTest, ZeroBudgetSelectsNothing) {
+  BinaryMip mip;
+  mip.lp.objective = {5.0, 7.0};
+  mip.lp.AddConstraint({{{0, 2.0}, {1, 3.0}}, 0.0});
+  auto sol = SolveBinaryMip(mip);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->feasible);
+  EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+}
+
+TEST(BnbTest, LargerRandomInstanceStaysExact) {
+  // 12-item knapsack with known optimum via brute force.
+  const double values[] = {12, 7, 9, 14, 5, 6, 11, 3, 8, 10, 4, 13};
+  const double weights[] = {8, 5, 6, 9, 3, 4, 7, 2, 5, 6, 3, 8};
+  const double cap = 20.0;
+  BinaryMip mip;
+  mip.lp.objective.assign(values, values + 12);
+  LinearProgram::Constraint row;
+  for (int i = 0; i < 12; ++i) row.terms.push_back({i, weights[i]});
+  row.rhs = cap;
+  mip.lp.AddConstraint(std::move(row));
+  auto sol = SolveBinaryMip(mip);
+  ASSERT_TRUE(sol.ok());
+  // Brute force.
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << 12); ++mask) {
+    double v = 0.0;
+    double w = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      if ((mask >> i) & 1) {
+        v += values[i];
+        w += weights[i];
+      }
+    }
+    if (w <= cap) best = std::max(best, v);
+  }
+  EXPECT_NEAR(sol->objective, best, 1e-6);
+  EXPECT_TRUE(sol->proved_optimal);
+}
+
+}  // namespace
+}  // namespace parinda

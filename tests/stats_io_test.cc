@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "advisor/index_advisor.h"
+#include "catalog/stats_io.h"
+#include "common/logging.h"
+#include "optimizer/planner.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "workload/sdss.h"
+
+namespace parinda {
+namespace {
+
+TEST(StatsIoTest, RoundTripPreservesEverything) {
+  Database db;
+  const TableId orders = testing_util::MakeOrdersTable(&db, 3000);
+  ASSERT_TRUE(db.BuildIndex("orders_id", orders, {0}, true).ok());
+  const std::string dump = DumpCatalogStats(db.catalog());
+  auto loaded = LoadCatalogStats(dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Catalog& copy = **loaded;
+
+  const TableInfo* original = db.catalog().GetTable(orders);
+  const TableInfo* restored = copy.FindTable("orders");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_DOUBLE_EQ(restored->row_count, original->row_count);
+  EXPECT_DOUBLE_EQ(restored->pages, original->pages);
+  EXPECT_EQ(restored->primary_key, original->primary_key);
+  ASSERT_EQ(restored->schema.num_columns(), original->schema.num_columns());
+  for (ColumnId c = 0; c < original->schema.num_columns(); ++c) {
+    SCOPED_TRACE(original->schema.column(c).name);
+    EXPECT_EQ(restored->schema.column(c).type, original->schema.column(c).type);
+    const ColumnStats* a = original->StatsFor(c);
+    const ColumnStats* b = restored->StatsFor(c);
+    ASSERT_NE(b, nullptr);
+    EXPECT_DOUBLE_EQ(b->null_frac, a->null_frac);
+    EXPECT_DOUBLE_EQ(b->avg_width, a->avg_width);
+    EXPECT_DOUBLE_EQ(b->n_distinct, a->n_distinct);
+    EXPECT_DOUBLE_EQ(b->correlation, a->correlation);
+    ASSERT_EQ(b->mcv_values.size(), a->mcv_values.size());
+    for (size_t i = 0; i < a->mcv_values.size(); ++i) {
+      EXPECT_EQ(b->mcv_values[i].Compare(a->mcv_values[i]), 0);
+      EXPECT_DOUBLE_EQ(b->mcv_freqs[i], a->mcv_freqs[i]);
+    }
+    ASSERT_EQ(b->histogram_bounds.size(), a->histogram_bounds.size());
+    for (size_t i = 0; i < a->histogram_bounds.size(); ++i) {
+      EXPECT_EQ(b->histogram_bounds[i].Compare(a->histogram_bounds[i]), 0);
+    }
+    EXPECT_EQ(b->min_value.Compare(a->min_value), 0);
+    EXPECT_EQ(b->max_value.Compare(a->max_value), 0);
+  }
+  // Index restored with sizes.
+  auto indexes = copy.TableIndexes(restored->id);
+  ASSERT_EQ(indexes.size(), 1u);
+  EXPECT_EQ(indexes[0]->name, "orders_id");
+  EXPECT_TRUE(indexes[0]->unique);
+  EXPECT_GT(indexes[0]->leaf_pages, 0.0);
+}
+
+TEST(StatsIoTest, SecondRoundTripIsIdentical) {
+  Database db;
+  testing_util::MakeOrdersTable(&db, 2000);
+  testing_util::MakeCustomersTable(&db, 200);
+  const std::string dump1 = DumpCatalogStats(db.catalog());
+  auto loaded = LoadCatalogStats(dump1);
+  ASSERT_TRUE(loaded.ok());
+  const std::string dump2 = DumpCatalogStats(**loaded);
+  EXPECT_EQ(dump1, dump2);
+}
+
+TEST(StatsIoTest, MalformedInputRejectedWithLineNumbers) {
+  EXPECT_FALSE(LoadCatalogStats("garbage stanza").ok());
+  EXPECT_FALSE(LoadCatalogStats("column a bigint ...").ok());
+  EXPECT_FALSE(LoadCatalogStats("mcv 1 0.5").ok());
+  EXPECT_FALSE(LoadCatalogStats("table t rows x").ok());
+  auto st = LoadCatalogStats("table t rows 1 pages 1 pk -\nwat 1");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("line 2"), std::string::npos);
+  // Empty input loads an empty catalog.
+  auto empty = LoadCatalogStats("# only a comment\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE((*empty)->AllTables().empty());
+}
+
+TEST(StatsIoTest, StringLiteralsWithQuotesRoundTrip) {
+  auto catalog = std::make_unique<Catalog>();
+  TableSchema schema("t", {{"s", ValueType::kString, 10, true}});
+  auto id = catalog->CreateTable(schema);
+  ASSERT_TRUE(id.ok());
+  std::vector<ColumnStats> stats(1);
+  stats[0].mcv_values = {Value::String("it's"), Value::String("plain")};
+  stats[0].mcv_freqs = {0.5, 0.25};
+  stats[0].min_value = Value::String("a'b");
+  stats[0].max_value = Value::String("z");
+  ASSERT_TRUE(catalog->UpdateTableStats(*id, 10, 1, stats).ok());
+  auto loaded = LoadCatalogStats(DumpCatalogStats(*catalog));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ColumnStats* restored = (*loaded)->FindTable("t")->StatsFor(0);
+  ASSERT_EQ(restored->mcv_values.size(), 2u);
+  EXPECT_EQ(restored->mcv_values[0].AsString(), "it's");
+  EXPECT_EQ(restored->min_value.AsString(), "a'b");
+}
+
+TEST(StatsIoTest, AdviseFromStatsOnly) {
+  // The headline use case: dump a "production" catalog, advise on the copy
+  // without any data, get the same suggestions.
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 5000;
+  ASSERT_TRUE(BuildSdssDatabase(&db, config).ok());
+  auto loaded = LoadCatalogStats(DumpCatalogStats(db.catalog()));
+  ASSERT_TRUE(loaded.ok());
+  const Catalog& stats_only = **loaded;
+
+  auto live_workload = MakeSdssWorkload(db.catalog());
+  auto copy_workload = MakeSdssWorkload(stats_only);
+  ASSERT_TRUE(live_workload.ok());
+  ASSERT_TRUE(copy_workload.ok());
+
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 4.0 * 1024 * 1024;
+  IndexAdvisor live(db.catalog(), *live_workload, options);
+  auto live_advice = live.SuggestWithIlp();
+  ASSERT_TRUE(live_advice.ok());
+  IndexAdvisor copy(stats_only, *copy_workload, options);
+  auto copy_advice = copy.SuggestWithIlp();
+  ASSERT_TRUE(copy_advice.ok());
+
+  ASSERT_EQ(copy_advice->indexes.size(), live_advice->indexes.size());
+  EXPECT_NEAR(copy_advice->optimized_cost, live_advice->optimized_cost,
+              live_advice->optimized_cost * 1e-9);
+  for (size_t i = 0; i < live_advice->indexes.size(); ++i) {
+    EXPECT_EQ(copy_advice->indexes[i].def.columns,
+              live_advice->indexes[i].def.columns);
+  }
+}
+
+TEST(StatsIoTest, PlansAgreeOnLoadedCatalog) {
+  Database db;
+  testing_util::MakeOrdersTable(&db, 5000);
+  ASSERT_TRUE(
+      db.BuildIndex("oid", db.catalog().FindTable("orders")->id, {0}).ok());
+  auto loaded = LoadCatalogStats(DumpCatalogStats(db.catalog()));
+  ASSERT_TRUE(loaded.ok());
+  const std::string sql = "SELECT amount FROM orders WHERE id = 99";
+  auto live_stmt = ParseSelect(sql);
+  ASSERT_TRUE(live_stmt.ok());
+  ASSERT_TRUE(BindStatement(db.catalog(), &*live_stmt).ok());
+  auto live_plan = PlanQuery(db.catalog(), *live_stmt);
+  auto copy_stmt = ParseSelect(sql);
+  ASSERT_TRUE(copy_stmt.ok());
+  ASSERT_TRUE(BindStatement(**loaded, &*copy_stmt).ok());
+  auto copy_plan = PlanQuery(**loaded, *copy_stmt);
+  ASSERT_TRUE(live_plan.ok());
+  ASSERT_TRUE(copy_plan.ok());
+  EXPECT_EQ(copy_plan->root->type, live_plan->root->type);
+  EXPECT_NEAR(copy_plan->total_cost(), live_plan->total_cost(),
+              live_plan->total_cost() * 1e-9);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/size_model.h"
+#include "executor/executor.h"
+#include "storage/analyze.h"
+#include "storage/btree_index.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace parinda {
+namespace {
+
+TableSchema SimpleSchema() {
+  return TableSchema("t", {{"a", ValueType::kInt64, 8, false},
+                           {"b", ValueType::kDouble, 8, true},
+                           {"s", ValueType::kString, 16, true}});
+}
+
+TEST(HeapTableTest, AppendAndRead) {
+  HeapTable heap(SimpleSchema());
+  auto id = heap.Append({Value::Int64(1), Value::Double(2.0), Value::String("x")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  EXPECT_EQ(heap.num_rows(), 1);
+  EXPECT_EQ(heap.row(0)[0].AsInt64(), 1);
+}
+
+TEST(HeapTableTest, ArityMismatchRejected) {
+  HeapTable heap(SimpleSchema());
+  EXPECT_FALSE(heap.Append({Value::Int64(1)}).ok());
+}
+
+TEST(HeapTableTest, PageAccountingMatchesSizeModel) {
+  HeapTable heap(SimpleSchema());
+  const int64_t n = 10000;
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(heap.Append({Value::Int64(i), Value::Double(i * 0.5),
+                             Value::String("abcdefgh")})
+                    .ok());
+  }
+  const double estimated = EstimateHeapPages(
+      static_cast<double>(n), {{ValueType::kInt64, 8.0},
+                               {ValueType::kDouble, 8.0},
+                               {ValueType::kString, 12.0}});
+  EXPECT_NEAR(static_cast<double>(heap.num_pages()), estimated,
+              estimated * 0.1);
+}
+
+TEST(HeapTableTest, PageOfIsMonotonic) {
+  HeapTable heap(SimpleSchema());
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(heap.Append({Value::Int64(i), Value::Double(0.0),
+                             Value::String("pad-pad-pad")})
+                    .ok());
+  }
+  EXPECT_EQ(heap.PageOf(0), 0);
+  int64_t prev = 0;
+  for (RowId id = 0; id < heap.num_rows(); id += 100) {
+    const int64_t page = heap.PageOf(id);
+    EXPECT_GE(page, prev);
+    EXPECT_LT(page, heap.num_pages());
+    prev = page;
+  }
+}
+
+TEST(BTreeIndexTest, BuildAndEqualScan) {
+  HeapTable heap(SimpleSchema());
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(heap.Append({Value::Int64(i % 100), Value::Double(i),
+                             Value::String("v")})
+                    .ok());
+  }
+  auto built = BTreeIndex::Build(heap, {0});
+  ASSERT_TRUE(built.ok());
+  const BTreeIndex& index = *built;
+  EXPECT_EQ(index.num_entries(), 1000);
+  auto scan = index.EqualScan({Value::Int64(42)});
+  EXPECT_EQ(scan.row_ids.size(), 10u);
+  for (RowId id : scan.row_ids) {
+    EXPECT_EQ(heap.row(id)[0].AsInt64(), 42);
+  }
+}
+
+TEST(BTreeIndexTest, RangeScanBounds) {
+  HeapTable heap(SimpleSchema());
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(heap.Append({Value::Int64(i), Value::Double(i),
+                             Value::String("v")})
+                    .ok());
+  }
+  auto built = BTreeIndex::Build(heap, {0});
+  ASSERT_TRUE(built.ok());
+  auto scan = built->RangeScan(Value::Int64(100), true, Value::Int64(199), true);
+  EXPECT_EQ(scan.row_ids.size(), 100u);
+  EXPECT_GT(scan.leaf_pages_touched, 0);
+  auto open = built->RangeScan(std::nullopt, true, Value::Int64(9), true);
+  EXPECT_EQ(open.row_ids.size(), 10u);
+  auto exclusive =
+      built->RangeScan(Value::Int64(100), false, Value::Int64(199), false);
+  EXPECT_EQ(exclusive.row_ids.size(), 98u);
+}
+
+TEST(BTreeIndexTest, MulticolumnPrefixScan) {
+  HeapTable heap(SimpleSchema());
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(heap.Append({Value::Int64(i % 3), Value::Double(i % 5),
+                             Value::String("v")})
+                    .ok());
+  }
+  auto built = BTreeIndex::Build(heap, {0, 1});
+  ASSERT_TRUE(built.ok());
+  auto full = built->EqualScan({Value::Int64(1), Value::Double(2.0)});
+  EXPECT_EQ(full.row_ids.size(), 20u);
+  auto prefix = built->EqualScan({Value::Int64(1)});
+  EXPECT_EQ(prefix.row_ids.size(), 100u);
+}
+
+TEST(BTreeIndexTest, LeafPagesNearEquation1) {
+  HeapTable heap(SimpleSchema());
+  const int64_t n = 50000;
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(heap.Append({Value::Int64(i), Value::Double(i),
+                             Value::String("v")})
+                    .ok());
+  }
+  auto built = BTreeIndex::Build(heap, {0});
+  ASSERT_TRUE(built.ok());
+  const double eq1 =
+      Equation1IndexPages(static_cast<double>(n), {{ValueType::kInt64, 8.0}});
+  // The what-if estimate (Equation 1) should be within ~25% of a real build.
+  EXPECT_NEAR(static_cast<double>(built->leaf_pages()), eq1, eq1 * 0.25);
+}
+
+TEST(AnalyzeTest, BasicStatistics) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 5000);
+  const TableInfo* info = db.catalog().GetTable(id);
+  ASSERT_TRUE(info->HasStats());
+  // id column: unique, correlated with physical order.
+  const ColumnStats& id_stats = *info->StatsFor(0);
+  EXPECT_LT(id_stats.n_distinct, 0.0);  // scales with table
+  EXPECT_NEAR(id_stats.correlation, 1.0, 1e-6);
+  EXPECT_TRUE(id_stats.mcv_values.empty());  // all unique -> no MCVs
+  EXPECT_GE(id_stats.histogram_bounds.size(), 2u);
+  EXPECT_EQ(id_stats.min_value.AsInt64(), 0);
+  EXPECT_EQ(id_stats.max_value.AsInt64(), 4999);
+}
+
+TEST(AnalyzeTest, NullFractionAndMcvs) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 5000);
+  const TableInfo* info = db.catalog().GetTable(id);
+  // flag column: ~5% NULLs.
+  EXPECT_NEAR(info->StatsFor(4)->null_frac, 0.05, 0.02);
+  // region column: 8 distinct zipf values -> MCVs present.
+  const ColumnStats& region = *info->StatsFor(3);
+  EXPECT_FALSE(region.mcv_values.empty());
+  EXPECT_NEAR(region.DistinctCount(info->row_count), 8.0, 0.5);
+  // MCV frequencies sorted descending.
+  for (size_t i = 1; i < region.mcv_freqs.size(); ++i) {
+    EXPECT_GE(region.mcv_freqs[i - 1], region.mcv_freqs[i]);
+  }
+}
+
+TEST(AnalyzeTest, HistogramIsSortedEquiDepth) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 5000);
+  const TableInfo* info = db.catalog().GetTable(id);
+  const ColumnStats& amount = *info->StatsFor(2);
+  ASSERT_GE(amount.histogram_bounds.size(), 2u);
+  for (size_t i = 1; i < amount.histogram_bounds.size(); ++i) {
+    EXPECT_LE(amount.histogram_bounds[i - 1].Compare(
+                  amount.histogram_bounds[i]),
+              0);
+  }
+}
+
+TEST(AnalyzeTest, EmptyTable) {
+  HeapTable heap(SimpleSchema());
+  auto stats = AnalyzeTable(heap);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->size(), 3u);
+  EXPECT_DOUBLE_EQ((*stats)[0].null_frac, 0.0);
+}
+
+TEST(DatabaseTest, BuildIndexUpdatesCatalog) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 2000);
+  auto iid = db.BuildIndex("orders_cid", id, {1});
+  ASSERT_TRUE(iid.ok());
+  const IndexInfo* info = db.catalog().GetIndex(*iid);
+  ASSERT_NE(info, nullptr);
+  EXPECT_GT(info->leaf_pages, 0);
+  EXPECT_DOUBLE_EQ(info->entries, 2000);
+  EXPECT_NE(db.GetBTree(*iid), nullptr);
+}
+
+TEST(DatabaseTest, FailedIndexBuildLeavesNoCatalogEntry) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 10);
+  auto bad = db.BuildIndex("bad", id, {99});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(db.catalog().TableIndexes(id).empty());
+}
+
+TEST(DatabaseTest, MaterializeVerticalPartition) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 1000);
+  auto frag = db.MaterializeVerticalPartition(id, "orders_frag", {2, 3});
+  ASSERT_TRUE(frag.ok());
+  const TableInfo* info = db.catalog().GetTable(*frag);
+  ASSERT_NE(info, nullptr);
+  // PK (id) + amount + region.
+  EXPECT_EQ(info->schema.num_columns(), 3);
+  EXPECT_EQ(info->parent_table, id);
+  EXPECT_DOUBLE_EQ(info->row_count, 1000);
+  // Fragment is narrower than the parent.
+  EXPECT_LT(info->pages, db.catalog().GetTable(id)->pages);
+  // Data copied correctly.
+  const HeapTable* heap = db.GetHeapTable(*frag);
+  const HeapTable* parent = db.GetHeapTable(id);
+  EXPECT_EQ(heap->row(5)[0].AsInt64(), parent->row(5)[0].AsInt64());
+  EXPECT_EQ(heap->row(5)[1].Compare(parent->row(5)[2]), 0);
+}
+
+TEST(DatabaseTest, PartitionDedupsPkColumns) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 100);
+  // Requesting the PK column itself must not duplicate it.
+  auto frag = db.MaterializeVerticalPartition(id, "f", {0, 1});
+  ASSERT_TRUE(frag.ok());
+  EXPECT_EQ(db.catalog().GetTable(*frag)->schema.num_columns(), 2);
+}
+
+}  // namespace
+}  // namespace parinda
+
+namespace parinda {
+namespace {
+
+TEST(AnalyzeSamplingTest, SampledStatsApproximateFullStats) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 20000);
+  const HeapTable* heap = db.GetHeapTable(id);
+  AnalyzeOptions full;
+  AnalyzeOptions sampled;
+  sampled.sample_rows = 3000;
+  for (ColumnId col : {2, 3, 4}) {  // amount, region, flag
+    const ColumnStats exact = AnalyzeColumn(*heap, col, full);
+    const ColumnStats approx = AnalyzeColumn(*heap, col, sampled);
+    EXPECT_NEAR(approx.null_frac, exact.null_frac, 0.02);
+    EXPECT_NEAR(approx.avg_width, exact.avg_width, 1.0);
+    EXPECT_NEAR(approx.DistinctCount(20000), exact.DistinctCount(20000),
+                std::max(3.0, exact.DistinctCount(20000) * 0.3));
+  }
+  // Histogram quantiles of a uniform column track the full-scan ones.
+  const ColumnStats exact = AnalyzeColumn(*heap, 2, full);
+  const ColumnStats approx = AnalyzeColumn(*heap, 2, sampled);
+  ASSERT_GE(approx.histogram_bounds.size(), 2u);
+  const auto quantile = [](const ColumnStats& s, double q) {
+    const size_t pos = static_cast<size_t>(
+        q * static_cast<double>(s.histogram_bounds.size() - 1));
+    return s.histogram_bounds[pos].ToNumeric();
+  };
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(quantile(approx, q), quantile(exact, q), 60.0);
+  }
+}
+
+TEST(AnalyzeSamplingTest, NearUniqueColumnExtrapolates) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 20000);
+  const HeapTable* heap = db.GetHeapTable(id);
+  AnalyzeOptions sampled;
+  sampled.sample_rows = 2000;
+  // id is unique: the Duj1 path must report table-scaled distinct counts,
+  // not the sample's 2000.
+  const ColumnStats stats = AnalyzeColumn(*heap, 0, sampled);
+  EXPECT_GT(stats.DistinctCount(20000), 15000.0);
+}
+
+TEST(AnalyzeSamplingTest, DeterministicForSeed) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 5000);
+  const HeapTable* heap = db.GetHeapTable(id);
+  AnalyzeOptions sampled;
+  sampled.sample_rows = 500;
+  const ColumnStats a = AnalyzeColumn(*heap, 2, sampled);
+  const ColumnStats b = AnalyzeColumn(*heap, 2, sampled);
+  EXPECT_DOUBLE_EQ(a.n_distinct, b.n_distinct);
+  EXPECT_DOUBLE_EQ(a.null_frac, b.null_frac);
+  ASSERT_EQ(a.histogram_bounds.size(), b.histogram_bounds.size());
+  sampled.sample_seed = 999;
+  const ColumnStats c = AnalyzeColumn(*heap, 2, sampled);
+  // A different seed samples different rows (min bound will differ with
+  // overwhelming probability on a continuous column).
+  EXPECT_NE(a.min_value.ToNumeric(), c.min_value.ToNumeric());
+}
+
+TEST(AnalyzeSamplingTest, PlannerStillPicksGoodPlansOnSampledStats) {
+  Database db;
+  const TableId id = testing_util::MakeOrdersTable(&db, 20000);
+  AnalyzeOptions sampled;
+  sampled.sample_rows = 2000;
+  ASSERT_TRUE(db.Analyze(id, sampled).ok());
+  ASSERT_TRUE(db.BuildIndex("oid_sampled", id, {0}).ok());
+  auto result = ExecuteSql(db, "SELECT amount FROM orders WHERE id = 77");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  // Selective point query over sampled stats must still use the index.
+  EXPECT_LT(result->stats.seq_pages_read + result->stats.random_pages_read,
+            20);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "advisor/index_advisor.h"
+#include "autopart/autopart.h"
+#include "common/logging.h"
+#include "executor/executor.h"
+#include "optimizer/planner.h"
+#include "workload/tpch_mini.h"
+
+namespace parinda {
+namespace {
+
+/// Generality check: the designer tuned for SDSS also handles a TPC-H-style
+/// decision-support schema end to end.
+class TpchMiniTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    TpchMiniConfig config;
+    config.lineitem_rows = 12000;
+    auto dataset = BuildTpchMiniDatabase(db_, config);
+    PARINDA_CHECK(dataset.ok());
+    dataset_ = new TpchMiniDataset(*dataset);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete db_;
+    db_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static Database* db_;
+  static TpchMiniDataset* dataset_;
+};
+
+Database* TpchMiniTest::db_ = nullptr;
+TpchMiniDataset* TpchMiniTest::dataset_ = nullptr;
+
+TEST_F(TpchMiniTest, TablesScale) {
+  EXPECT_DOUBLE_EQ(db_->catalog().GetTable(dataset_->lineitem)->row_count,
+                   12000);
+  EXPECT_DOUBLE_EQ(db_->catalog().GetTable(dataset_->orders)->row_count, 3000);
+  EXPECT_DOUBLE_EQ(db_->catalog().GetTable(dataset_->customer)->row_count,
+                   300);
+  EXPECT_DOUBLE_EQ(db_->catalog().GetTable(dataset_->part)->row_count, 600);
+}
+
+TEST_F(TpchMiniTest, AllQueriesPlanAndExecute) {
+  auto workload = MakeTpchMiniWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ASSERT_EQ(workload->size(), 12);
+  for (const WorkloadQuery& query : workload->queries) {
+    auto plan = PlanQuery(db_->catalog(), query.stmt);
+    ASSERT_TRUE(plan.ok()) << query.sql;
+    auto result = ExecuteSql(*db_, query.sql);
+    ASSERT_TRUE(result.ok()) << query.sql << " -> "
+                             << result.status().ToString();
+  }
+}
+
+TEST_F(TpchMiniTest, Q6StyleAggregateIsPlausible) {
+  auto result = ExecuteSql(
+      *db_,
+      "SELECT sum(l_extendedprice * l_discount) FROM lineitem "
+      "WHERE l_shipdate BETWEEN 9131 AND 9496 "
+      "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  // A revenue number, not NULL/zero (the predicates match some rows).
+  ASSERT_FALSE(result->rows[0][0].is_null());
+  EXPECT_GT(result->rows[0][0].AsDouble(), 0.0);
+}
+
+TEST_F(TpchMiniTest, IndexAdvisorImprovesWorkload) {
+  auto workload = MakeTpchMiniWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok());
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 8.0 * 1024 * 1024;
+  IndexAdvisor advisor(db_->catalog(), *workload, options);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_FALSE(advice->indexes.empty());
+  EXPECT_LT(advice->optimized_cost, advice->base_cost);
+  // The join columns are obvious winners: expect an index on one of them.
+  bool join_index = false;
+  for (const SuggestedIndex& s : advice->indexes) {
+    if ((s.def.table == dataset_->lineitem && s.def.columns[0] == 0) ||
+        (s.def.table == dataset_->orders && s.def.columns[0] == 1)) {
+      join_index = true;
+    }
+  }
+  EXPECT_TRUE(join_index);
+}
+
+TEST_F(TpchMiniTest, AutoPartHandlesNarrowTables) {
+  // lineitem is only 8 columns: vertical partitioning should win little or
+  // nothing, and the advisor must not force a bad design.
+  auto workload = MakeTpchMiniWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok());
+  AutoPartOptions options;
+  options.max_iterations = 2;
+  AutoPartAdvisor advisor(db_->catalog(), *workload, options);
+  auto advice = advisor.Suggest();
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_LE(advice->optimized_cost, advice->base_cost * 1.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "executor/executor.h"
+#include "optimizer/query_analysis.h"
+#include "optimizer/planner.h"
+#include "workload/sdss.h"
+#include "workload/workload.h"
+
+namespace parinda {
+namespace {
+
+TEST(WorkloadTest, MakeWorkloadBindsQueries) {
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 500;
+  ASSERT_TRUE(BuildSdssDatabase(&db, config).ok());
+  auto workload = MakeWorkload(
+      db.catalog(), {"SELECT objid FROM photoobj WHERE type = 3"});
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->size(), 1);
+  EXPECT_EQ(workload->queries[0].stmt.from[0].bound_table,
+            db.catalog().FindTable("photoobj")->id);
+}
+
+TEST(WorkloadTest, LoadWorkloadTextParsesFile) {
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 500;
+  ASSERT_TRUE(BuildSdssDatabase(&db, config).ok());
+  auto workload = LoadWorkloadText(db.catalog(),
+                                   "-- comment\n"
+                                   "SELECT objid FROM photoobj;\n"
+                                   "SELECT count(*) FROM specobj;\n");
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->size(), 2);
+}
+
+TEST(WorkloadTest, PrefixDeepCopies) {
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 500;
+  ASSERT_TRUE(BuildSdssDatabase(&db, config).ok());
+  auto workload = MakeSdssWorkload(db.catalog());
+  ASSERT_TRUE(workload.ok());
+  Workload prefix = workload->Prefix(5);
+  EXPECT_EQ(prefix.size(), 5);
+  EXPECT_EQ(prefix.queries[0].sql, workload->queries[0].sql);
+  EXPECT_NE(prefix.queries[0].stmt.where.get(),
+            workload->queries[0].stmt.where.get());
+}
+
+class SdssTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    SdssConfig config;
+    config.photoobj_rows = 4000;
+    auto dataset = BuildSdssDatabase(db_, config);
+    PARINDA_CHECK(dataset.ok());
+    dataset_ = new SdssDataset(*dataset);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete db_;
+    db_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Database* db_;
+  static SdssDataset* dataset_;
+};
+
+Database* SdssTest::db_ = nullptr;
+SdssDataset* SdssTest::dataset_ = nullptr;
+
+TEST_F(SdssTest, TablesScaleAsDocumented) {
+  const Catalog& catalog = db_->catalog();
+  EXPECT_DOUBLE_EQ(catalog.GetTable(dataset_->photoobj)->row_count, 4000);
+  EXPECT_DOUBLE_EQ(catalog.GetTable(dataset_->specobj)->row_count, 400);
+  EXPECT_DOUBLE_EQ(catalog.GetTable(dataset_->field)->row_count, 40);
+  EXPECT_DOUBLE_EQ(catalog.GetTable(dataset_->neighbors)->row_count, 2000);
+  EXPECT_DOUBLE_EQ(catalog.GetTable(dataset_->photoprofile)->row_count, 3000);
+}
+
+TEST_F(SdssTest, PhotoObjIsWide) {
+  EXPECT_EQ(db_->catalog().GetTable(dataset_->photoobj)->schema.num_columns(),
+            25);
+}
+
+TEST_F(SdssTest, DeterministicForSeed) {
+  Database other;
+  SdssConfig config;
+  config.photoobj_rows = 4000;
+  ASSERT_TRUE(BuildSdssDatabase(&other, config).ok());
+  const HeapTable* a = db_->GetHeapTable(dataset_->photoobj);
+  const HeapTable* b =
+      other.GetHeapTable(other.catalog().FindTable("photoobj")->id);
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (RowId id = 0; id < 50; ++id) {
+    EXPECT_EQ(CompareRows(a->row(id), b->row(id)), 0);
+  }
+}
+
+TEST_F(SdssTest, ExactlyThirtyPrototypicalQueries) {
+  EXPECT_EQ(SdssPrototypicalQueries().size(), 30u);
+}
+
+TEST_F(SdssTest, AllThirtyQueriesBindAndPlan) {
+  auto workload = MakeSdssWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ASSERT_EQ(workload->size(), 30);
+  for (const WorkloadQuery& query : workload->queries) {
+    auto plan = PlanQuery(db_->catalog(), query.stmt);
+    ASSERT_TRUE(plan.ok()) << query.sql;
+    EXPECT_GT(plan->total_cost(), 0.0) << query.sql;
+  }
+}
+
+TEST_F(SdssTest, AllThirtyQueriesExecute) {
+  auto workload = MakeSdssWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok());
+  for (const WorkloadQuery& query : workload->queries) {
+    auto result = ExecuteSql(*db_, query.sql);
+    ASSERT_TRUE(result.ok()) << query.sql << " -> "
+                             << result.status().ToString();
+  }
+}
+
+TEST_F(SdssTest, SelectivePredicatesAreSelective) {
+  // The workload mixes selective point/range queries (index-friendly) with
+  // scans; verify a few shapes so the experiments stay meaningful.
+  auto point = ExecuteSql(*db_, "SELECT objid FROM photoobj WHERE objid = 7");
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->rows.size(), 1u);
+  auto galaxies =
+      ExecuteSql(*db_, "SELECT count(*) FROM photoobj WHERE type = 3");
+  ASSERT_TRUE(galaxies.ok());
+  const double frac = static_cast<double>(galaxies->rows[0][0].AsInt64()) / 4000.0;
+  EXPECT_NEAR(frac, 0.6, 0.05);
+}
+
+TEST_F(SdssTest, QsoRedshiftsReachHighValues) {
+  auto result = ExecuteSql(
+      *db_, "SELECT max(z) FROM specobj WHERE class = 3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->rows[0][0].AsDouble(), 2.0);
+  auto galaxy = ExecuteSql(
+      *db_, "SELECT max(z) FROM specobj WHERE class = 2");
+  ASSERT_TRUE(galaxy.ok());
+  EXPECT_LT(galaxy->rows[0][0].AsDouble(), 1.5);
+}
+
+TEST_F(SdssTest, QueriesTouchColumnSubsets) {
+  // AutoPart's premise: queries use few of photoobj's 25 columns.
+  auto workload = MakeSdssWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok());
+  int narrow = 0;
+  for (const WorkloadQuery& query : workload->queries) {
+    auto analyzed = AnalyzeQuery(db_->catalog(), query.stmt);
+    ASSERT_TRUE(analyzed.ok());
+    for (size_t r = 0; r < analyzed->tables.size(); ++r) {
+      if (analyzed->tables[r]->id == dataset_->photoobj &&
+          analyzed->referenced_columns[r].size() <= 6) {
+        ++narrow;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(narrow, 12);
+}
+
+}  // namespace
+}  // namespace parinda
