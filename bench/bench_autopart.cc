@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "autopart/autopart.h"
 #include "bench/bench_util.h"
 #include "optimizer/planner.h"
@@ -40,7 +41,7 @@ Workload PartitionWorkload(const Database& db) {
           "SELECT objid, r FROM photoobj WHERE flags > 4000000 "
           "AND r BETWEEN 14 AND 18",
       });
-  PARINDA_CHECK(workload.ok());
+  PARINDA_CHECK_OK(workload);
   return std::move(*workload);
 }
 
@@ -54,7 +55,7 @@ void Run() {
   options.max_iterations = 4;
   AutoPartAdvisor advisor(db->catalog(), workload, options);
   auto advice = advisor.Suggest();
-  PARINDA_CHECK(advice.ok());
+  PARINDA_CHECK_OK(advice);
   std::printf("suggested fragments: %zu; replicated bytes: %.2f MB; "
               "evaluations: %d\n",
               advice->fragments.size(),
@@ -81,7 +82,7 @@ void Run() {
     sweep.replication_limit_bytes = limit_mb * 1024 * 1024;
     AutoPartAdvisor sweep_advisor(db->catalog(), workload, sweep);
     auto sweep_advice = sweep_advisor.Suggest();
-    PARINDA_CHECK(sweep_advice.ok());
+    PARINDA_CHECK_OK(sweep_advice);
     std::printf("%-12.1f %12.0f %11.2fx %7.2f MB\n",
                 limit_mb >= 1e9 ? -1.0 : limit_mb,
                 sweep_advice->optimized_cost, sweep_advice->Speedup(),
@@ -98,7 +99,7 @@ void Run() {
     ablation.max_iterations = iters;
     AutoPartAdvisor ablation_advisor(db->catalog(), workload, ablation);
     auto ablation_advice = ablation_advisor.Suggest();
-    PARINDA_CHECK(ablation_advice.ok());
+    PARINDA_CHECK_OK(ablation_advice);
     std::printf("%-12d %12.0f %11.2fx %12d\n", iters,
                 ablation_advice->optimized_cost, ablation_advice->Speedup(),
                 ablation_advice->evaluations);
@@ -118,25 +119,25 @@ void RunHorizontal() {
   std::printf("%-12s %14s %14s %10s\n", "partitions", "base cost",
               "pruned cost", "speedup");
   auto base_stmt = ParseSelect(kBoxSql);
-  PARINDA_CHECK(base_stmt.ok());
-  PARINDA_CHECK(BindStatement(db->catalog(), &*base_stmt).ok());
+  PARINDA_CHECK_OK(base_stmt);
+  PARINDA_CHECK_OK(BindStatement(db->catalog(), &*base_stmt));
   auto base_plan = PlanQuery(db->catalog(), *base_stmt);
-  PARINDA_CHECK(base_plan.ok());
+  PARINDA_CHECK_OK(base_plan);
   for (const int parts : {2, 4, 8, 16, 32}) {
     auto bounds = SuggestEqualMassBounds(db->catalog(), photoobj->id, ra,
                                          parts);
-    PARINDA_CHECK(bounds.ok());
+    PARINDA_CHECK_OK(bounds);
     WhatIfTableCatalog overlay(db->catalog());
     RangePartitionDef def;
     def.parent = photoobj->id;
     def.column = ra;
     def.bounds = *bounds;
-    PARINDA_CHECK(overlay.AddRangePartitioning(def).ok());
+    PARINDA_CHECK_OK(overlay.AddRangePartitioning(def));
     auto stmt = ParseSelect(kBoxSql);
-    PARINDA_CHECK(stmt.ok());
-    PARINDA_CHECK(BindStatement(overlay, &*stmt).ok());
+    PARINDA_CHECK_OK(stmt);
+    PARINDA_CHECK_OK(BindStatement(overlay, &*stmt));
     auto plan = PlanQuery(overlay, *stmt);
-    PARINDA_CHECK(plan.ok());
+    PARINDA_CHECK_OK(plan);
     std::printf("%-12d %14.0f %14.0f %9.2fx\n", parts,
                 base_plan->total_cost(), plan->total_cost(),
                 base_plan->total_cost() / plan->total_cost());
@@ -151,7 +152,7 @@ void BM_AutoPartSuggest(benchmark::State& state) {
     options.max_iterations = static_cast<int>(state.range(0));
     AutoPartAdvisor advisor(db->catalog(), workload, options);
     auto advice = advisor.Suggest();
-    PARINDA_CHECK(advice.ok());
+    PARINDA_CHECK_OK(advice);
     benchmark::DoNotOptimize(advice->optimized_cost);
   }
 }

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/check.h"
 #include "advisor/index_advisor.h"
 #include "bench/bench_util.h"
 #include "catalog/size_model.h"
@@ -22,7 +23,7 @@ namespace {
 void RunSweeps() {
   Database* db = bench_util::SharedSdss(20000);
   auto full = MakeSdssWorkload(db->catalog());
-  PARINDA_CHECK(full.ok());
+  PARINDA_CHECK_OK(full);
 
   bench_util::PrintHeader(
       "E4a: ILP vs greedy variants across workload sizes (budget 1 MB)");
@@ -40,7 +41,7 @@ void RunSweeps() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       ilp_start)
             .count();
-    PARINDA_CHECK(ilp.ok());
+    PARINDA_CHECK_OK(ilp);
 
     IndexAdvisor greedy_advisor(db->catalog(), workload, options);
     const auto greedy_start = std::chrono::steady_clock::now();
@@ -49,11 +50,11 @@ void RunSweeps() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       greedy_start)
             .count();
-    PARINDA_CHECK(greedy.ok());
+    PARINDA_CHECK_OK(greedy);
 
     IndexAdvisor static_advisor(db->catalog(), workload, options);
     auto static_greedy = static_advisor.SuggestWithStaticGreedy();
-    PARINDA_CHECK(static_greedy.ok());
+    PARINDA_CHECK_OK(static_greedy);
 
     std::printf("%-8d %12.0f %12.0f %12.0f %12.0f %10.2f %10.2f\n", nq,
                 ilp->base_cost, ilp->optimized_cost, greedy->optimized_cost,
@@ -69,13 +70,13 @@ void RunSweeps() {
     options.storage_budget_bytes = budget_mb * 1024 * 1024;
     IndexAdvisor ilp_advisor(db->catalog(), *full, options);
     auto ilp = ilp_advisor.SuggestWithIlp();
-    PARINDA_CHECK(ilp.ok());
+    PARINDA_CHECK_OK(ilp);
     IndexAdvisor greedy_advisor(db->catalog(), *full, options);
     auto greedy = greedy_advisor.SuggestWithGreedy();
-    PARINDA_CHECK(greedy.ok());
+    PARINDA_CHECK_OK(greedy);
     IndexAdvisor static_advisor(db->catalog(), *full, options);
     auto static_greedy = static_advisor.SuggestWithStaticGreedy();
-    PARINDA_CHECK(static_greedy.ok());
+    PARINDA_CHECK_OK(static_greedy);
     const double win_dta =
         100.0 * (greedy->optimized_cost - ilp->optimized_cost) /
         greedy->optimized_cost;
@@ -94,9 +95,9 @@ void RunTpch() {
   Database db;
   TpchMiniConfig config;
   config.lineitem_rows = 30000;
-  PARINDA_CHECK(BuildTpchMiniDatabase(&db, config).ok());
+  PARINDA_CHECK_OK(BuildTpchMiniDatabase(&db, config));
   auto workload = MakeTpchMiniWorkload(db.catalog());
-  PARINDA_CHECK(workload.ok());
+  PARINDA_CHECK_OK(workload);
   bench_util::PrintHeader(
       "E4c: ILP vs greedy variants on the TPC-H-style workload");
   std::printf("%-10s %12s %12s %12s %10s\n", "budget MB", "ILP cost",
@@ -106,13 +107,13 @@ void RunTpch() {
     options.storage_budget_bytes = budget_mb * 1024 * 1024;
     IndexAdvisor ilp_advisor(db.catalog(), *workload, options);
     auto ilp = ilp_advisor.SuggestWithIlp();
-    PARINDA_CHECK(ilp.ok());
+    PARINDA_CHECK_OK(ilp);
     IndexAdvisor greedy_advisor(db.catalog(), *workload, options);
     auto greedy = greedy_advisor.SuggestWithGreedy();
-    PARINDA_CHECK(greedy.ok());
+    PARINDA_CHECK_OK(greedy);
     IndexAdvisor static_advisor(db.catalog(), *workload, options);
     auto static_greedy = static_advisor.SuggestWithStaticGreedy();
-    PARINDA_CHECK(static_greedy.ok());
+    PARINDA_CHECK_OK(static_greedy);
     std::printf("%-10.2f %12.0f %12.0f %12.0f %9.2f%%\n", budget_mb,
                 ilp->optimized_cost, greedy->optimized_cost,
                 static_greedy->optimized_cost,
@@ -124,14 +125,14 @@ void RunTpch() {
 void BM_IlpSuggest(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);
   auto full = MakeSdssWorkload(db->catalog());
-  PARINDA_CHECK(full.ok());
+  PARINDA_CHECK_OK(full);
   Workload workload = full->Prefix(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     IndexAdvisorOptions options;
     options.storage_budget_bytes = 4.0 * 1024 * 1024;
     IndexAdvisor advisor(db->catalog(), workload, options);
     auto advice = advisor.SuggestWithIlp();
-    PARINDA_CHECK(advice.ok());
+    PARINDA_CHECK_OK(advice);
     benchmark::DoNotOptimize(advice->optimized_cost);
   }
 }
@@ -140,14 +141,14 @@ BENCHMARK(BM_IlpSuggest)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
 void BM_GreedySuggest(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);
   auto full = MakeSdssWorkload(db->catalog());
-  PARINDA_CHECK(full.ok());
+  PARINDA_CHECK_OK(full);
   Workload workload = full->Prefix(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     IndexAdvisorOptions options;
     options.storage_budget_bytes = 4.0 * 1024 * 1024;
     IndexAdvisor advisor(db->catalog(), workload, options);
     auto advice = advisor.SuggestWithGreedy();
-    PARINDA_CHECK(advice.ok());
+    PARINDA_CHECK_OK(advice);
     benchmark::DoNotOptimize(advice->optimized_cost);
   }
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/check.h"
 #include "advisor/index_advisor.h"
 #include "bench/bench_util.h"
 
@@ -26,7 +27,7 @@ std::string IndexLabel(const Database& db, const WhatIfIndexDef& def) {
 void Run() {
   Database* db = bench_util::SharedSdss(20000);
   auto workload = MakeSdssWorkload(db->catalog());
-  PARINDA_CHECK(workload.ok());
+  PARINDA_CHECK_OK(workload);
 
   bench_util::PrintHeader(
       "E7: automatic index suggestion (scenario 3 report, budget 8 MB)");
@@ -34,7 +35,7 @@ void Run() {
   options.storage_budget_bytes = 8.0 * 1024 * 1024;
   IndexAdvisor advisor(db->catalog(), *workload, options);
   auto advice = advisor.SuggestWithIlp();
-  PARINDA_CHECK(advice.ok());
+  PARINDA_CHECK_OK(advice);
 
   std::printf("suggested indexes (%zu, %.2f MB, %s):\n",
               advice->indexes.size(),
@@ -75,7 +76,7 @@ void Run() {
     sweep.storage_budget_bytes = budget_mb * 1024 * 1024;
     IndexAdvisor sweep_advisor(db->catalog(), *workload, sweep);
     auto sweep_advice = sweep_advisor.SuggestWithIlp();
-    PARINDA_CHECK(sweep_advice.ok());
+    PARINDA_CHECK_OK(sweep_advice);
     std::printf("%-10.2f %8zu %10.2f %12.0f %9.2fx\n", budget_mb,
                 sweep_advice->indexes.size(),
                 sweep_advice->total_size_bytes / 1024.0 / 1024.0,
@@ -91,7 +92,7 @@ void Run() {
     ablation.candidates.max_width = width;
     IndexAdvisor ablation_advisor(db->catalog(), *workload, ablation);
     auto ablation_advice = ablation_advisor.SuggestWithIlp();
-    PARINDA_CHECK(ablation_advice.ok());
+    PARINDA_CHECK_OK(ablation_advice);
     std::printf("max_width=%d: cost %.0f (%.2fx), %zu indexes\n", width,
                 ablation_advice->optimized_cost, ablation_advice->Speedup(),
                 ablation_advice->indexes.size());
@@ -101,13 +102,13 @@ void Run() {
 void BM_IndexAdvisorFull(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);
   auto workload = MakeSdssWorkload(db->catalog());
-  PARINDA_CHECK(workload.ok());
+  PARINDA_CHECK_OK(workload);
   for (auto _ : state) {
     IndexAdvisorOptions options;
     options.storage_budget_bytes = 8.0 * 1024 * 1024;
     IndexAdvisor advisor(db->catalog(), *workload, options);
     auto advice = advisor.SuggestWithIlp();
-    PARINDA_CHECK(advice.ok());
+    PARINDA_CHECK_OK(advice);
     benchmark::DoNotOptimize(advice->optimized_cost);
   }
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/check.h"
 #include "bench/bench_util.h"
 #include "inum/inum.h"
 #include "parser/binder.h"
@@ -45,7 +46,7 @@ std::vector<const IndexInfo*> MakeCandidates(const Database& db,
   std::vector<const IndexInfo*> out;
   for (const WhatIfIndexDef& def : defs) {
     auto id = whatif->AddIndex(def);
-    PARINDA_CHECK(id.ok());
+    PARINDA_CHECK_OK(id);
     out.push_back(whatif->Get(*id));
   }
   return out;
@@ -64,8 +65,8 @@ std::vector<const IndexInfo*> Subset(
 void RunSweep() {
   Database* db = bench_util::SharedSdss(20000);
   auto stmt = ParseSelect(kJoinSql);
-  PARINDA_CHECK(stmt.ok());
-  PARINDA_CHECK(BindStatement(db->catalog(), &*stmt).ok());
+  PARINDA_CHECK_OK(stmt);
+  PARINDA_CHECK_OK(BindStatement(db->catalog(), &*stmt));
   WhatIfIndexSet whatif(db->catalog());
   const std::vector<const IndexInfo*> pool = MakeCandidates(*db, &whatif);
   const unsigned num_subsets = 1u << pool.size();
@@ -76,13 +77,13 @@ void RunSweep() {
               "direct (s)", "speedup", "INUM calls");
   for (const int configs : {1000, 10000, 100000}) {
     InumCostModel inum(db->catalog(), *stmt, CostParams{});
-    PARINDA_CHECK(inum.Init().ok());
+    PARINDA_CHECK_OK(inum.Init());
     const auto inum_start = std::chrono::steady_clock::now();
     double checksum = 0.0;
     for (int k = 0; k < configs; ++k) {
       auto cost = inum.EstimateCost(
           Subset(pool, static_cast<unsigned>(k) % num_subsets));
-      PARINDA_CHECK(cost.ok());
+      PARINDA_CHECK_OK(cost);
       checksum += *cost;
     }
     const double inum_seconds =
@@ -93,13 +94,13 @@ void RunSweep() {
     // Direct: measure a sample and extrapolate (running 100k real optimizer
     // calls is exactly the "days" problem).
     InumCostModel direct(db->catalog(), *stmt, CostParams{});
-    PARINDA_CHECK(direct.Init().ok());
+    PARINDA_CHECK_OK(direct.Init());
     const int sample = 200;
     const auto direct_start = std::chrono::steady_clock::now();
     for (int k = 0; k < sample; ++k) {
       auto cost = direct.DirectOptimizerCost(
           Subset(pool, static_cast<unsigned>(k) % num_subsets));
-      PARINDA_CHECK(cost.ok());
+      PARINDA_CHECK_OK(cost);
       checksum += *cost;
     }
     const double direct_seconds =
@@ -116,9 +117,9 @@ void RunSweep() {
   // The headline claim, extrapolated.
   {
     InumCostModel inum(db->catalog(), *stmt, CostParams{});
-    PARINDA_CHECK(inum.Init().ok());
+    PARINDA_CHECK_OK(inum.Init());
     auto warm = inum.EstimateCost(Subset(pool, num_subsets - 1));
-    PARINDA_CHECK(warm.ok());
+    PARINDA_CHECK_OK(warm);
     const int probes = 20000;
     const auto start = std::chrono::steady_clock::now();
     for (int k = 0; k < probes; ++k) {
@@ -132,7 +133,7 @@ void RunSweep() {
         probes;
     // Direct per-call time from a fresh sample.
     InumCostModel direct(db->catalog(), *stmt, CostParams{});
-    PARINDA_CHECK(direct.Init().ok());
+    PARINDA_CHECK_OK(direct.Init());
     const int direct_probes = 200;
     const auto direct_start = std::chrono::steady_clock::now();
     for (int k = 0; k < direct_probes; ++k) {
@@ -154,16 +155,16 @@ void RunSweep() {
   // --- Ablation: without the NL plan pair ---
   bench_util::PrintHeader("E3 ablation: what-if join component (NL pair)");
   InumCostModel with_pair(db->catalog(), *stmt, CostParams{});
-  PARINDA_CHECK(with_pair.Init().ok());
+  PARINDA_CHECK_OK(with_pair.Init());
   InumCostModel no_pair(db->catalog(), *stmt, CostParams{});
   no_pair.set_cache_nestloop_pair(false);
-  PARINDA_CHECK(no_pair.Init().ok());
+  PARINDA_CHECK_OK(no_pair.Init());
   double max_gap = 0.0;
   for (unsigned mask = 0; mask < num_subsets; ++mask) {
     auto a = with_pair.EstimateCost(Subset(pool, mask));
     auto b = no_pair.EstimateCost(Subset(pool, mask));
-    PARINDA_CHECK(a.ok());
-    PARINDA_CHECK(b.ok());
+    PARINDA_CHECK_OK(a);
+    PARINDA_CHECK_OK(b);
     max_gap = std::max(max_gap, (*b - *a) / *a);
   }
   std::printf("optimizer calls: %d (pair) vs %d (no pair); "
@@ -175,12 +176,12 @@ void RunSweep() {
 void BM_InumEstimate(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);
   auto stmt = ParseSelect(kJoinSql);
-  PARINDA_CHECK(stmt.ok());
-  PARINDA_CHECK(BindStatement(db->catalog(), &*stmt).ok());
+  PARINDA_CHECK_OK(stmt);
+  PARINDA_CHECK_OK(BindStatement(db->catalog(), &*stmt));
   WhatIfIndexSet whatif(db->catalog());
   const std::vector<const IndexInfo*> pool = MakeCandidates(*db, &whatif);
   InumCostModel inum(db->catalog(), *stmt, CostParams{});
-  PARINDA_CHECK(inum.Init().ok());
+  PARINDA_CHECK_OK(inum.Init());
   unsigned mask = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -193,12 +194,12 @@ BENCHMARK(BM_InumEstimate);
 void BM_DirectOptimizerCall(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);
   auto stmt = ParseSelect(kJoinSql);
-  PARINDA_CHECK(stmt.ok());
-  PARINDA_CHECK(BindStatement(db->catalog(), &*stmt).ok());
+  PARINDA_CHECK_OK(stmt);
+  PARINDA_CHECK_OK(BindStatement(db->catalog(), &*stmt));
   WhatIfIndexSet whatif(db->catalog());
   const std::vector<const IndexInfo*> pool = MakeCandidates(*db, &whatif);
   InumCostModel inum(db->catalog(), *stmt, CostParams{});
-  PARINDA_CHECK(inum.Init().ok());
+  PARINDA_CHECK_OK(inum.Init());
   unsigned mask = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(inum.DirectOptimizerCost(

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/check.h"
 #include "bench/bench_util.h"
 #include "optimizer/planner.h"
 #include "parinda/parinda.h"
@@ -26,7 +27,7 @@ std::vector<double> MeasuredPerQuery(const Database& db,
   std::vector<double> out;
   for (const WorkloadQuery& query : workload.queries) {
     auto result = ExecuteSql(db, query.sql);
-    PARINDA_CHECK(result.ok());
+    PARINDA_CHECK_OK(result);
     out.push_back(result->stats.MeasuredCost(params));
   }
   return out;
@@ -40,9 +41,9 @@ void Run() {
   Database base_db;
   SdssConfig config;
   config.photoobj_rows = 20000;
-  PARINDA_CHECK(BuildSdssDatabase(&base_db, config).ok());
+  PARINDA_CHECK_OK(BuildSdssDatabase(&base_db, config));
   auto workload = MakeSdssWorkload(base_db.catalog());
-  PARINDA_CHECK(workload.ok());
+  PARINDA_CHECK_OK(workload);
   const std::vector<double> base_measured =
       MeasuredPerQuery(base_db, *workload);
   double base_total = 0.0;
@@ -68,15 +69,15 @@ void Run() {
   // --- Indexes only (scenario 3) ---
   {
     Database db;
-    PARINDA_CHECK(BuildSdssDatabase(&db, config).ok());
+    PARINDA_CHECK_OK(BuildSdssDatabase(&db, config));
     auto wl = MakeSdssWorkload(db.catalog());
-    PARINDA_CHECK(wl.ok());
+    PARINDA_CHECK_OK(wl);
     Parinda tool(&db);
     IndexAdvisorOptions options;
     options.storage_budget_bytes = 16.0 * 1024 * 1024;
     auto advice = tool.SuggestIndexes(*wl, options);
-    PARINDA_CHECK(advice.ok());
-    PARINDA_CHECK(tool.MaterializeIndexes(*advice).ok());
+    PARINDA_CHECK_OK(advice);
+    PARINDA_CHECK_OK(tool.MaterializeIndexes(*advice));
     report("ILP indexes", advice->Speedup(), MeasuredPerQuery(db, *wl));
   }
 
@@ -85,21 +86,21 @@ void Run() {
   double partition_est = 1.0;
   {
     Database db;
-    PARINDA_CHECK(BuildSdssDatabase(&db, config).ok());
+    PARINDA_CHECK_OK(BuildSdssDatabase(&db, config));
     auto wl = MakeSdssWorkload(db.catalog());
-    PARINDA_CHECK(wl.ok());
+    PARINDA_CHECK_OK(wl);
     Parinda tool(&db);
     AutoPartOptions options;
     options.max_iterations = 12;
     auto advice = tool.SuggestPartitions(*wl, options);
-    PARINDA_CHECK(advice.ok());
+    PARINDA_CHECK_OK(advice);
     partition_est = advice->Speedup();
-    PARINDA_CHECK(tool.MaterializePartitions(*advice).ok());
+    PARINDA_CHECK_OK(tool.MaterializePartitions(*advice));
     // Execute the *rewritten* workload against the materialized partitions.
     CostParams params;
     for (const std::string& sql : advice->rewritten_sql) {
       auto result = ExecuteSql(db, sql);
-      PARINDA_CHECK(result.ok());
+      PARINDA_CHECK_OK(result);
       partition_measured.push_back(result->stats.MeasuredCost(params));
     }
     report("AutoPart partitions", partition_est, partition_measured);
@@ -108,28 +109,28 @@ void Run() {
   // --- Partitions + indexes ---
   {
     Database db;
-    PARINDA_CHECK(BuildSdssDatabase(&db, config).ok());
+    PARINDA_CHECK_OK(BuildSdssDatabase(&db, config));
     auto wl = MakeSdssWorkload(db.catalog());
-    PARINDA_CHECK(wl.ok());
+    PARINDA_CHECK_OK(wl);
     Parinda tool(&db);
     AutoPartOptions part_options;
     part_options.max_iterations = 12;
     auto partitions = tool.SuggestPartitions(*wl, part_options);
-    PARINDA_CHECK(partitions.ok());
-    PARINDA_CHECK(tool.MaterializePartitions(*partitions).ok());
+    PARINDA_CHECK_OK(partitions);
+    PARINDA_CHECK_OK(tool.MaterializePartitions(*partitions));
     // Index the rewritten workload on the new physical schema.
     auto rewritten = MakeWorkload(db.catalog(), partitions->rewritten_sql);
-    PARINDA_CHECK(rewritten.ok());
+    PARINDA_CHECK_OK(rewritten);
     IndexAdvisorOptions idx_options;
     idx_options.storage_budget_bytes = 16.0 * 1024 * 1024;
     auto indexes = tool.SuggestIndexes(*rewritten, idx_options);
-    PARINDA_CHECK(indexes.ok());
-    PARINDA_CHECK(tool.MaterializeIndexes(*indexes).ok());
+    PARINDA_CHECK_OK(indexes);
+    PARINDA_CHECK_OK(tool.MaterializeIndexes(*indexes));
     CostParams params;
     std::vector<double> measured;
     for (const std::string& sql : partitions->rewritten_sql) {
       auto result = ExecuteSql(db, sql);
-      PARINDA_CHECK(result.ok());
+      PARINDA_CHECK_OK(result);
       measured.push_back(result->stats.MeasuredCost(params));
     }
     report("partitions + indexes", partitions->Speedup() * indexes->Speedup(),
@@ -140,7 +141,7 @@ void Run() {
 void BM_WorkloadExecutionBaseline(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);
   auto workload = MakeSdssWorkload(db->catalog());
-  PARINDA_CHECK(workload.ok());
+  PARINDA_CHECK_OK(workload);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         bench_util::MeasuredWorkloadCost(*db, *workload));

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "executor/executor.h"
 #include "workload/sdss.h"
 
@@ -22,7 +22,7 @@ inline Database* SharedSdss(int64_t photoobj_rows = 20000) {
     SdssConfig config;
     config.photoobj_rows = photoobj_rows;
     auto dataset = BuildSdssDatabase(db, config);
-    PARINDA_CHECK(dataset.ok());
+    PARINDA_CHECK_OK(dataset);
   }
   return db;
 }
@@ -34,7 +34,7 @@ inline double MeasuredWorkloadCost(const Database& db,
   double total = 0.0;
   for (const WorkloadQuery& query : workload.queries) {
     auto result = ExecuteSql(db, query.sql);
-    PARINDA_CHECK(result.ok());
+    PARINDA_CHECK_OK(result);
     total += result->stats.MeasuredCost(params) * query.weight;
   }
   return total;

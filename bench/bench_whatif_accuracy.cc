@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "advisor/index_advisor.h"
 #include "bench/bench_util.h"
 #include "catalog/size_model.h"
@@ -72,7 +73,7 @@ void RunAccuracyTable() {
     const TableId table = db->catalog().FindTable(c.table)->id;
     auto report = tool.VerifyIndexSimulation(
         c.sql, {std::string("acc_") + c.label, table, c.columns, false});
-    PARINDA_CHECK(report.ok());
+    PARINDA_CHECK_OK(report);
     const bool same_shape =
         (report->whatif_plan.find("Index Scan") != std::string::npos) ==
         (report->materialized_plan.find("Index Scan") != std::string::npos);
@@ -97,7 +98,7 @@ void RunAccuracyTable() {
       "E2 ablation: Equation-1 sizing vs zero-size what-if indexes "
       "(2 MB budget)");
   auto workload = MakeSdssWorkload(db->catalog());
-  PARINDA_CHECK(workload.ok());
+  PARINDA_CHECK_OK(workload);
   std::printf("%-28s %8s %14s %14s\n", "variant", "#idx", "claimed size",
               "actual size");
   for (const bool zero_size : {false, true}) {
@@ -106,12 +107,12 @@ void RunAccuracyTable() {
     options.simulate_zero_size_indexes = zero_size;
     IndexAdvisor advisor(db->catalog(), *workload, options);
     auto advice = advisor.SuggestWithIlp();
-    PARINDA_CHECK(advice.ok());
+    PARINDA_CHECK_OK(advice);
     // Re-size the suggestion honestly (what building it would really cost).
     double actual_bytes = 0.0;
     for (const SuggestedIndex& s : advice->indexes) {
       auto pages = WhatIfIndexSet::EstimatePages(db->catalog(), s.def);
-      PARINDA_CHECK(pages.ok());
+      PARINDA_CHECK_OK(pages);
       actual_bytes += *pages * kPageSize;
     }
     std::printf("%-28s %8zu %11.2f MB %11.2f MB%s\n",
@@ -134,7 +135,7 @@ void BM_VerifyIndexSimulation(benchmark::State& state) {
     auto report = tool.VerifyIndexSimulation(
         "SELECT u FROM photoobj WHERE objid = 4242",
         {"bm_verify", photoobj, {0}, false});
-    PARINDA_CHECK(report.ok());
+    PARINDA_CHECK_OK(report);
     benchmark::DoNotOptimize(report->cost_error_fraction);
   }
 }

@@ -7,6 +7,7 @@
 // against materializing the partition, across table sizes.
 #include <benchmark/benchmark.h>
 
+#include "common/check.h"
 #include "bench/bench_util.h"
 #include "storage/btree_index.h"
 #include "whatif/whatif_index.h"
@@ -21,7 +22,7 @@ void BM_WhatIfIndexSimulation(benchmark::State& state) {
   for (auto _ : state) {
     WhatIfIndexSet whatif(db->catalog());
     auto id = whatif.AddIndex({"bm_whatif", photoobj, {9, 3}, false});
-    PARINDA_CHECK(id.ok());
+    PARINDA_CHECK_OK(id);
     benchmark::DoNotOptimize(whatif.Get(*id)->leaf_pages);
   }
   state.SetItemsProcessed(state.iterations());
@@ -34,7 +35,7 @@ void BM_RealIndexBuild(benchmark::State& state) {
   const HeapTable* heap = db->GetHeapTable(photoobj);
   for (auto _ : state) {
     auto index = BTreeIndex::Build(*heap, {9, 3});
-    PARINDA_CHECK(index.ok());
+    PARINDA_CHECK_OK(index);
     benchmark::DoNotOptimize(index->leaf_pages());
   }
   state.SetItemsProcessed(state.iterations());
@@ -49,7 +50,7 @@ void BM_WhatIfPartitionSimulation(benchmark::State& state) {
     WhatIfTableCatalog overlay(db->catalog());
     auto id = overlay.AddPartition(
         {"bm_frag" + std::to_string(counter++), photoobj, {1, 2, 3}});
-    PARINDA_CHECK(id.ok());
+    PARINDA_CHECK_OK(id);
     benchmark::DoNotOptimize(overlay.GetTable(*id)->pages);
   }
   state.SetItemsProcessed(state.iterations());
@@ -63,9 +64,9 @@ void BM_RealPartitionMaterialization(benchmark::State& state) {
   for (auto _ : state) {
     auto id = db->MaterializeVerticalPartition(
         photoobj, "bm_real_frag" + std::to_string(counter++), {1, 2, 3});
-    PARINDA_CHECK(id.ok());
+    PARINDA_CHECK_OK(id);
     state.PauseTiming();
-    PARINDA_CHECK(db->catalog().DropTable(*id).ok());
+    PARINDA_CHECK_OK(db->catalog().DropTable(*id));
     state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations());

@@ -24,7 +24,7 @@ struct CandidateOptions {
 /// ORDER BY and GROUP BY column, plus multicolumn candidates pairing
 /// equality/join columns with further indexable columns. Candidates are
 /// deduplicated by (table, key columns).
-Result<std::vector<WhatIfIndexDef>> GenerateCandidateIndexes(
+[[nodiscard]] Result<std::vector<WhatIfIndexDef>> GenerateCandidateIndexes(
     const CatalogReader& catalog, const Workload& workload,
     const CandidateOptions& options = {});
 

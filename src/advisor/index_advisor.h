@@ -86,31 +86,31 @@ class IndexAdvisor {
 
   /// ILP selection: one access path per table per query, storage budget,
   /// exact branch-and-bound solve.
-  Result<IndexAdvice> SuggestWithIlp();
+  [[nodiscard]] Result<IndexAdvice> SuggestWithIlp();
 
   /// Greedy baseline: repeatedly add the candidate with the best
   /// benefit-per-byte under the current configuration (interaction-aware,
   /// DTA-style — the strongest greedy).
-  Result<IndexAdvice> SuggestWithGreedy();
+  [[nodiscard]] Result<IndexAdvice> SuggestWithGreedy();
 
   /// Classic static greedy: ranks candidates once by their precomputed
   /// stand-alone benefit per byte and packs the budget, never re-evaluating
   /// interactions. This is the heuristic family the ILP technique is shown
   /// to beat ("ILP outperforms the greedy algorithms", paper §3.4): it
   /// double-counts overlapping indexes on the same table.
-  Result<IndexAdvice> SuggestWithStaticGreedy();
+  [[nodiscard]] Result<IndexAdvice> SuggestWithStaticGreedy();
 
   /// The candidate pool (after Prepare; exposed for tests/benches).
-  Result<std::vector<const IndexInfo*>> Candidates();
+  [[nodiscard]] Result<std::vector<const IndexInfo*>> Candidates();
 
  private:
-  Status Prepare();
+  [[nodiscard]] Status Prepare();
   /// Maintenance cost of building candidate j under options_.update_rows.
   double MaintenanceCost(int j) const;
   /// INUM estimate of query q's cost under `config`.
-  Result<double> QueryCost(int q, const std::vector<const IndexInfo*>& config);
+  [[nodiscard]] Result<double> QueryCost(int q, const std::vector<const IndexInfo*>& config);
   /// Fills report fields given the selected set.
-  Result<IndexAdvice> FinishAdvice(
+  [[nodiscard]] Result<IndexAdvice> FinishAdvice(
       const std::vector<const IndexInfo*>& selected,
       const std::vector<double>& model_benefit, bool proved_optimal);
 

@@ -78,11 +78,11 @@ class AutoPartAdvisor {
   AutoPartAdvisor& operator=(const AutoPartAdvisor&) = delete;
 
   /// Runs the search and returns the suggested partitions.
-  Result<PartitionAdvice> Suggest();
+  [[nodiscard]] Result<PartitionAdvice> Suggest();
 
   /// Atomic fragments of `table` under this workload (exposed for tests and
   /// the ablation bench).
-  Result<std::vector<FragmentDef>> AtomicFragments(TableId table) const;
+  [[nodiscard]] Result<std::vector<FragmentDef>> AtomicFragments(TableId table) const;
 
  private:
   /// One table's in-progress partitioning state.
@@ -94,7 +94,7 @@ class AutoPartAdvisor {
   /// Evaluates the workload cost of a candidate state (what-if tables +
   /// rewrite + plan). Returns the weighted total; per-query costs go to
   /// `per_query` when non-null.
-  Result<double> EvaluateState(const std::vector<TableState>& state,
+  [[nodiscard]] Result<double> EvaluateState(const std::vector<TableState>& state,
                                std::vector<double>* per_query,
                                std::vector<std::string>* rewritten_sql);
 

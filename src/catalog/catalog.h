@@ -100,23 +100,23 @@ class Catalog : public CatalogReader {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Registers a new table; fails with AlreadyExists on duplicate name.
-  Result<TableId> CreateTable(TableSchema schema,
+  [[nodiscard]] Result<TableId> CreateTable(TableSchema schema,
                               std::vector<ColumnId> primary_key = {});
 
   /// Registers a new index over existing columns of an existing table.
-  Result<IndexId> CreateIndex(const std::string& index_name, TableId table,
+  [[nodiscard]] Result<IndexId> CreateIndex(const std::string& index_name, TableId table,
                               std::vector<ColumnId> columns,
                               bool unique = false);
 
-  Status DropTable(TableId id);
-  Status DropIndex(IndexId id);
+  [[nodiscard]] Status DropTable(TableId id);
+  [[nodiscard]] Status DropIndex(IndexId id);
 
   /// Replaces the statistics of a table (row count, pages, column stats).
-  Status UpdateTableStats(TableId id, double row_count, double pages,
+  [[nodiscard]] Status UpdateTableStats(TableId id, double row_count, double pages,
                           std::vector<ColumnStats> stats);
 
   /// Replaces sizing data of an index after it is built.
-  Status UpdateIndexStats(IndexId id, double leaf_pages, int tree_height,
+  [[nodiscard]] Status UpdateIndexStats(IndexId id, double leaf_pages, int tree_height,
                           double entries);
 
   /// Mutable access for the ANALYZE pass and the what-if layer.

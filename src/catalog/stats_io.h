@@ -37,7 +37,7 @@ std::string DumpCatalogStats(const CatalogReader& catalog);
 /// Parses a dump into a fresh catalog. Fails with ParseError on malformed
 /// input; the returned catalog is fully usable by the binder, planner, and
 /// all advisors.
-Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text);
+[[nodiscard]] Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text);
 
 }  // namespace parinda
 

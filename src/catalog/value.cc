@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/strings.h"
 

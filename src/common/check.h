@@ -1,0 +1,66 @@
+#ifndef PARINDA_COMMON_CHECK_H_
+#define PARINDA_COMMON_CHECK_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+/// Runtime invariant macros. Violations are programming errors, not
+/// recoverable conditions: they log a FATAL message through the standard
+/// logging sink (file:line plus the failed expression) and abort. Use
+/// `Status`/`Result<T>` for expected failures; use these for "this cannot
+/// happen" conditions at module boundaries and inside algorithms.
+///
+/// - PARINDA_CHECK(cond)     active in every build type.
+/// - PARINDA_DCHECK(cond)    active only in debug builds (assert-backed);
+///                           use for hot-path invariants too expensive to
+///                           evaluate in release binaries.
+/// - PARINDA_CHECK_OK(expr)  for a `Status` or `Result<T>` expression that
+///                           must succeed; logs the status message on failure.
+
+namespace parinda {
+namespace internal_check {
+
+/// Extracts a printable error description from either a Status (has
+/// ToString) or a Result<T> (has status()). Implemented generically so this
+/// header does not depend on status.h (status.h depends on us for
+/// PARINDA_DCHECK).
+template <typename T>
+std::string DescribeError(const T& v) {
+  if constexpr (requires { v.status(); }) {
+    return v.status().ToString();
+  } else {
+    return v.ToString();
+  }
+}
+
+}  // namespace internal_check
+}  // namespace parinda
+
+/// CHECK-style invariant assertion, active in all build types.
+#define PARINDA_CHECK(cond)                                          \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      PARINDA_LOG(Fatal) << "Check failed: " #cond;                  \
+    }                                                                \
+  } while (0)
+
+/// Debug-only invariant assertion (compiles away under NDEBUG).
+#define PARINDA_DCHECK(cond) assert(cond)
+
+/// Asserts that a Status or Result<T> expression is OK; on failure logs the
+/// carried error message and aborts.
+#define PARINDA_CHECK_OK(expr)                                       \
+  do {                                                               \
+    const auto& _parinda_check_ok_val = (expr);                      \
+    if (!_parinda_check_ok_val.ok()) {                               \
+      PARINDA_LOG(Fatal)                                             \
+          << "Check failed: " #expr " is OK: "                       \
+          << ::parinda::internal_check::DescribeError(               \
+                 _parinda_check_ok_val);                             \
+    }                                                                \
+  } while (0)
+
+#endif  // PARINDA_COMMON_CHECK_H_

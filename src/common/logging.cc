@@ -1,6 +1,8 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <iostream>
 
 namespace parinda {
 
@@ -39,7 +41,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // The log sink itself is the one legitimate stderr writer in src/.
+    std::cerr << stream_.str() << std::endl;  // parinda-lint: allow(iostream-in-lib)
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

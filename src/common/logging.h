@@ -1,9 +1,6 @@
 #ifndef PARINDA_COMMON_LOGGING_H_
 #define PARINDA_COMMON_LOGGING_H_
 
-#include <cassert>
-#include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -44,15 +41,5 @@ class LogMessage {
 #define PARINDA_LOG(level)                                      \
   ::parinda::internal_logging::LogMessage(                      \
       ::parinda::LogLevel::k##level, __FILE__, __LINE__)
-
-/// CHECK-style invariant assertion, active in all build types.
-#define PARINDA_CHECK(cond)                                          \
-  do {                                                               \
-    if (!(cond)) {                                                   \
-      PARINDA_LOG(Fatal) << "Check failed: " #cond;                  \
-    }                                                                \
-  } while (0)
-
-#define PARINDA_DCHECK(cond) assert(cond)
 
 #endif  // PARINDA_COMMON_LOGGING_H_

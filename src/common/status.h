@@ -1,10 +1,11 @@
 #ifndef PARINDA_COMMON_STATUS_H_
 #define PARINDA_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace parinda {
 
@@ -33,7 +34,11 @@ const char* StatusCodeName(StatusCode code);
 /// A `Status` is either OK or carries a code plus message. Functions that can
 /// fail return `Status` (or `Result<T>` when they also produce a value) and
 /// callers propagate with `PARINDA_RETURN_IF_ERROR` / `PARINDA_ASSIGN_OR_RETURN`.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes ignoring a returned Status a compiler
+/// warning (an error under PARINDA_WERROR); discard explicitly with
+/// `(void)expr` only when failure is genuinely irrelevant.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -89,13 +94,14 @@ class Status {
 /// Either a value of type `T` or an error `Status`. Analogous to
 /// absl::StatusOr / arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value keeps `return value;` ergonomic.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit construction from an error status. Must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    PARINDA_DCHECK(!status_.ok() &&
+                   "Result constructed from OK status without value");
   }
 
   Result(const Result&) = default;
@@ -108,15 +114,15 @@ class Result {
 
   /// Precondition: ok().
   const T& value() const& {
-    assert(ok());
+    PARINDA_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    PARINDA_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    PARINDA_DCHECK(ok());
     return std::move(*value_);
   }
 

@@ -32,11 +32,11 @@ struct ExecResult {
 /// accordingly; aggregation, final sort, and LIMIT are applied semantically
 /// from the statement (they do not affect page I/O). The statement must be
 /// the one the plan was built from.
-Result<ExecResult> ExecutePlan(const Database& db, const SelectStatement& stmt,
+[[nodiscard]] Result<ExecResult> ExecutePlan(const Database& db, const SelectStatement& stmt,
                                const Plan& plan);
 
 /// Convenience: bind (against db.catalog()), plan with `options`, execute.
-Result<ExecResult> ExecuteSql(const Database& db, const std::string& sql);
+[[nodiscard]] Result<ExecResult> ExecuteSql(const Database& db, const std::string& sql);
 
 /// EXPLAIN ANALYZE rendering: the plan tree with estimated vs actual row
 /// counts per relational node (actuals from `result.node_output_rows`).

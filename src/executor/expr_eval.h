@@ -15,16 +15,16 @@ using CompositeRow = std::vector<Row>;
 
 /// Evaluates a scalar (non-aggregate) expression against a composite row.
 /// Column references index composite[bound_range][bound_column].
-Result<Value> EvalScalar(const Expr& expr, const CompositeRow& row);
+[[nodiscard]] Result<Value> EvalScalar(const Expr& expr, const CompositeRow& row);
 
 /// Evaluates a predicate; NULL results are treated as false (SQL ternary
 /// logic collapsed at the filter boundary, as in the executor proper).
-Result<bool> EvalPredicate(const Expr& expr, const CompositeRow& row);
+[[nodiscard]] Result<bool> EvalPredicate(const Expr& expr, const CompositeRow& row);
 
 /// Evaluates an expression that may contain aggregate function calls over a
 /// group of composite rows (count/sum/avg/min/max); scalar parts are taken
 /// from the first row of the group.
-Result<Value> EvalAggregate(const Expr& expr,
+[[nodiscard]] Result<Value> EvalAggregate(const Expr& expr,
                             const std::vector<const CompositeRow*>& group);
 
 /// True when the expression contains an aggregate function call.

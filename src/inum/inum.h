@@ -39,21 +39,21 @@ class InumCostModel {
   InumCostModel& operator=(const InumCostModel&) = delete;
 
   /// Analyzes the query; must be called before EstimateCost.
-  Status Init();
+  [[nodiscard]] Status Init();
 
   /// Estimated cost of the query when exactly the indexes in `config` exist
   /// (hypothetical or real; each entry must carry table_id/columns/sizes).
   /// First use of a new interesting-order key invokes the optimizer; later
   /// estimates are cache hits.
-  Result<double> EstimateCost(const std::vector<const IndexInfo*>& config);
+  [[nodiscard]] Result<double> EstimateCost(const std::vector<const IndexInfo*>& config);
 
   /// Reference path: one full optimizer call with `config` injected via the
   /// what-if hook. Used to validate INUM accuracy and to measure its speedup.
-  Result<double> DirectOptimizerCost(
+  [[nodiscard]] Result<double> DirectOptimizerCost(
       const std::vector<const IndexInfo*>& config);
 
   /// Cost with no indexes at all (the "original design" baseline).
-  Result<double> BaseCost() { return EstimateCost({}); }
+  [[nodiscard]] Result<double> BaseCost() { return EstimateCost({}); }
 
   int optimizer_calls() const { return optimizer_calls_; }
   int cache_entries() const { return static_cast<int>(cache_.size()); }
@@ -96,8 +96,8 @@ class InumCostModel {
     }
   };
 
-  Result<const CacheEntry*> GetEntry(const CacheKey& key);
-  Result<CacheEntry> BuildEntry(const CacheKey& key);
+  [[nodiscard]] Result<const CacheEntry*> GetEntry(const CacheKey& key);
+  [[nodiscard]] Result<CacheEntry> BuildEntry(const CacheKey& key);
 
   /// Access cost of serving `slot` for range `r` with the given config
   /// indexes on that range's table; nullopt when the config cannot supply

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <map>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/index_match.h"
 #include "optimizer/query_analysis.h"

@@ -23,7 +23,7 @@ struct PlannerOptions {
 /// Plans a *bound* SELECT statement (see BindStatement) into a physical plan
 /// with PostgreSQL-style costs. The statement must outlive the returned
 /// plan (plan nodes alias its expressions).
-Result<Plan> PlanQuery(const CatalogReader& catalog,
+[[nodiscard]] Result<Plan> PlanQuery(const CatalogReader& catalog,
                        const SelectStatement& stmt,
                        const PlannerOptions& options = {});
 

@@ -49,7 +49,7 @@ struct AnalyzedQuery {
 
 /// Decomposes a bound statement. Fails with BindError when the statement was
 /// not bound against (a superset of) `catalog`.
-Result<AnalyzedQuery> AnalyzeQuery(const CatalogReader& catalog,
+[[nodiscard]] Result<AnalyzedQuery> AnalyzeQuery(const CatalogReader& catalog,
                                    const SelectStatement& stmt);
 
 }  // namespace parinda

@@ -6,6 +6,7 @@
 
 #include "advisor/index_advisor.h"
 #include "autopart/autopart.h"
+#include "common/check.h"
 #include "common/status.h"
 #include "storage/database.h"
 #include "whatif/whatif_horizontal.h"
@@ -61,7 +62,7 @@ struct SimulationAccuracyReport {
 class Parinda {
  public:
   /// `db` must outlive this object. Non-owning.
-  explicit Parinda(Database* db) : db_(db) {}
+  explicit Parinda(Database* db) : db_(db) { PARINDA_CHECK(db != nullptr); }
 
   Parinda(const Parinda&) = delete;
   Parinda& operator=(const Parinda&) = delete;
@@ -72,34 +73,34 @@ class Parinda {
 
   /// Simulates `design` and reports the workload benefit. Pure what-if: no
   /// data is touched, which is why this is interactive-speed.
-  Result<InteractiveReport> EvaluateDesign(const Workload& workload,
+  [[nodiscard]] Result<InteractiveReport> EvaluateDesign(const Workload& workload,
                                            const InteractiveDesign& design,
                                            const CostParams& params = {});
 
   /// Builds the real index for `def`, plans `sql` both ways, and reports
   /// simulation accuracy. The real index is dropped afterwards.
-  Result<SimulationAccuracyReport> VerifyIndexSimulation(
+  [[nodiscard]] Result<SimulationAccuracyReport> VerifyIndexSimulation(
       const std::string& sql, const WhatIfIndexDef& def,
       const CostParams& params = {});
 
   // --- Scenario 2: automatic partition suggestion ---
 
-  Result<PartitionAdvice> SuggestPartitions(const Workload& workload,
+  [[nodiscard]] Result<PartitionAdvice> SuggestPartitions(const Workload& workload,
                                             AutoPartOptions options = {});
 
   /// "The user has the option to physically create on disk the suggested
   /// partitions." Returns the new table ids.
-  Result<std::vector<TableId>> MaterializePartitions(
+  [[nodiscard]] Result<std::vector<TableId>> MaterializePartitions(
       const PartitionAdvice& advice);
 
   // --- Scenario 3: automatic index suggestion ---
 
-  Result<IndexAdvice> SuggestIndexes(const Workload& workload,
+  [[nodiscard]] Result<IndexAdvice> SuggestIndexes(const Workload& workload,
                                      IndexAdvisorOptions options = {});
 
   /// "The user has the option to physically create the suggested set of
   /// indexes on disk." Returns the new index ids.
-  Result<std::vector<IndexId>> MaterializeIndexes(const IndexAdvice& advice);
+  [[nodiscard]] Result<std::vector<IndexId>> MaterializeIndexes(const IndexAdvice& advice);
 
  private:
   Database* db_;

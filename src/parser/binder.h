@@ -14,11 +14,11 @@ namespace parinda {
 ///
 /// Unqualified column names are searched across all FROM entries; ambiguous
 /// or unknown names fail with BindError.
-Status BindStatement(const CatalogReader& catalog, SelectStatement* stmt);
+[[nodiscard]] Status BindStatement(const CatalogReader& catalog, SelectStatement* stmt);
 
 /// Result type of an expression after binding; used for sanity checks and by
 /// the executor.
-Result<ValueType> InferExprType(const CatalogReader& catalog,
+[[nodiscard]] Result<ValueType> InferExprType(const CatalogReader& catalog,
                                 const SelectStatement& stmt, const Expr& expr);
 
 }  // namespace parinda

@@ -29,7 +29,7 @@ struct Token {
 
 /// Tokenizes SQL text. Keywords are recognized case-insensitively and
 /// returned upper-cased; identifiers keep their spelling.
-Result<std::vector<Token>> Tokenize(std::string_view sql);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view sql);
 
 /// True when `word` (upper-case) is a reserved keyword of our dialect.
 bool IsKeyword(const std::string& upper_word);

@@ -11,11 +11,11 @@
 namespace parinda {
 
 /// Parses one SELECT statement of our SQL dialect.
-Result<SelectStatement> ParseSelect(std::string_view sql);
+[[nodiscard]] Result<SelectStatement> ParseSelect(std::string_view sql);
 
 /// Parses a workload file: one or more SELECT statements separated by
 /// semicolons; `--` comments and blank lines are ignored.
-Result<std::vector<SelectStatement>> ParseWorkload(std::string_view text);
+[[nodiscard]] Result<std::vector<SelectStatement>> ParseWorkload(std::string_view text);
 
 namespace internal_parser {
 
@@ -24,7 +24,7 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<SelectStatement> ParseSelectStatement();
+  [[nodiscard]] Result<SelectStatement> ParseSelectStatement();
 
   /// True when all that remains is kEnd (after optional ';').
   bool AtEnd();
@@ -34,17 +34,17 @@ class Parser {
   const Token& Advance() { return tokens_[pos_++]; }
   bool Check(TokenType type, std::string_view text) const;
   bool Match(TokenType type, std::string_view text);
-  Status Expect(TokenType type, std::string_view text);
+  [[nodiscard]] Status Expect(TokenType type, std::string_view text);
 
-  Result<std::unique_ptr<Expr>> ParseOr();
-  Result<std::unique_ptr<Expr>> ParseAnd();
-  Result<std::unique_ptr<Expr>> ParseNot();
-  Result<std::unique_ptr<Expr>> ParsePredicate();
-  Result<std::unique_ptr<Expr>> ParseAdditive();
-  Result<std::unique_ptr<Expr>> ParseMultiplicative();
-  Result<std::unique_ptr<Expr>> ParsePrimary();
+  [[nodiscard]] Result<std::unique_ptr<Expr>> ParseOr();
+  [[nodiscard]] Result<std::unique_ptr<Expr>> ParseAnd();
+  [[nodiscard]] Result<std::unique_ptr<Expr>> ParseNot();
+  [[nodiscard]] Result<std::unique_ptr<Expr>> ParsePredicate();
+  [[nodiscard]] Result<std::unique_ptr<Expr>> ParseAdditive();
+  [[nodiscard]] Result<std::unique_ptr<Expr>> ParseMultiplicative();
+  [[nodiscard]] Result<std::unique_ptr<Expr>> ParsePrimary();
 
-  Status ParseFromClause(SelectStatement* stmt);
+  [[nodiscard]] Status ParseFromClause(SelectStatement* stmt);
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;

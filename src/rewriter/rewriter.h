@@ -31,7 +31,7 @@ struct RewriteResult {
 /// holds them; the result is re-bound against `catalog`, which must resolve
 /// the fragment tables (a WhatIfTableCatalog overlay or the real catalog
 /// after materialization).
-Result<RewriteResult> RewriteForPartitions(
+[[nodiscard]] Result<RewriteResult> RewriteForPartitions(
     const CatalogReader& catalog, const SelectStatement& bound_stmt,
     const std::vector<const TableInfo*>& fragments);
 

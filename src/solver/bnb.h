@@ -35,7 +35,7 @@ struct MipSolution {
 
 /// Depth-first branch and bound with LP-relaxation bounds and
 /// most-fractional branching. Exact on the advisor's instance sizes.
-Result<MipSolution> SolveBinaryMip(const BinaryMip& mip,
+[[nodiscard]] Result<MipSolution> SolveBinaryMip(const BinaryMip& mip,
                                    const MipOptions& options = {});
 
 }  // namespace parinda

@@ -52,7 +52,7 @@ struct LpSolution {
 /// Primal simplex over the standard-form tableau (slack basis start; Bland's
 /// rule after a degeneracy streak to guarantee termination). Suitable for
 /// the dense small/medium LPs the advisor produces.
-Result<LpSolution> SolveLp(const LinearProgram& lp, int max_iterations = 20000);
+[[nodiscard]] Result<LpSolution> SolveLp(const LinearProgram& lp, int max_iterations = 20000);
 
 }  // namespace parinda
 

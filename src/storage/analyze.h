@@ -25,7 +25,7 @@ struct AnalyzeOptions {
 /// Computes statistics for every column of `table` — over the whole table
 /// by default, or over a deterministic seeded sample when
 /// `options.sample_rows` is set. Returns one ColumnStats per schema column.
-Result<std::vector<ColumnStats>> AnalyzeTable(
+[[nodiscard]] Result<std::vector<ColumnStats>> AnalyzeTable(
     const HeapTable& table, const AnalyzeOptions& options = {});
 
 /// Statistics for a single column, exposed for targeted re-analysis and

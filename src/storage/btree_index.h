@@ -18,7 +18,7 @@ class BTreeIndex {
   /// Builds the index over `table` on `key_columns` (table ordinals).
   /// O(n log n); the build cost is what benchmark E1 contrasts with what-if
   /// simulation.
-  static Result<BTreeIndex> Build(const HeapTable& table,
+  [[nodiscard]] static Result<BTreeIndex> Build(const HeapTable& table,
                                   std::vector<ColumnId> key_columns);
 
   BTreeIndex(const BTreeIndex&) = delete;

@@ -31,43 +31,43 @@ class Database {
 
   /// Creates an empty table with the given schema and optional primary key
   /// (by column ordinal).
-  Result<TableId> CreateTable(TableSchema schema,
+  [[nodiscard]] Result<TableId> CreateTable(TableSchema schema,
                               std::vector<ColumnId> primary_key = {});
 
   /// Appends a row to a table. Invalidates statistics until the next Analyze.
-  Status Insert(TableId table, Row row);
+  [[nodiscard]] Status Insert(TableId table, Row row);
 
   /// Bulk-append; reserves storage up front.
-  Status InsertMany(TableId table, std::vector<Row> rows);
+  [[nodiscard]] Status InsertMany(TableId table, std::vector<Row> rows);
 
   /// Runs the statistics pass and stores results into the catalog.
-  Status Analyze(TableId table, const AnalyzeOptions& options = {});
+  [[nodiscard]] Status Analyze(TableId table, const AnalyzeOptions& options = {});
 
   /// Creates *and builds* a real index; updates the catalog with measured
   /// sizes. The expensive operation the what-if layer avoids.
-  Result<IndexId> BuildIndex(const std::string& name, TableId table,
+  [[nodiscard]] Result<IndexId> BuildIndex(const std::string& name, TableId table,
                              std::vector<ColumnId> columns,
                              bool unique = false);
 
-  Status DropIndex(IndexId id);
+  [[nodiscard]] Status DropIndex(IndexId id);
 
   /// Drops a table, its heap storage, and every index built on it. Clears
   /// horizontal-partition metadata pointing at it from a parent.
-  Status DropTable(TableId id);
+  [[nodiscard]] Status DropTable(TableId id);
 
   /// Materializes a horizontal range partitioning of `parent` on `column`
   /// with ascending split points `bounds`: creates bounds.size()+1 child
   /// tables named `<parent>_hp<k>` holding the rows of each range, analyzes
   /// them, and records the partitioning metadata on the parent so the
   /// planner scans it as a pruned Append. Returns the child ids.
-  Result<std::vector<TableId>> MaterializeRangePartitions(
+  [[nodiscard]] Result<std::vector<TableId>> MaterializeRangePartitions(
       TableId parent, ColumnId column, const std::vector<Value>& bounds);
 
   /// Materializes a vertical partition of `parent`: a new table named `name`
   /// holding the parent's primary key plus `columns`, with data copied and
   /// analyzed. Returns the new table id. What-if tables simulate exactly
   /// this.
-  Result<TableId> MaterializeVerticalPartition(TableId parent,
+  [[nodiscard]] Result<TableId> MaterializeVerticalPartition(TableId parent,
                                                const std::string& name,
                                                std::vector<ColumnId> columns);
 

@@ -26,7 +26,7 @@ class HeapTable {
   const TableSchema& schema() const { return schema_; }
 
   /// Appends a row; fails on arity mismatch. Returns the new RowId.
-  Result<RowId> Append(Row row);
+  [[nodiscard]] Result<RowId> Append(Row row);
 
   int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
   const Row& row(RowId id) const { return rows_[static_cast<size_t>(id)]; }

@@ -1,6 +1,6 @@
 #include "storage/row.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace parinda {
 

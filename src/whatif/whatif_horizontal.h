@@ -43,7 +43,7 @@ TableInfo SliceTableForRange(const TableInfo& parent, ColumnId column,
 /// Equal-mass split points for partitioning `table` on `column` into
 /// `partitions` ranges, taken from the column's equi-depth histogram — a
 /// simple range-partition advisor.
-Result<std::vector<Value>> SuggestEqualMassBounds(const CatalogReader& catalog,
+[[nodiscard]] Result<std::vector<Value>> SuggestEqualMassBounds(const CatalogReader& catalog,
                                                   TableId table,
                                                   ColumnId column,
                                                   int partitions);

@@ -44,9 +44,9 @@ class WhatIfIndexSet {
   /// Simulates an index: computes Equation 1 leaf pages and tree height from
   /// the base table's statistics. O(columns) — the operation that replaces
   /// an O(n log n) physical build.
-  Result<IndexId> AddIndex(const WhatIfIndexDef& def);
+  [[nodiscard]] Result<IndexId> AddIndex(const WhatIfIndexDef& def);
 
-  Status RemoveIndex(IndexId id);
+  [[nodiscard]] Status RemoveIndex(IndexId id);
   void Clear() { indexes_.clear(); }
 
   const IndexInfo* Get(IndexId id) const;
@@ -70,7 +70,7 @@ class WhatIfIndexSet {
   RelationInfoHook MakeExclusiveHook() const;
 
   /// Sizes an index definition without registering it (Equation 1).
-  static Result<double> EstimatePages(const CatalogReader& catalog,
+  [[nodiscard]] static Result<double> EstimatePages(const CatalogReader& catalog,
                                       const WhatIfIndexDef& def);
 
  private:

@@ -48,17 +48,17 @@ class WhatIfTableCatalog : public CatalogReader {
   /// touched. Page count uses the same heap-size model ANALYZE uses, so a
   /// later materialization (scenario 2's "create on disk" button) reproduces
   /// the simulated sizes.
-  Result<TableId> AddPartition(const WhatIfPartitionDef& def);
+  [[nodiscard]] Result<TableId> AddPartition(const WhatIfPartitionDef& def);
 
   /// Simulates a horizontal range partitioning: creates one hypothetical
   /// child per range (statistics sliced from the parent) and shadows the
   /// parent's catalog entry with the partition metadata, so the planner
   /// prunes and Appends exactly as it would after materialization. Returns
   /// the hypothetical child ids in range order.
-  Result<std::vector<TableId>> AddRangePartitioning(
+  [[nodiscard]] Result<std::vector<TableId>> AddRangePartitioning(
       const RangePartitionDef& def);
 
-  Status RemovePartition(TableId id);
+  [[nodiscard]] Status RemovePartition(TableId id);
   void Clear() {
     tables_.clear();
     shadows_.clear();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/random.h"
 
 namespace parinda {
@@ -101,6 +102,7 @@ double Magnitude(Random* rng) {
 }  // namespace
 
 Result<SdssDataset> BuildSdssDatabase(Database* db, const SdssConfig& config) {
+  PARINDA_CHECK(db != nullptr);
   SdssDataset out;
   Random rng(config.seed);
   const int64_t n_photo = std::max<int64_t>(100, config.photoobj_rows);
@@ -263,8 +265,7 @@ Result<SdssDataset> BuildSdssDatabase(Database* db, const SdssConfig& config) {
 }
 
 const std::vector<std::string>& SdssPrototypicalQueries() {
-  static const std::vector<std::string>& queries =
-      *new std::vector<std::string>{
+  static const std::vector<std::string> queries = {
           // Q1: coordinate box selection.
           "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 180 AND 195 "
           "AND dec BETWEEN 0 AND 12",

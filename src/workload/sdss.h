@@ -37,14 +37,14 @@ struct SdssDataset {
 
 /// Creates the five tables in `db`, generates deterministic data from
 /// `config.seed`, and ANALYZEs everything.
-Result<SdssDataset> BuildSdssDatabase(Database* db, const SdssConfig& config);
+[[nodiscard]] Result<SdssDataset> BuildSdssDatabase(Database* db, const SdssConfig& config);
 
 /// The 30 prototypical astronomy queries of the demo workload (paper §4:
 /// "for the query workload we use a set of 30 prototypical queries").
 const std::vector<std::string>& SdssPrototypicalQueries();
 
 /// Parses and binds the 30-query workload against `catalog`.
-Result<Workload> MakeSdssWorkload(const CatalogReader& catalog);
+[[nodiscard]] Result<Workload> MakeSdssWorkload(const CatalogReader& catalog);
 
 }  // namespace parinda
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/random.h"
 
 namespace parinda {
@@ -61,6 +62,7 @@ TableSchema PartSchema() {
 
 Result<TpchMiniDataset> BuildTpchMiniDatabase(Database* db,
                                               const TpchMiniConfig& config) {
+  PARINDA_CHECK(db != nullptr);
   TpchMiniDataset out;
   Random rng(config.seed);
   const int64_t n_lineitem = std::max<int64_t>(100, config.lineitem_rows);
@@ -161,8 +163,7 @@ Result<TpchMiniDataset> BuildTpchMiniDatabase(Database* db,
 }
 
 const std::vector<std::string>& TpchMiniQueries() {
-  static const std::vector<std::string>& queries =
-      *new std::vector<std::string>{
+  static const std::vector<std::string> queries = {
           // Q1-style pricing summary.
           "SELECT l_returnflag, count(*), sum(l_extendedprice), "
           "avg(l_discount) FROM lineitem WHERE l_shipdate <= 10800 "

@@ -30,7 +30,7 @@ struct TpchMiniDataset {
 };
 
 /// Creates and loads the four tables, then ANALYZEs them.
-Result<TpchMiniDataset> BuildTpchMiniDatabase(Database* db,
+[[nodiscard]] Result<TpchMiniDataset> BuildTpchMiniDatabase(Database* db,
                                               const TpchMiniConfig& config);
 
 /// Twelve decision-support queries over the schema (TPC-H Q1/Q3/Q6-style
@@ -38,7 +38,7 @@ Result<TpchMiniDataset> BuildTpchMiniDatabase(Database* db,
 const std::vector<std::string>& TpchMiniQueries();
 
 /// Parses and binds the 12-query workload against `catalog`.
-Result<Workload> MakeTpchMiniWorkload(const CatalogReader& catalog);
+[[nodiscard]] Result<Workload> MakeTpchMiniWorkload(const CatalogReader& catalog);
 
 }  // namespace parinda
 

@@ -32,12 +32,12 @@ struct Workload {
 };
 
 /// Parses and binds each SQL string against `catalog`.
-Result<Workload> MakeWorkload(const CatalogReader& catalog,
+[[nodiscard]] Result<Workload> MakeWorkload(const CatalogReader& catalog,
                               const std::vector<std::string>& sqls);
 
 /// Parses a semicolon-separated workload file (the GUI's "workload file"
 /// input format; `--` comments allowed).
-Result<Workload> LoadWorkloadText(const CatalogReader& catalog,
+[[nodiscard]] Result<Workload> LoadWorkloadText(const CatalogReader& catalog,
                                   std::string_view text);
 
 }  // namespace parinda

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "advisor/candidates.h"
 #include "catalog/size_model.h"
 #include "advisor/index_advisor.h"
@@ -131,7 +132,7 @@ class IndexAdvisorTest : public ::testing::Test {
             "SELECT count(*) FROM customers WHERE score > 99",
             "SELECT region, count(*) FROM orders GROUP BY region",
         });
-    PARINDA_CHECK(workload.ok());
+    PARINDA_CHECK_OK(workload);
     workload_ = std::move(*workload);
   }
 

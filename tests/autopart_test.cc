@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/check.h"
 #include "autopart/autopart.h"
 #include "tests/test_util.h"
 #include "workload/sdss.h"
@@ -17,7 +18,7 @@ class AutoPartTest : public ::testing::Test {
     SdssConfig config;
     config.photoobj_rows = 3000;
     auto dataset = BuildSdssDatabase(db_, config);
-    PARINDA_CHECK(dataset.ok());
+    PARINDA_CHECK_OK(dataset);
     photoobj_ = dataset->photoobj;
   }
   static void TearDownTestSuite() {

@@ -1,0 +1,56 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace parinda {
+namespace {
+
+Status FailingStatus() { return Status::Internal("disk on fire"); }
+
+Result<int> FailingResult() { return Status::NotFound("no such row"); }
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  PARINDA_CHECK(1 + 1 == 2);
+  PARINDA_CHECK_OK(Status::OK());
+  Result<int> r(42);
+  PARINDA_CHECK_OK(r);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpression) {
+  EXPECT_DEATH(PARINDA_CHECK(2 + 2 == 5), "Check failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, CheckOkOnErrorStatusLogsMessage) {
+  EXPECT_DEATH(PARINDA_CHECK_OK(FailingStatus()),
+               "Check failed:.*Internal: disk on fire");
+}
+
+TEST(CheckDeathTest, CheckOkOnErrorResultLogsCarriedStatus) {
+  EXPECT_DEATH(PARINDA_CHECK_OK(FailingResult()),
+               "Check failed:.*NotFound: no such row");
+}
+
+TEST(CheckDeathTest, DcheckActiveOnlyInDebugBuilds) {
+#ifdef NDEBUG
+  PARINDA_DCHECK(false);  // compiled away in release builds
+  SUCCEED();
+#else
+  EXPECT_DEATH(PARINDA_DCHECK(false), "");
+#endif
+}
+
+TEST(CheckTest, CheckOkEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  auto counted = [&calls]() {
+    calls++;
+    return Status::OK();
+  };
+  PARINDA_CHECK_OK(counted());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "advisor/index_advisor.h"
 #include "executor/executor.h"
 #include "optimizer/planner.h"
@@ -19,7 +20,7 @@ class ExecutorTest : public ::testing::Test {
 
   ExecResult MustExec(const std::string& sql) {
     auto result = ExecuteSql(db_, sql);
-    PARINDA_CHECK(result.ok());
+    PARINDA_CHECK_OK(result);
     return std::move(*result);
   }
 
@@ -70,16 +71,16 @@ TEST_F(ExecutorTest, JoinMethodsAgree) {
   // Parse/bind once per run; execute under different method flags.
   auto run = [&](bool hash, bool merge, bool nl) {
     auto stmt = ParseSelect(sql);
-    PARINDA_CHECK(stmt.ok());
-    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    PARINDA_CHECK_OK(stmt);
+    PARINDA_CHECK_OK(BindStatement(db_.catalog(), &*stmt));
     PlannerOptions options;
     options.params.enable_hashjoin = hash;
     options.params.enable_mergejoin = merge;
     options.params.enable_nestloop = nl;
     auto plan = PlanQuery(db_.catalog(), *stmt, options);
-    PARINDA_CHECK(plan.ok());
+    PARINDA_CHECK_OK(plan);
     auto result = ExecutePlan(db_, *stmt, *plan);
-    PARINDA_CHECK(result.ok());
+    PARINDA_CHECK_OK(result);
     return result->rows[0][0].AsInt64();
   };
   const int64_t hash_count = run(true, false, false);

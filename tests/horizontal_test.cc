@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "executor/executor.h"
 #include "optimizer/planner.h"
 #include "optimizer/selectivity.h"
@@ -19,8 +20,8 @@ class HorizontalTest : public ::testing::Test {
   }
   SelectStatement Bind(const CatalogReader& catalog, const std::string& sql) {
     auto stmt = ParseSelect(sql);
-    PARINDA_CHECK(stmt.ok());
-    PARINDA_CHECK(BindStatement(catalog, &*stmt).ok());
+    PARINDA_CHECK_OK(stmt);
+    PARINDA_CHECK_OK(BindStatement(catalog, &*stmt));
     return std::move(*stmt);
   }
   Database db_;

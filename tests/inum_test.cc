@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "inum/inum.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
@@ -23,14 +24,14 @@ class InumTest : public ::testing::Test {
 
   const IndexInfo* Add(const WhatIfIndexDef& def) {
     auto id = whatif_->AddIndex(def);
-    PARINDA_CHECK(id.ok());
+    PARINDA_CHECK_OK(id);
     return whatif_->Get(*id);
   }
 
   SelectStatement Bind(const std::string& sql) {
     auto stmt = ParseSelect(sql);
-    PARINDA_CHECK(stmt.ok());
-    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    PARINDA_CHECK_OK(stmt);
+    PARINDA_CHECK_OK(BindStatement(db_.catalog(), &*stmt));
     return std::move(*stmt);
   }
 

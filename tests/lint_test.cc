@@ -1,0 +1,226 @@
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace parinda {
+namespace lint {
+namespace {
+
+std::vector<Diagnostic> RunOn(const std::string& path,
+                              const std::string& content) {
+  Linter linter;
+  linter.AddSource(path, content);
+  return linter.Run();
+}
+
+int CountCheck(const std::vector<Diagnostic>& diags, const std::string& check) {
+  return static_cast<int>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.check == check; }));
+}
+
+TEST(LintUncheckedStatus, FlagsDiscardedCallToDeclaredFallible) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "Status DoThing();\n"
+                     "void caller() {\n"
+                     "  DoThing();\n"
+                     "}\n");
+  ASSERT_EQ(CountCheck(diags, "unchecked-status"), 1);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("DoThing"), std::string::npos);
+}
+
+TEST(LintUncheckedStatus, FlagsDiscardedResultAndMemberCalls) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "Result<int> Compute(int x);\n"
+                     "Status Widget::Refresh();\n"
+                     "void caller(Widget* w) {\n"
+                     "  Compute(4);\n"
+                     "  w->Refresh();\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-status"), 2);
+}
+
+TEST(LintUncheckedStatus, RegistryIsSharedAcrossSources) {
+  Linter linter;
+  linter.AddSource("src/a/api.h",
+                   "#ifndef G_\n#define G_\nStatus Flush();\n#endif\n");
+  linter.AddSource("src/b/user.cc", "void f() { Flush(); }\n");
+  auto diags = linter.Run();
+  ASSERT_EQ(CountCheck(diags, "unchecked-status"), 1);
+  EXPECT_EQ(diags[0].file, "src/b/user.cc");
+}
+
+TEST(LintUncheckedStatus, AllowsUsedAndExplicitlyDiscardedResults) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "Status DoThing();\n"
+                     "Status propagate() { return DoThing(); }\n"
+                     "void used() {\n"
+                     "  Status st = DoThing();\n"
+                     "  (void)DoThing();\n"
+                     "  if (!DoThing().ok()) { }\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-status"), 0);
+}
+
+TEST(LintUncheckedStatus, SuppressionOnSameOrPreviousLine) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "Status DoThing();\n"
+                     "void caller() {\n"
+                     "  DoThing();  // parinda-lint: allow(unchecked-status)\n"
+                     "  // parinda-lint: allow(unchecked-status)\n"
+                     "  DoThing();\n"
+                     "  DoThing();\n"
+                     "}\n");
+  ASSERT_EQ(CountCheck(diags, "unchecked-status"), 1);
+  EXPECT_EQ(diags[0].line, 6);
+}
+
+TEST(LintRawNewDelete, FlagsOutsideStorageOnly) {
+  const std::string code =
+      "void f() {\n"
+      "  int* p = new int(3);\n"
+      "  delete p;\n"
+      "}\n";
+  EXPECT_EQ(CountCheck(RunOn("src/foo/bar.cc", code), "raw-new-delete"), 2);
+  EXPECT_EQ(CountCheck(RunOn("src/storage/heap.cc", code), "raw-new-delete"),
+            0);
+  // Non-library code (tests, tools) is out of scope for this check.
+  EXPECT_EQ(CountCheck(RunOn("tests/foo_test.cc", code), "raw-new-delete"), 0);
+}
+
+TEST(LintRawNewDelete, DeletedMembersAndOperatorDeclsExempt) {
+  auto diags = RunOn("src/foo/bar.h",
+                     "#ifndef G_\n#define G_\n"
+                     "class Widget {\n"
+                     " public:\n"
+                     "  Widget(const Widget&) = delete;\n"
+                     "  Widget& operator=(const Widget&) = delete;\n"
+                     "};\n"
+                     "#endif  // G_\n");
+  EXPECT_EQ(CountCheck(diags, "raw-new-delete"), 0);
+}
+
+TEST(LintAssertInLib, FlagsAssertButNotStaticAssert) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "void f(int x) {\n"
+                     "  assert(x > 0);\n"
+                     "  static_assert(sizeof(int) == 4);\n"
+                     "}\n");
+  ASSERT_EQ(CountCheck(diags, "assert-in-lib"), 1);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintAssertInLib, MacroDefinitionsAreInvisible) {
+  // Preprocessor lines are not part of the token stream, so the DCHECK
+  // macro's own definition does not trip the check.
+  auto diags = RunOn("src/common/check2.h",
+                     "#ifndef G_\n#define G_\n"
+                     "#define MY_DCHECK(cond) assert(cond)\n"
+                     "#endif  // G_\n");
+  EXPECT_EQ(CountCheck(diags, "assert-in-lib"), 0);
+}
+
+TEST(LintIostreamInLib, FlagsCoutAndCerrInSrcOnly) {
+  const std::string code = "void f() { std::cout << 1; std::cerr << 2; }\n";
+  EXPECT_EQ(CountCheck(RunOn("src/foo/bar.cc", code), "iostream-in-lib"), 2);
+  EXPECT_EQ(CountCheck(RunOn("examples/demo.cpp", code), "iostream-in-lib"),
+            0);
+}
+
+TEST(LintIostreamInLib, SuppressionWorks) {
+  auto diags = RunOn(
+      "src/foo/bar.cc",
+      "void f() { std::cerr << 1; }  // parinda-lint: allow(iostream-in-lib)\n");
+  EXPECT_EQ(CountCheck(diags, "iostream-in-lib"), 0);
+}
+
+TEST(LintHeaderGuard, AcceptsIfndefPairAndPragmaOnce) {
+  EXPECT_EQ(CountCheck(RunOn("src/a.h",
+                             "#ifndef SRC_A_H_\n#define SRC_A_H_\n"
+                             "int f();\n#endif\n"),
+                       "header-guard"),
+            0);
+  EXPECT_EQ(
+      CountCheck(RunOn("src/b.h", "#pragma once\nint f();\n"), "header-guard"),
+      0);
+}
+
+TEST(LintHeaderGuard, FlagsMissingOrMisplacedGuard) {
+  EXPECT_EQ(CountCheck(RunOn("src/a.h", "int f();\n"), "header-guard"), 1);
+  // An #include before the guard leaves the header unprotected.
+  EXPECT_EQ(CountCheck(RunOn("src/b.h",
+                             "#include <string>\n#ifndef G_\n#define G_\n"
+                             "#endif\n"),
+                       "header-guard"),
+            1);
+  // Sources are not headers.
+  EXPECT_EQ(CountCheck(RunOn("src/c.cc", "int f() { return 1; }\n"),
+                       "header-guard"),
+            0);
+}
+
+TEST(LintTodoOwner, FlagsOwnerlessTodoOnly) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "// TODO: fix\n"
+                     "// TODO(alice): fine\n"
+                     "/* TODO someday */\n"
+                     "int x;\n");
+  EXPECT_EQ(CountCheck(diags, "todo-no-owner"), 2);
+}
+
+TEST(LintSuppression, AllowAllAndAllowList) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "void f() {\n"
+                     "  int* p = new int(1);  // parinda-lint: allow(all)\n"
+                     "  delete p;  // parinda-lint: allow(foo,raw-new-delete)\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "raw-new-delete"), 0);
+}
+
+TEST(LintSuppression, WrongCheckNameDoesNotSuppress) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "void f() {\n"
+                     "  int* p = new int(1);  // parinda-lint: allow(todo-no-owner)\n"
+                     "  delete p;\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "raw-new-delete"), 2);
+}
+
+TEST(LintFormat, TextAndJsonShapes) {
+  std::vector<Diagnostic> diags = {
+      {"src/a.cc", 7, "assert-in-lib", "assert() in library code"}};
+  EXPECT_EQ(FormatText(diags),
+            "src/a.cc:7: [assert-in-lib] assert() in library code\n");
+  std::string json = FormatJson(diags);
+  EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"check\": \"assert-in-lib\""), std::string::npos);
+  EXPECT_EQ(FormatJson({}), "[]\n");
+}
+
+TEST(LintScanner, LiteralsAndCommentsDoNotProduceFalsePositives) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "const char* s = \"assert(new std::cout)\";\n"
+                     "// assert(1) in a comment is not code: std::cerr\n"
+                     "char c = '\\'';\n"
+                     "int after = 1;\n");
+  EXPECT_EQ(CountCheck(diags, "assert-in-lib"), 0);
+  EXPECT_EQ(CountCheck(diags, "raw-new-delete"), 0);
+  EXPECT_EQ(CountCheck(diags, "iostream-in-lib"), 0);
+}
+
+TEST(LintRegistry, ExplicitRegistrationFlagsCallSites) {
+  Linter linter;
+  linter.RegisterFallibleFunction("ExternalFallible");
+  linter.AddSource("src/a.cc", "void f() { ExternalFallible(); }\n");
+  EXPECT_EQ(CountCheck(linter.Run(), "unchecked-status"), 1);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace parinda

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "executor/executor.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/index_match.h"
@@ -21,14 +22,14 @@ class OptimizerTest : public ::testing::Test {
 
   SelectStatement Bind(const std::string& sql) {
     auto stmt = ParseSelect(sql);
-    PARINDA_CHECK(stmt.ok());
-    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    PARINDA_CHECK_OK(stmt);
+    PARINDA_CHECK_OK(BindStatement(db_.catalog(), &*stmt));
     return std::move(*stmt);
   }
 
   Plan MustPlan(const SelectStatement& stmt, PlannerOptions options = {}) {
     auto plan = PlanQuery(db_.catalog(), stmt, options);
-    PARINDA_CHECK(plan.ok());
+    PARINDA_CHECK_OK(plan);
     return std::move(*plan);
   }
 
@@ -290,12 +291,12 @@ class BitmapScanTest : public ::testing::Test {
  protected:
   void SetUp() override {
     orders_ = testing_util::MakeOrdersTable(&db_, 20000);
-    PARINDA_CHECK(db_.BuildIndex("orders_amt_bm", orders_, {2}).ok());
+    PARINDA_CHECK_OK(db_.BuildIndex("orders_amt_bm", orders_, {2}));
   }
   SelectStatement Bind(const std::string& sql) {
     auto stmt = ParseSelect(sql);
-    PARINDA_CHECK(stmt.ok());
-    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    PARINDA_CHECK_OK(stmt);
+    PARINDA_CHECK_OK(BindStatement(db_.catalog(), &*stmt));
     return std::move(*stmt);
   }
   Database db_;

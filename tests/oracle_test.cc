@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "executor/executor.h"
 #include "optimizer/planner.h"
 #include "parser/binder.h"
@@ -23,11 +24,11 @@ Database* OracleDb() {
     const TableId orders = testing_util::MakeOrdersTable(d, 4000);
     const TableId customers = testing_util::MakeCustomersTable(d, 400);
     // A spread of indexes so different plans become attractive.
-    PARINDA_CHECK(d->BuildIndex("o_id", orders, {0}).ok());
-    PARINDA_CHECK(d->BuildIndex("o_cid", orders, {1}).ok());
-    PARINDA_CHECK(d->BuildIndex("o_amount", orders, {2}).ok());
-    PARINDA_CHECK(d->BuildIndex("o_region_amount", orders, {3, 2}).ok());
-    PARINDA_CHECK(d->BuildIndex("c_cid", customers, {0}).ok());
+    PARINDA_CHECK_OK(d->BuildIndex("o_id", orders, {0}));
+    PARINDA_CHECK_OK(d->BuildIndex("o_cid", orders, {1}));
+    PARINDA_CHECK_OK(d->BuildIndex("o_amount", orders, {2}));
+    PARINDA_CHECK_OK(d->BuildIndex("o_region_amount", orders, {3, 2}));
+    PARINDA_CHECK_OK(d->BuildIndex("c_cid", customers, {0}));
     return d;
   }();
   return db;

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "executor/executor.h"
 #include "optimizer/planner.h"
 #include "parinda/parinda.h"
@@ -19,7 +19,7 @@ class ParindaTest : public ::testing::Test {
     SdssConfig config;
     config.photoobj_rows = 3000;
     auto dataset = BuildSdssDatabase(db_, config);
-    PARINDA_CHECK(dataset.ok());
+    PARINDA_CHECK_OK(dataset);
     dataset_ = new SdssDataset(*dataset);
   }
   static void TearDownTestSuite() {

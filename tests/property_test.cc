@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "executor/executor.h"
 #include "inum/inum.h"
@@ -34,8 +35,8 @@ Database* SharedDb() {
 
 SelectStatement BindSql(const Database& db, const std::string& sql) {
   auto stmt = ParseSelect(sql);
-  PARINDA_CHECK(stmt.ok());
-  PARINDA_CHECK(BindStatement(db.catalog(), &*stmt).ok());
+  PARINDA_CHECK_OK(stmt);
+  PARINDA_CHECK_OK(BindStatement(db.catalog(), &*stmt));
   return std::move(*stmt);
 }
 
@@ -294,7 +295,7 @@ TEST_P(PlanInvariance, JoinQueryResultStable) {
         *d,
         "SELECT count(*) FROM orders o, customers c "
         "WHERE o.customer_id = c.cid AND c.score > 80 AND o.amount < 600");
-    PARINDA_CHECK(r.ok());
+    PARINDA_CHECK_OK(r);
     return r->rows[0][0].AsInt64();
   }();
   const FlagCase flags = GetParam();

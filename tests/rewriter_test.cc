@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "executor/executor.h"
 #include "optimizer/planner.h"
 #include "parser/binder.h"
@@ -21,15 +22,15 @@ class RewriterTest : public ::testing::Test {
     // flag).
     auto f1 = overlay_->AddPartition({"orders_f1", orders_, {1, 2}});
     auto f2 = overlay_->AddPartition({"orders_f2", orders_, {3, 4}});
-    PARINDA_CHECK(f1.ok());
-    PARINDA_CHECK(f2.ok());
+    PARINDA_CHECK_OK(f1);
+    PARINDA_CHECK_OK(f2);
     fragments_ = {overlay_->GetTable(*f1), overlay_->GetTable(*f2)};
   }
 
   SelectStatement Bind(const std::string& sql) {
     auto stmt = ParseSelect(sql);
-    PARINDA_CHECK(stmt.ok());
-    PARINDA_CHECK(BindStatement(db_.catalog(), &*stmt).ok());
+    PARINDA_CHECK_OK(stmt);
+    PARINDA_CHECK_OK(BindStatement(db_.catalog(), &*stmt));
     return std::move(*stmt);
   }
 

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/random.h"
 #include "storage/database.h"
 
@@ -29,7 +29,7 @@ inline TableId MakeOrdersTable(Database* db, int64_t rows,
                                    {"flag", ValueType::kBool, 1, true},
                                });
   auto created = db->CreateTable(std::move(schema), {0});
-  PARINDA_CHECK(created.ok());
+  PARINDA_CHECK_OK(created);
   const TableId id = created.value();
   Random rng(seed);
   const char* kRegions[] = {"north", "south", "east",      "west",
@@ -50,8 +50,8 @@ inline TableId MakeOrdersTable(Database* db, int64_t rows,
     }
     batch.push_back(std::move(row));
   }
-  PARINDA_CHECK(db->InsertMany(id, std::move(batch)).ok());
-  PARINDA_CHECK(db->Analyze(id).ok());
+  PARINDA_CHECK_OK(db->InsertMany(id, std::move(batch)));
+  PARINDA_CHECK_OK(db->Analyze(id));
   return id;
 }
 
@@ -65,7 +65,7 @@ inline TableId MakeCustomersTable(Database* db, int64_t rows,
                                       {"score", ValueType::kDouble, 8, true},
                                   });
   auto created = db->CreateTable(std::move(schema), {0});
-  PARINDA_CHECK(created.ok());
+  PARINDA_CHECK_OK(created);
   const TableId id = created.value();
   Random rng(seed);
   std::vector<Row> batch;
@@ -74,8 +74,8 @@ inline TableId MakeCustomersTable(Database* db, int64_t rows,
                         Value::String("cust_" + std::to_string(i)),
                         Value::Double(rng.UniformDouble(0.0, 100.0))});
   }
-  PARINDA_CHECK(db->InsertMany(id, std::move(batch)).ok());
-  PARINDA_CHECK(db->Analyze(id).ok());
+  PARINDA_CHECK_OK(db->InsertMany(id, std::move(batch)));
+  PARINDA_CHECK_OK(db->Analyze(id));
   return id;
 }
 

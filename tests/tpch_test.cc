@@ -2,7 +2,7 @@
 
 #include "advisor/index_advisor.h"
 #include "autopart/autopart.h"
-#include "common/logging.h"
+#include "common/check.h"
 #include "executor/executor.h"
 #include "optimizer/planner.h"
 #include "workload/tpch_mini.h"
@@ -19,7 +19,7 @@ class TpchMiniTest : public ::testing::Test {
     TpchMiniConfig config;
     config.lineitem_rows = 12000;
     auto dataset = BuildTpchMiniDatabase(db_, config);
-    PARINDA_CHECK(dataset.ok());
+    PARINDA_CHECK_OK(dataset);
     dataset_ = new TpchMiniDataset(*dataset);
   }
   static void TearDownTestSuite() {

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "executor/executor.h"
 #include "optimizer/query_analysis.h"
 #include "optimizer/planner.h"
@@ -57,7 +57,7 @@ class SdssTest : public ::testing::Test {
     SdssConfig config;
     config.photoobj_rows = 4000;
     auto dataset = BuildSdssDatabase(db_, config);
-    PARINDA_CHECK(dataset.ok());
+    PARINDA_CHECK_OK(dataset);
     dataset_ = new SdssDataset(*dataset);
   }
   static void TearDownTestSuite() {

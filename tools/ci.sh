@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# PARINDA CI driver: builds and tests the tree twice —
+#
+#   1. default configuration (RelWithDebInfo, warnings on), and
+#   2. hardened configuration (ASan+UBSan, -Werror)
+#
+# — then runs parinda-lint over src/ and tests/, failing on any violation.
+#
+# Usage: tools/ci.sh [jobs]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+cd "$ROOT"
+
+run_matrix() {
+  local dir="$1"; shift
+  echo "=== configure $dir ($*) ==="
+  cmake -B "$dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
+  echo "=== build $dir ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== ctest $dir ==="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+run_matrix build
+run_matrix build-san -DPARINDA_SANITIZE=address,undefined -DPARINDA_WERROR=ON
+
+echo "=== parinda-lint ==="
+./build/tools/parinda-lint --json src tests > /tmp/parinda_lint_report.json && {
+  echo "parinda-lint: clean"
+} || {
+  echo "parinda-lint: violations found:"
+  cat /tmp/parinda_lint_report.json
+  exit 1
+}
+
+echo "=== clang-tidy (optional) ==="
+tools/run_clang_tidy.sh build
+
+echo "CI: all gates passed"

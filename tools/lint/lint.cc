@@ -1,0 +1,656 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace parinda {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scanner: a lightweight C++ tokenizer. It does not try to be a compiler —
+// it strips comments, string/char literals, and preprocessor directives from
+// the token stream (recording comments and directives separately, since two
+// checks and the suppression syntax live there) and yields identifiers,
+// numbers, and punctuation with line numbers.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Directive {
+  int line;
+  std::string text;  // full directive with continuations joined, '#' included
+};
+
+struct ScannedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  // line -> concatenated comment text appearing on that line.
+  std::map<int, std::string> comments;
+  std::vector<Directive> directives;
+};
+
+class Scanner {
+ public:
+  Scanner(std::string path, const std::string& src)
+      : src_(src) {
+    out_.path = std::move(path);
+  }
+
+  ScannedFile Scan() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        line_++;
+        at_line_start_ = true;
+        pos_++;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        pos_++;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        ScanDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        ScanLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        ScanBlockComment();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        ScanLiteral(c);
+        continue;
+      }
+      if (c == 'R' && Peek(1) == '"' && raw_string_plausible()) {
+        ScanRawString();
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        ScanIdent();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ScanNumber();
+        continue;
+      }
+      ScanPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  // Heuristic: R" begins a raw string only when not part of an identifier
+  // (e.g. `FOOR"x"` is not one we need to handle; prior identifier chars are
+  // consumed by ScanIdent anyway, so this is always true here).
+  bool raw_string_plausible() const { return true; }
+
+  void ScanDirective() {
+    int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {  // line continuation
+        text += ' ';
+        pos_ += 2;
+        line_++;
+        continue;
+      }
+      if (c == '\n') break;  // newline itself handled by main loop
+      // Comments end a directive's meaningful text.
+      if (c == '/' && Peek(1) == '/') {
+        ScanLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        ScanBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += c;
+      pos_++;
+    }
+    out_.directives.push_back({start_line, text});
+  }
+
+  void ScanLineComment() {
+    size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') pos_++;
+    out_.comments[line_] += src_.substr(start, pos_ - start);
+  }
+
+  void ScanBlockComment() {
+    int start_line = line_;
+    size_t start = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') line_++;
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      pos_++;
+    }
+    // Attribute the whole block to its first line; good enough for the
+    // TODO check and deliberately not valid for suppressions (a suppression
+    // must sit on or directly above the offending line).
+    out_.comments[start_line] += src_.substr(start, pos_ - start);
+  }
+
+  void ScanLiteral(char quote) {
+    pos_++;  // opening quote
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {  // unterminated; tolerate malformed input
+        break;
+      }
+      pos_++;
+      if (c == quote) break;
+    }
+  }
+
+  void ScanRawString() {
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    std::string closer = ")" + delim + "\"";
+    size_t end = src_.find(closer, pos_);
+    if (end == std::string::npos) {
+      pos_ = src_.size();
+      return;
+    }
+    for (size_t i = pos_; i < end; i++) {
+      if (src_[i] == '\n') line_++;
+    }
+    pos_ = end + closer.size();
+  }
+
+  void ScanIdent() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      pos_++;
+    }
+    out_.tokens.push_back(
+        {Token::Kind::kIdent, src_.substr(start, pos_ - start), line_});
+  }
+
+  void ScanNumber() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.' || src_[pos_] == '\'')) {
+      pos_++;
+    }
+    out_.tokens.push_back(
+        {Token::Kind::kNumber, src_.substr(start, pos_ - start), line_});
+  }
+
+  void ScanPunct() {
+    // Multi-char operators the checks care about; everything else is a
+    // single character.
+    if (src_[pos_] == ':' && Peek(1) == ':') {
+      out_.tokens.push_back({Token::Kind::kPunct, "::", line_});
+      pos_ += 2;
+      return;
+    }
+    if (src_[pos_] == '-' && Peek(1) == '>') {
+      out_.tokens.push_back({Token::Kind::kPunct, "->", line_});
+      pos_ += 2;
+      return;
+    }
+    out_.tokens.push_back({Token::Kind::kPunct, std::string(1, src_[pos_]), line_});
+    pos_++;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  ScannedFile out_;
+};
+
+// ---------------------------------------------------------------------------
+// Path classification and suppressions
+// ---------------------------------------------------------------------------
+
+bool PathContainsDir(const std::string& path, const std::string& dir) {
+  std::string needle = dir + "/";
+  return path.rfind(needle, 0) == 0 ||
+         path.find("/" + needle) != std::string::npos;
+}
+
+bool IsLibraryPath(const std::string& path) { return PathContainsDir(path, "src"); }
+
+bool IsStoragePath(const std::string& path) {
+  return path.find("src/storage/") != std::string::npos ||
+         path.rfind("storage/", 0) == 0;
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+/// True when `comment` contains `parinda-lint: allow(...)` naming `check`
+/// (or `all`).
+bool CommentAllows(const std::string& comment, const std::string& check) {
+  size_t at = comment.find("parinda-lint:");
+  while (at != std::string::npos) {
+    size_t open = comment.find("allow(", at);
+    if (open == std::string::npos) return false;
+    size_t close = comment.find(')', open);
+    if (close == std::string::npos) return false;
+    std::string list = comment.substr(open + 6, close - open - 6);
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      // trim
+      size_t b = item.find_first_not_of(" \t");
+      size_t e = item.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      item = item.substr(b, e - b + 1);
+      if (item == check || item == "all") return true;
+    }
+    at = comment.find("parinda-lint:", close);
+  }
+  return false;
+}
+
+class CheckContext {
+ public:
+  CheckContext(const ScannedFile& file, std::vector<Diagnostic>* out)
+      : file_(file), out_(out) {}
+
+  bool Suppressed(int line, const std::string& check) const {
+    for (int l : {line, line - 1}) {
+      auto it = file_.comments.find(l);
+      if (it != file_.comments.end() && CommentAllows(it->second, check)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Report(int line, const std::string& check, std::string message) const {
+    if (Suppressed(line, check)) return;
+    out_->push_back({file_.path, line, check, std::move(message)});
+  }
+
+  const ScannedFile& file() const { return file_; }
+
+ private:
+  const ScannedFile& file_;
+  std::vector<Diagnostic>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------------
+
+void CheckHeaderGuard(const CheckContext& ctx) {
+  if (!IsHeaderPath(ctx.file().path)) return;
+  const auto& directives = ctx.file().directives;
+  // Accept `#pragma once` anywhere in the first few directives, or the
+  // classic `#ifndef X` immediately followed by `#define X`.
+  for (size_t i = 0; i < directives.size(); i++) {
+    const std::string& text = directives[i].text;
+    if (text.find("#pragma") == 0 && text.find("once") != std::string::npos) {
+      return;
+    }
+    if (text.rfind("#ifndef", 0) == 0) {
+      if (i + 1 < directives.size() &&
+          directives[i + 1].text.rfind("#define", 0) == 0) {
+        return;
+      }
+      break;
+    }
+    // Any other directive before the guard (e.g. #include) means the guard
+    // does not protect the whole header.
+    break;
+  }
+  ctx.Report(1, "header-guard",
+             "header is missing an include guard (#ifndef/#define pair or "
+             "#pragma once)");
+}
+
+void CheckTodoOwner(const CheckContext& ctx) {
+  for (const auto& [line, text] : ctx.file().comments) {
+    size_t at = text.find("TODO");
+    bool reported = false;
+    while (at != std::string::npos && !reported) {
+      size_t after = at + 4;
+      if (after >= text.size() || text[after] != '(') {
+        ctx.Report(line, "todo-no-owner",
+                   "TODO without an owner; write TODO(name): ...");
+        reported = true;  // one report per comment line is enough
+      }
+      at = text.find("TODO", after);
+    }
+  }
+}
+
+void CheckIostreamInLib(const CheckContext& ctx) {
+  if (!IsLibraryPath(ctx.file().path)) return;
+  const auto& toks = ctx.file().tokens;
+  for (size_t i = 0; i + 2 < toks.size(); i++) {
+    if (toks[i].text == "std" && toks[i + 1].text == "::" &&
+        (toks[i + 2].text == "cout" || toks[i + 2].text == "cerr")) {
+      ctx.Report(toks[i].line, "iostream-in-lib",
+                 "std::" + toks[i + 2].text +
+                     " in library code; use PARINDA_LOG instead");
+    }
+  }
+}
+
+void CheckAssertInLib(const CheckContext& ctx) {
+  if (!IsLibraryPath(ctx.file().path)) return;
+  const auto& toks = ctx.file().tokens;
+  for (size_t i = 0; i + 1 < toks.size(); i++) {
+    if (toks[i].kind == Token::Kind::kIdent && toks[i].text == "assert" &&
+        toks[i + 1].text == "(") {
+      // static_assert is fine; `assert` preceded by :: (std::assert-like
+      // qualified names) does not occur, but be safe about member access.
+      if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                    toks[i - 1].text == "::")) {
+        continue;
+      }
+      ctx.Report(toks[i].line, "assert-in-lib",
+                 "assert() in library code; use PARINDA_CHECK or "
+                 "PARINDA_DCHECK instead");
+    }
+  }
+}
+
+void CheckRawNewDelete(const CheckContext& ctx) {
+  const std::string& path = ctx.file().path;
+  if (!IsLibraryPath(path) || IsStoragePath(path)) return;
+  const auto& toks = ctx.file().tokens;
+  for (size_t i = 0; i < toks.size(); i++) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    if (toks[i].text != "new" && toks[i].text != "delete") continue;
+    if (i > 0) {
+      const std::string& prev = toks[i - 1].text;
+      // `operator new/delete` declarations and member access like
+      // `x.delete_count` are not the expression forms this check targets;
+      // `= delete;` (deleted members) is exempt but `= new Foo` is exactly
+      // what we want to catch.
+      if (prev == "operator" || prev == "." || prev == "->" || prev == "::") {
+        continue;
+      }
+      if (prev == "=" && toks[i].text == "delete") {
+        continue;
+      }
+    }
+    ctx.Report(toks[i].line, "raw-new-delete",
+               "raw `" + toks[i].text +
+                   "` outside src/storage/; use std::unique_ptr / "
+                   "std::make_unique or containers");
+  }
+}
+
+bool IsBalancedOpen(const std::string& t) {
+  return t == "(" || t == "[" || t == "{";
+}
+bool IsBalancedClose(const std::string& t) {
+  return t == ")" || t == "]" || t == "}";
+}
+
+/// Scans for declarations of the form `Status Name(`, `Result<...> Name(`,
+/// optionally with `Qualifier::` chains, and returns the set of function
+/// names considered fallible.
+void HarvestFallibleNames(const ScannedFile& file, std::set<std::string>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); i++) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    if (toks[i].text != "Status" && toks[i].text != "Result") continue;
+    size_t j = i + 1;
+    if (toks[i].text == "Result") {
+      if (j >= toks.size() || toks[j].text != "<") continue;
+      int depth = 0;
+      while (j < toks.size()) {
+        if (toks[j].text == "<") depth++;
+        if (toks[j].text == ">") {
+          depth--;
+          if (depth == 0) {
+            j++;
+            break;
+          }
+        }
+        j++;
+      }
+    }
+    // Optional qualified name: Ident (:: Ident)*
+    if (j >= toks.size() || toks[j].kind != Token::Kind::kIdent) continue;
+    std::string last = toks[j].text;
+    j++;
+    while (j + 1 < toks.size() && toks[j].text == "::" &&
+           toks[j + 1].kind == Token::Kind::kIdent) {
+      last = toks[j + 1].text;
+      j += 2;
+    }
+    if (j < toks.size() && toks[j].text == "(") {
+      out->insert(last);
+    }
+  }
+}
+
+void CheckUncheckedStatus(const CheckContext& ctx,
+                          const std::set<std::string>& fallible) {
+  const auto& toks = ctx.file().tokens;
+  bool at_statement_start = true;
+  for (size_t i = 0; i < toks.size(); i++) {
+    const Token& tok = toks[i];
+    if (tok.kind == Token::Kind::kPunct &&
+        (tok.text == ";" || tok.text == "{" || tok.text == "}" ||
+         tok.text == ":")) {
+      at_statement_start = true;
+      continue;
+    }
+    if (!at_statement_start) continue;
+    at_statement_start = false;
+
+    size_t j = i;
+    // `(void)` prefix: explicit discard, always allowed.
+    if (toks[j].text == "(" && j + 2 < toks.size() &&
+        toks[j + 1].text == "void" && toks[j + 2].text == ")") {
+      continue;
+    }
+    if (toks[j].kind != Token::Kind::kIdent) continue;
+    // Walk a call chain `a.b->c::d(` and keep the final callee name.
+    std::string callee = toks[j].text;
+    int callee_line = toks[j].line;
+    j++;
+    while (j + 1 < toks.size() &&
+           (toks[j].text == "." || toks[j].text == "->" ||
+            toks[j].text == "::") &&
+           toks[j + 1].kind == Token::Kind::kIdent) {
+      callee = toks[j + 1].text;
+      callee_line = toks[j + 1].line;
+      j += 2;
+    }
+    if (j >= toks.size() || toks[j].text != "(") continue;
+    if (!fallible.count(callee)) continue;
+    // Find the matching close paren.
+    int depth = 0;
+    while (j < toks.size()) {
+      if (IsBalancedOpen(toks[j].text)) depth++;
+      if (IsBalancedClose(toks[j].text)) {
+        depth--;
+        if (depth == 0) break;
+      }
+      j++;
+    }
+    if (j + 1 >= toks.size()) continue;
+    // `Foo(...);` as a full statement (possibly `Foo(...)->` chains are
+    // something else) — only a direct `;` after the close paren counts as a
+    // discarded result.
+    if (toks[j + 1].text == ";") {
+      ctx.Report(callee_line, "unchecked-status",
+                 "result of fallible function '" + callee +
+                     "' is discarded; check it, propagate it, or cast to "
+                     "(void) deliberately");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linter driver
+// ---------------------------------------------------------------------------
+
+void Linter::AddSource(std::string path, std::string content) {
+  sources_.push_back({std::move(path), std::move(content)});
+}
+
+bool Linter::AddFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  AddSource(path, buf.str());
+  return true;
+}
+
+void Linter::RegisterFallibleFunction(std::string name) {
+  extra_fallible_.insert(std::move(name));
+}
+
+std::vector<Diagnostic> Linter::Run() {
+  std::vector<ScannedFile> scanned;
+  scanned.reserve(sources_.size());
+  for (const Source& s : sources_) {
+    scanned.push_back(Scanner(s.path, s.content).Scan());
+  }
+
+  std::set<std::string> fallible = extra_fallible_;
+  for (const ScannedFile& f : scanned) {
+    HarvestFallibleNames(f, &fallible);
+  }
+
+  std::vector<Diagnostic> diags;
+  for (const ScannedFile& f : scanned) {
+    CheckContext ctx(f, &diags);
+    CheckHeaderGuard(ctx);
+    CheckTodoOwner(ctx);
+    CheckIostreamInLib(ctx);
+    CheckAssertInLib(ctx);
+    CheckRawNewDelete(ctx);
+    CheckUncheckedStatus(ctx, fallible);
+  }
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.check) <
+                     std::tie(b.file, b.line, b.check);
+            });
+  return diags;
+}
+
+// ---------------------------------------------------------------------------
+// Output formatting
+// ---------------------------------------------------------------------------
+
+std::string FormatText(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags) {
+    out << d.file << ":" << d.line << ": [" << d.check << "] " << d.message
+        << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string FormatJson(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < diags.size(); i++) {
+    if (i) out << ",";
+    out << "\n  {\"file\": \"" << JsonEscape(diags[i].file)
+        << "\", \"line\": " << diags[i].line << ", \"check\": \""
+        << JsonEscape(diags[i].check) << "\", \"message\": \""
+        << JsonEscape(diags[i].message) << "\"}";
+  }
+  if (!diags.empty()) out << "\n";
+  out << "]\n";
+  return out.str();
+}
+
+std::vector<std::string> CollectSourcePaths(
+    const std::vector<std::string>& paths, std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  auto want = [](const fs::path& p) {
+    std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+  };
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && want(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else if (errors) {
+      errors->push_back("no such file or directory: " + p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace lint
+}  // namespace parinda

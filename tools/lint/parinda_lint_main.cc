@@ -1,0 +1,67 @@
+// parinda-lint CLI.
+//
+// Usage: parinda-lint [--json] <file-or-dir>...
+//
+// Scans .h/.cc/.cpp files for project-convention violations (see
+// tools/lint/lint.h for the check list and suppression syntax). Exit status:
+//   0  no violations
+//   1  violations reported
+//   2  usage or I/O error
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: parinda-lint [--json] <file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "parinda-lint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: parinda-lint [--json] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> errors;
+  std::vector<std::string> files =
+      parinda::lint::CollectSourcePaths(paths, &errors);
+  for (const std::string& e : errors) {
+    std::cerr << "parinda-lint: " << e << "\n";
+  }
+  if (!errors.empty()) return 2;
+
+  parinda::lint::Linter linter;
+  for (const std::string& f : files) {
+    if (!linter.AddFile(f)) {
+      std::cerr << "parinda-lint: cannot read " << f << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<parinda::lint::Diagnostic> diags = linter.Run();
+  if (json) {
+    std::cout << parinda::lint::FormatJson(diags);
+  } else {
+    std::cout << parinda::lint::FormatText(diags);
+    if (!diags.empty()) {
+      std::cerr << "parinda-lint: " << diags.size() << " violation"
+                << (diags.size() == 1 ? "" : "s") << " in " << files.size()
+                << " files\n";
+    }
+  }
+  return diags.empty() ? 0 : 1;
+}

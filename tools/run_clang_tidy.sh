@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (using the repo .clang-tidy config) over src/ and tools/.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# Requires a compile_commands.json; pass the build directory as the first
+# argument (default: build). Degrades gracefully: exits 0 with a notice when
+# clang-tidy is not installed, so CI does not hard-depend on it.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (not an error)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found;" \
+       "reconfigure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+  exit 2
+fi
+
+cd "$ROOT"
+FILES=$(find src tools -name '*.cc' -o -name '*.cpp' | sort)
+FAIL=0
+for f in $FILES; do
+  clang-tidy -p "$BUILD_DIR" --quiet "$f" || FAIL=1
+done
+exit $FAIL
