@@ -4,6 +4,7 @@
 // suggestion set grows.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -83,6 +84,43 @@ void Run() {
                 sweep_advice->optimized_cost, sweep_advice->Speedup());
   }
 
+  // --- Thread scaling of the parallel evaluation layer ---
+  bench_util::PrintHeader(
+      "E7d: benefit-matrix thread scaling (SDSS 30 queries, full ILP run)");
+  std::printf("%-8s %12s %9s %10s %12s %10s\n", "workers", "wall (s)",
+              "speedup", "#idx", "cost", "identical");
+  double serial_seconds = 0.0;
+  std::string serial_signature;
+  double serial_cost = 0.0;
+  for (const int workers : {1, 2, 4, 8}) {
+    IndexAdvisorOptions options;
+    options.storage_budget_bytes = 8.0 * 1024 * 1024;
+    options.parallelism = workers;
+    const auto start = std::chrono::steady_clock::now();
+    IndexAdvisor advisor_w(db->catalog(), *workload, options);
+    auto advice_w = advisor_w.SuggestWithIlp();
+    PARINDA_CHECK_OK(advice_w);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    // The recommended set must be bit-identical at every worker count.
+    std::string signature;
+    for (const SuggestedIndex& s : advice_w->indexes) {
+      signature += IndexLabel(*db, s.def) + ";";
+    }
+    if (workers == 1) {
+      serial_seconds = seconds;
+      serial_signature = signature;
+      serial_cost = advice_w->optimized_cost;
+    }
+    const bool identical = signature == serial_signature &&
+                           advice_w->optimized_cost == serial_cost;
+    std::printf("%-8d %12.3f %8.2fx %10zu %12.0f %10s\n", workers, seconds,
+                serial_seconds / seconds, advice_w->indexes.size(),
+                advice_w->optimized_cost, identical ? "yes" : "NO");
+    PARINDA_CHECK(identical);
+  }
+
   // --- Single vs multicolumn candidates (the COLT contrast) ---
   bench_util::PrintHeader(
       "E7c ablation: single-column only (COLT) vs multicolumn candidates");
@@ -106,13 +144,20 @@ void BM_IndexAdvisorFull(benchmark::State& state) {
   for (auto _ : state) {
     IndexAdvisorOptions options;
     options.storage_budget_bytes = 8.0 * 1024 * 1024;
+    options.parallelism = static_cast<int>(state.range(0));
     IndexAdvisor advisor(db->catalog(), *workload, options);
     auto advice = advisor.SuggestWithIlp();
     PARINDA_CHECK_OK(advice);
     benchmark::DoNotOptimize(advice->optimized_cost);
   }
 }
-BENCHMARK(BM_IndexAdvisorFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexAdvisorFull)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("workers")
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace parinda

@@ -10,9 +10,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "bench/bench_util.h"
 #include "inum/inum.h"
 #include "parser/binder.h"
@@ -152,6 +154,48 @@ void RunSweep() {
         per_direct / per_estimate);
   }
 
+  // --- Thread scaling: per-query cache population over the demo workload ---
+  // Every InumCostModel owns its query's cache, so building and priming the
+  // 30 models is embarrassingly parallel — the exact loop the index advisor
+  // runs inside Prepare().
+  {
+    bench_util::PrintHeader(
+        "E3b: INUM cache population thread scaling (SDSS 30 queries)");
+    auto workload = MakeSdssWorkload(db->catalog());
+    PARINDA_CHECK_OK(workload);
+    const int nq = workload->size();
+    std::printf("%-8s %12s %9s %14s\n", "workers", "wall (s)", "speedup",
+                "base checksum");
+    double serial_seconds = 0.0;
+    double serial_checksum = 0.0;
+    for (const int workers : {1, 2, 4, 8}) {
+      std::vector<std::unique_ptr<InumCostModel>> models(
+          static_cast<size_t>(nq));
+      std::vector<double> base(static_cast<size_t>(nq), 0.0);
+      const auto start = std::chrono::steady_clock::now();
+      auto status = ParallelFor(workers, nq, [&](int q) -> Status {
+        models[q] = std::make_unique<InumCostModel>(
+            db->catalog(), workload->queries[q].stmt, CostParams{});
+        PARINDA_RETURN_IF_ERROR(models[q]->Init());
+        PARINDA_ASSIGN_OR_RETURN(base[q], models[q]->EstimateCost({}));
+        return Status::OK();
+      });
+      PARINDA_CHECK_OK(status);
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      double checksum = 0.0;
+      for (double b : base) checksum += b;
+      if (workers == 1) {
+        serial_seconds = seconds;
+        serial_checksum = checksum;
+      }
+      std::printf("%-8d %12.3f %8.2fx %14.1f\n", workers, seconds,
+                  serial_seconds / seconds, checksum);
+      PARINDA_CHECK(checksum == serial_checksum);
+    }
+  }
+
   // --- Ablation: without the NL plan pair ---
   bench_util::PrintHeader("E3 ablation: what-if join component (NL pair)");
   InumCostModel with_pair(db->catalog(), *stmt, CostParams{});
@@ -190,6 +234,36 @@ void BM_InumEstimate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_InumEstimate);
+
+void BM_InumWorkloadPopulate(benchmark::State& state) {
+  Database* db = bench_util::SharedSdss(20000);
+  auto workload = MakeSdssWorkload(db->catalog());
+  PARINDA_CHECK_OK(workload);
+  const int nq = workload->size();
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<InumCostModel>> models(
+        static_cast<size_t>(nq));
+    std::vector<double> base(static_cast<size_t>(nq), 0.0);
+    auto status = ParallelFor(workers, nq, [&](int q) -> Status {
+      models[q] = std::make_unique<InumCostModel>(
+          db->catalog(), workload->queries[q].stmt, CostParams{});
+      PARINDA_RETURN_IF_ERROR(models[q]->Init());
+      PARINDA_ASSIGN_OR_RETURN(base[q], models[q]->EstimateCost({}));
+      return Status::OK();
+    });
+    PARINDA_CHECK_OK(status);
+    benchmark::DoNotOptimize(base.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nq);
+}
+BENCHMARK(BM_InumWorkloadPopulate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("workers")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DirectOptimizerCall(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "solver/lp.h"
 
 namespace parinda {
@@ -40,30 +41,36 @@ Status IndexAdvisor::Prepare() {
 
   const int nq = workload_.size();
   const int nc = static_cast<int>(candidates_.size());
-  models_.reserve(static_cast<size_t>(nq));
+  // Pre-sized per-query slots: each worker builds and owns query q's cost
+  // model and writes only models_[q] / base_cost_[q] / benefit_[q], so the
+  // matrix is bit-identical under any parallelism (the catalog and the
+  // candidate IndexInfo records are shared read-only).
+  models_.resize(static_cast<size_t>(nq));
   base_cost_.assign(static_cast<size_t>(nq), 0.0);
   benefit_.assign(static_cast<size_t>(nq),
                   std::vector<double>(static_cast<size_t>(nc), 0.0));
-  for (int q = 0; q < nq; ++q) {
-    models_.push_back(std::make_unique<InumCostModel>(
-        catalog_, workload_.queries[q].stmt, options_.params));
-    PARINDA_RETURN_IF_ERROR(models_[q]->Init());
-    PARINDA_ASSIGN_OR_RETURN(base_cost_[q], models_[q]->EstimateCost({}));
-    // Tables of this query, to skip irrelevant candidates fast.
-    std::set<TableId> tables;
-    for (const TableRef& ref : workload_.queries[q].stmt.from) {
-      tables.insert(ref.bound_table);
-    }
-    for (int j = 0; j < nc; ++j) {
-      if (tables.count(candidates_[j]->table_id) == 0) continue;
-      PARINDA_ASSIGN_OR_RETURN(double cost,
-                               models_[q]->EstimateCost({candidates_[j]}));
-      const double gain = base_cost_[q] - cost;
-      if (gain > kBenefitEps) {
-        benefit_[q][j] = gain * workload_.queries[q].weight;
-      }
-    }
-  }
+  PARINDA_RETURN_IF_ERROR(ParallelFor(
+      ResolveParallelism(options_.parallelism), nq, [&](int q) -> Status {
+        models_[q] = std::make_unique<InumCostModel>(
+            catalog_, workload_.queries[q].stmt, options_.params);
+        PARINDA_RETURN_IF_ERROR(models_[q]->Init());
+        PARINDA_ASSIGN_OR_RETURN(base_cost_[q], models_[q]->EstimateCost({}));
+        // Tables of this query, to skip irrelevant candidates fast.
+        std::set<TableId> tables;
+        for (const TableRef& ref : workload_.queries[q].stmt.from) {
+          tables.insert(ref.bound_table);
+        }
+        for (int j = 0; j < nc; ++j) {
+          if (tables.count(candidates_[j]->table_id) == 0) continue;
+          PARINDA_ASSIGN_OR_RETURN(double cost,
+                                   models_[q]->EstimateCost({candidates_[j]}));
+          const double gain = base_cost_[q] - cost;
+          if (gain > kBenefitEps) {
+            benefit_[q][j] = gain * workload_.queries[q].weight;
+          }
+        }
+        return Status::OK();
+      }));
   prepared_ = true;
   return Status::OK();
 }

@@ -34,6 +34,12 @@ struct IndexAdvisorOptions {
   /// of the indexes accurately, and assume it to be zero. This severely
   /// affects the accuracy"). Benchmark E2 uses this to show budget blowups.
   bool simulate_zero_size_indexes = false;
+  /// Worker threads for the benefit-matrix computation (per-query INUM
+  /// model construction plus the query x candidate fill). 1 = serial on the
+  /// calling thread; 0 = one worker per hardware thread. The advice is
+  /// bit-identical at any setting: each worker owns one query's cost model
+  /// and writes only that query's pre-sized matrix row.
+  int parallelism = 0;
 };
 
 /// One suggested index with its report fields (Figure 3's per-index view).

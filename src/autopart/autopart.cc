@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "optimizer/planner.h"
 #include "optimizer/query_analysis.h"
 #include "rewriter/rewriter.h"
@@ -99,11 +100,13 @@ Result<double> AutoPartAdvisor::EvaluateState(
       WhatIfPartitionDef def;
       def.parent = ts.table;
       def.columns = ts.fragments[k];
+      // Search-pass names only need to be unique within this call's private
+      // overlay (table + fragment ordinal suffices); keeping them free of
+      // the evaluation counter keeps concurrent evaluations independent.
       def.name = stable_names
                      ? parent->name + "_part" + std::to_string(global_index)
                      : "wif_" + std::to_string(ts.table) + "_f" +
-                           std::to_string(k) + "_" +
-                           std::to_string(evaluations_);
+                           std::to_string(k);
       ++global_index;
       PARINDA_ASSIGN_OR_RETURN(TableId id, overlay.AddPartition(def));
       fragments.push_back(overlay.GetTable(id));
@@ -254,16 +257,20 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     ts.fragments = std::move(kept);
   };
 
+  const int parallelism = ResolveParallelism(options_.parallelism);
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     advice.iterations_run = iter + 1;
     struct Move {
       size_t state_index = 0;
       std::vector<ColumnId> merged;
       bool replicate = false;
+      std::vector<TableState> trial;
     };
-    Move best_move;
-    double best_cost = current_cost;
-    bool found = false;
+    // Phase 1 (serial): enumerate this iteration's trial states, in the
+    // same order and under the same candidate cap as the original serial
+    // search. Trials over the replication limit are rejected here, before
+    // any evaluation is spent on them.
+    std::vector<Move> moves;
     int candidates = 0;
     for (size_t si = 0; si < state.size() &&
                         candidates < options_.max_candidates_per_iteration;
@@ -294,19 +301,34 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
           if (ReplicatedBytes(trial) > options_.replication_limit_bytes) {
             continue;
           }
-          PARINDA_ASSIGN_OR_RETURN(double cost,
-                                   EvaluateState(trial, nullptr, nullptr));
-          if (cost < best_cost * (1.0 - options_.min_improvement)) {
-            best_cost = cost;
-            best_move = Move{si, merged, replicate};
-            found = true;
-          }
+          moves.push_back(Move{si, merged, replicate, std::move(trial)});
         }
       }
     }
-    if (!found) break;
-    apply_candidate(&state, best_move.state_index, best_move.merged,
-                    best_move.replicate);
+    // Phase 2 (parallel): cost every trial into its own pre-sized slot.
+    // Each evaluation builds a private what-if overlay over the shared
+    // read-only catalog, so workers never touch common mutable state.
+    std::vector<double> trial_cost(moves.size(), 0.0);
+    PARINDA_RETURN_IF_ERROR(ParallelFor(
+        parallelism, static_cast<int>(moves.size()), [&](int m) -> Status {
+          PARINDA_ASSIGN_OR_RETURN(
+              trial_cost[m], EvaluateState(moves[m].trial, nullptr, nullptr));
+          return Status::OK();
+        }));
+    // Phase 3 (serial): pick the winner by scanning in enumeration order —
+    // the exact selection rule (and tie-breaking) of the serial search, so
+    // the chosen design is identical at any parallelism.
+    const Move* best_move = nullptr;
+    double best_cost = current_cost;
+    for (size_t m = 0; m < moves.size(); ++m) {
+      if (trial_cost[m] < best_cost * (1.0 - options_.min_improvement)) {
+        best_cost = trial_cost[m];
+        best_move = &moves[m];
+      }
+    }
+    if (best_move == nullptr) break;
+    apply_candidate(&state, best_move->state_index, best_move->merged,
+                    best_move->replicate);
     current_cost = best_cost;
   }
 

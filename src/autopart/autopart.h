@@ -1,6 +1,7 @@
 #ifndef PARINDA_AUTOPART_AUTOPART_H_
 #define PARINDA_AUTOPART_AUTOPART_H_
 
+#include <atomic>
 #include <limits>
 #include <string>
 #include <vector>
@@ -33,6 +34,12 @@ struct AutoPartOptions {
   int max_candidates_per_iteration = 128;
   /// Minimum relative improvement for a move to be applied.
   double min_improvement = 1e-4;
+  /// Worker threads for the per-iteration composite-fragment evaluation.
+  /// 1 = serial on the calling thread; 0 = one worker per hardware thread.
+  /// The selected design is bit-identical at any setting: all candidate
+  /// states of an iteration are enumerated first, evaluated into pre-sized
+  /// slots, and the winner picked by a serial scan in enumeration order.
+  int parallelism = 0;
   CostParams params;
 };
 
@@ -93,7 +100,10 @@ class AutoPartAdvisor {
 
   /// Evaluates the workload cost of a candidate state (what-if tables +
   /// rewrite + plan). Returns the weighted total; per-query costs go to
-  /// `per_query` when non-null.
+  /// `per_query` when non-null. Safe to call concurrently from pool
+  /// workers: it builds a private what-if overlay per call and only reads
+  /// `catalog_` / `workload_` / `options_` (the evaluation counter is
+  /// atomic).
   [[nodiscard]] Result<double> EvaluateState(const std::vector<TableState>& state,
                                std::vector<double>* per_query,
                                std::vector<std::string>* rewritten_sql);
@@ -104,7 +114,7 @@ class AutoPartAdvisor {
   const CatalogReader& catalog_;
   const Workload& workload_;
   AutoPartOptions options_;
-  int evaluations_ = 0;
+  std::atomic<int> evaluations_{0};
 };
 
 }  // namespace parinda

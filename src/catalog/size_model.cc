@@ -22,7 +22,11 @@ double AlignedRowWidth(const std::vector<SizedColumn>& columns) {
 double Equation1IndexPages(double row_count,
                            const std::vector<SizedColumn>& columns) {
   const double entry = kIndexRowOverhead + AlignedRowWidth(columns);
-  return std::ceil(entry * row_count / kPageSize);
+  // Never below one page: an empty or tiny table must not produce a
+  // zero-page hypothetical index, or the what-if layer costs its scans at
+  // ~0 and the advisor always "recommends" it (the heap estimator clamps
+  // the same way).
+  return std::max(1.0, std::ceil(entry * row_count / kPageSize));
 }
 
 double EstimateIndexLeafPages(double row_count,
@@ -30,7 +34,7 @@ double EstimateIndexLeafPages(double row_count,
   const double entry = kIndexRowOverhead + AlignedRowWidth(columns);
   const double usable = (kPageSize - kPageHeaderSize) * kBTreeFillFactor;
   const double per_page = std::max(1.0, std::floor(usable / entry));
-  return std::ceil(row_count / per_page);
+  return std::max(1.0, std::ceil(row_count / per_page));
 }
 
 double EstimateHeapPages(double row_count,
@@ -42,10 +46,14 @@ double EstimateHeapPages(double row_count,
 }
 
 int EstimateBTreeHeight(double leaf_pages, double fanout) {
+  // A fanout <= 1 would make ceil(pages / fanout) non-decreasing and the
+  // loop below spin forever; no B-tree has internal pages holding fewer
+  // than two children, so clamp.
+  const double effective_fanout = std::max(2.0, fanout);
   int height = 0;
   double pages = std::max(1.0, leaf_pages);
   while (pages > 1.0) {
-    pages = std::ceil(pages / fanout);
+    pages = std::ceil(pages / effective_fanout);
     ++height;
   }
   return height;

@@ -32,18 +32,20 @@ double AlignUp(double offset, int alignment);
 /// `sum(size(c) + align(c))` term.
 double AlignedRowWidth(const std::vector<SizedColumn>& columns);
 
-/// Equation 1 of the paper, verbatim: leaf pages of a B-tree index over
-/// `columns` on a table with `row_count` rows:
+/// Equation 1 of the paper: leaf pages of a B-tree index over `columns` on
+/// a table with `row_count` rows:
 ///   Pages = ceil( (o + sum(size(c) + align(c))) * R / B )
 /// Only leaf pages are counted; internal pages are ignored (paper, §3.2).
-/// This is what the what-if index component uses.
+/// This is what the what-if index component uses. Clamped to >= 1 page, as
+/// the heap estimator is: even an index on an empty table occupies its root
+/// page, and a zero-page hypothetical index would be costed as free.
 double Equation1IndexPages(double row_count,
                            const std::vector<SizedColumn>& columns);
 
 /// Leaf pages of a *materialized* B-tree, computed by packing whole entries
 /// into pages under the default fill factor. Slightly larger than Equation 1
 /// (page headers, fill factor, no entry splitting); the accuracy benchmark
-/// (E2) quantifies the gap.
+/// (E2) quantifies the gap. Clamped to >= 1 page like Equation 1.
 double EstimateIndexLeafPages(double row_count,
                               const std::vector<SizedColumn>& columns);
 
@@ -53,7 +55,9 @@ double EstimateHeapPages(double row_count,
                          const std::vector<SizedColumn>& columns);
 
 /// B-tree height (root at level h, leaves at level 0) for a given number of
-/// leaf pages, assuming ~`fanout` children per internal page.
+/// leaf pages, assuming ~`fanout` children per internal page. Fanouts below
+/// 2 are clamped to 2 (a smaller fanout cannot shrink the page count and
+/// would never terminate).
 int EstimateBTreeHeight(double leaf_pages, double fanout = 256.0);
 
 }  // namespace parinda

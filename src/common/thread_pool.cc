@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parinda {
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int count = std::max(1, num_workers);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain so no task runs against a half-destroyed pool; the batch error is
+  // deliberately dropped — owners that care call WaitAll themselves.
+  (void)WaitAll();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<Status()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back({next_seq_++, std::move(task)});
+    ++pending_;
+  }
+  work_ready_.notify_one();
+}
+
+Status ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return pending_ == 0; });
+  Status result = std::move(first_error_);
+  first_error_ = Status::OK();
+  first_error_seq_ = -1;
+  return result;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    TaskItem item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Status status = item.fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() &&
+          (first_error_seq_ < 0 || item.seq < first_error_seq_)) {
+        first_error_seq_ = item.seq;
+        first_error_ = std::move(status);
+      }
+      --pending_;
+      if (pending_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::DefaultParallelism() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+int ResolveParallelism(int parallelism) {
+  return parallelism >= 1 ? parallelism : ThreadPool::DefaultParallelism();
+}
+
+Status ParallelFor(int parallelism, int n,
+                   const std::function<Status(int)>& fn) {
+  if (n <= 0) return Status::OK();
+  const int workers = std::min(std::max(1, parallelism), n);
+  if (workers == 1) {
+    for (int i = 0; i < n; ++i) {
+      PARINDA_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::OK();
+  }
+  ThreadPool pool(workers);
+  for (int i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { return fn(i); });
+  }
+  return pool.WaitAll();
+}
+
+}  // namespace parinda

@@ -1,0 +1,95 @@
+#ifndef PARINDA_COMMON_THREAD_POOL_H_
+#define PARINDA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace parinda {
+
+/// A fixed-size work-queue thread pool for the advisor evaluation layers.
+///
+/// Tasks are `Status`-returning closures (the library never throws; a task
+/// that would fail returns its error instead). `WaitAll()` blocks until the
+/// queue drains and returns the error of the *earliest-submitted* failed
+/// task — independent of execution interleaving — so error propagation is
+/// deterministic under any worker count.
+///
+/// Thread-safety contract for callers (see DESIGN.md §"Parallel evaluation
+/// layer"): tasks submitted to one pool may run concurrently, so each task
+/// must only read shared state (e.g. a `CatalogReader`) and write to slots
+/// it exclusively owns (e.g. one row of a pre-sized matrix). Submission and
+/// waiting are intended for a single owner thread.
+///
+/// This is the only place in the library allowed to create threads; the
+/// `detached-thread` lint check enforces that.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (clamped to at least 1).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains outstanding tasks, then joins the workers. Errors of tasks not
+  /// yet collected through WaitAll are discarded.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called concurrently with WaitAll.
+  void Submit(std::function<Status()> task);
+
+  /// Blocks until every submitted task has finished. Returns the error of
+  /// the earliest-submitted failed task, or OK. Resets the error state, so
+  /// the pool can be reused for another batch.
+  [[nodiscard]] Status WaitAll();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Worker count for "use the whole machine": hardware concurrency,
+  /// at least 1.
+  static int DefaultParallelism();
+
+ private:
+  struct TaskItem {
+    int64_t seq = 0;
+    std::function<Status()> fn;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::deque<TaskItem> queue_;
+  int64_t next_seq_ = 0;
+  /// Queued plus currently-running tasks.
+  int pending_ = 0;
+  bool stopping_ = false;
+  /// Earliest-submitted failure of the current batch.
+  int64_t first_error_seq_ = -1;
+  Status first_error_;
+  std::vector<std::thread> workers_;  // parinda-lint: allow(detached-thread)
+};
+
+/// Resolves a `parallelism` option to a worker count: values >= 1 are taken
+/// verbatim; 0 (and negatives) mean "auto" — one worker per hardware thread.
+int ResolveParallelism(int parallelism);
+
+/// Runs `fn(0) ... fn(n-1)` on up to `parallelism` workers and returns the
+/// lowest-index error (OK if none). `parallelism <= 1` executes inline on
+/// the calling thread, in index order, stopping at the first error — no
+/// threads are created. With more workers the full index range is always
+/// dispatched, every `fn(i)` writing only to state it owns; results must
+/// therefore not depend on execution order, which is what makes parallel
+/// and serial runs bit-identical.
+[[nodiscard]] Status ParallelFor(int parallelism, int n,
+                                 const std::function<Status(int)>& fn);
+
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_THREAD_POOL_H_

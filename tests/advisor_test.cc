@@ -278,5 +278,61 @@ TEST_F(IndexAdvisorTest, GreedyAlsoRespectsUpdateCosts) {
   EXPECT_TRUE(advice->indexes.empty());
 }
 
+TEST_F(IndexAdvisorTest, AdviceIsBitIdenticalAcrossParallelism) {
+  // The parallel evaluation layer writes into pre-sized per-query slots, so
+  // the benefit matrix — and everything derived from it — must be exactly
+  // the same at parallelism 1 and 4: same recommended configuration, same
+  // total benefit, same costs, bit for bit.
+  auto run = [&](int parallelism) {
+    IndexAdvisorOptions options;
+    options.parallelism = parallelism;
+    IndexAdvisor advisor(db_.catalog(), workload_, options);
+    auto advice = advisor.SuggestWithIlp();
+    PARINDA_CHECK_OK(advice);
+    return std::move(*advice);
+  };
+  const IndexAdvice serial = run(1);
+  const IndexAdvice parallel = run(4);
+
+  ASSERT_EQ(parallel.indexes.size(), serial.indexes.size());
+  double serial_benefit = 0.0;
+  double parallel_benefit = 0.0;
+  for (size_t s = 0; s < serial.indexes.size(); ++s) {
+    EXPECT_EQ(parallel.indexes[s].def.name, serial.indexes[s].def.name);
+    EXPECT_EQ(parallel.indexes[s].def.table, serial.indexes[s].def.table);
+    EXPECT_EQ(parallel.indexes[s].def.columns, serial.indexes[s].def.columns);
+    EXPECT_EQ(parallel.indexes[s].benefit, serial.indexes[s].benefit);
+    EXPECT_EQ(parallel.indexes[s].used_by, serial.indexes[s].used_by);
+    serial_benefit += serial.indexes[s].benefit;
+    parallel_benefit += parallel.indexes[s].benefit;
+  }
+  EXPECT_EQ(parallel_benefit, serial_benefit);
+  EXPECT_EQ(parallel.base_cost, serial.base_cost);
+  EXPECT_EQ(parallel.optimized_cost, serial.optimized_cost);
+  EXPECT_EQ(parallel.per_query_base, serial.per_query_base);
+  EXPECT_EQ(parallel.per_query_optimized, serial.per_query_optimized);
+  EXPECT_EQ(parallel.total_size_bytes, serial.total_size_bytes);
+  EXPECT_EQ(parallel.optimizer_calls, serial.optimizer_calls);
+}
+
+TEST_F(IndexAdvisorTest, GreedyAlsoBitIdenticalAcrossParallelism) {
+  auto run = [&](int parallelism) {
+    IndexAdvisorOptions options;
+    options.parallelism = parallelism;
+    IndexAdvisor advisor(db_.catalog(), workload_, options);
+    auto advice = advisor.SuggestWithGreedy();
+    PARINDA_CHECK_OK(advice);
+    return std::move(*advice);
+  };
+  const IndexAdvice serial = run(1);
+  const IndexAdvice parallel = run(4);
+  ASSERT_EQ(parallel.indexes.size(), serial.indexes.size());
+  for (size_t s = 0; s < serial.indexes.size(); ++s) {
+    EXPECT_EQ(parallel.indexes[s].def.name, serial.indexes[s].def.name);
+    EXPECT_EQ(parallel.indexes[s].benefit, serial.indexes[s].benefit);
+  }
+  EXPECT_EQ(parallel.optimized_cost, serial.optimized_cost);
+}
+
 }  // namespace
 }  // namespace parinda

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "autopart/autopart.h"
@@ -136,6 +137,45 @@ TEST_F(AutoPartTest, ReplicationConstraintLimitsDesign) {
   // beyond one fragment... the initial atomic state itself replicates the
   // PK; the advisor reports the replicated bytes it used.
   EXPECT_GE(advice->replicated_bytes, 0.0);
+}
+
+TEST_F(AutoPartTest, DesignIsBitIdenticalAcrossParallelism) {
+  // The composite-fragment candidates of each iteration are enumerated
+  // serially, evaluated in parallel into pre-sized slots, and selected by a
+  // serial scan in enumeration order — so the search trajectory (and hence
+  // the final design and every reported cost) must be exactly the same at
+  // parallelism 1 and 4.
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT avg(petrorad_r) FROM photoobj WHERE type = 3",
+       "SELECT count(*) FROM photoobj WHERE r BETWEEN 15 AND 16",
+       "SELECT ra, dec FROM photoobj WHERE dec > 80"});
+  ASSERT_TRUE(workload.ok());
+  auto run = [&](int parallelism) {
+    AutoPartOptions options;
+    options.max_iterations = 3;
+    options.parallelism = parallelism;
+    AutoPartAdvisor advisor(db_->catalog(), *workload, options);
+    auto advice = advisor.Suggest();
+    PARINDA_CHECK_OK(advice);
+    return std::move(*advice);
+  };
+  const PartitionAdvice serial = run(1);
+  const PartitionAdvice parallel = run(4);
+
+  ASSERT_EQ(parallel.fragments.size(), serial.fragments.size());
+  for (size_t f = 0; f < serial.fragments.size(); ++f) {
+    EXPECT_EQ(parallel.fragments[f].table, serial.fragments[f].table);
+    EXPECT_EQ(parallel.fragments[f].columns, serial.fragments[f].columns);
+  }
+  EXPECT_EQ(parallel.base_cost, serial.base_cost);
+  EXPECT_EQ(parallel.optimized_cost, serial.optimized_cost);
+  EXPECT_EQ(parallel.per_query_base, serial.per_query_base);
+  EXPECT_EQ(parallel.per_query_optimized, serial.per_query_optimized);
+  EXPECT_EQ(parallel.rewritten_sql, serial.rewritten_sql);
+  EXPECT_EQ(parallel.replicated_bytes, serial.replicated_bytes);
+  EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  EXPECT_EQ(parallel.iterations_run, serial.iterations_run);
 }
 
 TEST_F(AutoPartTest, PerQueryCostsConsistent) {

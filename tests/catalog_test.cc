@@ -93,6 +93,45 @@ TEST(SizeModelTest, BTreeHeight) {
   EXPECT_EQ(EstimateBTreeHeight(257), 2);
 }
 
+TEST(SizeModelTest, EmptyTableIndexStillOccupiesOnePage) {
+  // A hypothetical index on an empty (or one-row) table must never cost 0
+  // pages: the what-if layer would price its scans at ~0 and the advisor
+  // would always recommend it. The heap estimator already clamps; the index
+  // estimators must match.
+  const std::vector<SizedColumn> cols = {{ValueType::kInt64, 8.0}};
+  EXPECT_DOUBLE_EQ(Equation1IndexPages(0, cols), 1.0);
+  EXPECT_DOUBLE_EQ(Equation1IndexPages(1, cols), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateIndexLeafPages(0, cols), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateIndexLeafPages(1, cols), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateHeapPages(0, cols), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateHeapPages(1, cols), 1.0);
+}
+
+TEST(SizeModelTest, BTreeHeightTerminatesForDegenerateFanout) {
+  // fanout <= 1 would make ceil(pages / fanout) non-shrinking; the estimator
+  // clamps to a binary tree instead of spinning forever.
+  EXPECT_EQ(EstimateBTreeHeight(1024, 1.0), 10);
+  EXPECT_EQ(EstimateBTreeHeight(1024, 0.5), 10);
+  EXPECT_EQ(EstimateBTreeHeight(1024, 0.0), 10);
+  EXPECT_EQ(EstimateBTreeHeight(1024, -3.0), 10);
+  EXPECT_EQ(EstimateBTreeHeight(1, 1.0), 0);
+  // A sane fanout is used verbatim.
+  EXPECT_EQ(EstimateBTreeHeight(1024, 1024.0), 1);
+}
+
+TEST(SizeModelTest, OneColumnMaxWidthIndexPacksOneEntryPerPage) {
+  // An entry wider than a page's usable space still packs one entry per
+  // page (no entry splitting in the model): leaf pages == row count.
+  const std::vector<SizedColumn> wide = {
+      {ValueType::kString, static_cast<double>(kPageSize)}};
+  EXPECT_DOUBLE_EQ(EstimateIndexLeafPages(100, wide), 100.0);
+  // Equation 1 spreads bytes across pages instead, but stays >= the
+  // byte-exact lower bound and >= 1.
+  const double eq1 = Equation1IndexPages(100, wide);
+  EXPECT_GE(eq1, std::ceil((kIndexRowOverhead + kPageSize) * 100.0 / kPageSize));
+  EXPECT_DOUBLE_EQ(Equation1IndexPages(0, wide), 1.0);
+}
+
 TEST(CatalogTest, CreateAndFindTable) {
   Catalog catalog;
   TableSchema schema("T", {{"a", ValueType::kInt64, 8, false}});

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <vector>
+
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace parinda {
 namespace {
@@ -137,6 +141,96 @@ TEST(RandomTest, BernoulliRate) {
     if (rng.Bernoulli(0.25)) ++hits;
   }
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&sum, i] {
+      sum.fetch_add(i);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.WaitAll().ok());
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, WaitAllReturnsEarliestSubmittedError) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([i]() -> Status {
+      if (i == 7) return Status::Internal("task 7");
+      if (i == 23) return Status::InvalidArgument("task 23");
+      return Status::OK();
+    });
+  }
+  Status status = pool.WaitAll();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "task 7");
+  // The batch error resets: the pool is reusable.
+  pool.Submit([] { return Status::OK(); });
+  EXPECT_TRUE(pool.WaitAll().ok());
+}
+
+TEST(ThreadPoolTest, WaitAllOnIdlePoolIsOk) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.WaitAll().ok());
+}
+
+TEST(ThreadPoolTest, WorkerCountClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1);
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
+  EXPECT_EQ(ResolveParallelism(0), ThreadPool::DefaultParallelism());
+  EXPECT_EQ(ResolveParallelism(3), 3);
+}
+
+TEST(ParallelForTest, FillsDisjointSlotsIdenticallyAtAnyParallelism) {
+  auto run = [](int parallelism) {
+    std::vector<int> out(64, 0);
+    Status status = ParallelFor(parallelism, 64,
+                                [&out](int i) -> Status {
+                                  out[i] = i * i;
+                                  return Status::OK();
+                                });
+    EXPECT_TRUE(status.ok());
+    return out;
+  };
+  const std::vector<int> serial = run(1);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelForTest, ReturnsLowestIndexError) {
+  for (int parallelism : {1, 4}) {
+    Status status = ParallelFor(parallelism, 20, [](int i) -> Status {
+      if (i == 3) return Status::Internal("first");
+      if (i == 15) return Status::Internal("later");
+      return Status::OK();
+    });
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_EQ(status.message(), "first") << "parallelism " << parallelism;
+  }
+}
+
+TEST(ParallelForTest, SerialModeStopsAtFirstError) {
+  // parallelism <= 1 runs inline in index order and must not touch later
+  // indexes after a failure.
+  std::vector<int> touched(10, 0);
+  Status status = ParallelFor(1, 10, [&touched](int i) -> Status {
+    touched[i] = 1;
+    if (i == 4) return Status::Internal("stop");
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(touched[4], 1);
+  EXPECT_EQ(touched[5], 0);
+}
+
+TEST(ParallelForTest, EmptyRangeIsOk) {
+  EXPECT_TRUE(
+      ParallelFor(4, 0, [](int) { return Status::Internal("never"); }).ok());
 }
 
 }  // namespace

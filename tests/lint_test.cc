@@ -214,6 +214,45 @@ TEST(LintScanner, LiteralsAndCommentsDoNotProduceFalsePositives) {
   EXPECT_EQ(CountCheck(diags, "iostream-in-lib"), 0);
 }
 
+TEST(LintDetachedThread, FlagsRawThreadCreationInLib) {
+  auto diags = RunOn("src/advisor/worker.cc",
+                     "void f() {\n"
+                     "  std::thread t([] {});\n"
+                     "  auto fut = std::async([] {});\n"
+                     "  t.join();\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "detached-thread"), 2);
+}
+
+TEST(LintDetachedThread, FlagsDetachEverywhereInLib) {
+  auto diags = RunOn("src/common/thread_pool.cc",
+                     "void ThreadPool::Bad() { workers_[0].detach(); }\n");
+  EXPECT_EQ(CountCheck(diags, "detached-thread"), 1);
+}
+
+TEST(LintDetachedThread, ThreadPoolFilesMayCreateThreads) {
+  auto diags = RunOn("src/common/thread_pool.h",
+                     "#ifndef G_\n#define G_\n"
+                     "#include <thread>\n"
+                     "std::vector<std::thread> workers_;\n"
+                     "#endif\n");
+  EXPECT_EQ(CountCheck(diags, "detached-thread"), 0);
+}
+
+TEST(LintDetachedThread, NonLibraryPathsAreExempt) {
+  auto diags = RunOn("tests/some_test.cc",
+                     "void f() { std::thread t([] {}); t.detach(); }\n");
+  EXPECT_EQ(CountCheck(diags, "detached-thread"), 0);
+}
+
+TEST(LintDetachedThread, SuppressionComments) {
+  auto diags = RunOn("src/a.cc",
+                     "// parinda-lint: allow(detached-thread)\n"
+                     "std::thread t;\n"
+                     "std::thread u;  // parinda-lint: allow(all)\n");
+  EXPECT_EQ(CountCheck(diags, "detached-thread"), 0);
+}
+
 TEST(LintRegistry, ExplicitRegistrationFlagsCallSites) {
   Linter linter;
   linter.RegisterFallibleFunction("ExternalFallible");

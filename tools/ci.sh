@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# PARINDA CI driver: builds and tests the tree twice —
+# PARINDA CI driver: builds and tests the tree three times —
 #
-#   1. default configuration (RelWithDebInfo, warnings on), and
-#   2. hardened configuration (ASan+UBSan, -Werror)
+#   1. default configuration (RelWithDebInfo, warnings on),
+#   2. hardened configuration (ASan+UBSan, -Werror), and
+#   3. thread-sanitized configuration (TSan, -Werror) — gates the parallel
+#      advisor evaluation layer (ThreadPool/ParallelFor) against data races
 #
 # — then runs parinda-lint over src/ and tests/, failing on any violation.
 #
@@ -25,6 +27,7 @@ run_matrix() {
 
 run_matrix build
 run_matrix build-san -DPARINDA_SANITIZE=address,undefined -DPARINDA_WERROR=ON
+run_matrix build-tsan -DPARINDA_SANITIZE=thread -DPARINDA_WERROR=ON
 
 echo "=== parinda-lint ==="
 ./build/tools/parinda-lint --json src tests > /tmp/parinda_lint_report.json && {

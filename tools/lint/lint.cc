@@ -251,6 +251,11 @@ bool IsStoragePath(const std::string& path) {
          path.rfind("storage/", 0) == 0;
 }
 
+bool IsThreadPoolPath(const std::string& path) {
+  return path.find("src/common/thread_pool.") != std::string::npos ||
+         path.rfind("common/thread_pool.", 0) == 0;
+}
+
 bool IsHeaderPath(const std::string& path) {
   return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
 }
@@ -412,6 +417,38 @@ void CheckRawNewDelete(const CheckContext& ctx) {
   }
 }
 
+void CheckDetachedThread(const CheckContext& ctx) {
+  const std::string& path = ctx.file().path;
+  if (!IsLibraryPath(path)) return;
+  const auto& toks = ctx.file().tokens;
+  // Raw thread creation belongs to the pool alone: everywhere else in src/,
+  // work must go through ThreadPool / ParallelFor so errors propagate as
+  // Status and every thread is joined.
+  if (!IsThreadPoolPath(path)) {
+    for (size_t i = 0; i + 2 < toks.size(); i++) {
+      if (toks[i].text == "std" && toks[i + 1].text == "::" &&
+          (toks[i + 2].text == "thread" || toks[i + 2].text == "jthread" ||
+           toks[i + 2].text == "async")) {
+        ctx.Report(toks[i].line, "detached-thread",
+                   "std::" + toks[i + 2].text +
+                       " in library code outside src/common/thread_pool; "
+                       "submit work to a ThreadPool (or ParallelFor) so "
+                       "errors propagate and threads are joined");
+      }
+    }
+  }
+  // `.detach()` / `->detach()` escapes the join discipline everywhere,
+  // including inside the pool itself (the pool joins in its destructor).
+  for (size_t i = 0; i + 2 < toks.size(); i++) {
+    if ((toks[i].text == "." || toks[i].text == "->") &&
+        toks[i + 1].text == "detach" && toks[i + 2].text == "(") {
+      ctx.Report(toks[i + 1].line, "detached-thread",
+                 "detach() leaks a running thread past its owner's lifetime; "
+                 "join it (ThreadPool does this in WaitAll/destructor)");
+    }
+  }
+}
+
 bool IsBalancedOpen(const std::string& t) {
   return t == "(" || t == "[" || t == "{";
 }
@@ -560,6 +597,7 @@ std::vector<Diagnostic> Linter::Run() {
     CheckIostreamInLib(ctx);
     CheckAssertInLib(ctx);
     CheckRawNewDelete(ctx);
+    CheckDetachedThread(ctx);
     CheckUncheckedStatus(ctx, fallible);
   }
   std::sort(diags.begin(), diags.end(),

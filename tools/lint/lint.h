@@ -22,6 +22,12 @@
 ///                      the standard sink.
 ///   iostream-in-lib    `std::cout` / `std::cerr` in src/ — library code must
 ///                      use PARINDA_LOG.
+///   detached-thread    `std::thread` / `std::jthread` / `std::async` in src/
+///                      outside src/common/thread_pool — the pool is the only
+///                      place allowed to create threads (so work propagates
+///                      Status and every thread is joined) — and `.detach()`
+///                      anywhere in src/ (detaching defeats the join
+///                      discipline even inside the pool).
 ///   header-guard       A .h file whose first preprocessor directives are not
 ///                      `#ifndef`/`#define` (or `#pragma once`).
 ///   todo-no-owner      A TODO comment without an owner: write `TODO(name):`.
