@@ -71,6 +71,12 @@ void Run() {
   }
   std::printf("workload: %.0f -> %.0f (%.2fx)\n", advice->base_cost,
               advice->optimized_cost, advice->Speedup());
+  bench_util::RecordMetric("e6.fragments", advice->fragments.size());
+  bench_util::RecordMetric("e6.replicated_mb",
+                           advice->replicated_bytes / 1024.0 / 1024.0);
+  bench_util::RecordMetric("e6.base_cost", advice->base_cost);
+  bench_util::RecordMetric("e6.optimized_cost", advice->optimized_cost);
+  bench_util::RecordMetric("e6.speedup", advice->Speedup());
 
   // --- Replication constraint sweep ---
   bench_util::PrintHeader("E6b: replication-constraint sweep");
@@ -141,6 +147,10 @@ void RunHorizontal() {
     std::printf("%-12d %14.0f %14.0f %9.2fx\n", parts,
                 base_plan->total_cost(), plan->total_cost(),
                 base_plan->total_cost() / plan->total_cost());
+    if (parts == 8) {
+      bench_util::RecordMetric("e6.range8_speedup",
+                               base_plan->total_cost() / plan->total_cost());
+    }
   }
 }
 
@@ -162,9 +172,11 @@ BENCHMARK(BM_AutoPartSuggest)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
+  parinda::bench_util::InitJson(&argc, argv);
   parinda::Run();
   parinda::RunHorizontal();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  parinda::bench_util::WriteJsonIfEnabled("bench_autopart");
   return 0;
 }

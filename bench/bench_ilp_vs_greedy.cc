@@ -86,6 +86,15 @@ void RunSweeps() {
     std::printf("%-10.2f %12.0f %12.0f %12.0f %9.2f%% %9.2f%%\n", budget_mb,
                 ilp->optimized_cost, greedy->optimized_cost,
                 static_greedy->optimized_cost, win_dta, win_static);
+    if (budget_mb == 1.0) {
+      bench_util::RecordMetric("e4.ilp_cost_1mb", ilp->optimized_cost);
+      bench_util::RecordMetric("e4.dta_greedy_cost_1mb",
+                               greedy->optimized_cost);
+      bench_util::RecordMetric("e4.static_greedy_cost_1mb",
+                               static_greedy->optimized_cost);
+      bench_util::RecordMetric("e4.win_vs_dta_pct_1mb", win_dta);
+      bench_util::RecordMetric("e4.win_vs_static_pct_1mb", win_static);
+    }
   }
 }
 
@@ -158,9 +167,11 @@ BENCHMARK(BM_GreedySuggest)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
+  parinda::bench_util::InitJson(&argc, argv);
   parinda::RunSweeps();
   parinda::RunTpch();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  parinda::bench_util::WriteJsonIfEnabled("bench_ilp_vs_greedy");
   return 0;
 }

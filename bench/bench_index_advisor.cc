@@ -67,6 +67,14 @@ void Run() {
               "estimates\n",
               advice->base_cost, advice->optimized_cost, advice->Speedup(),
               advice->optimizer_calls, advice->inum_estimates);
+  bench_util::RecordMetric("e7.indexes", advice->indexes.size());
+  bench_util::RecordMetric("e7.total_size_mb",
+                           advice->total_size_bytes / 1024.0 / 1024.0);
+  bench_util::RecordMetric("e7.base_cost", advice->base_cost);
+  bench_util::RecordMetric("e7.optimized_cost", advice->optimized_cost);
+  bench_util::RecordMetric("e7.speedup", advice->Speedup());
+  bench_util::RecordMetric("e7.optimizer_calls", advice->optimizer_calls);
+  bench_util::RecordMetric("e7.inum_estimates", advice->inum_estimates);
 
   // --- Budget sweep ---
   bench_util::PrintHeader("E7b: storage-budget sweep");
@@ -163,8 +171,10 @@ BENCHMARK(BM_IndexAdvisorFull)
 }  // namespace parinda
 
 int main(int argc, char** argv) {
+  parinda::bench_util::InitJson(&argc, argv);
   parinda::Run();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  parinda::bench_util::WriteJsonIfEnabled("bench_index_advisor");
   return 0;
 }

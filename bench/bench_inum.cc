@@ -152,6 +152,11 @@ void RunSweep() {
         "optimizer %.2f hours (%.0fx)\n",
         per_estimate * 1e6 / 60.0, per_direct * 1e6 / 3600.0,
         per_direct / per_estimate);
+    bench_util::RecordMetric("e3.inum_minutes_per_1m",
+                             per_estimate * 1e6 / 60.0);
+    bench_util::RecordMetric("e3.direct_hours_per_1m",
+                             per_direct * 1e6 / 3600.0);
+    bench_util::RecordMetric("e3.speedup", per_direct / per_estimate);
   }
 
   // --- Thread scaling: per-query cache population over the demo workload ---
@@ -215,6 +220,12 @@ void RunSweep() {
               "max cost overestimate without pair: %.1f%%\n",
               with_pair.optimizer_calls(), no_pair.optimizer_calls(),
               100.0 * max_gap);
+  bench_util::RecordMetric("e3.ablation_optimizer_calls_pair",
+                           with_pair.optimizer_calls());
+  bench_util::RecordMetric("e3.ablation_optimizer_calls_no_pair",
+                           no_pair.optimizer_calls());
+  bench_util::RecordMetric("e3.ablation_max_overestimate_pct",
+                           100.0 * max_gap);
 }
 
 void BM_InumEstimate(benchmark::State& state) {
@@ -287,8 +298,10 @@ BENCHMARK(BM_DirectOptimizerCall);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
+  parinda::bench_util::InitJson(&argc, argv);
   parinda::RunSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  parinda::bench_util::WriteJsonIfEnabled("bench_inum");
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -52,7 +53,7 @@ void Run() {
   std::printf("%-22s %14s %14s %12s %12s\n", "design", "est. speedup",
               "meas. speedup", "best query", "median query");
 
-  auto report = [&](const char* label, double est_speedup,
+  auto report = [&](const char* label, const char* slug, double est_speedup,
                     const std::vector<double>& measured) {
     std::vector<double> ratios;
     double total = 0.0;
@@ -61,9 +62,15 @@ void Run() {
       ratios.push_back(measured[q] > 0 ? base_measured[q] / measured[q] : 1.0);
     }
     std::sort(ratios.begin(), ratios.end());
+    const double measured_speedup = total > 0 ? base_total / total : 1.0;
     std::printf("%-22s %13.2fx %13.2fx %11.1fx %11.2fx\n", label, est_speedup,
-                total > 0 ? base_total / total : 1.0, ratios.back(),
-                ratios[ratios.size() / 2]);
+                measured_speedup, ratios.back(), ratios[ratios.size() / 2]);
+    bench_util::RecordMetric(std::string("e5.") + slug + ".est_speedup",
+                             est_speedup);
+    bench_util::RecordMetric(std::string("e5.") + slug + ".measured_speedup",
+                             measured_speedup);
+    bench_util::RecordMetric(std::string("e5.") + slug + ".best_query",
+                             ratios.back());
   };
 
   // --- Indexes only (scenario 3) ---
@@ -78,7 +85,8 @@ void Run() {
     auto advice = tool.SuggestIndexes(*wl, options);
     PARINDA_CHECK_OK(advice);
     PARINDA_CHECK_OK(tool.MaterializeIndexes(*advice));
-    report("ILP indexes", advice->Speedup(), MeasuredPerQuery(db, *wl));
+    report("ILP indexes", "ilp_indexes", advice->Speedup(),
+           MeasuredPerQuery(db, *wl));
   }
 
   // --- Partitions only (scenario 2) ---
@@ -103,7 +111,8 @@ void Run() {
       PARINDA_CHECK_OK(result);
       partition_measured.push_back(result->stats.MeasuredCost(params));
     }
-    report("AutoPart partitions", partition_est, partition_measured);
+    report("AutoPart partitions", "autopart_partitions", partition_est,
+           partition_measured);
   }
 
   // --- Partitions + indexes ---
@@ -133,8 +142,8 @@ void Run() {
       PARINDA_CHECK_OK(result);
       measured.push_back(result->stats.MeasuredCost(params));
     }
-    report("partitions + indexes", partitions->Speedup() * indexes->Speedup(),
-           measured);
+    report("partitions + indexes", "partitions_plus_indexes",
+           partitions->Speedup() * indexes->Speedup(), measured);
   }
 }
 
@@ -153,8 +162,10 @@ BENCHMARK(BM_WorkloadExecutionBaseline)->Unit(benchmark::kMillisecond);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
+  parinda::bench_util::InitJson(&argc, argv);
   parinda::Run();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  parinda::bench_util::WriteJsonIfEnabled("bench_speedup");
   return 0;
 }

@@ -2,7 +2,9 @@
 #define PARINDA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "common/check.h"
 #include "executor/executor.h"
@@ -43,6 +45,83 @@ inline double MeasuredWorkloadCost(const Database& db,
 /// Prints a markdown table separator-aware header.
 inline void PrintHeader(const char* title) {
   std::printf("\n== %s ==\n", title);
+}
+
+// --- Machine-readable bench output ------------------------------------------
+//
+// Every bench binary accepts `--json[=path]`. Usage pattern, in main():
+//
+//   bench_util::InitJson(&argc, argv);   // strips --json before gbench parses
+//   RunReports();                        // calls RecordMetric(...) inside
+//   bench_util::WriteJsonIfEnabled("bench_inum");  // -> BENCH_bench_inum.json
+//
+// The report is one flat JSON object {"bench": <name>, "metrics": {...}} so
+// the perf trajectory (BENCH_*.json) can be diffed across commits.
+
+namespace internal {
+inline bool& JsonEnabled() {
+  static bool enabled = false;
+  return enabled;
+}
+inline std::string& JsonPath() {
+  static std::string path;
+  return path;
+}
+/// std::map: deterministic (sorted) key order in the emitted JSON.
+inline std::map<std::string, double>& Metrics() {
+  static std::map<std::string, double> metrics;
+  return metrics;
+}
+}  // namespace internal
+
+/// Records (or overwrites) one named metric for the JSON report. Cheap and
+/// side-effect-free when --json was not given, so report functions call it
+/// unconditionally.
+inline void RecordMetric(const std::string& name, double value) {
+  internal::Metrics()[name] = value;
+}
+
+/// Strips `--json` / `--json=<path>` from argv (so benchmark::Initialize
+/// never sees it) and arms WriteJsonIfEnabled.
+inline void InitJson(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      internal::JsonEnabled() = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      internal::JsonEnabled() = true;
+      internal::JsonPath() = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Writes the recorded metrics to `--json`'s path (default
+/// BENCH_<bench_name>.json in the working directory). No-op without --json.
+inline void WriteJsonIfEnabled(const char* bench_name) {
+  if (!internal::JsonEnabled()) return;
+  const std::string path = internal::JsonPath().empty()
+                               ? "BENCH_" + std::string(bench_name) + ".json"
+                               : internal::JsonPath();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report to '%s'\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", bench_name);
+  bool first = true;
+  for (const auto& [name, value] : internal::Metrics()) {
+    std::fprintf(file, "%s\n    \"%s\": %.17g", first ? "" : ",",
+                 name.c_str(), value);
+    first = false;
+  }
+  std::fprintf(file, "\n  }\n}\n");
+  std::fclose(file);
+  std::printf("JSON report: %s (%zu metrics)\n", path.c_str(),
+              internal::Metrics().size());
 }
 
 }  // namespace bench_util

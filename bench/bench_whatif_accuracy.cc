@@ -88,6 +88,8 @@ void RunAccuracyTable() {
   }
   std::printf("max size error %.1f%%, max cost error %.1f%%\n",
               100.0 * max_size_err, 100.0 * max_cost_err);
+  bench_util::RecordMetric("e2.max_size_error_pct", 100.0 * max_size_err);
+  bench_util::RecordMetric("e2.max_cost_error_pct", 100.0 * max_cost_err);
 
   // --- Ablation: zero-size what-if indexes (the flaw PARINDA fixes) ---
   // Monteiro et al. "do not compute the size of the indexes accurately, and
@@ -124,6 +126,9 @@ void RunAccuracyTable() {
                 actual_bytes > options.storage_budget_bytes
                     ? "  << BUDGET VIOLATED"
                     : "");
+    bench_util::RecordMetric(zero_size ? "e2.zero_size_actual_mb"
+                                       : "e2.equation1_actual_mb",
+                             actual_bytes / 1024.0 / 1024.0);
   }
 }
 
@@ -145,8 +150,10 @@ BENCHMARK(BM_VerifyIndexSimulation);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
+  parinda::bench_util::InitJson(&argc, argv);
   parinda::RunAccuracyTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  parinda::bench_util::WriteJsonIfEnabled("bench_whatif_accuracy");
   return 0;
 }

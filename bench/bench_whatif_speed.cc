@@ -7,6 +7,9 @@
 // against materializing the partition, across table sizes.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "common/check.h"
 #include "bench/bench_util.h"
 #include "storage/btree_index.h"
@@ -73,7 +76,50 @@ void BM_RealPartitionMaterialization(benchmark::State& state) {
 }
 BENCHMARK(BM_RealPartitionMaterialization)->Arg(20000)->Arg(50000);
 
+/// Headline numbers for the JSON report: one simulation vs one physical
+/// build of the same feature (the BM_ functions above give the full curves).
+void RunSpeedSummary() {
+  Database* db = bench_util::SharedSdss(20000);
+  const TableId photoobj = db->catalog().FindTable("photoobj")->id;
+
+  const int sims = 1000;
+  const auto whatif_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < sims; ++i) {
+    WhatIfIndexSet whatif(db->catalog());
+    auto id = whatif.AddIndex({"sum_whatif", photoobj, {9, 3}, false});
+    PARINDA_CHECK_OK(id);
+    benchmark::DoNotOptimize(whatif.Get(*id)->leaf_pages);
+  }
+  const double whatif_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - whatif_start)
+          .count() /
+      sims;
+
+  const HeapTable* heap = db->GetHeapTable(photoobj);
+  const auto build_start = std::chrono::steady_clock::now();
+  auto index = BTreeIndex::Build(*heap, {9, 3});
+  PARINDA_CHECK_OK(index);
+  const double build_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - build_start)
+                              .count();
+
+  bench_util::PrintHeader("E1 summary: simulate vs build, photoobj(r,type)");
+  std::printf("what-if %.2f us vs real build %.0f us (%.0fx)\n", whatif_us,
+              build_us, build_us / whatif_us);
+  bench_util::RecordMetric("e1.whatif_index_us", whatif_us);
+  bench_util::RecordMetric("e1.real_index_build_us", build_us);
+  bench_util::RecordMetric("e1.index_speedup", build_us / whatif_us);
+}
+
 }  // namespace
 }  // namespace parinda
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  parinda::bench_util::InitJson(&argc, argv);
+  parinda::RunSpeedSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  parinda::bench_util::WriteJsonIfEnabled("bench_whatif_speed");
+  return 0;
+}

@@ -1,15 +1,20 @@
 // The PARINDA interactive designer as a command-line tool — the CLI analogue
-// of the demo's GUI (Figures 2 & 3). Reads commands from stdin:
+// of the demo's GUI (Figures 2 & 3), backed by a DesignSession so each
+// add/drop delta re-plans only the queries it touches. Reads commands from
+// stdin:
 //
 //   workload add <SQL>           add a query to the workload
 //   workload load <path>         load a semicolon-separated workload file
 //   workload clear               drop all queries
-//   whatif index <table> <col>[,<col>...]      add a what-if index
-//   whatif partition <table> <col>[,<col>...]  add a what-if partition
-//   whatif range <table> <col> <k>             what-if range-partition into k
-//   whatif clear                 drop the design
+//   add index <table> <col>[,<col>...]      add a what-if index
+//   add partition <table> <col>[,<col>...]  add a what-if vertical partition
+//   add range <table> <col> <k>             range-partition into k pieces
+//   add join [nonestloop] [nomergejoin] [nohashjoin]   disable join methods
+//   drop <id>                    remove one design feature by id
+//   list                         show the current design features
+//   clear                        drop the whole design
 //   evaluate                     report per-query + average benefit
-//   explain <SQL>                show the optimizer plan (with what-ifs)
+//   explain <SQL>                show the optimizer plan under the design
 //   verify <table> <col>[,...]   what-if vs materialized accuracy check
 //   suggest indexes [budget_mb]  run the ILP index advisor
 //   suggest partitions           run AutoPart
@@ -21,6 +26,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,8 +38,8 @@
 #include "parinda/parinda.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
+#include "rewriter/rewriter.h"
 #include "whatif/whatif_index.h"
-#include "whatif/whatif_table.h"
 #include "workload/sdss.h"
 
 using namespace parinda;  // NOLINT: example brevity
@@ -64,8 +70,28 @@ int main() {
   Parinda tool(&db);
 
   std::vector<std::string> workload_sql;
-  InteractiveDesign design;
+  std::unique_ptr<Workload> workload_obj;
+  DesignSession session(db.catalog(), nullptr);
   int partition_counter = 0;
+  int index_counter = 0;
+
+  // Rebinds the workload and points the session at it (costs cached so far
+  // are dropped — the query set changed).
+  auto refresh_workload = [&]() -> bool {
+    if (workload_sql.empty()) {
+      workload_obj.reset();
+      session.SetWorkload(nullptr);
+      return true;
+    }
+    auto workload = MakeWorkload(db.catalog(), workload_sql);
+    if (!workload.ok()) {
+      std::printf("error: %s\n", workload.status().ToString().c_str());
+      return false;
+    }
+    workload_obj = std::make_unique<Workload>(std::move(*workload));
+    session.SetWorkload(workload_obj.get());
+    return true;
+  };
 
   std::printf("PARINDA interactive designer. SDSS sample loaded. "
               "Type commands; 'quit' exits.\n");
@@ -90,6 +116,7 @@ int main() {
       in >> sub;
       if (sub == "clear") {
         workload_sql.clear();
+        (void)refresh_workload();
         std::printf("workload cleared\n");
       } else if (sub == "load") {
         std::string path;
@@ -109,6 +136,7 @@ int main() {
         for (const WorkloadQuery& query : loaded->queries) {
           workload_sql.push_back(query.sql);
         }
+        if (!refresh_workload()) continue;
         std::printf("loaded %d queries (%zu total)\n", loaded->size(),
                     workload_sql.size());
       } else if (sub == "add") {
@@ -124,16 +152,43 @@ int main() {
           continue;
         }
         workload_sql.push_back(std::string(StripWhitespace(sql)));
+        if (!refresh_workload()) {
+          workload_sql.pop_back();
+          continue;
+        }
         std::printf("Q%zu added\n", workload_sql.size());
       }
       continue;
     }
-    if (cmd == "whatif") {
+    if (cmd == "add") {
       std::string sub;
       in >> sub;
-      if (sub == "clear") {
-        design = InteractiveDesign{};
-        std::printf("design cleared\n");
+      if (sub == "join") {
+        WhatIfJoinDef def;
+        std::string flag;
+        bool bad_flag = false;
+        while (in >> flag) {
+          if (flag == "nonestloop") {
+            def.enable_nestloop = false;
+          } else if (flag == "nomergejoin") {
+            def.enable_mergejoin = false;
+          } else if (flag == "nohashjoin") {
+            def.enable_hashjoin = false;
+          } else {
+            std::printf("error: unknown join flag '%s'\n", flag.c_str());
+            bad_flag = true;
+            break;
+          }
+        }
+        if (bad_flag) continue;
+        auto id = session.AddJoinFlags(def);
+        if (!id.ok()) {
+          std::printf("error: %s\n", id.status().ToString().c_str());
+          continue;
+        }
+        std::printf("[%lld] join flags: nestloop=%d mergejoin=%d hashjoin=%d\n",
+                    static_cast<long long>(*id), def.enable_nestloop,
+                    def.enable_mergejoin, def.enable_hashjoin);
         continue;
       }
       std::string table_name;
@@ -161,9 +216,14 @@ int main() {
         def.parent = table->id;
         def.column = col;
         def.bounds = *bounds;
-        design.range_partitions.push_back(def);
-        std::printf("what-if range partitioning of %s on %s into %zu ranges\n",
-                    table_name.c_str(), columns.c_str(), bounds->size() + 1);
+        auto id = session.AddRangePartitioning(def);
+        if (!id.ok()) {
+          std::printf("error: %s\n", id.status().ToString().c_str());
+          continue;
+        }
+        std::printf("[%lld] range partitioning of %s on %s into %zu ranges\n",
+                    static_cast<long long>(*id), table_name.c_str(),
+                    columns.c_str(), bounds->size() + 1);
         continue;
       }
       auto cols = ParseColumns(*table, columns);
@@ -175,29 +235,73 @@ int main() {
         WhatIfIndexDef def;
         def.table = table->id;
         def.columns = *cols;
-        def.name = "wif_idx_" + std::to_string(design.indexes.size());
+        def.name = "wif_idx_" + std::to_string(index_counter++);
         auto pages = WhatIfIndexSet::EstimatePages(db.catalog(), def);
-        design.indexes.push_back(def);
-        std::printf("what-if index on %s(%s): %.0f leaf pages (Equation 1)\n",
-                    table_name.c_str(), columns.c_str(), pages.value_or(0.0));
+        auto id = session.AddIndex(def);
+        if (!id.ok()) {
+          std::printf("error: %s\n", id.status().ToString().c_str());
+          continue;
+        }
+        std::printf("[%lld] index on %s(%s): %.0f leaf pages (Equation 1)\n",
+                    static_cast<long long>(*id), table_name.c_str(),
+                    columns.c_str(), pages.value_or(0.0));
       } else if (sub == "partition") {
         WhatIfPartitionDef def;
         def.parent = table->id;
         def.columns = *cols;
         def.name = table->name + "_wifp" + std::to_string(partition_counter++);
-        design.partitions.push_back(def);
-        std::printf("what-if partition %s { %s } (+ primary key)\n",
-                    def.name.c_str(), columns.c_str());
+        auto id = session.AddPartition(def);
+        if (!id.ok()) {
+          std::printf("error: %s\n", id.status().ToString().c_str());
+          continue;
+        }
+        std::printf("[%lld] partition %s { %s } (+ primary key)\n",
+                    static_cast<long long>(*id), def.name.c_str(),
+                    columns.c_str());
+      } else {
+        std::printf("usage: add index|partition|range|join ...\n");
       }
       continue;
     }
-    if (cmd == "evaluate") {
-      auto workload = MakeWorkload(db.catalog(), workload_sql);
-      if (!workload.ok() || workload->size() == 0) {
-        std::printf("error: empty or unbindable workload\n");
+    if (cmd == "drop") {
+      long long id = 0;
+      if (!(in >> id)) {
+        std::printf("usage: drop <id>\n");
         continue;
       }
-      auto report = tool.EvaluateDesign(*workload, design);
+      Status dropped = session.Drop(id);
+      if (!dropped.ok()) {
+        std::printf("error: %s\n", dropped.ToString().c_str());
+        continue;
+      }
+      std::printf("dropped [%lld]; %d queries to re-plan\n", id,
+                  session.pending_queries());
+      continue;
+    }
+    if (cmd == "list") {
+      const auto components = session.Components();
+      if (components.empty()) {
+        std::printf("  (empty design)\n");
+        continue;
+      }
+      for (const DesignSession::ComponentEntry& e : components) {
+        std::printf("  [%lld] %-6s %s\n", static_cast<long long>(e.id),
+                    OverlayKindName(e.kind), e.description.c_str());
+      }
+      continue;
+    }
+    if (cmd == "clear") {
+      session.ClearDesign();
+      std::printf("design cleared\n");
+      continue;
+    }
+    if (cmd == "evaluate") {
+      if (workload_obj == nullptr) {
+        std::printf("error: empty workload\n");
+        continue;
+      }
+      const int pending = session.pending_queries();
+      auto report = session.Evaluate();
       if (!report.ok()) {
         std::printf("error: %s\n", report.status().ToString().c_str());
         continue;
@@ -208,41 +312,40 @@ int main() {
                     report->per_query_benefit_pct[q]);
       }
       std::printf("  average benefit: %.1f%%\n", report->average_benefit_pct);
+      std::printf("  re-planned %d of %zu queries (%lld planner calls)\n",
+                  pending, report->per_query_base.size(),
+                  static_cast<long long>(session.last_eval_planner_calls()));
       continue;
     }
     if (cmd == "explain") {
       std::string sql;
       std::getline(in, sql);
-      WhatIfTableCatalog overlay(db.catalog());
-      for (const WhatIfPartitionDef& p : design.partitions) {
-        (void)overlay.AddPartition(p);
-      }
-      for (const RangePartitionDef& r : design.range_partitions) {
-        (void)overlay.AddRangePartitioning(r);
-      }
-      WhatIfIndexSet indexes(overlay);
-      for (const WhatIfIndexDef& d : design.indexes) {
-        (void)indexes.AddIndex(d);
-      }
-      HookRegistry hooks;
-      hooks.set_relation_info_hook(indexes.MakeHook());
+      const ComposedOverlay& overlay = session.overlay();
       auto parsed = ParseSelect(sql);
       if (!parsed.ok()) {
         std::printf("error: %s\n", parsed.status().ToString().c_str());
         continue;
       }
-      if (auto bound = BindStatement(overlay, &*parsed); !bound.ok()) {
+      if (auto bound = BindStatement(overlay.catalog(), &*parsed);
+          !bound.ok()) {
         std::printf("error: %s\n", bound.ToString().c_str());
         continue;
       }
+      auto rewritten =
+          RewriteForPartitions(overlay.catalog(), *parsed, overlay.fragments());
+      if (!rewritten.ok()) {
+        std::printf("error: %s\n", rewritten.status().ToString().c_str());
+        continue;
+      }
       PlannerOptions options;
-      options.hooks = &hooks;
-      auto plan = PlanQuery(overlay, *parsed, options);
+      options.params = overlay.params();
+      options.hooks = &overlay.hooks();
+      auto plan = PlanQuery(overlay.catalog(), rewritten->stmt, options);
       if (!plan.ok()) {
         std::printf("error: %s\n", plan.status().ToString().c_str());
         continue;
       }
-      std::printf("%s", plan->ToString(overlay).c_str());
+      std::printf("%s", plan->ToString(overlay.catalog()).c_str());
       continue;
     }
     if (cmd == "verify") {
@@ -293,9 +396,8 @@ int main() {
     if (cmd == "suggest") {
       std::string sub;
       in >> sub;
-      auto workload = MakeWorkload(db.catalog(), workload_sql);
-      if (!workload.ok() || workload->size() == 0) {
-        std::printf("error: empty or unbindable workload\n");
+      if (workload_obj == nullptr) {
+        std::printf("error: empty workload\n");
         continue;
       }
       if (sub == "indexes") {
@@ -303,7 +405,7 @@ int main() {
         in >> budget_mb;
         IndexAdvisorOptions options;
         options.storage_budget_bytes = budget_mb * 1024 * 1024;
-        auto advice = tool.SuggestIndexes(*workload, options);
+        auto advice = tool.SuggestIndexes(*workload_obj, options);
         if (!advice.ok()) {
           std::printf("error: %s\n", advice.status().ToString().c_str());
           continue;
@@ -321,7 +423,7 @@ int main() {
         }
         std::printf("  estimated speedup: %.2fx\n", advice->Speedup());
       } else if (sub == "partitions") {
-        auto advice = tool.SuggestPartitions(*workload);
+        auto advice = tool.SuggestPartitions(*workload_obj);
         if (!advice.ok()) {
           std::printf("error: %s\n", advice.status().ToString().c_str());
           continue;

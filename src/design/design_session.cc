@@ -1,0 +1,303 @@
+#include "design/design_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "optimizer/planner.h"
+#include "rewriter/rewriter.h"
+
+namespace parinda {
+
+namespace {
+
+bool Intersects(const std::vector<TableId>& tables,
+                const std::vector<TableId>& touched) {
+  for (TableId t : touched) {
+    if (std::find(tables.begin(), tables.end(), t) != tables.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DesignSession::DesignSession(const CatalogReader& catalog,
+                             const Workload* workload,
+                             DesignSessionOptions options)
+    : catalog_(catalog), workload_(workload), options_(options) {
+  overlay_ = std::make_unique<ComposedOverlay>(catalog_, options_.params);
+  PARINDA_CHECK_OK(overlay_->Compose({}));
+  RebuildQueryStates();
+}
+
+DesignSession::~DesignSession() = default;
+
+Result<OverlayId> DesignSession::AddIndex(WhatIfIndexDef def) {
+  return AddComponent(MakeIndexOverlay(std::move(def)));
+}
+
+Result<OverlayId> DesignSession::AddPartition(WhatIfPartitionDef def) {
+  return AddComponent(MakeTableOverlay(std::move(def)));
+}
+
+Result<OverlayId> DesignSession::AddRangePartitioning(RangePartitionDef def) {
+  return AddComponent(MakeRangePartitionOverlay(std::move(def)));
+}
+
+Result<OverlayId> DesignSession::AddJoinFlags(WhatIfJoinDef def) {
+  return AddComponent(MakeJoinFlagsOverlay(def));
+}
+
+Result<OverlayId> DesignSession::AddComponent(
+    std::unique_ptr<OverlayComponent> component) {
+  entries_.push_back(Entry{next_id_, std::move(component)});
+  Status composed = Recompose();
+  if (!composed.ok()) {
+    // Eager validation: nothing was added, overlay_ still matches entries_.
+    entries_.pop_back();
+    return composed;
+  }
+  const Entry& entry = entries_.back();
+  if (entry.component->kind() == OverlayKind::kJoinFlags) ++params_epoch_;
+  InvalidateFor(*entry.component);
+  return next_id_++;
+}
+
+Status DesignSession::Drop(OverlayId id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const Entry& e) { return e.id == id; });
+  if (it == entries_.end()) {
+    return Status::NotFound("no design feature with id " + std::to_string(id));
+  }
+  const size_t pos = static_cast<size_t>(it - entries_.begin());
+  Entry removed = std::move(*it);
+  entries_.erase(it);
+  Status composed = Recompose();
+  if (!composed.ok()) {
+    // E.g. dropping a partition while an index on its fragment remains.
+    entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(pos),
+                    std::move(removed));
+    PARINDA_CHECK_OK(Recompose());
+    return composed;
+  }
+  if (removed.component->kind() == OverlayKind::kJoinFlags) ++params_epoch_;
+  InvalidateFor(*removed.component);
+  return Status::OK();
+}
+
+void DesignSession::ClearDesign() {
+  if (entries_.empty()) return;
+  entries_.clear();
+  PARINDA_CHECK_OK(Recompose());
+  ++params_epoch_;
+  for (QueryState& qs : queries_) {
+    qs.whatif_valid = false;
+    qs.index_only_delta = false;
+  }
+}
+
+void DesignSession::SetWorkload(const Workload* workload) {
+  workload_ = workload;
+  RebuildQueryStates();
+}
+
+Status DesignSession::Recompose() {
+  auto candidate = std::make_unique<ComposedOverlay>(catalog_, options_.params);
+  std::vector<const OverlayComponent*> components;
+  components.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    components.push_back(entry.component.get());
+  }
+  PARINDA_RETURN_IF_ERROR(candidate->Compose(components));
+  overlay_ = std::move(candidate);
+  return Status::OK();
+}
+
+void DesignSession::InvalidateFor(const OverlayComponent& component) {
+  const std::vector<TableId> touched =
+      component.TouchedTables(overlay_->catalog());
+  const bool is_index = component.kind() == OverlayKind::kIndex;
+  for (QueryState& qs : queries_) {
+    const bool affected = touched.empty() || Intersects(qs.tables, touched);
+    if (!affected) continue;
+    if (qs.whatif_valid) {
+      qs.whatif_valid = false;
+      qs.index_only_delta = is_index;
+    } else {
+      // Already pending: the pending re-evaluation may use INUM only if
+      // *every* outstanding delta is an index delta.
+      qs.index_only_delta = qs.index_only_delta && is_index;
+    }
+  }
+}
+
+void DesignSession::RebuildQueryStates() {
+  queries_.clear();
+  const int nq = workload_ == nullptr ? 0 : workload_->size();
+  queries_.resize(static_cast<size_t>(nq));
+  for (int q = 0; q < nq; ++q) {
+    QueryState& qs = queries_[static_cast<size_t>(q)];
+    for (const TableRef& ref : workload_->queries[q].stmt.from) {
+      if (ref.bound_table == kInvalidTableId) continue;
+      if (std::find(qs.tables.begin(), qs.tables.end(), ref.bound_table) ==
+          qs.tables.end()) {
+        qs.tables.push_back(ref.bound_table);
+      }
+    }
+  }
+}
+
+bool DesignSession::InumEligible(const QueryState& qs) const {
+  if (!qs.index_only_delta) return false;
+  // Table and range-partition components change the catalog content (or the
+  // rewrite) of the queries they touch; INUM models the base catalog, so any
+  // such component on one of this query's tables disqualifies it.
+  for (const Entry& entry : entries_) {
+    const OverlayKind kind = entry.component->kind();
+    if (kind != OverlayKind::kTable && kind != OverlayKind::kRangePartition) {
+      continue;
+    }
+    const std::vector<TableId> touched =
+        entry.component->TouchedTables(overlay_->catalog());
+    if (touched.empty() || Intersects(qs.tables, touched)) return false;
+  }
+  return true;
+}
+
+Result<double> DesignSession::InumRecost(int q, QueryState* qs) {
+  if (qs->inum == nullptr || qs->inum_params_epoch != params_epoch_) {
+    qs->inum = std::make_unique<InumCostModel>(
+        catalog_, workload_->queries[q].stmt, overlay_->params());
+    Status init = qs->inum->Init();
+    if (!init.ok()) {
+      qs->inum.reset();
+      return init;
+    }
+    qs->inum_params_epoch = params_epoch_;
+  }
+  // The configuration the full path would see: the real indexes plus this
+  // design's what-if indexes, per referenced table.
+  std::vector<const IndexInfo*> config;
+  for (TableId t : qs->tables) {
+    for (const IndexInfo* index : catalog_.TableIndexes(t)) {
+      config.push_back(index);
+    }
+    for (const IndexInfo* index : overlay_->index_set().IndexesFor(t)) {
+      config.push_back(index);
+    }
+  }
+  return qs->inum->EstimateCost(config);
+}
+
+Result<InteractiveReport> DesignSession::Evaluate() {
+  const int64_t plans_before = Planner::stats().plans_built;
+  last_eval_inum_recosts_ = 0;
+
+  const int nq = workload_ == nullptr ? 0 : workload_->size();
+  PARINDA_CHECK(static_cast<int>(queries_.size()) == nq);
+
+  PlannerOptions base_options;
+  base_options.params = options_.params;
+  for (int q = 0; q < nq; ++q) {
+    QueryState& qs = queries_[static_cast<size_t>(q)];
+    if (qs.base_valid) continue;
+    PARINDA_ASSIGN_OR_RETURN(
+        Plan plan,
+        PlanQuery(catalog_, workload_->queries[q].stmt, base_options));
+    qs.base_cost = plan.total_cost();
+    qs.base_valid = true;
+  }
+
+  PlannerOptions whatif_options;
+  whatif_options.params = overlay_->params();
+  whatif_options.hooks = &overlay_->hooks();
+  for (int q = 0; q < nq; ++q) {
+    QueryState& qs = queries_[static_cast<size_t>(q)];
+    if (qs.whatif_valid) continue;
+    bool served = false;
+    if (options_.inum_index_deltas && InumEligible(qs)) {
+      // Index deltas never change the rewrite, so the cached rewritten_sql
+      // (set by the prior full evaluation) stays correct.
+      Result<double> cost = InumRecost(q, &qs);
+      if (cost.ok()) {
+        qs.whatif_cost = *cost;
+        ++last_eval_inum_recosts_;
+        served = true;
+      }
+      // On INUM failure (e.g. a query shape it cannot model) fall through to
+      // the exact path rather than failing the evaluation.
+    }
+    if (!served) {
+      PARINDA_ASSIGN_OR_RETURN(
+          RewriteResult rewritten,
+          RewriteForPartitions(overlay_->catalog(), workload_->queries[q].stmt,
+                               overlay_->fragments()));
+      PARINDA_ASSIGN_OR_RETURN(
+          Plan plan,
+          PlanQuery(overlay_->catalog(), rewritten.stmt, whatif_options));
+      qs.whatif_cost = plan.total_cost();
+      qs.rewritten_sql = rewritten.changed ? rewritten.stmt.ToSql()
+                                           : workload_->queries[q].sql;
+    }
+    qs.whatif_valid = true;
+    qs.index_only_delta = false;
+  }
+
+  // Aggregation replicates the stateless evaluation's summation order
+  // exactly (query order, benefit folded in as computed), so a warmed
+  // session's report is bit-identical to a fresh one's.
+  InteractiveReport report;
+  report.per_query_base.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_whatif.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_benefit_pct.assign(static_cast<size_t>(nq), 0.0);
+  report.rewritten_sql.assign(static_cast<size_t>(nq), "");
+  for (int q = 0; q < nq; ++q) {
+    const QueryState& qs = queries_[static_cast<size_t>(q)];
+    report.per_query_base[static_cast<size_t>(q)] = qs.base_cost;
+    report.base_cost += qs.base_cost * workload_->queries[q].weight;
+  }
+  for (int q = 0; q < nq; ++q) {
+    const QueryState& qs = queries_[static_cast<size_t>(q)];
+    report.per_query_whatif[static_cast<size_t>(q)] = qs.whatif_cost;
+    report.whatif_cost += qs.whatif_cost * workload_->queries[q].weight;
+    report.rewritten_sql[static_cast<size_t>(q)] = qs.rewritten_sql;
+    if (report.per_query_base[static_cast<size_t>(q)] > 0.0) {
+      report.per_query_benefit_pct[static_cast<size_t>(q)] =
+          100.0 *
+          (report.per_query_base[static_cast<size_t>(q)] -
+           report.per_query_whatif[static_cast<size_t>(q)]) /
+          report.per_query_base[static_cast<size_t>(q)];
+    }
+    report.average_benefit_pct +=
+        report.per_query_benefit_pct[static_cast<size_t>(q)];
+  }
+  if (nq > 0) report.average_benefit_pct /= nq;
+
+  last_eval_planner_calls_ = Planner::stats().plans_built - plans_before;
+  return report;
+}
+
+std::vector<DesignSession::ComponentEntry> DesignSession::Components() const {
+  std::vector<ComponentEntry> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    ComponentEntry e;
+    e.id = entry.id;
+    e.kind = entry.component->kind();
+    e.description = entry.component->Describe(overlay_->catalog());
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+int DesignSession::pending_queries() const {
+  int pending = 0;
+  for (const QueryState& qs : queries_) {
+    if (!qs.whatif_valid) ++pending;
+  }
+  return pending;
+}
+
+}  // namespace parinda

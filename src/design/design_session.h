@@ -1,0 +1,175 @@
+#ifndef PARINDA_DESIGN_DESIGN_SESSION_H_
+#define PARINDA_DESIGN_DESIGN_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "design/overlay.h"
+#include "inum/inum.h"
+#include "workload/workload.h"
+
+namespace parinda {
+
+/// Scenario 1 output: "the average workload benefit and the individual
+/// queries benefits are displayed"; rewritten queries can be saved.
+struct InteractiveReport {
+  double base_cost = 0.0;
+  double whatif_cost = 0.0;
+  std::vector<double> per_query_base;
+  std::vector<double> per_query_whatif;
+  /// Per-query benefit in percent ((base - whatif) / base * 100).
+  std::vector<double> per_query_benefit_pct;
+  double average_benefit_pct = 0.0;
+  /// Queries rewritten for the what-if partitions.
+  std::vector<std::string> rewritten_sql;
+};
+
+/// Handle to one design feature inside a session (returned by Add*, consumed
+/// by Drop). Handles are never reused within a session.
+using OverlayId = int64_t;
+
+struct DesignSessionOptions {
+  CostParams params;
+  /// When true, a query invalidated *only* by index deltas (and whose tables
+  /// carry no table/range-partition components) is re-costed through INUM
+  /// plan recomposition (§3.4) instead of full re-optimization. INUM's
+  /// recomposed cost is a close approximation, not bit-identical to the
+  /// planner's, so this is opt-in; with the default (false) the session is
+  /// exact — invalidation alone already skips every untouched query, which
+  /// is where the interactive-latency win comes from.
+  bool inum_index_deltas = false;
+};
+
+/// An interactive what-if design session — the stateful core of the paper's
+/// scenario 1 loop ("she creates several what-if table partitions and several
+/// what-if indexes", re-checks the benefit, adjusts, repeats).
+///
+/// The session holds a set of OverlayComponents and a workload, tracks which
+/// base tables each query references, and caches per-query costs. An Add* or
+/// Drop delta invalidates only the queries whose tables the delta touches
+/// (join flags are global), so Evaluate() after a single-table delta re-plans
+/// |queries referencing that table| queries, not the whole workload.
+///
+/// Determinism guarantee: Evaluate() returns a report bit-identical to a
+/// fresh stateless evaluation of the same component set, for *any*
+/// interleaving of Add/Drop deltas that reaches that set (see DESIGN.md §9;
+/// requires inum_index_deltas == false). Parinda::EvaluateDesign is exactly
+/// that fresh one-shot session.
+///
+/// Not thread-safe. `catalog` and the workload must outlive the session, and
+/// the base catalog must not change behind it (materializing a feature or
+/// re-ANALYZEing invalidates the cached costs silently — start a new session
+/// after mutating the database).
+class DesignSession {
+ public:
+  /// `workload` may be null (empty reports until SetWorkload).
+  DesignSession(const CatalogReader& catalog, const Workload* workload,
+                DesignSessionOptions options = {});
+  ~DesignSession();
+
+  DesignSession(const DesignSession&) = delete;
+  DesignSession& operator=(const DesignSession&) = delete;
+
+  // --- Deltas. Each Add* validates eagerly by recomposing the overlay: on
+  // error nothing is added and the session is unchanged. ---
+
+  [[nodiscard]] Result<OverlayId> AddIndex(WhatIfIndexDef def);
+  [[nodiscard]] Result<OverlayId> AddPartition(WhatIfPartitionDef def);
+  [[nodiscard]] Result<OverlayId> AddRangePartitioning(RangePartitionDef def);
+  [[nodiscard]] Result<OverlayId> AddJoinFlags(WhatIfJoinDef def);
+
+  /// Removes one feature. Fails (and leaves the session unchanged) when `id`
+  /// is unknown or the remainder no longer composes (e.g. dropping a
+  /// partition while an index on its fragment remains).
+  [[nodiscard]] Status Drop(OverlayId id);
+
+  /// Drops every feature.
+  void ClearDesign();
+
+  /// Replaces the workload; all cached per-query state is discarded.
+  void SetWorkload(const Workload* workload);
+
+  /// Evaluates the current design over the workload, re-planning only
+  /// invalidated queries. The first call on a fresh session plans everything
+  /// (it *is* the stateless evaluation).
+  [[nodiscard]] Result<InteractiveReport> Evaluate();
+
+  // --- Introspection ---
+
+  struct ComponentEntry {
+    OverlayId id = 0;
+    OverlayKind kind = OverlayKind::kIndex;
+    std::string description;
+  };
+  /// Current components in insertion order.
+  std::vector<ComponentEntry> Components() const;
+
+  /// The composed overlay backing the next Evaluate() (for EXPLAIN-style
+  /// inspection; never null).
+  const ComposedOverlay& overlay() const { return *overlay_; }
+
+  /// Queries whose what-if cost the next Evaluate() must recompute.
+  int pending_queries() const;
+  /// PlanQuery invocations during the last Evaluate() (includes INUM's
+  /// internal cache-fill calls).
+  int64_t last_eval_planner_calls() const { return last_eval_planner_calls_; }
+  /// Queries served by INUM recomposition during the last Evaluate().
+  int last_eval_inum_recosts() const { return last_eval_inum_recosts_; }
+
+ private:
+  struct Entry {
+    OverlayId id = 0;
+    std::unique_ptr<OverlayComponent> component;
+  };
+
+  struct QueryState {
+    /// Base tables the query references (deduplicated, from the binder).
+    std::vector<TableId> tables;
+    bool base_valid = false;
+    double base_cost = 0.0;
+    bool whatif_valid = false;
+    double whatif_cost = 0.0;
+    std::string rewritten_sql;
+    /// True when every invalidation since the last evaluation came from
+    /// index components — the precondition for INUM recomposition.
+    bool index_only_delta = false;
+    /// Lazily built INUM model (base catalog, current overlay params).
+    std::unique_ptr<InumCostModel> inum;
+    /// Params epoch inum was built under; stale models are rebuilt.
+    int64_t inum_params_epoch = -1;
+  };
+
+  [[nodiscard]] Result<OverlayId> AddComponent(
+      std::unique_ptr<OverlayComponent> component);
+  /// Rebuilds overlay_ from entries_. The overlay is a pure function of the
+  /// component list, which is what makes cached costs reusable across
+  /// rebuilds.
+  [[nodiscard]] Status Recompose();
+  /// Marks queries touching `component`'s tables for re-evaluation.
+  void InvalidateFor(const OverlayComponent& component);
+  void RebuildQueryStates();
+  /// True when query `q` may be re-costed via INUM (index-only delta, no
+  /// table/range component on any of its tables).
+  bool InumEligible(const QueryState& qs) const;
+  [[nodiscard]] Result<double> InumRecost(int q, QueryState* qs);
+
+  const CatalogReader& catalog_;
+  const Workload* workload_;
+  DesignSessionOptions options_;
+  std::vector<Entry> entries_;
+  OverlayId next_id_ = 1;
+  std::unique_ptr<ComposedOverlay> overlay_;
+  /// Bumped whenever the composed params change (join-flag deltas), so INUM
+  /// models built under old params are rebuilt.
+  int64_t params_epoch_ = 0;
+  std::vector<QueryState> queries_;
+  int64_t last_eval_planner_calls_ = 0;
+  int last_eval_inum_recosts_ = 0;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_DESIGN_DESIGN_SESSION_H_

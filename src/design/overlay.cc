@@ -1,0 +1,208 @@
+#include "design/overlay.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace parinda {
+
+namespace {
+
+std::string TableName(const CatalogReader& catalog, TableId id) {
+  const TableInfo* table = catalog.GetTable(id);
+  return table != nullptr ? table->name : "table#" + std::to_string(id);
+}
+
+std::string ColumnList(const CatalogReader& catalog, TableId id,
+                       const std::vector<ColumnId>& columns) {
+  const TableInfo* table = catalog.GetTable(id);
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ",";
+    if (table != nullptr && columns[i] >= 0 &&
+        columns[i] < table->schema.num_columns()) {
+      out += table->schema.column(columns[i]).name;
+    } else {
+      out += "col#" + std::to_string(columns[i]);
+    }
+  }
+  return out;
+}
+
+/// Dependency tables for a feature targeting `table`: hypothetical tables
+/// resolve to their base parent (query dependencies are in base ids); a
+/// hypothetical table with no resolvable parent yields {} = global, the
+/// conservative answer.
+std::vector<TableId> BaseTablesFor(const CatalogReader& catalog,
+                                   TableId table) {
+  if (table < kWhatIfTableIdBase) return {table};
+  const TableInfo* info = catalog.GetTable(table);
+  if (info != nullptr && info->parent_table != kInvalidTableId) {
+    return {info->parent_table};
+  }
+  return {};
+}
+
+class IndexOverlay : public OverlayComponent {
+ public:
+  explicit IndexOverlay(WhatIfIndexDef def) : def_(std::move(def)) {}
+  OverlayKind kind() const override { return OverlayKind::kIndex; }
+  std::vector<TableId> TouchedTables(
+      const CatalogReader& catalog) const override {
+    return BaseTablesFor(catalog, def_.table);
+  }
+  std::string Describe(const CatalogReader& catalog) const override {
+    return "index " + def_.name + " on " + TableName(catalog, def_.table) +
+           "(" + ColumnList(catalog, def_.table, def_.columns) + ")" +
+           (def_.unique ? " unique" : "");
+  }
+  Status ApplyTo(ComposedOverlay* overlay) const override {
+    return overlay->ApplyIndex(def_);
+  }
+
+ private:
+  WhatIfIndexDef def_;
+};
+
+class TableOverlay : public OverlayComponent {
+ public:
+  explicit TableOverlay(WhatIfPartitionDef def) : def_(std::move(def)) {}
+  OverlayKind kind() const override { return OverlayKind::kTable; }
+  std::vector<TableId> TouchedTables(
+      const CatalogReader& catalog) const override {
+    return BaseTablesFor(catalog, def_.parent);
+  }
+  std::string Describe(const CatalogReader& catalog) const override {
+    return "partition " + def_.name + " of " +
+           TableName(catalog, def_.parent) + " { " +
+           ColumnList(catalog, def_.parent, def_.columns) + " }";
+  }
+  Status ApplyTo(ComposedOverlay* overlay) const override {
+    return overlay->ApplyPartition(def_);
+  }
+
+ private:
+  WhatIfPartitionDef def_;
+};
+
+class RangePartitionOverlay : public OverlayComponent {
+ public:
+  explicit RangePartitionOverlay(RangePartitionDef def)
+      : def_(std::move(def)) {}
+  OverlayKind kind() const override { return OverlayKind::kRangePartition; }
+  std::vector<TableId> TouchedTables(
+      const CatalogReader& catalog) const override {
+    return BaseTablesFor(catalog, def_.parent);
+  }
+  std::string Describe(const CatalogReader& catalog) const override {
+    return "range partitioning of " + TableName(catalog, def_.parent) +
+           " on " + ColumnList(catalog, def_.parent, {def_.column}) +
+           " into " + std::to_string(def_.bounds.size() + 1) + " ranges";
+  }
+  Status ApplyTo(ComposedOverlay* overlay) const override {
+    return overlay->ApplyRangePartitioning(def_);
+  }
+
+ private:
+  RangePartitionDef def_;
+};
+
+class JoinFlagsOverlay : public OverlayComponent {
+ public:
+  explicit JoinFlagsOverlay(WhatIfJoinDef def) : def_(def) {}
+  OverlayKind kind() const override { return OverlayKind::kJoinFlags; }
+  std::vector<TableId> TouchedTables(const CatalogReader&) const override {
+    return {};  // global: join flags affect every query's plan search
+  }
+  std::string Describe(const CatalogReader&) const override {
+    std::string out = "join flags";
+    out += def_.enable_nestloop ? " nestloop=on" : " nestloop=off";
+    out += def_.enable_mergejoin ? " mergejoin=on" : " mergejoin=off";
+    out += def_.enable_hashjoin ? " hashjoin=on" : " hashjoin=off";
+    return out;
+  }
+  Status ApplyTo(ComposedOverlay* overlay) const override {
+    return overlay->ApplyJoinFlags(def_);
+  }
+
+ private:
+  WhatIfJoinDef def_;
+};
+
+}  // namespace
+
+const char* OverlayKindName(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::kTable:
+      return "table";
+    case OverlayKind::kRangePartition:
+      return "range";
+    case OverlayKind::kIndex:
+      return "index";
+    case OverlayKind::kJoinFlags:
+      return "join";
+  }
+  return "?";
+}
+
+std::unique_ptr<OverlayComponent> MakeIndexOverlay(WhatIfIndexDef def) {
+  return std::make_unique<IndexOverlay>(std::move(def));
+}
+std::unique_ptr<OverlayComponent> MakeTableOverlay(WhatIfPartitionDef def) {
+  return std::make_unique<TableOverlay>(std::move(def));
+}
+std::unique_ptr<OverlayComponent> MakeRangePartitionOverlay(
+    RangePartitionDef def) {
+  return std::make_unique<RangePartitionOverlay>(std::move(def));
+}
+std::unique_ptr<OverlayComponent> MakeJoinFlagsOverlay(WhatIfJoinDef def) {
+  return std::make_unique<JoinFlagsOverlay>(def);
+}
+
+ComposedOverlay::ComposedOverlay(const CatalogReader& base, CostParams params)
+    : params_(params), tables_(base), indexes_(tables_) {
+  hooks_.set_relation_info_hook(indexes_.MakeHook());
+}
+
+Status ComposedOverlay::Compose(
+    const std::vector<const OverlayComponent*>& components) {
+  // Kind-major order makes the overlay a function of the component *set*
+  // (plus per-kind insertion order), not of the interleaving of kinds — and
+  // matches the order the stateless EvaluateDesign always used: partitions,
+  // then range partitionings, then indexes.
+  for (OverlayKind kind :
+       {OverlayKind::kTable, OverlayKind::kRangePartition, OverlayKind::kIndex,
+        OverlayKind::kJoinFlags}) {
+    for (const OverlayComponent* component : components) {
+      if (component->kind() != kind) continue;
+      PARINDA_RETURN_IF_ERROR(component->ApplyTo(this));
+    }
+  }
+  return Status::OK();
+}
+
+Status ComposedOverlay::ApplyPartition(const WhatIfPartitionDef& def) {
+  PARINDA_ASSIGN_OR_RETURN(TableId id, tables_.AddPartition(def));
+  fragments_.push_back(tables_.GetTable(id));
+  return Status::OK();
+}
+
+Status ComposedOverlay::ApplyRangePartitioning(const RangePartitionDef& def) {
+  PARINDA_ASSIGN_OR_RETURN(std::vector<TableId> children,
+                           tables_.AddRangePartitioning(def));
+  (void)children;  // children are reached through the shadowed parent
+  return Status::OK();
+}
+
+Status ComposedOverlay::ApplyIndex(const WhatIfIndexDef& def) {
+  PARINDA_ASSIGN_OR_RETURN(IndexId id, indexes_.AddIndex(def));
+  (void)id;
+  return Status::OK();
+}
+
+Status ComposedOverlay::ApplyJoinFlags(const WhatIfJoinDef& def) {
+  params_ = WhatIfJoin::Apply(params_, def);
+  return Status::OK();
+}
+
+}  // namespace parinda

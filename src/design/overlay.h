@@ -1,0 +1,120 @@
+#ifndef PARINDA_DESIGN_OVERLAY_H_
+#define PARINDA_DESIGN_OVERLAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cost_params.h"
+#include "optimizer/hooks.h"
+#include "whatif/whatif_horizontal.h"
+#include "whatif/whatif_index.h"
+#include "whatif/whatif_join.h"
+#include "whatif/whatif_table.h"
+
+namespace parinda {
+
+/// The four what-if design-feature kinds of the paper's §3.2. The enum order
+/// is the *composition order*: table overlays apply first (so indexes over
+/// hypothetical fragments size correctly against the fragment's statistics),
+/// then horizontal range partitionings, then indexes, then join flags.
+enum class OverlayKind {
+  kTable = 0,
+  kRangePartition = 1,
+  kIndex = 2,
+  kJoinFlags = 3,
+};
+
+/// Stable lowercase name ("table", "range", "index", "join").
+const char* OverlayKindName(OverlayKind kind);
+
+class ComposedOverlay;
+
+/// One composable what-if design feature. The four concrete kinds (made by
+/// the Make*Overlay factories below) wrap the ad-hoc what-if mechanisms of
+/// src/whatif/ behind a uniform interface so a DesignSession can hold a
+/// heterogeneous set, compose it into one ComposedOverlay, and reason about
+/// which queries a delta invalidates.
+class OverlayComponent {
+ public:
+  virtual ~OverlayComponent() = default;
+
+  virtual OverlayKind kind() const = 0;
+
+  /// Base tables whose queries this component can influence. An empty result
+  /// means the component is global (affects every query — join flags). For a
+  /// feature targeting a hypothetical table (e.g. an index on a what-if
+  /// fragment), the table is resolved through `catalog` to the *base* parent,
+  /// since query → table dependencies are expressed in base-table ids.
+  virtual std::vector<TableId> TouchedTables(
+      const CatalogReader& catalog) const = 0;
+
+  /// Human-readable one-liner (REPL `list`, DesignSession::Components).
+  virtual std::string Describe(const CatalogReader& catalog) const = 0;
+
+  /// Installs this feature into `overlay`; called by ComposedOverlay::Compose
+  /// in kind-major order.
+  [[nodiscard]] virtual Status ApplyTo(ComposedOverlay* overlay) const = 0;
+};
+
+std::unique_ptr<OverlayComponent> MakeIndexOverlay(WhatIfIndexDef def);
+std::unique_ptr<OverlayComponent> MakeTableOverlay(WhatIfPartitionDef def);
+std::unique_ptr<OverlayComponent> MakeRangePartitionOverlay(
+    RangePartitionDef def);
+std::unique_ptr<OverlayComponent> MakeJoinFlagsOverlay(WhatIfJoinDef def);
+
+/// All four what-if mechanisms composed over one base catalog: a
+/// WhatIfTableCatalog for hypothetical tables, a WhatIfIndexSet sized over
+/// that overlay (so fragment indexes see fragment statistics), a HookRegistry
+/// with the index-injection hook installed, and the cost parameters with
+/// every join-flags component applied. This is the single object the planner
+/// consumes — the seam parinda-lint's `overlay-internals` check keeps layers
+/// above from re-wiring by hand.
+///
+/// A ComposedOverlay is single-use: construct, Compose once, then read. A
+/// DesignSession rebuilds a fresh instance per delta, which makes overlay
+/// state a pure function of the component set (the determinism guarantee of
+/// DESIGN.md §9 rests on this).
+class ComposedOverlay {
+ public:
+  /// `base` must outlive this overlay.
+  explicit ComposedOverlay(const CatalogReader& base, CostParams params = {});
+
+  ComposedOverlay(const ComposedOverlay&) = delete;
+  ComposedOverlay& operator=(const ComposedOverlay&) = delete;
+
+  /// Applies `components` in kind-major order (tables, ranges, indexes, join
+  /// flags; insertion order within a kind). On error the overlay is
+  /// half-built and must be discarded.
+  [[nodiscard]] Status Compose(
+      const std::vector<const OverlayComponent*>& components);
+
+  /// The catalog the binder/rewriter/planner should see.
+  const WhatIfTableCatalog& catalog() const { return tables_; }
+  const WhatIfIndexSet& index_set() const { return indexes_; }
+  /// Vertical-partition fragments in application order (rewriter input).
+  const std::vector<const TableInfo*>& fragments() const { return fragments_; }
+  /// Registry with the composed relation-info hook installed.
+  const HookRegistry& hooks() const { return hooks_; }
+  /// Session cost parameters with every join-flags component AND-composed.
+  const CostParams& params() const { return params_; }
+
+  // Feature installers, called from OverlayComponent::ApplyTo.
+  [[nodiscard]] Status ApplyPartition(const WhatIfPartitionDef& def);
+  [[nodiscard]] Status ApplyRangePartitioning(const RangePartitionDef& def);
+  [[nodiscard]] Status ApplyIndex(const WhatIfIndexDef& def);
+  [[nodiscard]] Status ApplyJoinFlags(const WhatIfJoinDef& def);
+
+ private:
+  CostParams params_;
+  WhatIfTableCatalog tables_;
+  WhatIfIndexSet indexes_;
+  HookRegistry hooks_;
+  std::vector<const TableInfo*> fragments_;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_DESIGN_OVERLAY_H_

@@ -1,6 +1,7 @@
 #include "optimizer/planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 
@@ -898,9 +899,24 @@ bool StatementHasAggregates(const SelectStatement& stmt) {
   return false;
 }
 
+namespace {
+std::atomic<int64_t> g_plans_built{0};
+}  // namespace
+
+Planner::Stats Planner::stats() {
+  Stats out;
+  out.plans_built = g_plans_built.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Planner::ResetStats() {
+  g_plans_built.store(0, std::memory_order_relaxed);
+}
+
 Result<Plan> PlanQuery(const CatalogReader& catalog,
                        const SelectStatement& stmt,
                        const PlannerOptions& options) {
+  g_plans_built.fetch_add(1, std::memory_order_relaxed);
   PlannerImpl impl(catalog, stmt, options);
   return impl.Run();
 }

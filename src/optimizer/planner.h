@@ -1,6 +1,8 @@
 #ifndef PARINDA_OPTIMIZER_PLANNER_H_
 #define PARINDA_OPTIMIZER_PLANNER_H_
 
+#include <cstdint>
+
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "optimizer/cost_params.h"
@@ -18,6 +20,24 @@ struct PlannerOptions {
   /// Relations up to which exhaustive System-R dynamic programming is used;
   /// larger FROM lists fall back to a greedy left-deep search.
   int max_dp_rels = 10;
+};
+
+/// Process-wide planner instrumentation. Every PlanQuery call increments
+/// `plans_built` — including the calls INUM issues internally while filling
+/// its cache — so incremental-vs-full evaluation strategies are assertable
+/// in tests and reportable in benches. The counter is atomic (the parallel
+/// advisor evaluation layer plans from worker threads).
+class Planner {
+ public:
+  struct Stats {
+    int64_t plans_built = 0;
+  };
+
+  /// Snapshot of the counters.
+  static Stats stats();
+  /// Resets the counters; tests and benches isolate measurement windows by
+  /// resetting (or by differencing two snapshots).
+  static void ResetStats();
 };
 
 /// Plans a *bound* SELECT statement (see BindStatement) into a physical plan

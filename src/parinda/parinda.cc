@@ -2,76 +2,42 @@
 
 #include <cmath>
 
+#include "design/design_session.h"
 #include "optimizer/planner.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
-#include "rewriter/rewriter.h"
 
 namespace parinda {
 
 Result<InteractiveReport> Parinda::EvaluateDesign(
     const Workload& workload, const InteractiveDesign& design,
     const CostParams& params) {
-  InteractiveReport report;
-  const int nq = workload.size();
-  report.per_query_base.assign(static_cast<size_t>(nq), 0.0);
-  report.per_query_whatif.assign(static_cast<size_t>(nq), 0.0);
-  report.per_query_benefit_pct.assign(static_cast<size_t>(nq), 0.0);
-  report.rewritten_sql.assign(static_cast<size_t>(nq), "");
-
-  PlannerOptions base_options;
-  base_options.params = params;
-  for (int q = 0; q < nq; ++q) {
-    PARINDA_ASSIGN_OR_RETURN(
-        Plan plan,
-        PlanQuery(db_->catalog(), workload.queries[q].stmt, base_options));
-    report.per_query_base[q] = plan.total_cost();
-    report.base_cost += plan.total_cost() * workload.queries[q].weight;
-  }
-
-  // Simulate: partitions through the catalog overlay, indexes through the
-  // optimizer hook — exactly the two what-if mechanisms of §3.2.
-  WhatIfTableCatalog overlay(db_->catalog());
-  std::vector<const TableInfo*> fragments;
+  // A one-shot DesignSession: the first Evaluate() on a fresh session *is*
+  // the stateless evaluation (same overlay composition, same planner calls,
+  // same summation order — bit-identical reports; asserted in
+  // tests/parinda_test.cc).
+  DesignSessionOptions options;
+  options.params = params;
+  DesignSession session(db_->catalog(), &workload, options);
   for (const WhatIfPartitionDef& partition : design.partitions) {
-    PARINDA_ASSIGN_OR_RETURN(TableId id, overlay.AddPartition(partition));
-    fragments.push_back(overlay.GetTable(id));
+    PARINDA_ASSIGN_OR_RETURN(OverlayId unused,
+                             session.AddPartition(partition));
+    (void)unused;
   }
   for (const RangePartitionDef& ranges : design.range_partitions) {
-    PARINDA_ASSIGN_OR_RETURN(std::vector<TableId> unused,
-                             overlay.AddRangePartitioning(ranges));
+    PARINDA_ASSIGN_OR_RETURN(OverlayId unused,
+                             session.AddRangePartitioning(ranges));
     (void)unused;
   }
-  WhatIfIndexSet indexes(overlay);
   for (const WhatIfIndexDef& def : design.indexes) {
-    PARINDA_ASSIGN_OR_RETURN(IndexId unused, indexes.AddIndex(def));
+    PARINDA_ASSIGN_OR_RETURN(OverlayId unused, session.AddIndex(def));
     (void)unused;
   }
-  HookRegistry hooks;
-  hooks.set_relation_info_hook(indexes.MakeHook());
-  PlannerOptions whatif_options;
-  whatif_options.params = params;
-  whatif_options.hooks = &hooks;
-
-  for (int q = 0; q < nq; ++q) {
-    PARINDA_ASSIGN_OR_RETURN(
-        RewriteResult rewritten,
-        RewriteForPartitions(overlay, workload.queries[q].stmt, fragments));
-    PARINDA_ASSIGN_OR_RETURN(
-        Plan plan, PlanQuery(overlay, rewritten.stmt, whatif_options));
-    report.per_query_whatif[q] = plan.total_cost();
-    report.whatif_cost += plan.total_cost() * workload.queries[q].weight;
-    report.rewritten_sql[q] =
-        rewritten.changed ? rewritten.stmt.ToSql() : workload.queries[q].sql;
-    if (report.per_query_base[q] > 0.0) {
-      report.per_query_benefit_pct[q] =
-          100.0 * (report.per_query_base[q] - report.per_query_whatif[q]) /
-          report.per_query_base[q];
-    }
-    report.average_benefit_pct += report.per_query_benefit_pct[q];
+  for (const WhatIfJoinDef& join : design.join_flags) {
+    PARINDA_ASSIGN_OR_RETURN(OverlayId unused, session.AddJoinFlags(join));
+    (void)unused;
   }
-  if (nq > 0) report.average_benefit_pct /= nq;
-  return report;
+  return session.Evaluate();
 }
 
 Result<SimulationAccuracyReport> Parinda::VerifyIndexSimulation(

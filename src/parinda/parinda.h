@@ -8,9 +8,11 @@
 #include "autopart/autopart.h"
 #include "common/check.h"
 #include "common/status.h"
+#include "design/design_session.h"
 #include "storage/database.h"
 #include "whatif/whatif_horizontal.h"
 #include "whatif/whatif_index.h"
+#include "whatif/whatif_join.h"
 #include "whatif/whatif_table.h"
 #include "workload/workload.h"
 
@@ -24,21 +26,13 @@ struct InteractiveDesign {
   /// Horizontal range partitionings to simulate (extension beyond the demo;
   /// see src/whatif/whatif_horizontal.h).
   std::vector<RangePartitionDef> range_partitions;
+  /// What-if join-method restrictions (the paper's fourth design-feature
+  /// kind), AND-composed onto the evaluation's cost parameters.
+  std::vector<WhatIfJoinDef> join_flags;
 };
 
-/// Scenario 1 output: "the average workload benefit and the individual
-/// queries benefits are displayed"; rewritten queries can be saved.
-struct InteractiveReport {
-  double base_cost = 0.0;
-  double whatif_cost = 0.0;
-  std::vector<double> per_query_base;
-  std::vector<double> per_query_whatif;
-  /// Per-query benefit in percent ((base - whatif) / base * 100).
-  std::vector<double> per_query_benefit_pct;
-  double average_benefit_pct = 0.0;
-  /// Queries rewritten for the what-if partitions.
-  std::vector<std::string> rewritten_sql;
-};
+// InteractiveReport (scenario 1's output) lives with the session layer that
+// produces it: see design/design_session.h.
 
 /// Scenario 1's verification step: "compare the execution plan of the
 /// what-if design with the execution plan of the same materialized physical
@@ -72,7 +66,10 @@ class Parinda {
   // --- Scenario 1: interactive partition/index selection ---
 
   /// Simulates `design` and reports the workload benefit. Pure what-if: no
-  /// data is touched, which is why this is interactive-speed.
+  /// data is touched, which is why this is interactive-speed. A thin
+  /// stateless wrapper over a one-shot DesignSession; for an iterating
+  /// add/drop/re-evaluate loop, hold a DesignSession directly and get
+  /// incremental re-evaluation.
   [[nodiscard]] Result<InteractiveReport> EvaluateDesign(const Workload& workload,
                                            const InteractiveDesign& design,
                                            const CostParams& params = {});

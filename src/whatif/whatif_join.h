@@ -5,6 +5,17 @@
 
 namespace parinda {
 
+/// A what-if join-method restriction as a first-class design feature (the
+/// paper lists what-if joins alongside indexes and partitions). Flags are
+/// AND-composed onto the session's cost parameters: a join method stays
+/// enabled only if the base parameters *and* every WhatIfJoinDef in the
+/// design enable it.
+struct WhatIfJoinDef {
+  bool enable_nestloop = true;
+  bool enable_mergejoin = true;
+  bool enable_hashjoin = true;
+};
+
 /// The paper's *What-If Join Component* (§3.2): "This is used to control the
 /// join methods to be used in the execution plan of the query... We enable
 /// and disable the nested-loop join method using the flags offered by the
@@ -26,6 +37,14 @@ struct WhatIfJoin {
     params.enable_nestloop = method == Method::kNestLoop;
     params.enable_mergejoin = method == Method::kMergeJoin;
     params.enable_hashjoin = method == Method::kHashJoin;
+    return params;
+  }
+
+  /// AND-composes `def` onto `params` (see WhatIfJoinDef).
+  static CostParams Apply(CostParams params, const WhatIfJoinDef& def) {
+    params.enable_nestloop = params.enable_nestloop && def.enable_nestloop;
+    params.enable_mergejoin = params.enable_mergejoin && def.enable_mergejoin;
+    params.enable_hashjoin = params.enable_hashjoin && def.enable_hashjoin;
     return params;
   }
 };

@@ -253,6 +253,62 @@ TEST(LintDetachedThread, SuppressionComments) {
   EXPECT_EQ(CountCheck(diags, "detached-thread"), 0);
 }
 
+TEST(LintOverlayInternals, FlagsHandWiredOverlayOutsideDesignLayer) {
+  auto diags = RunOn("src/parinda/parinda.cc",
+                     "void f(const CatalogReader& c) {\n"
+                     "  WhatIfTableCatalog tables(c);\n"
+                     "  WhatIfIndexSet indexes(tables);\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "overlay-internals"), 1);
+}
+
+TEST(LintOverlayInternals, SingleMechanismIsLegal) {
+  EXPECT_EQ(CountCheck(RunOn("src/advisor/index_advisor.cc",
+                             "WhatIfIndexSet candidates(catalog);\n"),
+                       "overlay-internals"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("src/autopart/autopart.cc",
+                             "WhatIfTableCatalog overlay(catalog);\n"),
+                       "overlay-internals"),
+            0);
+}
+
+TEST(LintOverlayInternals, FlagsComposedOverlayAndOverlayHeaderInclude) {
+  auto diags = RunOn("src/advisor/index_advisor.cc",
+                     "#include \"design/overlay.h\"\n"
+                     "ComposedOverlay overlay(catalog);\n");
+  EXPECT_EQ(CountCheck(diags, "overlay-internals"), 2);
+}
+
+TEST(LintOverlayInternals, DesignAndWhatifLayersAndTestsAreExempt) {
+  const char* code =
+      "#include \"design/overlay.h\"\n"
+      "void f(const CatalogReader& c) {\n"
+      "  ComposedOverlay overlay(c);\n"
+      "  WhatIfTableCatalog tables(c);\n"
+      "  WhatIfIndexSet indexes(tables);\n"
+      "}\n";
+  EXPECT_EQ(CountCheck(RunOn("src/design/overlay.cc", code),
+                       "overlay-internals"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("src/whatif/whatif_index.cc", code),
+                       "overlay-internals"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("tests/design_test.cc", code),
+                       "overlay-internals"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("bench/bench_interactive.cc", code),
+                       "overlay-internals"),
+            0);
+}
+
+TEST(LintOverlayInternals, SuppressionWorks) {
+  auto diags = RunOn("src/parinda/parinda.cc",
+                     "// parinda-lint: allow(overlay-internals)\n"
+                     "ComposedOverlay overlay(catalog);\n");
+  EXPECT_EQ(CountCheck(diags, "overlay-internals"), 0);
+}
+
 TEST(LintRegistry, ExplicitRegistrationFlagsCallSites) {
   Linter linter;
   linter.RegisterFallibleFunction("ExternalFallible");

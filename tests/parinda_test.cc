@@ -6,6 +6,7 @@
 #include "parinda/parinda.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
+#include "rewriter/rewriter.h"
 #include "workload/sdss.h"
 
 namespace parinda {
@@ -242,6 +243,147 @@ TEST_F(ParindaTest, DatabaseDropTableClearsEverything) {
   EXPECT_EQ(db.GetHeapTable(dataset->specobj), nullptr);
   EXPECT_EQ(db.GetBTree(*idx), nullptr);
   EXPECT_FALSE(db.DropTable(dataset->specobj).ok());
+}
+
+// Replicates the original stateless EvaluateDesign algorithm inline — the
+// what-if mechanisms wired by hand, exactly as parinda.cc did before the
+// DesignSession refactor — so the test can assert the refactored wrapper is
+// bit-identical to the old behaviour. (Hand-wiring is what the
+// overlay-internals lint check bans in src/; tests are exempt.)
+InteractiveReport ReferenceEvaluate(const CatalogReader& catalog,
+                                    const Workload& workload,
+                                    const InteractiveDesign& design,
+                                    const CostParams& params) {
+  WhatIfTableCatalog tables(catalog);
+  std::vector<const TableInfo*> fragments;
+  for (const WhatIfPartitionDef& p : design.partitions) {
+    auto id = tables.AddPartition(p);
+    PARINDA_CHECK_OK(id);
+    fragments.push_back(tables.GetTable(*id));
+  }
+  for (const RangePartitionDef& r : design.range_partitions) {
+    PARINDA_CHECK_OK(tables.AddRangePartitioning(r));
+  }
+  WhatIfIndexSet indexes(tables);
+  for (const WhatIfIndexDef& d : design.indexes) {
+    PARINDA_CHECK_OK(indexes.AddIndex(d));
+  }
+  HookRegistry hooks;
+  hooks.set_relation_info_hook(indexes.MakeHook());
+  CostParams whatif_params = params;
+  for (const WhatIfJoinDef& j : design.join_flags) {
+    whatif_params = WhatIfJoin::Apply(whatif_params, j);
+  }
+
+  const int nq = workload.size();
+  InteractiveReport report;
+  report.per_query_base.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_whatif.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_benefit_pct.assign(static_cast<size_t>(nq), 0.0);
+  report.rewritten_sql.assign(static_cast<size_t>(nq), "");
+  PlannerOptions base_options;
+  base_options.params = params;
+  for (int q = 0; q < nq; ++q) {
+    auto plan = PlanQuery(catalog, workload.queries[q].stmt, base_options);
+    PARINDA_CHECK_OK(plan);
+    report.per_query_base[static_cast<size_t>(q)] = plan->total_cost();
+    report.base_cost += plan->total_cost() * workload.queries[q].weight;
+  }
+  PlannerOptions whatif_options;
+  whatif_options.params = whatif_params;
+  whatif_options.hooks = &hooks;
+  for (int q = 0; q < nq; ++q) {
+    auto rewritten =
+        RewriteForPartitions(tables, workload.queries[q].stmt, fragments);
+    PARINDA_CHECK_OK(rewritten);
+    auto plan = PlanQuery(tables, rewritten->stmt, whatif_options);
+    PARINDA_CHECK_OK(plan);
+    report.per_query_whatif[static_cast<size_t>(q)] = plan->total_cost();
+    report.whatif_cost += plan->total_cost() * workload.queries[q].weight;
+    report.rewritten_sql[static_cast<size_t>(q)] =
+        rewritten->changed ? rewritten->stmt.ToSql() : workload.queries[q].sql;
+    if (report.per_query_base[static_cast<size_t>(q)] > 0.0) {
+      report.per_query_benefit_pct[static_cast<size_t>(q)] =
+          100.0 *
+          (report.per_query_base[static_cast<size_t>(q)] -
+           report.per_query_whatif[static_cast<size_t>(q)]) /
+          report.per_query_base[static_cast<size_t>(q)];
+    }
+    report.average_benefit_pct +=
+        report.per_query_benefit_pct[static_cast<size_t>(q)];
+  }
+  if (nq > 0) report.average_benefit_pct /= nq;
+  return report;
+}
+
+TEST_F(ParindaTest, EvaluateDesignBitIdenticalToStatelessReference) {
+  // The full 30-query SDSS workload under a design mixing all four what-if
+  // feature kinds: the DesignSession-backed EvaluateDesign must reproduce
+  // the original hand-wired evaluation bit for bit.
+  Parinda tool(db_);
+  auto workload = MakeSdssWorkload(db_->catalog());
+  ASSERT_TRUE(workload.ok());
+
+  InteractiveDesign design;
+  design.partitions.push_back({"bi_shape", dataset_->photoobj, {3, 17}});
+  RangePartitionDef ranges;
+  ranges.parent = dataset_->specobj;
+  ranges.column = 2;  // z
+  ranges.bounds = {Value::Double(1.0), Value::Double(3.0)};
+  design.range_partitions.push_back(ranges);
+  design.indexes.push_back({"bi_objid", dataset_->photoobj, {0}, false});
+  design.indexes.push_back({"bi_quality", dataset_->field, {8}, false});
+  WhatIfJoinDef flags;
+  flags.enable_mergejoin = false;
+  design.join_flags.push_back(flags);
+
+  auto report = tool.EvaluateDesign(*workload, design);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const InteractiveReport reference =
+      ReferenceEvaluate(db_->catalog(), *workload, design, CostParams{});
+
+  EXPECT_EQ(report->base_cost, reference.base_cost);
+  EXPECT_EQ(report->whatif_cost, reference.whatif_cost);
+  EXPECT_EQ(report->average_benefit_pct, reference.average_benefit_pct);
+  ASSERT_EQ(report->per_query_base.size(), reference.per_query_base.size());
+  for (size_t q = 0; q < reference.per_query_base.size(); ++q) {
+    EXPECT_EQ(report->per_query_base[q], reference.per_query_base[q])
+        << "query " << q;
+    EXPECT_EQ(report->per_query_whatif[q], reference.per_query_whatif[q])
+        << "query " << q;
+    EXPECT_EQ(report->per_query_benefit_pct[q],
+              reference.per_query_benefit_pct[q])
+        << "query " << q;
+    EXPECT_EQ(report->rewritten_sql[q], reference.rewritten_sql[q])
+        << "query " << q;
+  }
+}
+
+TEST_F(ParindaTest, JoinFlagsExposedInInteractiveDesign) {
+  Parinda tool(db_);
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT p.objid, s.z FROM photoobj p, specobj s "
+       "WHERE p.objid = s.bestobjid AND s.z > 3.5"});
+  ASSERT_TRUE(workload.ok());
+
+  // Neutral flags leave the evaluation untouched.
+  InteractiveDesign neutral;
+  neutral.join_flags.push_back(WhatIfJoinDef{});
+  auto neutral_report = tool.EvaluateDesign(*workload, neutral);
+  ASSERT_TRUE(neutral_report.ok());
+  EXPECT_EQ(neutral_report->whatif_cost, neutral_report->base_cost);
+
+  // Disabling every join method penalizes any join plan (disable_cost).
+  InteractiveDesign restricted;
+  WhatIfJoinDef none;
+  none.enable_nestloop = false;
+  none.enable_mergejoin = false;
+  none.enable_hashjoin = false;
+  restricted.join_flags.push_back(none);
+  auto restricted_report = tool.EvaluateDesign(*workload, restricted);
+  ASSERT_TRUE(restricted_report.ok());
+  EXPECT_GT(restricted_report->whatif_cost, restricted_report->base_cost);
 }
 
 TEST_F(ParindaTest, JoinAgainstRangePartitionedTable) {

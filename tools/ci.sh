@@ -6,7 +6,10 @@
 #   3. thread-sanitized configuration (TSan, -Werror) — gates the parallel
 #      advisor evaluation layer (ThreadPool/ParallelFor) against data races
 #
-# — then runs parinda-lint over src/ and tests/, failing on any violation.
+# — then runs every example binary as a smoke test (the interactive designer
+# gets a scripted add/drop/evaluate session piped to stdin) and parinda-lint
+# over src/ and tests/, failing on any violation (including the
+# overlay-internals layering check).
 #
 # Usage: tools/ci.sh [jobs]
 set -eu
@@ -28,6 +31,39 @@ run_matrix() {
 run_matrix build
 run_matrix build-san -DPARINDA_SANITIZE=address,undefined -DPARINDA_WERROR=ON
 run_matrix build-tsan -DPARINDA_SANITIZE=thread -DPARINDA_WERROR=ON
+
+echo "=== examples smoke tests ==="
+run_example() {
+  echo "--- $1"
+  "./build/examples/$@" > /dev/null
+}
+run_example quickstart
+run_example auto_partition 64
+run_example range_partition 8
+run_example auto_index 16
+run_example advise_from_stats /tmp/parinda_ci_stats.txt
+printf '%s\n' \
+  'tables' \
+  'workload add SELECT objid FROM photoobj WHERE objid < 500' \
+  'workload add SELECT field_id FROM field WHERE quality = 3' \
+  'add index photoobj objid' \
+  'add partition photoobj objid,ra,dec' \
+  'add range photoobj ra 4' \
+  'add join nonestloop' \
+  'list' \
+  'evaluate' \
+  'drop 4' \
+  'evaluate' \
+  'clear' \
+  'evaluate' \
+  'quit' \
+  | ./build/examples/interactive_designer > /tmp/parinda_ci_repl.txt
+grep -q 'average benefit' /tmp/parinda_ci_repl.txt || {
+  echo "interactive_designer smoke test produced no evaluation report:"
+  cat /tmp/parinda_ci_repl.txt
+  exit 1
+}
+echo "--- interactive_designer"
 
 echo "=== parinda-lint ==="
 ./build/tools/parinda-lint --json src tests > /tmp/parinda_lint_report.json && {

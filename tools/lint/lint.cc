@@ -256,6 +256,13 @@ bool IsThreadPoolPath(const std::string& path) {
          path.rfind("common/thread_pool.", 0) == 0;
 }
 
+bool IsOverlayLayerPath(const std::string& path) {
+  return path.find("src/design/") != std::string::npos ||
+         path.rfind("design/", 0) == 0 ||
+         path.find("src/whatif/") != std::string::npos ||
+         path.rfind("whatif/", 0) == 0;
+}
+
 bool IsHeaderPath(const std::string& path) {
   return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
 }
@@ -449,6 +456,43 @@ void CheckDetachedThread(const CheckContext& ctx) {
   }
 }
 
+void CheckOverlayInternals(const CheckContext& ctx) {
+  const std::string& path = ctx.file().path;
+  if (!IsLibraryPath(path) || IsOverlayLayerPath(path)) return;
+  // The composed-overlay machinery (what-if catalog + index set + hooks +
+  // params, wired together) is owned by src/design/. Code above it must go
+  // through DesignSession; using one what-if mechanism on its own stays
+  // legal (the advisors do), but wiring the table and index halves together
+  // by hand recreates the pre-DesignSession ad-hoc composition.
+  int table_line = 0;
+  int index_line = 0;
+  for (const Token& tok : ctx.file().tokens) {
+    if (tok.kind != Token::Kind::kIdent) continue;
+    if (tok.text == "ComposedOverlay") {
+      ctx.Report(tok.line, "overlay-internals",
+                 "ComposedOverlay is a src/design/ internal; hold a "
+                 "DesignSession and read session.overlay() instead");
+    } else if (tok.text == "WhatIfTableCatalog" && table_line == 0) {
+      table_line = tok.line;
+    } else if (tok.text == "WhatIfIndexSet" && index_line == 0) {
+      index_line = tok.line;
+    }
+  }
+  if (table_line != 0 && index_line != 0) {
+    ctx.Report(std::max(table_line, index_line), "overlay-internals",
+               "file wires WhatIfTableCatalog and WhatIfIndexSet together by "
+               "hand; compose what-if features through a "
+               "design/DesignSession");
+  }
+  for (const Directive& d : ctx.file().directives) {
+    if (d.text.find("design/overlay.h") != std::string::npos) {
+      ctx.Report(d.line, "overlay-internals",
+                 "design/overlay.h is internal to src/design/; include "
+                 "design/design_session.h and use DesignSession");
+    }
+  }
+}
+
 bool IsBalancedOpen(const std::string& t) {
   return t == "(" || t == "[" || t == "{";
 }
@@ -598,6 +642,7 @@ std::vector<Diagnostic> Linter::Run() {
     CheckAssertInLib(ctx);
     CheckRawNewDelete(ctx);
     CheckDetachedThread(ctx);
+    CheckOverlayInternals(ctx);
     CheckUncheckedStatus(ctx, fallible);
   }
   std::sort(diags.begin(), diags.end(),

@@ -28,6 +28,12 @@
 ///                      Status and every thread is joined) — and `.detach()`
 ///                      anywhere in src/ (detaching defeats the join
 ///                      discipline even inside the pool).
+///   overlay-internals  Code in src/ outside src/design/ and src/whatif/ that
+///                      reaches into the what-if overlay internals: naming
+///                      ComposedOverlay, including design/overlay.h, or
+///                      wiring WhatIfTableCatalog and WhatIfIndexSet together
+///                      in one file. Compose designs through a DesignSession;
+///                      using a single what-if mechanism on its own is fine.
 ///   header-guard       A .h file whose first preprocessor directives are not
 ///                      `#ifndef`/`#define` (or `#pragma once`).
 ///   todo-no-owner      A TODO comment without an owner: write `TODO(name):`.
