@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -127,6 +128,67 @@ void Run() {
                 serial_seconds / seconds, advice_w->indexes.size(),
                 advice_w->optimized_cost, identical ? "yes" : "NO");
     PARINDA_CHECK(identical);
+  }
+
+  // --- Anytime curve: advice quality vs time budget (DESIGN.md §10) ---
+  bench_util::PrintHeader(
+      "E7e: anytime curve — advice quality vs time budget (budget 8 MB)");
+  std::printf("%-10s %10s %6s %12s %9s %9s  %s\n", "budget", "wall (s)",
+              "#idx", "cost", "speedup", "degraded", "fallbacks");
+  for (const double budget_ms : {1.0, 5.0, 10.0, 50.0, 200.0, -1.0}) {
+    IndexAdvisorOptions anytime;
+    anytime.storage_budget_bytes = 8.0 * 1024 * 1024;
+    // The deadline is an absolute instant: arm it immediately before the run.
+    const auto start = std::chrono::steady_clock::now();
+    anytime.deadline = budget_ms < 0
+                           ? Deadline::Infinite()
+                           : Deadline::AfterMillis(
+                                 static_cast<int64_t>(budget_ms));
+    IndexAdvisor anytime_advisor(db->catalog(), *workload, anytime);
+    auto anytime_advice = anytime_advisor.SuggestWithIlp();
+    PARINDA_CHECK_OK(anytime_advice);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string label =
+        budget_ms < 0 ? "inf" : std::to_string(static_cast<int>(budget_ms)) +
+                                    " ms";
+    std::string fallbacks;
+    for (const std::string& f : anytime_advice->degradation.fallbacks) {
+      if (!fallbacks.empty()) fallbacks += ",";
+      fallbacks += f;
+    }
+    std::printf("%-10s %10.3f %6zu %12.0f %8.2fx %9s  %s\n", label.c_str(),
+                seconds, anytime_advice->indexes.size(),
+                anytime_advice->optimized_cost, anytime_advice->Speedup(),
+                anytime_advice->degradation.degraded ? "yes" : "no",
+                fallbacks.empty() ? "-" : fallbacks.c_str());
+    const std::string key =
+        "e7e.budget_" + (budget_ms < 0
+                             ? std::string("inf")
+                             : std::to_string(static_cast<int>(budget_ms)) +
+                                   "ms");
+    bench_util::RecordMetric(key + ".wall_seconds", seconds);
+    bench_util::RecordMetric(key + ".indexes", anytime_advice->indexes.size());
+    bench_util::RecordMetric(key + ".optimized_cost",
+                             anytime_advice->optimized_cost);
+    bench_util::RecordMetric(key + ".degraded",
+                             anytime_advice->degradation.degraded ? 1.0 : 0.0);
+    if (budget_ms < 0) {
+      // The infinite point of the curve must land exactly on the unbudgeted
+      // E7 run above: same configuration, same cost, not degraded.
+      std::string signature;
+      for (const SuggestedIndex& s : anytime_advice->indexes) {
+        signature += IndexLabel(*db, s.def) + ";";
+      }
+      std::string reference_signature;
+      for (const SuggestedIndex& s : advice->indexes) {
+        reference_signature += IndexLabel(*db, s.def) + ";";
+      }
+      PARINDA_CHECK(!anytime_advice->degradation.degraded);
+      PARINDA_CHECK(signature == reference_signature);
+      PARINDA_CHECK(anytime_advice->optimized_cost == advice->optimized_cost);
+    }
   }
 
   // --- Single vs multicolumn candidates (the COLT contrast) ---

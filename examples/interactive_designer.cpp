@@ -18,11 +18,13 @@
 //   verify <table> <col>[,...]   what-if vs materialized accuracy check
 //   suggest indexes [budget_mb]  run the ILP index advisor
 //   suggest partitions           run AutoPart
+//   budget <ms>|off              time-budget evaluate/suggest (anytime mode)
 //   stats dump <path>            write a catalog statistics dump
 //   tables                       list catalog tables
 //   quit
 //
 // Example: printf 'tables\nquit\n' | ./interactive_designer
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -33,6 +35,7 @@
 
 #include "catalog/stats_io.h"
 
+#include "common/deadline.h"
 #include "common/strings.h"
 #include "optimizer/planner.h"
 #include "parinda/parinda.h"
@@ -74,6 +77,23 @@ int main() {
   DesignSession session(db.catalog(), nullptr);
   int partition_counter = 0;
   int index_counter = 0;
+  // Time budget for evaluate/suggest, in milliseconds; < 0 = unlimited.
+  // Deadlines are absolute instants, so each command arms a fresh one.
+  double budget_ms = -1.0;
+  auto arm_budget = [&]() {
+    return budget_ms < 0 ? Deadline::Infinite()
+                         : Deadline::AfterMillis(static_cast<int64_t>(budget_ms));
+  };
+  auto print_degradation = [](const DegradationReport& degradation) {
+    if (!degradation.degraded) return;
+    std::string rungs;
+    for (const std::string& f : degradation.fallbacks) {
+      if (!rungs.empty()) rungs += ", ";
+      rungs += f;
+    }
+    std::printf("  (budget expired — best-effort result; fallbacks: %s)\n",
+                rungs.c_str());
+  };
 
   // Rebinds the workload and points the session at it (costs cached so far
   // are dropped — the query set changed).
@@ -295,12 +315,32 @@ int main() {
       std::printf("design cleared\n");
       continue;
     }
+    if (cmd == "budget") {
+      std::string value;
+      in >> value;
+      if (value == "off") {
+        budget_ms = -1.0;
+        std::printf("budget off (evaluate/suggest run to completion)\n");
+      } else {
+        std::istringstream parse(value);
+        double ms = 0.0;
+        if (!(parse >> ms) || ms < 0) {
+          std::printf("usage: budget <ms>|off\n");
+          continue;
+        }
+        budget_ms = ms;
+        std::printf("budget %.0f ms (degraded results are flagged; re-run "
+                    "to refine)\n", budget_ms);
+      }
+      continue;
+    }
     if (cmd == "evaluate") {
       if (workload_obj == nullptr) {
         std::printf("error: empty workload\n");
         continue;
       }
       const int pending = session.pending_queries();
+      session.set_deadline(arm_budget());
       auto report = session.Evaluate();
       if (!report.ok()) {
         std::printf("error: %s\n", report.status().ToString().c_str());
@@ -315,6 +355,7 @@ int main() {
       std::printf("  re-planned %d of %zu queries (%lld planner calls)\n",
                   pending, report->per_query_base.size(),
                   static_cast<long long>(session.last_eval_planner_calls()));
+      print_degradation(report->degradation);
       continue;
     }
     if (cmd == "explain") {
@@ -405,6 +446,7 @@ int main() {
         in >> budget_mb;
         IndexAdvisorOptions options;
         options.storage_budget_bytes = budget_mb * 1024 * 1024;
+        options.deadline = arm_budget();
         auto advice = tool.SuggestIndexes(*workload_obj, options);
         if (!advice.ok()) {
           std::printf("error: %s\n", advice.status().ToString().c_str());
@@ -422,8 +464,11 @@ int main() {
                       s.size_bytes / 1024.0 / 1024.0);
         }
         std::printf("  estimated speedup: %.2fx\n", advice->Speedup());
+        print_degradation(advice->degradation);
       } else if (sub == "partitions") {
-        auto advice = tool.SuggestPartitions(*workload_obj);
+        AutoPartOptions part_options;
+        part_options.deadline = arm_budget();
+        auto advice = tool.SuggestPartitions(*workload_obj, part_options);
         if (!advice.ok()) {
           std::printf("error: %s\n", advice.status().ToString().c_str());
           continue;
@@ -438,6 +483,7 @@ int main() {
           std::printf("  PARTITION %s { %s }\n", t->name.c_str(), cols.c_str());
         }
         std::printf("  estimated speedup: %.2fx\n", advice->Speedup());
+        print_degradation(advice->degradation);
       }
       continue;
     }

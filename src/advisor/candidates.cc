@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
 #include "optimizer/query_analysis.h"
 #include "optimizer/selectivity.h"
 
@@ -76,6 +77,9 @@ Result<std::vector<WhatIfIndexDef>> GenerateCandidateIndexes(
   };
 
   for (const WorkloadQuery& query : workload.queries) {
+    PARINDA_FAILPOINT("advisor.enumerate");
+    // Anytime truncation: a smaller candidate pool is still a valid pool.
+    if (options.deadline.Expired()) break;
     PARINDA_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
                              AnalyzeQuery(catalog, query.stmt));
     for (size_t r = 0; r < analyzed.tables.size(); ++r) {

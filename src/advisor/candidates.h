@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "whatif/whatif_index.h"
 #include "workload/workload.h"
@@ -17,6 +18,12 @@ struct CandidateOptions {
   int max_width = 2;
   /// Hard cap on the candidate set size.
   int max_candidates = 256;
+  /// Anytime budget: enumeration checks this once per workload query and,
+  /// when it expires, returns the candidates gathered so far (a valid,
+  /// smaller pool) instead of an error. Callers that care whether the pool
+  /// was truncated check `deadline.Expired()` afterwards. Infinite by
+  /// default.
+  Deadline deadline;
 };
 
 /// Determines "a large set of candidate indexes by analyzing the workload"

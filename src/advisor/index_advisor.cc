@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "solver/lp.h"
 
@@ -13,6 +14,12 @@ namespace parinda {
 namespace {
 
 constexpr double kBenefitEps = 1e-6;
+
+/// Budget expiry and cancellation degrade; every other error propagates.
+bool IsBudgetError(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
 
 }  // namespace
 
@@ -25,9 +32,13 @@ IndexAdvisor::~IndexAdvisor() = default;
 
 Status IndexAdvisor::Prepare() {
   if (prepared_) return Status::OK();
+  CandidateOptions cand_options = options_.candidates;
+  cand_options.deadline = options_.deadline;
   PARINDA_ASSIGN_OR_RETURN(
       std::vector<WhatIfIndexDef> defs,
-      GenerateCandidateIndexes(catalog_, workload_, options_.candidates));
+      GenerateCandidateIndexes(catalog_, workload_, cand_options));
+  // Enumeration truncates (returns a smaller pool) rather than erroring.
+  if (options_.deadline.Expired()) prep_complete_ = false;
   candidate_set_ = std::make_unique<WhatIfIndexSet>(catalog_);
   for (const WhatIfIndexDef& def : defs) {
     PARINDA_ASSIGN_OR_RETURN(IndexId id, candidate_set_->AddIndex(def));
@@ -49,10 +60,15 @@ Status IndexAdvisor::Prepare() {
   base_cost_.assign(static_cast<size_t>(nq), 0.0);
   benefit_.assign(static_cast<size_t>(nq),
                   std::vector<double>(static_cast<size_t>(nc), 0.0));
-  PARINDA_RETURN_IF_ERROR(ParallelFor(
+  row_complete_.assign(static_cast<size_t>(nq), 0);
+  Status fill = ParallelFor(
       ResolveParallelism(options_.parallelism), nq, [&](int q) -> Status {
+        PARINDA_FAILPOINT("advisor.matrix");
         models_[q] = std::make_unique<InumCostModel>(
             catalog_, workload_.queries[q].stmt, options_.params);
+        // Workers observe the shared budget; an expired deadline fails the
+        // row, and ParallelFor's cancel-on-error drains the rest promptly.
+        models_[q]->set_deadline(&options_.deadline);
         PARINDA_RETURN_IF_ERROR(models_[q]->Init());
         PARINDA_ASSIGN_OR_RETURN(base_cost_[q], models_[q]->EstimateCost({}));
         // Tables of this query, to skip irrelevant candidates fast.
@@ -69,10 +85,31 @@ Status IndexAdvisor::Prepare() {
             benefit_[q][j] = gain * workload_.queries[q].weight;
           }
         }
+        row_complete_[q] = 1;
         return Status::OK();
-      }));
+      });
+  if (!fill.ok()) {
+    if (!IsBudgetError(fill)) return fill;
+    // Out of budget mid-matrix: keep the complete rows, degrade the rest.
+    prep_complete_ = false;
+  }
   prepared_ = true;
-  return Status::OK();
+  return fill;
+}
+
+Status IndexAdvisor::PrepareBestEffort(DegradationReport* report) {
+  fp_snapshot_ = failpoint::AllHits();
+  PhaseTimer timer(report, "prepare");
+  Status status = Prepare();
+  if (status.ok()) {
+    if (!prep_complete_) report->AddFallback("enumerate:truncated");
+    return Status::OK();
+  }
+  if (IsBudgetError(status)) {
+    report->AddFallback("matrix:truncated");
+    return Status::OK();
+  }
+  return status;
 }
 
 double IndexAdvisor::MaintenanceCost(int j) const {
@@ -96,31 +133,115 @@ Result<double> IndexAdvisor::QueryCost(
   return models_[q]->EstimateCost(config);
 }
 
+IndexAdvice IndexAdvisor::FinishAdviceFromMatrix(
+    const std::vector<const IndexInfo*>& selected,
+    const std::vector<double>& model_benefit, bool proved_optimal,
+    DegradationReport report) {
+  IndexAdvice advice;
+  advice.proved_optimal = proved_optimal;
+  const int nq = workload_.size();
+  advice.per_query_base = base_cost_;
+  advice.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
+  std::map<const IndexInfo*, int> candidate_index;
+  for (size_t j = 0; j < candidates_.size(); ++j) {
+    candidate_index[candidates_[j]] = static_cast<int>(j);
+  }
+  std::map<const IndexInfo*, std::vector<int>> used_by;
+  for (int q = 0; q < nq; ++q) {
+    const double weight = std::max(kBenefitEps, workload_.queries[q].weight);
+    // Estimate from the stand-alone benefit matrix: per table, the best
+    // selected candidate serves the query (one access path per table); no
+    // fresh model calls. Incomplete rows carry zero benefit, so their
+    // estimate stays at the (possibly unfilled) base cost.
+    std::map<TableId, std::pair<double, const IndexInfo*>> best_per_table;
+    for (const IndexInfo* index : selected) {
+      const double gain = benefit_[q][candidate_index[index]] / weight;
+      if (gain <= kBenefitEps) continue;
+      auto [it, inserted] =
+          best_per_table.try_emplace(index->table_id, gain, index);
+      if (!inserted && gain > it->second.first) it->second = {gain, index};
+    }
+    double optimized = base_cost_[q];
+    for (const auto& [table, best] : best_per_table) {
+      optimized -= best.first;
+      used_by[best.second].push_back(q);
+    }
+    optimized = std::max(0.0, optimized);
+    advice.per_query_optimized[q] = optimized;
+    advice.base_cost += base_cost_[q] * workload_.queries[q].weight;
+    advice.optimized_cost += optimized * workload_.queries[q].weight;
+  }
+  for (size_t s = 0; s < selected.size(); ++s) {
+    SuggestedIndex suggestion;
+    suggestion.def.name = selected[s]->name;
+    suggestion.def.table = selected[s]->table_id;
+    suggestion.def.columns = selected[s]->columns;
+    suggestion.def.unique = selected[s]->unique;
+    suggestion.size_bytes = selected[s]->SizeBytes();
+    suggestion.benefit = s < model_benefit.size() ? model_benefit[s] : 0.0;
+    suggestion.used_by = used_by[selected[s]];
+    suggestion.maintenance_cost = MaintenanceCost(candidate_index[selected[s]]);
+    advice.total_size_bytes += suggestion.size_bytes;
+    advice.total_maintenance_cost += suggestion.maintenance_cost;
+    advice.indexes.push_back(std::move(suggestion));
+  }
+  for (const auto& model : models_) {
+    if (model == nullptr) continue;  // row never started within the budget
+    advice.optimizer_calls += model->optimizer_calls();
+    advice.inum_estimates += model->estimates_served();
+  }
+  report.degraded = true;
+  report.failpoint_hits = failpoint::HitsSince(fp_snapshot_);
+  advice.degradation = std::move(report);
+  return advice;
+}
+
 Result<IndexAdvice> IndexAdvisor::FinishAdvice(
     const std::vector<const IndexInfo*>& selected,
-    const std::vector<double>& model_benefit, bool proved_optimal) {
+    const std::vector<double>& model_benefit, bool proved_optimal,
+    DegradationReport report) {
+  // The exact finish re-costs every query against the selected set (plus a
+  // leave-one-out pass for used_by) — too expensive once the budget is
+  // spent, and impossible when the matrix fill was truncated (missing
+  // per-query models). Fall back to the matrix-only estimate then.
+  if (!prep_complete_ || options_.deadline.Expired()) {
+    report.AddFallback("finish:matrix-estimate");
+    return FinishAdviceFromMatrix(selected, model_benefit, proved_optimal,
+                                  std::move(report));
+  }
+  PhaseTimer timer(&report, "finish");
   IndexAdvice advice;
   advice.proved_optimal = proved_optimal;
   const int nq = workload_.size();
   advice.per_query_base = base_cost_;
   advice.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
   std::map<const IndexInfo*, std::vector<int>> used_by;
-  for (int q = 0; q < nq; ++q) {
-    PARINDA_ASSIGN_OR_RETURN(double cost, QueryCost(q, selected));
-    advice.per_query_optimized[q] = cost;
-    advice.base_cost += base_cost_[q] * workload_.queries[q].weight;
-    advice.optimized_cost += cost * workload_.queries[q].weight;
-    // An index is "used by q" when dropping it makes q more expensive.
-    for (const IndexInfo* index : selected) {
-      std::vector<const IndexInfo*> without;
-      for (const IndexInfo* other : selected) {
-        if (other != index) without.push_back(other);
-      }
-      PARINDA_ASSIGN_OR_RETURN(double cost_without, QueryCost(q, without));
-      if (cost_without > cost + kBenefitEps) {
-        used_by[index].push_back(q);
+  Status status = [&]() -> Status {
+    for (int q = 0; q < nq; ++q) {
+      PARINDA_ASSIGN_OR_RETURN(double cost, QueryCost(q, selected));
+      advice.per_query_optimized[q] = cost;
+      advice.base_cost += base_cost_[q] * workload_.queries[q].weight;
+      advice.optimized_cost += cost * workload_.queries[q].weight;
+      // An index is "used by q" when dropping it makes q more expensive.
+      for (const IndexInfo* index : selected) {
+        std::vector<const IndexInfo*> without;
+        for (const IndexInfo* other : selected) {
+          if (other != index) without.push_back(other);
+        }
+        PARINDA_ASSIGN_OR_RETURN(double cost_without, QueryCost(q, without));
+        if (cost_without > cost + kBenefitEps) {
+          used_by[index].push_back(q);
+        }
       }
     }
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    if (!IsBudgetError(status)) return status;
+    timer.Stop();
+    report.AddFallback("finish:matrix-estimate");
+    return FinishAdviceFromMatrix(selected, model_benefit, proved_optimal,
+                                  std::move(report));
   }
   for (size_t s = 0; s < selected.size(); ++s) {
     SuggestedIndex suggestion;
@@ -145,11 +266,63 @@ Result<IndexAdvice> IndexAdvisor::FinishAdvice(
     advice.optimizer_calls += model->optimizer_calls();
     advice.inum_estimates += model->estimates_served();
   }
+  timer.Stop();
+  report.failpoint_hits = failpoint::HitsSince(fp_snapshot_);
+  advice.degradation = std::move(report);
   return advice;
 }
 
+void IndexAdvisor::SelectStaticGreedy(
+    std::vector<const IndexInfo*>* selected,
+    std::vector<double>* selected_benefit) const {
+  const int nq = workload_.size();
+  const int nc = static_cast<int>(candidates_.size());
+  // Stand-alone benefit of each candidate, computed once.
+  std::vector<double> score(static_cast<size_t>(nc), 0.0);
+  for (int q = 0; q < nq; ++q) {
+    for (int j = 0; j < nc; ++j) score[j] += benefit_[q][j];
+  }
+  for (int j = 0; j < nc; ++j) score[j] -= MaintenanceCost(j);
+  std::vector<int> order;
+  for (int j = 0; j < nc; ++j) {
+    if (score[j] > kBenefitEps) order.push_back(j);
+  }
+  const bool budgeted = std::isfinite(options_.storage_budget_bytes);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double da =
+        budgeted ? score[a] / std::max(1.0, candidates_[a]->SizeBytes())
+                 : score[a];
+    const double db =
+        budgeted ? score[b] / std::max(1.0, candidates_[b]->SizeBytes())
+                 : score[b];
+    return da > db;
+  });
+  double used_bytes = 0.0;
+  for (int j : order) {
+    const double size = candidates_[j]->SizeBytes();
+    if (budgeted && used_bytes + size > options_.storage_budget_bytes) {
+      continue;
+    }
+    selected->push_back(candidates_[j]);
+    selected_benefit->push_back(score[j]);
+    used_bytes += size;
+  }
+}
+
 Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
-  PARINDA_RETURN_IF_ERROR(Prepare());
+  DegradationReport report;
+  PARINDA_RETURN_IF_ERROR(PrepareBestEffort(&report));
+  PARINDA_FAILPOINT("advisor.solve");
+  // Degradation ladder, rung 3 (no budget left for the ILP at all): greedy
+  // selection over whatever part of the benefit matrix was filled.
+  if (!prep_complete_ || options_.deadline.Expired()) {
+    report.AddFallback("ilp:greedy-fallback");
+    std::vector<const IndexInfo*> selected;
+    std::vector<double> selected_benefit;
+    SelectStaticGreedy(&selected, &selected_benefit);
+    return FinishAdviceFromMatrix(selected, selected_benefit,
+                                  /*proved_optimal=*/false, std::move(report));
+  }
   const int nq = workload_.size();
   const int nc = static_cast<int>(candidates_.size());
 
@@ -202,9 +375,27 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
 
   BinaryMip mip;
   mip.lp = std::move(lp);
-  PARINDA_ASSIGN_OR_RETURN(MipSolution solution,
-                           SolveBinaryMip(mip, options_.mip));
-  if (!solution.feasible) {
+  MipOptions mip_options = options_.mip;
+  mip_options.deadline = options_.deadline;
+  MipSolution solution;
+  {
+    PhaseTimer timer(&report, "solve");
+    PARINDA_ASSIGN_OR_RETURN(solution, SolveBinaryMip(mip, mip_options));
+  }
+  if (solution.degraded) {
+    if (!solution.feasible) {
+      // Rung 3 again: the budget expired before any incumbent was found.
+      report.AddFallback("ilp:greedy-fallback");
+      std::vector<const IndexInfo*> selected;
+      std::vector<double> selected_benefit;
+      SelectStaticGreedy(&selected, &selected_benefit);
+      return FinishAdviceFromMatrix(selected, selected_benefit,
+                                    /*proved_optimal=*/false,
+                                    std::move(report));
+    }
+    // Rung 2: the truncated search still holds a feasible incumbent.
+    report.AddFallback("ilp:incumbent");
+  } else if (!solution.feasible) {
     return Status::SolverError("index-selection ILP is infeasible");
   }
   std::vector<const IndexInfo*> selected;
@@ -230,50 +421,33 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
       pruned_benefit.push_back(model_benefit[s]);
     }
   }
-  return FinishAdvice(pruned, pruned_benefit, solution.proved_optimal);
+  return FinishAdvice(pruned, pruned_benefit, solution.proved_optimal,
+                      std::move(report));
 }
 
 Result<IndexAdvice> IndexAdvisor::SuggestWithStaticGreedy() {
-  PARINDA_RETURN_IF_ERROR(Prepare());
-  const int nq = workload_.size();
-  const int nc = static_cast<int>(candidates_.size());
-  // Stand-alone benefit of each candidate, computed once.
-  std::vector<double> score(static_cast<size_t>(nc), 0.0);
-  for (int q = 0; q < nq; ++q) {
-    for (int j = 0; j < nc; ++j) score[j] += benefit_[q][j];
-  }
-  for (int j = 0; j < nc; ++j) score[j] -= MaintenanceCost(j);
-  std::vector<int> order;
-  for (int j = 0; j < nc; ++j) {
-    if (score[j] > kBenefitEps) order.push_back(j);
-  }
-  const bool budgeted = std::isfinite(options_.storage_budget_bytes);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    const double da =
-        budgeted ? score[a] / std::max(1.0, candidates_[a]->SizeBytes())
-                 : score[a];
-    const double db =
-        budgeted ? score[b] / std::max(1.0, candidates_[b]->SizeBytes())
-                 : score[b];
-    return da > db;
-  });
+  DegradationReport report;
+  PARINDA_RETURN_IF_ERROR(PrepareBestEffort(&report));
   std::vector<const IndexInfo*> selected;
   std::vector<double> selected_benefit;
-  double used_bytes = 0.0;
-  for (int j : order) {
-    const double size = candidates_[j]->SizeBytes();
-    if (budgeted && used_bytes + size > options_.storage_budget_bytes) {
-      continue;
-    }
-    selected.push_back(candidates_[j]);
-    selected_benefit.push_back(score[j]);
-    used_bytes += size;
-  }
-  return FinishAdvice(selected, selected_benefit, /*proved_optimal=*/false);
+  SelectStaticGreedy(&selected, &selected_benefit);
+  return FinishAdvice(selected, selected_benefit, /*proved_optimal=*/false,
+                      std::move(report));
 }
 
 Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
-  PARINDA_RETURN_IF_ERROR(Prepare());
+  DegradationReport report;
+  PARINDA_RETURN_IF_ERROR(PrepareBestEffort(&report));
+  // Without a complete matrix the interaction-aware search has no per-query
+  // models to consult; degrade to the static ranking.
+  if (!prep_complete_ || options_.deadline.Expired()) {
+    report.AddFallback("greedy:static-fallback");
+    std::vector<const IndexInfo*> selected;
+    std::vector<double> selected_benefit;
+    SelectStaticGreedy(&selected, &selected_benefit);
+    return FinishAdviceFromMatrix(selected, selected_benefit,
+                                  /*proved_optimal=*/false, std::move(report));
+  }
   const int nq = workload_.size();
   const int nc = static_cast<int>(candidates_.size());
   std::vector<const IndexInfo*> selected;
@@ -283,12 +457,18 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
   double used_bytes = 0.0;
   const bool budgeted = std::isfinite(options_.storage_budget_bytes);
 
-  while (true) {
+  bool truncated = false;
+  while (!truncated) {
+    // Anytime cut: keep the selection built so far.
+    if (options_.deadline.Expired()) {
+      report.AddFallback("greedy:truncated");
+      break;
+    }
     int best = -1;
     double best_score = 0.0;
     double best_gain = 0.0;
     std::vector<double> best_costs;
-    for (int j = 0; j < nc; ++j) {
+    for (int j = 0; j < nc && !truncated; ++j) {
       if (in_set[j]) continue;
       const double size = candidates_[j]->SizeBytes();
       if (budgeted && used_bytes + size > options_.storage_budget_bytes) {
@@ -299,10 +479,17 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
       double gain = -MaintenanceCost(j);
       std::vector<double> costs(static_cast<size_t>(nq), 0.0);
       for (int q = 0; q < nq; ++q) {
-        PARINDA_ASSIGN_OR_RETURN(double cost, QueryCost(q, trial));
-        costs[q] = cost;
-        gain += (current_cost[q] - cost) * workload_.queries[q].weight;
+        auto cost = QueryCost(q, trial);
+        if (!cost.ok()) {
+          if (!IsBudgetError(cost.status())) return cost.status();
+          report.AddFallback("greedy:truncated");
+          truncated = true;
+          break;
+        }
+        costs[q] = *cost;
+        gain += (current_cost[q] - *cost) * workload_.queries[q].weight;
       }
+      if (truncated) break;
       if (gain <= kBenefitEps) continue;
       const double score = budgeted ? gain / std::max(1.0, size) : gain;
       if (score > best_score) {
@@ -312,14 +499,15 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
         best_costs = std::move(costs);
       }
     }
-    if (best < 0) break;
+    if (truncated || best < 0) break;
     in_set[best] = true;
     selected.push_back(candidates_[best]);
     selected_benefit.push_back(best_gain);
     used_bytes += candidates_[best]->SizeBytes();
     current_cost = std::move(best_costs);
   }
-  return FinishAdvice(selected, selected_benefit, /*proved_optimal=*/false);
+  return FinishAdvice(selected, selected_benefit, /*proved_optimal=*/false,
+                      std::move(report));
 }
 
 }  // namespace parinda

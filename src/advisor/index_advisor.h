@@ -8,6 +8,7 @@
 
 #include "advisor/candidates.h"
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "inum/inum.h"
 #include "optimizer/cost_params.h"
@@ -40,6 +41,14 @@ struct IndexAdvisorOptions {
   /// bit-identical at any setting: each worker owns one query's cost model
   /// and writes only that query's pre-sized matrix row.
   int parallelism = 0;
+  /// Time budget for the whole suggestion pipeline (enumeration, benefit
+  /// matrix, solve, report). On expiry the advisor degrades instead of
+  /// failing: full ILP -> ILP incumbent -> greedy selection over whatever
+  /// part of the benefit matrix was filled, with per-phase checks made at
+  /// serial decision points so the ladder fires identically at any
+  /// `parallelism`. The default infinite deadline reproduces the un-budgeted
+  /// advice bit-identically. See DESIGN.md §10.
+  Deadline deadline;
 };
 
 /// One suggested index with its report fields (Figure 3's per-index view).
@@ -69,6 +78,10 @@ struct IndexAdvice {
   bool proved_optimal = false;
   int optimizer_calls = 0;
   int inum_estimates = 0;
+  /// What the budget did to this advice: which fallbacks fired, per-phase
+  /// wall-clock, failpoint hits. `degradation.degraded` is false for a
+  /// full-fidelity run.
+  DegradationReport degradation;
 
   double Speedup() const {
     return optimized_cost > 0.0 ? base_cost / optimized_cost : 1.0;
@@ -111,26 +124,53 @@ class IndexAdvisor {
 
  private:
   [[nodiscard]] Status Prepare();
+  /// Prepare() that converts budget expiry into degradation instead of an
+  /// error: on kDeadlineExceeded/kCancelled the advisor keeps whatever part
+  /// of the benefit matrix was filled (`row_complete_` per query) and marks
+  /// `report` degraded. Real errors still propagate.
+  [[nodiscard]] Status PrepareBestEffort(DegradationReport* report);
   /// Maintenance cost of building candidate j under options_.update_rows.
   double MaintenanceCost(int j) const;
   /// INUM estimate of query q's cost under `config`.
   [[nodiscard]] Result<double> QueryCost(int q, const std::vector<const IndexInfo*>& config);
-  /// Fills report fields given the selected set.
+  /// Fills report fields given the selected set. When the budget has
+  /// expired (or expires while finishing), per-query optimized costs are
+  /// estimated from the benefit matrix instead of fresh INUM calls
+  /// ("finish:matrix-estimate" fallback recorded in `report`).
   [[nodiscard]] Result<IndexAdvice> FinishAdvice(
       const std::vector<const IndexInfo*>& selected,
-      const std::vector<double>& model_benefit, bool proved_optimal);
+      const std::vector<double>& model_benefit, bool proved_optimal,
+      DegradationReport report);
+  /// The matrix-only finish used when no further model calls fit the budget.
+  IndexAdvice FinishAdviceFromMatrix(
+      const std::vector<const IndexInfo*>& selected,
+      const std::vector<double>& model_benefit, bool proved_optimal,
+      DegradationReport report);
+  /// Static-greedy selection over the (possibly partial) benefit matrix;
+  /// shared by SuggestWithStaticGreedy and the degradation ladder.
+  void SelectStaticGreedy(std::vector<const IndexInfo*>* selected,
+                          std::vector<double>* selected_benefit) const;
 
   const CatalogReader& catalog_;
   const Workload& workload_;
   IndexAdvisorOptions options_;
 
   bool prepared_ = false;
+  /// False when the budget truncated candidate enumeration or the matrix
+  /// fill; `row_complete_` says which query rows are trustworthy.
+  bool prep_complete_ = true;
   std::unique_ptr<WhatIfIndexSet> candidate_set_;
   std::vector<const IndexInfo*> candidates_;
   std::vector<std::unique_ptr<InumCostModel>> models_;  // one per query
   std::vector<double> base_cost_;                       // per query
   /// benefit_[q][j]: weighted benefit of candidate j alone for query q.
   std::vector<std::vector<double>> benefit_;
+  /// row_complete_[q]: query q's model, base cost and benefit row were
+  /// fully computed before the budget ran out (char, not bool: each worker
+  /// writes only its own slot).
+  std::vector<char> row_complete_;
+  /// Failpoint hit counts at pipeline start; Finish* reports the delta.
+  std::vector<std::pair<std::string, int64_t>> fp_snapshot_;
 };
 
 }  // namespace parinda

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "optimizer/planner.h"
 #include "optimizer/query_analysis.h"
@@ -20,6 +21,12 @@ std::vector<ColumnId> UnionColumns(const std::vector<ColumnId>& a,
   std::set<ColumnId> merged(a.begin(), a.end());
   merged.insert(b.begin(), b.end());
   return {merged.begin(), merged.end()};
+}
+
+/// Budget expiry and cancellation degrade; every other error propagates.
+bool IsBudgetError(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
 }
 
 double ColumnBytes(const TableInfo& table, ColumnId col) {
@@ -86,6 +93,7 @@ Result<std::vector<FragmentDef>> AutoPartAdvisor::AtomicFragments(
 Result<double> AutoPartAdvisor::EvaluateState(
     const std::vector<TableState>& state, std::vector<double>* per_query,
     std::vector<std::string>* rewritten_sql) {
+  PARINDA_FAILPOINT("autopart.evaluate");
   ++evaluations_;
   // Materialize the state as what-if tables. The final (reporting) pass uses
   // the stable `<table>_part<k>` names MaterializePartitions will create, so
@@ -116,6 +124,7 @@ Result<double> AutoPartAdvisor::EvaluateState(
   planner_options.params = options_.params;
   double total = 0.0;
   for (int q = 0; q < workload_.size(); ++q) {
+    PARINDA_RETURN_IF_ERROR(options_.deadline.CheckOk("autopart.evaluate"));
     const WorkloadQuery& query = workload_.queries[q];
     PARINDA_ASSIGN_OR_RETURN(
         RewriteResult rewritten,
@@ -160,17 +169,43 @@ double AutoPartAdvisor::ReplicatedBytes(
 }
 
 Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
+  const auto fp_before = failpoint::AllHits();
+  DegradationReport report;
   PartitionAdvice advice;
   advice.per_query_base.assign(static_cast<size_t>(workload_.size()), 0.0);
   advice.per_query_optimized.assign(static_cast<size_t>(workload_.size()), 0.0);
   advice.rewritten_sql.assign(static_cast<size_t>(workload_.size()), "");
 
+  // Best-effort return when the budget runs out before the search can even
+  // start (or never catches up): the un-partitioned base design — always
+  // feasible — with whatever cost information exists so far.
+  auto base_design = [&](DegradationReport rep) {
+    advice.optimized_cost = advice.base_cost;
+    advice.per_query_optimized = advice.per_query_base;
+    for (int q = 0; q < workload_.size(); ++q) {
+      advice.rewritten_sql[q] = workload_.queries[q].sql;
+    }
+    advice.fragments.clear();
+    advice.replicated_bytes = 0.0;
+    advice.evaluations = evaluations_;
+    rep.failpoint_hits = failpoint::HitsSince(fp_before);
+    advice.degradation = std::move(rep);
+    return advice;
+  };
+
   // Base cost: the un-partitioned design.
   {
+    PhaseTimer timer(&report, "base");
     PlannerOptions planner_options;
     planner_options.params = options_.params;
     double total = 0.0;
     for (int q = 0; q < workload_.size(); ++q) {
+      if (options_.deadline.Expired()) {
+        report.AddFallback("base:truncated");
+        advice.base_cost = total;
+        timer.Stop();
+        return base_design(std::move(report));
+      }
       PARINDA_ASSIGN_OR_RETURN(
           Plan plan,
           PlanQuery(catalog_, workload_.queries[q].stmt, planner_options));
@@ -201,8 +236,16 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     if (!ts.fragments.empty()) state.push_back(std::move(ts));
   }
 
-  PARINDA_ASSIGN_OR_RETURN(double current_cost,
-                           EvaluateState(state, nullptr, nullptr));
+  double current_cost = 0.0;
+  {
+    auto initial = EvaluateState(state, nullptr, nullptr);
+    if (!initial.ok()) {
+      if (!IsBudgetError(initial.status())) return initial.status();
+      report.AddFallback("initial-eval:truncated");
+      return base_design(std::move(report));
+    }
+    current_cost = *initial;
+  }
   // Keep the un-partitioned design when atomic partitioning already loses.
   // (The search below can only improve on `state`, not return to base.)
   const bool base_wins_initially = advice.base_cost < current_cost;
@@ -258,7 +301,16 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
   };
 
   const int parallelism = ResolveParallelism(options_.parallelism);
+  bool search_truncated = false;
+  PhaseTimer search_timer(&report, "search");
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Per-iteration budget check (serial decision point): stop and keep the
+    // best selection found so far.
+    if (options_.deadline.Expired()) {
+      report.AddFallback("autopart:search-truncated");
+      search_truncated = true;
+      break;
+    }
     advice.iterations_run = iter + 1;
     struct Move {
       size_t state_index = 0;
@@ -309,12 +361,20 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     // Each evaluation builds a private what-if overlay over the shared
     // read-only catalog, so workers never touch common mutable state.
     std::vector<double> trial_cost(moves.size(), 0.0);
-    PARINDA_RETURN_IF_ERROR(ParallelFor(
+    Status eval = ParallelFor(
         parallelism, static_cast<int>(moves.size()), [&](int m) -> Status {
           PARINDA_ASSIGN_OR_RETURN(
               trial_cost[m], EvaluateState(moves[m].trial, nullptr, nullptr));
           return Status::OK();
-        }));
+        });
+    if (!eval.ok()) {
+      if (!IsBudgetError(eval)) return eval;
+      // Mid-iteration expiry: the trial costs are incomplete, so no move
+      // from this round can be applied safely; keep the previous state.
+      report.AddFallback("autopart:search-truncated");
+      search_truncated = true;
+      break;
+    }
     // Phase 3 (serial): pick the winner by scanning in enumeration order —
     // the exact selection rule (and tie-breaking) of the serial search, so
     // the chosen design is identical at any parallelism.
@@ -332,22 +392,47 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     current_cost = best_cost;
   }
 
+  search_timer.Stop();
+  (void)search_truncated;
+
   // Final evaluation with per-query outputs.
-  PARINDA_ASSIGN_OR_RETURN(
-      double final_cost,
-      EvaluateState(state, &advice.per_query_optimized,
-                    &advice.rewritten_sql));
+  double final_cost = 0.0;
+  {
+    PhaseTimer timer(&report, "final");
+    auto final_eval =
+        EvaluateState(state, &advice.per_query_optimized,
+                      &advice.rewritten_sql);
+    if (!final_eval.ok()) {
+      if (!IsBudgetError(final_eval.status())) return final_eval.status();
+      // No budget left to re-cost the winning state; report the search's
+      // own cost estimate and leave the per-query/rewrite fields at their
+      // base values (the fragments themselves are still the best found).
+      report.AddFallback("final-eval:truncated");
+      timer.Stop();
+      advice.optimized_cost = current_cost;
+      advice.per_query_optimized = advice.per_query_base;
+      for (int q = 0; q < workload_.size(); ++q) {
+        advice.rewritten_sql[q] = workload_.queries[q].sql;
+      }
+      advice.replicated_bytes = ReplicatedBytes(state);
+      for (const TableState& ts : state) {
+        for (const auto& frag : ts.fragments) {
+          FragmentDef def;
+          def.table = ts.table;
+          def.columns = frag;
+          advice.fragments.push_back(std::move(def));
+        }
+      }
+      advice.evaluations = evaluations_;
+      report.failpoint_hits = failpoint::HitsSince(fp_before);
+      advice.degradation = std::move(report);
+      return advice;
+    }
+    final_cost = *final_eval;
+  }
   if (base_wins_initially && advice.base_cost < final_cost) {
     // Partitioning never caught up with the original design: suggest nothing.
-    advice.optimized_cost = advice.base_cost;
-    advice.per_query_optimized = advice.per_query_base;
-    for (int q = 0; q < workload_.size(); ++q) {
-      advice.rewritten_sql[q] = workload_.queries[q].sql;
-    }
-    advice.fragments.clear();
-    advice.replicated_bytes = 0.0;
-    advice.evaluations = evaluations_;
-    return advice;
+    return base_design(std::move(report));
   }
   advice.optimized_cost = final_cost;
   advice.replicated_bytes = ReplicatedBytes(state);
@@ -360,6 +445,8 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     }
   }
   advice.evaluations = evaluations_;
+  report.failpoint_hits = failpoint::HitsSince(fp_before);
+  advice.degradation = std::move(report);
   return advice;
 }
 

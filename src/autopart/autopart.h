@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "optimizer/cost_params.h"
 #include "workload/workload.h"
@@ -41,6 +42,12 @@ struct AutoPartOptions {
   /// slots, and the winner picked by a serial scan in enumeration order.
   int parallelism = 0;
   CostParams params;
+  /// Time budget for the whole search. Checked per iteration (and per query
+  /// inside each evaluation): on expiry the advisor stops and returns the
+  /// best selection found so far with `degradation.degraded = true`. The
+  /// default infinite deadline reproduces the un-budgeted advice
+  /// bit-identically. See DESIGN.md §10.
+  Deadline deadline;
 };
 
 /// Output of the automatic partition suggestion scenario (Figure 2): the
@@ -59,6 +66,8 @@ struct PartitionAdvice {
   /// Workload cost evaluations performed (each evaluates every query).
   int evaluations = 0;
   int iterations_run = 0;
+  /// What the budget did to this advice (see DegradationReport).
+  DegradationReport degradation;
 
   double Speedup() const {
     return optimized_cost > 0.0 ? base_cost / optimized_cost : 1.0;

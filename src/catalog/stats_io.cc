@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace parinda {
@@ -35,9 +36,33 @@ std::string FormatValue(const Value& v) {
   return "NULL";
 }
 
+/// Strict numeric parsers: the whole token must be consumed, so a corrupted
+/// byte ("12x4", "1.5e", truncated "-") is a ParseError instead of a silent
+/// partial value.
+Result<double> ParseDouble(const std::string& token) {
+  if (token.empty()) return Status::ParseError("empty numeric field");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    return Status::ParseError("malformed number '" + token + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(const std::string& token) {
+  if (token.empty()) return Status::ParseError("empty integer field");
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return Status::ParseError("malformed integer '" + token + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
 /// Splits one line into tokens; quoted strings stay single tokens (quotes
-/// kept so the value parser can recognize them).
-std::vector<std::string> TokenizeLine(const std::string& line) {
+/// kept so the value parser can recognize them). An unterminated quote means
+/// the line was cut mid-literal — corruption, not a value.
+Result<std::vector<std::string>> TokenizeLine(const std::string& line) {
   std::vector<std::string> out;
   size_t i = 0;
   while (i < line.size()) {
@@ -48,6 +73,7 @@ std::vector<std::string> TokenizeLine(const std::string& line) {
     if (line[i] == '\'') {
       std::string token = "'";
       ++i;
+      bool closed = false;
       while (i < line.size()) {
         if (line[i] == '\'') {
           if (i + 1 < line.size() && line[i + 1] == '\'') {
@@ -55,10 +81,12 @@ std::vector<std::string> TokenizeLine(const std::string& line) {
             i += 2;
             continue;
           }
+          closed = true;
           break;
         }
         token.push_back(line[i++]);
       }
+      if (!closed) return Status::ParseError("unterminated string literal");
       token.push_back('\'');
       ++i;  // closing quote
       out.push_back(std::move(token));
@@ -87,11 +115,18 @@ Result<Value> ParseValue(const std::string& token, ValueType type) {
     return Value::String(std::move(payload));
   }
   switch (type) {
-    case ValueType::kInt64:
-      return Value::Int64(std::strtoll(token.c_str(), nullptr, 10));
-    case ValueType::kDouble:
-      return Value::Double(std::strtod(token.c_str(), nullptr));
+    case ValueType::kInt64: {
+      PARINDA_ASSIGN_OR_RETURN(int64_t v, ParseInt(token));
+      return Value::Int64(v);
+    }
+    case ValueType::kDouble: {
+      PARINDA_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+      return Value::Double(v);
+    }
     case ValueType::kBool:
+      if (token != "true" && token != "false") {
+        return Status::ParseError("malformed bool '" + token + "'");
+      }
       return Value::Bool(token == "true");
     case ValueType::kString:
       return Status::ParseError("expected quoted string literal, got '" +
@@ -112,7 +147,8 @@ Result<std::vector<ColumnId>> ParseColumnList(const std::string& csv) {
   std::vector<ColumnId> out;
   if (csv.empty() || csv == "-") return out;
   for (const std::string& part : Split(csv, ',')) {
-    out.push_back(static_cast<ColumnId>(std::strtol(part.c_str(), nullptr, 10)));
+    PARINDA_ASSIGN_OR_RETURN(int64_t col, ParseInt(part));
+    out.push_back(static_cast<ColumnId>(col));
   }
   return out;
 }
@@ -122,7 +158,10 @@ Result<std::vector<ColumnId>> ParseColumnList(const std::string& csv) {
 std::string DumpCatalogStats(const CatalogReader& catalog) {
   std::string out;
   out += "# PARINDA catalog statistics dump v1\n";
+  int64_t table_count = 0;
+  int64_t index_count = 0;
   for (const TableInfo* table : catalog.AllTables()) {
+    ++table_count;
     std::vector<std::string> pk;
     for (ColumnId col : table->primary_key) pk.push_back(std::to_string(col));
     out += StringPrintf("table %s rows %.17g pages %.17g pk %s\n",
@@ -157,6 +196,7 @@ std::string DumpCatalogStats(const CatalogReader& catalog) {
   }
   for (const TableInfo* table : catalog.AllTables()) {
     for (const IndexInfo* index : catalog.TableIndexes(table->id)) {
+      ++index_count;
       std::vector<std::string> cols;
       for (ColumnId col : index->columns) cols.push_back(std::to_string(col));
       out += StringPrintf(
@@ -166,14 +206,23 @@ std::string DumpCatalogStats(const CatalogReader& catalog) {
           index->tree_height, index->entries);
     }
   }
+  // Footer so a truncated copy (partial download, torn write) is detected on
+  // load instead of silently yielding a smaller catalog.
+  out += StringPrintf("end tables %lld indexes %lld\n",
+                      static_cast<long long>(table_count),
+                      static_cast<long long>(index_count));
   return out;
 }
 
 Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
+  PARINDA_FAILPOINT("stats.load");
   auto catalog = std::make_unique<Catalog>();
   std::istringstream in{std::string(text)};
   std::string line;
   int lineno = 0;
+  int64_t tables_seen = 0;
+  int64_t indexes_seen = 0;
+  bool saw_end = false;
 
   // Accumulated state for the current table, flushed on the next stanza.
   struct PendingTable {
@@ -192,6 +241,7 @@ Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
     PARINDA_RETURN_IF_ERROR(catalog->UpdateTableStats(
         id, pending->rows, pending->pages, std::move(pending->stats)));
     pending.reset();
+    ++tables_seen;
     return Status::OK();
   };
 
@@ -203,8 +253,11 @@ Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    const std::vector<std::string> tokens = TokenizeLine(line);
+    auto tokenized = TokenizeLine(line);
+    if (!tokenized.ok()) return err(tokenized.status().message());
+    const std::vector<std::string>& tokens = *tokenized;
     if (tokens.empty()) continue;
+    if (saw_end) return err("content after end marker");
     const std::string& kind = tokens[0];
 
     if (kind == "table") {
@@ -215,8 +268,14 @@ Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
       }
       pending = std::make_unique<PendingTable>();
       pending->schema = TableSchema(tokens[1], {});
-      pending->rows = std::strtod(tokens[3].c_str(), nullptr);
-      pending->pages = std::strtod(tokens[5].c_str(), nullptr);
+      {
+        auto rows = ParseDouble(tokens[3]);
+        if (!rows.ok()) return err(rows.status().message());
+        pending->rows = *rows;
+        auto pages = ParseDouble(tokens[5]);
+        if (!pages.ok()) return err(pages.status().message());
+        pending->pages = *pages;
+      }
       PARINDA_ASSIGN_OR_RETURN(pending->pk, ParseColumnList(tokens[7]));
       continue;
     }
@@ -225,10 +284,20 @@ Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
       if (tokens.size() < 11) return err("malformed column stanza");
       PARINDA_ASSIGN_OR_RETURN(ValueType type, ParseType(tokens[2]));
       ColumnStats stats;
-      stats.null_frac = std::strtod(tokens[4].c_str(), nullptr);
-      stats.avg_width = std::strtod(tokens[6].c_str(), nullptr);
-      stats.n_distinct = std::strtod(tokens[8].c_str(), nullptr);
-      stats.correlation = std::strtod(tokens[10].c_str(), nullptr);
+      {
+        auto null_frac = ParseDouble(tokens[4]);
+        auto avg_width = ParseDouble(tokens[6]);
+        auto n_distinct = ParseDouble(tokens[8]);
+        auto correlation = ParseDouble(tokens[10]);
+        for (const auto* field :
+             {&null_frac, &avg_width, &n_distinct, &correlation}) {
+          if (!field->ok()) return err(field->status().message());
+        }
+        stats.null_frac = *null_frac;
+        stats.avg_width = *avg_width;
+        stats.n_distinct = *n_distinct;
+        stats.correlation = *correlation;
+      }
       for (size_t i = 11; i + 1 < tokens.size(); i += 2) {
         if (tokens[i] == "min") {
           PARINDA_ASSIGN_OR_RETURN(stats.min_value,
@@ -257,8 +326,10 @@ Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
       const ValueType type =
           pending->schema.column(pending->schema.num_columns() - 1).type;
       PARINDA_ASSIGN_OR_RETURN(Value v, ParseValue(tokens[1], type));
+      auto freq = ParseDouble(tokens[2]);
+      if (!freq.ok()) return err(freq.status().message());
       stats.mcv_values.push_back(std::move(v));
-      stats.mcv_freqs.push_back(std::strtod(tokens[2].c_str(), nullptr));
+      stats.mcv_freqs.push_back(*freq);
       continue;
     }
     if (kind == "hist") {
@@ -299,18 +370,51 @@ Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
           tokens[i + 2] != "height" || tokens[i + 4] != "entries") {
         return err("malformed index attributes");
       }
+      auto leaf_pages = ParseDouble(tokens[i + 1]);
+      auto height = ParseInt(tokens[i + 3]);
+      auto entries = ParseDouble(tokens[i + 5]);
+      if (!leaf_pages.ok()) return err(leaf_pages.status().message());
+      if (!height.ok()) return err(height.status().message());
+      if (!entries.ok()) return err(entries.status().message());
       PARINDA_ASSIGN_OR_RETURN(
           IndexId id, catalog->CreateIndex(tokens[1], table->id, columns,
                                            unique));
       PARINDA_RETURN_IF_ERROR(catalog->UpdateIndexStats(
-          id, std::strtod(tokens[i + 1].c_str(), nullptr),
-          static_cast<int>(std::strtol(tokens[i + 3].c_str(), nullptr, 10)),
-          std::strtod(tokens[i + 5].c_str(), nullptr)));
+          id, *leaf_pages, static_cast<int>(*height), *entries));
+      ++indexes_seen;
+      continue;
+    }
+    if (kind == "end") {
+      PARINDA_RETURN_IF_ERROR(flush());
+      if (tokens.size() != 5 || tokens[1] != "tables" ||
+          tokens[3] != "indexes") {
+        return err("malformed end marker");
+      }
+      auto tables = ParseInt(tokens[2]);
+      auto indexes = ParseInt(tokens[4]);
+      if (!tables.ok()) return err(tables.status().message());
+      if (!indexes.ok()) return err(indexes.status().message());
+      if (*tables != tables_seen || *indexes != indexes_seen) {
+        return err(StringPrintf(
+            "truncated dump: end marker promises %lld tables / %lld indexes, "
+            "found %lld / %lld",
+            static_cast<long long>(*tables), static_cast<long long>(*indexes),
+            static_cast<long long>(tables_seen),
+            static_cast<long long>(indexes_seen)));
+      }
+      saw_end = true;
       continue;
     }
     return err("unknown stanza '" + kind + "'");
   }
   PARINDA_RETURN_IF_ERROR(flush());
+  // A dump that carries content must carry the footer: a copy cut off
+  // mid-file would otherwise load as a plausible smaller catalog. Stanza-free
+  // input (empty file, comments only) stays loadable as an empty catalog.
+  if (!saw_end && (tables_seen > 0 || indexes_seen > 0)) {
+    return Status::ParseError(
+        "truncated dump: missing 'end tables <n> indexes <n>' footer");
+  }
   return catalog;
 }
 

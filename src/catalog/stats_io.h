@@ -28,8 +28,14 @@ namespace parinda {
 ///   hist <literal>                (repeated, under the current column)
 ///   index <name> on <table> (<col,...>) [unique] leaf_pages <f>
 ///       height <n> entries <f>
+///   end tables <n> indexes <n>
 ///
 /// String literals are single-quoted with '' escaping; NULL bounds omitted.
+/// The `end` footer carries the object counts: LoadCatalogStats requires it
+/// on any dump with content, so a truncated copy fails loudly instead of
+/// loading as a plausible smaller catalog. Numeric fields are parsed
+/// strictly (the whole token must be a number) and unterminated string
+/// literals are rejected, so flipped or dropped bytes surface as ParseError.
 
 /// Serializes every table (with statistics) and index of `catalog`.
 std::string DumpCatalogStats(const CatalogReader& catalog);

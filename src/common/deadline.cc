@@ -1,0 +1,42 @@
+#include "common/deadline.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace parinda {
+
+double Deadline::RemainingSeconds() const {
+  if (infinite()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+std::string DegradationReport::ToString() const {
+  if (!degraded && failpoint_hits.empty()) return "full fidelity";
+  std::string out = degraded ? "degraded" : "full fidelity";
+  if (!fallbacks.empty()) {
+    out += " [";
+    for (size_t i = 0; i < fallbacks.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fallbacks[i];
+    }
+    out += "]";
+  }
+  for (const auto& [phase, seconds] : phase_seconds) {
+    out += StringPrintf(" %s=%.2fms", phase.c_str(), seconds * 1000.0);
+  }
+  for (const auto& [name, hits] : failpoint_hits) {
+    out += " failpoint:" + name + "x" + std::to_string(hits);
+  }
+  return out;
+}
+
+void PhaseTimer::Stop() {
+  if (stopped_ || report_ == nullptr) return;
+  stopped_ = true;
+  const double seconds =
+      std::chrono::duration<double>(Deadline::Clock::now() - start_).count();
+  report_->phase_seconds.emplace_back(phase_, seconds);
+}
+
+}  // namespace parinda

@@ -1,0 +1,140 @@
+#ifndef PARINDA_COMMON_DEADLINE_H_
+#define PARINDA_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace parinda {
+
+/// A monotonic-clock time budget for anytime operations.
+///
+/// Deadlines are cooperative: long-running loops call `Expired()` (cheap) or
+/// `CheckOk()` (returns a `kDeadlineExceeded` Status) at their decision
+/// points and degrade gracefully — return the best incumbent, fall back to a
+/// cheaper algorithm — instead of running open-loop.
+///
+/// A default-constructed Deadline is *infinite*: `Expired()` returns false
+/// without ever reading the clock, so the infinite-budget path is both free
+/// and bit-identical to code that never consulted a deadline at all (the
+/// determinism contract of DESIGN.md §10). Copies share the same absolute
+/// expiry instant, so a Deadline can be passed by value through options
+/// structs and worker tasks while still describing one budget.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline: never expires, never reads the clock.
+  Deadline() : when_(Clock::time_point::max()) {}
+
+  /// Expires `seconds` from now (monotonic clock). Non-positive budgets
+  /// produce an already-expired deadline, which is handy in tests.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+  static Deadline AfterMillis(int64_t ms) {
+    return After(static_cast<double>(ms) / 1000.0);
+  }
+  /// Infinite deadline, spelled out for call sites.
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return when_ == Clock::time_point::max(); }
+
+  /// True once the budget is spent. Free (no clock read) when infinite.
+  bool Expired() const {
+    if (infinite()) return false;
+    return Clock::now() >= when_;
+  }
+
+  /// OK while the budget lasts; `kDeadlineExceeded` naming `what` after.
+  [[nodiscard]] Status CheckOk(std::string_view what) const {
+    if (!Expired()) return Status::OK();
+    return Status::DeadlineExceeded("deadline expired in " +
+                                    std::string(what));
+  }
+
+  /// Seconds until expiry (negative once expired); +infinity when infinite.
+  double RemainingSeconds() const;
+
+ private:
+  Clock::time_point when_;
+};
+
+/// Cooperative cancellation flag shared between a controller and workers.
+/// Thread-safe; `Cancel()` is sticky.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Status CheckOk(std::string_view what) const {
+    if (!cancelled()) return Status::OK();
+    return Status::Cancelled("cancelled in " + std::string(what));
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// What an anytime pipeline did to stay within its budget. Attached to every
+/// advisor result (IndexAdvice, PartitionAdvice, InteractiveReport) so
+/// callers can tell a full-fidelity answer from a best-effort one.
+struct DegradationReport {
+  /// True when any fallback fired or any phase was truncated by the budget.
+  bool degraded = false;
+  /// Which fallbacks fired, in order ("ilp:incumbent", "finish:matrix-estimate",
+  /// "autopart:search-truncated", ...).
+  std::vector<std::string> fallbacks;
+  /// Wall-clock seconds per pipeline phase, in execution order.
+  std::vector<std::pair<std::string, double>> phase_seconds;
+  /// Failpoints that fired while this pipeline ran (name -> hits). Empty
+  /// unless fault injection is active.
+  std::vector<std::pair<std::string, int64_t>> failpoint_hits;
+
+  void AddFallback(std::string what) {
+    degraded = true;
+    fallbacks.push_back(std::move(what));
+  }
+
+  /// One-line summary for logs and the REPL.
+  std::string ToString() const;
+};
+
+/// Scoped phase timer: records wall-clock of a named pipeline phase into a
+/// DegradationReport on destruction (or an explicit Stop()).
+class PhaseTimer {
+ public:
+  PhaseTimer(DegradationReport* report, std::string phase)
+      : report_(report), phase_(std::move(phase)),
+        start_(Deadline::Clock::now()) {}
+  ~PhaseTimer() { Stop(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  void Stop();
+
+ private:
+  DegradationReport* report_;
+  std::string phase_;
+  Deadline::Clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_DEADLINE_H_

@@ -1,0 +1,222 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace parinda {
+namespace failpoint {
+namespace {
+
+struct Entry {
+  Mode mode = Mode::kOff;
+  int delay_ms = 1;
+  int64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry, std::less<>> points;
+  // Count of armed (non-kOff) points; mirrors into `any_active` so the
+  // inactive fast path in PARINDA_FAILPOINT is one relaxed atomic load.
+  int active = 0;
+  std::atomic<bool> any_active{false};
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+Status ConfigureFromSpecImpl(std::string_view spec);
+
+// Arms points from PARINDA_FAILPOINTS exactly once per process. Every public
+// registry entry point calls this first, so the env spec can never re-arm a
+// registry that a test already Clear()ed/ClearAll()ed. Malformed specs are
+// ignored (CI passes well-formed ones; tests use Configure()).
+void EnsureEnvParsed() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("PARINDA_FAILPOINTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      (void)ConfigureFromSpecImpl(spec);
+    }
+  });
+}
+
+// Must hold registry.mu.
+void SetModeLocked(Registry& registry, std::string_view name, Mode mode,
+                   int delay_ms) {
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) {
+    it = registry.points.emplace(std::string(name), Entry{}).first;
+  }
+  const bool was_armed = it->second.mode != Mode::kOff;
+  const bool now_armed = mode != Mode::kOff;
+  it->second.mode = mode;
+  it->second.delay_ms = delay_ms;
+  if (was_armed != now_armed) {
+    registry.active += now_armed ? 1 : -1;
+    registry.any_active.store(registry.active > 0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void Configure(std::string_view name, Mode mode, int delay_ms) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  SetModeLocked(registry, name, mode, delay_ms);
+}
+
+void Clear(std::string_view name) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return;
+  SetModeLocked(registry, name, Mode::kOff, it->second.delay_ms);
+}
+
+void ClearAll() {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+  registry.active = 0;
+  registry.any_active.store(false, std::memory_order_relaxed);
+}
+
+bool AnyActive() {
+  EnsureEnvParsed();
+  return GetRegistry().any_active.load(std::memory_order_relaxed);
+}
+
+Status Hit(std::string_view name) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  Mode mode;
+  int delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(name);
+    if (it == registry.points.end() || it->second.mode == Mode::kOff) {
+      return Status::OK();
+    }
+    ++it->second.hits;
+    mode = it->second.mode;
+    delay_ms = it->second.delay_ms;
+  }
+  switch (mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kError:
+      return Status::Internal("failpoint " + std::string(name));
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      break;
+    case Mode::kCrash:
+      std::abort();
+  }
+  return Status::OK();
+}
+
+int64_t HitCount(std::string_view name) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, int64_t>> AllHits() {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [name, entry] : registry.points) {
+    if (entry.hits > 0) out.emplace_back(name, entry.hits);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> HitsSince(
+    const std::vector<std::pair<std::string, int64_t>>& snapshot) {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [name, hits] : AllHits()) {
+    int64_t before = 0;
+    for (const auto& [prev_name, prev_hits] : snapshot) {
+      if (prev_name == name) {
+        before = prev_hits;
+        break;
+      }
+    }
+    if (hits > before) out.emplace_back(name, hits - before);
+  }
+  return out;
+}
+
+namespace {
+
+Status ConfigureFromSpecImpl(std::string_view spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (std::string_view entry : Split(spec, ',')) {
+    entry = StripWhitespace(entry);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec entry '" +
+                                     std::string(entry) +
+                                     "' is not name=mode[:ms]");
+    }
+    const std::string_view name = entry.substr(0, eq);
+    std::string_view mode_str = entry.substr(eq + 1);
+    int delay_ms = 1;
+    const size_t colon = mode_str.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string ms(mode_str.substr(colon + 1));
+      char* end = nullptr;
+      const long parsed = std::strtol(ms.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || parsed < 0) {
+        return Status::InvalidArgument("failpoint spec '" +
+                                       std::string(entry) +
+                                       "' has a bad delay");
+      }
+      delay_ms = static_cast<int>(parsed);
+      mode_str = mode_str.substr(0, colon);
+    }
+    Mode mode;
+    if (mode_str == "error") {
+      mode = Mode::kError;
+    } else if (mode_str == "delay") {
+      mode = Mode::kDelay;
+    } else if (mode_str == "crash") {
+      mode = Mode::kCrash;
+    } else if (mode_str == "off") {
+      mode = Mode::kOff;
+    } else {
+      return Status::InvalidArgument("failpoint spec '" + std::string(entry) +
+                                     "' has unknown mode '" +
+                                     std::string(mode_str) + "'");
+    }
+    SetModeLocked(registry, name, mode, delay_ms);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ConfigureFromSpec(std::string_view spec) {
+  EnsureEnvParsed();
+  return ConfigureFromSpecImpl(spec);
+}
+
+}  // namespace failpoint
+}  // namespace parinda

@@ -1,0 +1,92 @@
+#ifndef PARINDA_COMMON_FAILPOINT_H_
+#define PARINDA_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace parinda {
+namespace failpoint {
+
+/// What an active failpoint does when hit.
+enum class Mode {
+  kOff = 0,   ///< Inert (counter not maintained either).
+  kError,     ///< Return Status::Internal("failpoint <name>").
+  kDelay,     ///< Sleep for the configured milliseconds, then continue OK.
+  kCrash,     ///< Abort the process (tests-only: exercises crash recovery).
+};
+
+/// Fault-injection hooks for robustness testing.
+///
+/// Long-running pipelines mark their interesting decision points with the
+/// PARINDA_FAILPOINT macro, naming each point "layer.point" (the catalog
+/// lives in DESIGN.md §10). In production the macro is a single
+/// relaxed atomic load (the registry keeps a global "anything active?" flag);
+/// when a point is armed — programmatically via `Configure()` or through the
+/// `PARINDA_FAILPOINTS` environment variable — hitting it injects the
+/// configured fault and bumps a per-point hit counter.
+///
+/// Environment spec: comma-separated `name=mode[:ms]` entries, e.g.
+///   PARINDA_FAILPOINTS="advisor.matrix=error,inum.estimate=delay:5"
+/// Parsed once, lazily, on the first `Hit()`/`Configure()` call.
+///
+/// Hit counters are only maintained while any failpoint is active, keeping
+/// the inactive fast path to one atomic load.
+
+/// Arms `name` with `mode`. `delay_ms` applies to kDelay. Thread-safe.
+void Configure(std::string_view name, Mode mode, int delay_ms = 1);
+
+/// Disarms `name` (its hit counter is kept until ClearAll).
+void Clear(std::string_view name);
+
+/// Disarms everything and zeroes all hit counters. Tests call this in
+/// teardown so points armed by one test never leak into the next. The
+/// PARINDA_FAILPOINTS spec is parsed (once) before any registry operation,
+/// so a Clear/ClearAll always supersedes env-armed points — they cannot
+/// re-arm later.
+void ClearAll();
+
+/// Evaluates the failpoint `name`: injects the configured fault (if armed)
+/// and returns the resulting Status. Prefer the PARINDA_FAILPOINT macro.
+[[nodiscard]] Status Hit(std::string_view name);
+
+/// Hits recorded for `name` since the last ClearAll (0 when never hit or
+/// when no failpoint has been active).
+int64_t HitCount(std::string_view name);
+
+/// All (name, hits) pairs with a non-zero count, sorted by name.
+std::vector<std::pair<std::string, int64_t>> AllHits();
+
+/// Hits recorded since `snapshot` (a previous AllHits() result): pairs whose
+/// count grew, with the delta. Pipelines use this to attribute failpoint
+/// activity to one run in their DegradationReport.
+std::vector<std::pair<std::string, int64_t>> HitsSince(
+    const std::vector<std::pair<std::string, int64_t>>& snapshot);
+
+/// True when at least one failpoint is armed (single relaxed atomic load).
+bool AnyActive();
+
+/// Parses an environment-style spec ("a=error,b=delay:5") and arms the named
+/// points. Returns InvalidArgument on a malformed entry. Exposed for tests;
+/// `PARINDA_FAILPOINTS` goes through this.
+[[nodiscard]] Status ConfigureFromSpec(std::string_view spec);
+
+}  // namespace failpoint
+}  // namespace parinda
+
+/// Declares a fault-injection point. Must appear in a function returning
+/// Status (or Result<T>): when the point is armed in error mode the injected
+/// Status propagates to the caller like any other failure.
+#define PARINDA_FAILPOINT(name)                                \
+  do {                                                         \
+    if (::parinda::failpoint::AnyActive()) {                   \
+      ::parinda::Status _fp = ::parinda::failpoint::Hit(name); \
+      if (!_fp.ok()) return _fp;                               \
+    }                                                          \
+  } while (0)
+
+#endif  // PARINDA_COMMON_FAILPOINT_H_

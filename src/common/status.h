@@ -24,6 +24,9 @@ enum class StatusCode {
   kSolverError,
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
+  kFailedPrecondition,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -77,6 +80,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -13,12 +13,16 @@ ThreadPool::ThreadPool(int num_workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  // Drain so no task runs against a half-destroyed pool; the batch error is
-  // deliberately dropped — owners that care call WaitAll themselves.
-  (void)WaitAll();
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    // Drain so no task runs against a half-destroyed pool; the batch error
+    // is deliberately dropped — owners that care call WaitAll first.
+    batch_done_.wait(lock, [this] { return pending_ == 0; });
+    shutdown_ = true;
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -27,22 +31,61 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Submit(std::function<Status()> task) {
+Status ThreadPool::Submit(std::function<Status()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition(
+          "ThreadPool::Submit after Shutdown");
+    }
     queue_.push_back({next_seq_++, std::move(task)});
     ++pending_;
   }
   work_ready_.notify_one();
+  return Status::OK();
 }
 
 Status ThreadPool::WaitAll() {
   std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("ThreadPool::WaitAll after Shutdown");
+  }
+  if (waiting_) {
+    return Status::FailedPrecondition(
+        "concurrent ThreadPool::WaitAll (waiting is single-owner)");
+  }
+  waiting_ = true;
   batch_done_.wait(lock, [this] { return pending_ == 0; });
+  waiting_ = false;
   Status result = std::move(first_error_);
   first_error_ = Status::OK();
   first_error_seq_ = -1;
   return result;
+}
+
+void ThreadPool::CancelPending() {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DropQueuedLocked(Status::Cancelled("task cancelled before running"));
+    drained = pending_ == 0;
+  }
+  if (drained) batch_done_.notify_all();
+}
+
+void ThreadPool::DropQueuedLocked(const Status& why) {
+  for (const TaskItem& item : queue_) {
+    RecordOutcomeLocked(item.seq, why);
+    --pending_;
+  }
+  queue_.clear();
+}
+
+void ThreadPool::RecordOutcomeLocked(int64_t seq, Status status) {
+  if (!status.ok() && (first_error_seq_ < 0 || seq < first_error_seq_)) {
+    first_error_seq_ = seq;
+    first_error_ = std::move(status);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -55,13 +98,20 @@ void ThreadPool::WorkerLoop() {
       item = std::move(queue_.front());
       queue_.pop_front();
     }
-    Status status = item.fn();
+    Status status;
+    if (cancellation_ != nullptr && cancellation_->cancelled()) {
+      status = Status::Cancelled("task cancelled before running");
+    } else {
+      status = item.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!status.ok() &&
-          (first_error_seq_ < 0 || item.seq < first_error_seq_)) {
-        first_error_seq_ = item.seq;
-        first_error_ = std::move(status);
+      const bool failed = !status.ok();
+      RecordOutcomeLocked(item.seq, std::move(status));
+      if (failed && cancel_on_error_) {
+        // Every task with a smaller seq is already dequeued, so dropping
+        // the queue cannot hide an earlier-submitted error.
+        DropQueuedLocked(Status::Cancelled("batch cancelled on first error"));
       }
       --pending_;
       if (pending_ == 0) batch_done_.notify_all();
@@ -88,8 +138,9 @@ Status ParallelFor(int parallelism, int n,
     return Status::OK();
   }
   ThreadPool pool(workers);
+  pool.set_cancel_on_error(true);
   for (int i = 0; i < n; ++i) {
-    pool.Submit([&fn, i] { return fn(i); });
+    PARINDA_RETURN_IF_ERROR(pool.Submit([&fn, i] { return fn(i); }));
   }
   return pool.WaitAll();
 }

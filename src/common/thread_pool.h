@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 
 namespace parinda {
@@ -19,6 +20,16 @@ namespace parinda {
 /// queue drains and returns the error of the *earliest-submitted* failed
 /// task — independent of execution interleaving — so error propagation is
 /// deterministic under any worker count.
+///
+/// Cancellation: with `set_cancel_on_error(true)` (what `ParallelFor` uses),
+/// the first task failure drops every still-queued task so `WaitAll` drains
+/// promptly instead of grinding through work whose result will be discarded.
+/// Because tasks are dequeued in submission order, every task with a smaller
+/// sequence number than the failing one has already been dequeued, so the
+/// earliest-submitted-error contract is unaffected. An optional
+/// `CancellationToken` (`set_cancellation`) lets an outside controller —
+/// e.g. a deadline watcher — trip the same drain; skipped tasks record
+/// `kCancelled`.
 ///
 /// Thread-safety contract for callers (see DESIGN.md §"Parallel evaluation
 /// layer"): tasks submitted to one pool may run concurrently, so each task
@@ -33,20 +44,43 @@ class ThreadPool {
   /// Spawns `num_workers` worker threads (clamped to at least 1).
   explicit ThreadPool(int num_workers);
 
-  /// Drains outstanding tasks, then joins the workers. Errors of tasks not
-  /// yet collected through WaitAll are discarded.
+  /// Equivalent to Shutdown(): drains outstanding tasks, then joins the
+  /// workers. Errors of tasks not collected through WaitAll are discarded.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Must not be called concurrently with WaitAll.
-  void Submit(std::function<Status()> task);
+  /// Returns kFailedPrecondition (and drops the task) after Shutdown().
+  [[nodiscard]] Status Submit(std::function<Status()> task);
 
-  /// Blocks until every submitted task has finished. Returns the error of
-  /// the earliest-submitted failed task, or OK. Resets the error state, so
-  /// the pool can be reused for another batch.
+  /// Blocks until every submitted task has finished or was cancelled.
+  /// Returns the error of the earliest-submitted failed task, or OK.
+  /// Resets the error state, so the pool can be reused for another batch.
+  /// Returns kFailedPrecondition after Shutdown(), or when another thread
+  /// is already blocked in WaitAll (waiting is single-owner).
   [[nodiscard]] Status WaitAll();
+
+  /// Drains outstanding tasks, then joins the workers. Idempotent. After
+  /// shutdown, Submit and WaitAll return kFailedPrecondition.
+  void Shutdown();
+
+  /// Drops every task still queued (running tasks finish); each dropped
+  /// task records kCancelled, so a subsequent WaitAll returns kCancelled
+  /// unless an earlier-submitted task already failed for a real reason.
+  void CancelPending();
+
+  /// When set, the first task failure cancels all still-queued tasks.
+  /// Toggle only between batches (not while tasks are in flight).
+  void set_cancel_on_error(bool value) { cancel_on_error_ = value; }
+
+  /// Optional external cancellation: once `token->cancelled()` is observed,
+  /// queued tasks are skipped with kCancelled. `token` must outlive the
+  /// current batch; pass nullptr to detach. Toggle only between batches.
+  void set_cancellation(const CancellationToken* token) {
+    cancellation_ = token;
+  }
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
@@ -61,6 +95,10 @@ class ThreadPool {
   };
 
   void WorkerLoop();
+  /// Must hold mu_. Drops queued tasks, recording `why` for the earliest.
+  void DropQueuedLocked(const Status& why);
+  /// Must hold mu_. Records a task outcome under the earliest-seq rule.
+  void RecordOutcomeLocked(int64_t seq, Status status);
 
   std::mutex mu_;
   std::condition_variable work_ready_;
@@ -70,6 +108,11 @@ class ThreadPool {
   /// Queued plus currently-running tasks.
   int pending_ = 0;
   bool stopping_ = false;
+  bool shutdown_ = false;
+  /// True while a thread is blocked in WaitAll (single-waiter rule).
+  bool waiting_ = false;
+  bool cancel_on_error_ = false;
+  const CancellationToken* cancellation_ = nullptr;
   /// Earliest-submitted failure of the current batch.
   int64_t first_error_seq_ = -1;
   Status first_error_;
@@ -83,10 +126,12 @@ int ResolveParallelism(int parallelism);
 /// Runs `fn(0) ... fn(n-1)` on up to `parallelism` workers and returns the
 /// lowest-index error (OK if none). `parallelism <= 1` executes inline on
 /// the calling thread, in index order, stopping at the first error — no
-/// threads are created. With more workers the full index range is always
-/// dispatched, every `fn(i)` writing only to state it owns; results must
-/// therefore not depend on execution order, which is what makes parallel
-/// and serial runs bit-identical.
+/// threads are created. With more workers the pool runs with
+/// cancel-on-error, so a failure (including a worker observing an expired
+/// Deadline) drains the queue promptly. On success every `fn(i)` has run,
+/// each writing only to state it owns; successful results therefore do not
+/// depend on execution order, which is what makes parallel and serial runs
+/// bit-identical.
 [[nodiscard]] Status ParallelFor(int parallelism, int n,
                                  const std::function<Status(int)>& fn);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "optimizer/planner.h"
 #include "rewriter/rewriter.h"
 
@@ -192,30 +193,50 @@ Result<double> DesignSession::InumRecost(int q, QueryState* qs) {
 }
 
 Result<InteractiveReport> DesignSession::Evaluate() {
+  PARINDA_FAILPOINT("design.evaluate");
+  const auto fp_before = failpoint::AllHits();
+  DegradationReport degradation;
   const int64_t plans_before = Planner::stats().plans_built;
   last_eval_inum_recosts_ = 0;
 
   const int nq = workload_ == nullptr ? 0 : workload_->size();
   PARINDA_CHECK(static_cast<int>(queries_.size()) == nq);
 
+  // Budget expiry stops re-costing mid-way: finished queries report fresh
+  // costs, the rest keep their previous (possibly zero) values and remain
+  // pending, so a later Evaluate() with a fresh budget completes them.
+  bool truncated = false;
+
   PlannerOptions base_options;
   base_options.params = options_.params;
-  for (int q = 0; q < nq; ++q) {
-    QueryState& qs = queries_[static_cast<size_t>(q)];
-    if (qs.base_valid) continue;
-    PARINDA_ASSIGN_OR_RETURN(
-        Plan plan,
-        PlanQuery(catalog_, workload_->queries[q].stmt, base_options));
-    qs.base_cost = plan.total_cost();
-    qs.base_valid = true;
+  {
+    PhaseTimer timer(&degradation, "base");
+    for (int q = 0; q < nq; ++q) {
+      QueryState& qs = queries_[static_cast<size_t>(q)];
+      if (qs.base_valid) continue;
+      if (options_.deadline.Expired()) {
+        truncated = true;
+        break;
+      }
+      PARINDA_ASSIGN_OR_RETURN(
+          Plan plan,
+          PlanQuery(catalog_, workload_->queries[q].stmt, base_options));
+      qs.base_cost = plan.total_cost();
+      qs.base_valid = true;
+    }
   }
 
   PlannerOptions whatif_options;
   whatif_options.params = overlay_->params();
   whatif_options.hooks = &overlay_->hooks();
+  PhaseTimer whatif_timer(&degradation, "whatif");
   for (int q = 0; q < nq; ++q) {
     QueryState& qs = queries_[static_cast<size_t>(q)];
     if (qs.whatif_valid) continue;
+    if (truncated || options_.deadline.Expired()) {
+      truncated = true;
+      break;
+    }
     bool served = false;
     if (options_.inum_index_deltas && InumEligible(qs)) {
       // Index deltas never change the rewrite, so the cached rewritten_sql
@@ -244,6 +265,8 @@ Result<InteractiveReport> DesignSession::Evaluate() {
     qs.whatif_valid = true;
     qs.index_only_delta = false;
   }
+  whatif_timer.Stop();
+  if (truncated) degradation.AddFallback("evaluate:truncated");
 
   // Aggregation replicates the stateless evaluation's summation order
   // exactly (query order, benefit folded in as computed), so a warmed
@@ -276,6 +299,8 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   if (nq > 0) report.average_benefit_pct /= nq;
 
   last_eval_planner_calls_ = Planner::stats().plans_built - plans_before;
+  degradation.failpoint_hits = failpoint::HitsSince(fp_before);
+  report.degradation = std::move(degradation);
   return report;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "design/overlay.h"
 #include "inum/inum.h"
@@ -25,6 +26,10 @@ struct InteractiveReport {
   double average_benefit_pct = 0.0;
   /// Queries rewritten for the what-if partitions.
   std::vector<std::string> rewritten_sql;
+  /// What the budget did to this report. When `degradation.degraded`, some
+  /// queries kept their last-known (possibly zero) costs; the next
+  /// Evaluate() with a fresh budget completes them.
+  DegradationReport degradation;
 };
 
 /// Handle to one design feature inside a session (returned by Add*, consumed
@@ -41,6 +46,12 @@ struct DesignSessionOptions {
   /// exact — invalidation alone already skips every untouched query, which
   /// is where the interactive-latency win comes from.
   bool inum_index_deltas = false;
+  /// Time budget consulted by Evaluate() before each per-query planner or
+  /// INUM call. On expiry the evaluation stops re-costing: already-finished
+  /// queries report fresh costs, the rest keep their previous values and
+  /// stay pending, and the report is marked degraded. Re-arm per call with
+  /// DesignSession::set_deadline. Infinite by default.
+  Deadline deadline;
 };
 
 /// An interactive what-if design session — the stateful core of the paper's
@@ -91,6 +102,10 @@ class DesignSession {
 
   /// Replaces the workload; all cached per-query state is discarded.
   void SetWorkload(const Workload* workload);
+
+  /// Re-arms the evaluation budget (deadlines are absolute instants, so a
+  /// long-lived session sets a fresh one before each budgeted Evaluate()).
+  void set_deadline(const Deadline& deadline) { options_.deadline = deadline; }
 
   /// Evaluates the current design over the workload, re-planning only
   /// invalidated queries. The first call on a fresh session plans everything

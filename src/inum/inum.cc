@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/index_match.h"
 #include "optimizer/planner.h"
@@ -26,8 +27,22 @@ Status InumCostModel::Init() {
   return Status::OK();
 }
 
+Status InumCostModel::CheckBudget(const char* what) const {
+  if (deadline_ != nullptr) {
+    PARINDA_RETURN_IF_ERROR(deadline_->CheckOk(what));
+  }
+  if (cancellation_ != nullptr) {
+    PARINDA_RETURN_IF_ERROR(cancellation_->CheckOk(what));
+  }
+  return Status::OK();
+}
+
 Result<InumCostModel::CacheEntry> InumCostModel::BuildEntry(
     const CacheKey& key) {
+  // The optimizer call below is this model's expensive unit of work; gate it
+  // on the budget so an expired deadline stops cold-start plan building.
+  PARINDA_FAILPOINT("inum.build_entry");
+  PARINDA_RETURN_IF_ERROR(CheckBudget("inum.build_entry"));
   // Inject one hypothetical order-providing index per ordered range and hide
   // everything else, so the optimizer's plan shape reflects exactly this
   // order assignment.
@@ -203,6 +218,7 @@ std::optional<double> InumCostModel::SlotAccessCost(
 
 Result<double> InumCostModel::EstimateCost(
     const std::vector<const IndexInfo*>& config) {
+  PARINDA_FAILPOINT("inum.estimate");
   if (!initialized_) PARINDA_RETURN_IF_ERROR(Init());
   ++estimates_served_;
   const int num_rels = static_cast<int>(stmt_.from.size());
@@ -238,6 +254,7 @@ Result<double> InumCostModel::EstimateCost(
   double best_cost = std::numeric_limits<double>::infinity();
   std::vector<size_t> pick(static_cast<size_t>(num_rels), 0);
   while (true) {
+    PARINDA_RETURN_IF_ERROR(CheckBudget("inum.estimate"));
     CacheKey key;
     key.orders.resize(static_cast<size_t>(num_rels));
     for (int r = 0; r < num_rels; ++r) key.orders[r] = options[r][pick[r]];

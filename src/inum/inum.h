@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "optimizer/cost_params.h"
 #include "optimizer/query_analysis.h"
@@ -63,6 +64,17 @@ class InumCostModel {
   /// the nested-loop-enabled plan is cached per order assignment.
   void set_cache_nestloop_pair(bool pair) { cache_nestloop_pair_ = pair; }
 
+  /// Cooperative budget/cancellation. When set, EstimateCost checks the
+  /// deadline per order-assignment iteration and before each optimizer call,
+  /// returning kDeadlineExceeded/kCancelled; the cache stays valid, so a
+  /// later call with a fresh budget resumes where this one stopped. Both
+  /// pointers are optional and must outlive their use; pass nullptr to
+  /// detach.
+  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
+  void set_cancellation(const CancellationToken* token) {
+    cancellation_ = token;
+  }
+
  private:
   /// Per-range access slot of a cached plan.
   struct AccessSlot {
@@ -106,8 +118,13 @@ class InumCostModel {
       int range, const AccessSlot& slot,
       const std::vector<const IndexInfo*>& table_indexes) const;
 
+  /// Budget checks shared across estimates; nullptr = unbounded.
+  [[nodiscard]] Status CheckBudget(const char* what) const;
+
   const CatalogReader& catalog_;
   const SelectStatement& stmt_;
+  const Deadline* deadline_ = nullptr;
+  const CancellationToken* cancellation_ = nullptr;
   CostParams params_;
   AnalyzedQuery analyzed_;
   bool initialized_ = false;

@@ -11,13 +11,14 @@ namespace parinda {
 
 Result<InteractiveReport> Parinda::EvaluateDesign(
     const Workload& workload, const InteractiveDesign& design,
-    const CostParams& params) {
+    const CostParams& params, const Deadline& deadline) {
   // A one-shot DesignSession: the first Evaluate() on a fresh session *is*
   // the stateless evaluation (same overlay composition, same planner calls,
   // same summation order — bit-identical reports; asserted in
   // tests/parinda_test.cc).
   DesignSessionOptions options;
   options.params = params;
+  options.deadline = deadline;
   DesignSession session(db_->catalog(), &workload, options);
   for (const WhatIfPartitionDef& partition : design.partitions) {
     PARINDA_ASSIGN_OR_RETURN(OverlayId unused,

@@ -70,9 +70,16 @@ class Parinda {
   /// stateless wrapper over a one-shot DesignSession; for an iterating
   /// add/drop/re-evaluate loop, hold a DesignSession directly and get
   /// incremental re-evaluation.
+  ///
+  /// `deadline` bounds the evaluation (DESIGN.md §10): on expiry the report
+  /// comes back with `degradation.degraded = true` and the un-costed queries
+  /// at zero. The advisor entry points below take their budget through
+  /// `options.deadline` instead. All budgets default to infinite, which is
+  /// bit-identical to the un-budgeted code path.
   [[nodiscard]] Result<InteractiveReport> EvaluateDesign(const Workload& workload,
                                            const InteractiveDesign& design,
-                                           const CostParams& params = {});
+                                           const CostParams& params = {},
+                                           const Deadline& deadline = {});
 
   /// Builds the real index for `def`, plans `sql` both ways, and reports
   /// simulation accuracy. The real index is dropped afterwards.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace parinda {
 
 namespace {
@@ -73,8 +75,15 @@ Result<MipSolution> SolveBinaryMip(const BinaryMip& mip,
   bool exhausted_cleanly = true;
 
   while (!stack.empty()) {
+    PARINDA_FAILPOINT("solver.bnb_node");
     if (best.nodes_explored >= options.max_nodes) {
       exhausted_cleanly = false;
+      break;
+    }
+    if (options.deadline.Expired()) {
+      // Anytime cut: keep the incumbent, flag the truncation.
+      exhausted_cleanly = false;
+      best.degraded = true;
       break;
     }
     Node node = std::move(stack.back());

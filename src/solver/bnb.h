@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "solver/lp.h"
 
@@ -23,11 +24,19 @@ struct MipOptions {
   /// Accept the incumbent once the relative gap to the best bound is below
   /// this (0 = prove optimality).
   double relative_gap = 1e-6;
+  /// Time budget. When it expires the search stops and returns the best
+  /// incumbent so far with `degraded = true` (anytime behaviour). The
+  /// default infinite deadline never reads the clock, so un-budgeted solves
+  /// are bit-identical to a solver without this knob.
+  Deadline deadline;
 };
 
 struct MipSolution {
   bool feasible = false;
   bool proved_optimal = false;
+  /// True when the deadline cut the search short; the solution is the best
+  /// incumbent found within the budget (possibly the all-zero seed).
+  bool degraded = false;
   double objective = 0.0;
   std::vector<int> values;  // 0/1 per variable
   int nodes_explored = 0;

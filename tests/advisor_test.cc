@@ -315,6 +315,58 @@ TEST_F(IndexAdvisorTest, AdviceIsBitIdenticalAcrossParallelism) {
   EXPECT_EQ(parallel.optimizer_calls, serial.optimizer_calls);
 }
 
+TEST_F(IndexAdvisorTest, ExpiredDeadlineDegradesInsteadOfFailing) {
+  // The anytime contract: a budget that expires before any work happened
+  // still produces a well-formed (if empty-handed) advice, flagged degraded,
+  // never an error and never a crash.
+  IndexAdvisorOptions options;
+  options.deadline = Deadline::After(0.0);
+  IndexAdvisor advisor(db_.catalog(), workload_, options);
+  auto advice = advisor.SuggestWithIlp();
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_TRUE(advice->degradation.degraded);
+  EXPECT_FALSE(advice->degradation.fallbacks.empty());
+  EXPECT_FALSE(advice->proved_optimal);
+  // The summary names the rungs taken, for the REPL report.
+  EXPECT_NE(advice->degradation.ToString().find("degraded"),
+            std::string::npos);
+
+  // Greedy has its own ladder (static ranking when the models are gone).
+  IndexAdvisor greedy(db_.catalog(), workload_, options);
+  auto greedy_advice = greedy.SuggestWithGreedy();
+  ASSERT_TRUE(greedy_advice.ok()) << greedy_advice.status().ToString();
+  EXPECT_TRUE(greedy_advice->degradation.degraded);
+}
+
+TEST_F(IndexAdvisorTest, InfiniteBudgetBitIdenticalToUnbudgeted) {
+  // Deadline::Infinite() (== the default) never reads the clock, so a
+  // budgeted run with an infinite budget is the unbudgeted run, bit for
+  // bit, at any parallelism.
+  IndexAdvisor plain_advisor(db_.catalog(), workload_);
+  auto plain = plain_advisor.SuggestWithIlp();
+  ASSERT_TRUE(plain.ok());
+  for (int parallelism : {1, 4}) {
+    SCOPED_TRACE(parallelism);
+    IndexAdvisorOptions options;
+    options.parallelism = parallelism;
+    options.deadline = Deadline::Infinite();
+    IndexAdvisor advisor(db_.catalog(), workload_, options);
+    auto budgeted = advisor.SuggestWithIlp();
+    ASSERT_TRUE(budgeted.ok());
+    EXPECT_FALSE(budgeted->degradation.degraded);
+    EXPECT_TRUE(budgeted->degradation.fallbacks.empty());
+    ASSERT_EQ(budgeted->indexes.size(), plain->indexes.size());
+    for (size_t s = 0; s < plain->indexes.size(); ++s) {
+      EXPECT_EQ(budgeted->indexes[s].def.columns, plain->indexes[s].def.columns);
+      EXPECT_EQ(budgeted->indexes[s].benefit, plain->indexes[s].benefit);
+    }
+    EXPECT_EQ(budgeted->base_cost, plain->base_cost);
+    EXPECT_EQ(budgeted->optimized_cost, plain->optimized_cost);
+    EXPECT_EQ(budgeted->per_query_base, plain->per_query_base);
+    EXPECT_EQ(budgeted->per_query_optimized, plain->per_query_optimized);
+  }
+}
+
 TEST_F(IndexAdvisorTest, GreedyAlsoBitIdenticalAcrossParallelism) {
   auto run = [&](int parallelism) {
     IndexAdvisorOptions options;

@@ -178,6 +178,60 @@ TEST_F(AutoPartTest, DesignIsBitIdenticalAcrossParallelism) {
   EXPECT_EQ(parallel.iterations_run, serial.iterations_run);
 }
 
+TEST_F(AutoPartTest, ExpiredDeadlineFallsBackToBaseDesign) {
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT avg(petrorad_r) FROM photoobj WHERE type = 3",
+       "SELECT count(*) FROM photoobj WHERE r BETWEEN 15 AND 16"});
+  ASSERT_TRUE(workload.ok());
+  AutoPartOptions options;
+  options.max_iterations = 3;
+  options.deadline = Deadline::After(0.0);
+  AutoPartAdvisor advisor(db_->catalog(), *workload, options);
+  auto advice = advisor.Suggest();
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  // Anytime contract: the advisor hands back the un-partitioned base design
+  // (no fragments, queries untouched), flagged degraded — never an error.
+  EXPECT_TRUE(advice->degradation.degraded);
+  EXPECT_FALSE(advice->degradation.fallbacks.empty());
+  EXPECT_TRUE(advice->fragments.empty());
+  ASSERT_EQ(advice->rewritten_sql.size(), 2u);
+  EXPECT_EQ(advice->rewritten_sql[0], workload->queries[0].sql);
+}
+
+TEST_F(AutoPartTest, InfiniteBudgetBitIdenticalToUnbudgeted) {
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT avg(petrorad_r) FROM photoobj WHERE type = 3",
+       "SELECT count(*) FROM photoobj WHERE r BETWEEN 15 AND 16"});
+  ASSERT_TRUE(workload.ok());
+  auto run = [&](Deadline deadline, int parallelism) {
+    AutoPartOptions options;
+    options.max_iterations = 3;
+    options.parallelism = parallelism;
+    options.deadline = deadline;
+    AutoPartAdvisor advisor(db_->catalog(), *workload, options);
+    auto advice = advisor.Suggest();
+    PARINDA_CHECK_OK(advice);
+    return std::move(*advice);
+  };
+  const PartitionAdvice plain = run(Deadline(), 1);
+  for (int parallelism : {1, 4}) {
+    SCOPED_TRACE(parallelism);
+    const PartitionAdvice budgeted = run(Deadline::Infinite(), parallelism);
+    EXPECT_FALSE(budgeted.degradation.degraded);
+    ASSERT_EQ(budgeted.fragments.size(), plain.fragments.size());
+    for (size_t f = 0; f < plain.fragments.size(); ++f) {
+      EXPECT_EQ(budgeted.fragments[f].columns, plain.fragments[f].columns);
+    }
+    EXPECT_EQ(budgeted.base_cost, plain.base_cost);
+    EXPECT_EQ(budgeted.optimized_cost, plain.optimized_cost);
+    EXPECT_EQ(budgeted.per_query_optimized, plain.per_query_optimized);
+    EXPECT_EQ(budgeted.evaluations, plain.evaluations);
+    EXPECT_EQ(budgeted.iterations_run, plain.iterations_run);
+  }
+}
+
 TEST_F(AutoPartTest, PerQueryCostsConsistent) {
   auto workload = MakeWorkload(
       db_->catalog(), {"SELECT g, r FROM photoobj WHERE g < 15"});

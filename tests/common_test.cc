@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -35,6 +38,69 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString(), "DeadlineExceeded: x");
+  EXPECT_EQ(Status::Cancelled("x").ToString(), "Cancelled: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+}
+
+TEST(DeadlineTest, DefaultIsInfiniteAndNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(d.CheckOk("test").ok());
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+  EXPECT_GT(d.RemainingSeconds(), 1e12);
+}
+
+TEST(DeadlineTest, ZeroBudgetIsAlreadyExpired) {
+  Deadline d = Deadline::After(0.0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+  Status st = d.CheckOk("phase-x");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("phase-x"), std::string::npos);
+  EXPECT_LE(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousBudgetNotExpiredAndCopiesShareIt) {
+  Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(d.CheckOk("test").ok());
+  Deadline copy = d;  // copies share the same absolute instant
+  EXPECT_FALSE(copy.infinite());
+  EXPECT_NEAR(copy.RemainingSeconds(), d.RemainingSeconds(), 1.0);
+}
+
+TEST(CancellationTokenTest, CancelIsSticky) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.CheckOk("test").ok());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  Status st = token.CheckOk("worker");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_NE(st.message().find("worker"), std::string::npos);
+}
+
+TEST(DegradationReportTest, FallbacksSetDegradedAndRenderInSummary) {
+  DegradationReport report;
+  EXPECT_FALSE(report.degraded);
+  report.AddFallback("ilp:incumbent");
+  report.AddFallback("finish:matrix-estimate");
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.fallbacks.size(), 2u);
+  report.phase_seconds.emplace_back("solve", 0.005);
+  const std::string s = report.ToString();
+  EXPECT_NE(s.find("ilp:incumbent"), std::string::npos);
+  EXPECT_NE(s.find("solve"), std::string::npos);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -147,10 +213,10 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(4);
   std::atomic<int> sum{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&sum, i] {
+    ASSERT_TRUE(pool.Submit([&sum, i] {
       sum.fetch_add(i);
       return Status::OK();
-    });
+    }).ok());
   }
   ASSERT_TRUE(pool.WaitAll().ok());
   EXPECT_EQ(sum.load(), 99 * 100 / 2);
@@ -159,17 +225,17 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
 TEST(ThreadPoolTest, WaitAllReturnsEarliestSubmittedError) {
   ThreadPool pool(4);
   for (int i = 0; i < 32; ++i) {
-    pool.Submit([i]() -> Status {
+    ASSERT_TRUE(pool.Submit([i]() -> Status {
       if (i == 7) return Status::Internal("task 7");
       if (i == 23) return Status::InvalidArgument("task 23");
       return Status::OK();
-    });
+    }).ok());
   }
   Status status = pool.WaitAll();
   EXPECT_EQ(status.code(), StatusCode::kInternal);
   EXPECT_EQ(status.message(), "task 7");
   // The batch error resets: the pool is reusable.
-  pool.Submit([] { return Status::OK(); });
+  ASSERT_TRUE(pool.Submit([] { return Status::OK(); }).ok());
   EXPECT_TRUE(pool.WaitAll().ok());
 }
 
@@ -231,6 +297,91 @@ TEST(ParallelForTest, SerialModeStopsAtFirstError) {
 TEST(ParallelForTest, EmptyRangeIsOk) {
   EXPECT_TRUE(
       ParallelFor(4, 0, [](int) { return Status::Internal("never"); }).ok());
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitAfterShutdownFailCleanly) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Submit([] { return Status::OK(); }).ok());
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  Status submit = pool.Submit([] { return Status::OK(); });
+  EXPECT_EQ(submit.code(), StatusCode::kFailedPrecondition);
+  Status wait = pool.WaitAll();
+  EXPECT_EQ(wait.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThreadPoolTest, CancelPendingDropsQueuedTasks) {
+  // One worker, blocked on the first task: everything behind it stays
+  // queued until CancelPending drops it.
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();
+  ASSERT_TRUE(pool.Submit([&gate] {
+    gate.lock();  // released by the test thread below
+    gate.unlock();
+    return Status::OK();
+  }).ok());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] {
+      ran.fetch_add(1);
+      return Status::OK();
+    }).ok());
+  }
+  pool.CancelPending();
+  gate.unlock();
+  Status status = pool.WaitAll();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+  // The pool is reusable after a cancelled batch.
+  ASSERT_TRUE(pool.Submit([] { return Status::OK(); }).ok());
+  EXPECT_TRUE(pool.WaitAll().ok());
+}
+
+TEST(ThreadPoolTest, CancellationTokenSkipsQueuedTasks) {
+  ThreadPool pool(1);
+  CancellationToken token;
+  pool.set_cancellation(&token);
+  std::mutex gate;
+  gate.lock();
+  ASSERT_TRUE(pool.Submit([&gate] {
+    gate.lock();
+    gate.unlock();
+    return Status::OK();
+  }).ok());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] {
+      ran.fetch_add(1);
+      return Status::OK();
+    }).ok());
+  }
+  token.Cancel();
+  gate.unlock();
+  Status status = pool.WaitAll();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+  pool.set_cancellation(nullptr);
+}
+
+TEST(ThreadPoolTest, CancelOnErrorStillReportsEarliestError) {
+  // With cancel-on-error, a failure drops the queue, but FIFO dequeue means
+  // every earlier-submitted task already ran — so the earliest-error
+  // contract holds at any worker count.
+  for (int workers : {1, 4}) {
+    ThreadPool pool(workers);
+    pool.set_cancel_on_error(true);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(pool.Submit([i]() -> Status {
+        if (i == 5) return Status::Internal("earliest");
+        if (i == 40) return Status::InvalidArgument("later");
+        return Status::OK();
+      }).ok());
+    }
+    Status status = pool.WaitAll();
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << "workers " << workers;
+    EXPECT_EQ(status.message(), "earliest");
+  }
 }
 
 }  // namespace

@@ -106,6 +106,34 @@ TEST_F(DesignSessionTest, FirstEvaluateIsTheStatelessEvaluation) {
   ExpectReportsBitIdentical(*report, *reference);
 }
 
+TEST_F(DesignSessionTest, ExpiredDeadlineDegradesAndFreshBudgetCompletes) {
+  Parinda tool(db_);
+  InteractiveDesign design;
+  design.indexes.push_back({"ds_budget_objid", dataset_->photoobj, {0}, false});
+  auto reference = tool.EvaluateDesign(*sdss_, design);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  DesignSession session(db_->catalog(), sdss_);
+  ASSERT_TRUE(
+      session.AddIndex({"ds_budget_objid", dataset_->photoobj, {0}, false})
+          .ok());
+  // A pre-expired budget: no query gets re-costed; the report is flagged and
+  // every cost stays at its last-known value (zero on a cold session).
+  session.set_deadline(Deadline::After(0.0));
+  auto truncated = session.Evaluate();
+  ASSERT_TRUE(truncated.ok()) << truncated.status().ToString();
+  EXPECT_TRUE(truncated->degradation.degraded);
+  EXPECT_FALSE(truncated->degradation.fallbacks.empty());
+
+  // Re-arming with a fresh (infinite) budget finishes the pending queries
+  // and lands exactly on the stateless evaluation.
+  session.set_deadline(Deadline::Infinite());
+  auto completed = session.Evaluate();
+  ASSERT_TRUE(completed.ok()) << completed.status().ToString();
+  EXPECT_FALSE(completed->degradation.degraded);
+  ExpectReportsBitIdentical(*completed, *reference);
+}
+
 TEST_F(DesignSessionTest, WarmedSessionBitIdenticalForAnyInterleaving) {
   // Reach the component set {partition(photoobj), range(photoobj.ra),
   // index(field.quality)} through a messy interleaving with intermediate

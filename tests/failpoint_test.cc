@@ -1,0 +1,178 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "advisor/index_advisor.h"
+#include "autopart/autopart.h"
+#include "catalog/stats_io.h"
+#include "common/check.h"
+#include "design/design_session.h"
+#include "storage/database.h"
+#include "workload/sdss.h"
+
+namespace parinda {
+namespace {
+
+// A small SDSS instance shared by the pipeline-level tests.
+struct Stack {
+  Database db;
+  Workload workload;
+
+  Stack() {
+    SdssConfig config;
+    config.photoobj_rows = 1000;
+    PARINDA_CHECK_OK(BuildSdssDatabase(&db, config));
+    auto wl = MakeSdssWorkload(db.catalog());
+    PARINDA_CHECK_OK(wl);
+    workload = std::move(*wl);
+  }
+};
+
+Status RunStatsLoad(Stack& s) {
+  return LoadCatalogStats(DumpCatalogStats(s.db.catalog())).status();
+}
+
+Status RunDesignSession(Stack& s) {
+  DesignSession session(s.db.catalog(), &s.workload);
+  return session.Evaluate().status();
+}
+
+Status RunAutoPart(Stack& s) {
+  AutoPartOptions options;
+  options.max_iterations = 2;
+  AutoPartAdvisor advisor(s.db.catalog(), s.workload, options);
+  return advisor.Suggest().status();
+}
+
+Status RunIndexAdvisor(Stack& s) {
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 4.0 * 1024 * 1024;
+  IndexAdvisor advisor(s.db.catalog(), s.workload, options);
+  return advisor.SuggestWithIlp().status();
+}
+
+// Every failpoint registered in src/, paired with the pipeline that crosses
+// it. tools/ci.sh harvests the same names with grep and sweeps them in error
+// mode under the sanitizer build; ErrorModeSurfacesAsStatus below fails when
+// this table goes stale (a renamed point would record zero hits).
+struct PointCase {
+  const char* name;
+  Status (*run)(Stack&);
+};
+const PointCase kAllFailpoints[] = {
+    {"advisor.enumerate", RunIndexAdvisor},
+    {"advisor.matrix", RunIndexAdvisor},
+    {"advisor.solve", RunIndexAdvisor},
+    {"autopart.evaluate", RunAutoPart},
+    {"design.evaluate", RunDesignSession},
+    {"inum.build_entry", RunIndexAdvisor},
+    {"inum.estimate", RunIndexAdvisor},
+    {"solver.bnb_node", RunIndexAdvisor},
+    {"stats.load", RunStatsLoad},
+};
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  // Arming is process-global state: never leak it into the next test.
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(FailpointTest, ErrorModeSurfacesAsStatus) {
+  Stack s;
+  for (const PointCase& pc : kAllFailpoints) {
+    SCOPED_TRACE(pc.name);
+    failpoint::ClearAll();
+    failpoint::Configure(pc.name, failpoint::Mode::kError);
+    const Status st = pc.run(s);
+    EXPECT_GT(failpoint::HitCount(pc.name), 0)
+        << "failpoint never hit: stale name or pipeline no longer crosses it";
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("failpoint"), std::string::npos)
+        << st.ToString();
+    EXPECT_NE(st.message().find(pc.name), std::string::npos) << st.ToString();
+  }
+}
+
+TEST_F(FailpointTest, DelayModeLeavesResultsIdentical) {
+  Stack s;
+  failpoint::ClearAll();
+  IndexAdvisorOptions options;
+  options.storage_budget_bytes = 4.0 * 1024 * 1024;
+  auto baseline = IndexAdvisor(s.db.catalog(), s.workload, options)
+                      .SuggestWithIlp();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Arm every point in delay mode (0 ms: exercises the injection path
+  // without slowing hot loops like solver.bnb_node by a sleep per node).
+  for (const PointCase& pc : kAllFailpoints) {
+    failpoint::Configure(pc.name, failpoint::Mode::kDelay, 0);
+  }
+  auto delayed = IndexAdvisor(s.db.catalog(), s.workload, options)
+                     .SuggestWithIlp();
+  ASSERT_TRUE(delayed.ok()) << delayed.status().ToString();
+  EXPECT_FALSE(delayed->degradation.degraded);
+  EXPECT_FALSE(delayed->degradation.failpoint_hits.empty());
+  ASSERT_EQ(delayed->indexes.size(), baseline->indexes.size());
+  EXPECT_EQ(delayed->optimized_cost, baseline->optimized_cost);
+  EXPECT_EQ(delayed->base_cost, baseline->base_cost);
+  for (size_t i = 0; i < baseline->indexes.size(); ++i) {
+    EXPECT_EQ(delayed->indexes[i].def.columns, baseline->indexes[i].def.columns);
+  }
+
+  // Every other pipeline stays clean under injected delays too.
+  EXPECT_TRUE(RunStatsLoad(s).ok());
+  EXPECT_TRUE(RunDesignSession(s).ok());
+  EXPECT_TRUE(RunAutoPart(s).ok());
+}
+
+TEST_F(FailpointTest, ConfigureFromSpecParsesEnvSyntax) {
+  failpoint::ClearAll();
+  ASSERT_TRUE(
+      failpoint::ConfigureFromSpec("test.a=error, test.b=delay:5,test.c=off")
+          .ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  const Status a = failpoint::Hit("test.a");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.message().find("failpoint test.a"), std::string::npos);
+  EXPECT_TRUE(failpoint::Hit("test.b").ok());
+  EXPECT_TRUE(failpoint::Hit("test.c").ok());
+  EXPECT_TRUE(failpoint::Hit("test.never_configured").ok());
+
+  EXPECT_FALSE(failpoint::ConfigureFromSpec("test.a").ok());
+  EXPECT_FALSE(failpoint::ConfigureFromSpec("test.a=bogus").ok());
+  EXPECT_FALSE(failpoint::ConfigureFromSpec("test.a=delay:xyz").ok());
+  EXPECT_FALSE(failpoint::ConfigureFromSpec("=error").ok());
+}
+
+TEST_F(FailpointTest, HitCountersAndSnapshots) {
+  failpoint::ClearAll();
+  EXPECT_FALSE(failpoint::AnyActive());
+  // Inactive points neither fire nor count.
+  EXPECT_TRUE(failpoint::Hit("test.idle").ok());
+  EXPECT_EQ(failpoint::HitCount("test.idle"), 0);
+
+  failpoint::Configure("test.count", failpoint::Mode::kDelay, 0);
+  const auto before = failpoint::AllHits();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(failpoint::Hit("test.count").ok());
+  }
+  EXPECT_EQ(failpoint::HitCount("test.count"), 3);
+  const auto since = failpoint::HitsSince(before);
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].first, "test.count");
+  EXPECT_EQ(since[0].second, 3);
+
+  // Clear disarms but keeps the counter; ClearAll zeroes it.
+  failpoint::Clear("test.count");
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_EQ(failpoint::HitCount("test.count"), 3);
+  failpoint::ClearAll();
+  EXPECT_EQ(failpoint::HitCount("test.count"), 0);
+}
+
+}  // namespace
+}  // namespace parinda

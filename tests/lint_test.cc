@@ -309,6 +309,67 @@ TEST(LintOverlayInternals, SuppressionWorks) {
   EXPECT_EQ(CountCheck(diags, "overlay-internals"), 0);
 }
 
+TEST(LintUncheckedDeadline, FlagsFailpointLoopWithoutBudgetCheck) {
+  auto diags = RunOn("src/solver/bnb.cc",
+                     "Status Solve() {\n"
+                     "  while (!stack.empty()) {\n"
+                     "    PARINDA_FAILPOINT(\"solver.bnb_node\");\n"
+                     "    Expand();\n"
+                     "  }\n"
+                     "  return Status::OK();\n"
+                     "}\n");
+  ASSERT_EQ(CountCheck(diags, "unchecked-deadline"), 1);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintUncheckedDeadline, BudgetConsultingLoopsPass) {
+  auto diags = RunOn(
+      "src/solver/bnb.cc",
+      "Status Solve() {\n"
+      "  while (!stack.empty()) {\n"
+      "    PARINDA_FAILPOINT(\"solver.bnb_node\");\n"
+      "    if (options.deadline.Expired()) break;\n"
+      "  }\n"
+      "  for (int q = 0; q < n; ++q) {\n"
+      "    PARINDA_FAILPOINT(\"advisor.enumerate\");\n"
+      "    PARINDA_RETURN_IF_ERROR(CheckBudget(\"advisor.enumerate\"));\n"
+      "  }\n"
+      "  do {\n"
+      "    PARINDA_FAILPOINT(\"x\");\n"
+      "  } while (!token.cancelled());\n"
+      "  return Status::OK();\n"
+      "}\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-deadline"), 0);
+}
+
+TEST(LintUncheckedDeadline, FailpointOutsideLoopsAndNonLibExempt) {
+  // Function-entry failpoints are not loops; tests/tools are out of scope.
+  EXPECT_EQ(CountCheck(RunOn("src/inum/inum.cc",
+                             "Status BuildEntry() {\n"
+                             "  PARINDA_FAILPOINT(\"inum.build_entry\");\n"
+                             "  return Status::OK();\n"
+                             "}\n"),
+                       "unchecked-deadline"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("tests/failpoint_test.cc",
+                             "void f() {\n"
+                             "  for (;;) { PARINDA_FAILPOINT(\"x\"); }\n"
+                             "}\n"),
+                       "unchecked-deadline"),
+            0);
+}
+
+TEST(LintUncheckedDeadline, SuppressionWorks) {
+  auto diags = RunOn("src/a.cc",
+                     "void f() {\n"
+                     "  while (spin) {\n"
+                     "    // parinda-lint: allow(unchecked-deadline)\n"
+                     "    PARINDA_FAILPOINT(\"x\");\n"
+                     "  }\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-deadline"), 0);
+}
+
 TEST(LintRegistry, ExplicitRegistrationFlagsCallSites) {
   Linter linter;
   linter.RegisterFallibleFunction("ExternalFallible");

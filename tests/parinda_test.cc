@@ -61,6 +61,38 @@ TEST_F(ParindaTest, Scenario1InteractiveDesignEvaluation) {
             std::string::npos);
 }
 
+TEST_F(ParindaTest, EvaluateDesignHonorsDeadline) {
+  Parinda tool(db_);
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT objid, u, g, r, i, z FROM photoobj WHERE objid = 123",
+       "SELECT avg(petrorad_r) FROM photoobj WHERE type = 3"});
+  ASSERT_TRUE(workload.ok());
+  InteractiveDesign design;
+  design.indexes.push_back({"whatif_objid", dataset_->photoobj, {0}, true});
+
+  // Pre-expired budget: the evaluation still succeeds, flagged degraded,
+  // with un-costed queries held at zero rather than garbage.
+  auto degraded =
+      tool.EvaluateDesign(*workload, design, {}, Deadline::After(0.0));
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degradation.degraded);
+  for (double c : degraded->per_query_base) EXPECT_GE(c, 0.0);
+
+  // An explicit infinite budget is bit-identical to not passing one.
+  auto plain = tool.EvaluateDesign(*workload, design);
+  auto budgeted =
+      tool.EvaluateDesign(*workload, design, {}, Deadline::Infinite());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_FALSE(budgeted->degradation.degraded);
+  EXPECT_EQ(budgeted->base_cost, plain->base_cost);
+  EXPECT_EQ(budgeted->whatif_cost, plain->whatif_cost);
+  EXPECT_EQ(budgeted->per_query_base, plain->per_query_base);
+  EXPECT_EQ(budgeted->per_query_whatif, plain->per_query_whatif);
+  EXPECT_EQ(budgeted->rewritten_sql, plain->rewritten_sql);
+}
+
 TEST_F(ParindaTest, Scenario1SimulationAccuracy) {
   Parinda tool(db_);
   auto report = tool.VerifyIndexSimulation(

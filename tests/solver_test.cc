@@ -146,6 +146,32 @@ TEST(BnbTest, ZeroBudgetSelectsNothing) {
   EXPECT_NEAR(sol->objective, 0.0, 1e-9);
 }
 
+TEST(BnbTest, ExpiredDeadlineReturnsIncumbentDegraded) {
+  BinaryMip mip;
+  mip.lp.objective = {10.0, 6.0, 4.0};
+  mip.lp.AddConstraint({{{0, 5.0}, {1, 4.0}, {2, 3.0}}, 7.0});
+  MipOptions options;
+  options.deadline = Deadline::After(0.0);
+  auto sol = SolveBinaryMip(mip, options);
+  ASSERT_TRUE(sol.ok());
+  // Anytime contract: still feasible (the all-zero incumbent), flagged.
+  EXPECT_TRUE(sol->feasible);
+  EXPECT_TRUE(sol->degraded);
+  EXPECT_FALSE(sol->proved_optimal);
+  EXPECT_EQ(sol->nodes_explored, 0);
+
+  // The infinite default is bit-identical to never having had the knob.
+  auto plain = SolveBinaryMip(mip);
+  MipOptions infinite;
+  auto budgeted = SolveBinaryMip(mip, infinite);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_EQ(budgeted->values, plain->values);
+  EXPECT_EQ(budgeted->objective, plain->objective);
+  EXPECT_FALSE(budgeted->degraded);
+  EXPECT_TRUE(budgeted->proved_optimal);
+}
+
 TEST(BnbTest, LargerRandomInstanceStaysExact) {
   // 12-item knapsack with known optimum via brute force.
   const double values[] = {12, 7, 9, 14, 5, 6, 11, 3, 8, 10, 4, 13};

@@ -83,6 +83,78 @@ TEST(StatsIoTest, MalformedInputRejectedWithLineNumbers) {
   EXPECT_TRUE((*empty)->AllTables().empty());
 }
 
+TEST(StatsIoTest, TruncatedDumpRejected) {
+  Database db;
+  testing_util::MakeOrdersTable(&db, 1000);
+  ASSERT_TRUE(
+      db.BuildIndex("oid", db.catalog().FindTable("orders")->id, {0}).ok());
+  const std::string dump = DumpCatalogStats(db.catalog());
+  // Every 10% cut below must land past the comment header, inside content.
+  ASSERT_GT(dump.size(), 1000u);
+
+  // Cutting the dump anywhere strictly before its footer must fail the
+  // load: either mid-stanza (parse error) or between stanzas (missing /
+  // wrong-count end marker). It must never load as a smaller catalog.
+  for (size_t frac = 1; frac < 10; ++frac) {
+    const size_t cut = dump.size() * frac / 10;
+    SCOPED_TRACE(cut);
+    auto loaded = LoadCatalogStats(dump.substr(0, cut));
+    EXPECT_FALSE(loaded.ok());
+  }
+  // Dropping just the footer line fails with a descriptive message.
+  const size_t footer = dump.rfind("end tables");
+  ASSERT_NE(footer, std::string::npos);
+  auto headless = LoadCatalogStats(dump.substr(0, footer));
+  ASSERT_FALSE(headless.ok());
+  EXPECT_NE(headless.status().message().find("truncated dump"),
+            std::string::npos);
+  // A footer with wrong counts (e.g. a dump spliced from two files) fails.
+  auto wrong = LoadCatalogStats(dump.substr(0, footer) +
+                                "end tables 7 indexes 0\n");
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_NE(wrong.status().message().find("truncated dump"),
+            std::string::npos);
+  // Content after the footer is also corruption.
+  EXPECT_FALSE(LoadCatalogStats(dump + "table t rows 1 pages 1 pk -\n").ok());
+}
+
+TEST(StatsIoTest, CorruptedBytesRejected) {
+  Database db;
+  testing_util::MakeOrdersTable(&db, 1000);
+  const std::string dump = DumpCatalogStats(db.catalog());
+
+  // Flip a digit of "rows <n>" into a letter: strict numeric parsing fails.
+  std::string bad = dump;
+  const size_t rows_at = bad.find(" rows ") + 6;
+  bad[rows_at] = 'x';
+  auto r1 = LoadCatalogStats(bad);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r1.status().message().find("malformed number"), std::string::npos);
+
+  // Unterminated string literal (line sheared mid-value).
+  auto r2 = LoadCatalogStats(
+      "table t rows 1 pages 1 pk -\n"
+      "column s varchar null_frac 0 avg_width 4 n_distinct 1 correlation 0 "
+      "min 'unclosed\n"
+      "end tables 1 indexes 0\n");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("unterminated"), std::string::npos);
+
+  // Corrupted mcv frequency.
+  auto r3 = LoadCatalogStats(
+      "table t rows 1 pages 1 pk -\n"
+      "column a bigint null_frac 0 avg_width 8 n_distinct 1 correlation 0\n"
+      "mcv 1 0.5garbage\n"
+      "end tables 1 indexes 0\n");
+  ASSERT_FALSE(r3.ok());
+
+  // Corrupted primary-key column list.
+  EXPECT_FALSE(LoadCatalogStats("table t rows 1 pages 1 pk 0,oops\n"
+                                "end tables 1 indexes 0\n")
+                   .ok());
+}
+
 TEST(StatsIoTest, StringLiteralsWithQuotesRoundTrip) {
   auto catalog = std::make_unique<Catalog>();
   TableSchema schema("t", {{"s", ValueType::kString, 10, true}});

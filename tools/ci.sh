@@ -7,9 +7,11 @@
 #      advisor evaluation layer (ThreadPool/ParallelFor) against data races
 #
 # — then runs every example binary as a smoke test (the interactive designer
-# gets a scripted add/drop/evaluate session piped to stdin) and parinda-lint
+# gets a scripted add/drop/evaluate session piped to stdin), sweeps every
+# registered failpoint in error mode through the sanitizer build (injected
+# faults must come back as Status, never crashes), and runs parinda-lint
 # over src/ and tests/, failing on any violation (including the
-# overlay-internals layering check).
+# overlay-internals layering and unchecked-deadline checks).
 #
 # Usage: tools/ci.sh [jobs]
 set -eu
@@ -64,6 +66,27 @@ grep -q 'average benefit' /tmp/parinda_ci_repl.txt || {
   exit 1
 }
 echo "--- interactive_designer"
+
+echo "=== failpoint sweep (ASan+UBSan build) ==="
+# Harvest every registered failpoint from the sources and re-run the
+# failpoint-aware tests once per point in error mode under the sanitizer
+# build: injected faults must surface as clean Status everywhere — no
+# crashes, no leaks, no sanitizer reports.
+FAILPOINTS="$(grep -rhoE 'PARINDA_FAILPOINT\("[^"]+"\)' "$ROOT/src" \
+  | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)"
+if [ -z "$FAILPOINTS" ]; then
+  echo "no failpoints registered in src/ — sweep has nothing to do"
+  exit 1
+fi
+for fp in $FAILPOINTS; do
+  echo "--- $fp=error"
+  (cd build-san && PARINDA_FAILPOINTS="$fp=error" \
+    ctest -R Failpoint --output-on-failure -j "$JOBS" > /tmp/parinda_fp_sweep.txt) || {
+    echo "failpoint sweep failed for $fp:"
+    cat /tmp/parinda_fp_sweep.txt
+    exit 1
+  }
+done
 
 echo "=== parinda-lint ==="
 ./build/tools/parinda-lint --json src tests > /tmp/parinda_lint_report.json && {

@@ -598,6 +598,90 @@ void CheckUncheckedStatus(const CheckContext& ctx,
   }
 }
 
+/// Returns the index of the token closing the balanced group opened at
+/// `open` (whose token must be an opener), or toks.size() when unbalanced.
+size_t MatchBalanced(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  size_t j = open;
+  while (j < toks.size()) {
+    if (IsBalancedOpen(toks[j].text)) depth++;
+    if (IsBalancedClose(toks[j].text)) {
+      depth--;
+      if (depth == 0) return j;
+    }
+    j++;
+  }
+  return toks.size();
+}
+
+void CheckUncheckedDeadline(const CheckContext& ctx) {
+  if (!IsLibraryPath(ctx.file().path)) return;
+  const auto& toks = ctx.file().tokens;
+  auto is_budget_token = [](const Token& t) {
+    return t.kind == Token::Kind::kIdent &&
+           (t.text == "Expired" || t.text == "CheckOk" ||
+            t.text == "CheckBudget" || t.text == "deadline" ||
+            t.text == "Deadline" || t.text == "cancelled" ||
+            t.text == "cancellation");
+  };
+  for (size_t i = 0; i < toks.size(); i++) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const bool is_for_while =
+        toks[i].text == "for" || toks[i].text == "while";
+    const bool is_do = toks[i].text == "do";
+    if (!is_for_while && !is_do) continue;
+    size_t end = toks.size();
+    if (is_for_while) {
+      size_t j = i + 1;
+      if (j >= toks.size() || toks[j].text != "(") continue;
+      size_t header_close = MatchBalanced(toks, j);
+      if (header_close >= toks.size()) continue;
+      j = header_close + 1;
+      if (j < toks.size() && toks[j].text == "{") {
+        end = MatchBalanced(toks, j);
+      } else {
+        // Braceless body: one statement, through the next top-level ';'.
+        int depth = 0;
+        end = j;
+        while (end < toks.size()) {
+          if (IsBalancedOpen(toks[end].text)) depth++;
+          if (IsBalancedClose(toks[end].text)) depth--;
+          if (depth == 0 && toks[end].text == ";") break;
+          end++;
+        }
+      }
+    } else {
+      size_t j = i + 1;
+      if (j >= toks.size() || toks[j].text != "{") continue;
+      end = MatchBalanced(toks, j);
+      // Fold in the trailing `while (cond)` so a condition-side budget
+      // check counts.
+      size_t k = end + 1;
+      if (k + 1 < toks.size() && toks[k].text == "while" &&
+          toks[k + 1].text == "(") {
+        size_t cond_close = MatchBalanced(toks, k + 1);
+        if (cond_close < toks.size()) end = cond_close;
+      }
+    }
+    if (end >= toks.size()) continue;
+    int fp_line = 0;
+    bool has_budget = false;
+    for (size_t k = i; k <= end; k++) {
+      if (toks[k].kind != Token::Kind::kIdent) continue;
+      if (toks[k].text == "PARINDA_FAILPOINT" && fp_line == 0) {
+        fp_line = toks[k].line;
+      }
+      if (is_budget_token(toks[k])) has_budget = true;
+    }
+    if (fp_line != 0 && !has_budget) {
+      ctx.Report(fp_line, "unchecked-deadline",
+                 "loop hits a failpoint but never consults a Deadline or "
+                 "CancellationToken; a loop long enough to inject faults "
+                 "into needs a budget check (Expired/CheckOk)");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -643,6 +727,7 @@ std::vector<Diagnostic> Linter::Run() {
     CheckRawNewDelete(ctx);
     CheckDetachedThread(ctx);
     CheckOverlayInternals(ctx);
+    CheckUncheckedDeadline(ctx);
     CheckUncheckedStatus(ctx, fallible);
   }
   std::sort(diags.begin(), diags.end(),

@@ -34,6 +34,13 @@
 ///                      wiring WhatIfTableCatalog and WhatIfIndexSet together
 ///                      in one file. Compose designs through a DesignSession;
 ///                      using a single what-if mechanism on its own is fine.
+///   unchecked-deadline A for/while/do loop in src/ that hits a failpoint
+///                      (PARINDA_FAILPOINT) without consulting a budget: the
+///                      loop must mention a Deadline/CancellationToken check
+///                      (Expired, CheckOk, CheckBudget, deadline, cancelled).
+///                      Failpoints mark long-running paths; a loop long
+///                      enough to need fault injection is long enough to need
+///                      a deadline check (DESIGN.md §10).
 ///   header-guard       A .h file whose first preprocessor directives are not
 ///                      `#ifndef`/`#define` (or `#pragma once`).
 ///   todo-no-owner      A TODO comment without an owner: write `TODO(name):`.
