@@ -55,7 +55,10 @@ Status IndexAdvisor::Prepare() {
   // Pre-sized per-query slots: each worker builds and owns query q's cost
   // model and writes only models_[q] / base_cost_[q] / benefit_[q], so the
   // matrix is bit-identical under any parallelism (the catalog and the
-  // candidate IndexInfo records are shared read-only).
+  // candidate IndexInfo records are shared read-only). No mutex and no
+  // PARINDA_GUARDED_BY: the slots are disjoint by construction, and
+  // WaitAll()'s pool mutex is the one happens-before edge the readers need
+  // before the serial selection scan.
   models_.resize(static_cast<size_t>(nq));
   base_cost_.assign(static_cast<size_t>(nq), 0.0);
   benefit_.assign(static_cast<size_t>(nq),

@@ -94,7 +94,10 @@ Result<double> AutoPartAdvisor::EvaluateState(
     const std::vector<TableState>& state, std::vector<double>* per_query,
     std::vector<std::string>* rewritten_sql) {
   PARINDA_FAILPOINT("autopart.evaluate");
-  ++evaluations_;
+  // ordering: relaxed — result counter only. Concurrent EvaluateState calls
+  // from pool workers each bump it; the Suggest() thread reads it only after
+  // ParallelFor/WaitAll, whose pool mutex supplies the happens-before.
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   // Materialize the state as what-if tables. The final (reporting) pass uses
   // the stable `<table>_part<k>` names MaterializePartitions will create, so
   // the saved rewritten workload runs against the materialized design as-is.
@@ -187,7 +190,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     }
     advice.fragments.clear();
     advice.replicated_bytes = 0.0;
-    advice.evaluations = evaluations_;
+    advice.evaluations = evaluations_.load(std::memory_order_relaxed);
     rep.failpoint_hits = failpoint::HitsSince(fp_before);
     advice.degradation = std::move(rep);
     return advice;
@@ -423,7 +426,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
           advice.fragments.push_back(std::move(def));
         }
       }
-      advice.evaluations = evaluations_;
+      advice.evaluations = evaluations_.load(std::memory_order_relaxed);
       report.failpoint_hits = failpoint::HitsSince(fp_before);
       advice.degradation = std::move(report);
       return advice;
@@ -444,7 +447,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
       advice.fragments.push_back(std::move(def));
     }
   }
-  advice.evaluations = evaluations_;
+  advice.evaluations = evaluations_.load(std::memory_order_relaxed);
   report.failpoint_hits = failpoint::HitsSince(fp_before);
   advice.degradation = std::move(report);
   return advice;

@@ -214,7 +214,8 @@ std::string DumpCatalogStats(const CatalogReader& catalog) {
   return out;
 }
 
-Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
+Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text,
+                                                  const Deadline& deadline) {
   PARINDA_FAILPOINT("stats.load");
   auto catalog = std::make_unique<Catalog>();
   std::istringstream in{std::string(text)};
@@ -252,6 +253,9 @@ Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text) {
 
   while (std::getline(in, line)) {
     ++lineno;
+    // An infinite deadline (the default) never reads the clock, so
+    // unbudgeted loads pay nothing for this check.
+    PARINDA_RETURN_IF_ERROR(deadline.CheckOk("stats.load"));
     if (line.empty() || line[0] == '#') continue;
     auto tokenized = TokenizeLine(line);
     if (!tokenized.ok()) return err(tokenized.status().message());

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 
 namespace parinda {
@@ -42,8 +43,12 @@ std::string DumpCatalogStats(const CatalogReader& catalog);
 
 /// Parses a dump into a fresh catalog. Fails with ParseError on malformed
 /// input; the returned catalog is fully usable by the binder, planner, and
-/// all advisors.
-[[nodiscard]] Result<std::unique_ptr<Catalog>> LoadCatalogStats(std::string_view text);
+/// all advisors. Production stats dumps can run to millions of lines, so
+/// loading is an anytime operation like every other long pipeline here: the
+/// parse loop consults `deadline` and fails with kDeadlineExceeded when the
+/// budget runs out (the default deadline is infinite and costs nothing).
+[[nodiscard]] Result<std::unique_ptr<Catalog>> LoadCatalogStats(
+    std::string_view text, const Deadline& deadline = {});
 
 }  // namespace parinda
 

@@ -1,0 +1,107 @@
+#ifndef PARINDA_COMMON_ANNOTATIONS_H_
+#define PARINDA_COMMON_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Thread-safety annotations and the annotated mutex types they attach to.
+///
+/// The macros expand to Clang's thread-safety attributes when the compiler
+/// supports them (clang with -Wthread-safety; enable project-wide with
+/// -DPARINDA_THREAD_SAFETY=ON) and to nothing elsewhere, so annotated code
+/// compiles identically under GCC. The same annotations are checked
+/// independently — and cross-file — by parinda-analyze's lock-discipline
+/// pass, which runs on every toolchain (see tools/analyze/ and DESIGN.md
+/// §11), so the discipline is enforced even on a GCC-only CI container.
+///
+/// Usage:
+///
+///   class Cache {
+///    private:
+///     Mutex mu_;
+///     std::map<K, V> entries_ PARINDA_GUARDED_BY(mu_);
+///     void EvictLocked() PARINDA_REQUIRES(mu_);   // caller holds mu_
+///     V Lookup(K k) PARINDA_EXCLUDES(mu_);        // caller must NOT hold
+///   };
+///
+/// Clang's analysis only understands mutexes whose type is itself annotated
+/// as a capability. libstdc++'s std::mutex is not, so library code guards
+/// shared state with the `parinda::Mutex` wrapper below and takes scopes
+/// with `parinda::MutexLock` (drop-in for std::lock_guard; exposes the
+/// underlying std::unique_lock for condition-variable waits).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PARINDA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PARINDA_THREAD_ANNOTATION
+#define PARINDA_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define PARINDA_CAPABILITY(name) PARINDA_THREAD_ANNOTATION(capability(name))
+/// Declares an RAII type that acquires on construction, releases on scope exit.
+#define PARINDA_SCOPED_CAPABILITY PARINDA_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read or written while holding `mu`.
+#define PARINDA_GUARDED_BY(mu) PARINDA_THREAD_ANNOTATION(guarded_by(mu))
+/// Pointer field: the *pointee* may only be touched while holding `mu`.
+#define PARINDA_PT_GUARDED_BY(mu) PARINDA_THREAD_ANNOTATION(pt_guarded_by(mu))
+/// Function requires the caller to already hold the named mutex(es).
+#define PARINDA_REQUIRES(...) \
+  PARINDA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function must be entered with the named mutex(es) NOT held.
+#define PARINDA_EXCLUDES(...) \
+  PARINDA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the named mutex(es) and returns holding them.
+#define PARINDA_ACQUIRE(...) \
+  PARINDA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the named mutex(es).
+#define PARINDA_RELEASE(...) \
+  PARINDA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Opt a function out of the analysis (init/teardown paths); use sparingly
+/// and say why in a comment.
+#define PARINDA_NO_THREAD_SAFETY_ANALYSIS \
+  PARINDA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace parinda {
+
+/// std::mutex wrapper annotated as a Clang capability so PARINDA_GUARDED_BY
+/// fields can name it. Same cost as the raw mutex.
+class PARINDA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PARINDA_ACQUIRE() { mu_.lock(); }
+  void unlock() PARINDA_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped mutex, for APIs that need the std type (MutexLock).
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scope for Mutex (drop-in for std::lock_guard). Condition variables
+/// wait on `native()`, which is the underlying std::unique_lock — the wait
+/// re-acquires before returning, so the capability claim stays sound for the
+/// whole scope.
+class PARINDA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PARINDA_ACQUIRE(mu)
+      : lock_(mu.native_handle()) {}
+  ~MutexLock() PARINDA_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_ANNOTATIONS_H_

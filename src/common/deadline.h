@@ -77,6 +77,10 @@ class CancellationToken {
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 
+  // ordering: relaxed — the flag is the entire message. Cancellation
+  // publishes no data for the observer to read afterwards; workers that see
+  // it merely stop early, and every result they did publish is ordered by
+  // the ThreadPool mutex, not by this flag.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/strings.h"
 
 namespace parinda {
@@ -20,11 +21,15 @@ struct Entry {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Entry, std::less<>> points;
+  Mutex mu;
+  std::map<std::string, Entry, std::less<>> points PARINDA_GUARDED_BY(mu);
   // Count of armed (non-kOff) points; mirrors into `any_active` so the
   // inactive fast path in PARINDA_FAILPOINT is one relaxed atomic load.
-  int active = 0;
+  int active PARINDA_GUARDED_BY(mu) = 0;
+  // ordering: relaxed — a hint flag, not a publication. Arming happens under
+  // `mu` and every reader that acts on a hit re-checks the authoritative
+  // entry under `mu` in Hit(); a stale relaxed read can only delay (or
+  // briefly prolong) the slow path by one hit, never corrupt state.
   std::atomic<bool> any_active{false};
 };
 
@@ -49,9 +54,8 @@ void EnsureEnvParsed() {
   });
 }
 
-// Must hold registry.mu.
 void SetModeLocked(Registry& registry, std::string_view name, Mode mode,
-                   int delay_ms) {
+                   int delay_ms) PARINDA_REQUIRES(registry.mu) {
   auto it = registry.points.find(name);
   if (it == registry.points.end()) {
     it = registry.points.emplace(std::string(name), Entry{}).first;
@@ -71,14 +75,14 @@ void SetModeLocked(Registry& registry, std::string_view name, Mode mode,
 void Configure(std::string_view name, Mode mode, int delay_ms) {
   EnsureEnvParsed();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   SetModeLocked(registry, name, mode, delay_ms);
 }
 
 void Clear(std::string_view name) {
   EnsureEnvParsed();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.points.find(name);
   if (it == registry.points.end()) return;
   SetModeLocked(registry, name, Mode::kOff, it->second.delay_ms);
@@ -87,7 +91,7 @@ void Clear(std::string_view name) {
 void ClearAll() {
   EnsureEnvParsed();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.points.clear();
   registry.active = 0;
   registry.any_active.store(false, std::memory_order_relaxed);
@@ -104,7 +108,7 @@ Status Hit(std::string_view name) {
   Mode mode;
   int delay_ms;
   {
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     auto it = registry.points.find(name);
     if (it == registry.points.end() || it->second.mode == Mode::kOff) {
       return Status::OK();
@@ -130,7 +134,7 @@ Status Hit(std::string_view name) {
 int64_t HitCount(std::string_view name) {
   EnsureEnvParsed();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.points.find(name);
   return it == registry.points.end() ? 0 : it->second.hits;
 }
@@ -138,7 +142,7 @@ int64_t HitCount(std::string_view name) {
 std::vector<std::pair<std::string, int64_t>> AllHits() {
   EnsureEnvParsed();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   std::vector<std::pair<std::string, int64_t>> out;
   for (const auto& [name, entry] : registry.points) {
     if (entry.hits > 0) out.emplace_back(name, entry.hits);
@@ -166,7 +170,7 @@ namespace {
 
 Status ConfigureFromSpecImpl(std::string_view spec) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (std::string_view entry : Split(spec, ',')) {
     entry = StripWhitespace(entry);
     if (entry.empty()) continue;

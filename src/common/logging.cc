@@ -4,10 +4,23 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/annotations.h"
+
 namespace parinda {
 
 namespace {
+// ordering: relaxed — a configuration knob read per log statement. Level
+// changes need no happens-before with the messages themselves (a message
+// racing a SetLogLevel may use either level, which is the documented
+// behavior); the sink mutex below orders the actual stream writes.
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes sink writes so lines from pool workers never interleave
+// mid-line. Function-local static: safe during static init/teardown logging.
+Mutex& SinkMutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,9 +39,13 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
 
-void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
@@ -41,7 +58,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    // The log sink itself is the one legitimate stderr writer in src/.
+    // The log sink itself is the one legitimate stderr writer in src/; the
+    // sink mutex keeps one statement's line atomic under concurrent logging.
+    MutexLock lock(SinkMutex());
     std::cerr << stream_.str() << std::endl;  // parinda-lint: allow(iostream-in-lib)
   }
   if (level_ == LogLevel::kFatal) {

@@ -17,11 +17,13 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     // Drain so no task runs against a half-destroyed pool; the batch error
     // is deliberately dropped — owners that care call WaitAll first.
-    batch_done_.wait(lock, [this] { return pending_ == 0; });
+    // (Explicit wait loops, not wait(lock, predicate): the predicate lambda
+    // would be analyzed as a separate function that does not hold mu_.)
+    while (pending_ != 0) batch_done_.wait(lock.native());
     shutdown_ = true;
     stopping_ = true;
   }
@@ -33,7 +35,7 @@ void ThreadPool::Shutdown() {
 
 Status ThreadPool::Submit(std::function<Status()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return Status::FailedPrecondition(
           "ThreadPool::Submit after Shutdown");
@@ -46,7 +48,7 @@ Status ThreadPool::Submit(std::function<Status()> task) {
 }
 
 Status ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("ThreadPool::WaitAll after Shutdown");
   }
@@ -55,7 +57,7 @@ Status ThreadPool::WaitAll() {
         "concurrent ThreadPool::WaitAll (waiting is single-owner)");
   }
   waiting_ = true;
-  batch_done_.wait(lock, [this] { return pending_ == 0; });
+  while (pending_ != 0) batch_done_.wait(lock.native());
   waiting_ = false;
   Status result = std::move(first_error_);
   first_error_ = Status::OK();
@@ -66,7 +68,7 @@ Status ThreadPool::WaitAll() {
 void ThreadPool::CancelPending() {
   bool drained = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DropQueuedLocked(Status::Cancelled("task cancelled before running"));
     drained = pending_ == 0;
   }
@@ -91,21 +93,25 @@ void ThreadPool::RecordOutcomeLocked(int64_t seq, Status status) {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     TaskItem item;
+    const CancellationToken* cancellation = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_ready_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ with a drained queue
       item = std::move(queue_.front());
       queue_.pop_front();
+      // Snapshot the token pointer while holding mu_ (it is only swapped
+      // between batches); the token itself is internally thread-safe.
+      cancellation = cancellation_;
     }
     Status status;
-    if (cancellation_ != nullptr && cancellation_->cancelled()) {
+    if (cancellation != nullptr && cancellation->cancelled()) {
       status = Status::Cancelled("task cancelled before running");
     } else {
       status = item.fn();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const bool failed = !status.ok();
       RecordOutcomeLocked(item.seq, std::move(status));
       if (failed && cancel_on_error_) {

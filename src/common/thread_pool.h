@@ -4,10 +4,10 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "common/status.h"
 
@@ -53,32 +53,37 @@ class ThreadPool {
 
   /// Enqueues a task. Must not be called concurrently with WaitAll.
   /// Returns kFailedPrecondition (and drops the task) after Shutdown().
-  [[nodiscard]] Status Submit(std::function<Status()> task);
+  [[nodiscard]] Status Submit(std::function<Status()> task)
+      PARINDA_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished or was cancelled.
   /// Returns the error of the earliest-submitted failed task, or OK.
   /// Resets the error state, so the pool can be reused for another batch.
   /// Returns kFailedPrecondition after Shutdown(), or when another thread
   /// is already blocked in WaitAll (waiting is single-owner).
-  [[nodiscard]] Status WaitAll();
+  [[nodiscard]] Status WaitAll() PARINDA_EXCLUDES(mu_);
 
   /// Drains outstanding tasks, then joins the workers. Idempotent. After
   /// shutdown, Submit and WaitAll return kFailedPrecondition.
-  void Shutdown();
+  void Shutdown() PARINDA_EXCLUDES(mu_);
 
   /// Drops every task still queued (running tasks finish); each dropped
   /// task records kCancelled, so a subsequent WaitAll returns kCancelled
   /// unless an earlier-submitted task already failed for a real reason.
-  void CancelPending();
+  void CancelPending() PARINDA_EXCLUDES(mu_);
 
   /// When set, the first task failure cancels all still-queued tasks.
   /// Toggle only between batches (not while tasks are in flight).
-  void set_cancel_on_error(bool value) { cancel_on_error_ = value; }
+  void set_cancel_on_error(bool value) PARINDA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cancel_on_error_ = value;
+  }
 
   /// Optional external cancellation: once `token->cancelled()` is observed,
   /// queued tasks are skipped with kCancelled. `token` must outlive the
   /// current batch; pass nullptr to detach. Toggle only between batches.
-  void set_cancellation(const CancellationToken* token) {
+  void set_cancellation(const CancellationToken* token) PARINDA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     cancellation_ = token;
   }
 
@@ -95,27 +100,29 @@ class ThreadPool {
   };
 
   void WorkerLoop();
-  /// Must hold mu_. Drops queued tasks, recording `why` for the earliest.
-  void DropQueuedLocked(const Status& why);
-  /// Must hold mu_. Records a task outcome under the earliest-seq rule.
-  void RecordOutcomeLocked(int64_t seq, Status status);
+  /// Drops queued tasks, recording `why` for the earliest.
+  void DropQueuedLocked(const Status& why) PARINDA_REQUIRES(mu_);
+  /// Records a task outcome under the earliest-seq rule.
+  void RecordOutcomeLocked(int64_t seq, Status status) PARINDA_REQUIRES(mu_);
 
-  std::mutex mu_;
+  /// Guards every piece of batch state below; workers and the owner thread
+  /// meet only through it (plus the two condition variables).
+  Mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
-  std::deque<TaskItem> queue_;
-  int64_t next_seq_ = 0;
+  std::deque<TaskItem> queue_ PARINDA_GUARDED_BY(mu_);
+  int64_t next_seq_ PARINDA_GUARDED_BY(mu_) = 0;
   /// Queued plus currently-running tasks.
-  int pending_ = 0;
-  bool stopping_ = false;
-  bool shutdown_ = false;
+  int pending_ PARINDA_GUARDED_BY(mu_) = 0;
+  bool stopping_ PARINDA_GUARDED_BY(mu_) = false;
+  bool shutdown_ PARINDA_GUARDED_BY(mu_) = false;
   /// True while a thread is blocked in WaitAll (single-waiter rule).
-  bool waiting_ = false;
-  bool cancel_on_error_ = false;
-  const CancellationToken* cancellation_ = nullptr;
+  bool waiting_ PARINDA_GUARDED_BY(mu_) = false;
+  bool cancel_on_error_ PARINDA_GUARDED_BY(mu_) = false;
+  const CancellationToken* cancellation_ PARINDA_GUARDED_BY(mu_) = nullptr;
   /// Earliest-submitted failure of the current batch.
-  int64_t first_error_seq_ = -1;
-  Status first_error_;
+  int64_t first_error_seq_ PARINDA_GUARDED_BY(mu_) = -1;
+  Status first_error_ PARINDA_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;  // parinda-lint: allow(detached-thread)
 };
 

@@ -70,10 +70,14 @@ struct DesignSessionOptions {
 /// requires inum_index_deltas == false). Parinda::EvaluateDesign is exactly
 /// that fresh one-shot session.
 ///
-/// Not thread-safe. `catalog` and the workload must outlive the session, and
-/// the base catalog must not change behind it (materializing a feature or
-/// re-ANALYZEing invalidates the cached costs silently — start a new session
-/// after mutating the database).
+/// Not thread-safe: the component list and the per-query cost cache are
+/// single-owner state, confined to the thread driving the session (the REPL
+/// or one advisor call) — which is why they carry no PARINDA_GUARDED_BY
+/// annotations (common/annotations.h); pool parallelism lives *below* the
+/// session, inside InumCostModel and the advisors. `catalog` and the
+/// workload must outlive the session, and the base catalog must not change
+/// behind it (materializing a feature or re-ANALYZEing invalidates the
+/// cached costs silently — start a new session after mutating the database).
 class DesignSession {
  public:
   /// `workload` may be null (empty reports until SetWorkload).

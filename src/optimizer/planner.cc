@@ -900,6 +900,11 @@ bool StatementHasAggregates(const SelectStatement& stmt) {
 }
 
 namespace {
+// ordering: relaxed — a pure statistics counter. Increments from pool
+// workers publish nothing (the plans themselves travel through each
+// worker's owned matrix slot, ordered by the ThreadPool mutex at WaitAll);
+// readers only ever difference two snapshots taken on the owner thread
+// after WaitAll, where the pool's mutex already provides happens-before.
 std::atomic<int64_t> g_plans_built{0};
 }  // namespace
 

@@ -1,0 +1,446 @@
+#include "analyze/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace parinda {
+namespace analyze {
+namespace {
+
+using lint::Diagnostic;
+
+int CountCheck(const std::vector<Diagnostic>& diags,
+               const std::string& check) {
+  return static_cast<int>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.check == check; }));
+}
+
+const Diagnostic* FindCheck(const std::vector<Diagnostic>& diags,
+                            const std::string& check) {
+  for (const Diagnostic& d : diags) {
+    if (d.check == check) return &d;
+  }
+  return nullptr;
+}
+
+AnalyzerOptions LayersOnly(const std::string& config) {
+  AnalyzerOptions options;
+  options.layers_config = config;
+  options.check_locks = false;
+  options.check_deadlines = false;
+  return options;
+}
+
+AnalyzerOptions LocksOnly() {
+  AnalyzerOptions options;
+  options.check_layering = false;
+  options.check_deadlines = false;
+  return options;
+}
+
+AnalyzerOptions DeadlinesOnly() {
+  AnalyzerOptions options;
+  options.check_layering = false;
+  options.check_locks = false;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeLayering, FlagsUpwardAndSameLayerIncludes) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/low/low.h",
+                     "#ifndef L_\n#define L_\n"
+                     "#include \"high/high.h\"\n"
+                     "#endif\n");
+  analyzer.AddSource("src/high/high.h", "#ifndef H_\n#define H_\n#endif\n");
+  analyzer.AddSource("src/high/other.h",
+                     "#ifndef O_\n#define O_\n"
+                     "#include \"sibling/s.h\"\n"
+                     "#endif\n");
+  analyzer.AddSource("src/sibling/s.h", "#ifndef S_\n#define S_\n#endif\n");
+  auto diags =
+      analyzer.Run(LayersOnly("layer low\nlayer high sibling\n"));
+  ASSERT_EQ(CountCheck(diags, "layering"), 2);
+  const Diagnostic* up = FindCheck(diags, "layering");
+  EXPECT_EQ(up->file, "src/high/other.h");
+  EXPECT_NE(up->message.find("same layer"), std::string::npos);
+  EXPECT_EQ(diags[1].file, "src/low/low.h");
+  EXPECT_EQ(diags[1].line, 3);
+  EXPECT_NE(diags[1].message.find("higher layer"), std::string::npos);
+}
+
+TEST(AnalyzeLayering, AcceptsDownwardAndSameModuleIncludes) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/high/high.h",
+                     "#ifndef H_\n#define H_\n"
+                     "#include \"high/impl.h\"\n"
+                     "#include \"low/low.h\"\n"
+                     "#include \"vendor/external.h\"\n"  // not a src/ module
+                     "#endif\n");
+  analyzer.AddSource("src/high/impl.h", "#ifndef I_\n#define I_\n#endif\n");
+  analyzer.AddSource("src/low/low.h", "#ifndef L_\n#define L_\n#endif\n");
+  auto diags = analyzer.Run(LayersOnly("layer low\nlayer high\n"));
+  EXPECT_EQ(CountCheck(diags, "layering"), 0);
+}
+
+TEST(AnalyzeLayering, ReportsUndeclaredModuleOnce) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/mystery/a.h", "#ifndef A_\n#define A_\n#endif\n");
+  analyzer.AddSource("src/mystery/b.h", "#ifndef B_\n#define B_\n#endif\n");
+  auto diags = analyzer.Run(LayersOnly("layer low\n"));
+  ASSERT_EQ(CountCheck(diags, "module-undeclared"), 1);
+  EXPECT_NE(FindCheck(diags, "module-undeclared")->message.find("mystery"),
+            std::string::npos);
+}
+
+TEST(AnalyzeLayering, FilesOutsideSrcAreExempt) {
+  Analyzer analyzer;
+  analyzer.AddSource("tools/thing/main.cc",
+                     "#include \"high/high.h\"\nint main() {}\n");
+  analyzer.AddSource("src/high/high.h", "#ifndef H_\n#define H_\n#endif\n");
+  auto diags = analyzer.Run(LayersOnly("layer high\n"));
+  EXPECT_EQ(CountCheck(diags, "layering"), 0);
+  EXPECT_EQ(CountCheck(diags, "module-undeclared"), 0);
+}
+
+TEST(AnalyzeLayering, DetectsIncludeCycle) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/a.h",
+                     "#ifndef A_\n#define A_\n#include \"m/b.h\"\n#endif\n");
+  analyzer.AddSource("src/m/b.h",
+                     "#ifndef B_\n#define B_\n#include \"m/a.h\"\n#endif\n");
+  auto diags = analyzer.Run(LayersOnly("layer m\n"));
+  ASSERT_EQ(CountCheck(diags, "include-cycle"), 1);
+  const Diagnostic* d = FindCheck(diags, "include-cycle");
+  EXPECT_NE(d->message.find("m/a.h"), std::string::npos);
+  EXPECT_NE(d->message.find("m/b.h"), std::string::npos);
+}
+
+TEST(AnalyzeLayering, AcyclicDiamondIsClean) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/a.h",
+                     "#ifndef A_\n#define A_\n#include \"m/b.h\"\n"
+                     "#include \"m/c.h\"\n#endif\n");
+  analyzer.AddSource("src/m/b.h",
+                     "#ifndef B_\n#define B_\n#include \"m/d.h\"\n#endif\n");
+  analyzer.AddSource("src/m/c.h",
+                     "#ifndef C_\n#define C_\n#include \"m/d.h\"\n#endif\n");
+  analyzer.AddSource("src/m/d.h", "#ifndef D_\n#define D_\n#endif\n");
+  auto diags = analyzer.Run(LayersOnly("layer m\n"));
+  EXPECT_EQ(CountCheck(diags, "include-cycle"), 0);
+}
+
+TEST(AnalyzeLayering, MalformedConfigIsReported) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/a.h", "#ifndef A_\n#define A_\n#endif\n");
+  auto diags = analyzer.Run(LayersOnly("strata m\n"));
+  EXPECT_EQ(CountCheck(diags, "layer-config"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Lock discipline
+// ---------------------------------------------------------------------------
+
+constexpr char kCounterHeader[] =
+    "#ifndef C_\n#define C_\n"
+    "#include \"common/annotations.h\"\n"
+    "namespace parinda {\n"
+    "class Counter {\n"
+    " public:\n"
+    "  void Add(int n);\n"
+    "  int Unsafe() { return count_; }\n"
+    "  int Safe() {\n"
+    "    MutexLock lock(mu_);\n"
+    "    return count_;\n"
+    "  }\n"
+    "  void Reset() PARINDA_REQUIRES(mu_);\n"
+    " private:\n"
+    "  Mutex mu_;\n"
+    "  int count_ PARINDA_GUARDED_BY(mu_) = 0;\n"
+    "};\n"
+    "}  // namespace parinda\n"
+    "#endif\n";
+
+TEST(AnalyzeLocks, FlagsAccessOutsideLockAndAcceptsLockedAccess) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/counter.h", kCounterHeader);
+  auto diags = analyzer.Run(LocksOnly());
+  ASSERT_EQ(CountCheck(diags, "guarded-field"), 1);
+  const Diagnostic* d = FindCheck(diags, "guarded-field");
+  EXPECT_EQ(d->line, 8);  // Unsafe(); Safe() holds the MutexLock
+  EXPECT_NE(d->message.find("count_"), std::string::npos);
+  EXPECT_NE(d->message.find("mu_"), std::string::npos);
+}
+
+TEST(AnalyzeLocks, StdLockGuardAndScopedLockAreRecognized) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/counter.h", kCounterHeader);
+  analyzer.AddSource("src/m/counter.cc",
+                     "#include \"m/counter.h\"\n"
+                     "namespace parinda {\n"
+                     "void Counter::Add(int n) {\n"
+                     "  std::lock_guard<std::mutex> lock(mu_);\n"
+                     "  count_ += n;\n"
+                     "}\n"
+                     "}  // namespace parinda\n");
+  auto diags = analyzer.Run(LocksOnly());
+  // Only the seeded Unsafe() finding from the header remains.
+  ASSERT_EQ(CountCheck(diags, "guarded-field"), 1);
+  EXPECT_EQ(FindCheck(diags, "guarded-field")->file, "src/m/counter.h");
+}
+
+TEST(AnalyzeLocks, RequiresAnnotationOnDeclarationCoversDefinition) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/counter.h", kCounterHeader);
+  analyzer.AddSource("src/m/counter.cc",
+                     "#include \"m/counter.h\"\n"
+                     "namespace parinda {\n"
+                     "void Counter::Add(int n) { MutexLock l(mu_); "
+                     "count_ += n; }\n"
+                     "void Counter::Reset() { count_ = 0; }\n"
+                     "}  // namespace parinda\n");
+  auto diags = analyzer.Run(LocksOnly());
+  // Reset() is declared PARINDA_REQUIRES(mu_) in the header, so its
+  // out-of-line body may touch count_ without taking the lock itself.
+  ASSERT_EQ(CountCheck(diags, "guarded-field"), 1);
+  EXPECT_EQ(FindCheck(diags, "guarded-field")->file, "src/m/counter.h");
+}
+
+TEST(AnalyzeLocks, LockScopeEndsAtItsBrace) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/s.h",
+                     "#ifndef S_\n#define S_\n"
+                     "#include \"common/annotations.h\"\n"
+                     "class S {\n"
+                     " public:\n"
+                     "  int Get() {\n"
+                     "    int copy = 0;\n"
+                     "    {\n"
+                     "      MutexLock lock(mu_);\n"
+                     "      copy = v_;\n"
+                     "    }\n"
+                     "    return v_;\n"  // outside the scope: flagged
+                     "  }\n"
+                     " private:\n"
+                     "  parinda::Mutex mu_;\n"
+                     "  int v_ PARINDA_GUARDED_BY(mu_) = 0;\n"
+                     "};\n"
+                     "#endif\n");
+  auto diags = analyzer.Run(LocksOnly());
+  ASSERT_EQ(CountCheck(diags, "guarded-field"), 1);
+  EXPECT_EQ(FindCheck(diags, "guarded-field")->line, 12);
+}
+
+TEST(AnalyzeLocks, QualifiedAccessThroughLocalReference) {
+  Analyzer analyzer;
+  analyzer.AddSource(
+      "src/m/reg.cc",
+      "#include \"common/annotations.h\"\n"
+      "namespace {\n"
+      "struct Registry {\n"
+      "  parinda::Mutex mu;\n"
+      "  int entries PARINDA_GUARDED_BY(mu) = 0;\n"
+      "};\n"
+      "Registry& Get() { static Registry r; return r; }\n"
+      "}  // namespace\n"
+      "int CountLocked() {\n"
+      "  Registry& registry = Get();\n"
+      "  parinda::MutexLock lock(registry.mu);\n"
+      "  return registry.entries;\n"
+      "}\n"
+      "int CountUnlocked() {\n"
+      "  Registry& registry = Get();\n"
+      "  return registry.entries;\n"
+      "}\n"
+      "void TouchRequired(Registry& registry) "
+      "PARINDA_REQUIRES(registry.mu) {\n"
+      "  registry.entries++;\n"
+      "}\n");
+  auto diags = analyzer.Run(LocksOnly());
+  ASSERT_EQ(CountCheck(diags, "guarded-field"), 1);
+  EXPECT_EQ(FindCheck(diags, "guarded-field")->line, 16);
+}
+
+TEST(AnalyzeLocks, ConstructorsAndDestructorsAreExempt) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/c.h",
+                     "#ifndef C_\n#define C_\n"
+                     "#include \"common/annotations.h\"\n"
+                     "class C {\n"
+                     " public:\n"
+                     "  C() { v_ = 1; }\n"
+                     "  ~C() { v_ = 0; }\n"
+                     " private:\n"
+                     "  parinda::Mutex mu_;\n"
+                     "  int v_ PARINDA_GUARDED_BY(mu_) = 0;\n"
+                     "};\n"
+                     "#endif\n");
+  auto diags = analyzer.Run(LocksOnly());
+  EXPECT_EQ(CountCheck(diags, "guarded-field"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline reachability
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeDeadline, FlagsFailpointUnreachableFromAnyBudget) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/slow.cc",
+                     "void Step() { PARINDA_FAILPOINT(\"m.step\"); }\n"
+                     "void Drive() { Step(); }\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  ASSERT_EQ(CountCheck(diags, "deadline-unreachable"), 1);
+  const Diagnostic* d = FindCheck(diags, "deadline-unreachable");
+  EXPECT_EQ(d->line, 1);
+  EXPECT_NE(d->message.find("Step"), std::string::npos);
+}
+
+TEST(AnalyzeDeadline, BudgetedParameterReachesThroughCallGraph) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/slow.cc",
+                     "void Step() { PARINDA_FAILPOINT(\"m.step\"); }\n"
+                     "void Drive(const Deadline& deadline) { Step(); }\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  EXPECT_EQ(CountCheck(diags, "deadline-unreachable"), 0);
+}
+
+TEST(AnalyzeDeadline, OptionsStructCarryingDeadlineCounts) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/opts.h",
+                     "#ifndef O_\n#define O_\n"
+                     "struct MOptions { Deadline deadline; int depth = 0; };\n"
+                     "class Engine {\n"
+                     " public:\n"
+                     "  void Run();\n"
+                     " private:\n"
+                     "  MOptions options_;\n"
+                     "};\n"
+                     "#endif\n");
+  analyzer.AddSource("src/m/opts.cc",
+                     "#include \"m/opts.h\"\n"
+                     "void Engine::Run() { PARINDA_FAILPOINT(\"m.run\"); }\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  // Engine holds MOptions which holds a Deadline: the budget-carrying
+  // closure makes Engine::Run budgeted.
+  EXPECT_EQ(CountCheck(diags, "deadline-unreachable"), 0);
+}
+
+TEST(AnalyzeDeadline, SubmitLoopNeedsABudget) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/fan.cc",
+                     "void FanOut(ThreadPool* pool, int n) {\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    pool->Submit([] {});\n"
+                     "  }\n"
+                     "}\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  ASSERT_EQ(CountCheck(diags, "deadline-unreachable"), 1);
+  EXPECT_EQ(FindCheck(diags, "deadline-unreachable")->line, 3);
+}
+
+TEST(AnalyzeDeadline, SubmitLoopReachableFromBudgetedCallerIsClean) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/fan.cc",
+                     "void FanOut(ThreadPool* pool, int n) {\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    pool->Submit([] {});\n"
+                     "  }\n"
+                     "}\n"
+                     "void Plan(ThreadPool* pool, const Deadline& deadline) "
+                     "{\n"
+                     "  FanOut(pool, 8);\n"
+                     "}\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  EXPECT_EQ(CountCheck(diags, "deadline-unreachable"), 0);
+}
+
+TEST(AnalyzeDeadline, SingleSubmitOutsideLoopIsClean) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/m/one.cc",
+                     "void One(ThreadPool* pool) { pool->Submit([] {}); }\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  EXPECT_EQ(CountCheck(diags, "deadline-unreachable"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions (shared syntax with parinda-lint)
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeSuppression, AllowOnSameOrPreviousLine) {
+  Analyzer analyzer;
+  analyzer.AddSource(
+      "src/m/slow.cc",
+      "void A() { PARINDA_FAILPOINT(\"m.a\"); }  "
+      "// parinda-lint: allow(deadline-unreachable)\n"
+      "// parinda-analyze: allow(deadline-unreachable)\n"
+      "void B() { PARINDA_FAILPOINT(\"m.b\"); }\n"
+      "void C() { PARINDA_FAILPOINT(\"m.c\"); }\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  ASSERT_EQ(CountCheck(diags, "deadline-unreachable"), 1);
+  EXPECT_EQ(FindCheck(diags, "deadline-unreachable")->line, 4);
+}
+
+TEST(AnalyzeSuppression, AllowFileWithinWindowCoversWholeFile) {
+  Analyzer analyzer;
+  analyzer.AddSource(
+      "src/m/slow.cc",
+      "// parinda-analyze: allow-file(deadline-unreachable)\n"
+      "\n\n\n\n\n\n\n\n"
+      "void A() { PARINDA_FAILPOINT(\"m.a\"); }\n"
+      "void B() { PARINDA_FAILPOINT(\"m.b\"); }\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  EXPECT_EQ(CountCheck(diags, "deadline-unreachable"), 0);
+}
+
+TEST(AnalyzeSuppression, AllowFileBeyondWindowDoesNotCount) {
+  Analyzer analyzer;
+  std::string padding(12, '\n');  // pushes the comment past line 10
+  analyzer.AddSource(
+      "src/m/slow.cc",
+      padding + "// parinda-analyze: allow-file(deadline-unreachable)\n" +
+          "void A() { PARINDA_FAILPOINT(\"m.a\"); }\n");
+  auto diags = analyzer.Run(DeadlinesOnly());
+  EXPECT_EQ(CountCheck(diags, "deadline-unreachable"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Golden run: the real tree must be clean at HEAD
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeGolden, RealSourceTreeHasZeroFindings) {
+  const std::string root = PARINDA_REPO_ROOT;
+  std::ifstream layers(root + "/tools/analyze/layers.txt");
+  ASSERT_TRUE(layers.is_open());
+  std::ostringstream layers_buf;
+  layers_buf << layers.rdbuf();
+
+  std::vector<std::string> errors;
+  std::vector<std::string> files =
+      lint::CollectSourcePaths({root + "/src"}, &errors);
+  ASSERT_TRUE(errors.empty());
+  ASSERT_GT(files.size(), 50u);
+
+  Analyzer analyzer;
+  for (const std::string& f : files) {
+    ASSERT_TRUE(analyzer.AddFile(f)) << f;
+  }
+  AnalyzerOptions options;
+  options.layers_config = layers_buf.str();
+  auto diags = analyzer.Run(options);
+  EXPECT_TRUE(diags.empty()) << lint::FormatText(diags);
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace parinda

@@ -370,6 +370,60 @@ TEST(LintUncheckedDeadline, SuppressionWorks) {
   EXPECT_EQ(CountCheck(diags, "unchecked-deadline"), 0);
 }
 
+TEST(LintSuppression, AllowFileWithinWindowCoversWholeFile) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "// parinda-lint: allow-file(unchecked-status)\n"
+                     "Status DoThing();\n"
+                     "void caller() {\n"
+                     "  DoThing();\n"
+                     "  DoThing();\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-status"), 0);
+}
+
+TEST(LintSuppression, AllowFileOnlyCoversNamedChecks) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "// parinda-lint: allow-file(assert-in-lib)\n"
+                     "Status DoThing();\n"
+                     "void caller() {\n"
+                     "  assert(1 == 1);\n"
+                     "  DoThing();\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "assert-in-lib"), 0);
+  EXPECT_EQ(CountCheck(diags, "unchecked-status"), 1);
+}
+
+TEST(LintSuppression, AllowFileBeyondWindowDoesNotCount) {
+  std::string padding(12, '\n');  // pushes the comment past line 10
+  auto diags = RunOn("src/foo/bar.cc",
+                     padding +
+                         "// parinda-lint: allow-file(unchecked-status)\n"
+                         "Status DoThing();\n"
+                         "void caller() { DoThing(); }\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-status"), 1);
+}
+
+TEST(LintSuppression, AnalyzeTagIsAcceptedAsAlias) {
+  auto diags = RunOn("src/foo/bar.cc",
+                     "Status DoThing();\n"
+                     "void caller() {\n"
+                     "  DoThing();  // parinda-analyze: allow(all)\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-status"), 0);
+}
+
+TEST(LintSuppression, AllowFileDoesNotSatisfyLineAllowLookups) {
+  // `allow-file` on a line past the window must not act as a line-scoped
+  // `allow` for findings on that line or the next.
+  std::string padding(12, '\n');
+  auto diags = RunOn("src/foo/bar.cc",
+                     padding +
+                         "Status DoThing();\n"
+                         "// parinda-lint: allow-file(unchecked-status)\n"
+                         "void caller() { DoThing(); }\n");
+  EXPECT_EQ(CountCheck(diags, "unchecked-status"), 1);
+}
+
 TEST(LintRegistry, ExplicitRegistrationFlagsCallSites) {
   Linter linter;
   linter.RegisterFallibleFunction("ExternalFallible");

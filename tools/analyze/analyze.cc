@@ -1,0 +1,73 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "analyze/model.h"
+#include "lint/scanner.h"
+
+namespace parinda {
+namespace analyze {
+
+void Analyzer::AddSource(std::string path, std::string content) {
+  sources_.push_back({std::move(path), std::move(content)});
+}
+
+bool Analyzer::AddFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  AddSource(path, buf.str());
+  return true;
+}
+
+std::vector<lint::Diagnostic> Analyzer::Run(const AnalyzerOptions& options) {
+  std::vector<lint::ScannedFile> scanned;
+  scanned.reserve(sources_.size());
+  for (const Source& s : sources_) {
+    scanned.push_back(lint::ScanSource(s.path, s.content));
+  }
+  Model model = BuildModel(std::move(scanned));
+
+  std::vector<lint::Diagnostic> diags;
+  if (options.check_layering && !options.layers_config.empty()) {
+    std::string error;
+    LayerConfig layers = ParseLayerConfig(options.layers_config, &error);
+    if (!error.empty()) {
+      diags.push_back({"tools/analyze/layers.txt", 1, "layer-config", error});
+    }
+    CheckLayering(model, layers, &diags);
+  }
+  if (options.check_locks) CheckLockDiscipline(model, &diags);
+  if (options.check_deadlines) CheckDeadlineReachability(model, &diags);
+
+  // Apply the shared suppression syntax, then order and dedupe (several
+  // token-level hits can map to one finding).
+  std::map<std::string, const lint::ScannedFile*> by_path;
+  for (const FileModel& fm : model.files) {
+    by_path[fm.scanned.path] = &fm.scanned;
+  }
+  std::vector<lint::Diagnostic> kept;
+  for (lint::Diagnostic& d : diags) {
+    auto it = by_path.find(d.file);
+    if (it != by_path.end() &&
+        lint::IsSuppressed(*it->second, d.line, d.check)) {
+      continue;
+    }
+    kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const lint::Diagnostic& a, const lint::Diagnostic& b) {
+              return std::tie(a.file, a.line, a.check, a.message) <
+                     std::tie(b.file, b.line, b.check, b.message);
+            });
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return kept;
+}
+
+}  // namespace analyze
+}  // namespace parinda

@@ -1,0 +1,88 @@
+#ifndef PARINDA_TOOLS_ANALYZE_ANALYZE_H_
+#define PARINDA_TOOLS_ANALYZE_ANALYZE_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+/// parinda-analyze: whole-program static analysis for the PARINDA tree.
+///
+/// Where parinda-lint checks one line at a time, parinda-analyze parses every
+/// header and source into a lightweight cross-file model — includes,
+/// namespaces, classes with fields, function bodies, call edges — and runs
+/// three analyses over it (check names are stable identifiers used in
+/// reports and suppressions):
+///
+///   layering             The module DAG declared in tools/analyze/layers.txt
+///                        is enforced against the real include graph: a file
+///                        in src/<m>/ may only include headers from <m>
+///                        itself or from modules in strictly lower layers.
+///   include-cycle        No cycles in the include graph of src/ files.
+///   module-undeclared    Every src/<m>/ directory must declare its layer in
+///                        layers.txt, so new modules place themselves in the
+///                        DAG deliberately.
+///   guarded-field        A field annotated PARINDA_GUARDED_BY(mu) (see
+///                        src/common/annotations.h) is only read or written
+///                        inside a scope holding `mu` — a MutexLock /
+///                        std::lock_guard / std::unique_lock /
+///                        std::scoped_lock on it, or a function annotated
+///                        PARINDA_REQUIRES(mu). This mirrors clang's
+///                        -Wthread-safety, but runs on any toolchain.
+///   deadline-unreachable A function that hits a PARINDA_FAILPOINT or drives
+///                        a ThreadPool Submit loop must be reachable, through
+///                        the call graph, from a function carrying a budget —
+///                        a Deadline/CancellationToken parameter or member
+///                        (directly or through an options struct). This is
+///                        the interprocedural generalization of parinda-lint's
+///                        `unchecked-deadline` check: failpoints mark long
+///                        paths, and a long path nobody can budget cannot
+///                        degrade gracefully (DESIGN.md §10).
+///
+/// Suppression: the same comment syntax as parinda-lint — append
+/// `// parinda-lint: allow(<check>)` to the offending line (or the line
+/// above), or `// parinda-lint: allow-file(<check>)` in the first 10 lines;
+/// `parinda-analyze:` is accepted as a tag alias.
+namespace parinda {
+namespace analyze {
+
+/// Which analyses Run() performs; all on by default.
+struct AnalyzerOptions {
+  /// Content of the layers.txt config (not a path). Empty disables the
+  /// layering and include-cycle analyses.
+  std::string layers_config;
+  bool check_layering = true;
+  bool check_locks = true;
+  bool check_deadlines = true;
+};
+
+/// Scans a set of sources, builds the whole-program model, and runs the
+/// cross-file analyses. Sources can come from disk (AddFile) or memory
+/// (AddSource), which is what the unit tests use.
+class Analyzer {
+ public:
+  /// Registers an in-memory source. `path` decides module membership
+  /// (src/<module>/...); files outside src/ contribute to the model (their
+  /// functions join the call graph) but are exempt from the layering check.
+  void AddSource(std::string path, std::string content);
+
+  /// Reads `path` from disk; returns false (and records no source) when the
+  /// file cannot be read.
+  bool AddFile(const std::string& path);
+
+  /// Runs the enabled analyses. Diagnostics are ordered by (file, line) and
+  /// already filtered through the suppression comments.
+  std::vector<lint::Diagnostic> Run(const AnalyzerOptions& options);
+
+ private:
+  struct Source {
+    std::string path;
+    std::string content;
+  };
+  std::vector<Source> sources_;
+};
+
+}  // namespace analyze
+}  // namespace parinda
+
+#endif  // PARINDA_TOOLS_ANALYZE_ANALYZE_H_

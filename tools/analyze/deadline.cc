@@ -1,0 +1,169 @@
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/model.h"
+
+namespace parinda {
+namespace analyze {
+namespace {
+
+using lint::Token;
+
+/// Names that look like calls but are control flow or operators.
+bool IsCallKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",      "for",         "while",       "switch",      "return",
+      "sizeof",  "catch",       "new",         "delete",      "alignof",
+      "decltype", "noexcept",   "static_cast", "const_cast",  "throw",
+      "dynamic_cast", "reinterpret_cast", "alignas", "assert"};
+  return kKeywords.count(s) > 0;
+}
+
+/// A long-path marker inside a function body: a PARINDA_FAILPOINT site or a
+/// ThreadPool Submit driven from a loop.
+struct BudgetTarget {
+  int line = 0;
+  std::string what;  // human description for the diagnostic
+};
+
+/// The set of type names that carry a budget: Deadline and CancellationToken
+/// seed it, and any class with a budget-carrying field joins it (so options
+/// structs embedding a Deadline, and classes embedding those structs, count).
+std::set<std::string> BudgetCarryingTypes(const Model& model) {
+  std::set<std::string> budget = {"Deadline", "CancellationToken"};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Class& cls : model.classes) {
+      if (cls.name.empty() || budget.count(cls.name)) continue;
+      for (const std::string& id : cls.field_idents) {
+        if (budget.count(id)) {
+          budget.insert(cls.name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return budget;
+}
+
+bool IsBudgeted(const Function& fn, const std::set<std::string>& budget) {
+  if (!fn.class_name.empty() && budget.count(fn.class_name)) return true;
+  for (const std::string& id : fn.param_idents) {
+    if (budget.count(id)) return true;
+  }
+  return false;
+}
+
+/// Finds failpoint hits and Submit-in-loop sites in `fn`'s body.
+std::vector<BudgetTarget> FindTargets(const Model& model, const Function& fn) {
+  std::vector<BudgetTarget> targets;
+  const std::vector<Token>& toks =
+      model.files[fn.file_index].scanned.tokens;
+  auto text = [&](size_t i) { return toks[i].text; };
+
+  for (size_t k = fn.body_begin + 1; k < fn.body_end; k++) {
+    if (toks[k].kind != Token::Kind::kIdent) continue;
+    if (text(k) == "PARINDA_FAILPOINT") {
+      targets.push_back({toks[k].line, "hits PARINDA_FAILPOINT"});
+      continue;
+    }
+    // A loop whose body submits work to the ThreadPool: find the loop's
+    // statement range, then look for `Submit(` inside it.
+    if (text(k) != "for" && text(k) != "while" && text(k) != "do") continue;
+    size_t stmt_begin;
+    if (text(k) == "do") {
+      stmt_begin = k + 1;
+    } else {
+      if (k + 1 >= fn.body_end || text(k + 1) != "(") continue;
+      stmt_begin = lint::MatchBalanced(toks, k + 1) + 1;
+    }
+    if (stmt_begin >= fn.body_end) continue;
+    size_t stmt_end;
+    if (text(stmt_begin) == "{") {
+      stmt_end = lint::MatchBalanced(toks, stmt_begin);
+    } else {
+      stmt_end = stmt_begin;
+      while (stmt_end < fn.body_end && text(stmt_end) != ";") {
+        if (lint::IsBalancedOpen(text(stmt_end))) {
+          stmt_end = lint::MatchBalanced(toks, stmt_end);
+        }
+        stmt_end++;
+      }
+    }
+    for (size_t m = stmt_begin; m < stmt_end; m++) {
+      if (toks[m].kind == Token::Kind::kIdent && text(m) == "Submit" &&
+          m + 1 < stmt_end && text(m + 1) == "(") {
+        targets.push_back({toks[m].line, "submits ThreadPool work in a loop"});
+      }
+    }
+  }
+  return targets;
+}
+
+}  // namespace
+
+void CheckDeadlineReachability(const Model& model,
+                               std::vector<lint::Diagnostic>* out) {
+  std::set<std::string> budget = BudgetCarryingTypes(model);
+
+  // Call graph by unqualified name: an identifier followed by '(' in any
+  // body is an edge to every function of that name. Over-approximate on
+  // purpose — a missed edge would be a false positive here.
+  std::map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < model.functions.size(); i++) {
+    by_name[model.functions[i].name].push_back(i);
+  }
+
+  std::deque<size_t> queue;
+  std::vector<bool> reachable(model.functions.size(), false);
+  for (size_t i = 0; i < model.functions.size(); i++) {
+    if (IsBudgeted(model.functions[i], budget)) {
+      reachable[i] = true;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const Function& fn = model.functions[queue.front()];
+    queue.pop_front();
+    const std::vector<Token>& toks =
+        model.files[fn.file_index].scanned.tokens;
+    for (size_t k = fn.body_begin + 1; k < fn.body_end; k++) {
+      if (toks[k].kind != Token::Kind::kIdent) continue;
+      if (k + 1 >= fn.body_end || toks[k + 1].text != "(") continue;
+      if (IsCallKeyword(toks[k].text)) continue;
+      auto it = by_name.find(toks[k].text);
+      if (it == by_name.end()) continue;
+      for (size_t callee : it->second) {
+        if (!reachable[callee]) {
+          reachable[callee] = true;
+          queue.push_back(callee);
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < model.functions.size(); i++) {
+    const Function& fn = model.functions[i];
+    if (reachable[i]) continue;
+    for (const BudgetTarget& t : FindTargets(model, fn)) {
+      std::string qual = fn.class_name.empty()
+                             ? fn.name
+                             : fn.class_name + "::" + fn.name;
+      out->push_back(
+          {fn.file, t.line, "deadline-unreachable",
+           "'" + qual + "' " + t.what +
+               " but is not reachable from any function carrying a "
+               "Deadline/CancellationToken (parameter or member); thread a "
+               "budget to it so the path can degrade gracefully "
+               "(DESIGN.md §10)"});
+    }
+  }
+}
+
+}  // namespace analyze
+}  // namespace parinda

@@ -1,0 +1,167 @@
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/model.h"
+
+namespace parinda {
+namespace analyze {
+namespace {
+
+/// "workload/workload.h" -> "workload"; "" when the include has no module
+/// prefix (not a project-style include).
+std::string IncludeModule(const std::string& include_path) {
+  size_t slash = include_path.find('/');
+  if (slash == std::string::npos) return "";
+  return include_path.substr(0, slash);
+}
+
+}  // namespace
+
+LayerConfig ParseLayerConfig(const std::string& text, std::string* error) {
+  LayerConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int layer = 0;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string word;
+    if (!(fields >> word)) continue;  // blank / comment-only line
+    if (word != "layer") {
+      if (error && error->empty()) {
+        *error = "layers.txt line " + std::to_string(lineno) +
+                 ": expected 'layer <module>...', got '" + word + "'";
+      }
+      continue;
+    }
+    bool any = false;
+    while (fields >> word) {
+      any = true;
+      if (config.layer_of.count(word)) {
+        if (error && error->empty()) {
+          *error = "layers.txt line " + std::to_string(lineno) + ": module '" +
+                   word + "' declared twice";
+        }
+        continue;
+      }
+      config.layer_of[word] = layer;
+    }
+    if (!any && error && error->empty()) {
+      *error = "layers.txt line " + std::to_string(lineno) +
+               ": 'layer' with no modules";
+    }
+    layer++;
+  }
+  return config;
+}
+
+void CheckLayering(const Model& model, const LayerConfig& layers,
+                   std::vector<lint::Diagnostic>* out) {
+  // Every module directory present under src/ must place itself in the DAG.
+  std::set<std::string> undeclared_reported;
+  for (const FileModel& fm : model.files) {
+    if (fm.module.empty()) continue;
+    if (layers.layer_of.count(fm.module)) continue;
+    if (!undeclared_reported.insert(fm.module).second) continue;
+    out->push_back({fm.scanned.path, 1, "module-undeclared",
+                    "module '" + fm.module +
+                        "' is not declared in tools/analyze/layers.txt; add "
+                        "it to a `layer` line to place it in the module DAG"});
+  }
+
+  // The include graph must respect the declared strata: a file may include
+  // its own module or strictly lower layers. Same-layer modules are
+  // siblings and must stay independent.
+  std::set<std::string> known_modules;
+  for (const FileModel& fm : model.files) {
+    if (!fm.module.empty()) known_modules.insert(fm.module);
+  }
+  for (const auto& [mod, layer] : layers.layer_of) known_modules.insert(mod);
+
+  for (const FileModel& fm : model.files) {
+    if (fm.module.empty()) continue;  // layering only binds src/ files
+    auto from = layers.layer_of.find(fm.module);
+    if (from == layers.layer_of.end()) continue;  // already reported above
+    for (const auto& [line, inc] : fm.includes) {
+      std::string to_module = IncludeModule(inc);
+      if (to_module.empty() || to_module == fm.module) continue;
+      if (!known_modules.count(to_module)) continue;  // external include
+      auto to = layers.layer_of.find(to_module);
+      if (to == layers.layer_of.end()) continue;
+      if (to->second < from->second) continue;
+      std::string relation =
+          to->second == from->second
+              ? "is in the same layer (layer " + std::to_string(to->second) +
+                    "); sibling modules must stay independent"
+              : "is in a higher layer (layer " + std::to_string(to->second) +
+                    " vs layer " + std::to_string(from->second) + ")";
+      out->push_back({fm.scanned.path, line, "layering",
+                      "include of \"" + inc + "\" crosses the layer DAG: '" +
+                          to_module + "' " + relation +
+                          " relative to '" + fm.module +
+                          "' (see tools/analyze/layers.txt)"});
+    }
+  }
+
+  // No cycles in the src/ include graph (file granularity: a cycle inside
+  // one module is just as much a build hazard as one across modules).
+  std::map<std::string, size_t> by_key;
+  for (size_t i = 0; i < model.files.size(); i++) {
+    if (!model.files[i].src_key.empty()) by_key[model.files[i].src_key] = i;
+  }
+  // Colors: 0 unvisited, 1 on the current DFS path, 2 done.
+  std::vector<int> color(model.files.size(), 0);
+  std::vector<size_t> path_stack;
+  // Iterative DFS so a deep include chain cannot overflow the stack.
+  struct Frame {
+    size_t file;
+    size_t next_include = 0;
+  };
+  for (size_t root = 0; root < model.files.size(); root++) {
+    if (model.files[root].src_key.empty() || color[root] != 0) continue;
+    std::vector<Frame> stack{{root}};
+    color[root] = 1;
+    path_stack.push_back(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const FileModel& fm = model.files[frame.file];
+      if (frame.next_include >= fm.includes.size()) {
+        color[frame.file] = 2;
+        path_stack.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const auto& [line, inc] = fm.includes[frame.next_include++];
+      auto it = by_key.find(inc);
+      if (it == by_key.end()) continue;  // not a scanned src/ file
+      size_t next = it->second;
+      if (color[next] == 1) {
+        // Back edge: report the cycle once, at the closing include.
+        std::string cycle;
+        bool in_cycle = false;
+        for (size_t f : path_stack) {
+          if (f == next) in_cycle = true;
+          if (in_cycle) cycle += model.files[f].src_key + " -> ";
+        }
+        cycle += model.files[next].src_key;
+        out->push_back({fm.scanned.path, line, "include-cycle",
+                        "include cycle: " + cycle});
+        continue;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        path_stack.push_back(next);
+        stack.push_back({next});
+      }
+    }
+  }
+}
+
+}  // namespace analyze
+}  // namespace parinda

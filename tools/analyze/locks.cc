@@ -1,0 +1,188 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/model.h"
+
+namespace parinda {
+namespace analyze {
+namespace {
+
+using lint::Token;
+
+/// RAII guard types whose construction acquires the named mutex for the
+/// rest of the enclosing scope.
+bool IsGuardTypeName(const std::string& s) {
+  return s == "MutexLock" || s == "lock_guard" || s == "unique_lock" ||
+         s == "scoped_lock";
+}
+
+/// A mutex held from token index `begin` to `end` (the enclosing '}').
+struct LockScope {
+  std::string path;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Per-function checker: walks the body token range once, tracking brace
+/// nesting, RAII lock scopes, and local-variable types, and reports guarded
+/// fields touched without their mutex.
+class FunctionChecker {
+ public:
+  FunctionChecker(const Model& model, const Function& fn,
+                  std::vector<lint::Diagnostic>* out)
+      : model_(model),
+        fn_(fn),
+        toks_(model.files[fn.file_index].scanned.tokens),
+        out_(out) {}
+
+  void Check() {
+    CollectRequires();
+    CollectLocalTypes(fn_.params_begin + 1, fn_.params_end);
+    CollectLocalTypes(fn_.body_begin + 1, fn_.body_end);
+    CollectLockScopes();
+    ScanAccesses();
+  }
+
+ private:
+  const std::string& Text(size_t i) const { return toks_[i].text; }
+  bool IsIdent(size_t i) const {
+    return i < toks_.size() && toks_[i].kind == Token::Kind::kIdent;
+  }
+  size_t Close(size_t open) const { return lint::MatchBalanced(toks_, open); }
+
+  void CollectRequires() {
+    for (const std::string& c : fn_.requires_caps) requires_.insert(c);
+    auto it = model_.decl_requires.find(fn_.class_name + "::" + fn_.name);
+    if (it != model_.decl_requires.end()) {
+      requires_.insert(it->second.begin(), it->second.end());
+    }
+  }
+
+  /// Records `ClassName [&*const]* var` declarations so qualified accesses
+  /// like `registry.points` resolve to the Registry model.
+  void CollectLocalTypes(size_t begin, size_t end) {
+    for (size_t k = begin; k < end; k++) {
+      if (!IsIdent(k)) continue;
+      const Class* cls = model_.FindClass(Text(k));
+      if (cls == nullptr) continue;
+      size_t m = k + 1;
+      while (m < end &&
+             (Text(m) == "&" || Text(m) == "*" || Text(m) == "const")) {
+        m++;
+      }
+      if (m < end && IsIdent(m)) local_types_[Text(m)] = cls;
+    }
+  }
+
+  void CollectLockScopes() {
+    std::vector<size_t> close_stack;
+    for (size_t k = fn_.body_begin; k <= fn_.body_end; k++) {
+      if (!close_stack.empty() && k == close_stack.back()) {
+        close_stack.pop_back();
+        continue;
+      }
+      if (Text(k) == "{") {
+        close_stack.push_back(Close(k));
+        continue;
+      }
+      if (!IsIdent(k) || !IsGuardTypeName(Text(k))) continue;
+      bool all_args = Text(k) == "scoped_lock";
+      size_t m = k + 1;
+      if (m <= fn_.body_end && Text(m) == "<") {  // template arguments
+        int depth = 0;
+        while (m <= fn_.body_end) {
+          if (Text(m) == "<") depth++;
+          if (Text(m) == ">" && --depth == 0) break;
+          m++;
+        }
+        m++;
+      }
+      if (!IsIdent(m)) continue;  // not a guard declaration
+      size_t args = m + 1;
+      if (args > fn_.body_end || (Text(args) != "(" && Text(args) != "{")) {
+        continue;
+      }
+      size_t args_close = Close(args);
+      std::vector<std::string> paths;
+      AppendPathsInGroup(toks_, args + 1, args_close, &paths);
+      if (!all_args && paths.size() > 1) paths.resize(1);
+      size_t scope_end = close_stack.empty() ? fn_.body_end
+                                             : close_stack.back();
+      for (std::string& p : paths) {
+        locks_.push_back({std::move(p), args_close, scope_end});
+      }
+    }
+  }
+
+  bool Holds(const std::string& path, size_t at) const {
+    if (requires_.count(path)) return true;
+    for (const LockScope& l : locks_) {
+      if (l.path == path && l.begin <= at && at <= l.end) return true;
+    }
+    return false;
+  }
+
+  void ScanAccesses() {
+    const Class* own = model_.FindClass(fn_.class_name);
+    for (size_t k = fn_.body_begin + 1; k < fn_.body_end; k++) {
+      if (!IsIdent(k)) continue;
+      const std::string& name = Text(k);
+      const std::string& prev = Text(k - 1);
+      const Class* cls = nullptr;
+      std::string base;  // dotted prefix of the required path
+      if (prev == "." || prev == "->") {
+        if (k < 2 || !IsIdent(k - 2)) continue;
+        const std::string& b = Text(k - 2);
+        if (b == "this") {
+          cls = own;
+        } else {
+          auto it = local_types_.find(b);
+          if (it == local_types_.end()) continue;  // unresolved base
+          cls = it->second;
+          base = b + ".";
+        }
+      } else if (prev == "::") {
+        continue;  // qualified name, not a member access
+      } else {
+        cls = own;
+      }
+      if (cls == nullptr) continue;
+      const Field* field = cls->FindField(name);
+      if (field == nullptr || field->guarded_by.empty()) continue;
+      std::string required = base + field->guarded_by;
+      if (Holds(required, k)) continue;
+      out_->push_back(
+          {fn_.file, toks_[k].line, "guarded-field",
+           "field '" + name + "' of '" + cls->name + "' is guarded by '" +
+               required + "' but accessed without holding it; take "
+               "MutexLock/std::lock_guard on the mutex for this scope or "
+               "annotate the function PARINDA_REQUIRES(" + required + ")"});
+    }
+  }
+
+  const Model& model_;
+  const Function& fn_;
+  const std::vector<Token>& toks_;
+  std::vector<lint::Diagnostic>* out_;
+  std::set<std::string> requires_;
+  std::map<std::string, const Class*> local_types_;
+  std::vector<LockScope> locks_;
+};
+
+}  // namespace
+
+void CheckLockDiscipline(const Model& model,
+                         std::vector<lint::Diagnostic>* out) {
+  for (const Function& fn : model.functions) {
+    if (fn.file_index < 0) continue;
+    // Constructors and destructors run while the object is owned by one
+    // thread; requiring the lock there would force self-deadlock.
+    if (fn.is_ctor_dtor) continue;
+    FunctionChecker(model, fn, out).Check();
+  }
+}
+
+}  // namespace analyze
+}  // namespace parinda

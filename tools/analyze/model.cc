@@ -1,0 +1,509 @@
+#include "analyze/model.h"
+
+#include <cctype>
+#include <utility>
+
+namespace parinda {
+namespace analyze {
+
+using lint::Token;
+
+namespace {
+
+// All-caps PARINDA_* identifiers are annotation/assertion macros: a '('
+// after one opens macro arguments, never a function parameter list, and the
+// identifier itself is never a declarator name.
+bool IsAnnotationMacroName(const std::string& s) {
+  if (s.rfind("PARINDA_", 0) != 0) return false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool IsMutexTypeIdent(const std::string& s) {
+  return s == "Mutex" || s == "mutex" || s == "recursive_mutex" ||
+         s == "shared_mutex" || s == "timed_mutex" ||
+         s == "recursive_timed_mutex";
+}
+
+class ModelBuilder {
+ public:
+  ModelBuilder(Model* model, int file_index)
+      : model_(model),
+        file_index_(file_index),
+        path_(model->files[file_index].scanned.path),
+        toks_(model->files[file_index].scanned.tokens) {}
+
+  void Build() { ParseBlock("", toks_.size()); }
+
+ private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  const std::string& Text(size_t i) const { return toks_[i].text; }
+  bool IsIdent(size_t i) const {
+    return i < toks_.size() && toks_[i].kind == Token::Kind::kIdent;
+  }
+  size_t Close(size_t open) const { return lint::MatchBalanced(toks_, open); }
+
+  std::string NormalizePath(size_t begin, size_t end) const {
+    return NormalizePathTokens(toks_, begin, end);
+  }
+
+  void AppendPaths(size_t begin, size_t close,
+                   std::vector<std::string>* out) const {
+    AppendPathsInGroup(toks_, begin, close, out);
+  }
+
+  /// Consumes tokens until the ';' ending the current declaration (or a
+  /// stray '}' that would escape the enclosing block), skipping balanced
+  /// groups so `;` inside initializer braces do not end it early.
+  void SkipStatement(size_t end) {
+    while (pos_ < end) {
+      const std::string& s = Text(pos_);
+      if (lint::IsBalancedOpen(s)) {
+        pos_ = Close(pos_) + 1;
+        continue;
+      }
+      if (s == ";") {
+        pos_++;
+        return;
+      }
+      if (s == "}") return;
+      pos_++;
+    }
+  }
+
+  /// Skips a template parameter list starting at '<' (angle-depth walk; '>'
+  /// tokens are single characters, so `>>` closes two levels).
+  void SkipAngles() {
+    if (pos_ >= toks_.size() || Text(pos_) != "<") return;
+    int depth = 0;
+    while (pos_ < toks_.size()) {
+      const std::string& s = Text(pos_);
+      if (s == "<") {
+        depth++;
+      } else if (s == ">") {
+        depth--;
+        if (depth == 0) {
+          pos_++;
+          return;
+        }
+      } else if (lint::IsBalancedOpen(s)) {
+        pos_ = Close(pos_) + 1;
+        continue;
+      }
+      pos_++;
+    }
+  }
+
+  void ParseNamespace(size_t end) {
+    size_t j = pos_ + 1;
+    while (j < end && Text(j) != "{" && Text(j) != ";" && Text(j) != "=") j++;
+    if (j >= end) {
+      pos_ = end;
+      return;
+    }
+    if (Text(j) == ";" || Text(j) == "=") {  // using-directive-ish or alias
+      pos_ = j;
+      SkipStatement(end);
+      return;
+    }
+    size_t close = Close(j);
+    pos_ = j + 1;
+    ParseBlock("", close);
+    pos_ = close + 1;
+  }
+
+  /// pos_ is at `class` / `struct` / `union`. Finds the tag name (skipping
+  /// annotation macros and their argument groups, `final`, `alignas`),
+  /// registers the class, and parses the body.
+  void ParseClassIntro(size_t end) {
+    size_t intro = pos_;
+    size_t j = pos_ + 1;
+    std::string name;
+    bool in_base = false;
+    while (j < end) {
+      const Token& t = toks_[j];
+      const std::string& s = t.text;
+      if (s == ";") {  // forward declaration
+        pos_ = j + 1;
+        return;
+      }
+      if (s == "{") break;
+      if (s == "=") {  // e.g. `enum class` mis-taken; treat as a statement
+        pos_ = intro;
+        SkipStatement(end);
+        return;
+      }
+      if (lint::IsBalancedOpen(s)) {
+        j = Close(j) + 1;
+        continue;
+      }
+      if (s == ":") {
+        in_base = true;
+        j++;
+        continue;
+      }
+      if (t.kind == Token::Kind::kIdent && !in_base && s != "final" &&
+          s != "alignas" && !IsAnnotationMacroName(s)) {
+        name = s;
+      }
+      j++;
+    }
+    if (j >= end) {
+      pos_ = end;
+      return;
+    }
+    size_t close = Close(j);
+    Class cls;
+    cls.name = name;
+    cls.file = path_;
+    cls.line = toks_[intro].line;
+    size_t idx = model_->classes.size();
+    model_->classes.push_back(std::move(cls));
+    class_stack_.push_back(idx);
+    pos_ = j + 1;
+    ParseBlock(name, close);
+    class_stack_.pop_back();
+    pos_ = close + 1;
+    SkipStatement(end);  // trailing declarator (usually just the ';')
+  }
+
+  /// Parses declarations in [pos_, end): a namespace body, a class body
+  /// (class_name non-empty: bodiless declarations become fields), or the
+  /// top level. Function bodies are recorded and skipped, not descended
+  /// into.
+  void ParseBlock(const std::string& class_name, size_t end) {
+    while (pos_ < end) {
+      const Token& t = toks_[pos_];
+      const std::string& s = t.text;
+      if (t.kind == Token::Kind::kNumber) {
+        pos_++;
+        continue;
+      }
+      if (t.kind == Token::Kind::kPunct) {
+        if (s == "{") {  // stray block; stay balanced
+          pos_ = Close(pos_) + 1;
+          continue;
+        }
+        pos_++;
+        continue;
+      }
+      if (s == "public" || s == "private" || s == "protected") {
+        pos_++;
+        if (pos_ < end && Text(pos_) == ":") pos_++;
+        continue;
+      }
+      if (s == "template") {
+        pos_++;
+        SkipAngles();
+        continue;
+      }
+      if (s == "namespace") {
+        ParseNamespace(end);
+        continue;
+      }
+      if (s == "using" || s == "typedef" || s == "friend" ||
+          s == "static_assert" || s == "enum") {
+        SkipStatement(end);
+        continue;
+      }
+      if (s == "extern" && pos_ + 1 < end && Text(pos_ + 1) == "{") {
+        size_t close = Close(pos_ + 1);
+        pos_ += 2;
+        ParseBlock(class_name, close);
+        pos_ = close + 1;
+        continue;
+      }
+      if (s == "class" || s == "struct" || s == "union") {
+        ParseClassIntro(end);
+        continue;
+      }
+      ParseDecl(class_name, end);
+    }
+    pos_ = end;
+  }
+
+  /// Parses one declaration starting at pos_: a function definition (body
+  /// recorded, tokens skipped), a bodiless function declaration
+  /// (PARINDA_REQUIRES harvested), or — at class scope — a field.
+  void ParseDecl(const std::string& class_name, size_t end) {
+    size_t decl_begin = pos_;
+    size_t j = pos_;
+    int angle = 0;
+    size_t func_paren = kNpos;
+    size_t name_idx = kNpos;
+    size_t field_name_idx = kNpos;
+    bool saw_assign = false;
+    bool in_init = false;
+    std::string guarded_by;
+    std::vector<std::string> requires_caps;
+    std::vector<std::string> param_idents;
+    std::set<std::string> decl_idents;
+
+    while (j < end) {
+      const Token& t = toks_[j];
+      const std::string& s = t.text;
+      if (t.kind == Token::Kind::kIdent) {
+        decl_idents.insert(s);
+        if (angle == 0 && !saw_assign && func_paren == kNpos &&
+            !IsAnnotationMacroName(s)) {
+          field_name_idx = j;
+        }
+        j++;
+        continue;
+      }
+      if (t.kind == Token::Kind::kNumber) {
+        j++;
+        continue;
+      }
+      if (s == "<" && func_paren == kNpos) {
+        angle++;
+        j++;
+        continue;
+      }
+      if (s == ">" && angle > 0 && func_paren == kNpos) {
+        angle--;
+        j++;
+        continue;
+      }
+      if (s == "=") {
+        saw_assign = true;
+        j++;
+        continue;
+      }
+      if (s == "[") {  // attribute [[...]] or array bound
+        j = Close(j) + 1;
+        continue;
+      }
+      if (s == "(") {
+        bool prev_ident = j > decl_begin && IsIdent(j - 1);
+        if (prev_ident && IsAnnotationMacroName(Text(j - 1))) {
+          size_t close = Close(j);
+          const std::string& macro = Text(j - 1);
+          if (macro == "PARINDA_GUARDED_BY" ||
+              macro == "PARINDA_PT_GUARDED_BY") {
+            guarded_by = NormalizePath(j + 1, close);
+          } else if (macro == "PARINDA_REQUIRES") {
+            AppendPaths(j + 1, close, &requires_caps);
+          }
+          j = close + 1;
+          continue;
+        }
+        if (angle == 0 && func_paren == kNpos && prev_ident) {
+          func_paren = j;
+          name_idx = j - 1;
+          size_t close = Close(j);
+          for (size_t k = j + 1; k < close; k++) {
+            if (toks_[k].kind == Token::Kind::kIdent) {
+              param_idents.push_back(toks_[k].text);
+            }
+          }
+          j = close + 1;
+          continue;
+        }
+        if (angle == 0) {  // grouping/initializer parens
+          j = Close(j) + 1;
+          continue;
+        }
+        j++;
+        continue;
+      }
+      if (s == "{") {
+        bool is_body = false;
+        if (func_paren != kNpos && !saw_assign) {
+          if (in_init) {
+            // In a ctor-init list, `member{...}` braces are preceded by the
+            // member name (or a template '>'); the body brace follows ')',
+            // '}' or an annotation group.
+            const Token& p = toks_[j - 1];
+            is_body = !(p.kind == Token::Kind::kIdent || p.text == ">");
+          } else {
+            is_body = true;
+          }
+        }
+        if (!is_body) {  // brace initializer
+          j = Close(j) + 1;
+          continue;
+        }
+        RecordFunction(class_name, name_idx, func_paren, j,
+                       std::move(param_idents), std::move(requires_caps));
+        pos_ = Close(j) + 1;
+        if (pos_ < end && Text(pos_) == ";") pos_++;
+        return;
+      }
+      if (s == ":") {
+        if (func_paren != kNpos) in_init = true;  // else: bitfield width
+        j++;
+        continue;
+      }
+      if (s == ";") {
+        if (func_paren == kNpos && !class_name.empty() &&
+            !class_stack_.empty() && field_name_idx != kNpos) {
+          RecordField(field_name_idx, guarded_by, decl_idents);
+        } else if (func_paren != kNpos && !requires_caps.empty()) {
+          // Bodiless declaration carrying PARINDA_REQUIRES: remember it for
+          // the out-of-line definition.
+          std::string cls = class_name;
+          size_t k = name_idx;
+          if (k >= 2 && Text(k - 1) == "::" && IsIdent(k - 2)) {
+            cls = Text(k - 2);
+          }
+          std::vector<std::string>& caps =
+              model_->decl_requires[cls + "::" + toks_[name_idx].text];
+          caps.insert(caps.end(), requires_caps.begin(), requires_caps.end());
+        }
+        pos_ = j + 1;
+        return;
+      }
+      j++;
+    }
+    pos_ = end;
+  }
+
+  void RecordField(size_t name_idx, const std::string& guarded_by,
+                   const std::set<std::string>& decl_idents) {
+    Class& cls = model_->classes[class_stack_.back()];
+    Field f;
+    f.name = toks_[name_idx].text;
+    f.line = toks_[name_idx].line;
+    f.guarded_by = guarded_by;
+    for (const std::string& id : decl_idents) {
+      cls.field_idents.insert(id);
+      if (IsMutexTypeIdent(id)) cls.mutex_members.insert(f.name);
+    }
+    cls.fields.push_back(std::move(f));
+  }
+
+  void RecordFunction(const std::string& class_name, size_t name_idx,
+                      size_t func_paren, size_t body_open,
+                      std::vector<std::string> param_idents,
+                      std::vector<std::string> requires_caps) {
+    Function fn;
+    fn.name = toks_[name_idx].text;
+    fn.line = toks_[name_idx].line;
+    fn.file = path_;
+    fn.file_index = file_index_;
+    fn.params_begin = func_paren;
+    fn.params_end = Close(func_paren);
+    fn.body_begin = body_open;
+    fn.body_end = Close(body_open);
+    fn.param_idents = std::move(param_idents);
+    fn.requires_caps = std::move(requires_caps);
+    size_t k = name_idx;
+    bool dtor = false;
+    if (k > 0 && Text(k - 1) == "~") {
+      dtor = true;
+      k--;
+    }
+    std::string owner = class_name;
+    if (k >= 2 && Text(k - 1) == "::" && IsIdent(k - 2)) {
+      owner = Text(k - 2);
+    }
+    fn.class_name = owner;
+    fn.is_ctor_dtor = dtor || (!owner.empty() && fn.name == owner);
+    model_->functions.push_back(std::move(fn));
+  }
+
+  Model* model_;
+  int file_index_;
+  const std::string& path_;
+  const std::vector<Token>& toks_;
+  size_t pos_ = 0;
+  std::vector<size_t> class_stack_;
+};
+
+/// "src/common/thread_pool.h" (or ".../src/common/thread_pool.h") ->
+/// module "common", src_key "common/thread_pool.h".
+void DeriveModule(FileModel* fm) {
+  const std::string& path = fm->scanned.path;
+  size_t at = path.rfind("src/");
+  if (at == std::string::npos || (at != 0 && path[at - 1] != '/')) return;
+  std::string rest = path.substr(at + 4);
+  size_t slash = rest.find('/');
+  if (slash == std::string::npos) return;
+  fm->module = rest.substr(0, slash);
+  fm->src_key = std::move(rest);
+}
+
+void CollectIncludes(FileModel* fm) {
+  for (const lint::Directive& d : fm->scanned.directives) {
+    size_t at = d.text.find("include");
+    if (at == std::string::npos) continue;
+    size_t open = d.text.find('"', at);
+    if (open == std::string::npos) continue;  // <system> include
+    size_t close = d.text.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    fm->includes.emplace_back(d.line,
+                              d.text.substr(open + 1, close - open - 1));
+  }
+}
+
+}  // namespace
+
+const Field* Class::FindField(const std::string& name) const {
+  for (const Field& f : fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const Class* Model::FindClass(const std::string& name) const {
+  if (name.empty()) return nullptr;
+  for (const Class& c : classes) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string NormalizePathTokens(const std::vector<Token>& toks, size_t begin,
+                                size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; i++) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || t.text == "this") continue;
+    if (!out.empty()) out += '.';
+    out += t.text;
+  }
+  return out;
+}
+
+void AppendPathsInGroup(const std::vector<Token>& toks, size_t begin,
+                        size_t close, std::vector<std::string>* out) {
+  size_t start = begin;
+  size_t k = begin;
+  while (k <= close) {
+    if (k == close || toks[k].text == ",") {
+      std::string p = NormalizePathTokens(toks, start, k);
+      if (!p.empty()) out->push_back(std::move(p));
+      start = k + 1;
+      k++;
+      continue;
+    }
+    if (lint::IsBalancedOpen(toks[k].text)) {
+      k = lint::MatchBalanced(toks, k) + 1;
+      continue;
+    }
+    k++;
+  }
+}
+
+Model BuildModel(std::vector<lint::ScannedFile> files) {
+  Model model;
+  model.files.reserve(files.size());
+  for (lint::ScannedFile& f : files) {
+    FileModel fm;
+    fm.scanned = std::move(f);
+    DeriveModule(&fm);
+    CollectIncludes(&fm);
+    model.files.push_back(std::move(fm));
+  }
+  for (size_t i = 0; i < model.files.size(); i++) {
+    ModelBuilder(&model, static_cast<int>(i)).Build();
+  }
+  return model;
+}
+
+}  // namespace analyze
+}  // namespace parinda

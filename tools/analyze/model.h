@@ -1,0 +1,136 @@
+#ifndef PARINDA_TOOLS_ANALYZE_MODEL_H_
+#define PARINDA_TOOLS_ANALYZE_MODEL_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/scanner.h"
+
+/// The whole-program model parinda-analyze builds from the token streams and
+/// the three analyses that run over it. This is a *model*, not an AST: a
+/// recursive-descent walk over the token stream that recognizes namespaces,
+/// class bodies, field declarations (with their PARINDA_GUARDED_BY
+/// annotations), and function definitions (with parameter identifiers,
+/// PARINDA_REQUIRES capabilities, and body token ranges). It is deliberately
+/// forgiving — anything it cannot classify it skips — because a checker that
+/// refuses to run on slightly unusual code gets turned off, not fixed.
+namespace parinda {
+namespace analyze {
+
+struct Field {
+  std::string name;
+  int line = 0;
+  /// Normalized PARINDA_GUARDED_BY argument ("mu_", "registry.mu"); empty
+  /// for unannotated fields.
+  std::string guarded_by;
+};
+
+struct Class {
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::vector<Field> fields;
+  /// Field names whose declared type is a mutex (parinda::Mutex, std::mutex
+  /// and friends). Lock declarations naming them are recognized as guards.
+  std::set<std::string> mutex_members;
+  /// Every identifier appearing in field declarations — the type-name soup
+  /// used for the budget-carrying closure (a class holding a Deadline, a
+  /// CancellationToken, or any type that transitively holds one, carries a
+  /// budget itself).
+  std::set<std::string> field_idents;
+
+  const Field* FindField(const std::string& name) const;
+};
+
+struct Function {
+  /// Unqualified name ("Submit", "LoadCatalogStats").
+  std::string name;
+  /// Enclosing or qualifying class ("ThreadPool" both for inline members and
+  /// for out-of-line `ThreadPool::Submit`); empty for free functions.
+  std::string class_name;
+  std::string file;
+  int line = 0;
+  bool is_ctor_dtor = false;
+  /// Identifiers in the parameter list (types and names mixed; the deadline
+  /// pass only needs "does a budget-carrying type appear").
+  std::vector<std::string> param_idents;
+  /// Normalized PARINDA_REQUIRES arguments.
+  std::vector<std::string> requires_caps;
+  /// Which files[i] the body lives in, and the token index ranges of the
+  /// parameter parens and of the body braces: tokens[body_begin] == "{",
+  /// tokens[body_end] == "}".
+  int file_index = -1;
+  size_t params_begin = 0;
+  size_t params_end = 0;
+  size_t body_begin = 0;
+  size_t body_end = 0;
+};
+
+struct FileModel {
+  lint::ScannedFile scanned;
+  /// "common" for src/common/thread_pool.h; empty for files outside src/.
+  std::string module;
+  /// Project-relative path under src/ ("common/thread_pool.h"); used as the
+  /// include-graph node key. Empty for files outside src/.
+  std::string src_key;
+  /// (line, path) of every quoted #include.
+  std::vector<std::pair<int, std::string>> includes;
+};
+
+struct Model {
+  std::vector<FileModel> files;
+  std::vector<Class> classes;
+  std::vector<Function> functions;
+  /// PARINDA_REQUIRES capabilities harvested from bodiless declarations,
+  /// keyed "Class::name". A definition inherits the annotation from its
+  /// in-class declaration, matching the clang semantics where the attribute
+  /// on the first declaration governs the definition.
+  std::map<std::string, std::vector<std::string>> decl_requires;
+
+  const Class* FindClass(const std::string& name) const;
+};
+
+/// Parses every scanned file into the model.
+Model BuildModel(std::vector<lint::ScannedFile> files);
+
+/// Joins the identifiers in tokens [begin, end) into a dotted path, dropping
+/// `this`, `&`, `*` and treating `.` / `->` as the separator: `this->mu_`
+/// -> "mu_", `registry . mu` -> "registry.mu".
+std::string NormalizePathTokens(const std::vector<lint::Token>& toks,
+                                size_t begin, size_t end);
+
+/// Comma-splits a balanced group — `begin` just past the opener, `close` at
+/// the closer — into normalized paths (used for PARINDA_REQUIRES arguments
+/// and lock-guard constructor arguments).
+void AppendPathsInGroup(const std::vector<lint::Token>& toks, size_t begin,
+                        size_t close, std::vector<std::string>* out);
+
+/// The layer configuration from tools/analyze/layers.txt: one line per
+/// layer, lowest first, `layer <module> [<module>...]`; '#' comments. A
+/// module may include headers from its own module or from strictly lower
+/// layers — same-layer modules are siblings and must stay independent.
+struct LayerConfig {
+  /// module -> layer index (0 = lowest).
+  std::map<std::string, int> layer_of;
+};
+
+/// Parses the config text; on malformed input returns a config as parsed so
+/// far and sets `*error`.
+LayerConfig ParseLayerConfig(const std::string& text, std::string* error);
+
+/// The three analyses. Each appends raw (unsuppressed, unsorted) diagnostics.
+void CheckLayering(const Model& model, const LayerConfig& layers,
+                   std::vector<lint::Diagnostic>* out);
+void CheckLockDiscipline(const Model& model,
+                         std::vector<lint::Diagnostic>* out);
+void CheckDeadlineReachability(const Model& model,
+                               std::vector<lint::Diagnostic>* out);
+
+}  // namespace analyze
+}  // namespace parinda
+
+#endif  // PARINDA_TOOLS_ANALYZE_MODEL_H_

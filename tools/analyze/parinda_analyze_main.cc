@@ -1,0 +1,106 @@
+// parinda-analyze CLI.
+//
+// Usage: parinda-analyze [--json] [--layers=FILE] <file-or-dir>...
+//
+// Whole-program static analysis over the given sources (see
+// tools/analyze/analyze.h for the analyses and suppression syntax). The
+// layer configuration defaults to tools/analyze/layers.txt relative to the
+// current directory; pass --layers=FILE to point elsewhere, or
+// --layers= (empty) to skip the layering analysis. Exit status:
+//   0  no findings
+//   1  findings reported
+//   2  usage or I/O error
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "lint/lint.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string layers_path = "tools/analyze/layers.txt";
+  bool layers_explicit = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      layers_path = arg.substr(9);
+      layers_explicit = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: parinda-analyze [--json] [--layers=FILE] "
+                   "<file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "parinda-analyze: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: parinda-analyze [--json] [--layers=FILE] "
+                 "<file-or-dir>...\n";
+    return 2;
+  }
+
+  parinda::analyze::AnalyzerOptions options;
+  if (!layers_path.empty()) {
+    if (!ReadFile(layers_path, &options.layers_config)) {
+      if (layers_explicit) {
+        std::cerr << "parinda-analyze: cannot read " << layers_path << "\n";
+        return 2;
+      }
+      // Default config not found (running outside the repo root): the
+      // layering analysis is skipped, the others still run.
+      std::cerr << "parinda-analyze: note: " << layers_path
+                << " not found; skipping the layering analysis\n";
+    }
+  }
+
+  std::vector<std::string> errors;
+  std::vector<std::string> files =
+      parinda::lint::CollectSourcePaths(paths, &errors);
+  for (const std::string& e : errors) {
+    std::cerr << "parinda-analyze: " << e << "\n";
+  }
+  if (!errors.empty()) return 2;
+
+  parinda::analyze::Analyzer analyzer;
+  for (const std::string& f : files) {
+    if (!analyzer.AddFile(f)) {
+      std::cerr << "parinda-analyze: cannot read " << f << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<parinda::lint::Diagnostic> diags = analyzer.Run(options);
+  if (json) {
+    std::cout << parinda::lint::FormatJson(diags);
+  } else {
+    std::cout << parinda::lint::FormatText(diags);
+    if (!diags.empty()) {
+      std::cerr << "parinda-analyze: " << diags.size() << " finding"
+                << (diags.size() == 1 ? "" : "s") << " in " << files.size()
+                << " files\n";
+    }
+  }
+  return diags.empty() ? 0 : 1;
+}

@@ -9,9 +9,12 @@
 # — then runs every example binary as a smoke test (the interactive designer
 # gets a scripted add/drop/evaluate session piped to stdin), sweeps every
 # registered failpoint in error mode through the sanitizer build (injected
-# faults must come back as Status, never crashes), and runs parinda-lint
+# faults must come back as Status, never crashes), runs parinda-lint
 # over src/ and tests/, failing on any violation (including the
-# overlay-internals layering and unchecked-deadline checks).
+# overlay-internals layering and unchecked-deadline checks), runs
+# parinda-analyze over src/ (module layering, guarded-field lock discipline,
+# call-graph deadline reachability), and — when a clang++ is on PATH —
+# rebuilds with -Wthread-safety to cross-check the mutex annotations.
 #
 # Usage: tools/ci.sh [jobs]
 set -eu
@@ -96,6 +99,27 @@ echo "=== parinda-lint ==="
   cat /tmp/parinda_lint_report.json
   exit 1
 }
+
+echo "=== parinda-analyze ==="
+./build/tools/parinda-analyze --json src > /tmp/parinda_analyze_report.json && {
+  echo "parinda-analyze: clean"
+} || {
+  echo "parinda-analyze: findings:"
+  cat /tmp/parinda_analyze_report.json
+  exit 1
+}
+
+echo "=== clang thread-safety analysis (optional) ==="
+# The PARINDA_GUARDED_BY/PARINDA_REQUIRES annotations expand to clang
+# attributes; when a clang is available, a -Wthread-safety build must be
+# warning-free. Without one this leg is skipped — parinda-analyze's
+# guarded-field check above covers the annotations on any toolchain.
+if command -v clang++ >/dev/null 2>&1; then
+  run_matrix build-tsafety -DCMAKE_CXX_COMPILER=clang++ \
+    -DPARINDA_THREAD_SAFETY=ON -DPARINDA_WERROR=ON
+else
+  echo "clang++ not found; skipping (guarded-field covered by parinda-analyze)"
+fi
 
 echo "=== clang-tidy (optional) ==="
 tools/run_clang_tidy.sh build

@@ -1,5 +1,7 @@
 #include "lint/lint.h"
 
+#include "lint/scanner.h"
+
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
@@ -11,228 +13,6 @@
 namespace parinda {
 namespace lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Scanner: a lightweight C++ tokenizer. It does not try to be a compiler —
-// it strips comments, string/char literals, and preprocessor directives from
-// the token stream (recording comments and directives separately, since two
-// checks and the suppression syntax live there) and yields identifiers,
-// numbers, and punctuation with line numbers.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kPunct };
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct Directive {
-  int line;
-  std::string text;  // full directive with continuations joined, '#' included
-};
-
-struct ScannedFile {
-  std::string path;
-  std::vector<Token> tokens;
-  // line -> concatenated comment text appearing on that line.
-  std::map<int, std::string> comments;
-  std::vector<Directive> directives;
-};
-
-class Scanner {
- public:
-  Scanner(std::string path, const std::string& src)
-      : src_(src) {
-    out_.path = std::move(path);
-  }
-
-  ScannedFile Scan() {
-    while (pos_ < src_.size()) {
-      char c = src_[pos_];
-      if (c == '\n') {
-        line_++;
-        at_line_start_ = true;
-        pos_++;
-        continue;
-      }
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        pos_++;
-        continue;
-      }
-      if (c == '#' && at_line_start_) {
-        ScanDirective();
-        continue;
-      }
-      at_line_start_ = false;
-      if (c == '/' && Peek(1) == '/') {
-        ScanLineComment();
-        continue;
-      }
-      if (c == '/' && Peek(1) == '*') {
-        ScanBlockComment();
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        ScanLiteral(c);
-        continue;
-      }
-      if (c == 'R' && Peek(1) == '"' && raw_string_plausible()) {
-        ScanRawString();
-        continue;
-      }
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        ScanIdent();
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        ScanNumber();
-        continue;
-      }
-      ScanPunct();
-    }
-    return std::move(out_);
-  }
-
- private:
-  char Peek(size_t ahead) const {
-    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-  }
-
-  // Heuristic: R" begins a raw string only when not part of an identifier
-  // (e.g. `FOOR"x"` is not one we need to handle; prior identifier chars are
-  // consumed by ScanIdent anyway, so this is always true here).
-  bool raw_string_plausible() const { return true; }
-
-  void ScanDirective() {
-    int start_line = line_;
-    std::string text;
-    while (pos_ < src_.size()) {
-      char c = src_[pos_];
-      if (c == '\\' && Peek(1) == '\n') {  // line continuation
-        text += ' ';
-        pos_ += 2;
-        line_++;
-        continue;
-      }
-      if (c == '\n') break;  // newline itself handled by main loop
-      // Comments end a directive's meaningful text.
-      if (c == '/' && Peek(1) == '/') {
-        ScanLineComment();
-        break;
-      }
-      if (c == '/' && Peek(1) == '*') {
-        ScanBlockComment();
-        text += ' ';
-        continue;
-      }
-      text += c;
-      pos_++;
-    }
-    out_.directives.push_back({start_line, text});
-  }
-
-  void ScanLineComment() {
-    size_t start = pos_;
-    while (pos_ < src_.size() && src_[pos_] != '\n') pos_++;
-    out_.comments[line_] += src_.substr(start, pos_ - start);
-  }
-
-  void ScanBlockComment() {
-    int start_line = line_;
-    size_t start = pos_;
-    pos_ += 2;
-    while (pos_ < src_.size()) {
-      if (src_[pos_] == '\n') line_++;
-      if (src_[pos_] == '*' && Peek(1) == '/') {
-        pos_ += 2;
-        break;
-      }
-      pos_++;
-    }
-    // Attribute the whole block to its first line; good enough for the
-    // TODO check and deliberately not valid for suppressions (a suppression
-    // must sit on or directly above the offending line).
-    out_.comments[start_line] += src_.substr(start, pos_ - start);
-  }
-
-  void ScanLiteral(char quote) {
-    pos_++;  // opening quote
-    while (pos_ < src_.size()) {
-      char c = src_[pos_];
-      if (c == '\\') {
-        pos_ += 2;
-        continue;
-      }
-      if (c == '\n') {  // unterminated; tolerate malformed input
-        break;
-      }
-      pos_++;
-      if (c == quote) break;
-    }
-  }
-
-  void ScanRawString() {
-    pos_ += 2;  // R"
-    std::string delim;
-    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
-    std::string closer = ")" + delim + "\"";
-    size_t end = src_.find(closer, pos_);
-    if (end == std::string::npos) {
-      pos_ = src_.size();
-      return;
-    }
-    for (size_t i = pos_; i < end; i++) {
-      if (src_[i] == '\n') line_++;
-    }
-    pos_ = end + closer.size();
-  }
-
-  void ScanIdent() {
-    size_t start = pos_;
-    while (pos_ < src_.size() &&
-           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
-            src_[pos_] == '_')) {
-      pos_++;
-    }
-    out_.tokens.push_back(
-        {Token::Kind::kIdent, src_.substr(start, pos_ - start), line_});
-  }
-
-  void ScanNumber() {
-    size_t start = pos_;
-    while (pos_ < src_.size() &&
-           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
-            src_[pos_] == '.' || src_[pos_] == '\'')) {
-      pos_++;
-    }
-    out_.tokens.push_back(
-        {Token::Kind::kNumber, src_.substr(start, pos_ - start), line_});
-  }
-
-  void ScanPunct() {
-    // Multi-char operators the checks care about; everything else is a
-    // single character.
-    if (src_[pos_] == ':' && Peek(1) == ':') {
-      out_.tokens.push_back({Token::Kind::kPunct, "::", line_});
-      pos_ += 2;
-      return;
-    }
-    if (src_[pos_] == '-' && Peek(1) == '>') {
-      out_.tokens.push_back({Token::Kind::kPunct, "->", line_});
-      pos_ += 2;
-      return;
-    }
-    out_.tokens.push_back({Token::Kind::kPunct, std::string(1, src_[pos_]), line_});
-    pos_++;
-  }
-
-  const std::string& src_;
-  size_t pos_ = 0;
-  int line_ = 1;
-  bool at_line_start_ = true;
-  ScannedFile out_;
-};
 
 // ---------------------------------------------------------------------------
 // Path classification and suppressions
@@ -267,44 +47,13 @@ bool IsHeaderPath(const std::string& path) {
   return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
 }
 
-/// True when `comment` contains `parinda-lint: allow(...)` naming `check`
-/// (or `all`).
-bool CommentAllows(const std::string& comment, const std::string& check) {
-  size_t at = comment.find("parinda-lint:");
-  while (at != std::string::npos) {
-    size_t open = comment.find("allow(", at);
-    if (open == std::string::npos) return false;
-    size_t close = comment.find(')', open);
-    if (close == std::string::npos) return false;
-    std::string list = comment.substr(open + 6, close - open - 6);
-    std::stringstream ss(list);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      // trim
-      size_t b = item.find_first_not_of(" \t");
-      size_t e = item.find_last_not_of(" \t");
-      if (b == std::string::npos) continue;
-      item = item.substr(b, e - b + 1);
-      if (item == check || item == "all") return true;
-    }
-    at = comment.find("parinda-lint:", close);
-  }
-  return false;
-}
-
 class CheckContext {
  public:
   CheckContext(const ScannedFile& file, std::vector<Diagnostic>* out)
       : file_(file), out_(out) {}
 
   bool Suppressed(int line, const std::string& check) const {
-    for (int l : {line, line - 1}) {
-      auto it = file_.comments.find(l);
-      if (it != file_.comments.end() && CommentAllows(it->second, check)) {
-        return true;
-      }
-    }
-    return false;
+    return IsSuppressed(file_, line, check);
   }
 
   void Report(int line, const std::string& check, std::string message) const {
@@ -493,13 +242,6 @@ void CheckOverlayInternals(const CheckContext& ctx) {
   }
 }
 
-bool IsBalancedOpen(const std::string& t) {
-  return t == "(" || t == "[" || t == "{";
-}
-bool IsBalancedClose(const std::string& t) {
-  return t == ")" || t == "]" || t == "}";
-}
-
 /// Scans for declarations of the form `Status Name(`, `Result<...> Name(`,
 /// optionally with `Qualifier::` chains, and returns the set of function
 /// names considered fallible.
@@ -598,22 +340,6 @@ void CheckUncheckedStatus(const CheckContext& ctx,
   }
 }
 
-/// Returns the index of the token closing the balanced group opened at
-/// `open` (whose token must be an opener), or toks.size() when unbalanced.
-size_t MatchBalanced(const std::vector<Token>& toks, size_t open) {
-  int depth = 0;
-  size_t j = open;
-  while (j < toks.size()) {
-    if (IsBalancedOpen(toks[j].text)) depth++;
-    if (IsBalancedClose(toks[j].text)) {
-      depth--;
-      if (depth == 0) return j;
-    }
-    j++;
-  }
-  return toks.size();
-}
-
 void CheckUncheckedDeadline(const CheckContext& ctx) {
   if (!IsLibraryPath(ctx.file().path)) return;
   const auto& toks = ctx.file().tokens;
@@ -709,7 +435,7 @@ std::vector<Diagnostic> Linter::Run() {
   std::vector<ScannedFile> scanned;
   scanned.reserve(sources_.size());
   for (const Source& s : sources_) {
-    scanned.push_back(Scanner(s.path, s.content).Scan());
+    scanned.push_back(ScanSource(s.path, s.content));
   }
 
   std::set<std::string> fallible = extra_fallible_;

@@ -47,7 +47,12 @@
 ///
 /// Suppression: append `// parinda-lint: allow(<check>[,<check>...])` to the
 /// offending line, or place it alone on the immediately preceding line.
-/// `allow(all)` suppresses every check for that line.
+/// `allow(all)` suppresses every check for that line. A file-scope
+/// `// parinda-lint: allow-file(<check>[,<check>...])` comment within the
+/// first 10 lines of a file suppresses the named checks for the whole file
+/// (for e.g. generated code or a file-wide sanctioned exemption). The same
+/// syntax — and the `parinda-analyze:` tag as an alias — is honored by the
+/// parinda-analyze cross-file analyses (tools/analyze/).
 namespace parinda {
 namespace lint {
 

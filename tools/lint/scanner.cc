@@ -1,0 +1,291 @@
+#include "lint/scanner.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace parinda {
+namespace lint {
+namespace {
+
+class Scanner {
+ public:
+  Scanner(std::string path, const std::string& src) : src_(src) {
+    out_.path = std::move(path);
+  }
+
+  ScannedFile Scan() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        line_++;
+        at_line_start_ = true;
+        pos_++;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        pos_++;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        ScanDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        ScanLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        ScanBlockComment();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        ScanLiteral(c);
+        continue;
+      }
+      if (c == 'R' && Peek(1) == '"' && raw_string_plausible()) {
+        ScanRawString();
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        ScanIdent();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ScanNumber();
+        continue;
+      }
+      ScanPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  // Heuristic: R" begins a raw string only when not part of an identifier
+  // (e.g. `FOOR"x"` is not one we need to handle; prior identifier chars are
+  // consumed by ScanIdent anyway, so this is always true here).
+  bool raw_string_plausible() const { return true; }
+
+  void ScanDirective() {
+    int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {  // line continuation
+        text += ' ';
+        pos_ += 2;
+        line_++;
+        continue;
+      }
+      if (c == '\n') break;  // newline itself handled by main loop
+      // Comments end a directive's meaningful text.
+      if (c == '/' && Peek(1) == '/') {
+        ScanLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        ScanBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += c;
+      pos_++;
+    }
+    out_.directives.push_back({start_line, text});
+  }
+
+  void ScanLineComment() {
+    size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') pos_++;
+    out_.comments[line_] += src_.substr(start, pos_ - start);
+  }
+
+  void ScanBlockComment() {
+    int start_line = line_;
+    size_t start = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') line_++;
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      pos_++;
+    }
+    // Attribute the whole block to its first line; good enough for the
+    // TODO check and deliberately not valid for suppressions (a suppression
+    // must sit on or directly above the offending line).
+    out_.comments[start_line] += src_.substr(start, pos_ - start);
+  }
+
+  void ScanLiteral(char quote) {
+    pos_++;  // opening quote
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {  // unterminated; tolerate malformed input
+        break;
+      }
+      pos_++;
+      if (c == quote) break;
+    }
+  }
+
+  void ScanRawString() {
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    std::string closer = ")" + delim + "\"";
+    size_t end = src_.find(closer, pos_);
+    if (end == std::string::npos) {
+      pos_ = src_.size();
+      return;
+    }
+    for (size_t i = pos_; i < end; i++) {
+      if (src_[i] == '\n') line_++;
+    }
+    pos_ = end + closer.size();
+  }
+
+  void ScanIdent() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      pos_++;
+    }
+    out_.tokens.push_back(
+        {Token::Kind::kIdent, src_.substr(start, pos_ - start), line_});
+  }
+
+  void ScanNumber() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.' || src_[pos_] == '\'')) {
+      pos_++;
+    }
+    out_.tokens.push_back(
+        {Token::Kind::kNumber, src_.substr(start, pos_ - start), line_});
+  }
+
+  void ScanPunct() {
+    // Multi-char operators the checks care about; everything else is a
+    // single character.
+    if (src_[pos_] == ':' && Peek(1) == ':') {
+      out_.tokens.push_back({Token::Kind::kPunct, "::", line_});
+      pos_ += 2;
+      return;
+    }
+    if (src_[pos_] == '-' && Peek(1) == '>') {
+      out_.tokens.push_back({Token::Kind::kPunct, "->", line_});
+      pos_ += 2;
+      return;
+    }
+    out_.tokens.push_back(
+        {Token::Kind::kPunct, std::string(1, src_[pos_]), line_});
+    pos_++;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  ScannedFile out_;
+};
+
+/// Scans `comment` for `<tag> <verb>(<list>)` where tag is one of the two
+/// tool prefixes, returning true when `check` (or `all`) is in the list.
+bool TagAllows(const std::string& comment, const std::string& tag,
+               const std::string& verb, const std::string& check) {
+  size_t at = comment.find(tag);
+  while (at != std::string::npos) {
+    size_t open = comment.find(verb + "(", at);
+    if (open == std::string::npos) return false;
+    size_t close = comment.find(')', open);
+    if (close == std::string::npos) return false;
+    size_t list_at = open + verb.size() + 1;
+    std::string list = comment.substr(list_at, close - list_at);
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      // trim
+      size_t b = item.find_first_not_of(" \t");
+      size_t e = item.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      item = item.substr(b, e - b + 1);
+      if (item == check || item == "all") return true;
+    }
+    at = comment.find(tag, close);
+  }
+  return false;
+}
+
+bool AllowsVerb(const std::string& comment, const std::string& verb,
+                const std::string& check) {
+  return TagAllows(comment, "parinda-lint:", verb, check) ||
+         TagAllows(comment, "parinda-analyze:", verb, check);
+}
+
+}  // namespace
+
+ScannedFile ScanSource(std::string path, const std::string& content) {
+  return Scanner(std::move(path), content).Scan();
+}
+
+bool CommentAllows(const std::string& comment, const std::string& check) {
+  // `allow-file(x)` must not satisfy a lookup for `allow(x)` on that line:
+  // the two verbs have different scopes. TagAllows anchors on "allow(" so
+  // "allow-file(" never matches it.
+  return AllowsVerb(comment, "allow", check);
+}
+
+bool IsSuppressed(const ScannedFile& file, int line,
+                  const std::string& check) {
+  for (int l : {line, line - 1}) {
+    auto it = file.comments.find(l);
+    if (it != file.comments.end() && CommentAllows(it->second, check)) {
+      return true;
+    }
+  }
+  // File-scope: `allow-file(<check>)` in the first few lines covers the
+  // whole file (shared by parinda-lint and parinda-analyze).
+  for (auto it = file.comments.begin();
+       it != file.comments.end() && it->first <= kFileScopeSuppressionWindow;
+       ++it) {
+    if (AllowsVerb(it->second, "allow-file", check)) return true;
+  }
+  return false;
+}
+
+bool IsBalancedOpen(const std::string& t) {
+  return t == "(" || t == "[" || t == "{";
+}
+bool IsBalancedClose(const std::string& t) {
+  return t == ")" || t == "]" || t == "}";
+}
+
+size_t MatchBalanced(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  size_t j = open;
+  while (j < toks.size()) {
+    if (IsBalancedOpen(toks[j].text)) depth++;
+    if (IsBalancedClose(toks[j].text)) {
+      depth--;
+      if (depth == 0) return j;
+    }
+    j++;
+  }
+  return toks.size();
+}
+
+}  // namespace lint
+}  // namespace parinda

@@ -1,0 +1,67 @@
+#ifndef PARINDA_TOOLS_LINT_SCANNER_H_
+#define PARINDA_TOOLS_LINT_SCANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// The lightweight C++ tokenizer shared by parinda-lint (per-line checks)
+/// and parinda-analyze (whole-program model). It does not try to be a
+/// compiler — it strips comments, string/char literals, and preprocessor
+/// directives from the token stream (recording comments and directives
+/// separately, since several checks and the suppression syntax live there)
+/// and yields identifiers, numbers, and punctuation with line numbers.
+namespace parinda {
+namespace lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Directive {
+  int line;
+  std::string text;  // full directive with continuations joined, '#' included
+};
+
+struct ScannedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  // line -> concatenated comment text appearing on that line.
+  std::map<int, std::string> comments;
+  std::vector<Directive> directives;
+};
+
+/// Tokenizes `content` (the file body of `path`).
+ScannedFile ScanSource(std::string path, const std::string& content);
+
+/// True when `comment` contains a suppression tag naming `check` (or `all`):
+/// `parinda-lint: allow(<check>[,<check>...])`. parinda-analyze diagnostics
+/// share the same syntax (and `parinda-analyze:` is accepted as an alias for
+/// the tag), so one comment silences one finding for either tool.
+bool CommentAllows(const std::string& comment, const std::string& check);
+
+/// Line limit within which a file-scope suppression must appear.
+inline constexpr int kFileScopeSuppressionWindow = 10;
+
+/// True when a diagnostic of `check` at `line` is suppressed in `file`:
+/// by `allow(<check>)` on the same or the immediately preceding line, or by
+/// a file-scope `allow-file(<check>[,<check>...])` comment on one of the
+/// first kFileScopeSuppressionWindow lines of the file.
+bool IsSuppressed(const ScannedFile& file, int line, const std::string& check);
+
+// --- Small token-walking helpers shared by the checks and the analyzer ---
+
+bool IsBalancedOpen(const std::string& t);
+bool IsBalancedClose(const std::string& t);
+
+/// Returns the index of the token closing the balanced group opened at
+/// `open` (whose token must be an opener), or toks.size() when unbalanced.
+size_t MatchBalanced(const std::vector<Token>& toks, size_t open);
+
+}  // namespace lint
+}  // namespace parinda
+
+#endif  // PARINDA_TOOLS_LINT_SCANNER_H_
