@@ -172,11 +172,12 @@ BENCHMARK(BM_AutoPartSuggest)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::Run();
   parinda::RunHorizontal();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_autopart");
+  parinda::bench_util::WriteTraceIfEnabled("bench_autopart");
   return 0;
 }

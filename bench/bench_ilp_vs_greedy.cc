@@ -167,11 +167,12 @@ BENCHMARK(BM_GreedySuggest)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::RunSweeps();
   parinda::RunTpch();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_ilp_vs_greedy");
+  parinda::bench_util::WriteTraceIfEnabled("bench_ilp_vs_greedy");
   return 0;
 }

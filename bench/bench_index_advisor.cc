@@ -233,10 +233,11 @@ BENCHMARK(BM_IndexAdvisorFull)
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::Run();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_index_advisor");
+  parinda::bench_util::WriteTraceIfEnabled("bench_index_advisor");
   return 0;
 }

@@ -204,10 +204,11 @@ BENCHMARK(BM_FullReevaluate)->Unit(benchmark::kMillisecond);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::RunInteractive();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_interactive");
+  parinda::bench_util::WriteTraceIfEnabled("bench_interactive");
   return 0;
 }

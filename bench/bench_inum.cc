@@ -298,10 +298,11 @@ BENCHMARK(BM_DirectOptimizerCall);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::RunSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_inum");
+  parinda::bench_util::WriteTraceIfEnabled("bench_inum");
   return 0;
 }

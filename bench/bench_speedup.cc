@@ -162,10 +162,11 @@ BENCHMARK(BM_WorkloadExecutionBaseline)->Unit(benchmark::kMillisecond);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::Run();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_speedup");
+  parinda::bench_util::WriteTraceIfEnabled("bench_speedup");
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/strings.h"
+#include "common/trace.h"
 #include "executor/executor.h"
 #include "workload/sdss.h"
 
@@ -49,14 +51,18 @@ inline void PrintHeader(const char* title) {
 
 // --- Machine-readable bench output ------------------------------------------
 //
-// Every bench binary accepts `--json[=path]`. Usage pattern, in main():
+// Every bench binary accepts `--json[=path]` and `--trace[=path]`. Usage
+// pattern, in main():
 //
-//   bench_util::InitJson(&argc, argv);   // strips --json before gbench parses
+//   bench_util::InitFlags(&argc, argv);  // strips them before gbench parses
 //   RunReports();                        // calls RecordMetric(...) inside
 //   bench_util::WriteJsonIfEnabled("bench_inum");  // -> BENCH_bench_inum.json
+//   bench_util::WriteTraceIfEnabled("bench_inum");
+//                                        // -> BENCH_bench_inum.trace.json
 //
 // The report is one flat JSON object {"bench": <name>, "metrics": {...}} so
-// the perf trajectory (BENCH_*.json) can be diffed across commits.
+// the perf trajectory (BENCH_*.json) can be diffed across commits; the trace
+// is Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev).
 
 namespace internal {
 inline bool& JsonEnabled() {
@@ -64,6 +70,14 @@ inline bool& JsonEnabled() {
   return enabled;
 }
 inline std::string& JsonPath() {
+  static std::string path;
+  return path;
+}
+inline bool& TraceEnabled() {
+  static bool enabled = false;
+  return enabled;
+}
+inline std::string& TracePath() {
   static std::string path;
   return path;
 }
@@ -81,9 +95,10 @@ inline void RecordMetric(const std::string& name, double value) {
   internal::Metrics()[name] = value;
 }
 
-/// Strips `--json` / `--json=<path>` from argv (so benchmark::Initialize
-/// never sees it) and arms WriteJsonIfEnabled.
-inline void InitJson(int* argc, char** argv) {
+/// Strips `--json[=path]` and `--trace[=path]` from argv (so
+/// benchmark::Initialize never sees them), arms WriteJsonIfEnabled /
+/// WriteTraceIfEnabled, and starts trace recording when --trace was given.
+inline void InitFlags(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
@@ -92,15 +107,26 @@ inline void InitJson(int* argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       internal::JsonEnabled() = true;
       internal::JsonPath() = arg.substr(7);
+    } else if (arg == "--trace") {
+      internal::TraceEnabled() = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      internal::TraceEnabled() = true;
+      internal::TracePath() = arg.substr(8);
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
+  if (internal::TraceEnabled()) trace::Start();
 }
+
+/// Backwards-compatible alias; InitFlags also understands --trace.
+inline void InitJson(int* argc, char** argv) { InitFlags(argc, argv); }
 
 /// Writes the recorded metrics to `--json`'s path (default
 /// BENCH_<bench_name>.json in the working directory). No-op without --json.
+/// Names are JSON-escaped; non-finite values are emitted as null (bare nan
+/// or inf from printf is not valid JSON).
 inline void WriteJsonIfEnabled(const char* bench_name) {
   if (!internal::JsonEnabled()) return;
   const std::string path = internal::JsonPath().empty()
@@ -111,17 +137,35 @@ inline void WriteJsonIfEnabled(const char* bench_name) {
     std::fprintf(stderr, "cannot write JSON report to '%s'\n", path.c_str());
     return;
   }
-  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", bench_name);
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
+               JsonEscaped(bench_name).c_str());
   bool first = true;
   for (const auto& [name, value] : internal::Metrics()) {
-    std::fprintf(file, "%s\n    \"%s\": %.17g", first ? "" : ",",
-                 name.c_str(), value);
+    std::fprintf(file, "%s\n    \"%s\": %s", first ? "" : ",",
+                 JsonEscaped(name).c_str(), JsonNumber(value).c_str());
     first = false;
   }
   std::fprintf(file, "\n  }\n}\n");
   std::fclose(file);
   std::printf("JSON report: %s (%zu metrics)\n", path.c_str(),
               internal::Metrics().size());
+}
+
+/// Writes the recorded trace to `--trace`'s path (default
+/// BENCH_<bench_name>.trace.json). No-op without --trace.
+inline void WriteTraceIfEnabled(const char* bench_name) {
+  if (!internal::TraceEnabled()) return;
+  const std::string path =
+      internal::TracePath().empty()
+          ? "BENCH_" + std::string(bench_name) + ".trace.json"
+          : internal::TracePath();
+  const Status written = trace::WriteChromeJson(path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return;
+  }
+  std::printf("trace: %s (%zu events)\n", path.c_str(),
+              trace::Snapshot().size());
 }
 
 }  // namespace bench_util

@@ -150,10 +150,11 @@ BENCHMARK(BM_VerifyIndexSimulation);
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::RunAccuracyTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_whatif_accuracy");
+  parinda::bench_util::WriteTraceIfEnabled("bench_whatif_accuracy");
   return 0;
 }

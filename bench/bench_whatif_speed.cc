@@ -116,10 +116,11 @@ void RunSpeedSummary() {
 }  // namespace parinda
 
 int main(int argc, char** argv) {
-  parinda::bench_util::InitJson(&argc, argv);
+  parinda::bench_util::InitFlags(&argc, argv);
   parinda::RunSpeedSummary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_whatif_speed");
+  parinda::bench_util::WriteTraceIfEnabled("bench_whatif_speed");
   return 0;
 }

@@ -19,7 +19,9 @@
 //   suggest indexes [budget_mb]  run the ILP index advisor
 //   suggest partitions           run AutoPart
 //   budget <ms>|off              time-budget evaluate/suggest (anytime mode)
+//   stats                        dump session metrics (counters/latencies)
 //   stats dump <path>            write a catalog statistics dump
+//   trace <path>                 write the session trace (Chrome JSON)
 //   tables                       list catalog tables
 //   quit
 //
@@ -36,7 +38,9 @@
 #include "catalog/stats_io.h"
 
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "optimizer/planner.h"
 #include "parinda/parinda.h"
 #include "parser/binder.h"
@@ -71,6 +75,9 @@ int main() {
   auto dataset = BuildSdssDatabase(&db, config);
   if (!dataset.ok()) return 1;
   Parinda tool(&db);
+  // Record spans for the whole session so `trace <path>` always has data;
+  // an interactive session never runs hot enough for this to matter.
+  trace::Start();
 
   std::vector<std::string> workload_sql;
   std::unique_ptr<Workload> workload_obj;
@@ -421,7 +428,12 @@ int main() {
       std::string sub;
       std::string path;
       in >> sub >> path;
-      if (sub == "dump") {
+      if (sub.empty()) {
+        // Bare `stats`: dump the process-wide metrics registry (counters,
+        // gauges, latency histograms) accumulated this session.
+        std::fputs(metrics::Registry::Global().Snapshot().ToText().c_str(),
+                   stdout);
+      } else if (sub == "dump") {
         std::ofstream file(path);
         if (!file) {
           std::printf("error: cannot open '%s'\n", path.c_str());
@@ -430,8 +442,25 @@ int main() {
         file << DumpCatalogStats(db.catalog());
         std::printf("statistics written to %s\n", path.c_str());
       } else {
-        std::printf("usage: stats dump <path>\n");
+        std::printf("usage: stats [dump <path>]\n");
       }
+      continue;
+    }
+    if (cmd == "trace") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::printf("usage: trace <path>\n");
+        continue;
+      }
+      const Status written = trace::WriteChromeJson(path);
+      if (!written.ok()) {
+        std::printf("error: %s\n", written.ToString().c_str());
+        continue;
+      }
+      std::printf("trace written to %s (%zu events; open in "
+                  "chrome://tracing or ui.perfetto.dev)\n",
+                  path.c_str(), trace::Snapshot().size());
       continue;
     }
     if (cmd == "suggest") {

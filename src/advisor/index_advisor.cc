@@ -102,7 +102,7 @@ Status IndexAdvisor::Prepare() {
 
 Status IndexAdvisor::PrepareBestEffort(DegradationReport* report) {
   fp_snapshot_ = failpoint::AllHits();
-  PhaseTimer timer(report, "prepare");
+  PhaseTimer timer(report, "prepare", "advisor.prepare");
   Status status = Prepare();
   if (status.ok()) {
     if (!prep_complete_) report->AddFallback("enumerate:truncated");
@@ -212,7 +212,7 @@ Result<IndexAdvice> IndexAdvisor::FinishAdvice(
     return FinishAdviceFromMatrix(selected, model_benefit, proved_optimal,
                                   std::move(report));
   }
-  PhaseTimer timer(&report, "finish");
+  PhaseTimer timer(&report, "finish", "advisor.finish");
   IndexAdvice advice;
   advice.proved_optimal = proved_optimal;
   const int nq = workload_.size();
@@ -382,7 +382,7 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
   mip_options.deadline = options_.deadline;
   MipSolution solution;
   {
-    PhaseTimer timer(&report, "solve");
+    PhaseTimer timer(&report, "solve", "advisor.solve");
     PARINDA_ASSIGN_OR_RETURN(solution, SolveBinaryMip(mip, mip_options));
   }
   if (solution.degraded) {

@@ -198,7 +198,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
 
   // Base cost: the un-partitioned design.
   {
-    PhaseTimer timer(&report, "base");
+    PhaseTimer timer(&report, "base", "autopart.base");
     PlannerOptions planner_options;
     planner_options.params = options_.params;
     double total = 0.0;
@@ -305,7 +305,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
 
   const int parallelism = ResolveParallelism(options_.parallelism);
   bool search_truncated = false;
-  PhaseTimer search_timer(&report, "search");
+  PhaseTimer search_timer(&report, "search", "autopart.search");
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     // Per-iteration budget check (serial decision point): stop and keep the
     // best selection found so far.
@@ -401,7 +401,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
   // Final evaluation with per-query outputs.
   double final_cost = 0.0;
   {
-    PhaseTimer timer(&report, "final");
+    PhaseTimer timer(&report, "final", "autopart.final");
     auto final_eval =
         EvaluateState(state, &advice.per_query_optimized,
                       &advice.rewritten_sql);

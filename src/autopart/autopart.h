@@ -123,6 +123,10 @@ class AutoPartAdvisor {
   const CatalogReader& catalog_;
   const Workload& workload_;
   AutoPartOptions options_;
+  // Instance-local result statistic surfaced in PartitionAdvice, not a
+  // process-wide tally — the metrics registry would conflate concurrent
+  // searches.
+  // parinda-lint: allow(bare-counter)
   std::atomic<int> evaluations_{0};
 };
 

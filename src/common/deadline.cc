@@ -2,13 +2,42 @@
 
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace parinda {
+
+Deadline Deadline::After(double seconds) {
+  Deadline d;
+  const Clock::time_point now = Clock::now();
+  // Largest budget the clock can still represent from `now`. Anything at or
+  // beyond it (minus a one-second guard for double→tick rounding) saturates
+  // to Infinite: the cast below would otherwise overflow Clock::duration
+  // and wrap an effectively-unbounded budget into an already-expired one.
+  const double max_seconds =
+      std::chrono::duration<double>(Clock::time_point::max() - now).count() -
+      1.0;
+  if (!(seconds < max_seconds)) return d;  // also catches +inf and NaN
+  d.when_ = now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds));
+  return d;
+}
 
 double Deadline::RemainingSeconds() const {
   if (infinite()) return std::numeric_limits<double>::infinity();
   return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+void DegradationReport::AddFallback(std::string what) {
+  degraded = true;
+  // Rare by construction (a fallback means a budget already ran out), so
+  // the registry lookups here are not a hot-path concern.
+  metrics::Registry::Global().counter("degradation.fallbacks").Increment();
+  metrics::Registry::Global()
+      .counter("degradation.fallback." + what)
+      .Increment();
+  fallbacks.push_back(std::move(what));
 }
 
 std::string DegradationReport::ToString() const {
@@ -31,12 +60,30 @@ std::string DegradationReport::ToString() const {
   return out;
 }
 
-void PhaseTimer::Stop() {
+void PhaseTimer::Flush() {
   if (stopped_ || report_ == nullptr) return;
-  stopped_ = true;
   const double seconds =
       std::chrono::duration<double>(Deadline::Clock::now() - start_).count();
-  report_->phase_seconds.emplace_back(phase_, seconds);
+  // In-place update: repeated flushes (and the final Stop) refine this
+  // timer's own entry instead of appending duplicates. The entry is tracked
+  // by index, not name — earlier closed phases may legitimately share the
+  // name — which is stable under the documented stop-before-move contract
+  // (other timers only ever append).
+  if (entry_index_ < 0) {
+    entry_index_ = static_cast<int>(report_->phase_seconds.size());
+    report_->phase_seconds.emplace_back(phase_, seconds);
+    return;
+  }
+  report_->phase_seconds[static_cast<size_t>(entry_index_)].second = seconds;
+}
+
+void PhaseTimer::Stop() {
+  if (stopped_ || report_ == nullptr) return;
+  Flush();
+  stopped_ = true;
+  if (span_ != nullptr) {
+    trace::RecordComplete(span_, start_, Deadline::Clock::now());
+  }
 }
 
 }  // namespace parinda

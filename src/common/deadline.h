@@ -34,13 +34,11 @@ class Deadline {
   Deadline() : when_(Clock::time_point::max()) {}
 
   /// Expires `seconds` from now (monotonic clock). Non-positive budgets
-  /// produce an already-expired deadline, which is handy in tests.
-  static Deadline After(double seconds) {
-    Deadline d;
-    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                 std::chrono::duration<double>(seconds));
-    return d;
-  }
+  /// produce an already-expired deadline, which is handy in tests. Budgets
+  /// too large for the clock to represent — including +infinity and NaN —
+  /// saturate to `Infinite()`: a practically-unbounded budget must never
+  /// overflow `Clock::duration` into an *instantly expired* deadline.
+  static Deadline After(double seconds);
   static Deadline AfterMillis(int64_t ms) {
     return After(static_cast<double>(ms) / 1000.0);
   }
@@ -110,10 +108,10 @@ struct DegradationReport {
   /// unless fault injection is active.
   std::vector<std::pair<std::string, int64_t>> failpoint_hits;
 
-  void AddFallback(std::string what) {
-    degraded = true;
-    fallbacks.push_back(std::move(what));
-  }
+  /// Marks the run degraded and names the fallback rung that fired. Also
+  /// bumps the process-wide `degradation.fallbacks` metrics counters, so
+  /// per-rung degradation rates are observable without a report in hand.
+  void AddFallback(std::string what);
 
   /// One-line summary for logs and the REPL.
   std::string ToString() const;
@@ -121,21 +119,45 @@ struct DegradationReport {
 
 /// Scoped phase timer: records wall-clock of a named pipeline phase into a
 /// DegradationReport on destruction (or an explicit Stop()).
+///
+/// Contract (tested in common_test.cc): the timer must be stopped — by
+/// `Stop()` or by leaving its scope — before the report is moved, copied,
+/// or handed to a caller; otherwise the phase's entry lands in an abandoned
+/// report and `phase_seconds` silently under-reports. For reports that are
+/// read *mid-phase* (a deadline fired and a partial result is being
+/// assembled while the phase is still open), call `Flush()` first: it
+/// records the elapsed time so far without ending the phase, updating the
+/// same entry in place on every call.
+///
+/// When `span` is given (a string literal, e.g. "advisor.solve"), stopping
+/// the timer also records a trace span over the same interval — the phase
+/// timestamps are reused, so tracing adds no clock reads here.
 class PhaseTimer {
  public:
-  PhaseTimer(DegradationReport* report, std::string phase)
-      : report_(report), phase_(std::move(phase)),
+  PhaseTimer(DegradationReport* report, std::string phase,
+             const char* span = nullptr)
+      : report_(report), phase_(std::move(phase)), span_(span),
         start_(Deadline::Clock::now()) {}
   ~PhaseTimer() { Stop(); }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
+  /// Records elapsed-so-far under the phase name (in place: the last entry
+  /// with this phase's name is updated, or one is appended). The timer
+  /// keeps running; later Flush/Stop calls overwrite with a larger value.
+  void Flush();
+
+  /// Final Flush + emits the trace span (if any). Idempotent.
   void Stop();
 
  private:
   DegradationReport* report_;
   std::string phase_;
+  const char* span_;
   Deadline::Clock::time_point start_;
+  /// Index of this timer's entry in report_->phase_seconds; -1 until the
+  /// first Flush. Stable because other timers only ever append.
+  int entry_index_ = -1;
   bool stopped_ = false;
 };
 

@@ -1,0 +1,199 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace parinda {
+namespace metrics {
+
+namespace {
+
+/// Lowest finite bucket bound: 100 ns.
+constexpr double kMinBound = 1e-7;
+
+}  // namespace
+
+double Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return kMinBound;
+  if (b >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kMinBound * std::pow(10.0, static_cast<double>(b) /
+                                        static_cast<double>(kBucketsPerDecade));
+}
+
+int Histogram::BucketFor(double seconds) {
+  if (!(seconds > kMinBound)) return 0;  // underflow (also NaN, negatives)
+  // b such that bound(b-1) <= seconds < bound(b).
+  const int b = 1 + static_cast<int>(std::floor(
+                        kBucketsPerDecade * std::log10(seconds / kMinBound)));
+  if (b >= kNumBuckets) return kNumBuckets - 1;
+  // Guard the log/floor seam: values exactly on a bound must land above it.
+  if (seconds >= BucketUpperBound(b)) return b + 1 < kNumBuckets ? b + 1 : b;
+  return b;
+}
+
+void Histogram::Record(double seconds) {
+  if (std::isnan(seconds)) return;
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS fold: atomic<double>::fetch_add is C++20 but not universally lock-
+  // free; the explicit loop is portable and still wait-free in practice
+  // (Record is called per task / per optimizer call, not per tuple).
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + seconds,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t counts[kNumBuckets];
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the q-th observation (1-based), then the bucket containing it.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * total)));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] >= rank) {
+      const double lower = b == 0 ? 0.0 : BucketUpperBound(b - 1);
+      double upper = BucketUpperBound(b);
+      if (!std::isfinite(upper)) upper = lower * 10.0;  // overflow bucket
+      // Linear interpolation by rank position inside the bucket.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(counts[b]);
+      return lower + (upper - lower) * frac;
+    }
+    seen += counts[b];
+  }
+  return BucketUpperBound(kNumBuckets - 2);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram.count(), histogram.sum(),
+                               histogram.p50(), histogram.p95(),
+                               histogram.p99()});
+  }
+  return snap;
+}
+
+void Registry::ResetAll() {
+  MutexLock lock(mu_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, gauge] : gauges_) gauge.Reset();
+  for (auto& [name, histogram] : histograms_) histogram.Reset();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const CounterValue& c : counters) {
+    out += StringPrintf("counter    %-36s %lld\n", c.name.c_str(),
+                        static_cast<long long>(c.value));
+  }
+  for (const GaugeValue& g : gauges) {
+    out += StringPrintf("gauge      %-36s %lld\n", g.name.c_str(),
+                        static_cast<long long>(g.value));
+  }
+  for (const HistogramValue& h : histograms) {
+    out += StringPrintf(
+        "histogram  %-36s count=%lld sum=%.3fs p50=%.3fms p95=%.3fms "
+        "p99=%.3fms\n",
+        h.name.c_str(), static_cast<long long>(h.count), h.sum,
+        h.p50 * 1000.0, h.p95 * 1000.0, h.p99 * 1000.0);
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StringPrintf("%s\n    \"%s\": %lld", i == 0 ? "" : ",",
+                        JsonEscaped(counters[i].name).c_str(),
+                        static_cast<long long>(counters[i].value));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StringPrintf("%s\n    \"%s\": %lld", i == 0 ? "" : ",",
+                        JsonEscaped(gauges[i].name).c_str(),
+                        static_cast<long long>(gauges[i].value));
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out += StringPrintf(
+        "%s\n    \"%s\": {\"count\": %lld, \"sum\": %s, \"p50\": %s, "
+        "\"p95\": %s, \"p99\": %s}",
+        i == 0 ? "" : ",", JsonEscaped(h.name).c_str(),
+        static_cast<long long>(h.count), JsonNumber(h.sum).c_str(),
+        JsonNumber(h.p50).c_str(), JsonNumber(h.p95).c_str(),
+        JsonNumber(h.p99).c_str());
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace parinda

@@ -1,0 +1,217 @@
+#ifndef PARINDA_COMMON_METRICS_H_
+#define PARINDA_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace parinda {
+namespace metrics {
+
+/// Process-wide metrics for PARINDA's hot paths (DESIGN.md §12).
+///
+/// Three instrument kinds, all safe to touch from any thread:
+///
+///   Counter    monotonically increasing int64 tally (cache hits, plans
+///              built). Increment is one relaxed atomic add.
+///   Gauge      last-written int64 level (pool queue depth). Set is one
+///              relaxed atomic store.
+///   Histogram  latency distribution over log-spaced buckets with
+///              p50/p95/p99 readout. Record is a handful of relaxed atomic
+///              operations (bucket add, count add, CAS-folded sum).
+///
+/// Instruments are owned by the global `Registry` and live for the process
+/// lifetime; `Registry::Global().counter("x")` registers on first use
+/// (mutex-guarded) and returns a stable reference, so call sites cache it
+/// in a function-local static and pay only the relaxed-atomic fast path:
+///
+///   static Counter& hits =
+///       Registry::Global().counter("inum.cache_hits");
+///   hits.Increment();
+///
+/// None of the instruments feed back into any decision the library makes,
+/// so instrumented runs are bit-identical to uninstrumented ones by
+/// construction; the instruments only observe.
+///
+/// Reset semantics: `Reset()`/`ResetAll()` zero the stored values but never
+/// destroy an instrument, so cached references stay valid forever. Tests
+/// and benches isolate measurement windows by resetting or by differencing
+/// two `Snapshot()` calls.
+
+/// Monotonic event tally.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  // ordering: relaxed — a pure tally. Nothing is published through it and
+  // no reader infers cross-thread state from it; snapshots only need the
+  // eventual value, which WaitAll/join edges already order.
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written level (queue depth, active workers).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  // ordering: relaxed — see Counter; a gauge is an observational level, not
+  // a synchronization point.
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency histogram over fixed log-spaced buckets.
+///
+/// Values are seconds. Buckets span 100 ns .. 1000 s at four buckets per
+/// decade, plus an underflow and an overflow bucket; quantiles interpolate
+/// linearly inside the winning bucket, so `Quantile(q)` is exact to within
+/// one bucket's width (a factor of 10^(1/4) ≈ 1.78).
+class Histogram {
+ public:
+  /// 4 buckets/decade over [1e-7 s, 1e3 s) → 40, plus underflow + overflow.
+  static constexpr int kBucketsPerDecade = 4;
+  static constexpr int kNumBuckets = 42;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Negative values clamp to zero (underflow).
+  void Record(double seconds);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Value at quantile `q` in [0, 1]; 0 when empty. Exact to one bucket.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  void Reset();
+
+  /// Upper bound (seconds) of bucket `b`; +infinity for the overflow bucket.
+  static double BucketUpperBound(int b);
+  /// Bucket index an observation of `seconds` lands in.
+  static int BucketFor(double seconds);
+
+ private:
+  // ordering: relaxed — per-bucket tallies and a folded sum; quantile
+  // readers tolerate a torn-across-buckets view (a snapshot during
+  // concurrent writes is still a valid histogram of *some* prefix).
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// RAII latency probe: records the scope's wall-clock into a histogram at
+/// destruction. Pass nullptr to disarm (no clock read at all).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatency() {
+    if (histogram_ == nullptr) return;
+    histogram_->Record(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - begin_)
+                           .count());
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Human-readable dump, one instrument per line (REPL `stats` command).
+  std::string ToText() const;
+  /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Names are escaped; non-finite values are emitted as null.
+  std::string ToJson() const;
+};
+
+/// Owner of every instrument. One global instance; instruments register on
+/// first use and are never destroyed or re-created, so references returned
+/// here remain valid for the process lifetime.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name. Registration takes the registry mutex; cache
+  /// the returned reference (function-local static) on hot paths.
+  Counter& counter(std::string_view name) PARINDA_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) PARINDA_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) PARINDA_EXCLUDES(mu_);
+
+  MetricsSnapshot Snapshot() const PARINDA_EXCLUDES(mu_);
+
+  /// Zeroes every instrument (registrations survive; references stay valid).
+  void ResetAll() PARINDA_EXCLUDES(mu_);
+
+ private:
+  /// Guards the maps only; the instruments themselves are lock-free.
+  /// std::map nodes are stable, so references escape the lock safely.
+  mutable Mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_
+      PARINDA_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ PARINDA_GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      PARINDA_GUARDED_BY(mu_);
+};
+
+}  // namespace metrics
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_METRICS_H_

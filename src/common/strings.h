@@ -32,6 +32,15 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for use inside a double-quoted JSON string: quotes,
+/// backslashes, and control characters (including \n, \t, \r) are encoded.
+std::string JsonEscaped(std::string_view s);
+
+/// Renders `v` as a JSON number with full round-trip precision (%.17g), or
+/// the literal `null` when `v` is NaN or infinite — bare `nan`/`inf` tokens
+/// are not valid JSON.
+std::string JsonNumber(double v);
+
 }  // namespace parinda
 
 #endif  // PARINDA_COMMON_STRINGS_H_

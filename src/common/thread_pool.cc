@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace parinda {
+
+namespace {
+/// Pool-wide instruments, shared across every ThreadPool instance: queue
+/// depth after the latest push/pop, per-task wall-clock, and a lifetime
+/// task counter. Worker utilization = threadpool.task_seconds.sum over the
+/// batch's wall-clock × worker count.
+metrics::Gauge& QueueDepthGauge() {
+  static metrics::Gauge& gauge =
+      metrics::Registry::Global().gauge("threadpool.queue_depth");
+  return gauge;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(int num_workers) {
   const int count = std::max(1, num_workers);
@@ -42,6 +57,7 @@ Status ThreadPool::Submit(std::function<Status()> task) {
     }
     queue_.push_back({next_seq_++, std::move(task)});
     ++pending_;
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
   }
   work_ready_.notify_one();
   return Status::OK();
@@ -100,6 +116,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ with a drained queue
       item = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
       // Snapshot the token pointer while holding mu_ (it is only swapped
       // between batches); the token itself is internally thread-safe.
       cancellation = cancellation_;
@@ -108,6 +125,13 @@ void ThreadPool::WorkerLoop() {
     if (cancellation != nullptr && cancellation->cancelled()) {
       status = Status::Cancelled("task cancelled before running");
     } else {
+      static metrics::Counter& tasks_run =
+          metrics::Registry::Global().counter("threadpool.tasks_run");
+      static metrics::Histogram& task_seconds =
+          metrics::Registry::Global().histogram("threadpool.task_seconds");
+      PARINDA_TRACE_SPAN("thread_pool.task");
+      const metrics::ScopedLatency timer(&task_seconds);
+      tasks_run.Increment();
       status = item.fn();
     }
     {

@@ -1,0 +1,154 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/annotations.h"
+#include "common/strings.h"
+
+namespace parinda {
+namespace trace {
+
+namespace {
+
+// ordering: relaxed — the flag only gates whether spans bother to read the
+// clock and take the buffer mutex; event data itself is published under
+// that mutex, never through this flag.
+std::atomic<bool> g_enabled{false};
+
+// ordering: relaxed — a monotonically growing id source; the value is the
+// entire message (see DESIGN.md §11 bare-atomic conventions).
+std::atomic<int> g_next_tid{0};
+
+/// Small dense per-thread id, stable for the thread's lifetime; exported
+/// Chrome JSON reads much better than hashed std::thread::id values.
+int ThisThreadId() {
+  thread_local int id = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+struct Buffer {
+  Mutex mu;
+  /// Ring storage; `size` grows to capacity, then `next` wraps.
+  std::vector<TraceEvent> ring PARINDA_GUARDED_BY(mu);
+  size_t capacity PARINDA_GUARDED_BY(mu) = 0;
+  size_t next PARINDA_GUARDED_BY(mu) = 0;
+  int64_t dropped PARINDA_GUARDED_BY(mu) = 0;
+  Clock::time_point epoch PARINDA_GUARDED_BY(mu);
+};
+
+Buffer& GlobalBuffer() {
+  static Buffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Start(size_t capacity) {
+  Buffer& buf = GlobalBuffer();
+  {
+    MutexLock lock(buf.mu);
+    buf.ring.clear();
+    buf.ring.reserve(std::max<size_t>(1, capacity));
+    buf.capacity = std::max<size_t>(1, capacity);
+    buf.next = 0;
+    buf.dropped = 0;
+    buf.epoch = Clock::now();
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Clear() {
+  Stop();
+  Buffer& buf = GlobalBuffer();
+  MutexLock lock(buf.mu);
+  buf.ring.clear();
+  buf.ring.shrink_to_fit();
+  buf.capacity = 0;
+  buf.next = 0;
+  buf.dropped = 0;
+}
+
+void RecordComplete(const char* name, Clock::time_point begin,
+                    Clock::time_point end) {
+  if (!Enabled()) return;
+  const int tid = ThisThreadId();
+  Buffer& buf = GlobalBuffer();
+  MutexLock lock(buf.mu);
+  if (buf.capacity == 0) return;  // armed flag raced with Clear()
+  TraceEvent event;
+  event.name = name;
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(begin - buf.epoch).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  event.tid = tid;
+  if (buf.ring.size() < buf.capacity) {
+    buf.ring.push_back(std::move(event));
+  } else {
+    buf.ring[buf.next] = std::move(event);
+    buf.next = (buf.next + 1) % buf.capacity;
+    ++buf.dropped;
+  }
+}
+
+std::vector<TraceEvent> Snapshot() {
+  Buffer& buf = GlobalBuffer();
+  std::vector<TraceEvent> out;
+  {
+    MutexLock lock(buf.mu);
+    out = buf.ring;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+int64_t dropped() {
+  Buffer& buf = GlobalBuffer();
+  MutexLock lock(buf.mu);
+  return buf.dropped;
+}
+
+std::string ExportChromeJson() {
+  const std::vector<TraceEvent> events = Snapshot();
+  const int64_t dropped_events = dropped();
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
+  out += StringPrintf("\"otherData\": {\"tool\": \"parinda\", "
+                      "\"dropped_events\": %lld},\n",
+                      static_cast<long long>(dropped_events));
+  out += "\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += StringPrintf(
+        "%s\n  {\"name\": \"%s\", \"cat\": \"parinda\", \"ph\": \"X\", "
+        "\"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": %d}",
+        i == 0 ? "" : ",", JsonEscaped(e.name).c_str(),
+        JsonNumber(e.ts_us).c_str(), JsonNumber(e.dur_us).c_str(), e.tid);
+  }
+  out += events.empty() ? "]\n" : "\n]\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteChromeJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot write trace to '" + path + "'");
+  }
+  const std::string json = ExportChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int closed = std::fclose(file);
+  if (written != json.size() || closed != 0) {
+    return Status::Internal("short write of trace to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace trace
+}  // namespace parinda

@@ -1,0 +1,112 @@
+#ifndef PARINDA_COMMON_TRACE_H_
+#define PARINDA_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace parinda {
+namespace trace {
+
+/// Scoped trace spans recorded into a bounded per-run ring buffer,
+/// exportable as Chrome `trace_event` JSON (chrome://tracing, Perfetto).
+///
+/// Recording is OFF by default. A disabled span costs exactly one relaxed
+/// atomic load — no clock read, no allocation — so instrumented code is
+/// bit-identical and effectively free when tracing is not armed (the same
+/// determinism contract as Deadline's infinite fast path, DESIGN.md §10).
+/// Arm with `Start()`, drain with `Snapshot()`/`WriteChromeJson()`:
+///
+///   trace::Start();
+///   ... run the pipeline ...
+///   PARINDA_CHECK_OK(trace::WriteChromeJson("run.trace.json"));
+///   trace::Stop();
+///
+/// Spans are named "module.point" ("inum.build_entry", "advisor.solve");
+/// the catalog of emitted spans lives in DESIGN.md §12. When the ring
+/// fills, the oldest events are overwritten and `dropped()` counts them —
+/// an export never silently looks complete when it is not (the drop count
+/// is embedded in the exported JSON as metadata).
+
+using Clock = std::chrono::steady_clock;
+
+/// One completed span. Timestamps are microseconds since `Start()`.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   ///< span begin
+  double dur_us = 0.0;  ///< span duration
+  int tid = 0;          ///< small sequential thread id (not the OS id)
+};
+
+/// True while recording is armed (one relaxed atomic load).
+bool Enabled();
+
+/// Clears the buffer and starts recording into a ring of `capacity` events.
+void Start(size_t capacity = 1 << 16);
+
+/// Stops recording; the buffer is kept for Snapshot/WriteChromeJson.
+void Stop();
+
+/// Stops recording and drops the buffer (tests call this in teardown).
+void Clear();
+
+/// Completed events in timestamp order (oldest surviving event first).
+std::vector<TraceEvent> Snapshot();
+
+/// Events overwritten because the ring was full, since Start().
+int64_t dropped();
+
+/// The whole buffer as a Chrome trace_event JSON document
+/// ({"traceEvents":[...]}; load in chrome://tracing or ui.perfetto.dev).
+std::string ExportChromeJson();
+
+/// Writes ExportChromeJson() to `path`.
+[[nodiscard]] Status WriteChromeJson(const std::string& path);
+
+/// Records a completed span from explicit begin/end instants. Used by
+/// PhaseTimer, which already owns the timestamps; prefer PARINDA_TRACE_SPAN
+/// for new call sites. No-op while disabled.
+void RecordComplete(const char* name, Clock::time_point begin,
+                    Clock::time_point end);
+
+/// RAII span: marks begin at construction, records at scope exit. All cost
+/// is behind the Enabled() gate.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Enabled()) {
+      name_ = name;
+      begin_ = Clock::now();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) RecordComplete(name_, begin_, Clock::now());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  /// Non-null only when the span was armed at construction.
+  const char* name_ = nullptr;
+  Clock::time_point begin_;
+};
+
+}  // namespace trace
+}  // namespace parinda
+
+#define PARINDA_TRACE_CONCAT_INNER(a, b) a##b
+#define PARINDA_TRACE_CONCAT(a, b) PARINDA_TRACE_CONCAT_INNER(a, b)
+
+/// Declares a scoped trace span covering the rest of the enclosing block.
+/// `name` must be a string literal ("module.point").
+#define PARINDA_TRACE_SPAN(name)                                      \
+  ::parinda::trace::Span PARINDA_TRACE_CONCAT(parinda_trace_span_,    \
+                                              __COUNTER__) {          \
+    name                                                              \
+  }
+
+#endif  // PARINDA_COMMON_TRACE_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "optimizer/planner.h"
 #include "rewriter/rewriter.h"
 
@@ -117,6 +118,8 @@ Status DesignSession::Recompose() {
 }
 
 void DesignSession::InvalidateFor(const OverlayComponent& component) {
+  static metrics::Counter& invalidations =
+      metrics::Registry::Global().counter("design.invalidations");
   const std::vector<TableId> touched =
       component.TouchedTables(overlay_->catalog());
   const bool is_index = component.kind() == OverlayKind::kIndex;
@@ -124,6 +127,7 @@ void DesignSession::InvalidateFor(const OverlayComponent& component) {
     const bool affected = touched.empty() || Intersects(qs.tables, touched);
     if (!affected) continue;
     if (qs.whatif_valid) {
+      invalidations.Increment();
       qs.whatif_valid = false;
       qs.index_only_delta = is_index;
     } else {
@@ -210,7 +214,7 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   PlannerOptions base_options;
   base_options.params = options_.params;
   {
-    PhaseTimer timer(&degradation, "base");
+    PhaseTimer timer(&degradation, "base", "design.base");
     for (int q = 0; q < nq; ++q) {
       QueryState& qs = queries_[static_cast<size_t>(q)];
       if (qs.base_valid) continue;
@@ -229,7 +233,7 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   PlannerOptions whatif_options;
   whatif_options.params = overlay_->params();
   whatif_options.hooks = &overlay_->hooks();
-  PhaseTimer whatif_timer(&degradation, "whatif");
+  PhaseTimer whatif_timer(&degradation, "whatif", "design.whatif");
   for (int q = 0; q < nq; ++q) {
     QueryState& qs = queries_[static_cast<size_t>(q)];
     if (qs.whatif_valid) continue;
@@ -237,6 +241,10 @@ Result<InteractiveReport> DesignSession::Evaluate() {
       truncated = true;
       break;
     }
+    static metrics::Counter& eval_incremental =
+        metrics::Registry::Global().counter("design.eval_incremental");
+    static metrics::Counter& eval_full =
+        metrics::Registry::Global().counter("design.eval_full");
     bool served = false;
     if (options_.inum_index_deltas && InumEligible(qs)) {
       // Index deltas never change the rewrite, so the cached rewritten_sql
@@ -245,12 +253,14 @@ Result<InteractiveReport> DesignSession::Evaluate() {
       if (cost.ok()) {
         qs.whatif_cost = *cost;
         ++last_eval_inum_recosts_;
+        eval_incremental.Increment();
         served = true;
       }
       // On INUM failure (e.g. a query shape it cannot model) fall through to
       // the exact path rather than failing the evaluation.
     }
     if (!served) {
+      eval_full.Increment();
       PARINDA_ASSIGN_OR_RETURN(
           RewriteResult rewritten,
           RewriteForPartitions(overlay_->catalog(), workload_->queries[q].stmt,

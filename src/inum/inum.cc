@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/index_match.h"
 #include "optimizer/planner.h"
@@ -39,6 +41,10 @@ Status InumCostModel::CheckBudget(const char* what) const {
 
 Result<InumCostModel::CacheEntry> InumCostModel::BuildEntry(
     const CacheKey& key) {
+  PARINDA_TRACE_SPAN("inum.build_entry");
+  static metrics::Histogram& build_latency =
+      metrics::Registry::Global().histogram("inum.build_entry_seconds");
+  const metrics::ScopedLatency timer(&build_latency);
   // The optimizer call below is this model's expensive unit of work; gate it
   // on the budget so an expired deadline stops cold-start plan building.
   PARINDA_FAILPOINT("inum.build_entry");
@@ -141,8 +147,16 @@ Result<InumCostModel::CacheEntry> InumCostModel::BuildEntry(
 
 Result<const InumCostModel::CacheEntry*> InumCostModel::GetEntry(
     const CacheKey& key) {
+  static metrics::Counter& hits =
+      metrics::Registry::Global().counter("inum.cache_hits");
+  static metrics::Counter& misses =
+      metrics::Registry::Global().counter("inum.cache_misses");
   auto it = cache_.find(key);
-  if (it != cache_.end()) return &it->second;
+  if (it != cache_.end()) {
+    hits.Increment();
+    return &it->second;
+  }
+  misses.Increment();
   PARINDA_ASSIGN_OR_RETURN(CacheEntry entry, BuildEntry(key));
   auto [inserted, unused] = cache_.emplace(key, std::move(entry));
   (void)unused;

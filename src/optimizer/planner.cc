@@ -1,11 +1,12 @@
 #include "optimizer/planner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <map>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/index_match.h"
 #include "optimizer/query_analysis.h"
@@ -900,28 +901,32 @@ bool StatementHasAggregates(const SelectStatement& stmt) {
 }
 
 namespace {
-// ordering: relaxed — a pure statistics counter. Increments from pool
-// workers publish nothing (the plans themselves travel through each
-// worker's owned matrix slot, ordered by the ThreadPool mutex at WaitAll);
-// readers only ever difference two snapshots taken on the owner thread
-// after WaitAll, where the pool's mutex already provides happens-before.
-std::atomic<int64_t> g_plans_built{0};
+// Lives in the process-wide metrics registry so `stats dump`/bench exports
+// see it alongside every other counter. Increments from pool workers
+// publish nothing (the plans themselves travel through each worker's owned
+// matrix slot, ordered by the ThreadPool mutex at WaitAll); readers only
+// ever difference two snapshots taken on the owner thread after WaitAll,
+// where the pool's mutex already provides happens-before.
+metrics::Counter& PlansBuiltCounter() {
+  static metrics::Counter& counter =
+      metrics::Registry::Global().counter("planner.plans_built");
+  return counter;
+}
 }  // namespace
 
 Planner::Stats Planner::stats() {
   Stats out;
-  out.plans_built = g_plans_built.load(std::memory_order_relaxed);
+  out.plans_built = PlansBuiltCounter().value();
   return out;
 }
 
-void Planner::ResetStats() {
-  g_plans_built.store(0, std::memory_order_relaxed);
-}
+void Planner::ResetStats() { PlansBuiltCounter().Reset(); }
 
 Result<Plan> PlanQuery(const CatalogReader& catalog,
                        const SelectStatement& stmt,
                        const PlannerOptions& options) {
-  g_plans_built.fetch_add(1, std::memory_order_relaxed);
+  PARINDA_TRACE_SPAN("optimizer.plan_query");
+  PlansBuiltCounter().Increment();
   PlannerImpl impl(catalog, stmt, options);
   return impl.Run();
 }

@@ -1,0 +1,129 @@
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace parinda {
+namespace bench_util {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The bench flag layer keeps its state in function-local statics; each
+/// test resets them so tests compose in one process.
+void ResetBenchState() {
+  internal::JsonEnabled() = false;
+  internal::JsonPath().clear();
+  internal::TraceEnabled() = false;
+  internal::TracePath().clear();
+  internal::Metrics().clear();
+  trace::Clear();
+}
+
+class BenchUtilTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetBenchState(); }
+  void TearDown() override { ResetBenchState(); }
+};
+
+TEST_F(BenchUtilTest, InitFlagsStripsJsonAndTrace) {
+  const char* raw[] = {"bench", "--json=/tmp/x.json", "--benchmark_filter=a",
+                       "--trace=/tmp/x.trace.json", "--v=1"};
+  char* argv[5];
+  for (int i = 0; i < 5; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 5;
+  InitFlags(&argc, argv);
+  // Only the flags benchmark::Initialize understands survive.
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "--benchmark_filter=a");
+  EXPECT_STREQ(argv[2], "--v=1");
+  EXPECT_TRUE(internal::JsonEnabled());
+  EXPECT_EQ(internal::JsonPath(), "/tmp/x.json");
+  EXPECT_TRUE(internal::TraceEnabled());
+  EXPECT_EQ(internal::TracePath(), "/tmp/x.trace.json");
+  // --trace arms recording immediately so the whole run is captured.
+  EXPECT_TRUE(trace::Enabled());
+}
+
+TEST_F(BenchUtilTest, InitFlagsWithoutFlagsIsInert) {
+  const char* raw[] = {"bench", "--benchmark_filter=a"};
+  char* argv[2];
+  for (int i = 0; i < 2; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 2;
+  InitFlags(&argc, argv);
+  EXPECT_EQ(argc, 2);
+  EXPECT_FALSE(internal::JsonEnabled());
+  EXPECT_FALSE(internal::TraceEnabled());
+  EXPECT_FALSE(trace::Enabled());
+}
+
+TEST_F(BenchUtilTest, WriteJsonEmitsNullForNonFinite) {
+  internal::JsonEnabled() = true;
+  internal::JsonPath() = "/tmp/parinda_bench_util_test.json";
+  RecordMetric("fine", 1.5);
+  RecordMetric("nan_metric", std::nan(""));
+  RecordMetric("inf_metric", std::numeric_limits<double>::infinity());
+  RecordMetric("neg_inf", -std::numeric_limits<double>::infinity());
+  WriteJsonIfEnabled("bench_test");
+  const std::string json = ReadFile(internal::JsonPath());
+  EXPECT_NE(json.find("\"fine\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"nan_metric\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf_metric\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"neg_inf\": null"), std::string::npos);
+  // No bare non-finite printf tokens — they are not valid JSON.
+  EXPECT_EQ(json.find("nan,"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+  std::remove(internal::JsonPath().c_str());
+}
+
+TEST_F(BenchUtilTest, WriteJsonEscapesMetricNames) {
+  internal::JsonEnabled() = true;
+  internal::JsonPath() = "/tmp/parinda_bench_util_escape.json";
+  RecordMetric("weird \"name\"\nwith\\escapes", 2.0);
+  WriteJsonIfEnabled("bench_test");
+  const std::string json = ReadFile(internal::JsonPath());
+  EXPECT_NE(json.find("weird \\\"name\\\"\\nwith\\\\escapes"),
+            std::string::npos);
+  // The raw quote/newline must not survive inside the key.
+  EXPECT_EQ(json.find("\"name\"\n"), std::string::npos);
+  std::remove(internal::JsonPath().c_str());
+}
+
+TEST_F(BenchUtilTest, WriteTraceIfEnabledWritesChromeJson) {
+  const char* raw[] = {"bench", "--trace=/tmp/parinda_bench_util.trace.json"};
+  char* argv[2];
+  for (int i = 0; i < 2; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 2;
+  InitFlags(&argc, argv);
+  {
+    PARINDA_TRACE_SPAN("test.bench_util");
+  }
+  WriteTraceIfEnabled("bench_test");
+  const std::string json = ReadFile(internal::TracePath());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.bench_util"), std::string::npos);
+  std::remove(internal::TracePath().c_str());
+}
+
+TEST_F(BenchUtilTest, RecordMetricOverwrites) {
+  RecordMetric("m", 1.0);
+  RecordMetric("m", 2.0);
+  EXPECT_EQ(internal::Metrics().size(), 1u);
+  EXPECT_EQ(internal::Metrics()["m"], 2.0);
+}
+
+}  // namespace
+}  // namespace bench_util
+}  // namespace parinda

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -78,6 +80,33 @@ TEST(DeadlineTest, GenerousBudgetNotExpiredAndCopiesShareIt) {
   EXPECT_NEAR(copy.RemainingSeconds(), d.RemainingSeconds(), 1.0);
 }
 
+TEST(DeadlineTest, HugeBudgetSaturatesToInfinite) {
+  // Regression: budgets too large for steady_clock::duration used to
+  // overflow the duration_cast and wrap an effectively-unbounded budget
+  // into an *already expired* deadline.
+  for (double seconds : {1e18, 1e15, 4e9}) {
+    Deadline d = Deadline::After(seconds);
+    EXPECT_FALSE(d.Expired()) << "After(" << seconds << ")";
+    EXPECT_GT(d.RemainingSeconds(), 1e8) << "After(" << seconds << ")";
+  }
+  EXPECT_TRUE(Deadline::After(1e18).infinite());
+  EXPECT_FALSE(Deadline::AfterMillis(int64_t{1} << 62).Expired());
+}
+
+TEST(DeadlineTest, NonFiniteBudgetSaturatesToInfinite) {
+  EXPECT_TRUE(Deadline::After(std::numeric_limits<double>::infinity())
+                  .infinite());
+  // NaN compares false against everything; the only safe reading of an
+  // unordered budget is "unbounded", never "expired".
+  EXPECT_TRUE(Deadline::After(std::nan("")).infinite());
+}
+
+TEST(DeadlineTest, NegativeBudgetIsAlreadyExpired) {
+  Deadline d = Deadline::After(-5.0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+}
+
 TEST(CancellationTokenTest, CancelIsSticky) {
   CancellationToken token;
   EXPECT_FALSE(token.cancelled());
@@ -101,6 +130,59 @@ TEST(DegradationReportTest, FallbacksSetDegradedAndRenderInSummary) {
   const std::string s = report.ToString();
   EXPECT_NE(s.find("ilp:incumbent"), std::string::npos);
   EXPECT_NE(s.find("solve"), std::string::npos);
+}
+
+TEST(PhaseTimerTest, StopRecordsOnce) {
+  DegradationReport report;
+  {
+    PhaseTimer timer(&report, "phase");
+    timer.Stop();
+    timer.Stop();  // idempotent; destructor is also a no-op after this
+  }
+  ASSERT_EQ(report.phase_seconds.size(), 1u);
+  EXPECT_EQ(report.phase_seconds[0].first, "phase");
+  EXPECT_GE(report.phase_seconds[0].second, 0.0);
+}
+
+TEST(PhaseTimerTest, FlushRecordsMidPhaseWithoutDuplicates) {
+  // Regression: a report read while a phase was still open used to carry
+  // nothing for that phase — a deadline firing mid-phase silently
+  // under-reported phase_seconds. Flush() records elapsed-so-far in place.
+  DegradationReport report;
+  PhaseTimer timer(&report, "open_phase");
+  timer.Flush();
+  ASSERT_EQ(report.phase_seconds.size(), 1u);
+  EXPECT_EQ(report.phase_seconds[0].first, "open_phase");
+  const double first = report.phase_seconds[0].second;
+  EXPECT_GE(first, 0.0);
+  timer.Flush();  // updates the same entry, never appends a duplicate
+  ASSERT_EQ(report.phase_seconds.size(), 1u);
+  EXPECT_GE(report.phase_seconds[0].second, first);
+  timer.Stop();  // final refinement, still one entry
+  ASSERT_EQ(report.phase_seconds.size(), 1u);
+  EXPECT_GE(report.phase_seconds[0].second, first);
+}
+
+TEST(PhaseTimerTest, RepeatedPhaseNamesStayDistinct) {
+  // Two sequential timers with the same phase name produce two entries;
+  // Flush only updates *this* timer's (the most recent) entry.
+  DegradationReport report;
+  {
+    PhaseTimer first(&report, "retry");
+  }
+  PhaseTimer second(&report, "retry");
+  second.Flush();
+  ASSERT_EQ(report.phase_seconds.size(), 2u);
+  EXPECT_EQ(report.phase_seconds[0].first, "retry");
+  EXPECT_EQ(report.phase_seconds[1].first, "retry");
+  second.Stop();
+  EXPECT_EQ(report.phase_seconds.size(), 2u);
+}
+
+TEST(PhaseTimerTest, NullReportIsSafe) {
+  PhaseTimer timer(nullptr, "phase");
+  timer.Flush();
+  timer.Stop();
 }
 
 TEST(ResultTest, HoldsValue) {

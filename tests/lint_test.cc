@@ -253,6 +253,35 @@ TEST(LintDetachedThread, SuppressionComments) {
   EXPECT_EQ(CountCheck(diags, "detached-thread"), 0);
 }
 
+TEST(LintBareCounter, FlagsAtomicTallyOutsideCommon) {
+  auto diags = RunOn("src/advisor/tally.cc",
+                     "std::atomic<int64_t> g_calls{0};\n"
+                     "void f() { g_calls.fetch_add(1); }\n");
+  ASSERT_EQ(CountCheck(diags, "bare-counter"), 1);
+  EXPECT_NE(diags[0].message.find("metrics"), std::string::npos);
+}
+
+TEST(LintBareCounter, CommonAndTestPathsAreExempt) {
+  const std::string source = "std::atomic<bool> g_flag{false};\n";
+  EXPECT_EQ(CountCheck(RunOn("src/common/failpoint.cc", source),
+                       "bare-counter"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("tests/some_test.cc", source), "bare-counter"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("bench/bench_foo.cc", source), "bare-counter"),
+            0);
+}
+
+TEST(LintBareCounter, SuppressionWithRationaleIsHonored) {
+  auto diags = RunOn("src/autopart/autopart.h",
+                     "#ifndef G_\n#define G_\n"
+                     "// instance-local result statistic, not process-wide\n"
+                     "// parinda-lint: allow(bare-counter)\n"
+                     "std::atomic<int> evaluations_{0};\n"
+                     "#endif\n");
+  EXPECT_EQ(CountCheck(diags, "bare-counter"), 0);
+}
+
 TEST(LintOverlayInternals, FlagsHandWiredOverlayOutsideDesignLayer) {
   auto diags = RunOn("src/parinda/parinda.cc",
                      "void f(const CatalogReader& c) {\n"

@@ -1,0 +1,225 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace parinda {
+namespace metrics {
+namespace {
+
+/// Instruments live forever in the global registry, so tests that assert on
+/// absolute values use uniquely-named instruments plus Reset().
+Counter& TestCounter(const std::string& name) {
+  Counter& c = Registry::Global().counter("test." + name);
+  c.Reset();
+  return c;
+}
+
+Histogram& TestHistogram(const std::string& name) {
+  Histogram& h = Registry::Global().histogram("test." + name);
+  h.Reset();
+  return h;
+}
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter& c = TestCounter("counter_basic");
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge& g = Registry::Global().gauge("test.gauge_basic");
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 4);
+  g.Set(0);
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  Counter& a = Registry::Global().counter("test.same_name");
+  Counter& b = Registry::Global().counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  Histogram& ha = Registry::Global().histogram("test.same_hist");
+  Histogram& hb = Registry::Global().histogram("test.same_hist");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(RegistryTest, ResetAllPreservesReferences) {
+  Counter& c = TestCounter("reset_all");
+  c.Add(5);
+  Registry::Global().ResetAll();
+  // The instrument survives (references stay valid); only the value clears.
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  EXPECT_EQ(Registry::Global().counter("test.reset_all").value(), 1);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsSumExactly) {
+  // Hammer one counter from many pool workers; run under TSan in CI. The
+  // relaxed-atomic fast path must lose no increments.
+  Counter& c = TestCounter("concurrent");
+  constexpr int kTasks = 16;
+  constexpr int kPerTask = 10000;
+  ASSERT_TRUE(ParallelFor(4, kTasks, [&](int) {
+                c.Add(kPerTask);
+                for (int i = 0; i < kPerTask; ++i) c.Increment();
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(c.value(), int64_t{2} * kTasks * kPerTask);
+}
+
+TEST(RegistryTest, ConcurrentGetOrCreateIsSafe) {
+  // Many workers race to create the same instruments; every call must land
+  // on the same object and no increment may be lost.
+  ASSERT_TRUE(ParallelFor(4, 16, [&](int i) {
+                Registry::Global()
+                    .counter("test.race." + std::to_string(i % 4))
+                    .Increment();
+                return Status::OK();
+              }).ok());
+  int64_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    total += Registry::Global().counter("test.race." + std::to_string(i)).value();
+  }
+  EXPECT_EQ(total, 16);
+}
+
+TEST(HistogramTest, CountAndSum) {
+  Histogram& h = TestHistogram("count_sum");
+  h.Record(0.001);
+  h.Record(0.002);
+  h.Record(0.003);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_NEAR(h.sum(), 0.006, 1e-12);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketResolution) {
+  Histogram& h = TestHistogram("quantiles");
+  // 100 observations at 1ms, 10ms, ..., uniformly: p50 near the middle.
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(static_cast<double>(i) / 1000.0);  // 1ms .. 100ms
+  }
+  // Buckets are a factor of 10^(1/4) ≈ 1.78 wide; quantiles must be exact
+  // to within one bucket on either side.
+  constexpr double kBucketRatio = 1.7782794100389228;  // 10^(1/4)
+  const double p50 = h.p50();
+  EXPECT_GE(p50, 0.050 / kBucketRatio);
+  EXPECT_LE(p50, 0.050 * kBucketRatio);
+  const double p95 = h.p95();
+  EXPECT_GE(p95, 0.095 / kBucketRatio);
+  EXPECT_LE(p95, 0.095 * kBucketRatio);
+  const double p99 = h.p99();
+  EXPECT_GE(p99, 0.099 / kBucketRatio);
+  EXPECT_LE(p99, 0.099 * kBucketRatio);
+}
+
+TEST(HistogramTest, QuantilesAreMonotonic) {
+  Histogram& h = TestHistogram("monotonic");
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(1e-6 * (1 + i % 997));
+  }
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram& h = TestHistogram("empty");
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(HistogramTest, NegativeClampsAndNanIgnored) {
+  Histogram& h = TestHistogram("edge");
+  h.Record(-1.0);  // clamps to the underflow bucket
+  EXPECT_EQ(h.count(), 1);
+  h.Record(std::nan(""));  // ignored entirely
+  EXPECT_EQ(h.count(), 1);
+  h.Record(1e9);  // overflow bucket
+  EXPECT_EQ(h.count(), 2);
+}
+
+TEST(HistogramTest, BucketBoundsAreMonotonic) {
+  for (int b = 1; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_GT(Histogram::BucketUpperBound(b), Histogram::BucketUpperBound(b - 1))
+        << "bucket " << b;
+  }
+  // Every value lands in a bucket whose bound brackets it.
+  for (double v : {1e-9, 1e-7, 3.14e-4, 0.5, 999.0, 1e6}) {
+    const int b = Histogram::BucketFor(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kNumBuckets);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b));
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(b - 1));
+    }
+  }
+}
+
+TEST(SnapshotTest, ContainsRegisteredInstrumentsSorted) {
+  TestCounter("snap_b").Add(2);
+  TestCounter("snap_a").Add(1);
+  TestHistogram("snap_h").Record(0.25);
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  int a_at = -1;
+  int b_at = -1;
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (snap.counters[i].name == "test.snap_a") {
+      a_at = static_cast<int>(i);
+      EXPECT_EQ(snap.counters[i].value, 1);
+    }
+    if (snap.counters[i].name == "test.snap_b") {
+      b_at = static_cast<int>(i);
+      EXPECT_EQ(snap.counters[i].value, 2);
+    }
+  }
+  ASSERT_GE(a_at, 0);
+  ASSERT_GE(b_at, 0);
+  EXPECT_LT(a_at, b_at);  // sorted by name
+  bool found_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test.snap_h") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 1);
+      EXPECT_NEAR(h.sum, 0.25, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(SnapshotTest, TextAndJsonRender) {
+  TestCounter("render").Add(3);
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("test.render"), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"test.render\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ScopedLatencyTest, RecordsOneObservation) {
+  Histogram& h = TestHistogram("scoped");
+  {
+    ScopedLatency timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.sum(), 0.0);
+  {
+    ScopedLatency disarmed(nullptr);  // must be a clean no-op
+  }
+  EXPECT_EQ(h.count(), 1);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace parinda

@@ -1,0 +1,211 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advisor/index_advisor.h"
+#include "common/thread_pool.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace parinda {
+namespace {
+
+/// Every test arms its own buffer and tears it down, so tests compose in
+/// one process regardless of order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { trace::Clear(); }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  trace::Clear();
+  ASSERT_FALSE(trace::Enabled());
+  {
+    PARINDA_TRACE_SPAN("test.disabled");
+  }
+  trace::RecordComplete("test.disabled_explicit", trace::Clock::now(),
+                        trace::Clock::now());
+  EXPECT_TRUE(trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanRoundTrip) {
+  trace::Start();
+  {
+    PARINDA_TRACE_SPAN("test.outer");
+    {
+      PARINDA_TRACE_SPAN("test.inner");
+    }
+  }
+  trace::Stop();
+  const std::vector<trace::TraceEvent> events = trace::Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot is in begin-timestamp order: outer opened first.
+  EXPECT_EQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[1].name, "test.inner");
+  // Nesting containment: inner begins after outer begins and ends before
+  // outer ends (RAII scopes close inner first).
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+  EXPECT_LE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  for (const trace::TraceEvent& e : events) {
+    EXPECT_GE(e.ts_us, 0.0);
+    EXPECT_GE(e.dur_us, 0.0);
+  }
+}
+
+TEST_F(TraceTest, StopHaltsRecording) {
+  trace::Start();
+  {
+    PARINDA_TRACE_SPAN("test.before_stop");
+  }
+  trace::Stop();
+  {
+    PARINDA_TRACE_SPAN("test.after_stop");
+  }
+  const std::vector<trace::TraceEvent> events = trace::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.before_stop");
+}
+
+TEST_F(TraceTest, RingOverflowCountsDropped) {
+  trace::Start(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    PARINDA_TRACE_SPAN("test.overflow");
+  }
+  trace::Stop();
+  EXPECT_EQ(trace::Snapshot().size(), 4u);
+  EXPECT_EQ(trace::dropped(), 6);
+  // The drop count must be visible in the export, not just the API.
+  EXPECT_NE(trace::ExportChromeJson().find("\"dropped_events\": 6"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, ExportChromeJsonStructure) {
+  trace::Start();
+  {
+    PARINDA_TRACE_SPAN("test.export");
+  }
+  trace::Stop();
+  const std::string json = trace::ExportChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  // Balanced braces/brackets — a cheap structural validity check (CI runs a
+  // real JSON parser over the bench export).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, ExportEmptyBufferIsValid) {
+  trace::Start();
+  trace::Stop();
+  const std::string json = trace::ExportChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\": []"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeJsonFailsCleanly) {
+  trace::Start();
+  trace::Stop();
+  EXPECT_FALSE(trace::WriteChromeJson("/nonexistent_dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, SpansFromPoolWorkersCarryDistinctTids) {
+  trace::Start();
+  // Two separate pools: within one pool a single worker may drain every
+  // task, but each pool spawns fresh threads, so spans from the two runs
+  // are guaranteed to carry different thread ids.
+  for (int run = 0; run < 2; ++run) {
+    ASSERT_TRUE(ParallelFor(2, 4, [](int) {
+                  PARINDA_TRACE_SPAN("test.worker");
+                  return Status::OK();
+                }).ok());
+  }
+  trace::Stop();
+  std::set<int> tids;
+  size_t worker_spans = 0;
+  for (const trace::TraceEvent& e : trace::Snapshot()) {
+    if (e.name == "test.worker") {
+      ++worker_spans;
+      tids.insert(e.tid);
+    }
+  }
+  EXPECT_EQ(worker_spans, 8u);
+  EXPECT_GE(tids.size(), 2u);
+}
+
+/// The acceptance gate for the observability layer: a seeded advisor run
+/// with tracing armed must return bit-identical advice to the same run with
+/// tracing off, and the trace must carry spans from every instrumented
+/// layer it crossed (INUM, advisor, optimizer, thread pool).
+class TraceAdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::MakeOrdersTable(&db_, 3000);
+    testing_util::MakeCustomersTable(&db_, 300);
+  }
+  void TearDown() override { trace::Clear(); }
+
+  Result<IndexAdvice> RunAdvisor() {
+    auto workload = MakeWorkload(
+        db_.catalog(),
+        {"SELECT amount FROM orders WHERE id = 5",
+         "SELECT id FROM orders WHERE amount > 900",
+         "SELECT name FROM customers WHERE cid = 7"});
+    if (!workload.ok()) return workload.status();
+    IndexAdvisorOptions options;
+    options.parallelism = 2;
+    IndexAdvisor advisor(db_.catalog(), *workload, options);
+    return advisor.SuggestWithIlp();
+  }
+
+  Database db_;
+};
+
+TEST_F(TraceAdvisorTest, TracingDoesNotChangeAdvice) {
+  trace::Clear();
+  auto baseline = RunAdvisor();
+  ASSERT_TRUE(baseline.ok());
+
+  trace::Start();
+  auto traced = RunAdvisor();
+  trace::Stop();
+  ASSERT_TRUE(traced.ok());
+
+  // Bit-identical advice: same selection, same costs to the last bit.
+  ASSERT_EQ(traced->indexes.size(), baseline->indexes.size());
+  for (size_t i = 0; i < traced->indexes.size(); ++i) {
+    EXPECT_EQ(traced->indexes[i].def.table, baseline->indexes[i].def.table);
+    EXPECT_EQ(traced->indexes[i].def.columns,
+              baseline->indexes[i].def.columns);
+    EXPECT_EQ(traced->indexes[i].size_bytes, baseline->indexes[i].size_bytes);
+    EXPECT_EQ(traced->indexes[i].benefit, baseline->indexes[i].benefit);
+  }
+  EXPECT_EQ(traced->base_cost, baseline->base_cost);
+  EXPECT_EQ(traced->optimized_cost, baseline->optimized_cost);
+  EXPECT_EQ(traced->per_query_base, baseline->per_query_base);
+  EXPECT_EQ(traced->per_query_optimized, baseline->per_query_optimized);
+  EXPECT_EQ(traced->total_size_bytes, baseline->total_size_bytes);
+
+  // The traced run crossed at least four instrumented modules.
+  std::set<std::string> modules;
+  for (const trace::TraceEvent& e : trace::Snapshot()) {
+    modules.insert(e.name.substr(0, e.name.find('.')));
+  }
+  EXPECT_TRUE(modules.count("inum")) << "missing inum spans";
+  EXPECT_TRUE(modules.count("advisor")) << "missing advisor spans";
+  EXPECT_TRUE(modules.count("optimizer")) << "missing optimizer spans";
+  EXPECT_TRUE(modules.count("thread_pool")) << "missing thread_pool spans";
+  EXPECT_GE(modules.size(), 4u);
+}
+
+}  // namespace
+}  // namespace parinda

@@ -9,7 +9,9 @@
 # — then runs every example binary as a smoke test (the interactive designer
 # gets a scripted add/drop/evaluate session piped to stdin), sweeps every
 # registered failpoint in error mode through the sanitizer build (injected
-# faults must come back as Status, never crashes), runs parinda-lint
+# faults must come back as Status, never crashes), smoke-tests the bench
+# --json/--trace exports (both must parse as JSON and the trace must carry
+# optimizer spans), runs parinda-lint
 # over src/ and tests/, failing on any violation (including the
 # overlay-internals layering and unchecked-deadline checks), runs
 # parinda-analyze over src/ (module layering, guarded-field lock discipline,
@@ -90,6 +92,28 @@ for fp in $FAILPOINTS; do
     exit 1
   }
 done
+
+echo "=== trace export smoke test ==="
+# The bench flag layer must produce valid JSON for both the metrics report
+# and the Chrome trace_event export. Validate with python's JSON parser when
+# one is available; fall back to a structural grep otherwise.
+./build/bench/bench_interactive \
+  --json=/tmp/parinda_ci_bench.json --trace=/tmp/parinda_ci_bench.trace.json \
+  --benchmark_min_time=0.01 > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool /tmp/parinda_ci_bench.json > /dev/null
+  python3 -m json.tool /tmp/parinda_ci_bench.trace.json > /dev/null
+else
+  grep -q '"metrics"' /tmp/parinda_ci_bench.json
+  grep -q '"traceEvents"' /tmp/parinda_ci_bench.trace.json
+fi
+grep -q '"traceEvents"' /tmp/parinda_ci_bench.trace.json
+grep -q 'optimizer.plan_query' /tmp/parinda_ci_bench.trace.json || {
+  echo "trace export contains no optimizer.plan_query spans:"
+  head -5 /tmp/parinda_ci_bench.trace.json
+  exit 1
+}
+echo "--- bench_interactive --json --trace: both exports valid"
 
 echo "=== parinda-lint ==="
 ./build/tools/parinda-lint --json src tests > /tmp/parinda_lint_report.json && {

@@ -36,6 +36,11 @@ bool IsThreadPoolPath(const std::string& path) {
          path.rfind("common/thread_pool.", 0) == 0;
 }
 
+bool IsCommonPath(const std::string& path) {
+  return path.find("src/common/") != std::string::npos ||
+         path.rfind("common/", 0) == 0;
+}
+
 bool IsOverlayLayerPath(const std::string& path) {
   return path.find("src/design/") != std::string::npos ||
          path.rfind("design/", 0) == 0 ||
@@ -201,6 +206,25 @@ void CheckDetachedThread(const CheckContext& ctx) {
       ctx.Report(toks[i + 1].line, "detached-thread",
                  "detach() leaks a running thread past its owner's lifetime; "
                  "join it (ThreadPool does this in WaitAll/destructor)");
+    }
+  }
+}
+
+void CheckBareCounter(const CheckContext& ctx) {
+  const std::string& path = ctx.file().path;
+  // The primitives themselves (metrics registry, deadline, failpoints,
+  // tracing, the pool) legitimately build on raw atomics; everything above
+  // them should tally through the registry so `stats` / bench JSON exports
+  // see the numbers.
+  if (!IsLibraryPath(path) || IsCommonPath(path)) return;
+  const auto& toks = ctx.file().tokens;
+  for (size_t i = 0; i + 2 < toks.size(); i++) {
+    if (toks[i].text == "std" && toks[i + 1].text == "::" &&
+        toks[i + 2].text == "atomic") {
+      ctx.Report(toks[i].line, "bare-counter",
+                 "bare std::atomic tally outside src/common/; use "
+                 "metrics::Registry::Global().counter(...) (common/metrics.h) "
+                 "so the value is visible to `stats` and bench exports");
     }
   }
 }
@@ -452,6 +476,7 @@ std::vector<Diagnostic> Linter::Run() {
     CheckAssertInLib(ctx);
     CheckRawNewDelete(ctx);
     CheckDetachedThread(ctx);
+    CheckBareCounter(ctx);
     CheckOverlayInternals(ctx);
     CheckUncheckedDeadline(ctx);
     CheckUncheckedStatus(ctx, fallible);

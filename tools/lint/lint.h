@@ -28,6 +28,13 @@
 ///                      Status and every thread is joined) — and `.detach()`
 ///                      anywhere in src/ (detaching defeats the join
 ///                      discipline even inside the pool).
+///   bare-counter       `std::atomic` in src/ outside src/common/ — new
+///                      tallies belong in the metrics registry
+///                      (common/metrics.h) where `stats` and bench JSON
+///                      exports can see them; the primitives in src/common/
+///                      (registry, deadline, failpoints, trace, pool) are
+///                      exempt. Genuinely instance-local atomics carry an
+///                      allow() with a rationale.
 ///   overlay-internals  Code in src/ outside src/design/ and src/whatif/ that
 ///                      reaches into the what-if overlay internals: naming
 ///                      ComposedOverlay, including design/overlay.h, or
