@@ -4,6 +4,7 @@
 // fragments only (iterations = 0) vs the full composite-fragment loop.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 
 #include "common/check.h"
@@ -14,6 +15,7 @@
 #include "parser/parser.h"
 #include "whatif/whatif_horizontal.h"
 #include "whatif/whatif_table.h"
+#include "workload/tpch_mini.h"
 
 namespace parinda {
 namespace {
@@ -54,13 +56,27 @@ void Run() {
   AutoPartOptions options;
   options.max_iterations = 4;
   AutoPartAdvisor advisor(db->catalog(), workload, options);
+  const int64_t plans_before = Planner::stats().plans_built;
   auto advice = advisor.Suggest();
   PARINDA_CHECK_OK(advice);
+  const int64_t plans_built = Planner::stats().plans_built - plans_before;
+  const EvaluatorStats estats = advisor.evaluator_stats();
+  const double hit_rate =
+      estats.cache_hits + estats.cache_misses > 0
+          ? static_cast<double>(estats.cache_hits) /
+                static_cast<double>(estats.cache_hits + estats.cache_misses)
+          : 0.0;
   std::printf("suggested fragments: %zu; replicated bytes: %.2f MB; "
               "evaluations: %d\n",
               advice->fragments.size(),
               advice->replicated_bytes / 1024.0 / 1024.0,
               advice->evaluations);
+  std::printf("planner calls: %lld (naive bound %lld); cache hit rate: "
+              "%.1f%%\n",
+              static_cast<long long>(plans_built),
+              static_cast<long long>(workload.queries.size()) *
+                  advice->evaluations,
+              100.0 * hit_rate);
   std::printf("%-4s %12s %12s %9s\n", "Q", "base", "partitioned", "benefit");
   for (size_t q = 0; q < advice->per_query_base.size(); ++q) {
     std::printf("Q%-3zu %12.1f %12.1f %8.1f%%\n", q + 1,
@@ -77,6 +93,8 @@ void Run() {
   bench_util::RecordMetric("e6.base_cost", advice->base_cost);
   bench_util::RecordMetric("e6.optimized_cost", advice->optimized_cost);
   bench_util::RecordMetric("e6.speedup", advice->Speedup());
+  bench_util::RecordMetric("e6.plans_built", plans_built);
+  bench_util::RecordMetric("e6.cache_hit_rate", hit_rate);
 
   // --- Replication constraint sweep ---
   bench_util::PrintHeader("E6b: replication-constraint sweep");
@@ -154,6 +172,70 @@ void RunHorizontal() {
   }
 }
 
+void RunCacheAblation() {
+  // E6e — engine cost-cache ablation on TPC-H-mini (the second schema
+  // family: joins, date ranges). Cached and uncached runs must produce the
+  // bit-identical design; the cache only changes how often the planner runs
+  // (DESIGN.md §13). The acceptance bar is a >= 2x planner-call drop.
+  Database db;
+  TpchMiniConfig config;
+  auto dataset = BuildTpchMiniDatabase(&db, config);
+  PARINDA_CHECK_OK(dataset);
+  auto workload = MakeTpchMiniWorkload(db.catalog());
+  PARINDA_CHECK_OK(workload);
+
+  bench_util::PrintHeader(
+      "E6e ablation: engine cost cache (TPC-H-mini, 12 queries)");
+  struct Outcome {
+    int64_t plans_built = 0;
+    double hit_rate = 0.0;
+    int evaluations = 0;
+    double optimized_cost = 0.0;
+  };
+  auto run = [&](bool cache) {
+    AutoPartOptions options;
+    options.max_iterations = 3;
+    options.engine_cache = cache;
+    AutoPartAdvisor advisor(db.catalog(), *workload, options);
+    const int64_t before = Planner::stats().plans_built;
+    auto advice = advisor.Suggest();
+    PARINDA_CHECK_OK(advice);
+    Outcome out;
+    out.plans_built = Planner::stats().plans_built - before;
+    const EvaluatorStats stats = advisor.evaluator_stats();
+    out.hit_rate = stats.cache_hits + stats.cache_misses > 0
+                       ? static_cast<double>(stats.cache_hits) /
+                             static_cast<double>(stats.cache_hits +
+                                                 stats.cache_misses)
+                       : 0.0;
+    out.evaluations = advice->evaluations;
+    out.optimized_cost = advice->optimized_cost;
+    return out;
+  };
+  const Outcome cached = run(true);
+  const Outcome nocache = run(false);
+  // The cache must never change the advice, only the planner-call count.
+  PARINDA_CHECK(cached.optimized_cost == nocache.optimized_cost);
+  std::printf("%-10s %14s %12s %12s\n", "cache", "planner calls", "hit rate",
+              "cost");
+  std::printf("%-10s %14lld %11.1f%% %12.0f\n", "on",
+              static_cast<long long>(cached.plans_built),
+              100.0 * cached.hit_rate, cached.optimized_cost);
+  std::printf("%-10s %14lld %11.1f%% %12.0f\n", "off",
+              static_cast<long long>(nocache.plans_built),
+              100.0 * nocache.hit_rate, nocache.optimized_cost);
+  std::printf("planner-call reduction: %.2fx over %d evaluations of %zu "
+              "queries\n",
+              static_cast<double>(nocache.plans_built) /
+                  static_cast<double>(cached.plans_built),
+              cached.evaluations, workload->queries.size());
+  bench_util::RecordMetric("e6e.plans_built_cached", cached.plans_built);
+  bench_util::RecordMetric("e6e.plans_built_nocache", nocache.plans_built);
+  bench_util::RecordMetric("e6e.cache_hit_rate", cached.hit_rate);
+  bench_util::RecordMetric("e6e.queries", workload->queries.size());
+  bench_util::RecordMetric("e6e.evaluations", cached.evaluations);
+}
+
 void BM_AutoPartSuggest(benchmark::State& state) {
   Database* db = bench_util::SharedSdss(20000);
   Workload workload = PartitionWorkload(*db);
@@ -175,6 +257,7 @@ int main(int argc, char** argv) {
   parinda::bench_util::InitFlags(&argc, argv);
   parinda::Run();
   parinda::RunHorizontal();
+  parinda::RunCacheAblation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   parinda::bench_util::WriteJsonIfEnabled("bench_autopart");

@@ -100,7 +100,7 @@ void RunInteractive() {
   const int64_t inc_calls = session.last_eval_planner_calls();
 
   // The incremental report must match the stateless one bit for bit.
-  PARINDA_CHECK(inc_report->whatif_cost == full_report->whatif_cost);
+  PARINDA_CHECK(inc_report->optimized_cost == full_report->optimized_cost);
   PARINDA_CHECK(inc_report->average_benefit_pct ==
                 full_report->average_benefit_pct);
 
@@ -172,7 +172,7 @@ void BM_IncrementalDelta(benchmark::State& state) {
     PARINDA_CHECK_OK(id);
     auto report = session.Evaluate();
     PARINDA_CHECK_OK(report);
-    benchmark::DoNotOptimize(report->whatif_cost);
+    benchmark::DoNotOptimize(report->optimized_cost);
     PARINDA_CHECK_OK(session.Drop(*id));
     auto reverted = session.Evaluate();
     PARINDA_CHECK_OK(reverted);
@@ -193,7 +193,7 @@ void BM_FullReevaluate(benchmark::State& state) {
   for (auto _ : state) {
     auto report = tool.EvaluateDesign(*workload, delta_design);
     PARINDA_CHECK_OK(report);
-    benchmark::DoNotOptimize(report->whatif_cost);
+    benchmark::DoNotOptimize(report->optimized_cost);
     auto reverted = tool.EvaluateDesign(*workload, base_design);
     PARINDA_CHECK_OK(reverted);
   }

@@ -355,7 +355,7 @@ int main() {
       }
       for (size_t q = 0; q < report->per_query_base.size(); ++q) {
         std::printf("  Q%zu: %.1f -> %.1f (%.1f%%)\n", q + 1,
-                    report->per_query_base[q], report->per_query_whatif[q],
+                    report->per_query_base[q], report->per_query_optimized[q],
                     report->per_query_benefit_pct[q]);
       }
       std::printf("  average benefit: %.1f%%\n", report->average_benefit_pct);

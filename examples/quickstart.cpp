@@ -55,7 +55,7 @@ int main() {
   std::printf("\n%-4s %12s %12s %9s\n", "Q", "base cost", "what-if", "benefit");
   for (size_t q = 0; q < report->per_query_base.size(); ++q) {
     std::printf("Q%-3zu %12.1f %12.1f %8.1f%%\n", q + 1,
-                report->per_query_base[q], report->per_query_whatif[q],
+                report->per_query_base[q], report->per_query_optimized[q],
                 report->per_query_benefit_pct[q]);
   }
   std::printf("\nAverage workload benefit: %.1f%%\n",

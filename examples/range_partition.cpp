@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   std::printf("\nWhat-if evaluation (no data touched):\n");
   for (size_t q = 0; q < report->per_query_base.size(); ++q) {
     std::printf("  Q%zu: %.1f -> %.1f (%.1f%%)\n", q + 1,
-                report->per_query_base[q], report->per_query_whatif[q],
+                report->per_query_base[q], report->per_query_optimized[q],
                 report->per_query_benefit_pct[q]);
   }
 

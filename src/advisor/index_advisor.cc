@@ -15,18 +15,16 @@ namespace {
 
 constexpr double kBenefitEps = 1e-6;
 
-/// Budget expiry and cancellation degrade; every other error propagates.
-bool IsBudgetError(const Status& status) {
-  return status.code() == StatusCode::kDeadlineExceeded ||
-         status.code() == StatusCode::kCancelled;
-}
-
 }  // namespace
 
 IndexAdvisor::IndexAdvisor(const CatalogReader& catalog,
                            const Workload& workload,
                            IndexAdvisorOptions options)
-    : catalog_(catalog), workload_(workload), options_(options) {}
+    : catalog_(catalog),
+      workload_(workload),
+      options_(options),
+      ctx_{options_.params, options_.parallelism, options_.deadline, nullptr},
+      bank_(catalog_, workload_) {}
 
 IndexAdvisor::~IndexAdvisor() = default;
 
@@ -53,27 +51,25 @@ Status IndexAdvisor::Prepare() {
   const int nq = workload_.size();
   const int nc = static_cast<int>(candidates_.size());
   // Pre-sized per-query slots: each worker builds and owns query q's cost
-  // model and writes only models_[q] / base_cost_[q] / benefit_[q], so the
-  // matrix is bit-identical under any parallelism (the catalog and the
-  // candidate IndexInfo records are shared read-only). No mutex and no
-  // PARINDA_GUARDED_BY: the slots are disjoint by construction, and
-  // WaitAll()'s pool mutex is the one happens-before edge the readers need
-  // before the serial selection scan.
-  models_.resize(static_cast<size_t>(nq));
+  // model (the bank's slot-disjoint contract) and writes only base_cost_[q]
+  // / benefit_[q], so the matrix is bit-identical under any parallelism (the
+  // catalog and the candidate IndexInfo records are shared read-only). No
+  // mutex and no PARINDA_GUARDED_BY: the slots are disjoint by construction,
+  // and WaitAll()'s pool mutex is the one happens-before edge the readers
+  // need before the serial selection scan.
   base_cost_.assign(static_cast<size_t>(nq), 0.0);
   benefit_.assign(static_cast<size_t>(nq),
                   std::vector<double>(static_cast<size_t>(nc), 0.0));
   row_complete_.assign(static_cast<size_t>(nq), 0);
   Status fill = ParallelFor(
-      ResolveParallelism(options_.parallelism), nq, [&](int q) -> Status {
+      ResolveParallelism(ctx_.parallelism), nq, [&](int q) -> Status {
         PARINDA_FAILPOINT("advisor.matrix");
-        models_[q] = std::make_unique<InumCostModel>(
-            catalog_, workload_.queries[q].stmt, options_.params);
         // Workers observe the shared budget; an expired deadline fails the
         // row, and ParallelFor's cancel-on-error drains the rest promptly.
-        models_[q]->set_deadline(&options_.deadline);
-        PARINDA_RETURN_IF_ERROR(models_[q]->Init());
-        PARINDA_ASSIGN_OR_RETURN(base_cost_[q], models_[q]->EstimateCost({}));
+        PARINDA_ASSIGN_OR_RETURN(
+            InumCostModel * model,
+            bank_.Model(q, ctx_.params, &options_.deadline));
+        PARINDA_ASSIGN_OR_RETURN(base_cost_[q], model->EstimateCost({}));
         // Tables of this query, to skip irrelevant candidates fast.
         std::set<TableId> tables;
         for (const TableRef& ref : workload_.queries[q].stmt.from) {
@@ -82,7 +78,7 @@ Status IndexAdvisor::Prepare() {
         for (int j = 0; j < nc; ++j) {
           if (tables.count(candidates_[j]->table_id) == 0) continue;
           PARINDA_ASSIGN_OR_RETURN(double cost,
-                                   models_[q]->EstimateCost({candidates_[j]}));
+                                   model->EstimateCost({candidates_[j]}));
           const double gain = base_cost_[q] - cost;
           if (gain > kBenefitEps) {
             benefit_[q][j] = gain * workload_.queries[q].weight;
@@ -133,7 +129,7 @@ Result<std::vector<const IndexInfo*>> IndexAdvisor::Candidates() {
 
 Result<double> IndexAdvisor::QueryCost(
     int q, const std::vector<const IndexInfo*>& config) {
-  return models_[q]->EstimateCost(config);
+  return bank_.Get(q)->EstimateCost(config);
 }
 
 IndexAdvice IndexAdvisor::FinishAdviceFromMatrix(
@@ -188,11 +184,9 @@ IndexAdvice IndexAdvisor::FinishAdviceFromMatrix(
     advice.total_maintenance_cost += suggestion.maintenance_cost;
     advice.indexes.push_back(std::move(suggestion));
   }
-  for (const auto& model : models_) {
-    if (model == nullptr) continue;  // row never started within the budget
-    advice.optimizer_calls += model->optimizer_calls();
-    advice.inum_estimates += model->estimates_served();
-  }
+  // Bank totals skip rows whose model never started within the budget.
+  advice.optimizer_calls = bank_.TotalOptimizerCalls();
+  advice.inum_estimates = bank_.TotalEstimatesServed();
   report.degraded = true;
   report.failpoint_hits = failpoint::HitsSince(fp_snapshot_);
   advice.degradation = std::move(report);
@@ -265,10 +259,8 @@ Result<IndexAdvice> IndexAdvisor::FinishAdvice(
     advice.total_maintenance_cost += suggestion.maintenance_cost;
     advice.indexes.push_back(std::move(suggestion));
   }
-  for (const auto& model : models_) {
-    advice.optimizer_calls += model->optimizer_calls();
-    advice.inum_estimates += model->estimates_served();
-  }
+  advice.optimizer_calls = bank_.TotalOptimizerCalls();
+  advice.inum_estimates = bank_.TotalEstimatesServed();
   timer.Stop();
   report.failpoint_hits = failpoint::HitsSince(fp_snapshot_);
   advice.degradation = std::move(report);

@@ -10,6 +10,9 @@
 #include "catalog/catalog.h"
 #include "common/deadline.h"
 #include "common/status.h"
+#include "engine/advice.h"
+#include "engine/eval_context.h"
+#include "engine/inum_bank.h"
 #include "inum/inum.h"
 #include "optimizer/cost_params.h"
 #include "solver/bnb.h"
@@ -64,13 +67,11 @@ struct SuggestedIndex {
   std::vector<int> used_by;
 };
 
-/// Output of the automatic index suggestion scenario.
-struct IndexAdvice {
+/// Output of the automatic index suggestion scenario. The cost summary
+/// (base/optimized totals, per-query breakdown, degradation ladder) is the
+/// shared AdviceSummary.
+struct IndexAdvice : AdviceSummary {
   std::vector<SuggestedIndex> indexes;
-  double base_cost = 0.0;
-  double optimized_cost = 0.0;
-  std::vector<double> per_query_base;
-  std::vector<double> per_query_optimized;
   double total_size_bytes = 0.0;
   /// Sum of maintenance costs of the selected indexes.
   double total_maintenance_cost = 0.0;
@@ -78,14 +79,6 @@ struct IndexAdvice {
   bool proved_optimal = false;
   int optimizer_calls = 0;
   int inum_estimates = 0;
-  /// What the budget did to this advice: which fallbacks fired, per-phase
-  /// wall-clock, failpoint hits. `degradation.degraded` is false for a
-  /// full-fidelity run.
-  DegradationReport degradation;
-
-  double Speedup() const {
-    return optimized_cost > 0.0 ? base_cost / optimized_cost : 1.0;
-  }
 };
 
 /// The automatic index suggestion component (paper §3.4): candidate
@@ -154,6 +147,8 @@ class IndexAdvisor {
   const CatalogReader& catalog_;
   const Workload& workload_;
   IndexAdvisorOptions options_;
+  /// Derived from options_; threaded through the engine's INUM bank.
+  EvalContext ctx_;
 
   bool prepared_ = false;
   /// False when the budget truncated candidate enumeration or the matrix
@@ -161,8 +156,9 @@ class IndexAdvisor {
   bool prep_complete_ = true;
   std::unique_ptr<WhatIfIndexSet> candidate_set_;
   std::vector<const IndexInfo*> candidates_;
-  std::vector<std::unique_ptr<InumCostModel>> models_;  // one per query
-  std::vector<double> base_cost_;                       // per query
+  /// Engine-owned per-query INUM models (slot-disjoint for ParallelFor).
+  InumBank bank_;
+  std::vector<double> base_cost_;  // per query
   /// benefit_[q][j]: weighted benefit of candidate j alone for query q.
   std::vector<std::vector<double>> benefit_;
   /// row_complete_[q]: query q's model, base cost and benefit row were

@@ -6,10 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
-#include "optimizer/planner.h"
 #include "optimizer/query_analysis.h"
-#include "rewriter/rewriter.h"
-#include "whatif/whatif_table.h"
 
 namespace parinda {
 
@@ -21,12 +18,6 @@ std::vector<ColumnId> UnionColumns(const std::vector<ColumnId>& a,
   std::set<ColumnId> merged(a.begin(), a.end());
   merged.insert(b.begin(), b.end());
   return {merged.begin(), merged.end()};
-}
-
-/// Budget expiry and cancellation degrade; every other error propagates.
-bool IsBudgetError(const Status& status) {
-  return status.code() == StatusCode::kDeadlineExceeded ||
-         status.code() == StatusCode::kCancelled;
 }
 
 double ColumnBytes(const TableInfo& table, ColumnId col) {
@@ -45,7 +36,11 @@ double ColumnBytes(const TableInfo& table, ColumnId col) {
 AutoPartAdvisor::AutoPartAdvisor(const CatalogReader& catalog,
                                  const Workload& workload,
                                  AutoPartOptions options)
-    : catalog_(catalog), workload_(workload), options_(options) {}
+    : catalog_(catalog),
+      workload_(workload),
+      options_(options),
+      ctx_{options_.params, options_.parallelism, options_.deadline, nullptr},
+      evaluator_(catalog_, workload_) {}
 
 Result<std::vector<FragmentDef>> AutoPartAdvisor::AtomicFragments(
     TableId table) const {
@@ -94,54 +89,15 @@ Result<double> AutoPartAdvisor::EvaluateState(
     const std::vector<TableState>& state, std::vector<double>* per_query,
     std::vector<std::string>* rewritten_sql) {
   PARINDA_FAILPOINT("autopart.evaluate");
-  // ordering: relaxed — result counter only. Concurrent EvaluateState calls
-  // from pool workers each bump it; the Suggest() thread reads it only after
-  // ParallelFor/WaitAll, whose pool mutex supplies the happens-before.
-  evaluations_.fetch_add(1, std::memory_order_relaxed);
-  // Materialize the state as what-if tables. The final (reporting) pass uses
-  // the stable `<table>_part<k>` names MaterializePartitions will create, so
-  // the saved rewritten workload runs against the materialized design as-is.
-  const bool stable_names = rewritten_sql != nullptr;
-  WhatIfTableCatalog overlay(catalog_);
-  std::vector<const TableInfo*> fragments;
-  int global_index = 0;
-  for (const TableState& ts : state) {
-    const TableInfo* parent = catalog_.GetTable(ts.table);
-    for (size_t k = 0; k < ts.fragments.size(); ++k) {
-      WhatIfPartitionDef def;
-      def.parent = ts.table;
-      def.columns = ts.fragments[k];
-      // Search-pass names only need to be unique within this call's private
-      // overlay (table + fragment ordinal suffices); keeping them free of
-      // the evaluation counter keeps concurrent evaluations independent.
-      def.name = stable_names
-                     ? parent->name + "_part" + std::to_string(global_index)
-                     : "wif_" + std::to_string(ts.table) + "_f" +
-                           std::to_string(k);
-      ++global_index;
-      PARINDA_ASSIGN_OR_RETURN(TableId id, overlay.AddPartition(def));
-      fragments.push_back(overlay.GetTable(id));
-    }
-  }
-  PlannerOptions planner_options;
-  planner_options.params = options_.params;
-  double total = 0.0;
-  for (int q = 0; q < workload_.size(); ++q) {
-    PARINDA_RETURN_IF_ERROR(options_.deadline.CheckOk("autopart.evaluate"));
-    const WorkloadQuery& query = workload_.queries[q];
-    PARINDA_ASSIGN_OR_RETURN(
-        RewriteResult rewritten,
-        RewriteForPartitions(overlay, query.stmt, fragments));
-    PARINDA_ASSIGN_OR_RETURN(
-        Plan plan, PlanQuery(overlay, rewritten.stmt, planner_options));
-    const double cost = plan.total_cost() * query.weight;
-    total += cost;
-    if (per_query != nullptr) (*per_query)[q] = plan.total_cost();
-    if (rewritten_sql != nullptr) {
-      (*rewritten_sql)[q] = rewritten.stmt.ToSql();
-    }
-  }
-  return total;
+  PartitionEvalOptions opts;
+  opts.use_cache = options_.engine_cache;
+  // The final (reporting) pass wants rewritten SQL under the stable
+  // `<table>_part<k>` names MaterializePartitions will create, so the saved
+  // rewritten workload runs against the materialized design as-is; the
+  // engine does the full work for that pass instead of serving its cache.
+  opts.stable_names = rewritten_sql != nullptr;
+  return evaluator_.EvaluatePartitioning(state, ctx_, opts, per_query,
+                                         rewritten_sql);
 }
 
 double AutoPartAdvisor::ReplicatedBytes(
@@ -190,17 +146,16 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     }
     advice.fragments.clear();
     advice.replicated_bytes = 0.0;
-    advice.evaluations = evaluations_.load(std::memory_order_relaxed);
+    advice.evaluations = static_cast<int>(evaluator_.stats().evaluations);
     rep.failpoint_hits = failpoint::HitsSince(fp_before);
     advice.degradation = std::move(rep);
     return advice;
   };
 
-  // Base cost: the un-partitioned design.
+  // Base cost: the un-partitioned design, through the engine's base-cost
+  // cache (a repeated Suggest() on the same advisor re-plans nothing).
   {
     PhaseTimer timer(&report, "base", "autopart.base");
-    PlannerOptions planner_options;
-    planner_options.params = options_.params;
     double total = 0.0;
     for (int q = 0; q < workload_.size(); ++q) {
       if (options_.deadline.Expired()) {
@@ -209,11 +164,10 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
         timer.Stop();
         return base_design(std::move(report));
       }
-      PARINDA_ASSIGN_OR_RETURN(
-          Plan plan,
-          PlanQuery(catalog_, workload_.queries[q].stmt, planner_options));
-      advice.per_query_base[q] = plan.total_cost();
-      total += plan.total_cost() * workload_.queries[q].weight;
+      PARINDA_ASSIGN_OR_RETURN(const double cost,
+                               evaluator_.BaseCost(q, ctx_));
+      advice.per_query_base[q] = cost;
+      total += cost * workload_.queries[q].weight;
     }
     advice.base_cost = total;
   }
@@ -426,7 +380,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
           advice.fragments.push_back(std::move(def));
         }
       }
-      advice.evaluations = evaluations_.load(std::memory_order_relaxed);
+      advice.evaluations = static_cast<int>(evaluator_.stats().evaluations);
       report.failpoint_hits = failpoint::HitsSince(fp_before);
       advice.degradation = std::move(report);
       return advice;
@@ -447,7 +401,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
       advice.fragments.push_back(std::move(def));
     }
   }
-  advice.evaluations = evaluations_.load(std::memory_order_relaxed);
+  advice.evaluations = static_cast<int>(evaluator_.stats().evaluations);
   report.failpoint_hits = failpoint::HitsSince(fp_before);
   advice.degradation = std::move(report);
   return advice;

@@ -1,7 +1,6 @@
 #ifndef PARINDA_AUTOPART_AUTOPART_H_
 #define PARINDA_AUTOPART_AUTOPART_H_
 
-#include <atomic>
 #include <limits>
 #include <string>
 #include <vector>
@@ -9,6 +8,9 @@
 #include "catalog/catalog.h"
 #include "common/deadline.h"
 #include "common/status.h"
+#include "engine/advice.h"
+#include "engine/eval_context.h"
+#include "engine/workload_evaluator.h"
 #include "optimizer/cost_params.h"
 #include "workload/workload.h"
 
@@ -48,30 +50,27 @@ struct AutoPartOptions {
   /// default infinite deadline reproduces the un-budgeted advice
   /// bit-identically. See DESIGN.md §10.
   Deadline deadline;
+  /// Serve candidate evaluations from the engine's per-(query, overlay)
+  /// cost cache (DESIGN.md §13). Never changes the advice — cached costs
+  /// are bit-identical to re-planned ones — only the planner-call count;
+  /// false restores the pre-engine full re-plan per candidate (kept for
+  /// A/B benchmarks).
+  bool engine_cache = true;
 };
 
 /// Output of the automatic partition suggestion scenario (Figure 2): the
-/// fragments, the workload benefit, per-query benefits, and the rewritten
-/// queries.
-struct PartitionAdvice {
+/// fragments, the workload benefit (AdviceSummary), per-query benefits, and
+/// the rewritten queries.
+struct PartitionAdvice : AdviceSummary {
   std::vector<FragmentDef> fragments;
-  double base_cost = 0.0;
-  double optimized_cost = 0.0;
-  std::vector<double> per_query_base;
-  std::vector<double> per_query_optimized;
   /// Rewritten workload for the suggested partitions (ready to save).
   std::vector<std::string> rewritten_sql;
   /// Replicated bytes of the final design.
   double replicated_bytes = 0.0;
-  /// Workload cost evaluations performed (each evaluates every query).
+  /// Workload cost evaluations performed (each evaluates every query,
+  /// whether the per-query costs come from the planner or the cache).
   int evaluations = 0;
   int iterations_run = 0;
-  /// What the budget did to this advice (see DegradationReport).
-  DegradationReport degradation;
-
-  double Speedup() const {
-    return optimized_cost > 0.0 ? base_cost / optimized_cost : 1.0;
-  }
 };
 
 /// The AutoPart algorithm of Papadomanolakis & Ailamaki (SSDBM 2004), as
@@ -80,10 +79,12 @@ struct PartitionAdvice {
 ///     query reads each group entirely or not at all.
 ///  2. *Composite fragment generation*: unions of selected fragments with
 ///     atomic fragments (and atomic with atomic in the first iteration).
-///  3. *Fragment selection*: candidates are evaluated through the what-if
-///     table component + query rewriter; the best improving move is applied
-///     (a merge, or a replicated addition if the replication constraint
-///     allows) and the loop repeats until no improvement is found.
+///  3. *Fragment selection*: candidates are evaluated through the shared
+///     evaluation engine (what-if table component + query rewriter +
+///     planner, with per-query cost caching); the best improving move is
+///     applied (a merge, or a replicated addition if the replication
+///     constraint allows) and the loop repeats until no improvement is
+///     found.
 class AutoPartAdvisor {
  public:
   /// The workload must be bound against `catalog`; both must outlive this.
@@ -100,19 +101,20 @@ class AutoPartAdvisor {
   /// the ablation bench).
   [[nodiscard]] Result<std::vector<FragmentDef>> AtomicFragments(TableId table) const;
 
- private:
-  /// One table's in-progress partitioning state.
-  struct TableState {
-    TableId table = kInvalidTableId;
-    std::vector<std::vector<ColumnId>> fragments;
-  };
+  /// The engine evaluator's cache/evaluation counters (exposed for tests
+  /// and the cache-ablation bench).
+  EvaluatorStats evaluator_stats() const { return evaluator_.stats(); }
 
-  /// Evaluates the workload cost of a candidate state (what-if tables +
-  /// rewrite + plan). Returns the weighted total; per-query costs go to
-  /// `per_query` when non-null. Safe to call concurrently from pool
-  /// workers: it builds a private what-if overlay per call and only reads
-  /// `catalog_` / `workload_` / `options_` (the evaluation counter is
-  /// atomic).
+ private:
+  /// One table's in-progress partitioning state (the engine's design
+  /// currency).
+  using TableState = PartitionedTable;
+
+  /// Evaluates the workload cost of a candidate state through the shared
+  /// engine. Returns the weighted total; per-query costs go to `per_query`
+  /// when non-null. Safe to call concurrently from pool workers: the
+  /// engine's cache is mutex-guarded and each evaluation builds a private
+  /// what-if overlay.
   [[nodiscard]] Result<double> EvaluateState(const std::vector<TableState>& state,
                                std::vector<double>* per_query,
                                std::vector<std::string>* rewritten_sql);
@@ -123,11 +125,9 @@ class AutoPartAdvisor {
   const CatalogReader& catalog_;
   const Workload& workload_;
   AutoPartOptions options_;
-  // Instance-local result statistic surfaced in PartitionAdvice, not a
-  // process-wide tally — the metrics registry would conflate concurrent
-  // searches.
-  // parinda-lint: allow(bare-counter)
-  std::atomic<int> evaluations_{0};
+  /// Derived from options_; threaded through every engine call.
+  EvalContext ctx_;
+  WorkloadEvaluator evaluator_;
 };
 
 }  // namespace parinda

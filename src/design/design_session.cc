@@ -7,7 +7,6 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "optimizer/planner.h"
-#include "rewriter/rewriter.h"
 
 namespace parinda {
 
@@ -54,6 +53,7 @@ Result<OverlayId> DesignSession::AddJoinFlags(WhatIfJoinDef def) {
 
 Result<OverlayId> DesignSession::AddComponent(
     std::unique_ptr<OverlayComponent> component) {
+  const std::vector<char> was_pending = PendingSnapshot();
   entries_.push_back(Entry{next_id_, std::move(component)});
   Status composed = Recompose();
   if (!composed.ok()) {
@@ -61,9 +61,7 @@ Result<OverlayId> DesignSession::AddComponent(
     entries_.pop_back();
     return composed;
   }
-  const Entry& entry = entries_.back();
-  if (entry.component->kind() == OverlayKind::kJoinFlags) ++params_epoch_;
-  InvalidateFor(*entry.component);
+  CountInvalidations(was_pending);
   return next_id_++;
 }
 
@@ -73,6 +71,7 @@ Status DesignSession::Drop(OverlayId id) {
   if (it == entries_.end()) {
     return Status::NotFound("no design feature with id " + std::to_string(id));
   }
+  const std::vector<char> was_pending = PendingSnapshot();
   const size_t pos = static_cast<size_t>(it - entries_.begin());
   Entry removed = std::move(*it);
   entries_.erase(it);
@@ -84,20 +83,16 @@ Status DesignSession::Drop(OverlayId id) {
     PARINDA_CHECK_OK(Recompose());
     return composed;
   }
-  if (removed.component->kind() == OverlayKind::kJoinFlags) ++params_epoch_;
-  InvalidateFor(*removed.component);
+  CountInvalidations(was_pending);
   return Status::OK();
 }
 
 void DesignSession::ClearDesign() {
   if (entries_.empty()) return;
+  const std::vector<char> was_pending = PendingSnapshot();
   entries_.clear();
   PARINDA_CHECK_OK(Recompose());
-  ++params_epoch_;
-  for (QueryState& qs : queries_) {
-    qs.whatif_valid = false;
-    qs.index_only_delta = false;
-  }
+  CountInvalidations(was_pending);
 }
 
 void DesignSession::SetWorkload(const Workload* workload) {
@@ -114,36 +109,39 @@ Status DesignSession::Recompose() {
   }
   PARINDA_RETURN_IF_ERROR(candidate->Compose(components));
   overlay_ = std::move(candidate);
-  return Status::OK();
-}
-
-void DesignSession::InvalidateFor(const OverlayComponent& component) {
-  static metrics::Counter& invalidations =
-      metrics::Registry::Global().counter("design.invalidations");
-  const std::vector<TableId> touched =
-      component.TouchedTables(overlay_->catalog());
-  const bool is_index = component.kind() == OverlayKind::kIndex;
-  for (QueryState& qs : queries_) {
-    const bool affected = touched.empty() || Intersects(qs.tables, touched);
-    if (!affected) continue;
-    if (qs.whatif_valid) {
-      invalidations.Increment();
-      qs.whatif_valid = false;
-      qs.index_only_delta = is_index;
-    } else {
-      // Already pending: the pending re-evaluation may use INUM only if
-      // *every* outstanding delta is an index delta.
-      qs.index_only_delta = qs.index_only_delta && is_index;
+  // The engine's view of the design: one unit per component, in insertion
+  // order. Touched tables resolve through the *composed* catalog (an index
+  // on a what-if fragment depends on the fragment's base parent).
+  units_.clear();
+  nonindex_units_.clear();
+  for (const Entry& entry : entries_) {
+    OverlayUnit unit;
+    unit.tables = entry.component->TouchedTables(overlay_->catalog());
+    std::sort(unit.tables.begin(), unit.tables.end());
+    unit.signature = std::string(OverlayKindName(entry.component->kind())) +
+                     ":" + entry.component->Signature();
+    if (entry.component->kind() != OverlayKind::kIndex) {
+      nonindex_units_.push_back(unit);
     }
+    units_.push_back(std::move(unit));
   }
+  return Status::OK();
 }
 
 void DesignSession::RebuildQueryStates() {
   queries_.clear();
+  evaluator_.reset();
+  inum_bank_.reset();
   const int nq = workload_ == nullptr ? 0 : workload_->size();
+  if (workload_ != nullptr) {
+    evaluator_ = std::make_unique<WorkloadEvaluator>(catalog_, *workload_);
+    inum_bank_ = std::make_unique<InumBank>(catalog_, *workload_);
+  }
   queries_.resize(static_cast<size_t>(nq));
   for (int q = 0; q < nq; ++q) {
     QueryState& qs = queries_[static_cast<size_t>(q)];
+    // First-reference order (not the evaluator's sorted sets): the INUM
+    // configuration below is assembled in this order, as it always was.
     for (const TableRef& ref : workload_->queries[q].stmt.from) {
       if (ref.bound_table == kInvalidTableId) continue;
       if (std::find(qs.tables.begin(), qs.tables.end(), ref.bound_table) ==
@@ -154,11 +152,45 @@ void DesignSession::RebuildQueryStates() {
   }
 }
 
-bool DesignSession::InumEligible(const QueryState& qs) const {
-  if (!qs.index_only_delta) return false;
-  // Table and range-partition components change the catalog content (or the
-  // rewrite) of the queries they touch; INUM models the base catalog, so any
-  // such component on one of this query's tables disqualifies it.
+std::string DesignSession::CurrentKey(int q) const {
+  return evaluator_->KeyFor(q, units_, options_.params);
+}
+
+std::string DesignSession::CurrentNonIndexKey(int q) const {
+  return evaluator_->KeyFor(q, nonindex_units_, options_.params);
+}
+
+bool DesignSession::Pending(int q) const {
+  const QueryState& qs = queries_[static_cast<size_t>(q)];
+  return !qs.has_value || qs.stored_key != CurrentKey(q);
+}
+
+std::vector<char> DesignSession::PendingSnapshot() const {
+  std::vector<char> pending(queries_.size(), 0);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    pending[q] = Pending(static_cast<int>(q)) ? 1 : 0;
+  }
+  return pending;
+}
+
+void DesignSession::CountInvalidations(const std::vector<char>& was_pending) {
+  static metrics::Counter& invalidations =
+      metrics::Registry::Global().counter("design.invalidations");
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    if (!was_pending[q] && Pending(static_cast<int>(q))) {
+      invalidations.Increment();
+    }
+  }
+}
+
+bool DesignSession::InumEligible(int q, const QueryState& qs) const {
+  // Every delta since the stored cost must have been an index delta...
+  if (!qs.has_value || qs.stored_nonindex_key != CurrentNonIndexKey(q)) {
+    return false;
+  }
+  // ...and no table/range component may sit on any of this query's tables:
+  // those change the catalog content (or the rewrite) of the queries they
+  // touch, and INUM models the base catalog.
   for (const Entry& entry : entries_) {
     const OverlayKind kind = entry.component->kind();
     if (kind != OverlayKind::kTable && kind != OverlayKind::kRangePartition) {
@@ -171,21 +203,16 @@ bool DesignSession::InumEligible(const QueryState& qs) const {
   return true;
 }
 
-Result<double> DesignSession::InumRecost(int q, QueryState* qs) {
-  if (qs->inum == nullptr || qs->inum_params_epoch != params_epoch_) {
-    qs->inum = std::make_unique<InumCostModel>(
-        catalog_, workload_->queries[q].stmt, overlay_->params());
-    Status init = qs->inum->Init();
-    if (!init.ok()) {
-      qs->inum.reset();
-      return init;
-    }
-    qs->inum_params_epoch = params_epoch_;
-  }
+Result<double> DesignSession::InumRecost(int q, const QueryState& qs) {
+  // The bank rebuilds the model when the composed params changed (join-flag
+  // deltas); the session never arms a deadline here — INUM recosting is the
+  // cheap path, and budget policing happens per query in Evaluate().
+  PARINDA_ASSIGN_OR_RETURN(InumCostModel * model,
+                           inum_bank_->Model(q, overlay_->params(), nullptr));
   // The configuration the full path would see: the real indexes plus this
   // design's what-if indexes, per referenced table.
   std::vector<const IndexInfo*> config;
-  for (TableId t : qs->tables) {
+  for (TableId t : qs.tables) {
     for (const IndexInfo* index : catalog_.TableIndexes(t)) {
       config.push_back(index);
     }
@@ -193,7 +220,7 @@ Result<double> DesignSession::InumRecost(int q, QueryState* qs) {
       config.push_back(index);
     }
   }
-  return qs->inum->EstimateCost(config);
+  return model->EstimateCost(config);
 }
 
 Result<InteractiveReport> DesignSession::Evaluate() {
@@ -211,32 +238,28 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   // pending, so a later Evaluate() with a fresh budget completes them.
   bool truncated = false;
 
-  PlannerOptions base_options;
-  base_options.params = options_.params;
+  const EvalContext base_ctx{options_.params, /*parallelism=*/0,
+                             options_.deadline, nullptr};
   {
     PhaseTimer timer(&degradation, "base", "design.base");
     for (int q = 0; q < nq; ++q) {
-      QueryState& qs = queries_[static_cast<size_t>(q)];
-      if (qs.base_valid) continue;
+      // Cached costs are served even after the deadline fires; only a cache
+      // miss (a planner call) checks the budget.
+      if (evaluator_->CachedBaseCost(q, options_.params).has_value()) continue;
       if (options_.deadline.Expired()) {
         truncated = true;
         break;
       }
-      PARINDA_ASSIGN_OR_RETURN(
-          Plan plan,
-          PlanQuery(catalog_, workload_->queries[q].stmt, base_options));
-      qs.base_cost = plan.total_cost();
-      qs.base_valid = true;
+      Result<double> base = evaluator_->BaseCost(q, base_ctx);
+      if (!base.ok()) return base.status();
     }
   }
 
-  PlannerOptions whatif_options;
-  whatif_options.params = overlay_->params();
-  whatif_options.hooks = &overlay_->hooks();
   PhaseTimer whatif_timer(&degradation, "whatif", "design.whatif");
   for (int q = 0; q < nq; ++q) {
     QueryState& qs = queries_[static_cast<size_t>(q)];
-    if (qs.whatif_valid) continue;
+    const std::string key = CurrentKey(q);
+    if (qs.has_value && qs.stored_key == key) continue;
     if (truncated || options_.deadline.Expired()) {
       truncated = true;
       break;
@@ -246,10 +269,12 @@ Result<InteractiveReport> DesignSession::Evaluate() {
     static metrics::Counter& eval_full =
         metrics::Registry::Global().counter("design.eval_full");
     bool served = false;
-    if (options_.inum_index_deltas && InumEligible(qs)) {
+    if (options_.inum_index_deltas && InumEligible(q, qs)) {
       // Index deltas never change the rewrite, so the cached rewritten_sql
-      // (set by the prior full evaluation) stays correct.
-      Result<double> cost = InumRecost(q, &qs);
+      // (set by the prior full evaluation) stays correct. INUM's recomposed
+      // cost is approximate and therefore never enters the engine's exact
+      // cost cache — it lives only in this session's per-query state.
+      Result<double> cost = InumRecost(q, qs);
       if (cost.ok()) {
         qs.whatif_cost = *cost;
         ++last_eval_inum_recosts_;
@@ -261,19 +286,19 @@ Result<InteractiveReport> DesignSession::Evaluate() {
     }
     if (!served) {
       eval_full.Increment();
-      PARINDA_ASSIGN_OR_RETURN(
-          RewriteResult rewritten,
-          RewriteForPartitions(overlay_->catalog(), workload_->queries[q].stmt,
-                               overlay_->fragments()));
-      PARINDA_ASSIGN_OR_RETURN(
-          Plan plan,
-          PlanQuery(overlay_->catalog(), rewritten.stmt, whatif_options));
-      qs.whatif_cost = plan.total_cost();
-      qs.rewritten_sql = rewritten.changed ? rewritten.stmt.ToSql()
-                                           : workload_->queries[q].sql;
+      WorkloadEvaluator::OverlayView view;
+      view.catalog = &overlay_->catalog();
+      view.fragments = &overlay_->fragments();
+      view.hooks = &overlay_->hooks();
+      view.params = overlay_->params();
+      PARINDA_ASSIGN_OR_RETURN(WorkloadEvaluator::QueryEval eval,
+                               evaluator_->EvaluateQuery(q, view, key));
+      qs.whatif_cost = eval.cost;
+      qs.rewritten_sql = std::move(eval.rewritten_sql);
     }
-    qs.whatif_valid = true;
-    qs.index_only_delta = false;
+    qs.has_value = true;
+    qs.stored_key = key;
+    qs.stored_nonindex_key = CurrentNonIndexKey(q);
   }
   whatif_timer.Stop();
   if (truncated) degradation.AddFallback("evaluate:truncated");
@@ -283,24 +308,25 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   // session's report is bit-identical to a fresh one's.
   InteractiveReport report;
   report.per_query_base.assign(static_cast<size_t>(nq), 0.0);
-  report.per_query_whatif.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
   report.per_query_benefit_pct.assign(static_cast<size_t>(nq), 0.0);
   report.rewritten_sql.assign(static_cast<size_t>(nq), "");
   for (int q = 0; q < nq; ++q) {
-    const QueryState& qs = queries_[static_cast<size_t>(q)];
-    report.per_query_base[static_cast<size_t>(q)] = qs.base_cost;
-    report.base_cost += qs.base_cost * workload_->queries[q].weight;
+    const double base =
+        evaluator_->CachedBaseCost(q, options_.params).value_or(0.0);
+    report.per_query_base[static_cast<size_t>(q)] = base;
+    report.base_cost += base * workload_->queries[q].weight;
   }
   for (int q = 0; q < nq; ++q) {
     const QueryState& qs = queries_[static_cast<size_t>(q)];
-    report.per_query_whatif[static_cast<size_t>(q)] = qs.whatif_cost;
-    report.whatif_cost += qs.whatif_cost * workload_->queries[q].weight;
+    report.per_query_optimized[static_cast<size_t>(q)] = qs.whatif_cost;
+    report.optimized_cost += qs.whatif_cost * workload_->queries[q].weight;
     report.rewritten_sql[static_cast<size_t>(q)] = qs.rewritten_sql;
     if (report.per_query_base[static_cast<size_t>(q)] > 0.0) {
       report.per_query_benefit_pct[static_cast<size_t>(q)] =
           100.0 *
           (report.per_query_base[static_cast<size_t>(q)] -
-           report.per_query_whatif[static_cast<size_t>(q)]) /
+           report.per_query_optimized[static_cast<size_t>(q)]) /
           report.per_query_base[static_cast<size_t>(q)];
     }
     report.average_benefit_pct +=
@@ -329,8 +355,8 @@ std::vector<DesignSession::ComponentEntry> DesignSession::Components() const {
 
 int DesignSession::pending_queries() const {
   int pending = 0;
-  for (const QueryState& qs : queries_) {
-    if (!qs.whatif_valid) ++pending;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    if (Pending(static_cast<int>(q))) ++pending;
   }
   return pending;
 }

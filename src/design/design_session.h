@@ -9,27 +9,26 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "design/overlay.h"
-#include "inum/inum.h"
+#include "engine/advice.h"
+#include "engine/inum_bank.h"
+#include "engine/workload_evaluator.h"
 #include "workload/workload.h"
 
 namespace parinda {
 
 /// Scenario 1 output: "the average workload benefit and the individual
 /// queries benefits are displayed"; rewritten queries can be saved.
-struct InteractiveReport {
-  double base_cost = 0.0;
-  double whatif_cost = 0.0;
-  std::vector<double> per_query_base;
-  std::vector<double> per_query_whatif;
-  /// Per-query benefit in percent ((base - whatif) / base * 100).
+///
+/// Shares AdviceSummary with the advisor reports: `optimized_cost` /
+/// `per_query_optimized` are the what-if design's costs. When
+/// `degradation.degraded`, some queries kept their last-known (possibly
+/// zero) costs; the next Evaluate() with a fresh budget completes them.
+struct InteractiveReport : AdviceSummary {
+  /// Per-query benefit in percent ((base - optimized) / base * 100).
   std::vector<double> per_query_benefit_pct;
   double average_benefit_pct = 0.0;
   /// Queries rewritten for the what-if partitions.
   std::vector<std::string> rewritten_sql;
-  /// What the budget did to this report. When `degradation.degraded`, some
-  /// queries kept their last-known (possibly zero) costs; the next
-  /// Evaluate() with a fresh budget completes them.
-  DegradationReport degradation;
 };
 
 /// Handle to one design feature inside a session (returned by Add*, consumed
@@ -58,11 +57,15 @@ struct DesignSessionOptions {
 /// scenario 1 loop ("she creates several what-if table partitions and several
 /// what-if indexes", re-checks the benefit, adjusts, repeats).
 ///
-/// The session holds a set of OverlayComponents and a workload, tracks which
-/// base tables each query references, and caches per-query costs. An Add* or
-/// Drop delta invalidates only the queries whose tables the delta touches
-/// (join flags are global), so Evaluate() after a single-table delta re-plans
-/// |queries referencing that table| queries, not the whole workload.
+/// The session holds a set of OverlayComponents and a workload, and costs
+/// queries through the shared evaluation engine (WorkloadEvaluator,
+/// DESIGN.md §13): each query's cached cost is keyed on the signatures of the
+/// overlay units touching its tables, so an Add* or Drop delta leaves the
+/// keys — and the cached costs — of untouched queries intact (join flags are
+/// global). Evaluate() after a single-table delta re-plans |queries
+/// referencing that table| queries, not the whole workload; dropping back to
+/// a previously evaluated design re-plans nothing at all, because the old
+/// keys hit the engine cache.
 ///
 /// Determinism guarantee: Evaluate() returns a report bit-identical to a
 /// fresh stateless evaluation of the same component set, for *any*
@@ -147,33 +150,39 @@ class DesignSession {
   struct QueryState {
     /// Base tables the query references (deduplicated, from the binder).
     std::vector<TableId> tables;
-    bool base_valid = false;
-    double base_cost = 0.0;
-    bool whatif_valid = false;
+    /// True once some evaluation (exact or INUM) stored a what-if cost.
+    bool has_value = false;
     double whatif_cost = 0.0;
     std::string rewritten_sql;
-    /// True when every invalidation since the last evaluation came from
-    /// index components — the precondition for INUM recomposition.
-    bool index_only_delta = false;
-    /// Lazily built INUM model (base catalog, current overlay params).
-    std::unique_ptr<InumCostModel> inum;
-    /// Params epoch inum was built under; stale models are rebuilt.
-    int64_t inum_params_epoch = -1;
+    /// Engine cache key the stored cost was computed under; the query is
+    /// pending while this differs from the current design's key.
+    std::string stored_key;
+    /// Same key restricted to non-index units — when it still matches, every
+    /// delta since the stored cost was an index delta (the precondition for
+    /// INUM plan recomposition).
+    std::string stored_nonindex_key;
   };
 
   [[nodiscard]] Result<OverlayId> AddComponent(
       std::unique_ptr<OverlayComponent> component);
-  /// Rebuilds overlay_ from entries_. The overlay is a pure function of the
-  /// component list, which is what makes cached costs reusable across
-  /// rebuilds.
+  /// Rebuilds overlay_ (and the engine's unit view of it) from entries_.
+  /// The overlay is a pure function of the component list, which is what
+  /// makes cached costs reusable across rebuilds.
   [[nodiscard]] Status Recompose();
-  /// Marks queries touching `component`'s tables for re-evaluation.
-  void InvalidateFor(const OverlayComponent& component);
   void RebuildQueryStates();
+  /// Engine cache key of query `q` under the current design (and the
+  /// non-index restriction of it). Requires a workload.
+  std::string CurrentKey(int q) const;
+  std::string CurrentNonIndexKey(int q) const;
+  /// Whether each query's next Evaluate() must re-cost it; compared across a
+  /// delta to count valid->pending transitions (`design.invalidations`).
+  bool Pending(int q) const;
+  std::vector<char> PendingSnapshot() const;
+  void CountInvalidations(const std::vector<char>& was_pending);
   /// True when query `q` may be re-costed via INUM (index-only delta, no
   /// table/range component on any of its tables).
-  bool InumEligible(const QueryState& qs) const;
-  [[nodiscard]] Result<double> InumRecost(int q, QueryState* qs);
+  bool InumEligible(int q, const QueryState& qs) const;
+  [[nodiscard]] Result<double> InumRecost(int q, const QueryState& qs);
 
   const CatalogReader& catalog_;
   const Workload* workload_;
@@ -181,9 +190,17 @@ class DesignSession {
   std::vector<Entry> entries_;
   OverlayId next_id_ = 1;
   std::unique_ptr<ComposedOverlay> overlay_;
-  /// Bumped whenever the composed params change (join-flag deltas), so INUM
-  /// models built under old params are rebuilt.
-  int64_t params_epoch_ = 0;
+  /// The current design as the engine cache sees it: one (touched tables,
+  /// signature) unit per component, in insertion order; nonindex_units_
+  /// excludes index components.
+  std::vector<OverlayUnit> units_;
+  std::vector<OverlayUnit> nonindex_units_;
+  /// Shared evaluation engine over (catalog_, *workload_); null without a
+  /// workload, rebuilt by SetWorkload.
+  std::unique_ptr<WorkloadEvaluator> evaluator_;
+  /// Per-query INUM models for the incremental index-delta path; the bank
+  /// rebuilds a model when the composed params change (join-flag deltas).
+  std::unique_ptr<InumBank> inum_bank_;
   std::vector<QueryState> queries_;
   int64_t last_eval_planner_calls_ = 0;
   int last_eval_inum_recosts_ = 0;

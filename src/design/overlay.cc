@@ -1,5 +1,8 @@
 #include "design/overlay.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "common/check.h"
@@ -7,6 +10,35 @@
 namespace parinda {
 
 namespace {
+
+/// Bit-exact rendering for signature strings (Value::ToString's decimal
+/// formatting can collide for distinct doubles).
+void AppendSignatureValue(std::string* out, const Value& value) {
+  if (value.is_null()) {
+    *out += "null";
+    return;
+  }
+  if (value.type() == ValueType::kDouble) {
+    const double d = value.AsDouble();
+    unsigned long long bits = 0;
+    static_assert(sizeof(bits) >= sizeof(d));
+    std::memcpy(&bits, &d, sizeof(d));
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "x%016llx", bits);
+    *out += buf;
+    return;
+  }
+  *out += value.ToString();
+}
+
+void AppendColumnIds(std::string* out, const std::vector<ColumnId>& columns) {
+  *out += "[";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += std::to_string(columns[i]);
+  }
+  *out += "]";
+}
 
 std::string TableName(const CatalogReader& catalog, TableId id) {
   const TableInfo* table = catalog.GetTable(id);
@@ -56,6 +88,12 @@ class IndexOverlay : public OverlayComponent {
            "(" + ColumnList(catalog, def_.table, def_.columns) + ")" +
            (def_.unique ? " unique" : "");
   }
+  std::string Signature() const override {
+    std::string out = def_.name + ":" + std::to_string(def_.table) + ":";
+    AppendColumnIds(&out, def_.columns);
+    out += def_.unique ? ":u" : ":n";
+    return out;
+  }
   Status ApplyTo(ComposedOverlay* overlay) const override {
     return overlay->ApplyIndex(def_);
   }
@@ -76,6 +114,12 @@ class TableOverlay : public OverlayComponent {
     return "partition " + def_.name + " of " +
            TableName(catalog, def_.parent) + " { " +
            ColumnList(catalog, def_.parent, def_.columns) + " }";
+  }
+  std::string Signature() const override {
+    // The fragment name is plan-relevant: it appears in rewritten SQL.
+    std::string out = def_.name + ":" + std::to_string(def_.parent) + ":";
+    AppendColumnIds(&out, def_.columns);
+    return out;
   }
   Status ApplyTo(ComposedOverlay* overlay) const override {
     return overlay->ApplyPartition(def_);
@@ -99,6 +143,16 @@ class RangePartitionOverlay : public OverlayComponent {
            " on " + ColumnList(catalog, def_.parent, {def_.column}) +
            " into " + std::to_string(def_.bounds.size() + 1) + " ranges";
   }
+  std::string Signature() const override {
+    std::string out = std::to_string(def_.parent) + ":" +
+                      std::to_string(def_.column) + ":[";
+    for (size_t i = 0; i < def_.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendSignatureValue(&out, def_.bounds[i]);
+    }
+    out += "]:" + def_.name_prefix;
+    return out;
+  }
   Status ApplyTo(ComposedOverlay* overlay) const override {
     return overlay->ApplyRangePartitioning(def_);
   }
@@ -119,6 +173,13 @@ class JoinFlagsOverlay : public OverlayComponent {
     out += def_.enable_nestloop ? " nestloop=on" : " nestloop=off";
     out += def_.enable_mergejoin ? " mergejoin=on" : " mergejoin=off";
     out += def_.enable_hashjoin ? " hashjoin=on" : " hashjoin=off";
+    return out;
+  }
+  std::string Signature() const override {
+    std::string out;
+    out += def_.enable_nestloop ? 'N' : 'n';
+    out += def_.enable_mergejoin ? 'M' : 'm';
+    out += def_.enable_hashjoin ? 'H' : 'h';
     return out;
   }
   Status ApplyTo(ComposedOverlay* overlay) const override {

@@ -54,6 +54,14 @@ class OverlayComponent {
   /// Human-readable one-liner (REPL `list`, DesignSession::Components).
   virtual std::string Describe(const CatalogReader& catalog) const = 0;
 
+  /// Content signature: two components of the same kind with equal
+  /// signatures contribute identically to any composed overlay. DesignSession
+  /// feeds these to the engine's cost cache (WorkloadEvaluator::OverlayUnit),
+  /// so dropping and re-adding an identical feature hits the cache instead of
+  /// re-planning. Doubles are hex-encoded bit-exactly — two signatures are
+  /// equal iff the definitions are.
+  virtual std::string Signature() const = 0;
+
   /// Installs this feature into `overlay`; called by ComposedOverlay::Compose
   /// in kind-major order.
   [[nodiscard]] virtual Status ApplyTo(ComposedOverlay* overlay) const = 0;

@@ -1,0 +1,35 @@
+#ifndef PARINDA_ENGINE_ADVICE_H_
+#define PARINDA_ENGINE_ADVICE_H_
+
+#include <vector>
+
+#include "common/deadline.h"
+
+namespace parinda {
+
+/// The report fields every advisor result shares: workload cost before and
+/// after the suggested design, the per-query breakdown, and what the anytime
+/// pipeline did to stay within budget. `IndexAdvice`, `PartitionAdvice`, and
+/// `InteractiveReport` all extend this, so the fields — and the Speedup()
+/// guard against a zero/negative optimized cost — exist exactly once.
+struct AdviceSummary {
+  /// Total workload cost under the current (unmodified) design.
+  double base_cost = 0.0;
+  /// Total workload cost under the suggested / what-if design.
+  double optimized_cost = 0.0;
+  /// Per-query costs (same order as the workload).
+  std::vector<double> per_query_base;
+  std::vector<double> per_query_optimized;
+  /// What the anytime pipeline did to stay within its budget.
+  DegradationReport degradation;
+
+  /// base/optimized cost ratio; 1.0 when the optimized cost is degenerate
+  /// (zero or negative), so a truncated run never reports a bogus speedup.
+  double Speedup() const {
+    return optimized_cost > 0.0 ? base_cost / optimized_cost : 1.0;
+  }
+};
+
+}  // namespace parinda
+
+#endif  // PARINDA_ENGINE_ADVICE_H_

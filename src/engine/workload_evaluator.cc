@@ -1,0 +1,380 @@
+#include "engine/workload_evaluator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/metrics.h"
+#include "optimizer/planner.h"
+#include "rewriter/rewriter.h"
+#include "whatif/whatif_table.h"
+
+namespace parinda {
+
+namespace {
+
+// Process-wide mirrors of the per-instance EvaluatorStats, so cache
+// effectiveness shows up in `stats` and the bench JSON exports without an
+// evaluator in hand. Instruments only — decisions never read them back.
+metrics::Counter& EvaluationsCounter() {
+  static metrics::Counter& counter =
+      metrics::Registry::Global().counter("engine.evaluations");
+  return counter;
+}
+metrics::Counter& CacheHitsCounter() {
+  static metrics::Counter& counter =
+      metrics::Registry::Global().counter("engine.cache_hits");
+  return counter;
+}
+metrics::Counter& CacheMissesCounter() {
+  static metrics::Counter& counter =
+      metrics::Registry::Global().counter("engine.cache_misses");
+  return counter;
+}
+
+void AppendHexDouble(std::string* out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  *out += buf;
+}
+
+/// Exact signature of one table's vertical partitioning. Fragment order is
+/// significant: search-pass fragment names embed the fragment ordinal.
+std::string PartitioningSignature(const PartitionedTable& entry) {
+  std::string sig = "vp:" + std::to_string(entry.table) + ':';
+  for (const std::vector<ColumnId>& fragment : entry.fragments) {
+    sig += '[';
+    for (size_t i = 0; i < fragment.size(); ++i) {
+      if (i > 0) sig += ',';
+      sig += std::to_string(fragment[i]);
+    }
+    sig += ']';
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::string ParamsSignature(const CostParams& params) {
+  const double doubles[] = {
+      params.seq_page_cost,      params.random_page_cost,
+      params.cpu_tuple_cost,     params.cpu_index_tuple_cost,
+      params.cpu_operator_cost,  params.effective_cache_size,
+      params.work_mem_bytes,
+  };
+  std::string sig;
+  sig.reserve(sizeof(doubles) / sizeof(doubles[0]) * 16 + 8);
+  for (double d : doubles) {
+    AppendHexDouble(&sig, d);
+  }
+  const bool flags[] = {params.enable_seqscan,   params.enable_indexscan,
+                        params.enable_nestloop,  params.enable_mergejoin,
+                        params.enable_hashjoin,  params.enable_sort};
+  for (bool f : flags) {
+    sig += f ? '1' : '0';
+  }
+  return sig;
+}
+
+WorkloadEvaluator::WorkloadEvaluator(const CatalogReader& catalog,
+                                     const Workload& workload)
+    : catalog_(catalog), workload_(workload) {
+  query_tables_.resize(workload_.queries.size());
+  base_.assign(workload_.queries.size(), {std::string(), 0.0});
+  for (size_t q = 0; q < workload_.queries.size(); ++q) {
+    std::vector<TableId>& tables = query_tables_[q];
+    for (const TableRef& ref : workload_.queries[q].stmt.from) {
+      tables.push_back(ref.bound_table);
+    }
+    std::sort(tables.begin(), tables.end());
+    tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  }
+}
+
+const std::vector<TableId>& WorkloadEvaluator::QueryTables(int q) const {
+  return query_tables_[static_cast<size_t>(q)];
+}
+
+bool WorkloadEvaluator::Touches(const std::vector<TableId>& query_tables,
+                                const std::vector<TableId>& touched) {
+  if (touched.empty()) return true;  // global feature (e.g. join flags)
+  for (TableId t : touched) {
+    if (std::binary_search(query_tables.begin(), query_tables.end(), t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string WorkloadEvaluator::KeyFor(int q,
+                                      const std::vector<OverlayUnit>& units,
+                                      const CostParams& params) const {
+  std::string key = "q" + std::to_string(q) + '|' + ParamsSignature(params);
+  const std::vector<TableId>& tables = QueryTables(q);
+  for (const OverlayUnit& unit : units) {
+    if (!Touches(tables, unit.tables)) continue;
+    key += '|';
+    key += unit.signature;
+  }
+  return key;
+}
+
+std::optional<double> WorkloadEvaluator::CachedBaseCost(
+    int q, const CostParams& params) const {
+  const std::string sig = ParamsSignature(params);
+  MutexLock lock(mu_);
+  const auto& slot = base_[static_cast<size_t>(q)];
+  if (!slot.first.empty() && slot.first == sig) return slot.second;
+  return std::nullopt;
+}
+
+Result<double> WorkloadEvaluator::BaseCost(int q, const EvalContext& ctx) {
+  const std::string sig = ParamsSignature(ctx.params);
+  {
+    MutexLock lock(mu_);
+    const auto& slot = base_[static_cast<size_t>(q)];
+    if (!slot.first.empty() && slot.first == sig) {
+      ++stats_.cache_hits;
+      const double cost = slot.second;
+      // Counter bump intentionally outside the lock.
+      CacheHitsCounter().Increment();
+      return cost;
+    }
+  }
+  PlannerOptions planner_options;
+  planner_options.params = ctx.params;
+  PARINDA_ASSIGN_OR_RETURN(
+      Plan plan,
+      PlanQuery(catalog_, workload_.queries[static_cast<size_t>(q)].stmt,
+                planner_options));
+  const double cost = plan.total_cost();
+  {
+    MutexLock lock(mu_);
+    base_[static_cast<size_t>(q)] = {sig, cost};
+    ++stats_.cache_misses;
+  }
+  CacheMissesCounter().Increment();
+  return cost;
+}
+
+Result<WorkloadEvaluator::QueryEval> WorkloadEvaluator::EvaluateQuery(
+    int q, const OverlayView& view, const std::string& key) {
+  const WorkloadQuery& query = workload_.queries[static_cast<size_t>(q)];
+  if (!key.empty()) {
+    MutexLock lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.has_sql) {
+      ++stats_.cache_hits;
+      QueryEval out;
+      out.cost = it->second.cost;
+      out.rewritten_sql = it->second.rewritten_sql;
+      CacheHitsCounter().Increment();
+      return out;
+    }
+  }
+  PARINDA_ASSIGN_OR_RETURN(
+      RewriteResult rewritten,
+      RewriteForPartitions(*view.catalog, query.stmt, *view.fragments));
+  PlannerOptions planner_options;
+  planner_options.params = view.params;
+  planner_options.hooks = view.hooks;
+  PARINDA_ASSIGN_OR_RETURN(
+      Plan plan, PlanQuery(*view.catalog, rewritten.stmt, planner_options));
+  QueryEval out;
+  out.cost = plan.total_cost();
+  out.rewritten_sql = rewritten.changed ? rewritten.stmt.ToSql() : query.sql;
+  if (!key.empty()) {
+    {
+      MutexLock lock(mu_);
+      ++stats_.cache_misses;
+      CacheEntry& entry = cache_[key];
+      entry.cost = out.cost;
+      entry.has_sql = true;
+      entry.rewritten_sql = out.rewritten_sql;
+    }
+    CacheMissesCounter().Increment();
+  }
+  return out;
+}
+
+std::string WorkloadEvaluator::PlanKeyFor(int q, const std::string& params_sig,
+                                          const CatalogReader& overlay,
+                                          const SelectStatement& stmt) const {
+  std::string key = "plan:" + std::to_string(q) + '|' + params_sig;
+  for (const TableRef& ref : stmt.from) {
+    key += '|';
+    const TableInfo* info = overlay.GetTable(ref.bound_table);
+    if (info == nullptr) {
+      key += "?:" + std::to_string(ref.bound_table);
+    } else if (info->parent_table == kInvalidTableId) {
+      // A base table: identified by its stable catalog id.
+      key += "b:" + std::to_string(ref.bound_table);
+    } else {
+      // A what-if fragment: identified by content (parent + column names),
+      // not by its per-overlay id or name — statistics derive
+      // deterministically from the parent and the column set, so
+      // content-identical fragments cost the same in any overlay.
+      key += "f:" + std::to_string(info->parent_table) + ':';
+      for (ColumnId c = 0; c < info->schema.num_columns(); ++c) {
+        if (c > 0) key += ',';
+        key += info->schema.column(c).name;
+      }
+    }
+  }
+  return key;
+}
+
+Result<double> WorkloadEvaluator::EvaluatePartitioning(
+    const std::vector<PartitionedTable>& design, const EvalContext& ctx,
+    const PartitionEvalOptions& opts, std::vector<double>* per_query,
+    std::vector<std::string>* rewritten_sql) {
+  {
+    MutexLock lock(mu_);
+    ++stats_.evaluations;
+  }
+  EvaluationsCounter().Increment();
+  // The reporting pass (stable names + rewritten SQL) always does the full
+  // rewrite-and-plan work: its fragment names cross table boundaries and its
+  // SQL output is not cached.
+  const bool use_cache =
+      opts.use_cache && !opts.stable_names && rewritten_sql == nullptr;
+  std::string params_sig;
+  std::vector<std::string> unit_sigs;
+  if (use_cache) {
+    params_sig = ParamsSignature(ctx.params);
+    unit_sigs.reserve(design.size());
+    for (const PartitionedTable& entry : design) {
+      unit_sigs.push_back(PartitioningSignature(entry));
+    }
+  }
+  // The what-if overlay is materialized lazily: when every query is served
+  // from the cache, no hypothetical tables are built at all.
+  WhatIfTableCatalog overlay(catalog_);
+  std::vector<const TableInfo*> fragments;
+  bool overlay_built = false;
+  auto build_overlay = [&]() -> Status {
+    int global_index = 0;
+    for (const PartitionedTable& entry : design) {
+      const TableInfo* parent = catalog_.GetTable(entry.table);
+      for (size_t k = 0; k < entry.fragments.size(); ++k) {
+        WhatIfPartitionDef def;
+        def.parent = entry.table;
+        def.columns = entry.fragments[k];
+        // Search-pass names only need to be unique within this call's
+        // private overlay (table + fragment ordinal suffices) and are a
+        // deterministic function of the design, so equal cache keys imply
+        // identically named overlays. The reporting pass uses the stable
+        // `<table>_part<k>` names MaterializePartitions will create.
+        def.name = opts.stable_names
+                       ? parent->name + "_part" + std::to_string(global_index)
+                       : "wif_" + std::to_string(entry.table) + "_f" +
+                             std::to_string(k);
+        ++global_index;
+        PARINDA_ASSIGN_OR_RETURN(TableId id, overlay.AddPartition(def));
+        fragments.push_back(overlay.GetTable(id));
+      }
+    }
+    overlay_built = true;
+    return Status::OK();
+  };
+  PlannerOptions planner_options;
+  planner_options.params = ctx.params;
+  double total = 0.0;
+  for (int q = 0; q < workload_.size(); ++q) {
+    PARINDA_RETURN_IF_ERROR(ctx.deadline.CheckOk("engine.evaluate"));
+    if (ctx.cancellation != nullptr) {
+      PARINDA_RETURN_IF_ERROR(ctx.cancellation->CheckOk("engine.evaluate"));
+    }
+    const WorkloadQuery& query = workload_.queries[static_cast<size_t>(q)];
+    // Level 1: the design restricted to the tables this query reads. A
+    // candidate move on other tables leaves this key unchanged — the
+    // table-dependency invalidation rule.
+    std::string key;
+    if (use_cache) {
+      key = "q" + std::to_string(q) + '|' + params_sig;
+      for (size_t i = 0; i < design.size(); ++i) {
+        if (!std::binary_search(query_tables_[static_cast<size_t>(q)].begin(),
+                                query_tables_[static_cast<size_t>(q)].end(),
+                                design[i].table)) {
+          continue;
+        }
+        key += '|';
+        key += unit_sigs[i];
+      }
+      std::optional<double> hit;
+      {
+        MutexLock lock(mu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+          ++stats_.cache_hits;
+          hit = it->second.cost;
+        }
+      }
+      if (hit.has_value()) {
+        CacheHitsCounter().Increment();
+        if (per_query != nullptr) (*per_query)[q] = *hit;
+        total += *hit * query.weight;
+        continue;
+      }
+    }
+    if (!overlay_built) {
+      PARINDA_RETURN_IF_ERROR(build_overlay());
+    }
+    PARINDA_ASSIGN_OR_RETURN(
+        RewriteResult rewritten,
+        RewriteForPartitions(overlay, query.stmt, fragments));
+    // Level 2: keyed on the fragments the rewriter actually chose, by
+    // content. Designs that differ only in tables (or fragments) this
+    // query's rewrite ignored plan identically.
+    std::string plan_key;
+    if (use_cache) {
+      plan_key = PlanKeyFor(q, params_sig, overlay, rewritten.stmt);
+      std::optional<double> hit;
+      {
+        MutexLock lock(mu_);
+        auto it = cache_.find(plan_key);
+        if (it != cache_.end()) {
+          ++stats_.cache_hits;
+          hit = it->second.cost;
+          cache_[key].cost = *hit;  // promote to the level-1 key too
+        }
+      }
+      if (hit.has_value()) {
+        CacheHitsCounter().Increment();
+        if (per_query != nullptr) (*per_query)[q] = *hit;
+        total += *hit * query.weight;
+        continue;
+      }
+    }
+    PARINDA_ASSIGN_OR_RETURN(
+        Plan plan, PlanQuery(overlay, rewritten.stmt, planner_options));
+    const double cost = plan.total_cost();
+    if (use_cache) {
+      {
+        MutexLock lock(mu_);
+        ++stats_.cache_misses;
+        cache_[key].cost = cost;
+        cache_[plan_key].cost = cost;
+      }
+      CacheMissesCounter().Increment();
+    }
+    if (per_query != nullptr) (*per_query)[q] = cost;
+    if (rewritten_sql != nullptr) {
+      (*rewritten_sql)[q] = rewritten.stmt.ToSql();
+    }
+    total += cost * query.weight;
+  }
+  return total;
+}
+
+EvaluatorStats WorkloadEvaluator::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace parinda

@@ -50,7 +50,7 @@ std::string FormatInteractiveReport(const CatalogReader& catalog,
                                  "what-if", "benefit");
   for (size_t q = 0; q < report.per_query_base.size(); ++q) {
     out += StringPrintf("Q%-4zu %12.1f %12.1f %8.1f%%\n", q + 1,
-                        report.per_query_base[q], report.per_query_whatif[q],
+                        report.per_query_base[q], report.per_query_optimized[q],
                         report.per_query_benefit_pct[q]);
   }
   out += StringPrintf("average workload benefit: %.1f%%\n",

@@ -7,6 +7,7 @@
 #include "optimizer/query_analysis.h"
 #include "tests/test_util.h"
 #include "workload/sdss.h"
+#include "workload/tpch_mini.h"
 
 namespace parinda {
 namespace {
@@ -384,6 +385,151 @@ TEST_F(IndexAdvisorTest, GreedyAlsoBitIdenticalAcrossParallelism) {
     EXPECT_EQ(parallel.indexes[s].benefit, serial.indexes[s].benefit);
   }
   EXPECT_EQ(parallel.optimized_cost, serial.optimized_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Golden bit-identity tests over the two demo schemas. The literals were
+// captured from the pre-engine advisor with %.17g (exact double round-trip),
+// so every EXPECT_EQ below is bit-for-bit. The engine-backed advisor (shared
+// EvalContext + InumBank) must reproduce them exactly at any parallelism.
+// ---------------------------------------------------------------------------
+
+struct GoldenIndex {
+  const char* name;
+  double benefit;
+  double size_bytes;
+  std::vector<ColumnId> columns;
+  std::vector<int> used_by;
+};
+
+void ExpectGoldenIndexes(const IndexAdvice& advice,
+                         const std::vector<GoldenIndex>& golden) {
+  ASSERT_EQ(advice.indexes.size(), golden.size());
+  for (size_t s = 0; s < golden.size(); ++s) {
+    SCOPED_TRACE(golden[s].name);
+    EXPECT_EQ(advice.indexes[s].def.name, golden[s].name);
+    EXPECT_EQ(advice.indexes[s].def.columns, golden[s].columns);
+    EXPECT_EQ(advice.indexes[s].benefit, golden[s].benefit);
+    EXPECT_EQ(advice.indexes[s].size_bytes, golden[s].size_bytes);
+    EXPECT_EQ(advice.indexes[s].used_by, golden[s].used_by);
+  }
+}
+
+TEST(IlpGoldenTest, SdssIlpAdviceBitIdenticalAcrossParallelism) {
+  Database db;
+  SdssConfig config;
+  config.photoobj_rows = 3000;
+  auto dataset = BuildSdssDatabase(&db, config);
+  ASSERT_TRUE(dataset.ok());
+  auto workload = MakeSdssWorkload(db.catalog());
+  ASSERT_TRUE(workload.ok());
+
+  const std::vector<GoldenIndex> kGolden = {
+      {"cand_t1_c1", 30.075450860400053, 98304.0, {1}, {0}},
+      {"cand_t1_c2", 55.378864558738513, 98304.0, {2}, {21}},
+      {"cand_t1_c8", 55.691536964647682, 98304.0, {8}, {2, 27}},
+      {"cand_t1_c9", 90.448379018509243, 98304.0, {9}, {3, 8, 24}},
+      {"cand_t1_c3_c17", 25.825874555457347, 122880.0, {3, 17}, {4}},
+      {"cand_t1_c0", 238.44, 98304.0, {0}, {5, 9, 11}},
+      {"cand_t1_c3_c9", 117.13087808739164, 122880.0, {3, 9}, {7, 28}},
+      {"cand_t3_c2", 19.678474037265726, 49152.0, {2}, {16, 17}},
+      {"cand_t3_c0_c2", 22.488227954566248, 65536.0, {0, 2}, {15}},
+      {"cand_t4_c0", 33.115000000000002, 73728.0, {0}, {18}},
+      {"cand_t4_c2", 17.629426697282234, 73728.0, {2}, {19}},
+      {"cand_t1_c5", 31.391786953988557, 98304.0, {5}, {20}},
+      {"cand_t1_c4_c6", 86.119853905503035, 122880.0, {4, 6}, {22}},
+      {"cand_t1_c20", 32.21458627177114, 98304.0, {20}, {26}}};
+  const std::vector<double> kGoldenBase = {
+      131,                127.95750000000001, 131,
+      123.5,              132.44499999999999, 123.5,
+      131.03,             131.30151484454402, 131,
+      131.43000000000001, 8.5299999999999994, 132.04500000000002,
+      7.7625000000000002, 132.95750000000001, 170.47500000000002,
+      34.5,               30.800000000000001, 157.655,
+      45.152499999999996, 45.447499999999998, 131,
+      123.5,              131.0925,           12.685,
+      131.94749999999999, 8.0525000000000002, 131,
+      125.285,            131.78999999999999, 10.287712818167536};
+  const std::vector<double> kGoldenOptimized = {
+      100.92454913959995, 127.95750000000001, 99.079830511592945,
+      98.050724545470899, 106.61912544454265, 12.01,
+      131.03,             45.481629955163825, 97.959590167406233,
+      103.97,             8.5299999999999994, 32.555000000000007,
+      7.7625000000000002, 132.95750000000001, 170.47500000000002,
+      12.011772045433752, 20.977787647527272, 147.798738315207,
+      12.037499999999996, 27.818073302717764, 99.608213046011443,
+      68.121135441261487, 44.972646094496966, 12.685,
+      99.988806268613615, 8.0525000000000002, 98.78541372822886,
+      101.51363252375937, 100.47900680198855, 10.287712818167536};
+
+  for (int parallelism : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "parallelism=" << parallelism);
+    IndexAdvisorOptions options;
+    options.parallelism = parallelism;
+    IndexAdvisor advisor(db.catalog(), *workload, options);
+    auto advice = advisor.SuggestWithIlp();
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+
+    EXPECT_EQ(advice->base_cost, 2996.1292276627114);
+    EXPECT_EQ(advice->optimized_cost, 2140.50088779719);
+    EXPECT_EQ(advice->total_size_bytes, 1318912.0);
+    EXPECT_TRUE(advice->proved_optimal);
+    EXPECT_EQ(advice->optimizer_calls, 106);
+    EXPECT_EQ(advice->inum_estimates, 1189);
+    ExpectGoldenIndexes(*advice, kGolden);
+    EXPECT_EQ(advice->per_query_base, kGoldenBase);
+    EXPECT_EQ(advice->per_query_optimized, kGoldenOptimized);
+  }
+}
+
+TEST(IlpGoldenTest, TpchMiniIlpAdviceBitIdenticalAcrossParallelism) {
+  Database db;
+  TpchMiniConfig config;
+  auto dataset = BuildTpchMiniDatabase(&db, config);
+  ASSERT_TRUE(dataset.ok());
+  auto workload = MakeTpchMiniWorkload(db.catalog());
+  ASSERT_TRUE(workload.ok());
+
+  const std::vector<GoldenIndex> kGolden = {
+      {"cand_t2_c6", 317.97633874999997, 966656.0, {6}, {1}},
+      {"cand_t2_c7", 25.480000000000018, 876544.0, {7}, {11}},
+      {"cand_t0_c0", 4.3574999999999875, 24576.0, {0}, {9}},
+      {"cand_t1_c3", 36.155133333333424, 245760.0, {3}, {2}},
+      {"cand_t1_c1", 116.57520288587179, 245760.0, {1}, {9}},
+      {"cand_t1_c0", 152.73249999999999, 245760.0, {0}, {3}},
+      {"cand_t2_c0", 693.21981291875363, 966656.0, {0}, {7}},
+      {"cand_t3_c0", 19.732500000000002, 49152.0, {0}, {4}},
+      {"cand_t1_c4_c3", 94.375682400000002, 360448.0, {4, 3}, {6}},
+      {"cand_t3_c2", 0.76999999999998181, 49152.0, {2}, {8}}};
+  const std::vector<double> kGoldenBase = {
+      987.43127443751087, 867.58000000000004, 943.83500000000004,
+      164.75,             31.75,              16.375,
+      184.1225,           716.04999999999995, 856.21749999999997,
+      181.22499999999999, 628.75030801014771, 1249.7550000000001};
+  const std::vector<double> kGoldenOptimized = {
+      987.43127443751087, 549.60366125000007, 907.67986666666661,
+      12.0175,            12.0175,            16.375,
+      89.7468176,         22.830187081246336, 855.44749999999999,
+      60.29229711412821,  628.75030801014771, 1224.2750000000001};
+
+  for (int parallelism : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "parallelism=" << parallelism);
+    IndexAdvisorOptions options;
+    options.parallelism = parallelism;
+    IndexAdvisor advisor(db.catalog(), *workload, options);
+    auto advice = advisor.SuggestWithIlp();
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+
+    EXPECT_EQ(advice->base_cost, 6827.8415824476588);
+    EXPECT_EQ(advice->optimized_cost, 5366.4669121596999);
+    EXPECT_EQ(advice->total_size_bytes, 4030464.0);
+    EXPECT_TRUE(advice->proved_optimal);
+    EXPECT_EQ(advice->optimizer_calls, 96);
+    EXPECT_EQ(advice->inum_estimates, 322);
+    ExpectGoldenIndexes(*advice, kGolden);
+    EXPECT_EQ(advice->per_query_base, kGoldenBase);
+    EXPECT_EQ(advice->per_query_optimized, kGoldenOptimized);
+  }
 }
 
 }  // namespace

@@ -141,6 +141,32 @@ TEST(AnalyzeLayering, AcyclicDiamondIsClean) {
   EXPECT_EQ(CountCheck(diags, "include-cycle"), 0);
 }
 
+TEST(AnalyzeLayering, EngineSitsBetweenSolversAndAdvisors) {
+  // The real layering: engine/ may reach down into inum/ (and lower), the
+  // advisor stratum may reach down into engine/, and inum/ must not reach
+  // up into engine/.
+  Analyzer analyzer;
+  analyzer.AddSource("src/inum/inum.h",
+                     "#ifndef I_\n#define I_\n"
+                     "#include \"engine/engine.h\"\n"
+                     "#endif\n");
+  analyzer.AddSource("src/inum/model.h", "#ifndef M_\n#define M_\n#endif\n");
+  analyzer.AddSource("src/engine/engine.h",
+                     "#ifndef E_\n#define E_\n"
+                     "#include \"inum/model.h\"\n"
+                     "#endif\n");
+  analyzer.AddSource("src/autopart/autopart.h",
+                     "#ifndef A_\n#define A_\n"
+                     "#include \"engine/engine.h\"\n"
+                     "#endif\n");
+  auto diags = analyzer.Run(
+      LayersOnly("layer inum\nlayer engine\nlayer autopart\n"));
+  ASSERT_EQ(CountCheck(diags, "layering"), 1);
+  const Diagnostic* up = FindCheck(diags, "layering");
+  EXPECT_EQ(up->file, "src/inum/inum.h");
+  EXPECT_NE(up->message.find("higher layer"), std::string::npos);
+}
+
 TEST(AnalyzeLayering, MalformedConfigIsReported) {
   Analyzer analyzer;
   analyzer.AddSource("src/m/a.h", "#ifndef A_\n#define A_\n#endif\n");

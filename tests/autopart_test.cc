@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <utility>
 
 #include "common/check.h"
 #include "autopart/autopart.h"
+#include "optimizer/planner.h"
 #include "tests/test_util.h"
 #include "workload/sdss.h"
+#include "workload/tpch_mini.h"
 
 namespace parinda {
 namespace {
@@ -244,6 +247,182 @@ TEST_F(AutoPartTest, PerQueryCostsConsistent) {
   double total = 0.0;
   for (double c : advice->per_query_optimized) total += c;
   EXPECT_NEAR(total, advice->optimized_cost, advice->optimized_cost * 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Golden bit-identity tests. The literals below were captured from the
+// pre-engine advisor (full re-plan per candidate, no caching) with %.17g, so
+// they round-trip doubles exactly: EXPECT_EQ on a double against one of
+// these literals is a bit-for-bit test. The engine's cost cache must
+// reproduce them exactly at any parallelism, cached or not — caching may
+// change how often the planner runs, never what it returns.
+// ---------------------------------------------------------------------------
+
+TEST_F(AutoPartTest, GoldenSdssAdviceBitIdenticalAcrossParallelismAndCache) {
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT avg(petrorad_r) FROM photoobj WHERE type = 3",
+       "SELECT count(*) FROM photoobj WHERE r BETWEEN 15 AND 16",
+       "SELECT ra, dec FROM photoobj WHERE dec > 80"});
+  ASSERT_TRUE(workload.ok());
+
+  const std::vector<std::vector<ColumnId>> kGoldenFragments = {
+      {4, 5, 6, 7, 8, 10, 11, 12, 13, 14, 15, 16, 18, 19, 20, 21, 22, 23, 24},
+      {3, 17},
+      {9},
+      {1, 2}};
+  const std::vector<double> kGoldenBase = {127.95750000000001,
+                                           123.80250000000001, 123.5};
+  const std::vector<double> kGoldenOptimized = {61.957499999999996,
+                                                54.802499999999995, 57.5};
+  const std::vector<std::string> kGoldenSql = {
+      "SELECT avg(photoobj_p0.petrorad_r) FROM photoobj_part1 photoobj_p0 "
+      "WHERE (photoobj_p0.type = 3)",
+      "SELECT count(*) FROM photoobj_part2 photoobj_p0 "
+      "WHERE (photoobj_p0.r BETWEEN 15 AND 16)",
+      "SELECT photoobj_p0.ra, photoobj_p0.dec FROM photoobj_part3 photoobj_p0 "
+      "WHERE (photoobj_p0.dec > 80)"};
+
+  for (int parallelism : {1, 4}) {
+    for (bool cache : {true, false}) {
+      SCOPED_TRACE(testing::Message() << "parallelism=" << parallelism
+                                      << " engine_cache=" << cache);
+      AutoPartOptions options;
+      options.max_iterations = 3;
+      options.parallelism = parallelism;
+      options.engine_cache = cache;
+      AutoPartAdvisor advisor(db_->catalog(), *workload, options);
+      auto advice = advisor.Suggest();
+      ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+
+      EXPECT_EQ(advice->base_cost, 375.25999999999999);
+      EXPECT_EQ(advice->optimized_cost, 174.25999999999999);
+      EXPECT_EQ(advice->replicated_bytes, 72000.0);
+      EXPECT_EQ(advice->evaluations, 14);
+      EXPECT_EQ(advice->iterations_run, 1);
+      ASSERT_EQ(advice->fragments.size(), kGoldenFragments.size());
+      for (size_t f = 0; f < kGoldenFragments.size(); ++f) {
+        EXPECT_EQ(advice->fragments[f].table, photoobj_);
+        EXPECT_EQ(advice->fragments[f].columns, kGoldenFragments[f]);
+      }
+      EXPECT_EQ(advice->per_query_base, kGoldenBase);
+      EXPECT_EQ(advice->per_query_optimized, kGoldenOptimized);
+      EXPECT_EQ(advice->rewritten_sql, kGoldenSql);
+    }
+  }
+}
+
+TEST_F(AutoPartTest, GoldenTpchMiniAdviceBitIdenticalAcrossParallelismAndCache) {
+  // Second schema family (joins, date ranges) so the golden coverage is not
+  // SDSS-specific. Local database: the suite fixture holds only SDSS.
+  Database db;
+  TpchMiniConfig config;
+  auto dataset = BuildTpchMiniDatabase(&db, config);
+  ASSERT_TRUE(dataset.ok());
+  auto workload = MakeTpchMiniWorkload(db.catalog());
+  ASSERT_TRUE(workload.ok());
+
+  // (table, columns) per fragment, in advice order.
+  const std::vector<std::pair<TableId, std::vector<ColumnId>>> kGoldenFragments =
+      {{dataset->customer, {1}},
+       {dataset->customer, {3}},
+       {dataset->customer, {2}},
+       {dataset->orders, {3}},
+       {dataset->orders, {1}},
+       {dataset->orders, {2}},
+       {dataset->orders, {4}},
+       {dataset->orders, {1, 2, 3}},
+       {dataset->lineitem, {5, 6}},
+       {dataset->lineitem, {4}},
+       {dataset->lineitem, {7}},
+       {dataset->lineitem, {3}},
+       {dataset->lineitem, {2}},
+       {dataset->lineitem, {3, 4, 5, 6, 7}},
+       {dataset->lineitem, {2, 3, 4}},
+       {dataset->part, {3}},
+       {dataset->part, {1}},
+       {dataset->part, {2}}};
+  const std::vector<double> kGoldenBase = {
+      987.43127443751087, 867.58000000000004, 943.83500000000004,
+      164.75,             31.75,              16.375,
+      184.1225,           716.04999999999995, 856.21749999999997,
+      181.22499999999999, 628.75030801014771, 1249.7550000000001};
+  const std::vector<double> kGoldenOptimized = {
+      956.43127443751087, 836.58000000000004, 777.83500000000004,
+      149.75,             56.509999999999998, 14.375,
+      298.75999999999999, 625.04999999999995, 796.69500000000005,
+      164.22499999999999, 598.75030801014771, 1068.7550000000001};
+
+  for (int parallelism : {1, 4}) {
+    for (bool cache : {true, false}) {
+      SCOPED_TRACE(testing::Message() << "parallelism=" << parallelism
+                                      << " engine_cache=" << cache);
+      AutoPartOptions options;
+      options.max_iterations = 3;
+      options.parallelism = parallelism;
+      options.engine_cache = cache;
+      AutoPartAdvisor advisor(db.catalog(), *workload, options);
+      auto advice = advisor.Suggest();
+      ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+
+      EXPECT_EQ(advice->base_cost, 6827.8415824476588);
+      EXPECT_EQ(advice->optimized_cost, 6343.7165824476597);
+      EXPECT_EQ(advice->replicated_bytes, 5166000.0);
+      EXPECT_EQ(advice->evaluations, 218);
+      EXPECT_EQ(advice->iterations_run, 3);
+      ASSERT_EQ(advice->fragments.size(), kGoldenFragments.size());
+      for (size_t f = 0; f < kGoldenFragments.size(); ++f) {
+        EXPECT_EQ(advice->fragments[f].table, kGoldenFragments[f].first);
+        EXPECT_EQ(advice->fragments[f].columns, kGoldenFragments[f].second);
+      }
+      EXPECT_EQ(advice->per_query_base, kGoldenBase);
+      EXPECT_EQ(advice->per_query_optimized, kGoldenOptimized);
+    }
+  }
+}
+
+TEST_F(AutoPartTest, EngineCacheStrictlyReducesPlannerCalls) {
+  auto workload = MakeWorkload(
+      db_->catalog(),
+      {"SELECT avg(petrorad_r) FROM photoobj WHERE type = 3",
+       "SELECT count(*) FROM photoobj WHERE r BETWEEN 15 AND 16",
+       "SELECT ra, dec FROM photoobj WHERE dec > 80"});
+  ASSERT_TRUE(workload.ok());
+
+  auto run = [&](bool cache, int64_t* plans_built, EvaluatorStats* stats) {
+    AutoPartOptions options;
+    options.max_iterations = 3;
+    options.parallelism = 1;
+    options.engine_cache = cache;
+    AutoPartAdvisor advisor(db_->catalog(), *workload, options);
+    const int64_t before = Planner::stats().plans_built;
+    auto advice = advisor.Suggest();
+    PARINDA_CHECK_OK(advice);
+    *plans_built = Planner::stats().plans_built - before;
+    *stats = advisor.evaluator_stats();
+    return std::move(*advice);
+  };
+
+  int64_t cached_plans = 0;
+  int64_t uncached_plans = 0;
+  EvaluatorStats cached_stats;
+  EvaluatorStats uncached_stats;
+  const PartitionAdvice cached = run(true, &cached_plans, &cached_stats);
+  const PartitionAdvice uncached = run(false, &uncached_plans, &uncached_stats);
+
+  // Same advice either way...
+  EXPECT_EQ(cached.optimized_cost, uncached.optimized_cost);
+  EXPECT_EQ(cached.evaluations, uncached.evaluations);
+  // ...but the cache must pay for itself: strictly fewer planner calls than
+  // the full re-plan, and far fewer than the naive queries x evaluations
+  // upper bound (most candidate states only move one table's fragments, so
+  // the other queries' costs are served from cache).
+  EXPECT_GT(cached_stats.cache_hits, 0);
+  EXPECT_EQ(uncached_stats.cache_hits, 0);
+  EXPECT_LT(cached_plans, uncached_plans);
+  const int64_t naive_bound =
+      static_cast<int64_t>(workload->queries.size()) * cached.evaluations;
+  EXPECT_LT(cached_plans, naive_bound);
 }
 
 }  // namespace

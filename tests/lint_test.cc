@@ -309,18 +309,52 @@ TEST(LintOverlayInternals, FlagsComposedOverlayAndOverlayHeaderInclude) {
   EXPECT_EQ(CountCheck(diags, "overlay-internals"), 2);
 }
 
-TEST(LintOverlayInternals, DesignAndWhatifLayersAndTestsAreExempt) {
+TEST(LintOverlayInternals, FlagsPlanningAgainstHandWiredWhatIfCatalog) {
+  // Costing a what-if design by feeding a WhatIfTableCatalog straight to the
+  // planner bypasses the evaluation engine (and its cost cache).
+  auto diags = RunOn("src/parinda/parinda.cc",
+                     "void f(const CatalogReader& c, const SelectStatement& s) {\n"
+                     "  WhatIfTableCatalog tables(c);\n"
+                     "  auto plan = PlanQuery(tables, s, {});\n"
+                     "}\n");
+  EXPECT_EQ(CountCheck(diags, "overlay-internals"), 1);
+  auto planner_diags = RunOn("src/autopart/autopart.cc",
+                             "void f(const CatalogReader& c) {\n"
+                             "  WhatIfTableCatalog tables(c);\n"
+                             "  Planner planner(tables);\n"
+                             "}\n");
+  EXPECT_EQ(CountCheck(planner_diags, "overlay-internals"), 1);
+}
+
+TEST(LintOverlayInternals, PlannerWithoutWhatIfCatalogIsLegal) {
+  // Base-catalog planning outside the engine stays fine...
+  EXPECT_EQ(CountCheck(RunOn("src/parinda/parinda.cc",
+                             "auto plan = PlanQuery(catalog, stmt, {});\n"),
+                       "overlay-internals"),
+            0);
+  // ...and so is holding the catalog overlay without planning against it.
+  EXPECT_EQ(CountCheck(RunOn("src/autopart/autopart.cc",
+                             "WhatIfTableCatalog overlay(catalog);\n"),
+                       "overlay-internals"),
+            0);
+}
+
+TEST(LintOverlayInternals, DesignWhatifEngineLayersAndTestsAreExempt) {
   const char* code =
       "#include \"design/overlay.h\"\n"
-      "void f(const CatalogReader& c) {\n"
+      "void f(const CatalogReader& c, const SelectStatement& s) {\n"
       "  ComposedOverlay overlay(c);\n"
       "  WhatIfTableCatalog tables(c);\n"
       "  WhatIfIndexSet indexes(tables);\n"
+      "  auto plan = PlanQuery(tables, s, {});\n"
       "}\n";
   EXPECT_EQ(CountCheck(RunOn("src/design/overlay.cc", code),
                        "overlay-internals"),
             0);
   EXPECT_EQ(CountCheck(RunOn("src/whatif/whatif_index.cc", code),
+                       "overlay-internals"),
+            0);
+  EXPECT_EQ(CountCheck(RunOn("src/engine/workload_evaluator.cc", code),
                        "overlay-internals"),
             0);
   EXPECT_EQ(CountCheck(RunOn("tests/design_test.cc", code),

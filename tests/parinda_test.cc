@@ -50,7 +50,7 @@ TEST_F(ParindaTest, Scenario1InteractiveDesignEvaluation) {
       {"photoobj_shape", dataset_->photoobj, {3, 17}});  // type, petrorad_r
   auto report = tool.EvaluateDesign(*workload, design);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_LT(report->whatif_cost, report->base_cost);
+  EXPECT_LT(report->optimized_cost, report->base_cost);
   EXPECT_GT(report->average_benefit_pct, 0.0);
   ASSERT_EQ(report->per_query_benefit_pct.size(), 2u);
   // Query 1 benefits from the index; query 2 from the partition.
@@ -87,9 +87,9 @@ TEST_F(ParindaTest, EvaluateDesignHonorsDeadline) {
   ASSERT_TRUE(budgeted.ok());
   EXPECT_FALSE(budgeted->degradation.degraded);
   EXPECT_EQ(budgeted->base_cost, plain->base_cost);
-  EXPECT_EQ(budgeted->whatif_cost, plain->whatif_cost);
+  EXPECT_EQ(budgeted->optimized_cost, plain->optimized_cost);
   EXPECT_EQ(budgeted->per_query_base, plain->per_query_base);
-  EXPECT_EQ(budgeted->per_query_whatif, plain->per_query_whatif);
+  EXPECT_EQ(budgeted->per_query_optimized, plain->per_query_optimized);
   EXPECT_EQ(budgeted->rewritten_sql, plain->rewritten_sql);
 }
 
@@ -208,7 +208,7 @@ TEST_F(ParindaTest, InteractiveDesignWithRangePartitions) {
   auto report = tool.EvaluateDesign(*workload, design);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   // The 15-degree box falls in one quarter: ~4x fewer pages scanned.
-  EXPECT_LT(report->whatif_cost, report->base_cost * 0.5);
+  EXPECT_LT(report->optimized_cost, report->base_cost * 0.5);
 }
 
 }  // namespace
@@ -310,7 +310,7 @@ InteractiveReport ReferenceEvaluate(const CatalogReader& catalog,
   const int nq = workload.size();
   InteractiveReport report;
   report.per_query_base.assign(static_cast<size_t>(nq), 0.0);
-  report.per_query_whatif.assign(static_cast<size_t>(nq), 0.0);
+  report.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
   report.per_query_benefit_pct.assign(static_cast<size_t>(nq), 0.0);
   report.rewritten_sql.assign(static_cast<size_t>(nq), "");
   PlannerOptions base_options;
@@ -330,15 +330,15 @@ InteractiveReport ReferenceEvaluate(const CatalogReader& catalog,
     PARINDA_CHECK_OK(rewritten);
     auto plan = PlanQuery(tables, rewritten->stmt, whatif_options);
     PARINDA_CHECK_OK(plan);
-    report.per_query_whatif[static_cast<size_t>(q)] = plan->total_cost();
-    report.whatif_cost += plan->total_cost() * workload.queries[q].weight;
+    report.per_query_optimized[static_cast<size_t>(q)] = plan->total_cost();
+    report.optimized_cost += plan->total_cost() * workload.queries[q].weight;
     report.rewritten_sql[static_cast<size_t>(q)] =
         rewritten->changed ? rewritten->stmt.ToSql() : workload.queries[q].sql;
     if (report.per_query_base[static_cast<size_t>(q)] > 0.0) {
       report.per_query_benefit_pct[static_cast<size_t>(q)] =
           100.0 *
           (report.per_query_base[static_cast<size_t>(q)] -
-           report.per_query_whatif[static_cast<size_t>(q)]) /
+           report.per_query_optimized[static_cast<size_t>(q)]) /
           report.per_query_base[static_cast<size_t>(q)];
     }
     report.average_benefit_pct +=
@@ -375,13 +375,13 @@ TEST_F(ParindaTest, EvaluateDesignBitIdenticalToStatelessReference) {
       ReferenceEvaluate(db_->catalog(), *workload, design, CostParams{});
 
   EXPECT_EQ(report->base_cost, reference.base_cost);
-  EXPECT_EQ(report->whatif_cost, reference.whatif_cost);
+  EXPECT_EQ(report->optimized_cost, reference.optimized_cost);
   EXPECT_EQ(report->average_benefit_pct, reference.average_benefit_pct);
   ASSERT_EQ(report->per_query_base.size(), reference.per_query_base.size());
   for (size_t q = 0; q < reference.per_query_base.size(); ++q) {
     EXPECT_EQ(report->per_query_base[q], reference.per_query_base[q])
         << "query " << q;
-    EXPECT_EQ(report->per_query_whatif[q], reference.per_query_whatif[q])
+    EXPECT_EQ(report->per_query_optimized[q], reference.per_query_optimized[q])
         << "query " << q;
     EXPECT_EQ(report->per_query_benefit_pct[q],
               reference.per_query_benefit_pct[q])
@@ -404,7 +404,7 @@ TEST_F(ParindaTest, JoinFlagsExposedInInteractiveDesign) {
   neutral.join_flags.push_back(WhatIfJoinDef{});
   auto neutral_report = tool.EvaluateDesign(*workload, neutral);
   ASSERT_TRUE(neutral_report.ok());
-  EXPECT_EQ(neutral_report->whatif_cost, neutral_report->base_cost);
+  EXPECT_EQ(neutral_report->optimized_cost, neutral_report->base_cost);
 
   // Disabling every join method penalizes any join plan (disable_cost).
   InteractiveDesign restricted;
@@ -415,7 +415,7 @@ TEST_F(ParindaTest, JoinFlagsExposedInInteractiveDesign) {
   restricted.join_flags.push_back(none);
   auto restricted_report = tool.EvaluateDesign(*workload, restricted);
   ASSERT_TRUE(restricted_report.ok());
-  EXPECT_GT(restricted_report->whatif_cost, restricted_report->base_cost);
+  EXPECT_GT(restricted_report->optimized_cost, restricted_report->base_cost);
 }
 
 TEST_F(ParindaTest, JoinAgainstRangePartitionedTable) {

@@ -115,6 +115,33 @@ grep -q 'optimizer.plan_query' /tmp/parinda_ci_bench.trace.json || {
 }
 echo "--- bench_interactive --json --trace: both exports valid"
 
+echo "=== engine cost-cache smoke test ==="
+# The shared evaluation engine (DESIGN.md §13) must pay for itself: a
+# cache-enabled AutoPart run reports strictly fewer planner calls than the
+# naive queries x evaluations bound, at a non-trivial hit rate. The E6e
+# ablation in bench_autopart records both sides.
+./build/bench/bench_autopart \
+  --json=/tmp/parinda_ci_autopart.json \
+  --benchmark_min_time=0.01 > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+metrics = json.load(open("/tmp/parinda_ci_autopart.json"))["metrics"]
+cached = metrics["e6e.plans_built_cached"]
+nocache = metrics["e6e.plans_built_nocache"]
+naive = metrics["e6e.queries"] * metrics["e6e.evaluations"]
+assert cached < naive, (cached, naive)
+assert cached * 2 <= nocache, (cached, nocache)
+assert metrics["e6e.cache_hit_rate"] > 0.5, metrics["e6e.cache_hit_rate"]
+print(f"--- engine cache: {cached:.0f} planner calls vs {nocache:.0f} "
+      f"uncached ({nocache / cached:.1f}x), hit rate "
+      f"{metrics['e6e.cache_hit_rate']:.1%}")
+EOF
+else
+  grep -q '"e6e.plans_built_cached"' /tmp/parinda_ci_autopart.json
+  echo "--- engine cache: metrics present (python3 unavailable for bounds)"
+fi
+
 echo "=== parinda-lint ==="
 ./build/tools/parinda-lint --json src tests > /tmp/parinda_lint_report.json && {
   echo "parinda-lint: clean"

@@ -45,7 +45,9 @@ bool IsOverlayLayerPath(const std::string& path) {
   return path.find("src/design/") != std::string::npos ||
          path.rfind("design/", 0) == 0 ||
          path.find("src/whatif/") != std::string::npos ||
-         path.rfind("whatif/", 0) == 0;
+         path.rfind("whatif/", 0) == 0 ||
+         path.find("src/engine/") != std::string::npos ||
+         path.rfind("engine/", 0) == 0;
 }
 
 bool IsHeaderPath(const std::string& path) {
@@ -239,6 +241,7 @@ void CheckOverlayInternals(const CheckContext& ctx) {
   // by hand recreates the pre-DesignSession ad-hoc composition.
   int table_line = 0;
   int index_line = 0;
+  int planner_line = 0;
   for (const Token& tok : ctx.file().tokens) {
     if (tok.kind != Token::Kind::kIdent) continue;
     if (tok.text == "ComposedOverlay") {
@@ -249,6 +252,9 @@ void CheckOverlayInternals(const CheckContext& ctx) {
       table_line = tok.line;
     } else if (tok.text == "WhatIfIndexSet" && index_line == 0) {
       index_line = tok.line;
+    } else if ((tok.text == "Planner" || tok.text == "PlanQuery") &&
+               planner_line == 0) {
+      planner_line = tok.line;
     }
   }
   if (table_line != 0 && index_line != 0) {
@@ -256,6 +262,16 @@ void CheckOverlayInternals(const CheckContext& ctx) {
                "file wires WhatIfTableCatalog and WhatIfIndexSet together by "
                "hand; compose what-if features through a "
                "design/DesignSession");
+  }
+  // Hand-feeding a what-if table catalog to the planner re-creates the
+  // overlay->rewriter->planner wiring the evaluation engine owns (and skips
+  // its cost cache). Advisors cost what-if designs through
+  // engine/WorkloadEvaluator (or a design/DesignSession).
+  if (table_line != 0 && planner_line != 0) {
+    ctx.Report(std::max(table_line, planner_line), "overlay-internals",
+               "file plans against a hand-wired WhatIfTableCatalog; evaluate "
+               "what-if designs through engine/WorkloadEvaluator (or a "
+               "design/DesignSession) so costs go through the engine cache");
   }
   for (const Directive& d : ctx.file().directives) {
     if (d.text.find("design/overlay.h") != std::string::npos) {
