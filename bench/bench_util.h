@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/file_io.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "executor/executor.h"
@@ -132,21 +133,24 @@ inline void WriteJsonIfEnabled(const char* bench_name) {
   const std::string path = internal::JsonPath().empty()
                                ? "BENCH_" + std::string(bench_name) + ".json"
                                : internal::JsonPath();
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot write JSON report to '%s'\n", path.c_str());
-    return;
-  }
-  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
-               JsonEscaped(bench_name).c_str());
+  // Composed in memory and written atomically (temp+rename): a crashed or
+  // interrupted bench never tears the perf-trajectory file a previous run
+  // left behind.
+  std::string out = "{\n  \"bench\": \"" + JsonEscaped(bench_name) +
+                    "\",\n  \"metrics\": {";
   bool first = true;
   for (const auto& [name, value] : internal::Metrics()) {
-    std::fprintf(file, "%s\n    \"%s\": %s", first ? "" : ",",
-                 JsonEscaped(name).c_str(), JsonNumber(value).c_str());
+    out += first ? "\n    \"" : ",\n    \"";
+    out += JsonEscaped(name);
+    out += "\": ";
+    out += JsonNumber(value);
     first = false;
   }
-  std::fprintf(file, "\n  }\n}\n");
-  std::fclose(file);
+  out += "\n  }\n}\n";
+  if (const Status written = WriteFileAtomic(path, out); !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return;
+  }
   std::printf("JSON report: %s (%zu metrics)\n", path.c_str(),
               internal::Metrics().size());
 }

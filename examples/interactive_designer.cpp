@@ -19,6 +19,8 @@
 //   suggest indexes [budget_mb]  run the ILP index advisor
 //   suggest partitions           run AutoPart
 //   budget <ms>|off              time-budget evaluate/suggest (anytime mode)
+//   save-cache <path>            spill the evaluation cost cache to a file
+//   load-cache <path>            warm the cost cache from a spill file
 //   stats                        dump session metrics (counters/latencies)
 //   stats dump <path>            write a catalog statistics dump
 //   trace <path>                 write the session trace (Chrome JSON)
@@ -320,6 +322,42 @@ int main() {
     if (cmd == "clear") {
       session.ClearDesign();
       std::printf("design cleared\n");
+      continue;
+    }
+    if (cmd == "save-cache" || cmd == "load-cache") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::printf("usage: %s <path>\n", cmd.c_str());
+        continue;
+      }
+      if (workload_obj == nullptr) {
+        std::printf("error: empty workload (the cache is keyed by query)\n");
+        continue;
+      }
+      session.set_deadline(arm_budget());
+      if (cmd == "save-cache") {
+        if (Status saved = session.SaveCache(path); !saved.ok()) {
+          std::printf("error: %s\n", saved.ToString().c_str());
+          continue;
+        }
+        std::printf("cache saved to %s\n", path.c_str());
+      } else {
+        auto report = session.LoadCache(path);
+        if (!report.ok()) {
+          // A bad spill file is a cold cache, not a broken session.
+          std::printf("cache not loaded (%s); continuing cold\n",
+                      report.status().ToString().c_str());
+          continue;
+        }
+        std::printf("cache loaded from %s: %lld records, %lld rejected\n",
+                    path.c_str(),
+                    static_cast<long long>(report->records_loaded),
+                    static_cast<long long>(report->records_rejected));
+        if (!report->diagnosis.empty()) {
+          std::printf("  (%s)\n", report->diagnosis.c_str());
+        }
+      }
       continue;
     }
     if (cmd == "budget") {

@@ -9,6 +9,8 @@
 
 namespace parinda {
 
+PARINDA_REGISTER_FAILPOINT("advisor.enumerate");
+
 namespace {
 
 /// Indexable columns of one query range, split by the clause kind that

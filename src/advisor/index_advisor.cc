@@ -11,6 +11,9 @@
 
 namespace parinda {
 
+PARINDA_REGISTER_FAILPOINT("advisor.matrix");
+PARINDA_REGISTER_FAILPOINT("advisor.solve");
+
 namespace {
 
 constexpr double kBenefitEps = 1e-6;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/failpoint.h"
@@ -9,6 +10,8 @@
 #include "optimizer/query_analysis.h"
 
 namespace parinda {
+
+PARINDA_REGISTER_FAILPOINT("autopart.evaluate");
 
 namespace {
 
@@ -40,7 +43,17 @@ AutoPartAdvisor::AutoPartAdvisor(const CatalogReader& catalog,
       workload_(workload),
       options_(options),
       ctx_{options_.params, options_.parallelism, options_.deadline, nullptr},
-      evaluator_(catalog_, workload_) {}
+      evaluator_(catalog_, workload_) {
+  if (options_.memory_budget_bytes > 0) {
+    governor_ = std::make_unique<CacheGovernor>(
+        MemoryBudget{options_.memory_budget_bytes});
+    evaluator_shard_ =
+        governor_->RegisterShard("evaluator", [this](const std::string& id) {
+          evaluator_.EraseCacheEntry(id);
+        });
+    evaluator_.set_governor(governor_.get(), evaluator_shard_);
+  }
+}
 
 Result<std::vector<FragmentDef>> AutoPartAdvisor::AtomicFragments(
     TableId table) const {
@@ -129,6 +142,16 @@ double AutoPartAdvisor::ReplicatedBytes(
 
 Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
   const auto fp_before = failpoint::AllHits();
+  const int64_t evictions_before =
+      governor_ != nullptr ? governor_->stats().evictions : 0;
+  // Budget-forced eviction degraded the run to extra planner calls (the
+  // advice itself is unaffected); note it in whichever report we return.
+  auto note_evictions = [&](DegradationReport* rep) {
+    if (governor_ != nullptr &&
+        governor_->stats().evictions > evictions_before) {
+      rep->AddFallback("engine:cache-evicted");
+    }
+  };
   DegradationReport report;
   PartitionAdvice advice;
   advice.per_query_base.assign(static_cast<size_t>(workload_.size()), 0.0);
@@ -147,6 +170,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     advice.fragments.clear();
     advice.replicated_bytes = 0.0;
     advice.evaluations = static_cast<int>(evaluator_.stats().evaluations);
+    note_evictions(&rep);
     rep.failpoint_hits = failpoint::HitsSince(fp_before);
     advice.degradation = std::move(rep);
     return advice;
@@ -381,6 +405,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
         }
       }
       advice.evaluations = static_cast<int>(evaluator_.stats().evaluations);
+      note_evictions(&report);
       report.failpoint_hits = failpoint::HitsSince(fp_before);
       advice.degradation = std::move(report);
       return advice;
@@ -402,6 +427,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
     }
   }
   advice.evaluations = static_cast<int>(evaluator_.stats().evaluations);
+  note_evictions(&report);
   report.failpoint_hits = failpoint::HitsSince(fp_before);
   advice.degradation = std::move(report);
   return advice;

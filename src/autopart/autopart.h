@@ -1,7 +1,9 @@
 #ifndef PARINDA_AUTOPART_AUTOPART_H_
 #define PARINDA_AUTOPART_AUTOPART_H_
 
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "engine/advice.h"
+#include "engine/cache_governor.h"
 #include "engine/eval_context.h"
 #include "engine/workload_evaluator.h"
 #include "optimizer/cost_params.h"
@@ -56,6 +59,12 @@ struct AutoPartOptions {
   /// false restores the pre-engine full re-plan per candidate (kept for
   /// A/B benchmarks).
   bool engine_cache = true;
+  /// Byte budget for the engine's cost cache during the search (DESIGN.md
+  /// §14). 0 (default) = unbounded. Under a budget, cold entries are
+  /// LRU-evicted and re-planned on the next touch; the advice stays
+  /// bit-identical, only planner-call counts change. Eviction is recorded as
+  /// `engine:cache-evicted` in the advice's DegradationReport.
+  int64_t memory_budget_bytes = 0;
 };
 
 /// Output of the automatic partition suggestion scenario (Figure 2): the
@@ -105,6 +114,10 @@ class AutoPartAdvisor {
   /// and the cache-ablation bench).
   EvaluatorStats evaluator_stats() const { return evaluator_.stats(); }
 
+  /// The cache governor, when `memory_budget_bytes` armed one; nullptr on
+  /// unbudgeted advisors.
+  const CacheGovernor* governor() const { return governor_.get(); }
+
  private:
   /// One table's in-progress partitioning state (the engine's design
   /// currency).
@@ -127,6 +140,11 @@ class AutoPartAdvisor {
   AutoPartOptions options_;
   /// Derived from options_; threaded through every engine call.
   EvalContext ctx_;
+  /// Governs only the evaluator's cost cache (safe under pool parallelism:
+  /// the cache is mutex-guarded and hands out values, not pointers). Must be
+  /// declared before evaluator_ so it outlives the cache it governs.
+  std::unique_ptr<CacheGovernor> governor_;
+  int evaluator_shard_ = 0;
   WorkloadEvaluator evaluator_;
 };
 

@@ -10,6 +10,8 @@
 
 namespace parinda {
 
+PARINDA_REGISTER_FAILPOINT("stats.load");
+
 namespace {
 
 /// Round-trip-safe literal rendering (doubles with full precision, strings

@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+namespace parinda {
+
+namespace {
+
+/// 256-entry lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// built once at first use (byte-at-a-time Sarwate algorithm).
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  static const Crc32Table table;
+  crc = ~crc;
+  for (const char c : data) {
+    crc = (crc >> 8) ^
+          table.entries[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace parinda

@@ -1,0 +1,26 @@
+#ifndef PARINDA_COMMON_CRC32_H_
+#define PARINDA_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace parinda {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for integrity
+/// checking of on-disk artifacts — the engine's cache-spill records use one
+/// checksum per record so a torn write or bit flip downgrades to a cache
+/// miss instead of a wrong cost. CRC-32 detects all single- and double-bit
+/// errors and all burst errors up to 32 bits, which covers the corruption
+/// modes the chaos tests inject.
+
+/// CRC of `data` in one shot.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed chunks left to right, starting from
+/// `Crc32Update(0, first_chunk)`; the final value equals `Crc32` of the
+/// concatenation.
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_CRC32_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "common/annotations.h"
@@ -23,6 +24,10 @@ struct Entry {
 struct Registry {
   Mutex mu;
   std::map<std::string, Entry, std::less<>> points PARINDA_GUARDED_BY(mu);
+  // Catalog of declared point names (PARINDA_REGISTER_FAILPOINT), filled at
+  // static initialization and never cleared: ClearAll resets arming and hit
+  // counters, not the catalog itself.
+  std::set<std::string, std::less<>> registered PARINDA_GUARDED_BY(mu);
   // Count of armed (non-kOff) points; mirrors into `any_active` so the
   // inactive fast path in PARINDA_FAILPOINT is one relaxed atomic load.
   int active PARINDA_GUARDED_BY(mu) = 0;
@@ -101,6 +106,25 @@ bool AnyActive() {
   EnsureEnvParsed();
   return GetRegistry().any_active.load(std::memory_order_relaxed);
 }
+
+std::vector<std::string> ListRegistered() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  return std::vector<std::string>(registry.registered.begin(),
+                                  registry.registered.end());
+}
+
+namespace internal {
+
+Registrar::Registrar(std::string_view name) {
+  // No EnsureEnvParsed here: registration runs during static initialization
+  // and must only touch the catalog, never arm anything.
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  registry.registered.emplace(name);
+}
+
+}  // namespace internal
 
 Status Hit(std::string_view name) {
   EnsureEnvParsed();

@@ -70,6 +70,21 @@ std::vector<std::pair<std::string, int64_t>> HitsSince(
 /// True when at least one failpoint is armed (single relaxed atomic load).
 bool AnyActive();
 
+/// Every failpoint name declared with PARINDA_REGISTER_FAILPOINT, sorted.
+/// This is the authoritative catalog the CI sweep iterates (via the
+/// `--list-failpoints` hook on the failpoint test binary), replacing
+/// grep-harvesting of names from source.
+std::vector<std::string> ListRegistered();
+
+namespace internal {
+/// Static-initialization hook behind PARINDA_REGISTER_FAILPOINT; records the
+/// name in the registry's catalog. Construction is thread-safe and idempotent.
+class Registrar {
+ public:
+  explicit Registrar(std::string_view name);
+};
+}  // namespace internal
+
 /// Parses an environment-style spec ("a=error,b=delay:5") and arms the named
 /// points. Returns InvalidArgument on a malformed entry. Exposed for tests;
 /// `PARINDA_FAILPOINTS` goes through this.
@@ -88,5 +103,15 @@ bool AnyActive();
       if (!_fp.ok()) return _fp;                               \
     }                                                          \
   } while (0)
+
+/// Adds `name` to the registry's catalog (ListRegistered) at static
+/// initialization. Place one at namespace scope in the .cc file that hits
+/// the point, next to the pipeline it instruments; the failpoint test's
+/// `--list-failpoints` mode prints the catalog for the CI sweep, and its
+/// error-mode table cross-checks that every cataloged point is actually
+/// crossed by some pipeline.
+#define PARINDA_REGISTER_FAILPOINT(name)                \
+  static const ::parinda::failpoint::internal::Registrar \
+      PARINDA_CONCAT(parinda_failpoint_registrar_, __COUNTER__)(name)
 
 #endif  // PARINDA_COMMON_FAILPOINT_H_

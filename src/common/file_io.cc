@@ -1,0 +1,57 @@
+#include "common/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace parinda {
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + tmp +
+                            "' for writing: " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  // Flush user-space buffers, then force the bytes to stable storage before
+  // the rename publishes them: rename-before-fsync can surface a zero-length
+  // file after a power loss on some filesystems.
+  const bool flushed = std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != content.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write of '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path +
+                            "': " + reason);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    content.append(buf, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::Internal("error reading '" + path + "'");
+  }
+  return content;
+}
+
+}  // namespace parinda

@@ -1,0 +1,32 @@
+#ifndef PARINDA_COMMON_FILE_IO_H_
+#define PARINDA_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace parinda {
+
+/// Crash-safe small-file I/O for PARINDA's on-disk emitters (cache spills,
+/// trace exports, bench JSON reports).
+///
+/// The atomic writer follows the classic temp-file-plus-rename protocol:
+/// content is written to `<path>.tmp`, flushed and fsync'ed, and only then
+/// renamed over `path`. POSIX rename is atomic within a filesystem, so a
+/// reader of `path` sees either the complete previous file or the complete
+/// new one — never a half-written hybrid, even if the process dies mid-write
+/// (the worst case is a leftover `.tmp`, which the next write overwrites).
+
+/// Atomically replaces `path` with `content`. On error the original file (if
+/// any) is untouched; a stale `<path>.tmp` may remain and is harmless.
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     std::string_view content);
+
+/// Reads the whole file into a string. NotFound when it does not exist,
+/// Internal on read errors.
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_FILE_IO_H_

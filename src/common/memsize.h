@@ -1,0 +1,32 @@
+#ifndef PARINDA_COMMON_MEMSIZE_H_
+#define PARINDA_COMMON_MEMSIZE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace parinda {
+
+/// Heap-size estimation for cache accounting (the engine's MemoryBudget).
+///
+/// These are deliberately *approximations*: they charge the object header
+/// plus the payload actually stored, ignoring allocator rounding and
+/// small-string optimization. A memory budget enforced on estimates this
+/// coarse still bounds real usage to within a small constant factor, which
+/// is all an eviction policy needs — the estimates only steer *which* entry
+/// to drop and *when*, never any cost the advisors report.
+
+/// Per-node bookkeeping charge for hash-map / tree-map entries (bucket
+/// pointers, hashes, parent/child links), folded into one conservative
+/// constant so callers don't reach into container internals.
+inline constexpr int64_t kMapNodeOverheadBytes = 64;
+
+/// Approximate footprint of a std::string: the object itself plus its
+/// characters (SSO-resident bytes are double-counted; acceptable slack).
+inline int64_t ApproxStringBytes(const std::string& s) {
+  return static_cast<int64_t>(sizeof(std::string)) +
+         static_cast<int64_t>(s.size());
+}
+
+}  // namespace parinda
+
+#endif  // PARINDA_COMMON_MEMSIZE_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/annotations.h"
+#include "common/file_io.h"
 #include "common/strings.h"
 
 namespace parinda {
@@ -137,17 +138,9 @@ std::string ExportChromeJson() {
 }
 
 Status WriteChromeJson(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return Status::Internal("cannot write trace to '" + path + "'");
-  }
-  const std::string json = ExportChromeJson();
-  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
-  const int closed = std::fclose(file);
-  if (written != json.size() || closed != 0) {
-    return Status::Internal("short write of trace to '" + path + "'");
-  }
-  return Status::OK();
+  // Atomic (temp+rename): a crash mid-write never leaves a half-JSON file
+  // where a previous good trace used to be.
+  return WriteFileAtomic(path, ExportChromeJson());
 }
 
 }  // namespace trace

@@ -1,14 +1,22 @@
 #include "design/design_session.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include "catalog/stats_io.h"
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "optimizer/planner.h"
 
 namespace parinda {
+
+PARINDA_REGISTER_FAILPOINT("design.evaluate");
 
 namespace {
 
@@ -28,6 +36,23 @@ DesignSession::DesignSession(const CatalogReader& catalog,
                              const Workload* workload,
                              DesignSessionOptions options)
     : catalog_(catalog), workload_(workload), options_(options) {
+  if (options_.memory_budget_bytes > 0) {
+    governor_ = std::make_unique<CacheGovernor>(
+        MemoryBudget{options_.memory_budget_bytes});
+    // Callbacks capture `this`: RebuildQueryStates swaps the caches out, so
+    // they must re-check liveness rather than capture the caches directly.
+    evaluator_shard_ =
+        governor_->RegisterShard("evaluator", [this](const std::string& id) {
+          if (evaluator_ != nullptr) evaluator_->EraseCacheEntry(id);
+        });
+    bank_shard_ =
+        governor_->RegisterShard("inum_bank", [this](const std::string& id) {
+          if (inum_bank_ != nullptr) {
+            inum_bank_->EvictSlot(
+                static_cast<int>(std::strtol(id.c_str(), nullptr, 10)));
+          }
+        });
+  }
   overlay_ = std::make_unique<ComposedOverlay>(catalog_, options_.params);
   PARINDA_CHECK_OK(overlay_->Compose({}));
   RebuildQueryStates();
@@ -132,10 +157,20 @@ void DesignSession::RebuildQueryStates() {
   queries_.clear();
   evaluator_.reset();
   inum_bank_.reset();
+  if (governor_ != nullptr) {
+    // The caches just vanished wholesale; drop their tracked entries without
+    // firing the eviction callbacks.
+    governor_->ForgetShard(evaluator_shard_);
+    governor_->ForgetShard(bank_shard_);
+  }
   const int nq = workload_ == nullptr ? 0 : workload_->size();
   if (workload_ != nullptr) {
     evaluator_ = std::make_unique<WorkloadEvaluator>(catalog_, *workload_);
     inum_bank_ = std::make_unique<InumBank>(catalog_, *workload_);
+    if (governor_ != nullptr) {
+      evaluator_->set_governor(governor_.get(), evaluator_shard_);
+      inum_bank_->set_governor(governor_.get(), bank_shard_);
+    }
   }
   queries_.resize(static_cast<size_t>(nq));
   for (int q = 0; q < nq; ++q) {
@@ -228,6 +263,8 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   const auto fp_before = failpoint::AllHits();
   DegradationReport degradation;
   const int64_t plans_before = Planner::stats().plans_built;
+  const int64_t evictions_before =
+      governor_ != nullptr ? governor_->stats().evictions : 0;
   last_eval_inum_recosts_ = 0;
 
   const int nq = workload_ == nullptr ? 0 : workload_->size();
@@ -243,15 +280,24 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   {
     PhaseTimer timer(&degradation, "base", "design.base");
     for (int q = 0; q < nq; ++q) {
+      QueryState& qs = queries_[static_cast<size_t>(q)];
+      if (qs.has_base) continue;
       // Cached costs are served even after the deadline fires; only a cache
       // miss (a planner call) checks the budget.
-      if (evaluator_->CachedBaseCost(q, options_.params).has_value()) continue;
+      if (const auto cached = evaluator_->CachedBaseCost(q, options_.params);
+          cached.has_value()) {
+        qs.base_cost = *cached;
+        qs.has_base = true;
+        continue;
+      }
       if (options_.deadline.Expired()) {
         truncated = true;
         break;
       }
       Result<double> base = evaluator_->BaseCost(q, base_ctx);
       if (!base.ok()) return base.status();
+      qs.base_cost = *base;
+      qs.has_base = true;
     }
   }
 
@@ -312,8 +358,8 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   report.per_query_benefit_pct.assign(static_cast<size_t>(nq), 0.0);
   report.rewritten_sql.assign(static_cast<size_t>(nq), "");
   for (int q = 0; q < nq; ++q) {
-    const double base =
-        evaluator_->CachedBaseCost(q, options_.params).value_or(0.0);
+    const QueryState& qs = queries_[static_cast<size_t>(q)];
+    const double base = qs.has_base ? qs.base_cost : 0.0;
     report.per_query_base[static_cast<size_t>(q)] = base;
     report.base_cost += base * workload_->queries[q].weight;
   }
@@ -334,9 +380,65 @@ Result<InteractiveReport> DesignSession::Evaluate() {
   }
   if (nq > 0) report.average_benefit_pct /= nq;
 
+  // Eviction during this evaluation means the budget forced re-planning
+  // somewhere: costs are still exact, but the run degraded to more planner
+  // calls — worth surfacing alongside budget truncation.
+  if (governor_ != nullptr &&
+      governor_->stats().evictions > evictions_before) {
+    degradation.AddFallback("engine:cache-evicted");
+  }
+
   last_eval_planner_calls_ = Planner::stats().plans_built - plans_before;
   degradation.failpoint_hits = failpoint::HitsSince(fp_before);
   report.degradation = std::move(degradation);
+  return report;
+}
+
+SpillScope DesignSession::ComputeSpillScope() const {
+  // Everything a cached cost depends on besides the key itself: the exact
+  // cost parameters, the catalog statistics the planner read, and the
+  // workload text and weights the query indexes refer to.
+  SpillScope scope;
+  scope.params_sig = ParamsSignature(options_.params);
+  uint32_t crc = Crc32Update(0, DumpCatalogStats(catalog_));
+  if (workload_ != nullptr) {
+    for (const WorkloadQuery& query : workload_->queries) {
+      crc = Crc32Update(crc, query.sql);
+      crc = Crc32Update(crc, "\n");
+      uint64_t weight_bits = 0;
+      std::memcpy(&weight_bits, &query.weight, sizeof(weight_bits));
+      char buf[20];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(weight_bits));
+      crc = Crc32Update(crc, buf);
+      crc = Crc32Update(crc, "\n");
+    }
+  }
+  scope.scope_crc = crc;
+  return scope;
+}
+
+Status DesignSession::SaveCache(const std::string& path) const {
+  if (workload_ == nullptr || evaluator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SaveCache requires a workload (the cache is keyed by query index)");
+  }
+  return SaveCacheSpill(path, ComputeSpillScope(),
+                        evaluator_->ExportCacheRecords(), options_.deadline);
+}
+
+Result<SpillLoadReport> DesignSession::LoadCache(const std::string& path) {
+  if (workload_ == nullptr || evaluator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "LoadCache requires a workload (the cache is keyed by query index)");
+  }
+  std::vector<CostCacheRecord> records;
+  PARINDA_ASSIGN_OR_RETURN(
+      SpillLoadReport report,
+      LoadCacheSpill(path, ComputeSpillScope(), &records, options_.deadline));
+  for (const CostCacheRecord& record : records) {
+    PARINDA_RETURN_IF_ERROR(evaluator_->ImportCacheRecord(record));
+  }
   return report;
 }
 

@@ -10,6 +10,8 @@
 #include "common/status.h"
 #include "design/overlay.h"
 #include "engine/advice.h"
+#include "engine/cache_governor.h"
+#include "engine/cache_spill.h"
 #include "engine/inum_bank.h"
 #include "engine/workload_evaluator.h"
 #include "workload/workload.h"
@@ -51,6 +53,14 @@ struct DesignSessionOptions {
   /// stay pending, and the report is marked degraded. Re-arm per call with
   /// DesignSession::set_deadline. Infinite by default.
   Deadline deadline;
+  /// Byte budget for the session's evaluation caches (cost-cache entries and
+  /// INUM model slots together). 0 (default) = unbounded, the pre-governor
+  /// behavior. Under a budget, cold entries are LRU-evicted and their
+  /// queries re-plan on the next touch — advice stays bit-identical to an
+  /// unbudgeted session; only planner-call counts change. An Evaluate() in
+  /// which eviction fired records `engine:cache-evicted` in its
+  /// DegradationReport.
+  int64_t memory_budget_bytes = 0;
 };
 
 /// An interactive what-if design session — the stateful core of the paper's
@@ -119,6 +129,19 @@ class DesignSession {
   /// (it *is* the stateless evaluation).
   [[nodiscard]] Result<InteractiveReport> Evaluate();
 
+  // --- Durable cache spill (DESIGN.md §14) ---
+
+  /// Writes the engine's cost cache to `path` (atomic temp+rename; see
+  /// cache_spill.h for the format and failure matrix). Requires a workload.
+  [[nodiscard]] Status SaveCache(const std::string& path) const;
+
+  /// Warms the engine's cost cache from a spill file written by SaveCache
+  /// under the same catalog, workload, and cost parameters. Corrupt records
+  /// are skipped (counted in the report); a mismatched or unreadable file
+  /// returns an error the caller should treat as "cache stays cold", never
+  /// as session failure. Requires a workload.
+  [[nodiscard]] Result<SpillLoadReport> LoadCache(const std::string& path);
+
   // --- Introspection ---
 
   struct ComponentEntry {
@@ -140,6 +163,9 @@ class DesignSession {
   int64_t last_eval_planner_calls() const { return last_eval_planner_calls_; }
   /// Queries served by INUM recomposition during the last Evaluate().
   int last_eval_inum_recosts() const { return last_eval_inum_recosts_; }
+  /// The cache governor, when `memory_budget_bytes` armed one; nullptr on
+  /// unbudgeted sessions.
+  const CacheGovernor* governor() const { return governor_.get(); }
 
  private:
   struct Entry {
@@ -150,6 +176,13 @@ class DesignSession {
   struct QueryState {
     /// Base tables the query references (deduplicated, from the binder).
     std::vector<TableId> tables;
+    /// Base-design cost, held in session state (not read back from the
+    /// engine cache at report time: under a memory budget the governor may
+    /// evict the cache entry between the base phase and aggregation, and the
+    /// report must not care). O(1) per query — bounded by the workload, so
+    /// deliberately outside the governor's remit.
+    bool has_base = false;
+    double base_cost = 0.0;
     /// True once some evaluation (exact or INUM) stored a what-if cost.
     bool has_value = false;
     double whatif_cost = 0.0;
@@ -183,6 +216,9 @@ class DesignSession {
   /// table/range component on any of its tables).
   bool InumEligible(int q, const QueryState& qs) const;
   [[nodiscard]] Result<double> InumRecost(int q, const QueryState& qs);
+  /// What a spill file must match: the exact params signature plus a CRC
+  /// over the catalog statistics and the workload text/weights.
+  SpillScope ComputeSpillScope() const;
 
   const CatalogReader& catalog_;
   const Workload* workload_;
@@ -201,6 +237,12 @@ class DesignSession {
   /// Per-query INUM models for the incremental index-delta path; the bank
   /// rebuilds a model when the composed params change (join-flag deltas).
   std::unique_ptr<InumBank> inum_bank_;
+  /// LRU governor over both caches when the options set a byte budget. The
+  /// session drives both caches from one thread, so governing the bank's
+  /// model slots is safe here (unlike AutoPart's parallel workers).
+  std::unique_ptr<CacheGovernor> governor_;
+  int evaluator_shard_ = 0;
+  int bank_shard_ = 0;
   std::vector<QueryState> queries_;
   int64_t last_eval_planner_calls_ = 0;
   int last_eval_inum_recosts_ = 0;

@@ -1,0 +1,103 @@
+#include "engine/cache_governor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace parinda {
+
+PARINDA_REGISTER_FAILPOINT("engine.evict");
+
+namespace {
+
+metrics::Counter& EvictionsCounter() {
+  static metrics::Counter& counter =
+      metrics::Registry::Global().counter("engine.cache_evictions");
+  return counter;
+}
+metrics::Gauge& CacheBytesGauge() {
+  static metrics::Gauge& gauge =
+      metrics::Registry::Global().gauge("engine.cache_bytes");
+  return gauge;
+}
+
+}  // namespace
+
+CacheGovernor::CacheGovernor(MemoryBudget budget) : budget_(budget) {}
+
+int CacheGovernor::RegisterShard(std::string name, EvictFn evict) {
+  MutexLock lock(mu_);
+  shards_.push_back(Shard{std::move(name), std::move(evict), {}});
+  return static_cast<int>(shards_.size()) - 1;
+}
+
+Status CacheGovernor::Touch(int shard, const std::string& id, int64_t bytes) {
+  MutexLock lock(mu_);
+  Shard& owner = shards_[static_cast<size_t>(shard)];
+  auto it = owner.index.find(id);
+  if (it == owner.index.end()) {
+    lru_.push_back(Entry{shard, id, bytes});
+    owner.index.emplace(id, std::prev(lru_.end()));
+    stats_.tracked_bytes += bytes;
+  } else {
+    stats_.tracked_bytes += bytes - it->second->bytes;
+    it->second->bytes = bytes;
+    // Refresh recency: move to the MRU end (no reallocation, just relinking).
+    lru_.splice(lru_.end(), lru_, it->second);
+  }
+  if (budget_.limited() && stats_.tracked_bytes > budget_.bytes) {
+    PARINDA_FAILPOINT("engine.evict");
+    // Evict coldest-first until the total fits. The just-touched entry sits
+    // at the MRU end and is pinned (never the victim while anything else
+    // remains): the touching cache may be holding a pointer into it.
+    while (stats_.tracked_bytes > budget_.bytes && lru_.size() > 1) {
+      EvictLocked(lru_.begin());
+    }
+  }
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.tracked_bytes);
+  CacheBytesGauge().Set(stats_.tracked_bytes);
+  return Status::OK();
+}
+
+void CacheGovernor::EvictLocked(std::list<Entry>::iterator victim) {
+  const Entry entry = std::move(*victim);
+  Shard& owner = shards_[static_cast<size_t>(entry.shard)];
+  owner.index.erase(entry.id);
+  lru_.erase(victim);
+  stats_.tracked_bytes -= entry.bytes;
+  ++stats_.evictions;
+  stats_.evicted_bytes += entry.bytes;
+  EvictionsCounter().Increment();
+  if (owner.evict) owner.evict(entry.id);
+}
+
+void CacheGovernor::Forget(int shard, const std::string& id) {
+  MutexLock lock(mu_);
+  Shard& owner = shards_[static_cast<size_t>(shard)];
+  auto it = owner.index.find(id);
+  if (it == owner.index.end()) return;
+  stats_.tracked_bytes -= it->second->bytes;
+  lru_.erase(it->second);
+  owner.index.erase(it);
+  CacheBytesGauge().Set(stats_.tracked_bytes);
+}
+
+void CacheGovernor::ForgetShard(int shard) {
+  MutexLock lock(mu_);
+  Shard& owner = shards_[static_cast<size_t>(shard)];
+  for (auto& [id, pos] : owner.index) {
+    stats_.tracked_bytes -= pos->bytes;
+    lru_.erase(pos);
+  }
+  owner.index.clear();
+  CacheBytesGauge().Set(stats_.tracked_bytes);
+}
+
+CacheGovernor::Stats CacheGovernor::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace parinda

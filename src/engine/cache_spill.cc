@@ -1,0 +1,333 @@
+#include "engine/cache_spill.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/file_io.h"
+
+namespace parinda {
+
+PARINDA_REGISTER_FAILPOINT("engine.spill_write");
+PARINDA_REGISTER_FAILPOINT("engine.spill_read");
+
+namespace {
+
+constexpr std::string_view kMagic = "PARINDA-SPILL v1";
+/// Diagnosis notes are for logs; cap them so a shredded file cannot balloon
+/// the report.
+constexpr int kMaxDiagnosisNotes = 8;
+
+std::string Hex8(uint32_t value) {
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%08x", value);
+  return buf;
+}
+
+void AddDiagnosis(SpillLoadReport* report, int* notes, const std::string& note) {
+  if (*notes >= kMaxDiagnosisNotes) return;
+  ++*notes;
+  if (!report->diagnosis.empty()) report->diagnosis += "; ";
+  report->diagnosis += note;
+}
+
+/// Strict decimal parse of a whole token (no sign, no trailing junk).
+bool ParseUint(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 19) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Strict fixed-width lowercase hex parse.
+bool ParseHex(std::string_view token, size_t width, uint64_t* out) {
+  if (token.size() != width) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+std::string EncodeRecord(const CostCacheRecord& record) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &record.cost, sizeof(bits));
+  char head[64];
+  std::snprintf(head, sizeof(head), "%016llx %d %zu %zu ",
+                static_cast<unsigned long long>(bits), record.has_sql ? 1 : 0,
+                record.key.size(), record.rewritten_sql.size());
+  std::string payload = head;
+  payload += record.key;
+  payload += record.rewritten_sql;
+  return payload;
+}
+
+bool DecodeRecord(std::string_view payload, CostCacheRecord* out) {
+  // Layout: <16-hex cost bits> <0|1> <key len> <sql len> <key bytes><sql>.
+  size_t pos = 0;
+  auto token = [&]() -> std::string_view {
+    const size_t start = pos;
+    while (pos < payload.size() && payload[pos] != ' ') ++pos;
+    const std::string_view tok = payload.substr(start, pos - start);
+    if (pos < payload.size()) ++pos;  // consume the separator
+    return tok;
+  };
+  uint64_t bits = 0;
+  if (!ParseHex(token(), 16, &bits)) return false;
+  const std::string_view flag = token();
+  if (flag != "0" && flag != "1") return false;
+  uint64_t key_len = 0;
+  uint64_t sql_len = 0;
+  if (!ParseUint(token(), &key_len) || !ParseUint(token(), &sql_len)) {
+    return false;
+  }
+  if (payload.size() - pos != key_len + sql_len) return false;
+  std::memcpy(&out->cost, &bits, sizeof(out->cost));
+  out->has_sql = flag == "1";
+  out->key = std::string(payload.substr(pos, key_len));
+  out->rewritten_sql = std::string(payload.substr(pos + key_len, sql_len));
+  return true;
+}
+
+}  // namespace
+
+Status SaveCacheSpill(const std::string& path, const SpillScope& scope,
+                      const std::vector<CostCacheRecord>& records,
+                      const Deadline& deadline) {
+  std::string content;
+  content += kMagic;
+  content += "\nparams ";
+  content += scope.params_sig;
+  content += "\nscope ";
+  content += Hex8(scope.scope_crc);
+  content += '\n';
+  for (const CostCacheRecord& record : records) {
+    PARINDA_RETURN_IF_ERROR(deadline.CheckOk("engine.spill_write"));
+    const std::string payload = EncodeRecord(record);
+    content += "record ";
+    content += std::to_string(payload.size());
+    content += ' ';
+    content += Hex8(Crc32(payload));
+    content += '\n';
+    content += payload;
+    content += '\n';
+  }
+  content += "end records ";
+  content += std::to_string(records.size());
+  content += '\n';
+
+  // Temp-file-plus-rename, written in two halves with the spill_write
+  // failpoint between them: crash mode dies with a *torn temp* on disk and
+  // the target untouched — exactly the state the recovery CI leg proves
+  // harmless. (WriteFileAtomic is not used here only because of this
+  // deliberate mid-write injection point.)
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + tmp +
+                            "' for writing: " + std::strerror(errno));
+  }
+  const size_t half = content.size() / 2;
+  size_t written = std::fwrite(content.data(), 1, half, file);
+  if (failpoint::AnyActive()) {
+    const Status injected = failpoint::Hit("engine.spill_write");
+    if (!injected.ok()) {
+      std::fclose(file);
+      std::remove(tmp.c_str());
+      return injected;
+    }
+  }
+  written += std::fwrite(content.data() + half, 1, content.size() - half, file);
+  const bool flushed = std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != content.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write of spill temp '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path +
+                            "': " + reason);
+  }
+  return Status::OK();
+}
+
+Result<SpillLoadReport> LoadCacheSpill(const std::string& path,
+                                       const SpillScope& expected,
+                                       std::vector<CostCacheRecord>* records,
+                                       const Deadline& deadline) {
+  PARINDA_FAILPOINT("engine.spill_read");
+  PARINDA_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+
+  size_t pos = 0;
+  int line_no = 0;
+  auto next_line = [&](std::string_view* line) -> bool {
+    if (pos >= content.size()) return false;
+    const size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      *line = std::string_view(content).substr(pos);
+      pos = content.size();
+    } else {
+      *line = std::string_view(content).substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    ++line_no;
+    return true;
+  };
+  auto starts_with = [](std::string_view line, std::string_view prefix) {
+    return line.size() >= prefix.size() &&
+           line.substr(0, prefix.size()) == prefix;
+  };
+
+  // --- Envelope: any mismatch here is a whole-file miss. -------------------
+  std::string_view line;
+  if (!next_line(&line) || !starts_with(line, "PARINDA-SPILL ")) {
+    return Status::ParseError("'" + path +
+                              "' is not a PARINDA spill file (bad magic at "
+                              "offset 0)");
+  }
+  if (line != kMagic) {
+    return Status::ParseError(
+        "'" + path + "': unsupported spill version '" +
+        std::string(line.substr(std::string_view("PARINDA-SPILL ").size())) +
+        "' (line 1; this build reads v1)");
+  }
+  if (!next_line(&line) || !starts_with(line, "params ")) {
+    return Status::ParseError("'" + path + "': missing params header (line 2)");
+  }
+  if (line.substr(7) != expected.params_sig) {
+    return Status::FailedPrecondition(
+        "'" + path +
+        "': params signature mismatch (line 2) — spill was computed under "
+        "different cost parameters; ignoring it");
+  }
+  if (!next_line(&line) || !starts_with(line, "scope ")) {
+    return Status::ParseError("'" + path + "': missing scope header (line 3)");
+  }
+  uint64_t scope_crc = 0;
+  if (!ParseHex(line.substr(6), 8, &scope_crc) ||
+      static_cast<uint32_t>(scope_crc) != expected.scope_crc) {
+    return Status::FailedPrecondition(
+        "'" + path +
+        "': scope mismatch (line 3) — spill was computed against a different "
+        "catalog or workload; ignoring it");
+  }
+
+  // --- Records: any problem from here on is a per-record miss. -------------
+  SpillLoadReport report;
+  int notes = 0;
+  while (true) {
+    PARINDA_RETURN_IF_ERROR(deadline.CheckOk("engine.spill_read"));
+    const size_t line_offset = pos;
+    if (!next_line(&line)) {
+      ++report.records_rejected;
+      AddDiagnosis(&report, &notes,
+                   "missing end footer (file truncated at offset " +
+                       std::to_string(line_offset) + ")");
+      break;
+    }
+    if (starts_with(line, "end ")) {
+      uint64_t declared = 0;
+      if (!starts_with(line, "end records ") ||
+          !ParseUint(line.substr(12), &declared)) {
+        ++report.records_rejected;
+        AddDiagnosis(&report, &notes,
+                     "unparseable footer at offset " +
+                         std::to_string(line_offset));
+      } else if (static_cast<int64_t>(declared) !=
+                 report.records_loaded + report.records_rejected) {
+        // Loaded records are individually verified; the delta is records the
+        // corruption swallowed whole.
+        if (static_cast<int64_t>(declared) > report.records_loaded) {
+          report.records_rejected =
+              static_cast<int64_t>(declared) - report.records_loaded;
+        }
+        AddDiagnosis(&report, &notes,
+                     "footer declares " + std::to_string(declared) +
+                         " records at offset " + std::to_string(line_offset));
+      }
+      break;
+    }
+    // "record <len> <crc>" then exactly <len> payload bytes and a newline.
+    uint64_t length = 0;
+    uint64_t crc = 0;
+    bool header_ok = starts_with(line, "record ");
+    if (header_ok) {
+      const std::string_view rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      header_ok = space != std::string_view::npos &&
+                  ParseUint(rest.substr(0, space), &length) &&
+                  ParseHex(rest.substr(space + 1), 8, &crc) &&
+                  length <= content.size();
+    }
+    if (!header_ok) {
+      // The length field is gone, so there is no trustworthy way to resync;
+      // everything from here is a miss.
+      ++report.records_rejected;
+      AddDiagnosis(&report, &notes,
+                   "unparseable record header at line " +
+                       std::to_string(line_no) + " (offset " +
+                       std::to_string(line_offset) +
+                       "); dropping the remainder");
+      break;
+    }
+    if (pos + length > content.size()) {
+      ++report.records_rejected;
+      AddDiagnosis(&report, &notes,
+                   "record payload truncated at offset " +
+                       std::to_string(pos) + " (want " +
+                       std::to_string(length) + " bytes)");
+      break;
+    }
+    const std::string_view payload =
+        std::string_view(content).substr(pos, length);
+    pos += length;
+    const bool terminated = pos < content.size() && content[pos] == '\n';
+    if (terminated) ++pos;
+    if (!terminated) {
+      ++report.records_rejected;
+      AddDiagnosis(&report, &notes,
+                   "record terminator missing at offset " +
+                       std::to_string(pos) + "; dropping the remainder");
+      break;
+    }
+    if (Crc32(payload) != static_cast<uint32_t>(crc)) {
+      ++report.records_rejected;
+      AddDiagnosis(&report, &notes,
+                   "record CRC mismatch at offset " +
+                       std::to_string(line_offset));
+      continue;
+    }
+    CostCacheRecord record;
+    if (!DecodeRecord(payload, &record)) {
+      ++report.records_rejected;
+      AddDiagnosis(&report, &notes,
+                   "record payload malformed at offset " +
+                       std::to_string(line_offset));
+      continue;
+    }
+    records->push_back(std::move(record));
+    ++report.records_loaded;
+  }
+  return report;
+}
+
+}  // namespace parinda

@@ -1,0 +1,88 @@
+#ifndef PARINDA_ENGINE_CACHE_SPILL_H_
+#define PARINDA_ENGINE_CACHE_SPILL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace parinda {
+
+/// Durable spill of the engine's cost cache (DESIGN.md §14): lets a session
+/// save its per-query what-if costs and a later session — same catalog,
+/// workload, and cost parameters — start warm instead of re-planning from
+/// zero. CoPhy's reusable cost atoms, made to survive the process.
+///
+/// File format (version 1) — a text envelope with length-delimited binary
+/// payloads:
+///
+///   PARINDA-SPILL v1
+///   params <hex params signature>
+///   scope <8-hex CRC32 of catalog stats + workload text>
+///   record <payload bytes> <8-hex CRC32 of payload>
+///   <payload>
+///   ...more records...
+///   end records <count>
+///
+/// Every payload carries its own length and CRC32, and the writer goes
+/// through temp-file-plus-rename, so the failure matrix is closed:
+///
+///   torn write / truncation   records up to the tear load; the rest reject
+///   bit flip in a payload     that record rejects (CRC), the rest load
+///   bit flip in an envelope   resync is impossible past it; remainder rejects
+///   version skew              whole-file miss (ParseError names the version)
+///   params / scope mismatch   whole-file miss (costs would be wrong)
+///
+/// "Reject" always means *cache miss*, never a crash or a wrong cost: a
+/// record is only served if its CRC verifies, so a loaded hit is the
+/// bit-identical double the planner produced when it was saved. Whole-file
+/// problems surface as a line/offset-diagnosed Status the caller logs and
+/// ignores; per-record problems are counted in the load report.
+
+/// One spillable cost-cache record. `key` is the engine cache key (or
+/// `base:<q>|<sig>` for a base-design cost); `cost` is the planner's exact
+/// double; EvaluateQuery entries also carry the rewritten SQL.
+struct CostCacheRecord {
+  std::string key;
+  double cost = 0.0;
+  bool has_sql = false;
+  std::string rewritten_sql;
+};
+
+/// What a spill file must match to be loadable: the exact cost-parameter
+/// signature its keys embed, and a CRC over the catalog statistics and
+/// workload text the costs were computed against.
+struct SpillScope {
+  std::string params_sig;
+  uint32_t scope_crc = 0;
+};
+
+struct SpillLoadReport {
+  int64_t records_loaded = 0;
+  int64_t records_rejected = 0;
+  /// Offset-diagnosed notes for rejected records (first few), for logs.
+  std::string diagnosis;
+};
+
+/// Atomically writes `records` to `path`. The `engine.spill_write` failpoint
+/// fires mid-write (between the two halves of the temp file), so crash mode
+/// leaves a torn temp and an untouched target — the crash-recovery CI leg.
+[[nodiscard]] Status SaveCacheSpill(const std::string& path,
+                                    const SpillScope& scope,
+                                    const std::vector<CostCacheRecord>& records,
+                                    const Deadline& deadline);
+
+/// Loads `path`, appending every CRC-verified record to `records`. Returns
+/// the per-record report, or an error Status for whole-file misses (missing
+/// file, bad magic, version skew, params/scope mismatch) — callers treat
+/// both outcomes as "cache partially/fully cold", never as failure of the
+/// session itself. Crosses the `engine.spill_read` failpoint.
+[[nodiscard]] Result<SpillLoadReport> LoadCacheSpill(
+    const std::string& path, const SpillScope& expected,
+    std::vector<CostCacheRecord>* records, const Deadline& deadline);
+
+}  // namespace parinda
+
+#endif  // PARINDA_ENGINE_CACHE_SPILL_H_

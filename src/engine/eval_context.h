@@ -17,6 +17,11 @@ namespace parinda {
 /// each advisor's private planner loop. The options structs keep their own
 /// `Deadline` members — an EvalContext is derived state, not a replacement
 /// for the public API.
+///
+/// Memory budgets are deliberately *not* part of this context: a
+/// CacheGovernor (DESIGN.md §14) attaches to the caches it governs via
+/// `set_governor`, because budget state is owned by whoever owns the caches
+/// (the session or advisor), not by each evaluation call.
 struct EvalContext {
   CostParams params;
   /// Worker threads for candidate evaluation; 0 = one per core, 1 = serial.

@@ -27,7 +27,30 @@ Result<InumCostModel*> InumBank::Model(int q, const CostParams& params,
   } else {
     slot.model->set_deadline(deadline);
   }
+  // Touch after Init so the charge reflects the built cache. The governor's
+  // MRU pin keeps this slot alive even if the Touch itself evicts others —
+  // the returned pointer stays valid for the caller's use.
+  if (governor_ != nullptr) {
+    PARINDA_RETURN_IF_ERROR(governor_->Touch(governor_shard_,
+                                             std::to_string(q),
+                                             slot.model->ApproxCacheBytes()));
+  }
   return slot.model.get();
+}
+
+void InumBank::set_governor(CacheGovernor* governor, int shard) {
+  governor_ = governor;
+  governor_shard_ = shard;
+}
+
+void InumBank::EvictSlot(int q) {
+  if (q < 0 || static_cast<size_t>(q) >= slots_.size()) return;
+  Slot& slot = slots_[static_cast<size_t>(q)];
+  if (slot.model != nullptr) {
+    evicted_optimizer_calls_ += slot.model->optimizer_calls();
+    evicted_estimates_served_ += slot.model->estimates_served();
+  }
+  slot = Slot{};
 }
 
 InumCostModel* InumBank::Get(int q) const {
@@ -35,7 +58,7 @@ InumCostModel* InumBank::Get(int q) const {
 }
 
 int64_t InumBank::TotalOptimizerCalls() const {
-  int64_t total = 0;
+  int64_t total = evicted_optimizer_calls_;
   for (const Slot& slot : slots_) {
     if (slot.model != nullptr) total += slot.model->optimizer_calls();
   }
@@ -43,7 +66,7 @@ int64_t InumBank::TotalOptimizerCalls() const {
 }
 
 int64_t InumBank::TotalEstimatesServed() const {
-  int64_t total = 0;
+  int64_t total = evicted_estimates_served_;
   for (const Slot& slot : slots_) {
     if (slot.model != nullptr) total += slot.model->estimates_served();
   }

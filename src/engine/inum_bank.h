@@ -9,6 +9,7 @@
 #include "catalog/catalog.h"
 #include "common/deadline.h"
 #include "common/status.h"
+#include "engine/cache_governor.h"
 #include "inum/inum.h"
 #include "optimizer/cost_params.h"
 #include "workload/workload.h"
@@ -49,6 +50,22 @@ class InumBank {
   int64_t TotalOptimizerCalls() const;
   int64_t TotalEstimatesServed() const;
 
+  // -- resource governance (DESIGN.md §14) -----------------------------
+  // Only safe when Model() calls are serialized (DesignSession's
+  // single-threaded driver): the governor's eviction callback destroys a
+  // model, which must never race a worker holding its pointer. The
+  // governor's MRU pin guarantees the slot just handed out by Model() is
+  // never the one evicted.
+
+  /// Registers this bank as governor shard `shard`; ids are the query index
+  /// in decimal. Pass nullptr to detach.
+  void set_governor(CacheGovernor* governor, int shard);
+
+  /// Drops slot `q` entirely (the governor's eviction callback): the model
+  /// and its INUM cache are destroyed and will rebuild on the next Model()
+  /// call — degradation to re-planning, not failure.
+  void EvictSlot(int q);
+
  private:
   struct Slot {
     std::unique_ptr<InumCostModel> model;
@@ -59,6 +76,12 @@ class InumBank {
   const CatalogReader& catalog_;
   const Workload& workload_;
   std::vector<Slot> slots_;
+  CacheGovernor* governor_ = nullptr;
+  int governor_shard_ = 0;
+  /// Counters of models eviction destroyed, so the aggregate accessors stay
+  /// monotone under a memory budget.
+  int64_t evicted_optimizer_calls_ = 0;
+  int64_t evicted_estimates_served_ = 0;
 };
 
 }  // namespace parinda

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
+#include "common/memsize.h"
 #include "common/metrics.h"
 #include "optimizer/planner.h"
 #include "rewriter/rewriter.h"
@@ -41,6 +43,31 @@ void AppendHexDouble(std::string* out, double value) {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(bits));
   *out += buf;
+}
+
+/// Approximate heap bytes one cache entry costs, as the governor accounts
+/// them: the map node, the key, and the entry's owned strings.
+int64_t EntryBytes(const std::string& key, const std::string& rewritten_sql) {
+  return kMapNodeOverheadBytes + ApproxStringBytes(key) +
+         ApproxStringBytes(rewritten_sql) + static_cast<int64_t>(sizeof(double));
+}
+
+/// Splits a synthetic `base:<q>|<sig>` export key. Returns false for
+/// overlay-cache keys (and anything malformed).
+bool ParseBaseKey(std::string_view key, int* q, std::string_view* sig) {
+  constexpr std::string_view kPrefix = "base:";
+  if (key.substr(0, kPrefix.size()) != kPrefix) return false;
+  key.remove_prefix(kPrefix.size());
+  const size_t bar = key.find('|');
+  if (bar == std::string_view::npos || bar == 0) return false;
+  int value = 0;
+  for (char c : key.substr(0, bar)) {
+    if (c < '0' || c > '9' || value > (1 << 24)) return false;
+    value = value * 10 + (c - '0');
+  }
+  *q = value;
+  *sig = key.substr(bar + 1);
+  return true;
 }
 
 /// Exact signature of one table's vertical partitioning. Fragment order is
@@ -135,16 +162,26 @@ std::optional<double> WorkloadEvaluator::CachedBaseCost(
 
 Result<double> WorkloadEvaluator::BaseCost(int q, const EvalContext& ctx) {
   const std::string sig = ParamsSignature(ctx.params);
+  bool hit = false;
+  double cost = 0.0;
   {
     MutexLock lock(mu_);
     const auto& slot = base_[static_cast<size_t>(q)];
     if (!slot.first.empty() && slot.first == sig) {
       ++stats_.cache_hits;
-      const double cost = slot.second;
-      // Counter bump intentionally outside the lock.
-      CacheHitsCounter().Increment();
-      return cost;
+      cost = slot.second;
+      hit = true;
     }
+  }
+  if (hit) {
+    // Counter bump (and governor Touch) intentionally outside the lock.
+    CacheHitsCounter().Increment();
+    if (governor_ != nullptr) {
+      const std::string base_key = "base:" + std::to_string(q) + '|' + sig;
+      PARINDA_RETURN_IF_ERROR(
+          governor_->Touch(governor_shard_, base_key, EntryBytes(base_key, "")));
+    }
+    return cost;
   }
   PlannerOptions planner_options;
   planner_options.params = ctx.params;
@@ -152,13 +189,18 @@ Result<double> WorkloadEvaluator::BaseCost(int q, const EvalContext& ctx) {
       Plan plan,
       PlanQuery(catalog_, workload_.queries[static_cast<size_t>(q)].stmt,
                 planner_options));
-  const double cost = plan.total_cost();
+  cost = plan.total_cost();
   {
     MutexLock lock(mu_);
     base_[static_cast<size_t>(q)] = {sig, cost};
     ++stats_.cache_misses;
   }
   CacheMissesCounter().Increment();
+  if (governor_ != nullptr) {
+    const std::string base_key = "base:" + std::to_string(q) + '|' + sig;
+    PARINDA_RETURN_IF_ERROR(
+        governor_->Touch(governor_shard_, base_key, EntryBytes(base_key, "")));
+  }
   return cost;
 }
 
@@ -166,14 +208,25 @@ Result<WorkloadEvaluator::QueryEval> WorkloadEvaluator::EvaluateQuery(
     int q, const OverlayView& view, const std::string& key) {
   const WorkloadQuery& query = workload_.queries[static_cast<size_t>(q)];
   if (!key.empty()) {
-    MutexLock lock(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end() && it->second.has_sql) {
-      ++stats_.cache_hits;
-      QueryEval out;
-      out.cost = it->second.cost;
-      out.rewritten_sql = it->second.rewritten_sql;
+    bool hit = false;
+    int64_t bytes = 0;
+    QueryEval out;
+    {
+      MutexLock lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end() && it->second.has_sql) {
+        ++stats_.cache_hits;
+        out.cost = it->second.cost;
+        out.rewritten_sql = it->second.rewritten_sql;
+        bytes = EntryBytes(key, it->second.rewritten_sql);
+        hit = true;
+      }
+    }
+    if (hit) {
       CacheHitsCounter().Increment();
+      if (governor_ != nullptr) {
+        PARINDA_RETURN_IF_ERROR(governor_->Touch(governor_shard_, key, bytes));
+      }
       return out;
     }
   }
@@ -198,6 +251,10 @@ Result<WorkloadEvaluator::QueryEval> WorkloadEvaluator::EvaluateQuery(
       entry.rewritten_sql = out.rewritten_sql;
     }
     CacheMissesCounter().Increment();
+    if (governor_ != nullptr) {
+      PARINDA_RETURN_IF_ERROR(governor_->Touch(
+          governor_shard_, key, EntryBytes(key, out.rewritten_sql)));
+    }
   }
   return out;
 }
@@ -307,16 +364,21 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
         key += unit_sigs[i];
       }
       std::optional<double> hit;
+      int64_t bytes = 0;
       {
         MutexLock lock(mu_);
         auto it = cache_.find(key);
         if (it != cache_.end()) {
           ++stats_.cache_hits;
           hit = it->second.cost;
+          bytes = EntryBytes(key, it->second.rewritten_sql);
         }
       }
       if (hit.has_value()) {
         CacheHitsCounter().Increment();
+        if (governor_ != nullptr) {
+          PARINDA_RETURN_IF_ERROR(governor_->Touch(governor_shard_, key, bytes));
+        }
         if (per_query != nullptr) (*per_query)[q] = *hit;
         total += *hit * query.weight;
         continue;
@@ -346,6 +408,12 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
       }
       if (hit.has_value()) {
         CacheHitsCounter().Increment();
+        if (governor_ != nullptr) {
+          PARINDA_RETURN_IF_ERROR(governor_->Touch(governor_shard_, plan_key,
+                                                   EntryBytes(plan_key, "")));
+          PARINDA_RETURN_IF_ERROR(
+              governor_->Touch(governor_shard_, key, EntryBytes(key, "")));
+        }
         if (per_query != nullptr) (*per_query)[q] = *hit;
         total += *hit * query.weight;
         continue;
@@ -362,6 +430,12 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
         cache_[plan_key].cost = cost;
       }
       CacheMissesCounter().Increment();
+      if (governor_ != nullptr) {
+        PARINDA_RETURN_IF_ERROR(governor_->Touch(governor_shard_, plan_key,
+                                                 EntryBytes(plan_key, "")));
+        PARINDA_RETURN_IF_ERROR(
+            governor_->Touch(governor_shard_, key, EntryBytes(key, "")));
+      }
     }
     if (per_query != nullptr) (*per_query)[q] = cost;
     if (rewritten_sql != nullptr) {
@@ -375,6 +449,82 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
 EvaluatorStats WorkloadEvaluator::stats() const {
   MutexLock lock(mu_);
   return stats_;
+}
+
+void WorkloadEvaluator::set_governor(CacheGovernor* governor, int shard) {
+  governor_ = governor;
+  governor_shard_ = shard;
+}
+
+std::vector<CostCacheRecord> WorkloadEvaluator::ExportCacheRecords() const {
+  std::vector<CostCacheRecord> records;
+  {
+    MutexLock lock(mu_);
+    records.reserve(cache_.size() + base_.size());
+    for (const auto& [key, entry] : cache_) {
+      CostCacheRecord record;
+      record.key = key;
+      record.cost = entry.cost;
+      record.has_sql = entry.has_sql;
+      record.rewritten_sql = entry.rewritten_sql;
+      records.push_back(std::move(record));
+    }
+    for (size_t q = 0; q < base_.size(); ++q) {
+      if (base_[q].first.empty()) continue;
+      CostCacheRecord record;
+      record.key = "base:" + std::to_string(q) + '|' + base_[q].first;
+      record.cost = base_[q].second;
+      records.push_back(std::move(record));
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const CostCacheRecord& a, const CostCacheRecord& b) {
+              return a.key < b.key;
+            });
+  return records;
+}
+
+Status WorkloadEvaluator::ImportCacheRecord(const CostCacheRecord& record) {
+  int q = 0;
+  std::string_view sig;
+  int64_t bytes = 0;
+  if (ParseBaseKey(record.key, &q, &sig)) {
+    {
+      MutexLock lock(mu_);
+      // A base key outside this workload means the spill scope check was
+      // loose (it matches on text, not count) — ignore, don't grow.
+      if (static_cast<size_t>(q) >= base_.size()) return Status::OK();
+      base_[static_cast<size_t>(q)] = {std::string(sig), record.cost};
+    }
+    bytes = EntryBytes(record.key, "");
+  } else {
+    {
+      MutexLock lock(mu_);
+      CacheEntry& entry = cache_[record.key];
+      entry.cost = record.cost;
+      entry.has_sql = record.has_sql;
+      entry.rewritten_sql = record.rewritten_sql;
+    }
+    bytes = EntryBytes(record.key, record.rewritten_sql);
+  }
+  if (governor_ != nullptr) {
+    PARINDA_RETURN_IF_ERROR(governor_->Touch(governor_shard_, record.key, bytes));
+  }
+  return Status::OK();
+}
+
+void WorkloadEvaluator::EraseCacheEntry(const std::string& key) {
+  int q = 0;
+  std::string_view sig;
+  MutexLock lock(mu_);
+  if (ParseBaseKey(key, &q, &sig)) {
+    if (static_cast<size_t>(q) < base_.size() &&
+        base_[static_cast<size_t>(q)].first == sig) {
+      base_[static_cast<size_t>(q)] = {std::string(), 0.0};
+    }
+    return;
+  }
+  cache_.erase(key);
 }
 
 }  // namespace parinda

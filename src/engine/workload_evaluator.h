@@ -10,6 +10,8 @@
 #include "catalog/catalog.h"
 #include "common/annotations.h"
 #include "common/status.h"
+#include "engine/cache_governor.h"
+#include "engine/cache_spill.h"
 #include "engine/eval_context.h"
 #include "optimizer/cost_params.h"
 #include "optimizer/hooks.h"
@@ -153,6 +155,30 @@ class WorkloadEvaluator {
 
   EvaluatorStats stats() const;
 
+  // -- resource governance & durable spill (DESIGN.md §14) -------------
+
+  /// Registers this evaluator's cache as governor shard `shard`: every
+  /// insert and hit is reported as a Touch, and the governor calls back
+  /// `EraseCacheEntry` to evict. Call during setup (the shard's EvictFn must
+  /// point here); pass nullptr to detach. Not synchronized with concurrent
+  /// evaluation.
+  void set_governor(CacheGovernor* governor, int shard);
+
+  /// Every cached cost as a spillable record, sorted by key (deterministic
+  /// spill files): the overlay-keyed entries verbatim, plus base-design
+  /// costs under synthetic `base:<q>|<params sig>` keys.
+  std::vector<CostCacheRecord> ExportCacheRecords() const;
+
+  /// Installs one spilled record (the inverse of ExportCacheRecords).
+  /// Records that no longer apply — a base key outside the workload — are
+  /// ignored. Imports count as neither hits nor misses; the governor (if
+  /// any) is notified, so an import can itself trigger eviction.
+  [[nodiscard]] Status ImportCacheRecord(const CostCacheRecord& record);
+
+  /// Drops one entry by its export key (the governor's eviction callback).
+  /// Unknown keys are a no-op.
+  void EraseCacheEntry(const std::string& key);
+
  private:
   struct CacheEntry {
     double cost = 0.0;
@@ -180,6 +206,11 @@ class WorkloadEvaluator {
   /// Per-query (params signature, cost) of the base design.
   std::vector<std::pair<std::string, double>> base_ PARINDA_GUARDED_BY(mu_);
   EvaluatorStats stats_ PARINDA_GUARDED_BY(mu_);
+  /// Optional byte-budget governor; Touch calls happen *outside* mu_ (lock
+  /// order: governor before evaluator — the eviction callback re-enters
+  /// EraseCacheEntry, which takes mu_ under the governor's lock).
+  CacheGovernor* governor_ = nullptr;
+  int governor_shard_ = 0;
 };
 
 }  // namespace parinda

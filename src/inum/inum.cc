@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/failpoint.h"
+#include "common/memsize.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "optimizer/cost_model.h"
@@ -12,6 +13,9 @@
 #include "whatif/whatif_index.h"
 
 namespace parinda {
+
+PARINDA_REGISTER_FAILPOINT("inum.build_entry");
+PARINDA_REGISTER_FAILPOINT("inum.estimate");
 
 namespace {
 
@@ -322,6 +326,18 @@ Result<double> InumCostModel::DirectOptimizerCost(
   PARINDA_ASSIGN_OR_RETURN(Plan plan, PlanQuery(catalog_, stmt_, options));
   ++optimizer_calls_;
   return plan.total_cost();
+}
+
+int64_t InumCostModel::ApproxCacheBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(InumCostModel));
+  for (const auto& [key, entry] : cache_) {
+    bytes += kMapNodeOverheadBytes;
+    bytes += static_cast<int64_t>(sizeof(CacheKey)) +
+             static_cast<int64_t>(key.orders.capacity() * sizeof(ColumnId));
+    bytes += static_cast<int64_t>(sizeof(CacheEntry)) +
+             static_cast<int64_t>(entry.slots.capacity() * sizeof(AccessSlot));
+  }
+  return bytes;
 }
 
 }  // namespace parinda

@@ -1,6 +1,7 @@
 #ifndef PARINDA_INUM_INUM_H_
 #define PARINDA_INUM_INUM_H_
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -59,6 +60,11 @@ class InumCostModel {
   int optimizer_calls() const { return optimizer_calls_; }
   int cache_entries() const { return static_cast<int>(cache_.size()); }
   int estimates_served() const { return estimates_served_; }
+
+  /// Approximate heap bytes held by the order-assignment cache — what a
+  /// CacheGovernor charges this model's bank slot with. An estimate (node
+  /// overheads are assumed, not measured), consistent across platforms.
+  int64_t ApproxCacheBytes() const;
 
   /// When false (ablation: INUM without the what-if join component), only
   /// the nested-loop-enabled plan is cached per order assignment.

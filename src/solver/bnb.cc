@@ -8,6 +8,8 @@
 
 namespace parinda {
 
+PARINDA_REGISTER_FAILPOINT("solver.bnb_node");
+
 namespace {
 
 constexpr double kIntEps = 1e-6;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "catalog/stats_io.h"
 #include "common/check.h"
 #include "design/design_session.h"
+#include "engine/cache_spill.h"
 #include "storage/database.h"
 #include "workload/sdss.h"
 
@@ -55,10 +58,44 @@ Status RunIndexAdvisor(Stack& s) {
   return advisor.SuggestWithIlp().status();
 }
 
+/// A budget far below the session's working set, so eviction (and with it the
+/// engine.evict failpoint) fires during a plain Evaluate().
+Status RunBudgetedDesignSession(Stack& s) {
+  DesignSessionOptions options;
+  options.memory_budget_bytes = 2 * 1024;
+  DesignSession session(s.db.catalog(), &s.workload, options);
+  return session.Evaluate().status();
+}
+
+Status RunCacheSave(Stack& s) {
+  DesignSession session(s.db.catalog(), &s.workload);
+  PARINDA_RETURN_IF_ERROR(session.Evaluate().status());
+  const std::string path =
+      ::testing::TempDir() + "/failpoint_spill_save.parinda";
+  const Status saved = session.SaveCache(path);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return saved;
+}
+
+Status RunCacheLoad(Stack& s) {
+  DesignSession session(s.db.catalog(), &s.workload);
+  PARINDA_RETURN_IF_ERROR(session.Evaluate().status());
+  const std::string path =
+      ::testing::TempDir() + "/failpoint_spill_load.parinda";
+  // The save must succeed even with the read point armed, so the load below
+  // actually reaches engine.spill_read.
+  PARINDA_RETURN_IF_ERROR(session.SaveCache(path));
+  const Status loaded = session.LoadCache(path).status();
+  std::remove(path.c_str());
+  return loaded;
+}
+
 // Every failpoint registered in src/, paired with the pipeline that crosses
-// it. tools/ci.sh harvests the same names with grep and sweeps them in error
-// mode under the sanitizer build; ErrorModeSurfacesAsStatus below fails when
-// this table goes stale (a renamed point would record zero hits).
+// it. tools/ci.sh sweeps the same names (listed by `--list-failpoints` on
+// this binary) in error mode under the sanitizer build;
+// ErrorModeSurfacesAsStatus below fails when this table goes stale (a renamed
+// point would record zero hits).
 struct PointCase {
   const char* name;
   Status (*run)(Stack&);
@@ -69,6 +106,9 @@ const PointCase kAllFailpoints[] = {
     {"advisor.solve", RunIndexAdvisor},
     {"autopart.evaluate", RunAutoPart},
     {"design.evaluate", RunDesignSession},
+    {"engine.evict", RunBudgetedDesignSession},
+    {"engine.spill_read", RunCacheLoad},
+    {"engine.spill_write", RunCacheSave},
     {"inum.build_entry", RunIndexAdvisor},
     {"inum.estimate", RunIndexAdvisor},
     {"solver.bnb_node", RunIndexAdvisor},
@@ -174,5 +214,42 @@ TEST_F(FailpointTest, HitCountersAndSnapshots) {
   EXPECT_EQ(failpoint::HitCount("test.count"), 0);
 }
 
+TEST_F(FailpointTest, ListRegisteredCoversTheSweepTable) {
+  // The registry is populated by PARINDA_REGISTER_FAILPOINT at static
+  // initialization, so every point the sweep table exercises must appear —
+  // this is what lets tools/ci.sh enumerate points via --list-failpoints
+  // instead of grepping the sources.
+  const std::vector<std::string> registered = failpoint::ListRegistered();
+  EXPECT_TRUE(std::is_sorted(registered.begin(), registered.end()));
+  for (const PointCase& pc : kAllFailpoints) {
+    SCOPED_TRACE(pc.name);
+    EXPECT_TRUE(std::find(registered.begin(), registered.end(),
+                          std::string(pc.name)) != registered.end())
+        << "failpoint not registered: add PARINDA_REGISTER_FAILPOINT next to "
+           "its PARINDA_FAILPOINT site";
+  }
+  // And the other direction: a registered point missing from the table means
+  // the sweep no longer proves its pipeline degrades cleanly.
+  EXPECT_EQ(registered.size(),
+            sizeof(kAllFailpoints) / sizeof(kAllFailpoints[0]))
+      << "registered and swept point sets diverge";
+}
+
 }  // namespace
 }  // namespace parinda
+
+// Custom main so the binary can double as the sweep's source of truth:
+// `failpoint_test --list-failpoints` prints one registered point per line and
+// exits — no test run, no gtest flags needed.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--list-failpoints") {
+      for (const std::string& name : parinda::failpoint::ListRegistered()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "advisor/index_advisor.h"
 #include "catalog/stats_io.h"
+#include "common/file_io.h"
 #include "common/logging.h"
 #include "optimizer/planner.h"
 #include "parser/binder.h"
@@ -116,6 +120,41 @@ TEST(StatsIoTest, TruncatedDumpRejected) {
             std::string::npos);
   // Content after the footer is also corruption.
   EXPECT_FALSE(LoadCatalogStats(dump + "table t rows 1 pages 1 pk -\n").ok());
+}
+
+TEST(StatsIoTest, ZeroByteAndEofMidRecordFilesRejectCleanly) {
+  // The DBA path is dump-to-file, copy, load-from-file; the two classic
+  // filesystem failures are an empty file (created, never written) and a
+  // copy cut mid-record (torn write / full disk). Through the real file
+  // round-trip, a zero-byte dump loads as a well-defined *empty* catalog
+  // (the documented contract: no content, no footer required) and a torn
+  // dump fails with a clean ParseError — never a crash, never a silently
+  // smaller catalog.
+  Database db;
+  testing_util::MakeOrdersTable(&db, 1000);
+  const std::string dump = DumpCatalogStats(db.catalog());
+
+  const std::string empty_path = ::testing::TempDir() + "/stats_zero.txt";
+  ASSERT_TRUE(WriteFileAtomic(empty_path, "").ok());
+  auto empty_text = ReadFile(empty_path);
+  ASSERT_TRUE(empty_text.ok());
+  auto empty_loaded = LoadCatalogStats(*empty_text);
+  ASSERT_TRUE(empty_loaded.ok()) << empty_loaded.status().ToString();
+  EXPECT_TRUE((*empty_loaded)->AllTables().empty());
+
+  // Cut in the middle of a `column` stanza line (EOF mid-record).
+  const size_t column = dump.find("column ");
+  ASSERT_NE(column, std::string::npos);
+  const std::string torn_path = ::testing::TempDir() + "/stats_torn.txt";
+  ASSERT_TRUE(WriteFileAtomic(torn_path, dump.substr(0, column + 10)).ok());
+  auto torn_text = ReadFile(torn_path);
+  ASSERT_TRUE(torn_text.ok());
+  auto torn_loaded = LoadCatalogStats(*torn_text);
+  ASSERT_FALSE(torn_loaded.ok());
+  EXPECT_EQ(torn_loaded.status().code(), StatusCode::kParseError);
+
+  std::remove(empty_path.c_str());
+  std::remove(torn_path.c_str());
 }
 
 TEST(StatsIoTest, CorruptedBytesRejected) {

@@ -9,7 +9,12 @@
 # — then runs every example binary as a smoke test (the interactive designer
 # gets a scripted add/drop/evaluate session piped to stdin), sweeps every
 # registered failpoint in error mode through the sanitizer build (injected
-# faults must come back as Status, never crashes), smoke-tests the bench
+# faults must come back as Status, never crashes — the point list comes from
+# the binary itself via --list-failpoints, so the sweep cannot drift from the
+# code), proves the cache spill is crash-safe (a save killed mid-write leaves
+# no target file and the rerun recovers green) and corruption-tolerant (one
+# flipped payload byte costs exactly one record, and the warmed costs match
+# the pre-save evaluation byte for byte), smoke-tests the bench
 # --json/--trace exports (both must parse as JSON and the trace must carry
 # optimizer spans), runs parinda-lint
 # over src/ and tests/, failing on any violation (including the
@@ -73,14 +78,15 @@ grep -q 'average benefit' /tmp/parinda_ci_repl.txt || {
 echo "--- interactive_designer"
 
 echo "=== failpoint sweep (ASan+UBSan build) ==="
-# Harvest every registered failpoint from the sources and re-run the
-# failpoint-aware tests once per point in error mode under the sanitizer
-# build: injected faults must surface as clean Status everywhere — no
-# crashes, no leaks, no sanitizer reports.
-FAILPOINTS="$(grep -rhoE 'PARINDA_FAILPOINT\("[^"]+"\)' "$ROOT/src" \
-  | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)"
+# Ask the binary for every registered failpoint (FailpointRegistry feeds
+# --list-failpoints, so the list is exactly what the linked code registered —
+# no source grep to fall out of date) and re-run the failpoint-aware tests
+# once per point in error mode under the sanitizer build: injected faults
+# must surface as clean Status everywhere — no crashes, no leaks, no
+# sanitizer reports.
+FAILPOINTS="$(./build-san/tests/failpoint_test --list-failpoints)"
 if [ -z "$FAILPOINTS" ]; then
-  echo "no failpoints registered in src/ — sweep has nothing to do"
+  echo "no failpoints registered — sweep has nothing to do"
   exit 1
 fi
 for fp in $FAILPOINTS; do
@@ -92,6 +98,86 @@ for fp in $FAILPOINTS; do
     exit 1
   }
 done
+
+echo "=== crash-during-save recovery (ASan+UBSan build) ==="
+# Kill the interactive designer *inside* the spill write (crash mode aborts
+# between the two halves of the temp file): the target path must not exist
+# afterwards — the torn state is confined to a .tmp sibling — and rerunning
+# the identical session must complete and save cleanly. This is the
+# crash-safety contract of cache_spill.h exercised end to end.
+SPILL_DIR="$(mktemp -d /tmp/parinda_ci_spill.XXXXXX)"
+spill_session() {
+  printf '%s\n' \
+    'workload add SELECT objid FROM photoobj WHERE objid < 500' \
+    'workload add SELECT field_id FROM field WHERE quality = 3' \
+    'add index photoobj objid' \
+    'evaluate' \
+    "$1" \
+    'quit'
+}
+if spill_session "save-cache $SPILL_DIR/cache.spill" \
+    | PARINDA_FAILPOINTS="engine.spill_write=crash" \
+      ./build-san/examples/interactive_designer \
+      > /tmp/parinda_ci_crash.txt 2>&1; then
+  echo "crash-during-save: process survived an armed crash failpoint"
+  exit 1
+fi
+if [ -e "$SPILL_DIR/cache.spill" ]; then
+  echo "crash-during-save: target file exists after a save that crashed"
+  exit 1
+fi
+spill_session "save-cache $SPILL_DIR/cache.spill" \
+  | ./build-san/examples/interactive_designer > /tmp/parinda_ci_crash2.txt
+grep -q 'cache saved to' /tmp/parinda_ci_crash2.txt || {
+  echo "crash-during-save: rerun after the crash did not save:"
+  cat /tmp/parinda_ci_crash2.txt
+  exit 1
+}
+echo "--- crash mid-save left no target; rerun recovered and saved"
+
+echo "=== spill round-trip with corruption (ASan+UBSan build) ==="
+# Flip one byte inside one record payload of the spill just written: loading
+# must reject exactly that record (CRC mismatch), keep every other record,
+# and the warmed session's evaluation must print byte-identical per-query
+# costs — a corrupt record is a cache miss, never a wrong cost.
+grep '^  Q' /tmp/parinda_ci_crash2.txt > /tmp/parinda_ci_rt_want.txt
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SPILL_DIR/cache.spill" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+marker = data.find(b"\nrecord ")
+assert marker >= 0, "no record header in spill file"
+hdr_end = data.index(b"\n", marker + 1)
+length = int(data[marker + 1:hdr_end].split()[1])
+data[hdr_end + 1 + length // 2] ^= 0x01
+open(path, "wb").write(bytes(data))
+EOF
+  # Same session shape, but the load precedes evaluate so the printed costs
+  # come out of the warmed (and partially corrupted) cache.
+  printf '%s\n' \
+    'workload add SELECT objid FROM photoobj WHERE objid < 500' \
+    'workload add SELECT field_id FROM field WHERE quality = 3' \
+    'add index photoobj objid' \
+    "load-cache $SPILL_DIR/cache.spill" \
+    'evaluate' \
+    'quit' \
+    | ./build-san/examples/interactive_designer > /tmp/parinda_ci_rt_got.txt
+  grep -q 'records, 1 rejected' /tmp/parinda_ci_rt_got.txt || {
+    echo "spill round-trip: expected exactly 1 rejected record:"
+    grep 'cache' /tmp/parinda_ci_rt_got.txt || cat /tmp/parinda_ci_rt_got.txt
+    exit 1
+  }
+  grep '^  Q' /tmp/parinda_ci_rt_got.txt > /tmp/parinda_ci_rt_have.txt
+  diff /tmp/parinda_ci_rt_want.txt /tmp/parinda_ci_rt_have.txt || {
+    echo "spill round-trip: per-query costs diverged after corrupted reload"
+    exit 1
+  }
+  echo "--- 1 corrupt record rejected, costs bit-identical after reload"
+else
+  echo "python3 unavailable; skipping byte-flip (covered by cache_test fuzz)"
+fi
+rm -rf "$SPILL_DIR"
 
 echo "=== trace export smoke test ==="
 # The bench flag layer must produce valid JSON for both the metrics report
