@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/file_io.h"
+#include "common/memsize.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "executor/executor.h"
@@ -130,6 +131,9 @@ inline void InitJson(int* argc, char** argv) { InitFlags(argc, argv); }
 /// or inf from printf is not valid JSON).
 inline void WriteJsonIfEnabled(const char* bench_name) {
   if (!internal::JsonEnabled()) return;
+  // Every report carries the process's memory high-water mark (0 on
+  // platforms without /proc) so BENCH_*.json tracks space next to time.
+  RecordMetric("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
   const std::string path = internal::JsonPath().empty()
                                ? "BENCH_" + std::string(bench_name) + ".json"
                                : internal::JsonPath();

@@ -18,6 +18,8 @@
 //   verify <table> <col>[,...]   what-if vs materialized accuracy check
 //   suggest indexes [budget_mb]  run the ILP index advisor
 //   suggest partitions           run AutoPart
+//   compress                     show the workload's fold classes (duplicate
+//                                queries the advisors evaluate only once)
 //   budget <ms>|off              time-budget evaluate/suggest (anytime mode)
 //   save-cache <path>            spill the evaluation cost cache to a file
 //   load-cache <path>            warm the cost cache from a spill file
@@ -49,6 +51,7 @@
 #include "parser/parser.h"
 #include "rewriter/rewriter.h"
 #include "whatif/whatif_index.h"
+#include "workload/compress.h"
 #include "workload/sdss.h"
 
 using namespace parinda;  // NOLINT: example brevity
@@ -499,6 +502,27 @@ int main() {
       std::printf("trace written to %s (%zu events; open in "
                   "chrome://tracing or ui.perfetto.dev)\n",
                   path.c_str(), trace::Snapshot().size());
+      continue;
+    }
+    if (cmd == "compress") {
+      if (workload_obj == nullptr) {
+        std::printf("error: empty workload\n");
+        continue;
+      }
+      const CompressedWorkload compressed =
+          CompressWorkload(db.catalog(), *workload_obj);
+      std::printf("  %d queries -> %d fold classes (%.2fx); advisors "
+                  "evaluate one representative per class\n",
+                  compressed.original_size, compressed.workload.size(),
+                  compressed.ratio());
+      for (int c = 0; c < compressed.workload.size(); ++c) {
+        const WorkloadQuery& rep = compressed.workload.queries[c];
+        std::string sql = rep.sql;
+        if (sql.size() > 56) sql = sql.substr(0, 53) + "...";
+        std::printf("  [%d] x%zu w=%.1f  %s\n", c,
+                    compressed.expansion.members[c].size(), rep.weight,
+                    sql.c_str());
+      }
       continue;
     }
     if (cmd == "suggest") {

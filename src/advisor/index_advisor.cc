@@ -6,7 +6,9 @@
 #include <set>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "solver/lp.h"
 
 namespace parinda {
@@ -26,18 +28,43 @@ IndexAdvisor::IndexAdvisor(const CatalogReader& catalog,
     : catalog_(catalog),
       workload_(workload),
       options_(options),
-      ctx_{options_.params, options_.parallelism, options_.deadline, nullptr},
-      bank_(catalog_, workload_) {}
+      ctx_{options_.params, options_.parallelism, options_.deadline,
+           nullptr} {}
 
 IndexAdvisor::~IndexAdvisor() = default;
 
 Status IndexAdvisor::Prepare() {
   if (prepared_) return Status::OK();
+  // Fold duplicate (text, stats-scope) queries before building any model:
+  // engine costs are pure functions of the fold key, so one representative
+  // with the summed weight covers every member exactly (DESIGN.md §15). A
+  // workload with nothing to fold keeps the original object — the
+  // compression machinery adds no work and no report difference.
+  eval_workload_ = &workload_;
+  expansion_ = nullptr;
+  double compression_ratio = 1.0;
+  if (options_.compress) {
+    PARINDA_TRACE_SPAN("advisor.compress");
+    auto compressed =
+        std::make_unique<CompressedWorkload>(
+            CompressWorkload(catalog_, workload_));
+    if (compressed->folded() > 0) {
+      compression_ratio = compressed->ratio();
+      compressed_ = std::move(compressed);
+      eval_workload_ = &compressed_->workload;
+      expansion_ = &compressed_->expansion;
+      ctx_.expansion = expansion_;
+    }
+  }
+  // Gauges are integral; the ratio is stored in centi-units (100 = 1.0x).
+  metrics::Registry::Global()
+      .gauge("advisor.compression_ratio")
+      .Set(static_cast<int64_t>(compression_ratio * 100.0));
   CandidateOptions cand_options = options_.candidates;
   cand_options.deadline = options_.deadline;
   PARINDA_ASSIGN_OR_RETURN(
       std::vector<WhatIfIndexDef> defs,
-      GenerateCandidateIndexes(catalog_, workload_, cand_options));
+      GenerateCandidateIndexes(catalog_, *eval_workload_, cand_options));
   // Enumeration truncates (returns a smaller pool) rather than erroring.
   if (options_.deadline.Expired()) prep_complete_ = false;
   candidate_set_ = std::make_unique<WhatIfIndexSet>(catalog_);
@@ -51,18 +78,18 @@ Status IndexAdvisor::Prepare() {
     candidates_.push_back(candidate_set_->Get(id));
   }
 
-  const int nq = workload_.size();
+  const int nq = eval_workload_->size();
   const int nc = static_cast<int>(candidates_.size());
+  bank_ = std::make_unique<InumBank>(catalog_, *eval_workload_);
   // Pre-sized per-query slots: each worker builds and owns query q's cost
   // model (the bank's slot-disjoint contract) and writes only base_cost_[q]
-  // / benefit_[q], so the matrix is bit-identical under any parallelism (the
-  // catalog and the candidate IndexInfo records are shared read-only). No
-  // mutex and no PARINDA_GUARDED_BY: the slots are disjoint by construction,
-  // and WaitAll()'s pool mutex is the one happens-before edge the readers
-  // need before the serial selection scan.
+  // / benefit_ row q, so the matrix is bit-identical under any parallelism
+  // (the catalog and the candidate IndexInfo records are shared read-only).
+  // No mutex and no PARINDA_GUARDED_BY: the slots are disjoint by
+  // construction, and WaitAll()'s pool mutex is the one happens-before edge
+  // the readers need before the serial selection scan.
   base_cost_.assign(static_cast<size_t>(nq), 0.0);
-  benefit_.assign(static_cast<size_t>(nq),
-                  std::vector<double>(static_cast<size_t>(nc), 0.0));
+  benefit_.Reset(nq, nc, options_.sparse_benefit);
   row_complete_.assign(static_cast<size_t>(nq), 0);
   Status fill = ParallelFor(
       ResolveParallelism(ctx_.parallelism), nq, [&](int q) -> Status {
@@ -71,11 +98,11 @@ Status IndexAdvisor::Prepare() {
         // row, and ParallelFor's cancel-on-error drains the rest promptly.
         PARINDA_ASSIGN_OR_RETURN(
             InumCostModel * model,
-            bank_.Model(q, ctx_.params, &options_.deadline));
+            bank_->Model(q, ctx_.params, &options_.deadline));
         PARINDA_ASSIGN_OR_RETURN(base_cost_[q], model->EstimateCost({}));
         // Tables of this query, to skip irrelevant candidates fast.
         std::set<TableId> tables;
-        for (const TableRef& ref : workload_.queries[q].stmt.from) {
+        for (const TableRef& ref : eval_workload_->queries[q].stmt.from) {
           tables.insert(ref.bound_table);
         }
         for (int j = 0; j < nc; ++j) {
@@ -83,13 +110,14 @@ Status IndexAdvisor::Prepare() {
           PARINDA_ASSIGN_OR_RETURN(double cost,
                                    model->EstimateCost({candidates_[j]}));
           const double gain = base_cost_[q] - cost;
-          if (gain > kBenefitEps) {
-            benefit_[q][j] = gain * workload_.queries[q].weight;
-          }
+          if (gain > kBenefitEps) benefit_.Set(q, j, gain);
         }
         row_complete_[q] = 1;
         return Status::OK();
       });
+  metrics::Registry::Global()
+      .gauge("advisor.sparse_nnz")
+      .Set(static_cast<double>(benefit_.NonZeros()));
   if (!fill.ok()) {
     if (!IsBudgetError(fill)) return fill;
     // Out of budget mid-matrix: keep the complete rows, degrade the rest.
@@ -132,7 +160,7 @@ Result<std::vector<const IndexInfo*>> IndexAdvisor::Candidates() {
 
 Result<double> IndexAdvisor::QueryCost(
     int q, const std::vector<const IndexInfo*>& config) {
-  return bank_.Get(q)->EstimateCost(config);
+  return bank_->Get(q)->EstimateCost(config);
 }
 
 IndexAdvice IndexAdvisor::FinishAdviceFromMatrix(
@@ -141,37 +169,45 @@ IndexAdvice IndexAdvisor::FinishAdviceFromMatrix(
     DegradationReport report) {
   IndexAdvice advice;
   advice.proved_optimal = proved_optimal;
-  const int nq = workload_.size();
-  advice.per_query_base = base_cost_;
+  const int nq = OriginalSize();
+  advice.per_query_base.assign(static_cast<size_t>(nq), 0.0);
   advice.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
   std::map<const IndexInfo*, int> candidate_index;
   for (size_t j = 0; j < candidates_.size(); ++j) {
     candidate_index[candidates_[j]] = static_cast<int>(j);
   }
   std::map<const IndexInfo*, std::vector<int>> used_by;
+  // Per ORIGINAL query, using its representative's matrix row: the weighted
+  // benefit is recomputed from the same operands (gain, weight) the
+  // uncompressed run stores, so the estimate — division included — carries
+  // the exact same bits.
   for (int q = 0; q < nq; ++q) {
-    const double weight = std::max(kBenefitEps, workload_.queries[q].weight);
+    const int rep = RepOf(q);
+    const double w_q = WeightOf(q);
+    const double weight = std::max(kBenefitEps, w_q);
     // Estimate from the stand-alone benefit matrix: per table, the best
     // selected candidate serves the query (one access path per table); no
     // fresh model calls. Incomplete rows carry zero benefit, so their
     // estimate stays at the (possibly unfilled) base cost.
     std::map<TableId, std::pair<double, const IndexInfo*>> best_per_table;
     for (const IndexInfo* index : selected) {
-      const double gain = benefit_[q][candidate_index[index]] / weight;
+      const double weighted = benefit_.Get(rep, candidate_index[index]) * w_q;
+      const double gain = weighted / weight;
       if (gain <= kBenefitEps) continue;
       auto [it, inserted] =
           best_per_table.try_emplace(index->table_id, gain, index);
       if (!inserted && gain > it->second.first) it->second = {gain, index};
     }
-    double optimized = base_cost_[q];
+    double optimized = base_cost_[rep];
     for (const auto& [table, best] : best_per_table) {
       optimized -= best.first;
       used_by[best.second].push_back(q);
     }
     optimized = std::max(0.0, optimized);
+    advice.per_query_base[q] = base_cost_[rep];
     advice.per_query_optimized[q] = optimized;
-    advice.base_cost += base_cost_[q] * workload_.queries[q].weight;
-    advice.optimized_cost += optimized * workload_.queries[q].weight;
+    advice.base_cost += base_cost_[rep] * w_q;
+    advice.optimized_cost += optimized * w_q;
   }
   for (size_t s = 0; s < selected.size(); ++s) {
     SuggestedIndex suggestion;
@@ -188,8 +224,8 @@ IndexAdvice IndexAdvisor::FinishAdviceFromMatrix(
     advice.indexes.push_back(std::move(suggestion));
   }
   // Bank totals skip rows whose model never started within the budget.
-  advice.optimizer_calls = bank_.TotalOptimizerCalls();
-  advice.inum_estimates = bank_.TotalEstimatesServed();
+  advice.optimizer_calls = bank_->TotalOptimizerCalls();
+  advice.inum_estimates = bank_->TotalEstimatesServed();
   report.degraded = true;
   report.failpoint_hits = failpoint::HitsSince(fp_snapshot_);
   advice.degradation = std::move(report);
@@ -212,25 +248,26 @@ Result<IndexAdvice> IndexAdvisor::FinishAdvice(
   PhaseTimer timer(&report, "finish", "advisor.finish");
   IndexAdvice advice;
   advice.proved_optimal = proved_optimal;
-  const int nq = workload_.size();
-  advice.per_query_base = base_cost_;
-  advice.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
-  std::map<const IndexInfo*, std::vector<int>> used_by;
+  const int n_eval = eval_workload_->size();
+  const int nq = OriginalSize();
+  // Pass 1 over the eval workload: one model call per fold class (plus the
+  // leave-one-out pass for used_by) — this is where compression pays.
+  std::vector<double> eval_cost(static_cast<size_t>(n_eval), 0.0);
+  std::vector<std::vector<char>> eval_uses(
+      selected.size(), std::vector<char>(static_cast<size_t>(n_eval), 0));
   Status status = [&]() -> Status {
-    for (int q = 0; q < nq; ++q) {
+    for (int q = 0; q < n_eval; ++q) {
       PARINDA_ASSIGN_OR_RETURN(double cost, QueryCost(q, selected));
-      advice.per_query_optimized[q] = cost;
-      advice.base_cost += base_cost_[q] * workload_.queries[q].weight;
-      advice.optimized_cost += cost * workload_.queries[q].weight;
+      eval_cost[q] = cost;
       // An index is "used by q" when dropping it makes q more expensive.
-      for (const IndexInfo* index : selected) {
+      for (size_t s = 0; s < selected.size(); ++s) {
         std::vector<const IndexInfo*> without;
         for (const IndexInfo* other : selected) {
-          if (other != index) without.push_back(other);
+          if (other != selected[s]) without.push_back(other);
         }
         PARINDA_ASSIGN_OR_RETURN(double cost_without, QueryCost(q, without));
         if (cost_without > cost + kBenefitEps) {
-          used_by[index].push_back(q);
+          eval_uses[s][static_cast<size_t>(q)] = 1;
         }
       }
     }
@@ -242,6 +279,25 @@ Result<IndexAdvice> IndexAdvisor::FinishAdvice(
     report.AddFallback("finish:matrix-estimate");
     return FinishAdviceFromMatrix(selected, model_benefit, proved_optimal,
                                   std::move(report));
+  }
+  // Pass 2 over the ORIGINAL queries in ascending order: totals accumulate
+  // the representative costs with the original weights — the exact addition
+  // sequence of the uncompressed run.
+  advice.per_query_base.assign(static_cast<size_t>(nq), 0.0);
+  advice.per_query_optimized.assign(static_cast<size_t>(nq), 0.0);
+  std::map<const IndexInfo*, std::vector<int>> used_by;
+  for (int q = 0; q < nq; ++q) {
+    const int rep = RepOf(q);
+    const double w_q = WeightOf(q);
+    advice.per_query_base[q] = base_cost_[rep];
+    advice.per_query_optimized[q] = eval_cost[rep];
+    advice.base_cost += base_cost_[rep] * w_q;
+    advice.optimized_cost += eval_cost[rep] * w_q;
+    for (size_t s = 0; s < selected.size(); ++s) {
+      if (eval_uses[s][static_cast<size_t>(rep)] != 0) {
+        used_by[selected[s]].push_back(q);
+      }
+    }
   }
   for (size_t s = 0; s < selected.size(); ++s) {
     SuggestedIndex suggestion;
@@ -262,8 +318,8 @@ Result<IndexAdvice> IndexAdvisor::FinishAdvice(
     advice.total_maintenance_cost += suggestion.maintenance_cost;
     advice.indexes.push_back(std::move(suggestion));
   }
-  advice.optimizer_calls = bank_.TotalOptimizerCalls();
-  advice.inum_estimates = bank_.TotalEstimatesServed();
+  advice.optimizer_calls = bank_->TotalOptimizerCalls();
+  advice.inum_estimates = bank_->TotalEstimatesServed();
   timer.Stop();
   report.failpoint_hits = failpoint::HitsSince(fp_snapshot_);
   advice.degradation = std::move(report);
@@ -273,12 +329,18 @@ Result<IndexAdvice> IndexAdvisor::FinishAdvice(
 void IndexAdvisor::SelectStaticGreedy(
     std::vector<const IndexInfo*>* selected,
     std::vector<double>* selected_benefit) const {
-  const int nq = workload_.size();
+  const int nq = OriginalSize();
   const int nc = static_cast<int>(candidates_.size());
-  // Stand-alone benefit of each candidate, computed once.
+  // Stand-alone benefit of each candidate, accumulated over the ORIGINAL
+  // queries in ascending order (each adding its representative's gain times
+  // its own weight) — the same addition sequence as the uncompressed dense
+  // scan, minus the bitwise-neutral zero terms.
   std::vector<double> score(static_cast<size_t>(nc), 0.0);
   for (int q = 0; q < nq; ++q) {
-    for (int j = 0; j < nc; ++j) score[j] += benefit_[q][j];
+    const int rep = RepOf(q);
+    const double w_q = WeightOf(q);
+    benefit_.ForEachInRow(
+        rep, [&](int j, double gain) { score[j] += gain * w_q; });
   }
   for (int j = 0; j < nc; ++j) score[j] -= MaintenanceCost(j);
   std::vector<int> order;
@@ -321,11 +383,13 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
     return FinishAdviceFromMatrix(selected, selected_benefit,
                                   /*proved_optimal=*/false, std::move(report));
   }
-  const int nq = workload_.size();
+  const int nq = eval_workload_->size();
   const int nc = static_cast<int>(candidates_.size());
 
   // Variables: x_j (build index j) for j in [0, nc); then y_{q,j} for every
-  // positive-benefit pair.
+  // positive-benefit pair of the EVAL workload — under compression one
+  // variable covers a whole fold class (its coefficient carries the summed
+  // weight), which is what shrinks the ILP.
   LinearProgram lp;
   lp.objective.assign(static_cast<size_t>(nc), 0.0);
   // Building an index costs maintenance whether or not a query uses it.
@@ -336,14 +400,17 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
     int var;
   };
   std::vector<PairVar> pairs;
+  std::map<std::pair<int, int>, int> pair_var;  // (eval q, j) -> var
   for (int q = 0; q < nq; ++q) {
-    for (int j = 0; j < nc; ++j) {
-      if (benefit_[q][j] > kBenefitEps) {
-        const int var = static_cast<int>(lp.objective.size());
-        lp.objective.push_back(benefit_[q][j]);
-        pairs.push_back({q, j, var});
-      }
-    }
+    const double w_q = eval_workload_->queries[static_cast<size_t>(q)].weight;
+    benefit_.ForEachInRow(q, [&](int j, double gain) {
+      const double weighted = gain * w_q;
+      if (weighted <= kBenefitEps) return;
+      const int var = static_cast<int>(lp.objective.size());
+      lp.objective.push_back(weighted);
+      pairs.push_back({q, j, var});
+      pair_var[{q, j}] = var;
+    });
   }
   // y_{q,j} <= x_j.
   for (const PairVar& pair : pairs) {
@@ -398,13 +465,18 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithIlp() {
   }
   std::vector<const IndexInfo*> selected;
   std::vector<double> model_benefit;
+  const int n_orig = OriginalSize();
   for (int j = 0; j < nc; ++j) {
     if (solution.values[j] == 1) {
       selected.push_back(candidates_[j]);
+      // Decomposed benefit, expanded back over the ORIGINAL queries in
+      // ascending order so the reported per-index benefit matches the
+      // uncompressed pair-order accumulation bit for bit.
       double b = 0.0;
-      for (const PairVar& pair : pairs) {
-        if (pair.j == j && solution.values[pair.var] == 1) {
-          b += benefit_[pair.q][pair.j];
+      for (int q = 0; q < n_orig; ++q) {
+        auto it = pair_var.find({RepOf(q), j});
+        if (it != pair_var.end() && solution.values[it->second] == 1) {
+          b += benefit_.Get(RepOf(q), j) * WeightOf(q);
         }
       }
       model_benefit.push_back(b);
@@ -446,12 +518,13 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
     return FinishAdviceFromMatrix(selected, selected_benefit,
                                   /*proved_optimal=*/false, std::move(report));
   }
-  const int nq = workload_.size();
+  const int n_eval = eval_workload_->size();
+  const int nq = OriginalSize();
   const int nc = static_cast<int>(candidates_.size());
   std::vector<const IndexInfo*> selected;
   std::vector<double> selected_benefit;
   std::vector<bool> in_set(static_cast<size_t>(nc), false);
-  std::vector<double> current_cost = base_cost_;
+  std::vector<double> current_cost = base_cost_;  // per eval query
   double used_bytes = 0.0;
   const bool budgeted = std::isfinite(options_.storage_budget_bytes);
 
@@ -474,9 +547,11 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
       }
       std::vector<const IndexInfo*> trial = selected;
       trial.push_back(candidates_[j]);
-      double gain = -MaintenanceCost(j);
-      std::vector<double> costs(static_cast<size_t>(nq), 0.0);
-      for (int q = 0; q < nq; ++q) {
+      // Model calls once per fold class; the gain then accumulates over the
+      // ORIGINAL queries in ascending order (the uncompressed run's exact
+      // addition sequence), so the greedy's tie-free decisions match it.
+      std::vector<double> costs(static_cast<size_t>(n_eval), 0.0);
+      for (int q = 0; q < n_eval; ++q) {
         auto cost = QueryCost(q, trial);
         if (!cost.ok()) {
           if (!IsBudgetError(cost.status())) return cost.status();
@@ -485,9 +560,13 @@ Result<IndexAdvice> IndexAdvisor::SuggestWithGreedy() {
           break;
         }
         costs[q] = *cost;
-        gain += (current_cost[q] - *cost) * workload_.queries[q].weight;
       }
       if (truncated) break;
+      double gain = -MaintenanceCost(j);
+      for (int q = 0; q < nq; ++q) {
+        const int rep = RepOf(q);
+        gain += (current_cost[rep] - costs[rep]) * WeightOf(q);
+      }
       if (gain <= kBenefitEps) continue;
       const double score = budgeted ? gain / std::max(1.0, size) : gain;
       if (score > best_score) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "advisor/benefit_matrix.h"
 #include "advisor/candidates.h"
 #include "catalog/catalog.h"
 #include "common/deadline.h"
@@ -17,6 +18,7 @@
 #include "optimizer/cost_params.h"
 #include "solver/bnb.h"
 #include "whatif/whatif_index.h"
+#include "workload/compress.h"
 #include "workload/workload.h"
 
 namespace parinda {
@@ -52,6 +54,15 @@ struct IndexAdvisorOptions {
   /// `parallelism`. The default infinite deadline reproduces the un-budgeted
   /// advice bit-identically. See DESIGN.md §10.
   Deadline deadline;
+  /// Workload compression (DESIGN.md §15): queries with identical normalized
+  /// text and stats scope fold into one representative with summed weight
+  /// before any model is built. Exact by construction — the advice (every
+  /// reported double included) is bit-identical to the uncompressed run.
+  /// Off = the ablation arm for bench_scale.
+  bool compress = true;
+  /// Sparse (CSR-style) benefit rows instead of the dense nq x nc grid.
+  /// Same entries either way; off = the dense ablation arm.
+  bool sparse_benefit = true;
 };
 
 /// One suggested index with its report fields (Figure 3's per-index view).
@@ -144,6 +155,22 @@ class IndexAdvisor {
   void SelectStaticGreedy(std::vector<const IndexInfo*>* selected,
                           std::vector<double>* selected_benefit) const;
 
+  /// Eval-workload index of original query `orig` (identity without
+  /// compression).
+  int RepOf(int orig) const {
+    return expansion_ != nullptr ? expansion_->representative[orig] : orig;
+  }
+  /// Weight of original query `orig`.
+  double WeightOf(int orig) const {
+    return expansion_ != nullptr
+               ? expansion_->weights[static_cast<size_t>(orig)]
+               : workload_.queries[static_cast<size_t>(orig)].weight;
+  }
+  int OriginalSize() const {
+    return expansion_ != nullptr ? expansion_->original_size()
+                                 : workload_.size();
+  }
+
   const CatalogReader& catalog_;
   const Workload& workload_;
   IndexAdvisorOptions options_;
@@ -154,13 +181,23 @@ class IndexAdvisor {
   /// False when the budget truncated candidate enumeration or the matrix
   /// fill; `row_complete_` says which query rows are trustworthy.
   bool prep_complete_ = true;
+  /// The folded workload view (set when options_.compress folded at least
+  /// one query; the advisor then models `compressed_->workload` and expands
+  /// reports back over `workload_` via `expansion_`).
+  std::unique_ptr<CompressedWorkload> compressed_;
+  /// The workload the models/matrix are built over: `workload_`, or the
+  /// compressed view when folding happened.
+  const Workload* eval_workload_ = nullptr;
+  const WorkloadExpansion* expansion_ = nullptr;
   std::unique_ptr<WhatIfIndexSet> candidate_set_;
   std::vector<const IndexInfo*> candidates_;
-  /// Engine-owned per-query INUM models (slot-disjoint for ParallelFor).
-  InumBank bank_;
-  std::vector<double> base_cost_;  // per query
-  /// benefit_[q][j]: weighted benefit of candidate j alone for query q.
-  std::vector<std::vector<double>> benefit_;
+  /// Engine-owned per-query INUM models (slot-disjoint for ParallelFor);
+  /// built in Prepare() once the eval workload is decided.
+  std::unique_ptr<InumBank> bank_;
+  std::vector<double> base_cost_;  // per eval-workload query
+  /// benefit_.Get(q, j): unweighted stand-alone gain of candidate j for
+  /// eval-workload query q (consumers multiply by query weight at use).
+  BenefitMatrix benefit_;
   /// row_complete_[q]: query q's model, base cost and benefit row were
   /// fully computed before the budget ran out (char, not bool: each worker
   /// writes only its own slot).

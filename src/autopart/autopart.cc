@@ -6,7 +6,9 @@
 #include <set>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "optimizer/query_analysis.h"
 
 namespace parinda {
@@ -21,6 +23,22 @@ std::vector<ColumnId> UnionColumns(const std::vector<ColumnId>& a,
   std::set<ColumnId> merged(a.begin(), a.end());
   merged.insert(b.begin(), b.end());
   return {merged.begin(), merged.end()};
+}
+
+/// Folds the workload when compression is on and actually folds something;
+/// nullptr otherwise (the advisor then evaluates the original workload).
+std::unique_ptr<CompressedWorkload> MaybeCompress(const CatalogReader& catalog,
+                                                  const Workload& workload,
+                                                  bool enabled) {
+  if (!enabled) return nullptr;
+  PARINDA_TRACE_SPAN("autopart.compress");
+  CompressedWorkload compressed = CompressWorkload(catalog, workload);
+  if (compressed.folded() == 0) return nullptr;
+  // Gauges are integral; the ratio is stored in centi-units (100 = 1.0x).
+  metrics::Registry::Global()
+      .gauge("advisor.compression_ratio")
+      .Set(static_cast<int64_t>(compressed.ratio() * 100.0));
+  return std::make_unique<CompressedWorkload>(std::move(compressed));
 }
 
 double ColumnBytes(const TableInfo& table, ColumnId col) {
@@ -42,8 +60,13 @@ AutoPartAdvisor::AutoPartAdvisor(const CatalogReader& catalog,
     : catalog_(catalog),
       workload_(workload),
       options_(options),
+      compressed_(MaybeCompress(catalog, workload, options_.compress)),
+      eval_workload_(compressed_ != nullptr ? &compressed_->workload
+                                            : &workload_),
+      expansion_(compressed_ != nullptr ? &compressed_->expansion : nullptr),
       ctx_{options_.params, options_.parallelism, options_.deadline, nullptr},
-      evaluator_(catalog_, workload_) {
+      evaluator_(catalog_, *eval_workload_) {
+  ctx_.expansion = expansion_;
   if (options_.memory_budget_bytes > 0) {
     governor_ = std::make_unique<CacheGovernor>(
         MemoryBudget{options_.memory_budget_bytes});
@@ -66,14 +89,25 @@ Result<std::vector<FragmentDef>> AutoPartAdvisor::AtomicFragments(
   for (ColumnId c = 0; c < info->schema.num_columns(); ++c) {
     signature[c] = {};
   }
-  for (int q = 0; q < workload_.size(); ++q) {
+  // One analysis per distinct (eval) query; under compression each fold
+  // class records its ORIGINAL member ids, so the signatures — and with
+  // them the fragment grouping and ordering — are exactly those of the
+  // uncompressed workload.
+  for (int q = 0; q < eval_workload_->size(); ++q) {
     PARINDA_ASSIGN_OR_RETURN(
         AnalyzedQuery analyzed,
-        AnalyzeQuery(catalog_, workload_.queries[q].stmt));
+        AnalyzeQuery(catalog_, eval_workload_->queries[q].stmt));
     for (size_t r = 0; r < analyzed.tables.size(); ++r) {
       if (analyzed.tables[r]->id != table) continue;
       for (ColumnId c : analyzed.referenced_columns[r]) {
-        signature[c].push_back(q);
+        if (expansion_ != nullptr) {
+          const std::vector<int>& members =
+              expansion_->members[static_cast<size_t>(q)];
+          signature[c].insert(signature[c].end(), members.begin(),
+                              members.end());
+        } else {
+          signature[c].push_back(q);
+        }
       }
     }
   }
@@ -189,7 +223,7 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
         return base_design(std::move(report));
       }
       PARINDA_ASSIGN_OR_RETURN(const double cost,
-                               evaluator_.BaseCost(q, ctx_));
+                               evaluator_.BaseCost(RepOf(q), ctx_));
       advice.per_query_base[q] = cost;
       total += cost * workload_.queries[q].weight;
     }
@@ -239,7 +273,9 @@ Result<PartitionAdvice> AutoPartAdvisor::Suggest() {
   for (const TableState& ts : state) {
     composites_of[ts.table] = ts.fragments;  // atomics
   }
-  for (const WorkloadQuery& query : workload_.queries) {
+  // Eval-workload iteration visits fold classes in first-occurrence order,
+  // so the (deduplicated) pool sequence matches the uncompressed scan.
+  for (const WorkloadQuery& query : eval_workload_->queries) {
     PARINDA_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
                              AnalyzeQuery(catalog_, query.stmt));
     for (size_t r = 0; r < analyzed.tables.size(); ++r) {

@@ -15,6 +15,7 @@
 #include "engine/eval_context.h"
 #include "engine/workload_evaluator.h"
 #include "optimizer/cost_params.h"
+#include "workload/compress.h"
 #include "workload/workload.h"
 
 namespace parinda {
@@ -65,6 +66,14 @@ struct AutoPartOptions {
   /// bit-identical, only planner-call counts change. Eviction is recorded as
   /// `engine:cache-evicted` in the advice's DegradationReport.
   int64_t memory_budget_bytes = 0;
+  /// Fold duplicate queries (same normalized text, same stats scope) into
+  /// one representative before evaluating (DESIGN.md §15). Never changes the
+  /// advice — totals and per-query outputs are expanded back over the
+  /// original queries in their original order, so every floating-point add
+  /// sequence matches the uncompressed run — only the planner-call and
+  /// analysis counts; false keeps the one-evaluation-per-query behaviour
+  /// (the bench_scale ablation arm).
+  bool compress = true;
 };
 
 /// Output of the automatic partition suggestion scenario (Figure 2): the
@@ -135,9 +144,23 @@ class AutoPartAdvisor {
   /// Replicated bytes of a state.
   double ReplicatedBytes(const std::vector<TableState>& state) const;
 
+  /// Compressed (eval) query index of original query `orig`.
+  int RepOf(int orig) const {
+    return expansion_ != nullptr
+               ? expansion_->representative[static_cast<size_t>(orig)]
+               : orig;
+  }
+
   const CatalogReader& catalog_;
   const Workload& workload_;
   AutoPartOptions options_;
+  /// Compressed workload view (null when compression is off or folds
+  /// nothing). The evaluator runs over the compressed queries; all advice
+  /// outputs stay in original-query terms via `expansion_`.
+  std::unique_ptr<CompressedWorkload> compressed_;
+  /// The workload the evaluator sees: &compressed_->workload or &workload_.
+  const Workload* eval_workload_ = nullptr;
+  const WorkloadExpansion* expansion_ = nullptr;
   /// Derived from options_; threaded through every engine call.
   EvalContext ctx_;
   /// Governs only the evaluator's cost cache (safe under pool parallelism:

@@ -2,9 +2,31 @@
 #define PARINDA_COMMON_MEMSIZE_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace parinda {
+
+/// Peak resident set size of this process in bytes (Linux: VmHWM from
+/// /proc/self/status), or 0 where the facility does not exist. Observability
+/// only — bench reports record it so the perf trajectory tracks memory
+/// alongside time; nothing gates on the value, so the 0 fallback is safe.
+inline int64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  int64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
 
 /// Heap-size estimation for cache accounting (the engine's MemoryBudget).
 ///

@@ -12,6 +12,7 @@
 #include "optimizer/planner.h"
 #include "rewriter/rewriter.h"
 #include "whatif/whatif_table.h"
+#include "workload/compress.h"
 
 namespace parinda {
 
@@ -341,7 +342,11 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
   };
   PlannerOptions planner_options;
   planner_options.params = ctx.params;
-  double total = 0.0;
+  // Per-eval-query costs are collected first and accumulated afterwards, so
+  // a compression expansion can replay them in original-query order.
+  std::vector<double> eval_cost(workload_.queries.size(), 0.0);
+  std::vector<std::string> eval_sql;
+  if (rewritten_sql != nullptr) eval_sql.assign(workload_.queries.size(), "");
   for (int q = 0; q < workload_.size(); ++q) {
     PARINDA_RETURN_IF_ERROR(ctx.deadline.CheckOk("engine.evaluate"));
     if (ctx.cancellation != nullptr) {
@@ -379,8 +384,7 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
         if (governor_ != nullptr) {
           PARINDA_RETURN_IF_ERROR(governor_->Touch(governor_shard_, key, bytes));
         }
-        if (per_query != nullptr) (*per_query)[q] = *hit;
-        total += *hit * query.weight;
+        eval_cost[static_cast<size_t>(q)] = *hit;
         continue;
       }
     }
@@ -414,8 +418,7 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
           PARINDA_RETURN_IF_ERROR(
               governor_->Touch(governor_shard_, key, EntryBytes(key, "")));
         }
-        if (per_query != nullptr) (*per_query)[q] = *hit;
-        total += *hit * query.weight;
+        eval_cost[static_cast<size_t>(q)] = *hit;
         continue;
       }
     }
@@ -437,11 +440,34 @@ Result<double> WorkloadEvaluator::EvaluatePartitioning(
             governor_->Touch(governor_shard_, key, EntryBytes(key, "")));
       }
     }
-    if (per_query != nullptr) (*per_query)[q] = cost;
+    eval_cost[static_cast<size_t>(q)] = cost;
     if (rewritten_sql != nullptr) {
-      (*rewritten_sql)[q] = rewritten.stmt.ToSql();
+      eval_sql[static_cast<size_t>(q)] = rewritten.stmt.ToSql();
     }
-    total += cost * query.weight;
+  }
+  // Totals and per-query outputs are accumulated in ORIGINAL query order:
+  // under a compression expansion each original query contributes its
+  // representative's cost times its own weight, which is the exact
+  // floating-point add sequence of the uncompressed evaluation — compressed
+  // advice is bit-identical by construction (DESIGN.md §15). Without an
+  // expansion this replays the evaluation loop's own order and weights.
+  double total = 0.0;
+  if (ctx.expansion != nullptr) {
+    const WorkloadExpansion& ex = *ctx.expansion;
+    for (int o = 0; o < ex.original_size(); ++o) {
+      const size_t rep =
+          static_cast<size_t>(ex.representative[static_cast<size_t>(o)]);
+      total += eval_cost[rep] * ex.weights[static_cast<size_t>(o)];
+      if (per_query != nullptr) (*per_query)[o] = eval_cost[rep];
+      if (rewritten_sql != nullptr) (*rewritten_sql)[o] = eval_sql[rep];
+    }
+  } else {
+    for (int q = 0; q < workload_.size(); ++q) {
+      const size_t i = static_cast<size_t>(q);
+      total += eval_cost[i] * workload_.queries[i].weight;
+      if (per_query != nullptr) (*per_query)[q] = eval_cost[i];
+      if (rewritten_sql != nullptr) (*rewritten_sql)[q] = eval_sql[i];
+    }
   }
   return total;
 }

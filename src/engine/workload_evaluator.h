@@ -145,9 +145,14 @@ class WorkloadEvaluator {
   /// Weighted workload cost under `design`. A candidate move touches one
   /// table, so queries not reading it are served from the cache; costs are
   /// accumulated in query order, so the total is bit-identical to a full
-  /// re-plan. Checks `ctx.deadline` before each query (budget expiry
-  /// surfaces as kDeadlineExceeded, the anytime contract). `per_query` /
-  /// `rewritten_sql`, when given, must be pre-sized to the workload.
+  /// re-plan. When `ctx.expansion` is set (the evaluator's workload is a
+  /// compressed view), the total and the output arrays are expanded over
+  /// the ORIGINAL queries — each contributes its representative's cost
+  /// times its own weight, reproducing the uncompressed add sequence
+  /// exactly (DESIGN.md §15). Checks `ctx.deadline` before each query
+  /// (budget expiry surfaces as kDeadlineExceeded, the anytime contract).
+  /// `per_query` / `rewritten_sql`, when given, must be pre-sized to the
+  /// original workload (== this workload when no expansion is set).
   [[nodiscard]] Result<double> EvaluatePartitioning(
       const std::vector<PartitionedTable>& design, const EvalContext& ctx,
       const PartitionEvalOptions& opts, std::vector<double>* per_query,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.h"
+
 namespace parinda {
 
 namespace {
@@ -13,13 +15,48 @@ constexpr double kFeasEps = 1e-7;
 
 }  // namespace
 
+LinearProgram::LinearProgram(const LinearProgram& other)
+    : objective(other.objective),
+      constraints(other.constraints),
+      upper(other.upper),
+      lower(other.lower) {
+  static metrics::Counter& copies =
+      metrics::Registry::Global().counter("solver.lp_copies");
+  copies.Increment();
+}
+
+LinearProgram& LinearProgram::operator=(const LinearProgram& other) {
+  if (this == &other) return *this;
+  objective = other.objective;
+  constraints = other.constraints;
+  upper = other.upper;
+  lower = other.lower;
+  static metrics::Counter& copies =
+      metrics::Registry::Global().counter("solver.lp_copies");
+  copies.Increment();
+  return *this;
+}
+
 Result<LpSolution> SolveLp(const LinearProgram& lp, int max_iterations) {
   const int n = lp.num_vars();
-  // Upper bounds become explicit rows (x_i <= u_i); simple and adequate at
-  // the problem sizes the advisor produces.
+  // Nonzero lower bounds are handled by the substitution x = lower + z with
+  // z in [0, upper - lower]: each row's rhs absorbs the fixed part, and the
+  // final values/objective are reconstructed from z. An empty `lower` skips
+  // every substitution step, reproducing the pre-substitution arithmetic
+  // byte for byte.
+  const bool has_lower = !lp.lower.empty();
+  // Upper bounds become explicit rows (z_i <= u_i - l_i); simple and
+  // adequate at the problem sizes the advisor produces.
   std::vector<LinearProgram::Constraint> rows = lp.constraints;
+  if (has_lower) {
+    for (LinearProgram::Constraint& row : rows) {
+      for (const auto& [var, coeff] : row.terms) {
+        if (var >= 0 && var < n) row.rhs -= coeff * lp.LowerOf(var);
+      }
+    }
+  }
   for (int i = 0; i < n; ++i) {
-    const double ub = lp.UpperOf(i);
+    const double ub = lp.UpperOf(i) - (has_lower ? lp.LowerOf(i) : 0.0);
     if (ub < 0.0) {
       return Status::InvalidArgument("negative upper bound");
     }
@@ -89,9 +126,12 @@ Result<LpSolution> SolveLp(const LinearProgram& lp, int max_iterations) {
   int degenerate_streak = 0;
   for (int iter = 0; iter < max_iterations; ++iter) {
     // Entering variable: most negative reduced cost (Dantzig); Bland after a
-    // degeneracy streak to avoid cycling.
+    // degeneracy streak — or unconditionally once half the iteration budget
+    // is spent (the Big-M phase can stall in long degenerate runs that reset
+    // the streak just under its threshold; Bland plus the lowest-basis-index
+    // leaving tie-break below guarantees termination).
     int pivot_col = -1;
-    const bool bland = degenerate_streak > 64;
+    const bool bland = degenerate_streak > 64 || iter >= max_iterations / 2;
     double best = -kEps;
     for (int j = 0; j < width - 1; ++j) {
       if (tab[m][j] < -kEps) {
@@ -154,6 +194,9 @@ Result<LpSolution> SolveLp(const LinearProgram& lp, int max_iterations) {
     if (basis[r] < n) {
       solution.values[basis[r]] = tab[r][width - 1];
     }
+  }
+  if (has_lower) {
+    for (int j = 0; j < n; ++j) solution.values[j] += lp.LowerOf(j);
   }
   solution.objective = 0.0;
   for (int j = 0; j < n; ++j) {

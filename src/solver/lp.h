@@ -11,11 +11,14 @@ namespace parinda {
 /// A linear program in the form PARINDA's index-selection ILP uses:
 ///
 ///   maximize    c . x
-///   subject to  A x <= b     (every row is a <= constraint, b >= 0)
-///               0 <= x_i <= upper_i
+///   subject to  A x <= b         (every row is a <= constraint)
+///               lower_i <= x_i <= upper_i
 ///
 /// Rows are sparse; the paper's ILP instances are mostly 0/1 coefficients
-/// over a few hundred variables.
+/// over a few hundred variables. Variable bounds are first-class (not rows):
+/// the branch-and-bound solver fixes variables by mutating them in place,
+/// which is what makes its per-node cost O(bound writes) instead of an LP
+/// copy (DESIGN.md §15).
 struct LinearProgram {
   /// One <= constraint: sum(terms) <= rhs.
   struct Constraint {
@@ -23,15 +26,30 @@ struct LinearProgram {
     double rhs = 0.0;
   };
 
+  LinearProgram() = default;
+  /// Copies bump the `solver.lp_copies` metric — the incremental solver's
+  /// no-copy-per-node contract is asserted against it in solver_test.
+  LinearProgram(const LinearProgram& other);
+  LinearProgram& operator=(const LinearProgram& other);
+  LinearProgram(LinearProgram&&) = default;
+  LinearProgram& operator=(LinearProgram&&) = default;
+
   std::vector<double> objective;
   std::vector<Constraint> constraints;
   /// Per-variable upper bound; defaults to 1.0 (binary relaxation) when the
   /// vector is empty.
   std::vector<double> upper;
+  /// Per-variable lower bound; defaults to 0.0 when the vector is empty.
+  /// Solved via the substitution x = lower + z (z >= 0); an all-default
+  /// lower vector takes the exact pre-substitution code path.
+  std::vector<double> lower;
 
   int num_vars() const { return static_cast<int>(objective.size()); }
   double UpperOf(int var) const {
     return upper.empty() ? 1.0 : upper[static_cast<size_t>(var)];
+  }
+  double LowerOf(int var) const {
+    return lower.empty() ? 0.0 : lower[static_cast<size_t>(var)];
   }
 
   /// Adds a constraint and returns its row index.

@@ -1,0 +1,99 @@
+#include "workload/sdss_scale.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "workload/sdss.h"
+
+namespace parinda {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::string PerturbSqlLiterals(const std::string& sql, int variant) {
+  if (variant == 0) return sql;
+  std::string out;
+  out.reserve(sql.size() + 16);
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    const bool starts_number =
+        c >= '0' && c <= '9' && (i == 0 || !IsIdentChar(sql[i - 1]));
+    if (!starts_number) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    bool decimal = false;
+    while (end < sql.size() && sql[end] >= '0' && sql[end] <= '9') ++end;
+    if (end + 1 < sql.size() && sql[end] == '.' && sql[end + 1] >= '0' &&
+        sql[end + 1] <= '9') {
+      decimal = true;
+      ++end;
+      while (end < sql.size() && sql[end] >= '0' && sql[end] <= '9') ++end;
+    }
+    const std::string token = sql.substr(i, end - i);
+    if (decimal) {
+      // +0.125*variant is an exact binary fraction: the perturbed literal
+      // round-trips through %.17g without drift, so repeated generation is
+      // deterministic.
+      const double value = std::strtod(token.c_str(), nullptr) +
+                           0.125 * static_cast<double>(variant);
+      out += StringPrintf("%.17g", value);
+    } else {
+      const long long value =
+          std::strtoll(token.c_str(), nullptr, 10) + variant;
+      out += StringPrintf("%lld", value);
+    }
+    i = end;
+  }
+  return out;
+}
+
+Result<Workload> MakeScaledSdssWorkload(const CatalogReader& catalog,
+                                        const SdssScaleConfig& config) {
+  const std::vector<std::string>& templates = SdssPrototypicalQueries();
+  const int variants = std::max(1, config.literal_variants);
+  const int max_weight = std::max(1, config.max_weight);
+  Random rng(config.seed);
+
+  std::vector<std::vector<std::string>> variant_cache(
+      templates.size(), std::vector<std::string>(static_cast<size_t>(variants)));
+  std::vector<std::string> sqls;
+  std::vector<double> weights;
+  sqls.reserve(static_cast<size_t>(config.num_queries));
+  weights.reserve(static_cast<size_t>(config.num_queries));
+  for (int i = 0; i < config.num_queries; ++i) {
+    const size_t t = static_cast<size_t>(
+        rng.NextZipf(static_cast<uint64_t>(templates.size()),
+                     config.zipf_theta));
+    const size_t v = static_cast<size_t>(
+        rng.Uniform(static_cast<uint64_t>(variants)));
+    const double w = 1.0 + static_cast<double>(
+        rng.Uniform(static_cast<uint64_t>(max_weight)));
+    std::string& text = variant_cache[t][v];
+    if (text.empty()) {
+      text = PerturbSqlLiterals(templates[t], static_cast<int>(v));
+    }
+    sqls.push_back(text);
+    weights.push_back(w);
+  }
+
+  PARINDA_ASSIGN_OR_RETURN(Workload workload, MakeWorkload(catalog, sqls));
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    workload.queries[i].weight = weights[i];
+  }
+  return workload;
+}
+
+}  // namespace parinda

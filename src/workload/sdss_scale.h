@@ -1,0 +1,41 @@
+#ifndef PARINDA_WORKLOAD_SDSS_SCALE_H_
+#define PARINDA_WORKLOAD_SDSS_SCALE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "workload/workload.h"
+
+namespace parinda {
+
+/// Generator knobs for expanding the 30 prototypical SDSS templates into an
+/// N-thousand-query workload: template popularity follows a Zipf skew (as in
+/// real query logs, a few templates dominate), each template exists in a
+/// small number of literal variants, and weights model repeated submissions.
+struct SdssScaleConfig {
+  int num_queries = 2000;
+  uint64_t seed = 42;
+  /// Distinct literal perturbations per template (variant 0 is the original
+  /// text). Bounds the number of fold classes at 30 * literal_variants.
+  int literal_variants = 4;
+  /// Zipf skew of template popularity (0 = uniform).
+  double zipf_theta = 0.6;
+  /// Weights are drawn uniformly from [1, max_weight].
+  int max_weight = 5;
+};
+
+/// Rewrites every standalone numeric literal in `sql` for variant `variant`:
+/// integers shift by +variant, decimals by +0.125*variant (exact in binary,
+/// so the perturbed text round-trips deterministically). Variant 0 returns
+/// `sql` unchanged. Exposed for tests.
+std::string PerturbSqlLiterals(const std::string& sql, int variant);
+
+/// Expands the SDSS templates into `config.num_queries` parsed-and-bound
+/// queries with skewed template popularity, varied literals, and integral
+/// weights. Deterministic in `config.seed`.
+Result<Workload> MakeScaledSdssWorkload(const CatalogReader& catalog,
+                                        const SdssScaleConfig& config);
+
+}  // namespace parinda
+
+#endif  // PARINDA_WORKLOAD_SDSS_SCALE_H_

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/index_advisor.h"
+#include "autopart/autopart.h"
+#include "common/check.h"
+#include "common/memsize.h"
+#include "workload/compress.h"
+#include "workload/sdss.h"
+#include "workload/sdss_scale.h"
+#include "workload/tpch_mini.h"
+#include "workload/workload.h"
+
+namespace parinda {
+namespace {
+
+Database* MakeSdssDb(double rows) {
+  auto* db = new Database();
+  SdssConfig config;
+  config.photoobj_rows = rows;
+  PARINDA_CHECK_OK(BuildSdssDatabase(db, config));
+  return db;
+}
+
+/// Bitwise advice identity (== on doubles, no tolerance): compression is
+/// exact by construction, so every reported value must match exactly.
+void ExpectSameIndexAdvice(const IndexAdvice& a, const IndexAdvice& b) {
+  EXPECT_EQ(a.base_cost, b.base_cost);
+  EXPECT_EQ(a.optimized_cost, b.optimized_cost);
+  EXPECT_EQ(a.per_query_base, b.per_query_base);
+  EXPECT_EQ(a.per_query_optimized, b.per_query_optimized);
+  EXPECT_EQ(a.total_size_bytes, b.total_size_bytes);
+  EXPECT_EQ(a.total_maintenance_cost, b.total_maintenance_cost);
+  ASSERT_EQ(a.indexes.size(), b.indexes.size());
+  for (size_t i = 0; i < a.indexes.size(); ++i) {
+    EXPECT_EQ(a.indexes[i].def.table, b.indexes[i].def.table);
+    EXPECT_EQ(a.indexes[i].def.columns, b.indexes[i].def.columns);
+    EXPECT_EQ(a.indexes[i].size_bytes, b.indexes[i].size_bytes);
+    EXPECT_EQ(a.indexes[i].benefit, b.indexes[i].benefit);
+    EXPECT_EQ(a.indexes[i].maintenance_cost, b.indexes[i].maintenance_cost);
+    EXPECT_EQ(a.indexes[i].used_by, b.indexes[i].used_by);
+  }
+}
+
+void ExpectSamePartitionAdvice(const PartitionAdvice& a,
+                               const PartitionAdvice& b) {
+  EXPECT_EQ(a.base_cost, b.base_cost);
+  EXPECT_EQ(a.optimized_cost, b.optimized_cost);
+  EXPECT_EQ(a.per_query_base, b.per_query_base);
+  EXPECT_EQ(a.per_query_optimized, b.per_query_optimized);
+  EXPECT_EQ(a.rewritten_sql, b.rewritten_sql);
+  EXPECT_EQ(a.replicated_bytes, b.replicated_bytes);
+  ASSERT_EQ(a.fragments.size(), b.fragments.size());
+  for (size_t i = 0; i < a.fragments.size(); ++i) {
+    EXPECT_EQ(a.fragments[i].table, b.fragments[i].table);
+    EXPECT_EQ(a.fragments[i].columns, b.fragments[i].columns);
+  }
+}
+
+TEST(CompressTest, FoldsIdenticalQueriesAndSumsWeights) {
+  std::unique_ptr<Database> db(MakeSdssDb(500));
+  const std::string a = "SELECT objid FROM photoobj WHERE ra > 100";
+  const std::string b = "SELECT objid FROM photoobj WHERE dec < 5";
+  auto workload = MakeWorkload(db->catalog(), {a, a, b, a});
+  ASSERT_TRUE(workload.ok());
+  workload->queries[1].weight = 3.0;
+
+  const CompressedWorkload compressed =
+      CompressWorkload(db->catalog(), *workload);
+  EXPECT_EQ(compressed.original_size, 4);
+  ASSERT_EQ(compressed.workload.size(), 2);
+  EXPECT_EQ(compressed.folded(), 2);
+  EXPECT_DOUBLE_EQ(compressed.ratio(), 2.0);
+  // Representatives keep first-occurrence order.
+  EXPECT_EQ(compressed.workload.queries[0].sql, a);
+  EXPECT_EQ(compressed.workload.queries[1].sql, b);
+  // Weights are summed into the representative (1 + 3 + 1 for `a`).
+  EXPECT_DOUBLE_EQ(compressed.workload.queries[0].weight, 5.0);
+  EXPECT_DOUBLE_EQ(compressed.workload.queries[1].weight, 1.0);
+  // Expansion maps every original to its class, members ascending.
+  EXPECT_EQ(compressed.expansion.representative,
+            (std::vector<int>{0, 0, 1, 0}));
+  ASSERT_EQ(compressed.expansion.members.size(), 2u);
+  EXPECT_EQ(compressed.expansion.members[0], (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(compressed.expansion.members[1], (std::vector<int>{2}));
+  EXPECT_EQ(compressed.expansion.weights,
+            (std::vector<double>{1.0, 3.0, 1.0, 1.0}));
+}
+
+TEST(CompressTest, DifferentLiteralsDoNotFold) {
+  std::unique_ptr<Database> db(MakeSdssDb(500));
+  auto workload = MakeWorkload(
+      db->catalog(), {"SELECT objid FROM photoobj WHERE ra > 100",
+                      "SELECT objid FROM photoobj WHERE ra > 101"});
+  ASSERT_TRUE(workload.ok());
+  const CompressedWorkload compressed =
+      CompressWorkload(db->catalog(), *workload);
+  EXPECT_EQ(compressed.workload.size(), 2);
+  EXPECT_EQ(compressed.folded(), 0);
+}
+
+TEST(CompressTest, StatsScopeIsPartOfTheFoldKey) {
+  std::unique_ptr<Database> db(MakeSdssDb(500));
+  auto workload = MakeWorkload(db->catalog(),
+                               {"SELECT objid FROM photoobj WHERE ra > 100"});
+  ASSERT_TRUE(workload.ok());
+  const std::string before =
+      QueryFoldSignature(db->catalog(), workload->queries[0]);
+  // Deterministic for an unchanged catalog.
+  EXPECT_EQ(before, QueryFoldSignature(db->catalog(), workload->queries[0]));
+  // Changing the statistics of a touched table changes the key: the same
+  // template over a different stats scope must never fold.
+  TableInfo* table = db->catalog().GetMutableTable(
+      db->catalog().FindTable("photoobj")->id);
+  ASSERT_NE(table, nullptr);
+  table->row_count *= 2.0;
+  const std::string after =
+      QueryFoldSignature(db->catalog(), workload->queries[0]);
+  EXPECT_NE(before, after);
+}
+
+TEST(CompressTest, PerturbSqlLiteralsIsExactAndDeterministic) {
+  EXPECT_EQ(PerturbSqlLiterals("SELECT a FROM t WHERE x > 100", 0),
+            "SELECT a FROM t WHERE x > 100");
+  EXPECT_EQ(PerturbSqlLiterals("SELECT a FROM t WHERE x > 100", 1),
+            "SELECT a FROM t WHERE x > 101");
+  // +0.125*variant is exact in binary, so the decimal round-trips.
+  EXPECT_EQ(PerturbSqlLiterals("WHERE r < 19.5", 2), "WHERE r < 19.75");
+  // Identifiers with digits are not literals.
+  EXPECT_EQ(PerturbSqlLiterals("SELECT col2 FROM t1", 3),
+            "SELECT col2 FROM t1");
+}
+
+TEST(CompressTest, ScaledWorkloadIsDeterministicAndFolds) {
+  std::unique_ptr<Database> db(MakeSdssDb(2000));
+  SdssScaleConfig config;
+  config.num_queries = 300;
+  auto first = MakeScaledSdssWorkload(db->catalog(), config);
+  auto second = MakeScaledSdssWorkload(db->catalog(), config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), 300);
+  ASSERT_EQ(second->size(), 300);
+  for (int i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(first->queries[i].sql, second->queries[i].sql);
+    EXPECT_EQ(first->queries[i].weight, second->queries[i].weight);
+  }
+  const CompressedWorkload compressed =
+      CompressWorkload(db->catalog(), *first);
+  // Fold classes are bounded by templates x literal variants.
+  EXPECT_LE(compressed.workload.size(), 30 * config.literal_variants);
+  EXPECT_GT(compressed.ratio(), 2.0);
+}
+
+TEST(CompressTest, SdssAdviceBitIdenticalUnderCompression) {
+  std::unique_ptr<Database> db(MakeSdssDb(2000));
+  SdssScaleConfig config;
+  config.num_queries = 160;
+  auto workload = MakeScaledSdssWorkload(db->catalog(), config);
+  ASSERT_TRUE(workload.ok());
+  for (const int parallelism : {1, 4}) {
+    IndexAdvisorOptions off;
+    off.compress = false;
+    off.parallelism = parallelism;
+    IndexAdvisorOptions on = off;
+    on.compress = true;
+    IndexAdvisor plain(db->catalog(), *workload, off);
+    IndexAdvisor folded(db->catalog(), *workload, on);
+
+    auto greedy_plain = plain.SuggestWithGreedy();
+    auto greedy_folded = folded.SuggestWithGreedy();
+    ASSERT_TRUE(greedy_plain.ok());
+    ASSERT_TRUE(greedy_folded.ok());
+    ExpectSameIndexAdvice(*greedy_plain, *greedy_folded);
+
+    auto ilp_plain = plain.SuggestWithIlp();
+    auto ilp_folded = folded.SuggestWithIlp();
+    ASSERT_TRUE(ilp_plain.ok());
+    ASSERT_TRUE(ilp_folded.ok());
+    ExpectSameIndexAdvice(*ilp_plain, *ilp_folded);
+  }
+}
+
+TEST(CompressTest, TpchMiniAdviceBitIdenticalUnderCompression) {
+  Database db;
+  TpchMiniConfig config;
+  PARINDA_CHECK_OK(BuildTpchMiniDatabase(&db, config));
+  // Duplicate the template set 3x so there is something to fold.
+  std::vector<std::string> sqls;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& sql : TpchMiniQueries()) sqls.push_back(sql);
+  }
+  auto workload = MakeWorkload(db.catalog(), sqls);
+  ASSERT_TRUE(workload.ok());
+  for (const int parallelism : {1, 4}) {
+    IndexAdvisorOptions off;
+    off.compress = false;
+    off.parallelism = parallelism;
+    IndexAdvisorOptions on = off;
+    on.compress = true;
+    IndexAdvisor plain(db.catalog(), *workload, off);
+    IndexAdvisor folded(db.catalog(), *workload, on);
+    auto greedy_plain = plain.SuggestWithGreedy();
+    auto greedy_folded = folded.SuggestWithGreedy();
+    ASSERT_TRUE(greedy_plain.ok());
+    ASSERT_TRUE(greedy_folded.ok());
+    ExpectSameIndexAdvice(*greedy_plain, *greedy_folded);
+  }
+}
+
+TEST(CompressTest, AutoPartAdviceBitIdenticalUnderCompression) {
+  std::unique_ptr<Database> db(MakeSdssDb(2000));
+  SdssScaleConfig config;
+  config.num_queries = 160;
+  auto workload = MakeScaledSdssWorkload(db->catalog(), config);
+  ASSERT_TRUE(workload.ok());
+  AutoPartOptions off;
+  off.compress = false;
+  off.max_iterations = 2;
+  off.max_candidates_per_iteration = 16;
+  AutoPartOptions on = off;
+  on.compress = true;
+  AutoPartAdvisor plain(db->catalog(), *workload, off);
+  AutoPartAdvisor folded(db->catalog(), *workload, on);
+  auto advice_plain = plain.Suggest();
+  auto advice_folded = folded.Suggest();
+  ASSERT_TRUE(advice_plain.ok());
+  ASSERT_TRUE(advice_folded.ok());
+  ExpectSamePartitionAdvice(*advice_plain, *advice_folded);
+}
+
+TEST(CompressTest, PeakRssBytesReportsPeak) {
+#ifdef __linux__
+  EXPECT_GT(PeakRssBytes(), 0);
+#else
+  EXPECT_GE(PeakRssBytes(), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace parinda

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "common/metrics.h"
 #include "solver/bnb.h"
 #include "solver/lp.h"
 
@@ -200,6 +203,163 @@ TEST(BnbTest, LargerRandomInstanceStaysExact) {
   }
   EXPECT_NEAR(sol->objective, best, 1e-6);
   EXPECT_TRUE(sol->proved_optimal);
+}
+
+TEST(LpTest, LowerBoundsRespected) {
+  // max -x + 2y s.t. x + y <= 1.2, x in [0.5, 1], y in [0, 1].
+  // Optimum: x at its lower bound 0.5, y = 0.7 -> 0.9.
+  LinearProgram lp;
+  lp.objective = {-1.0, 2.0};
+  lp.lower = {0.5, 0.0};
+  lp.upper = {1.0, 1.0};
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, 1.2});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->feasible);
+  EXPECT_NEAR(sol->objective, 0.9, 1e-6);
+  // The substitution x = lower + z must be undone in `values`.
+  EXPECT_NEAR(sol->values[0], 0.5, 1e-6);
+  EXPECT_NEAR(sol->values[1], 0.7, 1e-6);
+}
+
+TEST(LpTest, FixToOneViaLowerBound) {
+  // Fixing a binary variable with lower = upper = 1 (how the incremental
+  // branch-and-bound pins the up-branch) must not need a Big-M row.
+  LinearProgram lp;
+  lp.objective = {1.0, 10.0};
+  lp.lower = {0.0, 1.0};
+  lp.upper = {1.0, 1.0};
+  lp.AddConstraint({{{0, 2.0}, {1, 2.0}}, 3.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->feasible);
+  EXPECT_NEAR(sol->values[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol->values[0], 0.5, 1e-6);
+  EXPECT_NEAR(sol->objective, 10.5, 1e-6);
+}
+
+TEST(LpTest, LowerBoundsCanBeInfeasible) {
+  // lower sums past the constraint: x >= 0.8, y >= 0.8, x + y <= 1.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.lower = {0.8, 0.8};
+  lp.upper = {1.0, 1.0};
+  lp.AddConstraint({{{0, 1.0}, {1, 1.0}}, 1.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->feasible);
+}
+
+TEST(LpTest, BlandLatchTerminatesOnBealeCycle) {
+  // Beale's classic cycling instance: Dantzig's largest-coefficient rule
+  // loops forever through degenerate bases. The solver must fall back to
+  // Bland's rule (after the degeneracy streak or past half the iteration
+  // cap) and still reach the true optimum 1/20 at x = (1/25, 0, 1, 0).
+  LinearProgram lp;
+  lp.objective = {0.75, -150.0, 0.02, -6.0};
+  lp.upper = {1e6, 1e6, 1.0, 1e6};
+  lp.AddConstraint({{{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}}, 0.0});
+  lp.AddConstraint({{{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}}, 0.0});
+  auto sol = SolveLp(lp, 2000);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->feasible);
+  EXPECT_FALSE(sol->iteration_limited);
+  EXPECT_NEAR(sol->objective, 0.05, 1e-6);
+  EXPECT_NEAR(sol->values[2], 1.0, 1e-6);
+}
+
+/// A deterministic multi-constraint knapsack whose relaxation stays
+/// fractional deep into the tree (the advisor's own ILPs usually solve at
+/// the root, which would make the copy-count assertions vacuous).
+BinaryMip HardKnapsack(int n) {
+  BinaryMip mip;
+  mip.lp.objective.resize(static_cast<size_t>(n));
+  LinearProgram::Constraint budget;
+  double total_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double value = 7.0 + static_cast<double>((i * 37) % 23);
+    const double weight = 5.0 + static_cast<double>((i * 53) % 29);
+    mip.lp.objective[static_cast<size_t>(i)] = value;
+    budget.terms.push_back({i, weight});
+    total_weight += weight;
+  }
+  budget.rhs = total_weight / 3.0;
+  mip.lp.AddConstraint(std::move(budget));
+  for (int i = 0; i + 7 <= n; i += 4) {
+    LinearProgram::Constraint window;
+    for (int j = i; j < i + 7; ++j) window.terms.push_back({j, 1.0});
+    window.rhs = 3.0;
+    mip.lp.AddConstraint(std::move(window));
+  }
+  return mip;
+}
+
+TEST(BnbTest, IncrementalSolverCopiesTheLpExactlyOnce) {
+  const BinaryMip mip = HardKnapsack(32);
+  metrics::Counter& copies =
+      metrics::Registry::Global().counter("solver.lp_copies");
+
+  MipOptions incremental;
+  incremental.incremental = true;
+  const int64_t before_incremental = copies.value();
+  auto sol = SolveBinaryMip(mip, incremental);
+  const int64_t incremental_copies = copies.value() - before_incremental;
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->proved_optimal);
+  EXPECT_GT(sol->nodes_explored, 1);
+  // One working copy for the whole search, regardless of tree size: per-node
+  // state is re-derived by bound writes, never by copying the LP.
+  EXPECT_EQ(incremental_copies, 1);
+
+  MipOptions legacy;
+  legacy.incremental = false;
+  const int64_t before_legacy = copies.value();
+  auto legacy_sol = SolveBinaryMip(mip, legacy);
+  const int64_t legacy_copies = copies.value() - before_legacy;
+  ASSERT_TRUE(legacy_sol.ok());
+  EXPECT_TRUE(legacy_sol->proved_optimal);
+  // The copy-per-node arm pays at least one LP copy per explored node.
+  EXPECT_GE(legacy_copies, legacy_sol->nodes_explored);
+  EXPECT_GT(legacy_copies, incremental_copies);
+}
+
+TEST(BnbTest, IncrementalAndLegacyAgreeOnTheOptimum) {
+  for (const int n : {16, 24, 40}) {
+    const BinaryMip mip = HardKnapsack(n);
+    MipOptions incremental;
+    incremental.incremental = true;
+    MipOptions legacy;
+    legacy.incremental = false;
+    auto a = SolveBinaryMip(mip, incremental);
+    auto b = SolveBinaryMip(mip, legacy);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(a->proved_optimal);
+    EXPECT_TRUE(b->proved_optimal);
+    // Both are exact; node orders differ, so only the optimum must match.
+    EXPECT_EQ(a->objective, b->objective) << "n=" << n;
+    // The incumbent satisfies every constraint.
+    for (const auto& row : mip.lp.constraints) {
+      double lhs = 0.0;
+      for (const auto& [var, coeff] : row.terms) {
+        lhs += coeff * a->values[static_cast<size_t>(var)];
+      }
+      EXPECT_LE(lhs, row.rhs + 1e-6);
+    }
+  }
+}
+
+TEST(BnbTest, IncrementalExpiredDeadlineReturnsIncumbentDegraded) {
+  const BinaryMip mip = HardKnapsack(24);
+  MipOptions options;
+  options.incremental = true;
+  options.deadline = Deadline::After(0.0);
+  auto sol = SolveBinaryMip(mip, options);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->feasible);
+  EXPECT_TRUE(sol->degraded);
+  EXPECT_FALSE(sol->proved_optimal);
+  EXPECT_EQ(sol->nodes_explored, 0);
 }
 
 }  // namespace

@@ -228,6 +228,41 @@ else
   echo "--- engine cache: metrics present (python3 unavailable for bounds)"
 fi
 
+echo "=== large-workload scaling smoke test ==="
+# The scaling pipeline (DESIGN.md §15) must hold its contract at CI time:
+# a 2000-query scaled SDSS workload compresses at >= 10x, the full pipeline
+# beats the all-ablations-off arm by >= 5x, and the advice is bit-identical
+# across every arm (bench_scale PARINDA_CHECKs identity itself; the JSON
+# records the verdict). Budgeted: the whole leg must finish inside 120s.
+SCALE_START=$SECONDS
+./build/bench/bench_scale \
+  --json=/tmp/parinda_ci_scale.json \
+  --benchmark_filter=NONE > /dev/null
+SCALE_WALL=$((SECONDS - SCALE_START))
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+metrics = json.load(open("/tmp/parinda_ci_scale.json"))["metrics"]
+ratio = metrics["e10a.2000.compression_ratio"]
+speedup = metrics["e10b.speedup"]
+assert ratio >= 10.0, ratio
+assert speedup >= 5.0, speedup
+assert metrics["e10b.advice_identical"] == 1.0, metrics
+assert metrics["e10c.incremental_lp_copies"] == 1.0, metrics
+assert metrics["peak_rss_bytes"] > 0, metrics
+print(f"--- scale: {ratio:.1f}x compression, {speedup:.1f}x pipeline "
+      f"speedup, advice identical, 1 LP copy")
+EOF
+else
+  grep -q '"e10b.advice_identical": 1' /tmp/parinda_ci_scale.json
+  echo "--- scale: metrics present (python3 unavailable for bounds)"
+fi
+if [ "$SCALE_WALL" -gt 120 ]; then
+  echo "scale smoke test exceeded its 120s budget: ${SCALE_WALL}s"
+  exit 1
+fi
+echo "--- scale smoke test: ${SCALE_WALL}s (budget 120s)"
+
 echo "=== parinda-lint ==="
 ./build/tools/parinda-lint --json src tests > /tmp/parinda_lint_report.json && {
   echo "parinda-lint: clean"

@@ -231,6 +231,34 @@ void CheckBareCounter(const CheckContext& ctx) {
   }
 }
 
+void CheckDenseBenefit(const CheckContext& ctx) {
+  const std::string& path = ctx.file().path;
+  // Scaling rule (DESIGN.md §15): advisor benefit/score structures must not
+  // materialize the dense nq x nc grid — most candidates are irrelevant to
+  // most queries, and compressed thousand-query workloads make the dense
+  // form the dominant allocation. BenefitMatrix's own dense ablation arm
+  // carries an allow() with its rationale.
+  if (path.find("src/advisor/") == std::string::npos &&
+      path.rfind("advisor/", 0) != 0) {
+    return;
+  }
+  const auto& toks = ctx.file().tokens;
+  for (size_t i = 0; i + 10 < toks.size(); i++) {
+    if (toks[i].text == "std" && toks[i + 1].text == "::" &&
+        toks[i + 2].text == "vector" && toks[i + 3].text == "<" &&
+        toks[i + 4].text == "std" && toks[i + 5].text == "::" &&
+        toks[i + 6].text == "vector" && toks[i + 7].text == "<" &&
+        toks[i + 8].text == "double" && toks[i + 9].text == ">" &&
+        toks[i + 10].text == ">") {
+      ctx.Report(toks[i].line, "dense-benefit",
+                 "dense std::vector<std::vector<double>> matrix in "
+                 "src/advisor/; store per-query benefits in a sparse "
+                 "advisor/BenefitMatrix (O(nnz), scales to compressed "
+                 "thousand-query workloads)");
+    }
+  }
+}
+
 void CheckOverlayInternals(const CheckContext& ctx) {
   const std::string& path = ctx.file().path;
   if (!IsLibraryPath(path) || IsOverlayLayerPath(path)) return;
@@ -493,6 +521,7 @@ std::vector<Diagnostic> Linter::Run() {
     CheckRawNewDelete(ctx);
     CheckDetachedThread(ctx);
     CheckBareCounter(ctx);
+    CheckDenseBenefit(ctx);
     CheckOverlayInternals(ctx);
     CheckUncheckedDeadline(ctx);
     CheckUncheckedStatus(ctx, fallible);

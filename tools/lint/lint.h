@@ -48,6 +48,13 @@
 ///                      Failpoints mark long-running paths; a loop long
 ///                      enough to need fault injection is long enough to need
 ///                      a deadline check (DESIGN.md §10).
+///   dense-benefit      `std::vector<std::vector<double>>` in src/advisor/ —
+///                      a dense query x candidate benefit/score grid is
+///                      O(nq * nc) memory and scan time and does not scale to
+///                      compressed thousand-query workloads; store benefits
+///                      in advisor/BenefitMatrix (CSR-style sparse rows).
+///                      The matrix's own dense ablation arm carries an
+///                      allow() with a rationale.
 ///   header-guard       A .h file whose first preprocessor directives are not
 ///                      `#ifndef`/`#define` (or `#pragma once`).
 ///   todo-no-owner      A TODO comment without an owner: write `TODO(name):`.
